@@ -1,0 +1,111 @@
+// Ablation bench for the fork-after-trust design choices DESIGN.md
+// calls out (§5.3):
+//
+//   1. worker pool size — how many smtpd workers the hybrid needs once
+//      the master absorbs all handshakes (the paper fixes vanilla at
+//      its 500-process optimum; the hybrid's pool only runs DATA+
+//      delivery);
+//   2. vector-send batching depth — the per-worker task queue bound
+//      (~28 tasks per 64 KiB socket buffer in the paper);
+//   3. master event cost — sensitivity of the whole architecture to
+//      the event-loop dispatch price (the gap between select(2) on
+//      hundreds of fds and epoll).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fskit/fs_model.h"
+#include "mta/drivers.h"
+#include "mta/sim_server.h"
+#include "trace/synthetic.h"
+#include "util/stats.h"
+
+namespace {
+
+using sams::bench::BenchArgs;
+using sams::util::SimTime;
+using sams::util::TextTable;
+
+double RunHybrid(const sams::mta::SimServerConfig& cfg, const BenchArgs& args,
+                 double bounce_ratio = 0.3) {
+  sams::trace::BounceSweepConfig tcfg;
+  tcfg.n_sessions = args.quick ? 8'000 : 20'000;
+  tcfg.bounce_ratio = bounce_ratio;
+  tcfg.seed = args.seed;
+  const auto sessions = sams::trace::MakeBounceSweepTrace(tcfg);
+
+  sams::sim::Machine machine;
+  sams::fskit::Ext3Model ext3;
+  sams::fskit::SimFs fs(machine.disk(), ext3);
+  sams::mfs::SimMboxStore store(fs);
+  sams::mta::SimMailServer server(machine, cfg, store);
+  return sams::mta::RunClosedLoop(machine, server, sessions, 700,
+                                  SimTime::Seconds(args.quick ? 15 : 30),
+                                  SimTime::Seconds(args.quick ? 40 : 90))
+      .goodput_mails_per_sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  sams::bench::PrintHeader(
+      "Ablation - fork-after-trust design choices",
+      "ICDCS'09 section 5.3 (design discussion)",
+      "worker pool size, vector-send batching depth, master event cost");
+
+  // 1. Worker pool size at bounce ratio 0.3.
+  {
+    TextTable table({"hybrid workers", "mails/s"});
+    for (int workers : {10, 25, 50, 100, 200, 400}) {
+      sams::mta::SimServerConfig cfg;
+      cfg.hybrid = true;
+      cfg.process_limit = workers;
+      table.AddRow({std::to_string(workers),
+                    TextTable::Num(RunHybrid(cfg, args), 1)});
+    }
+    std::printf("\n-- worker pool size (bounce ratio 0.3) --\n");
+    sams::bench::PrintTable(table);
+    std::printf(
+        "  the hybrid needs far fewer processes than vanilla's 500: the\n"
+        "  pool only covers DATA+delivery residency, not handshakes.\n");
+  }
+
+  // 2. Vector-send batching depth.
+  {
+    TextTable table({"queue/worker", "mails/s"});
+    for (int depth : {1, 4, 28, 256}) {
+      sams::mta::SimServerConfig cfg;
+      cfg.hybrid = true;
+      cfg.process_limit = 50;  // scarce workers so queuing matters
+      cfg.delegate_queue_per_worker = depth;
+      table.AddRow({std::to_string(depth),
+                    TextTable::Num(RunHybrid(cfg, args, 0.0), 1)});
+    }
+    std::printf("\n-- vector-send batching depth (50 workers, no bounces) --\n");
+    sams::bench::PrintTable(table);
+    std::printf(
+        "  paper estimate: ~28 tasks fit one 64 KiB worker socket (§5.3);\n"
+        "  the natural-throttle bound matters only under worker scarcity.\n");
+  }
+
+  // 3. Master event-cost sensitivity at high bounce ratio.
+  {
+    TextTable table({"master event cost", "mails/s at bounce 0.9"});
+    for (double us : {2.0, 6.0, 20.0, 60.0, 100.0}) {
+      sams::mta::SimServerConfig cfg;
+      cfg.hybrid = true;
+      cfg.process_limit = 200;
+      cfg.costs.master_event = SimTime::MicrosF(us);
+      table.AddRow({TextTable::Num(us, 0) + " us",
+                    TextTable::Num(RunHybrid(cfg, args, 0.9), 1)});
+    }
+    std::printf("\n-- master event cost (bounce ratio 0.9) --\n");
+    sams::bench::PrintTable(table);
+    std::printf(
+        "  at 100 us/event the master costs as much as a dedicated smtpd\n"
+        "  command cycle and the fork-after-trust advantage evaporates —\n"
+        "  the architecture's win hinges on a cheap event loop (§5.1).\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 8: goodput (good mails/sec) of the vanilla process-per-
+// connection architecture vs the fork-after-trust hybrid, as the
+// bounce ratio of the synthetic trace rises from 0 to 1.
+//
+// Paper: vanilla goodput "steadily declines as the percentage of
+// bounce mails is increased"; hybrid goodput "stays almost constant
+// until the bounce ratio reaches 0.9"; the total number of context
+// switches is reduced by "close to a factor of two".
+//
+// Setup mirrors §5.4: synthetic trace with Univ mail sizes and varying
+// bounce ratio, closed-system client (program 1), vanilla at its
+// optimal 500 processes, hybrid at 700 sockets.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fskit/fs_model.h"
+#include "mta/drivers.h"
+#include "mta/sim_server.h"
+#include "trace/synthetic.h"
+#include "util/stats.h"
+
+namespace {
+
+using sams::bench::BenchArgs;
+using sams::util::SimTime;
+using sams::util::TextTable;
+
+struct Point {
+  double goodput = 0;
+  std::uint64_t ctx_switches = 0;
+};
+
+Point RunOne(bool hybrid, double bounce_ratio, const BenchArgs& args) {
+  sams::trace::BounceSweepConfig tcfg;
+  tcfg.n_sessions = args.quick ? 10'000 : 30'000;
+  tcfg.bounce_ratio = bounce_ratio;
+  tcfg.seed = args.seed;
+  const auto sessions = sams::trace::MakeBounceSweepTrace(tcfg);
+
+  sams::sim::Machine machine;
+  sams::fskit::Ext3Model ext3;
+  sams::fskit::SimFs fs(machine.disk(), ext3);
+  sams::mfs::SimMboxStore store(fs);
+
+  sams::mta::SimServerConfig cfg;
+  cfg.hybrid = hybrid;
+  cfg.process_limit = hybrid ? 200 : 500;  // hybrid workers handle DATA only
+  cfg.master_connection_limit = 700;       // "up to a maximum of 700 sockets"
+  // The Figure 8 synthetic bounces quit promptly after rejection.
+  cfg.unfinished_hold = SimTime{};
+  sams::mta::SimMailServer server(machine, cfg, store);
+
+  const SimTime warmup = SimTime::Seconds(args.quick ? 20 : 40);
+  const SimTime window = SimTime::Seconds(args.quick ? 60 : 120);
+  const auto result = sams::mta::RunClosedLoop(machine, server, sessions,
+                                               /*concurrency=*/700, warmup,
+                                               window);
+  return Point{result.goodput_mails_per_sec, result.context_switches};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  sams::bench::PrintHeader(
+      "Figure 8 - goodput vs bounce ratio (Vanilla vs Hybrid)",
+      "ICDCS'09 section 5.4, Figure 8",
+      "vanilla declines steadily; hybrid ~flat until bounce ratio 0.9; "
+      "~2x fewer context switches");
+
+  const std::vector<double> ratios =
+      args.quick ? std::vector<double>{0.0, 0.5, 0.9}
+                 : std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9, 0.95, 1.0};
+
+  TextTable table({"bounce_ratio", "vanilla mails/s", "hybrid mails/s",
+                   "vanilla cs", "hybrid cs", "cs ratio"});
+  double vanilla_at_0 = 0, hybrid_at_0 = 0, hybrid_at_09 = 0;
+  for (double ratio : ratios) {
+    const Point vanilla = RunOne(false, ratio, args);
+    const Point hybrid = RunOne(true, ratio, args);
+    if (ratio == 0.0) {
+      vanilla_at_0 = vanilla.goodput;
+      hybrid_at_0 = hybrid.goodput;
+    }
+    if (ratio == 0.9) hybrid_at_09 = hybrid.goodput;
+    table.AddRow(
+        {TextTable::Num(ratio, 2), TextTable::Num(vanilla.goodput, 1),
+         TextTable::Num(hybrid.goodput, 1),
+         std::to_string(vanilla.ctx_switches),
+         std::to_string(hybrid.ctx_switches),
+         TextTable::Num(vanilla.ctx_switches /
+                            std::max(1.0, static_cast<double>(hybrid.ctx_switches)),
+                        2)});
+  }
+  sams::bench::PrintTable(table);
+  std::printf(
+      "\n  hybrid retains %.0f%% of its zero-bounce goodput at ratio 0.9 "
+      "(paper: ~flat until 0.9)\n",
+      100.0 * hybrid_at_09 / std::max(1.0, hybrid_at_0));
+  std::printf("  vanilla at 0 bounce: %.1f mails/s (paper: ~180)\n\n",
+              vanilla_at_0);
+  return 0;
+}

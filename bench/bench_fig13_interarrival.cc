@@ -1,0 +1,61 @@
+// Figure 13: interarrival-time CDFs of spam from the same IP versus
+// the same /24 prefix, in the sinkhole trace.
+//
+// Paper: "the inter-arrival time in terms of IP prefix origins is
+// shorter than in terms of individual IP origins, suggesting
+// significant temporal locality in /24 prefixes among the spammers" —
+// the property that makes prefix-granularity caching effective while
+// botnets defeat per-IP caching.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench/bench_util.h"
+#include "trace/sinkhole.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  const auto args = sams::bench::BenchArgs::Parse(argc, argv);
+  sams::bench::PrintHeader(
+      "Figure 13 - interarrival CDF: same IP vs same /24 prefix",
+      "ICDCS'09 section 7.1, Figure 13",
+      "prefix-level interarrivals are much shorter than IP-level ones");
+
+  sams::trace::SinkholeConfig cfg;
+  if (args.quick) {
+    cfg.n_connections = 20'000;
+    cfg.n_ips = 4'000;
+    cfg.n_prefixes = 1'800;
+  }
+  cfg.seed = args.seed == 42 ? cfg.seed : args.seed;
+  const sams::trace::SinkholeModel sinkhole(cfg);
+
+  std::unordered_map<sams::util::Ipv4, sams::util::SimTime> last_ip;
+  std::unordered_map<sams::util::Prefix24, sams::util::SimTime> last_prefix;
+  sams::util::Sampler ip_gaps, prefix_gaps;
+  for (const auto& session : sinkhole.sessions()) {
+    if (auto it = last_ip.find(session.client_ip); it != last_ip.end()) {
+      ip_gaps.Add((session.arrival - it->second).seconds());
+    }
+    last_ip[session.client_ip] = session.arrival;
+    const sams::util::Prefix24 prefix(session.client_ip);
+    if (auto it = last_prefix.find(prefix); it != last_prefix.end()) {
+      prefix_gaps.Add((session.arrival - it->second).seconds());
+    }
+    last_prefix[prefix] = session.arrival;
+  }
+
+  sams::util::TextTable table({"time (s)", "CDF same-IP", "CDF same-/24"});
+  for (int t : {60, 300, 600, 1200, 1800, 2400, 3000, 3600, 4200, 5000}) {
+    table.AddRow({std::to_string(t),
+                  sams::util::TextTable::Pct(ip_gaps.CdfAt(t)),
+                  sams::util::TextTable::Pct(prefix_gaps.CdfAt(t))});
+  }
+  sams::bench::PrintTable(table);
+  std::printf(
+      "\n  median interarrival: same-IP %.0f s vs same-/24 %.0f s "
+      "(paper: prefix curve well above IP curve)\n"
+      "  samples: %zu IP gaps, %zu prefix gaps\n\n",
+      ip_gaps.Percentile(50), prefix_gaps.Percentile(50), ip_gaps.count(),
+      prefix_gaps.count());
+  return 0;
+}

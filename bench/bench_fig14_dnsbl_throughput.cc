@@ -1,0 +1,106 @@
+// Figure 14: mail throughput vs offered connection rate with
+// prefix-based vs IP-based DNSBL lookups.
+//
+// Paper setup (§7.2): open-system client (program 2) replaying the
+// two-month spam trace, postfix process limit 1000, 24 h reply TTL.
+// Paper result: the two schemes match at low rates; a gap opens at
+// ~150 connections/sec and prefix-based lookups deliver ~10.8% higher
+// mail throughput at 200 connections/sec.
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fskit/fs_model.h"
+#include "mta/drivers.h"
+#include "mta/sim_server.h"
+#include "trace/sinkhole.h"
+#include "util/stats.h"
+
+namespace {
+
+using sams::bench::BenchArgs;
+using sams::dnsbl::CacheMode;
+using sams::util::SimTime;
+using sams::util::TextTable;
+
+double RunOne(CacheMode mode, double rate, const sams::trace::SinkholeModel& sinkhole,
+              const BenchArgs& args) {
+  sams::util::Rng server_rng(args.seed);
+  const auto listed = sinkhole.ListedIps();
+  const auto lists = sams::dnsbl::MakeFigureFiveServers(listed, server_rng);
+  std::vector<const sams::dnsbl::DnsblServer*> servers;
+  for (const auto& list : lists) servers.push_back(list.get());
+
+  sams::util::Rng resolver_rng(args.seed + 1);
+  sams::dnsbl::Resolver resolver(mode, servers, SimTime::Hours(24),
+                                 resolver_rng);
+
+  // Pre-warm: replay the first segment of the trace through the
+  // resolver so the driven run starts at steady-state hit ratios (the
+  // paper emulates the cache over the whole two-month trace).
+  const std::size_t prewarm = sinkhole.sessions().size() / 3;
+  for (std::size_t i = 0; i < prewarm; ++i) {
+    const auto& session = sinkhole.sessions()[i];
+    resolver.Lookup(session.client_ip, session.arrival);
+  }
+
+  sams::sim::Machine machine;
+  sams::fskit::Ext3Model ext3;
+  sams::fskit::SimFs fs(machine.disk(), ext3);
+  sams::mfs::SimMboxStore store(fs);
+  sams::mta::SimServerConfig cfg;
+  cfg.process_limit = 1'000;  // §7.2
+  sams::mta::SimMailServer server(machine, cfg, store, &resolver);
+
+  sams::util::Rng arrival_rng(args.seed + 2);
+  const std::span<const sams::trace::SessionSpec> driven(
+      sinkhole.sessions().data() + prewarm,
+      sinkhole.sessions().size() - prewarm);
+  const auto result = sams::mta::RunOpenLoop(
+      machine, server, driven, rate,
+      SimTime::Seconds(args.quick ? 20 : 90),
+      SimTime::Seconds(args.quick ? 60 : 240), arrival_rng, &resolver);
+  return result.goodput_mails_per_sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  sams::bench::PrintHeader(
+      "Figure 14 - throughput vs connection rate (IP vs prefix DNSBL)",
+      "ICDCS'09 section 7.2, Figure 14",
+      "equal at low rates; gap opens ~150 conn/s; prefix +10.8% at 200");
+
+  sams::trace::SinkholeConfig scfg;
+  if (args.quick) {
+    scfg.n_connections = 30'000;
+    scfg.n_ips = 6'000;
+    scfg.n_prefixes = 2'700;
+  }
+  const sams::trace::SinkholeModel sinkhole(scfg);
+
+  const std::vector<double> rates =
+      args.quick ? std::vector<double>{50, 150, 200}
+                 : std::vector<double>{40, 80, 120, 150, 170, 200, 230};
+  TextTable table({"conn rate (/s)", "IP-cache mails/s", "prefix mails/s",
+                   "gain"});
+  double ip200 = 0, px200 = 0;
+  for (double rate : rates) {
+    const double ip = RunOne(CacheMode::kIpCache, rate, sinkhole, args);
+    const double px = RunOne(CacheMode::kPrefixCache, rate, sinkhole, args);
+    if (rate == 200) {
+      ip200 = ip;
+      px200 = px;
+    }
+    table.AddRow({TextTable::Num(rate, 0), TextTable::Num(ip, 1),
+                  TextTable::Num(px, 1),
+                  TextTable::Pct(px / ip - 1.0)});
+  }
+  sams::bench::PrintTable(table);
+  std::printf(
+      "\n  prefix-based gain at 200 conn/s: +%.1f%% (paper: +10.8%%)\n\n",
+      100.0 * (px200 / ip200 - 1.0));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks of the DNSBL layer: database lookups, bitmap
+// assembly, cache operations, and full resolver rounds.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dnsbl/blacklist_db.h"
+#include "dnsbl/cache.h"
+#include "dnsbl/resolver.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sams::dnsbl;  // NOLINT: bench-local convenience
+using sams::util::Ipv4;
+using sams::util::Prefix25;
+using sams::util::SimTime;
+
+std::shared_ptr<BlacklistDb> MakeDb(int n, sams::util::Rng& rng) {
+  auto db = std::make_shared<BlacklistDb>();
+  for (int i = 0; i < n; ++i) {
+    db->Add(Ipv4(static_cast<std::uint32_t>(rng.NextU64())));
+  }
+  return db;
+}
+
+void BM_DbLookup(benchmark::State& state) {
+  sams::util::Rng rng(1);
+  auto db = MakeDb(20'000, rng);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Lookup(Ipv4(probe += 2654435761u)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbLookup);
+
+void BM_DbPrefixBitmap(benchmark::State& state) {
+  sams::util::Rng rng(2);
+  auto db = MakeDb(20'000, rng);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->LookupPrefix(Prefix25(Ipv4(probe += 2654435761u))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbPrefixBitmap);
+
+void BM_IpCacheHit(benchmark::State& state) {
+  IpCache cache(SimTime::Hours(24));
+  const Ipv4 ip(198, 51, 100, 7);
+  cache.Insert(ip, IpVerdict{true}, SimTime::Seconds(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(ip, SimTime::Seconds(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IpCacheHit);
+
+void BM_PrefixCacheHit(benchmark::State& state) {
+  PrefixCache cache(SimTime::Hours(24));
+  const Ipv4 ip(198, 51, 100, 7);
+  PrefixBitmap bitmap;
+  bitmap.Set(7);
+  cache.Insert(Prefix25(ip), bitmap, SimTime::Seconds(0));
+  for (auto _ : state) {
+    const PrefixBitmap* hit = cache.Lookup(Prefix25(ip), SimTime::Seconds(1));
+    benchmark::DoNotOptimize(hit->TestIp(ip));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixCacheHit);
+
+void BM_ResolverMissRound(benchmark::State& state) {
+  sams::util::Rng db_rng(3);
+  auto db = MakeDb(20'000, db_rng);
+  LatencyProfile quick{2.0, 0.3, 0.1, 100.0, 400.0};
+  std::vector<std::unique_ptr<DnsblServer>> lists;
+  std::vector<const DnsblServer*> servers;
+  for (int i = 0; i < 6; ++i) {
+    lists.push_back(std::make_unique<DnsblServer>(
+        "list" + std::to_string(i) + ".test", db, quick));
+    servers.push_back(lists.back().get());
+  }
+  sams::util::Rng rng(4);
+  Resolver resolver(CacheMode::kPrefixCache, servers, SimTime::Hours(24), rng);
+  std::uint32_t probe = 0;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    // Distinct /25s every time: always a miss (worst case).
+    benchmark::DoNotOptimize(resolver.Lookup(
+        Ipv4((probe += 128) * 2654435761u), SimTime::Seconds(++t)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResolverMissRound);
+
+}  // namespace

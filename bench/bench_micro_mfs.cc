@@ -1,0 +1,107 @@
+// Micro-benchmarks of the REAL mailbox stores on the host file system
+// (google-benchmark). These complement the Figure 10/11 cost-model
+// sweeps with measured I/O on genuine code paths: they demonstrate the
+// library's actual single-copy behaviour (bytes written scale with
+// recipients for mbox/maildir but not for MFS).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "mfs/store.h"
+#include "util/rng.h"
+
+namespace {
+
+using sams::mfs::MailId;
+using sams::mfs::MailStore;
+using sams::mfs::StoreOptions;
+
+std::string FreshRoot(const std::string& tag) {
+  const std::string root = std::filesystem::temp_directory_path() /
+                           ("sams_micro_" + tag);
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  return root;
+}
+
+std::vector<std::string> Mailboxes(int n) {
+  std::vector<std::string> boxes;
+  for (int i = 0; i < n; ++i) boxes.push_back("user" + std::to_string(i));
+  return boxes;
+}
+
+using Factory = sams::util::Result<std::unique_ptr<MailStore>> (*)(
+    const std::string&, StoreOptions);
+
+template <Factory factory>
+void BM_StoreDeliver(benchmark::State& state) {
+  const int rcpts = static_cast<int>(state.range(0));
+  const std::string root = FreshRoot(std::to_string(
+      reinterpret_cast<std::uintptr_t>(&state)));
+  auto store = factory(root, StoreOptions{});
+  if (!store.ok()) {
+    state.SkipWithError(store.error().ToString().c_str());
+    return;
+  }
+  const auto boxes = Mailboxes(rcpts);
+  const std::string body(8'192, 'S');
+  sams::util::Rng rng(1);
+  for (auto _ : state) {
+    const auto err = (*store)->Deliver(MailId::Generate(rng), body, boxes);
+    if (!err.ok()) {
+      state.SkipWithError(err.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["bytes/mail"] = static_cast<double>(
+      (*store)->stats().bytes_written /
+      std::max<std::uint64_t>(1, (*store)->stats().mails_delivered));
+  state.counters["files/mail"] = static_cast<double>(
+      (*store)->stats().files_created /
+      std::max<std::uint64_t>(1, (*store)->stats().mails_delivered));
+  state.SetItemsProcessed(state.iterations() * rcpts);
+  std::filesystem::remove_all(root);
+}
+
+void StoreArgs(benchmark::internal::Benchmark* bench) {
+  bench->Arg(1)->Arg(7)->Arg(15)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_StoreDeliver<&sams::mfs::MakeMboxStore>)
+    ->Name("mbox_deliver")->Apply(StoreArgs);
+BENCHMARK(BM_StoreDeliver<&sams::mfs::MakeMaildirStore>)
+    ->Name("maildir_deliver")->Apply(StoreArgs);
+BENCHMARK(BM_StoreDeliver<&sams::mfs::MakeHardlinkMaildirStore>)
+    ->Name("hardlink_deliver")->Apply(StoreArgs);
+BENCHMARK(BM_StoreDeliver<&sams::mfs::MakeMfsStore>)
+    ->Name("mfs_deliver")->Apply(StoreArgs);
+
+void BM_MfsRead(benchmark::State& state) {
+  const std::string root = FreshRoot("mfsread");
+  auto store = sams::mfs::MakeMfsStore(root, StoreOptions{});
+  if (!store.ok()) {
+    state.SkipWithError(store.error().ToString().c_str());
+    return;
+  }
+  const auto boxes = Mailboxes(5);
+  const std::string body(8'192, 'R');
+  sams::util::Rng rng(2);
+  for (int i = 0; i < 64; ++i) {
+    (void)(*store)->Deliver(MailId::Generate(rng), body, boxes);
+  }
+  for (auto _ : state) {
+    auto mails = (*store)->ReadMailbox("user0");
+    if (!mails.ok() || mails->size() != 64) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    benchmark::DoNotOptimize(mails);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_MfsRead)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Micro-benchmarks of the discrete-event core: raw event throughput
+// and scheduler/disk hot paths, which bound the figure benches' wall
+// time.
+#include <benchmark/benchmark.h>
+
+#include "sim/cpu.h"
+#include "sim/disk.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using sams::sim::Cpu;
+using sams::sim::CpuConfig;
+using sams::sim::Disk;
+using sams::sim::DiskConfig;
+using sams::sim::Simulator;
+using sams::util::SimTime;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1'000; ++i) {
+      sim.At(SimTime::Micros(i * 7 % 997), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_EventQueueChurn)->Unit(benchmark::kMicrosecond);
+
+void BM_CpuRoundRobin(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Cpu cpu(sim, CpuConfig{});
+    int done = 0;
+    for (int pid = 0; pid < 50; ++pid) {
+      cpu.Submit(pid, SimTime::Millis(3), [&done] { ++done; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  // 50 procs x 3 quanta each = 150 scheduling decisions.
+  state.SetItemsProcessed(state.iterations() * 150);
+}
+BENCHMARK(BM_CpuRoundRobin)->Unit(benchmark::kMicrosecond);
+
+void BM_DiskGroupCommit(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Disk disk(sim, DiskConfig{});
+    int done = 0;
+    for (int i = 0; i < 200; ++i) {
+      disk.BufferWrite(4'096);
+      disk.Fsync([&done] { ++done; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_DiskGroupCommit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Micro-benchmarks of the SMTP protocol layer: command parsing,
+// dot-stuff codec, and a full in-memory server-session transaction.
+#include <benchmark/benchmark.h>
+
+#include "smtp/command.h"
+#include "smtp/dotstuff.h"
+#include "smtp/server_session.h"
+
+namespace {
+
+using namespace sams::smtp;  // NOLINT: bench-local convenience
+
+void BM_ParseCommand(benchmark::State& state) {
+  const std::string lines[] = {
+      "HELO relay.example.com",
+      "MAIL FROM:<sender@offers.example>",
+      "RCPT TO:<victim@dept.example.edu>",
+      "DATA",
+      "QUIT",
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseCommand(lines[i++ % 5]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseCommand);
+
+void BM_DotStuffEncode(benchmark::State& state) {
+  std::string body;
+  for (int i = 0; i < 200; ++i) {
+    body += i % 13 == 0 ? ".dotted line of text\n" : "plain line of text 123\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotStuffEncode(body));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_DotStuffEncode);
+
+void BM_DotStuffDecode(benchmark::State& state) {
+  std::string body;
+  for (int i = 0; i < 200; ++i) body += "line of mail body text 0123456789\n";
+  const std::string wire = DotStuffEncode(body);
+  for (auto _ : state) {
+    DotStuffDecoder decoder;
+    benchmark::DoNotOptimize(decoder.Feed(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DotStuffDecode);
+
+void BM_FullServerTransaction(benchmark::State& state) {
+  const std::string wire =
+      "HELO bot.example\r\n"
+      "MAIL FROM:<spam@offers.example>\r\n"
+      "RCPT TO:<u0@dept.test>\r\nRCPT TO:<u1@dept.test>\r\n"
+      "RCPT TO:<u2@dept.test>\r\nRCPT TO:<u3@dept.test>\r\n"
+      "RCPT TO:<u4@dept.test>\r\nRCPT TO:<u5@dept.test>\r\n"
+      "RCPT TO:<u6@dept.test>\r\n"
+      "DATA\r\n" +
+      DotStuffEncode(std::string(5'000, 'B')) + "QUIT\r\n";
+  for (auto _ : state) {
+    int mails = 0;
+    ServerSession::Hooks hooks;
+    hooks.send = [](std::string reply) { benchmark::DoNotOptimize(reply); };
+    hooks.validate_rcpt = [](const Address&) { return true; };
+    hooks.on_mail = [&mails](Envelope&& env) {
+      benchmark::DoNotOptimize(env);
+      ++mails;
+    };
+    ServerSession session({}, std::move(hooks), "192.0.2.1");
+    session.Start();
+    session.Feed(wire);
+    if (mails != 1) {
+      state.SkipWithError("transaction did not deliver");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullServerTransaction)->Unit(benchmark::kMicrosecond);
+
+void BM_HandoffSerializeResume(benchmark::State& state) {
+  for (auto _ : state) {
+    ServerSession::Hooks hooks;
+    hooks.send = [](std::string reply) { benchmark::DoNotOptimize(reply); };
+    hooks.validate_rcpt = [](const Address&) { return true; };
+    ServerSession master({}, std::move(hooks), "192.0.2.1");
+    master.Start();
+    master.Feed(
+        "HELO bot\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<a@dept.test>\r\n");
+    auto payload = master.SerializeHandoff();
+    if (!payload.ok()) {
+      state.SkipWithError("handoff failed");
+      return;
+    }
+    ServerSession::Hooks worker_hooks;
+    worker_hooks.send = [](std::string reply) {
+      benchmark::DoNotOptimize(reply);
+    };
+    worker_hooks.validate_rcpt = [](const Address&) { return true; };
+    auto resumed =
+        ServerSession::ResumeFromHandoff({}, std::move(worker_hooks), *payload);
+    benchmark::DoNotOptimize(resumed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HandoffSerializeResume);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Table 1: the measurement testbed, software, and trace statistics —
+// regenerated from this reproduction's synthetic substitutes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "trace/sinkhole.h"
+#include "trace/univ.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  const auto args = sams::bench::BenchArgs::Parse(argc, argv);
+  sams::bench::PrintHeader(
+      "Table 1 - testbed, software and traces",
+      "ICDCS'09 section 3, Table 1",
+      "sinkhole: 101,692 conns / 19,492 IPs / 8,832 /24s; univ: 1,862,349 "
+      "conns, 67% spam");
+
+  std::printf(
+      "  Server machine   : simulated 3 GHz single-core CPU, journaling\n"
+      "                     disk (6 ms commit, 40 MB/s effective), 30 ms\n"
+      "                     emulated WAN RTT  [sams::sim substitution for\n"
+      "                     the paper's Xeon/SCSI/tc testbed]\n"
+      "  Server software  : sams::mta (postfix-class model), vanilla and\n"
+      "                     fork-after-trust architectures\n"
+      "  Client program 1 : closed-system driver (RunClosedLoop)\n"
+      "  Client program 2 : open-system Poisson driver (RunOpenLoop)\n\n");
+
+  // Spam trace.
+  sams::trace::SinkholeConfig scfg;
+  if (args.quick) {
+    scfg.n_connections = 20'000;
+    scfg.n_ips = 4'000;
+    scfg.n_prefixes = 1'800;
+  }
+  const sams::trace::SinkholeModel sinkhole(scfg);
+  const auto s = sinkhole.Summary();
+
+  // Univ trace. The full 1.86M-connection generation runs in a few
+  // seconds; quick mode scales it down.
+  sams::trace::UnivConfig ucfg;
+  if (args.quick) {
+    ucfg.n_connections = 100'000;
+    ucfg.n_spam_ips = 30'000;
+    ucfg.n_ham_ips = 2'000;
+  }
+  const sams::trace::UnivModel univ(ucfg);
+  const auto u = univ.Summary();
+
+  sams::util::TextTable table({"trace", "connections", "unique IPs",
+                               "unique /24s", "spam ratio", "mean rcpts"});
+  table.AddRow({"sinkhole (paper)", "101,692", "19,492", "8,832", "100%",
+                "~7"});
+  table.AddRow({"sinkhole (ours)", std::to_string(s.connections),
+                std::to_string(s.unique_ips),
+                std::to_string(s.unique_prefixes24),
+                sams::util::TextTable::Pct(s.spam_ratio, 0),
+                sams::util::TextTable::Num(s.mean_rcpts, 2)});
+  table.AddRow({"univ (paper)", "1,862,349", "621,124", "344,679", "67%*",
+                "-"});
+  table.AddRow({"univ (ours)", std::to_string(u.connections),
+                std::to_string(u.unique_ips),
+                std::to_string(u.unique_prefixes24),
+                sams::util::TextTable::Pct(u.spam_ratio, 0),
+                sams::util::TextTable::Num(u.mean_rcpts, 2)});
+  sams::bench::PrintTable(table);
+  std::printf(
+      "\n  * the paper's 67%% counts SpamAssassin-flagged *delivered* mail;\n"
+      "    our univ summary also counts bounce/unfinished sessions (which\n"
+      "    are spam by construction) — delivered-mail spam share is 67%%.\n"
+      "  univ bounce ratio %.1f%%, unfinished %.1f%% (ECN, Figure 3).\n\n",
+      100 * u.bounce_ratio, 100 * u.unfinished_ratio);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared plumbing for the figure/table benches: flag parsing and
+// uniform headers so bench_output.txt reads as a sequence of
+// paper-style tables.
+//
+// Every bench accepts:
+//   --quick      shrink workloads (~10x faster, coarser statistics)
+//   --seed=N     override the experiment seed
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/stats.h"
+
+namespace sams::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  std::uint64_t seed = 42;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper: %s\n", paper_ref);
+  std::printf("  claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintTable(const util::TextTable& table) {
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+}  // namespace sams::bench

@@ -1,0 +1,123 @@
+// Shared harness for Figures 10 and 11: mails written per second for
+// the four mailbox store layouts as the number of recipients per
+// connection grows, on a given base-file-system cost model.
+//
+// Workload (§6.3): zero bounce ratio; repeated sequences of mails
+// destined to 15 distinct mailboxes; each 15-mail sequence shares one
+// size drawn from the Univ distribution; a sweep point with k
+// "rcpt to" fields per connection needs ceil(15/k) connections per
+// sequence. Client program 1 (closed loop) drives the vanilla server.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fskit/fs_model.h"
+#include "mta/drivers.h"
+#include "mta/sim_server.h"
+#include "trace/sinkhole.h"
+#include "trace/synthetic.h"
+#include "util/stats.h"
+
+namespace sams::bench {
+
+inline double MeasureStoreThroughput(const fskit::FsModel& model,
+                                     const std::string& layout,
+                                     int rcpts_per_connection,
+                                     const BenchArgs& args) {
+  trace::RecipientSweepConfig tcfg;
+  tcfg.n_mails = args.quick ? 4'000 : 12'000;
+  tcfg.rcpts_per_connection = rcpts_per_connection;
+  tcfg.sequence_len = 15;
+  tcfg.seed = args.seed;
+  const auto sessions = trace::MakeRecipientSweepTrace(tcfg);
+
+  sim::Machine machine;
+  fskit::SimFs fs(machine.disk(), model);
+  auto store = mfs::MakeSimStore(layout, fs);
+  mta::SimServerConfig cfg;
+  cfg.process_limit = 500;
+  mta::SimMailServer server(machine, cfg, *store);
+
+  const util::SimTime warmup = util::SimTime::Seconds(args.quick ? 15 : 30);
+  const util::SimTime window = util::SimTime::Seconds(args.quick ? 40 : 90);
+  const auto result = mta::RunClosedLoop(machine, server, sessions,
+                                         /*concurrency=*/700, warmup, window);
+  return result.mailbox_writes_per_sec;
+}
+
+// Prints the full sweep; returns MFS and mbox throughput at 15 rcpts.
+struct StoreSweepHighlights {
+  double mfs_at_15 = 0;
+  double mbox_at_15 = 0;
+  double maildir_at_15 = 0;
+  double hardlink_at_15 = 0;
+  double mbox_at_1 = 0;
+};
+
+inline StoreSweepHighlights RunStoreSweep(const fskit::FsModel& model,
+                                          const BenchArgs& args) {
+  const std::vector<int> rcpts = args.quick
+                                     ? std::vector<int>{1, 5, 15}
+                                     : std::vector<int>{1, 2, 4, 6, 8, 10, 12,
+                                                        15};
+  const std::vector<std::string> layouts = {"mfs", "mbox", "maildir",
+                                            "hardlink"};
+  util::TextTable table({"rcpts/conn", "MFS", "Postfix(mbox)", "maildir",
+                         "hard-link"});
+  StoreSweepHighlights highlights;
+  for (int k : rcpts) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (const std::string& layout : layouts) {
+      const double writes = MeasureStoreThroughput(model, layout, k, args);
+      row.push_back(util::TextTable::Num(writes, 0));
+      if (k == 15) {
+        if (layout == "mfs") highlights.mfs_at_15 = writes;
+        if (layout == "mbox") highlights.mbox_at_15 = writes;
+        if (layout == "maildir") highlights.maildir_at_15 = writes;
+        if (layout == "hardlink") highlights.hardlink_at_15 = writes;
+      }
+      if (k == 1 && layout == "mbox") highlights.mbox_at_1 = writes;
+    }
+    table.AddRow(std::move(row));
+  }
+  PrintTable(table);
+  std::printf("  (mails written to mailboxes per second)\n");
+  return highlights;
+}
+
+// §6.3's final paragraph: MFS vs mbox under the sinkhole trace
+// (mean ~7 recipients per connection).
+inline void RunSinkholeComparison(const fskit::FsModel& model,
+                                  const BenchArgs& args) {
+  trace::SinkholeConfig scfg;
+  scfg.n_connections = args.quick ? 8'000 : 20'000;
+  scfg.n_ips = 4'000;
+  scfg.n_prefixes = 1'800;
+  scfg.seed = args.seed;
+  const trace::SinkholeModel sinkhole(scfg);
+
+  double results[2];
+  const char* layouts[2] = {"mbox", "mfs"};
+  for (int i = 0; i < 2; ++i) {
+    sim::Machine machine;
+    fskit::SimFs fs(machine.disk(), model);
+    auto store = mfs::MakeSimStore(layouts[i], fs);
+    mta::SimServerConfig cfg;
+    cfg.process_limit = 500;
+    mta::SimMailServer server(machine, cfg, *store);
+    const auto r = mta::RunClosedLoop(
+        machine, server, sinkhole.sessions(), 700,
+        util::SimTime::Seconds(args.quick ? 15 : 30),
+        util::SimTime::Seconds(args.quick ? 40 : 90));
+    results[i] = r.mailbox_writes_per_sec;
+  }
+  std::printf(
+      "\n  sinkhole-trace replay (mean ~7 rcpts/conn): MFS %.0f vs vanilla "
+      "%.0f mailbox-writes/s -> +%.1f%% (paper: +20%%)\n",
+      results[1], results[0], 100.0 * (results[1] / results[0] - 1.0));
+}
+
+}  // namespace sams::bench

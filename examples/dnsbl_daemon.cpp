@@ -1,0 +1,99 @@
+// dnsbl_daemon — demonstrates the DNSBLv6 prefix-bitmap scheme (§7)
+// against classic per-IP lookups on a synthetic botnet burst.
+//
+// Builds the six simulated blacklists, fires a burst of lookups the
+// way a botnet campaign arrives (bots clustered in /24s), and prints
+// the cache behaviour of all three schemes plus a sample of the wire
+// query names (w.z.y.x.zone vs {0|1}.z.y.x.zone).
+//
+//   $ ./dnsbl_daemon
+#include <cstdio>
+
+#include "dnsbl/dnsbl_server.h"
+#include "dnsbl/resolver.h"
+#include "dnsbl/udp_daemon.h"
+#include "trace/sinkhole.h"
+#include "util/ipv4.h"
+
+using sams::dnsbl::CacheMode;
+using sams::dnsbl::Resolver;
+using sams::util::Ipv4;
+using sams::util::SimTime;
+
+int main() {
+  // A small botnet with strong /24 clustering.
+  sams::trace::SinkholeConfig cfg;
+  cfg.n_connections = 20'000;
+  cfg.n_ips = 3'000;
+  cfg.n_prefixes = 1'200;
+  const sams::trace::SinkholeModel sinkhole(cfg);
+  sams::util::Rng rng(7);
+  const auto listed = sinkhole.ListedIps();
+  const auto lists = sams::dnsbl::MakeFigureFiveServers(listed, rng);
+
+  std::printf("six blacklists seeded with %zu listed IPs:\n", listed.size());
+  for (const auto& list : lists) {
+    std::printf("  %-24s %6zu entries\n", list->zone().c_str(),
+                list->db().size());
+  }
+
+  // Show the wire encodings for one bot.
+  const Ipv4 sample = sinkhole.bot_ips().front();
+  std::printf("\nwire query names for client %s:\n", sample.ToString().c_str());
+  std::printf("  classic : %s -> 127.0.0.x or NXDOMAIN\n",
+              sams::util::DnsblQueryName(sample, lists[0]->zone()).c_str());
+  std::printf("  DNSBLv6 : %s -> 128-bit /25 bitmap\n\n",
+              sams::util::Dnsblv6QueryName(sample, lists[0]->zone()).c_str());
+
+  std::vector<const sams::dnsbl::DnsblServer*> servers;
+  for (const auto& list : lists) servers.push_back(list.get());
+
+  for (CacheMode mode : {CacheMode::kNoCache, CacheMode::kIpCache,
+                         CacheMode::kPrefixCache}) {
+    sams::util::Rng resolver_rng(11);
+    Resolver resolver(mode, servers, SimTime::Hours(24), resolver_rng);
+    std::uint64_t blacklisted = 0;
+    double wait_ms = 0;
+    for (const auto& session : sinkhole.sessions()) {
+      const auto outcome = resolver.Lookup(session.client_ip, session.arrival);
+      if (outcome.blacklisted) ++blacklisted;
+      wait_ms += outcome.latency.millis();
+    }
+    std::printf(
+        "%-13s: hit ratio %5.1f%%  DNS messages %7llu  mean wait %6.2f ms  "
+        "blacklisted %5.1f%%\n",
+        sams::dnsbl::CacheModeName(mode), 100 * resolver.stats().HitRatio(),
+        static_cast<unsigned long long>(resolver.stats().dns_queries_sent),
+        wait_ms / static_cast<double>(sinkhole.sessions().size()),
+        100.0 * static_cast<double>(blacklisted) /
+            static_cast<double>(sinkhole.sessions().size()));
+  }
+  std::printf(
+      "\nprefix-level caching answers neighbouring bots from one bitmap\n"
+      "query — exactly identifying each listed IP, never punishing clean\n"
+      "neighbours (section 7.1).\n");
+
+  // Finally: the real thing. Serve the first list's database over
+  // genuine DNS datagrams and query it both ways.
+  sams::dnsbl::UdpDnsblDaemon daemon(lists[0]->zone(), lists[0]->db());
+  auto port = daemon.Start();
+  if (port.ok()) {
+    std::printf("\nlive UDP DNSBL daemon for %s on 127.0.0.1:%u\n",
+                lists[0]->zone().c_str(), *port);
+    sams::dnsbl::UdpDnsblClient udp(*port, lists[0]->zone());
+    const Ipv4 bot = sinkhole.bot_ips().front();
+    auto code = udp.QueryIp(bot);
+    auto bitmap = udp.QueryPrefix(bot);
+    if (code.ok() && bitmap.ok()) {
+      std::printf("  A    lookup for %-15s -> %s\n", bot.ToString().c_str(),
+                  *code ? ("127.0.0." + std::to_string(*code)).c_str()
+                        : "NXDOMAIN");
+      std::printf("  AAAA lookup for its /25      -> bitmap with %d listed "
+                  "neighbour(s)\n", bitmap->PopCount());
+    }
+    daemon.Stop();
+    std::printf("  daemon served %llu queries and shut down\n",
+                static_cast<unsigned long long>(daemon.stats().queries));
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// live_smtp_server — run the spam-aware SMTP server in the foreground
+// and talk to it with any SMTP client (netcat, swaks, telnet...).
+//
+//   $ ./live_smtp_server [port] [vanilla|hybrid] [mbox|maildir|hardlink|mfs]
+//   $ printf 'HELO me\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<alice@example.test>\r\n
+//     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
+//
+// Valid recipients: alice, bob, carol @example.test. Mail lands under
+// /tmp/sams_live_server/. Stops on SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "mta/smtp_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint16_t port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 0;
+  const bool hybrid = argc <= 2 || std::strcmp(argv[2], "hybrid") == 0;
+  const std::string layout = argc > 3 ? argv[3] : "mfs";
+
+  const std::string root = "/tmp/sams_live_server";
+  std::filesystem::create_directories(root);
+  sams::util::Result<std::unique_ptr<sams::mfs::MailStore>> store =
+      layout == "mbox"      ? sams::mfs::MakeMboxStore(root + "/mbox", {})
+      : layout == "maildir" ? sams::mfs::MakeMaildirStore(root + "/maildir", {})
+      : layout == "hardlink"
+          ? sams::mfs::MakeHardlinkMaildirStore(root + "/hardlink", {})
+          : sams::mfs::MakeMfsStore(root + "/mfs", {});
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.error().ToString().c_str());
+    return 1;
+  }
+
+  sams::mta::RecipientDb recipients;
+  for (const char* user : {"alice", "bob", "carol"}) {
+    recipients.AddMailbox(user, "example.test");
+  }
+
+  sams::mta::RealServerConfig cfg;
+  cfg.architecture = hybrid ? sams::mta::Architecture::kForkAfterTrust
+                            : sams::mta::Architecture::kThreadPerConnection;
+  cfg.worker_count = 4;
+  cfg.port = port;
+  cfg.session.hostname = "live.sams.test";
+  sams::mta::SmtpServer server(cfg, std::move(recipients), **store);
+  auto bound = server.Start();
+  if (!bound.ok()) {
+    std::fprintf(stderr, "start: %s\n", bound.error().ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf(
+      "live.sams.test listening on 127.0.0.1:%u  [%s architecture, %s store]\n"
+      "valid recipients: alice|bob|carol @example.test\n"
+      "mail lands under %s — Ctrl-C to stop\n",
+      *bound, hybrid ? "fork-after-trust" : "thread-per-connection",
+      layout.c_str(), root.c_str());
+
+  while (!g_stop) {
+    struct timespec ts{0, 200'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  server.Stop();
+  std::printf(
+      "\nstopped. connections %llu, mails %llu, delegations %llu, "
+      "rejected RCPTs %llu\n",
+      static_cast<unsigned long long>(server.stats().connections),
+      static_cast<unsigned long long>(server.stats().mails_delivered),
+      static_cast<unsigned long long>(server.stats().delegations),
+      static_cast<unsigned long long>(server.stats().rejected_rcpts));
+  return 0;
+}

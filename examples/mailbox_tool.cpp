@@ -1,0 +1,189 @@
+// mailbox_tool — a small CLI over an MFS volume, built on the paper's
+// §6.2 API (mail_open / mail_nwrite / mail_read / mail_delete /
+// mail_close).
+//
+//   mailbox_tool <volume-dir> deliver <body-text> <mailbox> [mailbox...]
+//   mailbox_tool <volume-dir> list    <mailbox>
+//   mailbox_tool <volume-dir> read    <mailbox> <index>
+//   mailbox_tool <volume-dir> delete  <mailbox> <mail-id>
+//   mailbox_tool <volume-dir> fsck
+//   mailbox_tool <volume-dir> compact
+//   mailbox_tool <volume-dir> stats
+//
+// Example session:
+//   $ mailbox_tool /tmp/vol deliver "hello world" alice bob
+//   $ mailbox_tool /tmp/vol list alice
+//   $ mailbox_tool /tmp/vol fsck
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mfs/paper_api.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sams::mfs;  // NOLINT: example-local convenience
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mailbox_tool <volume-dir> "
+               "deliver|list|read|delete|fsck|compact|stats ...\n");
+  return 2;
+}
+
+int Deliver(MfsVolume* vol, int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string body = argv[0];
+  std::vector<mail_file*> handles;
+  for (int i = 1; i < argc; ++i) {
+    mail_file* mfd = mail_open(vol, argv[i], "rw");
+    if (mfd == nullptr) {
+      std::fprintf(stderr, "mail_open %s: %s\n", argv[i], mfs_last_error());
+      return 1;
+    }
+    handles.push_back(mfd);
+  }
+  sams::util::Rng rng(static_cast<std::uint64_t>(
+      std::hash<std::string>{}(body) ^ handles.size()));
+  const std::string id = MailId::Generate(rng).str();
+  const int rc = mail_nwrite(handles.data(), static_cast<int>(handles.size()),
+                             body.data(), id.c_str(),
+                             static_cast<int>(body.size()),
+                             static_cast<int>(id.size()));
+  for (mail_file* mfd : handles) mail_close(mfd);
+  if (rc != MFS_OK) {
+    std::fprintf(stderr, "mail_nwrite: %s\n", mfs_last_error());
+    return 1;
+  }
+  std::printf("delivered %s to %d mailbox(es)%s\n", id.c_str(), argc - 1,
+              argc > 2 ? " (single shared copy)" : "");
+  return 0;
+}
+
+int List(MfsVolume* vol, const char* mailbox) {
+  mail_file* mfd = mail_open(vol, mailbox, "r");
+  if (mfd == nullptr) {
+    std::fprintf(stderr, "mail_open: %s\n", mfs_last_error());
+    return 1;
+  }
+  int index = 0;
+  for (;;) {
+    char buf[80];
+    char id[MailId::kMaxLen];
+    int buf_len = sizeof(buf);
+    int id_len = sizeof(id);
+    int rc = mail_read(mfd, buf, id, &buf_len, &id_len);
+    if (rc == MFS_ERR) break;  // end of mailbox
+    std::size_t total = static_cast<std::size_t>(buf_len);
+    while (rc == MFS_MORE) {  // count the rest of a long mail
+      buf_len = sizeof(buf);
+      id_len = sizeof(id);
+      rc = mail_read(mfd, buf, id, &buf_len, &id_len);
+      total += static_cast<std::size_t>(buf_len);
+    }
+    std::printf("%3d  %-32.*s  %6zu bytes\n", index++, id_len, id, total);
+  }
+  std::printf("%d mail(s) in %s\n", index, mailbox);
+  mail_close(mfd);
+  return 0;
+}
+
+int ReadOne(MfsVolume* vol, const char* mailbox, int index) {
+  mail_file* mfd = mail_open(vol, mailbox, "r");
+  if (mfd == nullptr) return 1;
+  if (mail_seek(mfd, index, MFS_SEEK_SET) != MFS_OK) {
+    std::fprintf(stderr, "mail_seek: %s\n", mfs_last_error());
+    mail_close(mfd);
+    return 1;
+  }
+  char buf[4096];
+  char id[MailId::kMaxLen];
+  int rc;
+  do {
+    int buf_len = sizeof(buf);
+    int id_len = sizeof(id);
+    rc = mail_read(mfd, buf, id, &buf_len, &id_len);
+    if (rc == MFS_ERR) {
+      std::fprintf(stderr, "mail_read: %s\n", mfs_last_error());
+      mail_close(mfd);
+      return 1;
+    }
+    std::fwrite(buf, 1, static_cast<std::size_t>(buf_len), stdout);
+  } while (rc == MFS_MORE);
+  mail_close(mfd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto vol = MfsVolume::Open(argv[1]);
+  if (!vol.ok()) {
+    std::fprintf(stderr, "open volume: %s\n", vol.error().ToString().c_str());
+    return 1;
+  }
+  const std::string cmd = argv[2];
+
+  if (cmd == "deliver") return Deliver(vol->get(), argc - 3, argv + 3);
+  if (cmd == "list" && argc == 4) return List(vol->get(), argv[3]);
+  if (cmd == "read" && argc == 5) {
+    return ReadOne(vol->get(), argv[3], std::atoi(argv[4]));
+  }
+  if (cmd == "delete" && argc == 5) {
+    mail_file* mfd = mail_open(vol->get(), argv[3], "rw");
+    if (mfd == nullptr) return 1;
+    const int rc = mail_delete(mfd, argv[4],
+                               static_cast<int>(std::strlen(argv[4])));
+    mail_close(mfd);
+    if (rc != MFS_OK) {
+      std::fprintf(stderr, "mail_delete: %s\n", mfs_last_error());
+      return 1;
+    }
+    std::printf("deleted %s from %s\n", argv[4], argv[3]);
+    return 0;
+  }
+  if (cmd == "fsck") {
+    auto report = (*vol)->Fsck();
+    if (!report.ok()) {
+      std::fprintf(stderr, "fsck: %s\n", report.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("mailboxes %llu, live records %llu, shared records %llu\n",
+                static_cast<unsigned long long>(report->mailboxes),
+                static_cast<unsigned long long>(report->live_records),
+                static_cast<unsigned long long>(report->shared_records));
+    for (const std::string& error : report->errors) {
+      std::printf("ERROR: %s\n", error.c_str());
+    }
+    std::printf(report->ok() ? "volume clean\n" : "volume has errors\n");
+    return report->ok() ? 0 : 1;
+  }
+  if (cmd == "compact") {
+    auto stats = (*vol)->Compact();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "compact: %s\n", stats.error().ToString().c_str());
+      return 1;
+    }
+    std::printf("dropped %llu shared + %llu private records, reclaimed %llu "
+                "bytes\n",
+                static_cast<unsigned long long>(stats->shared_records_dropped),
+                static_cast<unsigned long long>(stats->private_records_dropped),
+                static_cast<unsigned long long>(stats->bytes_reclaimed));
+    return 0;
+  }
+  if (cmd == "stats") {
+    const auto& stats = (*vol)->stats();
+    std::printf("nwrites %llu (shared %llu, private %llu)\n",
+                static_cast<unsigned long long>(stats.nwrites),
+                static_cast<unsigned long long>(stats.shared_writes),
+                static_cast<unsigned long long>(stats.private_writes));
+    std::printf("bytes deduplicated %llu, collisions rejected %llu\n",
+                static_cast<unsigned long long>(stats.bytes_deduplicated),
+                static_cast<unsigned long long>(stats.collisions_rejected));
+    return 0;
+  }
+  return Usage();
+}

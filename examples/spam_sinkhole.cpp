@@ -1,0 +1,62 @@
+// Spam-sinkhole replay: drive the simulated testbed with a synthetic
+// botnet trace and compare vanilla postfix against the spam-aware
+// stack (all three optimizations), like §8 of the paper.
+//
+//   $ ./spam_sinkhole              # default scale
+//   $ ./spam_sinkhole --quick      # smaller trace
+#include <cstdio>
+#include <cstring>
+
+#include "core/server_stack.h"
+#include "mta/drivers.h"
+#include "trace/ecn.h"
+#include "trace/sinkhole.h"
+
+using sams::core::ServerStack;
+using sams::core::StackConfig;
+using sams::util::SimTime;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  // A scaled-down synthetic sinkhole (same generators as the benches).
+  sams::trace::SinkholeConfig scfg;
+  scfg.n_connections = quick ? 15'000 : 40'000;
+  scfg.n_ips = 5'000;
+  scfg.n_prefixes = 2'200;
+  const sams::trace::SinkholeModel sinkhole(scfg);
+  const auto listed = sinkhole.ListedIps();
+  std::printf(
+      "synthetic sinkhole: %zu connections, %zu bots in %zu /24 prefixes, "
+      "%zu CBL-listed IPs\n\n",
+      sinkhole.sessions().size(), sinkhole.bot_ips().size(),
+      sinkhole.cbl_density().size(), listed.size());
+
+  auto run = [&](bool spam_aware) {
+    StackConfig cfg;
+    cfg.hybrid_concurrency = spam_aware;
+    cfg.mfs_store = spam_aware;
+    cfg.prefix_dnsbl = spam_aware;
+    ServerStack stack(cfg, listed);
+    const std::size_t prewarm = sinkhole.sessions().size() / 3;
+    stack.PrewarmResolver(
+        std::span(sinkhole.sessions()).subspan(0, prewarm));
+    const auto result = sams::mta::RunClosedLoop(
+        stack.machine(), stack.server(),
+        std::span(sinkhole.sessions()).subspan(prewarm), 700,
+        SimTime::Seconds(20), SimTime::Seconds(quick ? 40 : 90),
+        stack.resolver());
+    std::printf("%-38s %7.1f mails/s  cpu %4.1f%%  ctx-switches %llu\n",
+                stack.Describe().c_str(), result.goodput_mails_per_sec,
+                100 * result.cpu_utilization,
+                static_cast<unsigned long long>(result.context_switches));
+    return result.goodput_mails_per_sec;
+  };
+
+  const double vanilla = run(false);
+  const double modified = run(true);
+  std::printf("\nspam-aware stack improves throughput by %.1f%% "
+              "(paper, with the ECN bounce mix: +40%%)\n",
+              100.0 * (modified / vanilla - 1.0));
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "core/server_stack.h"
+
+#include "util/logging.h"
+
+namespace sams::core {
+
+ServerStack::ServerStack(const StackConfig& cfg,
+                         std::span<const util::Ipv4> listed_ips)
+    : cfg_(cfg) {
+  fs_model_ = fskit::MakeFsModel(cfg_.fs_model);
+  SAMS_CHECK(fs_model_ != nullptr) << "unknown fs model: " << cfg_.fs_model;
+  fs_ = std::make_unique<fskit::SimFs>(machine_.disk(), *fs_model_);
+  store_ = mfs::MakeSimStore(cfg_.mfs_store ? "mfs" : "mbox", *fs_);
+
+  if (cfg_.dnsbl_enabled) {
+    util::Rng list_rng(cfg_.seed);
+    dnsbl_lists_ = dnsbl::MakeFigureFiveServers(listed_ips, list_rng);
+    std::vector<const dnsbl::DnsblServer*> servers;
+    for (const auto& list : dnsbl_lists_) servers.push_back(list.get());
+    resolver_rng_ = std::make_unique<util::Rng>(cfg_.seed + 1);
+    resolver_ = std::make_unique<dnsbl::Resolver>(
+        cfg_.prefix_dnsbl ? dnsbl::CacheMode::kPrefixCache
+                          : dnsbl::CacheMode::kIpCache,
+        std::move(servers), cfg_.dnsbl_ttl, *resolver_rng_);
+  }
+
+  mta::SimServerConfig server_cfg;
+  server_cfg.hybrid = cfg_.hybrid_concurrency;
+  server_cfg.process_limit =
+      cfg_.hybrid_concurrency ? 200 : cfg_.process_limit;
+  server_cfg.master_connection_limit = cfg_.master_connection_limit;
+  server_cfg.unfinished_hold = cfg_.unfinished_hold;
+  server_ = std::make_unique<mta::SimMailServer>(machine_, server_cfg, *store_,
+                                                 resolver_.get());
+}
+
+void ServerStack::PrewarmResolver(
+    std::span<const trace::SessionSpec> sessions) {
+  if (!resolver_) return;
+  for (const auto& session : sessions) {
+    resolver_->Lookup(session.client_ip, session.arrival);
+  }
+}
+
+std::string ServerStack::Describe() const {
+  std::string out;
+  out += cfg_.hybrid_concurrency ? "fork-after-trust" : "process-per-conn";
+  out += cfg_.mfs_store ? " + MFS" : " + mbox";
+  if (cfg_.dnsbl_enabled) {
+    out += cfg_.prefix_dnsbl ? " + prefix-DNSBL" : " + ip-DNSBL";
+  }
+  return out;
+}
+
+}  // namespace sams::core

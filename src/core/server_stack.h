@@ -1,0 +1,83 @@
+// ServerStack — the composed "spam-aware mail server" of §8, with each
+// of the paper's three optimizations behind an independent switch so
+// the combined experiment can ablate them:
+//
+//   hybrid_concurrency — fork-after-trust master (§5) vs
+//                        process-per-connection
+//   mfs_store          — single-copy MFS mailboxes (§6) vs vanilla
+//                        one-file-per-mailbox (mbox)
+//   prefix_dnsbl       — /25-bitmap DNSBLv6 caching (§7) vs classic
+//                        per-IP caching
+//
+// A stack owns the whole simulated machine: testbed, file system,
+// store, DNSBL servers, resolver, and the MTA. Construct one per
+// experimental run.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dnsbl/dnsbl_server.h"
+#include "dnsbl/resolver.h"
+#include "fskit/fs_model.h"
+#include "fskit/sim_fs.h"
+#include "mfs/sim_store.h"
+#include "mta/sim_server.h"
+#include "sim/machine.h"
+#include "trace/workload.h"
+#include "util/rng.h"
+
+namespace sams::core {
+
+struct StackConfig {
+  // The three §8 switches. All on = the paper's modified postfix;
+  // all off = vanilla postfix.
+  bool hybrid_concurrency = true;
+  bool mfs_store = true;
+  bool prefix_dnsbl = true;
+
+  // Whether the server performs DNSBL checks at all.
+  bool dnsbl_enabled = true;
+
+  // Substrate knobs.
+  std::string fs_model = "ext3";
+  int process_limit = 500;            // vanilla optimum (§3)
+  int master_connection_limit = 700;  // hybrid sockets (§5.4)
+  util::SimTime unfinished_hold;
+  util::SimTime dnsbl_ttl = util::SimTime::Hours(24);
+  std::uint64_t seed = 42;
+};
+
+class ServerStack {
+ public:
+  // `listed_ips` seeds the six DNSBL lists (ignored when dnsbl_enabled
+  // is false).
+  ServerStack(const StackConfig& cfg, std::span<const util::Ipv4> listed_ips);
+
+  sim::Machine& machine() { return machine_; }
+  mta::SimMailServer& server() { return *server_; }
+  dnsbl::Resolver* resolver() { return resolver_.get(); }
+  mfs::SimMailStore& store() { return *store_; }
+
+  // Replays sessions' (ip, arrival) pairs through the resolver so a
+  // driven run starts from steady-state cache ratios.
+  void PrewarmResolver(std::span<const trace::SessionSpec> sessions);
+
+  const StackConfig& config() const { return cfg_; }
+  std::string Describe() const;
+
+ private:
+  StackConfig cfg_;
+  sim::Machine machine_;
+  std::unique_ptr<fskit::FsModel> fs_model_;
+  std::unique_ptr<fskit::SimFs> fs_;
+  std::unique_ptr<mfs::SimMailStore> store_;
+  std::vector<std::unique_ptr<dnsbl::DnsblServer>> dnsbl_lists_;
+  std::unique_ptr<util::Rng> resolver_rng_;
+  std::unique_ptr<dnsbl::Resolver> resolver_;
+  std::unique_ptr<mta::SimMailServer> server_;
+};
+
+}  // namespace sams::core

@@ -1,0 +1,67 @@
+#include "dnsbl/blacklist_db.h"
+
+namespace sams::dnsbl {
+
+int PrefixBitmap::PopCount() const {
+  int n = 0;
+  for (std::uint8_t b : bytes_) n += __builtin_popcount(b);
+  return n;
+}
+
+bool PrefixBitmap::Any() const {
+  for (std::uint8_t b : bytes_) {
+    if (b != 0) return true;
+  }
+  return false;
+}
+
+PrefixBitmap& PrefixBitmap::operator|=(const PrefixBitmap& other) {
+  for (std::size_t i = 0; i < bytes_.size(); ++i) bytes_[i] |= other.bytes_[i];
+  return *this;
+}
+
+void BlacklistDb::Add(Ipv4 ip, std::uint8_t code) {
+  if (code == 0) code = 2;
+  auto [it, inserted] = entries_.emplace(ip, code);
+  if (!inserted) {
+    it->second = code;
+    return;
+  }
+  by_prefix_[Prefix25(ip)].Set(Prefix25::BitIndex(ip));
+  ++count24_[Prefix24(ip)];
+}
+
+void BlacklistDb::Remove(Ipv4 ip) {
+  if (entries_.erase(ip) == 0) return;
+  // Rebuild the /25 bitmap for this prefix (removals are rare —
+  // delisting — so the 128-probe rebuild is fine).
+  const Prefix25 p25(ip);
+  PrefixBitmap bm;
+  for (int i = 0; i < 128; ++i) {
+    const Ipv4 candidate(p25.First().value() + static_cast<std::uint32_t>(i));
+    if (entries_.contains(candidate)) bm.Set(i);
+  }
+  if (bm.Any()) {
+    by_prefix_[p25] = bm;
+  } else {
+    by_prefix_.erase(p25);
+  }
+  if (--count24_[Prefix24(ip)] == 0) count24_.erase(Prefix24(ip));
+}
+
+std::uint8_t BlacklistDb::Lookup(Ipv4 ip) const {
+  auto it = entries_.find(ip);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+PrefixBitmap BlacklistDb::LookupPrefix(Prefix25 prefix) const {
+  auto it = by_prefix_.find(prefix);
+  return it == by_prefix_.end() ? PrefixBitmap{} : it->second;
+}
+
+int BlacklistDb::CountInPrefix24(Prefix24 prefix) const {
+  auto it = count24_.find(prefix);
+  return it == count24_.end() ? 0 : it->second;
+}
+
+}  // namespace sams::dnsbl

@@ -1,0 +1,70 @@
+// DNS blacklist database (§4.3, §7).
+//
+// A DNSBL maps listed IPv4 addresses to an answer of the form
+// 127.0.0.x, where x encodes the kind of spamming activity. The
+// DNSBLv6 extension (§7.1) additionally answers a whole /25 at once as
+// a 128-bit bitmap — one bit per address, exactly identifying each
+// listed IP (no false positives by construction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/ipv4.h"
+
+namespace sams::dnsbl {
+
+using util::Ipv4;
+using util::Prefix24;
+using util::Prefix25;
+
+// 128-bit /25 bitmap, bit i = blacklist status of the i-th address.
+class PrefixBitmap {
+ public:
+  bool Test(int bit) const {
+    return (bytes_[static_cast<std::size_t>(bit) / 8] >> (bit % 8)) & 1;
+  }
+  void Set(int bit) {
+    bytes_[static_cast<std::size_t>(bit) / 8] |=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  bool TestIp(Ipv4 ip) const { return Test(Prefix25::BitIndex(ip)); }
+  int PopCount() const;
+  bool Any() const;
+  PrefixBitmap& operator|=(const PrefixBitmap& other);
+  bool operator==(const PrefixBitmap&) const = default;
+
+  const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+class BlacklistDb {
+ public:
+  // Lists `ip` with answer code 127.0.0.<code> (code in [1, 255]).
+  void Add(Ipv4 ip, std::uint8_t code = 2);
+  void Remove(Ipv4 ip);
+
+  // Per-IP lookup: the classic DNSBL answer. 0 = not listed.
+  std::uint8_t Lookup(Ipv4 ip) const;
+  bool IsListed(Ipv4 ip) const { return Lookup(ip) != 0; }
+
+  // DNSBLv6 lookup: the /25 bitmap.
+  PrefixBitmap LookupPrefix(Prefix25 prefix) const;
+
+  // Number of listed IPs inside a /24 (Figure 12's x-axis).
+  int CountInPrefix24(Prefix24 prefix) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<Ipv4, std::uint8_t> entries_;
+  // Secondary index: /25 -> bitmap, kept in sync with entries_.
+  std::unordered_map<Prefix25, PrefixBitmap> by_prefix_;
+  std::unordered_map<Prefix24, int> count24_;
+};
+
+}  // namespace sams::dnsbl

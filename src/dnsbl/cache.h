@@ -1,0 +1,80 @@
+// DNS caches for DNSBL answers, in simulated time.
+//
+// The mail server caches DNSBL replies with a 24 h TTL (the lists
+// update infrequently, §7.2). Two granularities:
+//   IpCache     — classic: one entry per queried IP.
+//   PrefixCache — DNSBLv6: one 128-bit bitmap per /25 prefix; a single
+//                 miss fills the entry for 127 neighbour addresses,
+//                 which is where the 73.8% -> 83.9% hit-ratio gain
+//                 comes from.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dnsbl/blacklist_db.h"
+#include "util/time.h"
+
+namespace sams::dnsbl {
+
+using util::SimTime;
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t expirations = 0;
+
+  double HitRatio() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+template <typename Key, typename Value>
+class TtlCache {
+ public:
+  explicit TtlCache(SimTime ttl) : ttl_(ttl) {}
+
+  // Returns the cached value if present and fresh at `now`.
+  const Value* Lookup(const Key& key, SimTime now) {
+    ++stats_.lookups;
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    if (it->second.expires_at < now) {
+      ++stats_.expirations;
+      map_.erase(it);
+      return nullptr;
+    }
+    ++stats_.hits;
+    return &it->second.value;
+  }
+
+  void Insert(const Key& key, Value value, SimTime now) {
+    ++stats_.insertions;
+    map_[key] = Entry{std::move(value), now + ttl_};
+  }
+
+  void Clear() { map_.clear(); }
+  std::size_t size() const { return map_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Value value;
+    SimTime expires_at;
+  };
+  SimTime ttl_;
+  std::unordered_map<Key, Entry> map_;
+  CacheStats stats_;
+};
+
+// Cached combined verdict for one IP across all queried lists.
+struct IpVerdict {
+  bool blacklisted = false;
+};
+
+using IpCache = TtlCache<Ipv4, IpVerdict>;
+using PrefixCache = TtlCache<Prefix25, PrefixBitmap>;
+
+}  // namespace sams::dnsbl

@@ -1,0 +1,223 @@
+#include "dnsbl/dns_wire.h"
+
+#include "util/strings.h"
+
+namespace sams::dnsbl {
+namespace {
+
+constexpr std::uint16_t kClassIn = 1;
+constexpr std::uint16_t kFlagQr = 0x8000;
+constexpr std::uint16_t kFlagAa = 0x0400;
+constexpr std::uint16_t kFlagRd = 0x0100;
+
+void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  PutU16(out, static_cast<std::uint16_t>(v >> 16));
+  PutU16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+// Encodes "a.b.c" as 1a1b1c0 label sequence.
+util::Error PutName(std::vector<std::uint8_t>* out, const std::string& name) {
+  if (name.size() > 253) return util::InvalidArgument("name too long");
+  for (const std::string& label : util::Split(name, '.')) {
+    if (label.empty() || label.size() > 63) {
+      return util::InvalidArgument("bad label in name: " + name);
+    }
+    out->push_back(static_cast<std::uint8_t>(label.size()));
+    out->insert(out->end(), label.begin(), label.end());
+  }
+  out->push_back(0);
+  return util::OkError();
+}
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool Need(std::size_t n) const { return pos + n <= size; }
+  std::uint8_t U8() { return data[pos++]; }
+  std::uint16_t U16() {
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((data[pos] << 8) | data[pos + 1]);
+    pos += 2;
+    return v;
+  }
+  std::uint32_t U32() {
+    const std::uint32_t hi = U16();
+    return (hi << 16) | U16();
+  }
+};
+
+// Reads a (possibly compressed) name starting at cursor->pos.
+util::Result<std::string> ReadName(Cursor* cursor) {
+  std::string name;
+  std::size_t jumps = 0;
+  std::size_t pos = cursor->pos;
+  bool jumped = false;
+  for (;;) {
+    if (pos >= cursor->size) return util::ProtocolError("name runs off packet");
+    const std::uint8_t len = cursor->data[pos];
+    if ((len & 0xc0) == 0xc0) {  // compression pointer
+      if (pos + 1 >= cursor->size) return util::ProtocolError("bad pointer");
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | cursor->data[pos + 1];
+      if (!jumped) cursor->pos = pos + 2;
+      jumped = true;
+      if (++jumps > 16) return util::ProtocolError("pointer loop");
+      pos = target;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) cursor->pos = pos + 1;
+      return name;
+    }
+    if (len > 63) return util::ProtocolError("bad label length");
+    if (pos + 1 + len > cursor->size) return util::ProtocolError("label truncated");
+    if (!name.empty()) name.push_back('.');
+    name.append(reinterpret_cast<const char*>(cursor->data + pos + 1), len);
+    pos += 1 + len;
+  }
+}
+
+}  // namespace
+
+util::Result<std::vector<std::uint8_t>> EncodeQuery(const DnsQuery& query) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + query.question.qname.size());
+  PutU16(&out, query.id);
+  PutU16(&out, kFlagRd);  // standard query, recursion desired
+  PutU16(&out, 1);        // qdcount
+  PutU16(&out, 0);        // ancount
+  PutU16(&out, 0);        // nscount
+  PutU16(&out, 0);        // arcount
+  SAMS_RETURN_IF_ERROR(PutName(&out, query.question.qname));
+  PutU16(&out, static_cast<std::uint16_t>(query.question.qtype));
+  PutU16(&out, kClassIn);
+  return out;
+}
+
+util::Result<std::vector<std::uint8_t>> EncodeResponse(const DnsQuery& query,
+                                                       const DnsAnswer& answer) {
+  const bool has_answer =
+      answer.rcode == RCode::kNoError && !answer.rdata.empty();
+  std::vector<std::uint8_t> out;
+  PutU16(&out, query.id);
+  PutU16(&out, static_cast<std::uint16_t>(
+                   kFlagQr | kFlagAa | kFlagRd |
+                   static_cast<std::uint16_t>(answer.rcode)));
+  PutU16(&out, 1);                        // qdcount (echo the question)
+  PutU16(&out, has_answer ? 1 : 0);       // ancount
+  PutU16(&out, 0);
+  PutU16(&out, 0);
+  SAMS_RETURN_IF_ERROR(PutName(&out, query.question.qname));
+  PutU16(&out, static_cast<std::uint16_t>(query.question.qtype));
+  PutU16(&out, kClassIn);
+  if (has_answer) {
+    // Compression pointer to the question name at offset 12.
+    out.push_back(0xc0);
+    out.push_back(12);
+    PutU16(&out, static_cast<std::uint16_t>(query.question.qtype));
+    PutU16(&out, kClassIn);
+    PutU32(&out, answer.ttl);
+    if (answer.rdata.size() > 0xffff) {
+      return util::InvalidArgument("rdata too large");
+    }
+    PutU16(&out, static_cast<std::uint16_t>(answer.rdata.size()));
+    out.insert(out.end(), answer.rdata.begin(), answer.rdata.end());
+  }
+  return out;
+}
+
+util::Result<DnsQuery> ParseQuery(const std::uint8_t* data, std::size_t size) {
+  Cursor cursor{data, size};
+  if (!cursor.Need(12)) return util::ProtocolError("short DNS header");
+  DnsQuery query;
+  query.id = cursor.U16();
+  const std::uint16_t flags = cursor.U16();
+  if (flags & kFlagQr) return util::ProtocolError("not a query");
+  const std::uint16_t qdcount = cursor.U16();
+  cursor.U16();
+  cursor.U16();
+  cursor.U16();
+  if (qdcount != 1) return util::ProtocolError("expected one question");
+  auto name = ReadName(&cursor);
+  if (!name.ok()) return name.error();
+  if (!cursor.Need(4)) return util::ProtocolError("question truncated");
+  const std::uint16_t qtype = cursor.U16();
+  const std::uint16_t qclass = cursor.U16();
+  if (qclass != kClassIn) return util::ProtocolError("unsupported qclass");
+  if (qtype != static_cast<std::uint16_t>(QType::kA) &&
+      qtype != static_cast<std::uint16_t>(QType::kAaaa)) {
+    return util::ProtocolError("unsupported qtype");
+  }
+  query.question.qname = std::move(name).value();
+  query.question.qtype = static_cast<QType>(qtype);
+  return query;
+}
+
+util::Result<ParsedResponse> ParseResponse(const std::uint8_t* data,
+                                           std::size_t size) {
+  Cursor cursor{data, size};
+  if (!cursor.Need(12)) return util::ProtocolError("short DNS header");
+  ParsedResponse response;
+  response.id = cursor.U16();
+  const std::uint16_t flags = cursor.U16();
+  if (!(flags & kFlagQr)) return util::ProtocolError("not a response");
+  response.rcode = static_cast<RCode>(flags & 0x0f);
+  const std::uint16_t qdcount = cursor.U16();
+  const std::uint16_t ancount = cursor.U16();
+  cursor.U16();
+  cursor.U16();
+  for (std::uint16_t q = 0; q < qdcount; ++q) {
+    auto name = ReadName(&cursor);
+    if (!name.ok()) return name.error();
+    if (!cursor.Need(4)) return util::ProtocolError("question truncated");
+    const std::uint16_t qtype = cursor.U16();
+    cursor.U16();  // class
+    if (q == 0) {
+      response.question.qname = std::move(name).value();
+      response.question.qtype = static_cast<QType>(qtype);
+    }
+  }
+  for (std::uint16_t a = 0; a < ancount; ++a) {
+    auto name = ReadName(&cursor);
+    if (!name.ok()) return name.error();
+    if (!cursor.Need(10)) return util::ProtocolError("answer truncated");
+    cursor.U16();  // type
+    cursor.U16();  // class
+    DnsAnswer answer;
+    answer.ttl = cursor.U32();
+    const std::uint16_t rdlength = cursor.U16();
+    if (!cursor.Need(rdlength)) return util::ProtocolError("rdata truncated");
+    answer.rdata.assign(cursor.data + cursor.pos,
+                        cursor.data + cursor.pos + rdlength);
+    cursor.pos += rdlength;
+    response.answers.push_back(std::move(answer));
+  }
+  return response;
+}
+
+std::vector<std::uint8_t> BitmapToRdata(const PrefixBitmap& bitmap) {
+  return {bitmap.bytes().begin(), bitmap.bytes().end()};
+}
+
+util::Result<PrefixBitmap> RdataToBitmap(
+    const std::vector<std::uint8_t>& rdata) {
+  if (rdata.size() != 16) {
+    return util::ProtocolError("AAAA rdata must be 16 bytes");
+  }
+  PrefixBitmap bitmap;
+  for (int bit = 0; bit < 128; ++bit) {
+    if ((rdata[static_cast<std::size_t>(bit) / 8] >> (bit % 8)) & 1) {
+      bitmap.Set(bit);
+    }
+  }
+  return bitmap;
+}
+
+}  // namespace sams::dnsbl

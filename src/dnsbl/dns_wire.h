@@ -1,0 +1,85 @@
+// DNS wire format (RFC 1035 subset) for the real DNSBL daemon.
+//
+// The paper *emulated* DNSBLv6 ("Since DNSBLv6 is not implemented, we
+// emulated DNS caching...", §7.2). This module implements it for real:
+// the scheme needs nothing beyond standard DNS — a classic blacklist
+// answer is an A record (127.0.0.x), and the /25 bitmap rides in the
+// 128 bits of an AAAA record, exactly as §7.1 observes. Covers query
+// and response encoding/parsing for QTYPE A and AAAA, QCLASS IN,
+// single-question messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnsbl/blacklist_db.h"
+#include "util/result.h"
+
+namespace sams::dnsbl {
+
+enum class QType : std::uint16_t {
+  kA = 1,
+  kAaaa = 28,
+};
+
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+struct DnsQuestion {
+  std::string qname;  // dotted, no trailing dot
+  QType qtype = QType::kA;
+};
+
+struct DnsQuery {
+  std::uint16_t id = 0;
+  DnsQuestion question;
+};
+
+struct DnsAnswer {
+  RCode rcode = RCode::kNoError;
+  // For A answers: 4 bytes; for AAAA: 16 bytes. Empty on NXDOMAIN.
+  std::vector<std::uint8_t> rdata;
+  std::uint32_t ttl = 0;
+};
+
+// --- encoding ----------------------------------------------------------
+
+// Encodes a standard recursive-desired query.
+util::Result<std::vector<std::uint8_t>> EncodeQuery(const DnsQuery& query);
+
+// Encodes a response to `query`: one answer RR when rcode is NoError
+// and rdata is non-empty, otherwise an answerless response with the
+// given rcode.
+util::Result<std::vector<std::uint8_t>> EncodeResponse(const DnsQuery& query,
+                                                       const DnsAnswer& answer);
+
+// --- parsing -----------------------------------------------------------
+
+// Parses a query datagram (one question).
+util::Result<DnsQuery> ParseQuery(const std::uint8_t* data, std::size_t size);
+
+struct ParsedResponse {
+  std::uint16_t id = 0;
+  RCode rcode = RCode::kNoError;
+  DnsQuestion question;
+  std::vector<DnsAnswer> answers;
+};
+
+// Parses a response datagram (compression pointers supported in
+// answer names).
+util::Result<ParsedResponse> ParseResponse(const std::uint8_t* data,
+                                           std::size_t size);
+
+// Convenience: pack/unpack a PrefixBitmap into AAAA rdata.
+std::vector<std::uint8_t> BitmapToRdata(const PrefixBitmap& bitmap);
+util::Result<PrefixBitmap> RdataToBitmap(const std::vector<std::uint8_t>& rdata);
+
+}  // namespace sams::dnsbl

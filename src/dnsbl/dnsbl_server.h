@@ -1,0 +1,91 @@
+// Simulated DNSBL servers.
+//
+// Figure 5 measures the query-time CDF of six public blacklists for
+// ~19,000 spammer IPs: the curves differ in median and in how much
+// mass sits beyond 100 ms (16%–50%). Each server here pairs a
+// blacklist database with a two-component latency mixture (a "near"
+// lognormal body and a heavy "far/overloaded" tail) whose parameters
+// are calibrated per list; EXPERIMENTS.md records the resulting CDFs
+// against the figure.
+//
+// A server answers either classic per-IP queries (A record, 127.0.0.x)
+// or DNSBLv6 /25-bitmap queries (§7.1) — the bitmap is served from the
+// same database, so bitmap answers are exactly consistent with per-IP
+// answers (a property test pins this).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dnsbl/blacklist_db.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sams::dnsbl {
+
+using util::SimTime;
+
+// Latency mixture: with probability tail_prob, sample the tail
+// (uniform in [tail_lo, tail_hi]); otherwise lognormal body.
+struct LatencyProfile {
+  double body_mu = 3.0;     // ln(ms)
+  double body_sigma = 0.6;  // ln(ms)
+  double tail_prob = 0.25;
+  double tail_lo_ms = 100.0;
+  double tail_hi_ms = 900.0;
+
+  SimTime Sample(util::Rng& rng) const;
+};
+
+class DnsblServer {
+ public:
+  DnsblServer(std::string zone, std::shared_ptr<const BlacklistDb> db,
+              LatencyProfile profile)
+      : zone_(std::move(zone)), db_(std::move(db)), profile_(profile) {}
+
+  const std::string& zone() const { return zone_; }
+  const BlacklistDb& db() const { return *db_; }
+
+  // Classic lookup: answer code (0 = NXDOMAIN / not listed) plus the
+  // simulated resolution latency for this query.
+  struct IpAnswer {
+    std::uint8_t code = 0;
+    SimTime latency;
+  };
+  IpAnswer QueryIp(Ipv4 ip, util::Rng& rng) const;
+
+  // DNSBLv6 lookup: the /25 bitmap (same latency model — it is one DNS
+  // query either way, which is the whole point of the scheme).
+  struct PrefixAnswer {
+    PrefixBitmap bitmap;
+    SimTime latency;
+  };
+  PrefixAnswer QueryPrefix(Prefix25 prefix, util::Rng& rng) const;
+
+  std::uint64_t queries_received() const { return queries_; }
+
+ private:
+  std::string zone_;
+  std::shared_ptr<const BlacklistDb> db_;
+  LatencyProfile profile_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+// The six blacklists of Figure 5 with calibrated latency profiles.
+// Each list independently includes every IP of `listed_ips` with a
+// deterministic pseudo-random per-list coverage probability, because
+// real lists overlap but do not coincide.
+std::vector<std::unique_ptr<DnsblServer>> MakeFigureFiveServers(
+    std::span<const Ipv4> listed_ips, util::Rng& rng);
+
+// The per-list names & coverage used above, exposed for benches.
+struct ListSpec {
+  const char* zone;
+  double coverage;     // fraction of the full bot population listed
+  LatencyProfile latency;
+};
+const std::vector<ListSpec>& FigureFiveListSpecs();
+
+}  // namespace sams::dnsbl

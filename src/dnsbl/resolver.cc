@@ -1,0 +1,74 @@
+#include "dnsbl/resolver.h"
+
+#include <algorithm>
+
+namespace sams::dnsbl {
+
+const char* CacheModeName(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kNoCache: return "no-cache";
+    case CacheMode::kIpCache: return "ip-cache";
+    case CacheMode::kPrefixCache: return "prefix-cache";
+  }
+  return "?";
+}
+
+LookupOutcome Resolver::Lookup(Ipv4 ip, SimTime now) {
+  ++stats_.lookups;
+  LookupOutcome out;
+
+  switch (mode_) {
+    case CacheMode::kIpCache: {
+      if (const IpVerdict* v = ip_cache_.Lookup(ip, now)) {
+        ++stats_.cache_hits;
+        out.blacklisted = v->blacklisted;
+        out.cache_hit = true;
+        return out;
+      }
+      break;
+    }
+    case CacheMode::kPrefixCache: {
+      if (const PrefixBitmap* bm = prefix_cache_.Lookup(Prefix25(ip), now)) {
+        ++stats_.cache_hits;
+        out.blacklisted = bm->TestIp(ip);
+        out.cache_hit = true;
+        return out;
+      }
+      break;
+    }
+    case CacheMode::kNoCache:
+      break;
+  }
+
+  // Miss: query all lists concurrently; the transaction waits for the
+  // slowest reply.
+  SimTime slowest{};
+  if (mode_ == CacheMode::kPrefixCache) {
+    PrefixBitmap combined;
+    for (const DnsblServer* server : servers_) {
+      const auto answer = server->QueryPrefix(Prefix25(ip), rng_);
+      combined |= answer.bitmap;
+      slowest = std::max(slowest, answer.latency);
+      ++out.dns_queries;
+    }
+    out.blacklisted = combined.TestIp(ip);
+    prefix_cache_.Insert(Prefix25(ip), combined, now);
+  } else {
+    bool listed = false;
+    for (const DnsblServer* server : servers_) {
+      const auto answer = server->QueryIp(ip, rng_);
+      listed = listed || answer.code != 0;
+      slowest = std::max(slowest, answer.latency);
+      ++out.dns_queries;
+    }
+    out.blacklisted = listed;
+    if (mode_ == CacheMode::kIpCache) {
+      ip_cache_.Insert(ip, IpVerdict{listed}, now);
+    }
+  }
+  out.latency = slowest;
+  stats_.dns_queries_sent += static_cast<std::uint64_t>(out.dns_queries);
+  return out;
+}
+
+}  // namespace sams::dnsbl

@@ -1,0 +1,196 @@
+#include "dnsbl/udp_daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/ipv4.h"
+#include "util/logging.h"
+
+namespace sams::dnsbl {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+util::Result<util::UniqueFd> BindUdpLoopback(std::uint16_t port) {
+  util::UniqueFd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return util::IoError(Errno("socket"));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return util::IoError(Errno("bind"));
+  }
+  return fd;
+}
+
+}  // namespace
+
+UdpDnsblDaemon::UdpDnsblDaemon(std::string zone, const BlacklistDb& db,
+                               std::uint32_t ttl_seconds)
+    : zone_(std::move(zone)), db_(db), ttl_seconds_(ttl_seconds) {}
+
+UdpDnsblDaemon::~UdpDnsblDaemon() { Stop(); }
+
+util::Result<std::uint16_t> UdpDnsblDaemon::Start() {
+  auto fd = BindUdpLoopback(0);
+  if (!fd.ok()) return fd.error();
+  socket_ = std::move(fd).value();
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket_.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return util::IoError(Errno("getsockname"));
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+void UdpDnsblDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  // A self-addressed datagram unblocks recvfrom.
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket_.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    const std::uint8_t poke = 0;
+    (void)::sendto(socket_.get(), &poke, 1, 0,
+                   reinterpret_cast<struct sockaddr*>(&addr), len);
+  }
+  if (thread_.joinable()) thread_.join();
+  socket_.Reset();
+}
+
+void UdpDnsblDaemon::ServeLoop() {
+  std::uint8_t buf[1500];
+  while (running_.load(std::memory_order_acquire)) {
+    struct sockaddr_in peer;
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n =
+        ::recvfrom(socket_.get(), buf, sizeof(buf), 0,
+                   reinterpret_cast<struct sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+
+    auto query = ParseQuery(buf, static_cast<std::size_t>(n));
+    if (!query.ok()) {
+      stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.queries.fetch_add(1, std::memory_order_relaxed);
+
+    DnsAnswer answer;
+    answer.ttl = ttl_seconds_;
+    if (query->question.qtype == QType::kA) {
+      stats_.ip_queries.fetch_add(1, std::memory_order_relaxed);
+      auto ip = util::ParseDnsblQueryName(query->question.qname, zone_);
+      if (!ip) {
+        answer.rcode = RCode::kNxDomain;
+      } else if (const std::uint8_t code = db_.Lookup(*ip); code != 0) {
+        answer.rdata = {127, 0, 0, code};
+        stats_.listed_answers.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        answer.rcode = RCode::kNxDomain;  // not listed
+        stats_.nxdomain_answers.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {  // AAAA: DNSBLv6 prefix bitmap
+      stats_.prefix_queries.fetch_add(1, std::memory_order_relaxed);
+      auto prefix = util::ParseDnsblv6QueryName(query->question.qname, zone_);
+      if (!prefix) {
+        answer.rcode = RCode::kNxDomain;
+      } else {
+        answer.rdata = BitmapToRdata(db_.LookupPrefix(*prefix));
+      }
+    }
+
+    auto response = EncodeResponse(*query, answer);
+    if (!response.ok()) continue;
+    (void)::sendto(socket_.get(), response->data(), response->size(), 0,
+                   reinterpret_cast<struct sockaddr*>(&peer), peer_len);
+  }
+}
+
+// --- client -------------------------------------------------------------
+
+UdpDnsblClient::UdpDnsblClient(std::uint16_t server_port, std::string zone,
+                               int timeout_ms)
+    : port_(server_port), zone_(std::move(zone)), timeout_ms_(timeout_ms) {}
+
+util::Result<ParsedResponse> UdpDnsblClient::RoundTrip(const DnsQuery& query) {
+  util::UniqueFd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return util::IoError(Errno("socket"));
+  struct timeval tv;
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+
+  auto wire = EncodeQuery(query);
+  if (!wire.ok()) return wire.error();
+  if (::sendto(fd.get(), wire->data(), wire->size(), 0,
+               reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return util::IoError(Errno("sendto"));
+  }
+  std::uint8_t buf[1500];
+  const ssize_t n = ::recvfrom(fd.get(), buf, sizeof(buf), 0, nullptr, nullptr);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return util::Unavailable("DNS query timed out");
+    }
+    return util::IoError(Errno("recvfrom"));
+  }
+  auto response = ParseResponse(buf, static_cast<std::size_t>(n));
+  if (!response.ok()) return response.error();
+  if (response->id != query.id) {
+    return util::ProtocolError("response id mismatch");
+  }
+  return response;
+}
+
+util::Result<std::uint8_t> UdpDnsblClient::QueryIp(Ipv4 ip) {
+  DnsQuery query;
+  query.id = next_id_++;
+  query.question.qname = util::DnsblQueryName(ip, zone_);
+  query.question.qtype = QType::kA;
+  auto response = RoundTrip(query);
+  if (!response.ok()) return response.error();
+  if (response->rcode == RCode::kNxDomain || response->answers.empty()) {
+    return static_cast<std::uint8_t>(0);
+  }
+  const auto& rdata = response->answers[0].rdata;
+  if (rdata.size() != 4) return util::ProtocolError("bad A rdata");
+  return rdata[3];
+}
+
+util::Result<PrefixBitmap> UdpDnsblClient::QueryPrefix(Ipv4 ip) {
+  DnsQuery query;
+  query.id = next_id_++;
+  query.question.qname = util::Dnsblv6QueryName(ip, zone_);
+  query.question.qtype = QType::kAaaa;
+  auto response = RoundTrip(query);
+  if (!response.ok()) return response.error();
+  if (response->rcode != RCode::kNoError || response->answers.empty()) {
+    return util::ProtocolError("prefix query failed");
+  }
+  return RdataToBitmap(response->answers[0].rdata);
+}
+
+}  // namespace sams::dnsbl

@@ -1,0 +1,86 @@
+// UdpDnsblDaemon — a real DNSBL server over UDP.
+//
+// Implements what the paper proposes but only emulates (§7.2): a
+// blacklist daemon that answers
+//
+//   A    w.z.y.x.<zone>       -> 127.0.0.code   (classic, §4.3)
+//   AAAA {0|1}.z.y.x.<zone>   -> 128-bit /25 bitmap (DNSBLv6, §7.1)
+//
+// over genuine DNS datagrams on a loopback UDP socket, plus the
+// matching blocking client used by tests and the dnsbl_daemon example.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "dnsbl/blacklist_db.h"
+#include "dnsbl/dns_wire.h"
+#include "util/fd.h"
+#include "util/result.h"
+
+namespace sams::dnsbl {
+
+struct DaemonStats {
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> ip_queries{0};
+  std::atomic<std::uint64_t> prefix_queries{0};
+  std::atomic<std::uint64_t> listed_answers{0};
+  std::atomic<std::uint64_t> nxdomain_answers{0};
+  std::atomic<std::uint64_t> malformed{0};
+};
+
+class UdpDnsblDaemon {
+ public:
+  // The database must outlive the daemon.
+  UdpDnsblDaemon(std::string zone, const BlacklistDb& db,
+                 std::uint32_t ttl_seconds = 24 * 3600);
+  ~UdpDnsblDaemon();
+
+  UdpDnsblDaemon(const UdpDnsblDaemon&) = delete;
+  UdpDnsblDaemon& operator=(const UdpDnsblDaemon&) = delete;
+
+  // Binds 127.0.0.1:0 (ephemeral) and starts serving; returns the port.
+  util::Result<std::uint16_t> Start();
+  void Stop();
+
+  const std::string& zone() const { return zone_; }
+  const DaemonStats& stats() const { return stats_; }
+
+ private:
+  void ServeLoop();
+
+  std::string zone_;
+  const BlacklistDb& db_;
+  std::uint32_t ttl_seconds_;
+  util::UniqueFd socket_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  DaemonStats stats_;
+};
+
+// Blocking UDP DNSBL client.
+class UdpDnsblClient {
+ public:
+  // `server_port` on 127.0.0.1; per-query timeout.
+  UdpDnsblClient(std::uint16_t server_port, std::string zone,
+                 int timeout_ms = 2'000);
+
+  // Classic lookup: the 127.0.0.x code (0 when not listed / NXDOMAIN).
+  util::Result<std::uint8_t> QueryIp(Ipv4 ip);
+
+  // DNSBLv6 lookup: the /25 bitmap for ip's prefix.
+  util::Result<PrefixBitmap> QueryPrefix(Ipv4 ip);
+
+ private:
+  util::Result<ParsedResponse> RoundTrip(const DnsQuery& query);
+
+  std::uint16_t port_;
+  std::string zone_;
+  int timeout_ms_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace sams::dnsbl

@@ -1,0 +1,104 @@
+#include "filter/bayes.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sams::filter {
+
+void BayesClassifier::Train(std::string_view text, bool is_spam) {
+  if (is_spam) {
+    ++spam_docs_;
+  } else {
+    ++ham_docs_;
+  }
+  // Count each distinct token once per document (Bernoulli NB — robust
+  // against token-stuffing).
+  std::set<std::string> seen;
+  for (std::string& token : Tokenize(text)) {
+    if (!seen.insert(token).second) continue;
+    Counts& counts = tokens_[std::move(token)];
+    if (is_spam) {
+      ++counts.spam;
+    } else {
+      ++counts.ham;
+    }
+  }
+}
+
+double BayesClassifier::Score(std::string_view text) const {
+  if (spam_docs_ == 0 || ham_docs_ == 0) return 0.5;
+  const double spam_total = static_cast<double>(spam_docs_);
+  const double ham_total = static_cast<double>(ham_docs_);
+  // Prior log-odds plus per-token likelihood log-odds with Laplace
+  // smoothing.
+  double log_odds = std::log(spam_total / ham_total);
+  std::set<std::string> seen;
+  for (std::string& token : Tokenize(text)) {
+    if (!seen.insert(token).second) continue;
+    auto it = tokens_.find(token);
+    if (it == tokens_.end()) continue;  // unseen tokens are neutral
+    const double p_spam = (it->second.spam + 1.0) / (spam_total + 2.0);
+    const double p_ham = (it->second.ham + 1.0) / (ham_total + 2.0);
+    log_odds += std::log(p_spam / p_ham);
+  }
+  // Clamp to avoid exp overflow on long, strongly-scored documents.
+  log_odds = std::min(std::max(log_odds, -30.0), 30.0);
+  const double odds = std::exp(log_odds);
+  return odds / (1.0 + odds);
+}
+
+util::Error BayesClassifier::Save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::fprintf(file, "sams-bayes-v1 %llu %llu\n",
+               static_cast<unsigned long long>(spam_docs_),
+               static_cast<unsigned long long>(ham_docs_));
+  for (const auto& [token, counts] : tokens_) {
+    std::fprintf(file, "%s %u %u\n", token.c_str(), counts.spam, counts.ham);
+  }
+  if (std::fclose(file) != 0) return util::IoError("close " + path);
+  return util::OkError();
+}
+
+util::Result<BayesClassifier> BayesClassifier::Load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return util::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  BayesClassifier model;
+  char line[512];
+  bool first = true;
+  util::Error error;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (first) {
+      unsigned long long spam = 0, ham = 0;
+      if (std::sscanf(line, "sams-bayes-v1 %llu %llu", &spam, &ham) != 2) {
+        error = util::InvalidArgument(path + ": not a sams-bayes-v1 model");
+        break;
+      }
+      model.spam_docs_ = spam;
+      model.ham_docs_ = ham;
+      first = false;
+      continue;
+    }
+    char token[256];
+    unsigned spam = 0, ham = 0;
+    if (std::sscanf(line, "%255s %u %u", token, &spam, &ham) != 3) {
+      error = util::Corruption(path + ": bad token record");
+      break;
+    }
+    model.tokens_[token] = Counts{spam, ham};
+  }
+  std::fclose(file);
+  if (!error.ok()) return error;
+  if (first) return util::InvalidArgument(path + ": empty model file");
+  return model;
+}
+
+}  // namespace sams::filter

@@ -1,0 +1,72 @@
+#include "filter/corpus.h"
+
+#include <array>
+
+namespace sams::filter {
+namespace {
+
+constexpr std::array kSpamWords = {
+    "offer",    "discount", "pills",     "pharmacy",  "casino",
+    "jackpot",  "deal",     "exclusive", "guarantee", "refinance",
+    "mortgage", "rolex",    "replica",   "enlarge",   "miracle",
+    "investment", "bitcoin", "prize",    "claim",     "urgent",
+    "congratulations", "selected", "approval", "credit", "loan",
+};
+
+constexpr std::array kHamWords = {
+    "meeting",  "tomorrow", "project",  "review",   "semester",
+    "homework", "deadline", "budget",   "committee", "lecture",
+    "seminar",  "draft",    "revision", "dataset",  "benchmark",
+    "kernel",   "compile",  "paper",    "figure",   "experiment",
+    "lunch",    "coffee",   "weekend",  "family",   "photos",
+};
+
+constexpr std::array kCommonWords = {
+    "the",  "and",  "for",  "you",   "with", "that", "this",  "have",
+    "from", "will", "your", "about", "time", "just", "please", "thanks",
+};
+
+template <std::size_t N>
+const char* Pick(const std::array<const char*, N>& pool, util::Rng& rng) {
+  return pool[static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(N) - 1))];
+}
+
+std::string MakeBody(util::Rng& rng, bool spam) {
+  std::string body;
+  body += spam ? "Subject: " : "Subject: Re: ";
+  for (int i = 0; i < 4; ++i) {
+    body += spam ? Pick(kSpamWords, rng) : Pick(kHamWords, rng);
+    body += ' ';
+  }
+  body += "\n\n";
+  const int sentences = static_cast<int>(rng.UniformInt(3, 10));
+  for (int s = 0; s < sentences; ++s) {
+    const int words = static_cast<int>(rng.UniformInt(6, 14));
+    for (int w = 0; w < words; ++w) {
+      const double u = rng.NextDouble();
+      if (u < 0.4) {
+        body += Pick(kCommonWords, rng);
+      } else if (u < 0.85) {
+        body += spam ? Pick(kSpamWords, rng) : Pick(kHamWords, rng);
+      } else {
+        // Cross-contamination: real mail mentions offers, spam quotes
+        // real text.
+        body += spam ? Pick(kHamWords, rng) : Pick(kSpamWords, rng);
+      }
+      body += ' ';
+    }
+    body += "\n";
+  }
+  if (spam && rng.Bernoulli(0.6)) {
+    body += "click here http://promo.example/deal now\n";
+  }
+  return body;
+}
+
+}  // namespace
+
+std::string MakeSpamBody(util::Rng& rng) { return MakeBody(rng, true); }
+std::string MakeHamBody(util::Rng& rng) { return MakeBody(rng, false); }
+
+}  // namespace sams::filter

@@ -1,0 +1,18 @@
+// Synthetic mail corpus for training/evaluating the content filter:
+// spam-flavoured and ham-flavoured bodies built from disjoint-ish word
+// pools with realistic overlap (common English filler appears in both).
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace sams::filter {
+
+// A promotional/scam-flavoured mail body with headers.
+std::string MakeSpamBody(util::Rng& rng);
+
+// A work/personal-flavoured mail body with headers.
+std::string MakeHamBody(util::Rng& rng);
+
+}  // namespace sams::filter

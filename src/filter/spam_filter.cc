@@ -1,0 +1,134 @@
+#include "filter/spam_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace sams::filter {
+namespace {
+
+struct PhraseRule {
+  const char* phrase;  // matched case-insensitively against the body
+  double score;
+  const char* name;
+};
+
+constexpr PhraseRule kPhrases[] = {
+    {"viagra", 3.5, "DRUG_SPAM"},
+    {"v1agra", 4.0, "OBFUSCATED_DRUG"},
+    {"buy now", 2.0, "BUY_NOW"},
+    {"click here", 1.5, "CLICK_HERE"},
+    {"free money", 3.0, "FREE_MONEY"},
+    {"make money fast", 3.5, "MMF"},
+    {"limited time offer", 2.0, "LIMITED_TIME"},
+    {"no prescription", 3.0, "NO_RX"},
+    {"winner", 1.0, "WINNER"},
+    {"lottery", 2.5, "LOTTERY"},
+    {"nigerian prince", 5.0, "419_SCAM"},
+    {"unsubscribe", 0.5, "LIST_MAIL"},
+    {"100% free", 2.5, "HUNDRED_PCT_FREE"},
+    {"act now", 1.5, "ACT_NOW"},
+    {"cheap", 1.0, "CHEAP"},
+};
+
+// Case-insensitive substring search.
+bool ContainsCi(std::string_view haystack, std::string_view needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (util::AsciiToLower(haystack[i + j]) !=
+          util::AsciiToLower(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+// Extracts the Subject: header line from the body, if present.
+std::string_view SubjectOf(std::string_view body) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) eol = body.size();
+    std::string_view line = body.substr(pos, eol - pos);
+    if (line.empty() || line == "\r") break;  // end of headers
+    if (util::IStartsWith(line, "Subject:")) {
+      return util::Trim(line.substr(8));
+    }
+    pos = eol + 1;
+  }
+  return {};
+}
+
+}  // namespace
+
+SpamFilter::SpamFilter(FilterConfig cfg) : cfg_(cfg) {}
+
+Verdict SpamFilter::Classify(const smtp::Envelope& envelope) const {
+  Verdict verdict;
+  const std::string& body = envelope.body;
+
+  for (const PhraseRule& rule : kPhrases) {
+    if (ContainsCi(body, rule.phrase)) {
+      verdict.score += rule.score;
+      verdict.hits.push_back(rule.name);
+    }
+  }
+
+  // Shouting subject: > 60% uppercase letters among >= 8 alphabetics.
+  const std::string_view subject = SubjectOf(body);
+  int upper = 0, alpha = 0;
+  for (char c : subject) {
+    if (c >= 'A' && c <= 'Z') {
+      ++upper;
+      ++alpha;
+    } else if (c >= 'a' && c <= 'z') {
+      ++alpha;
+    }
+  }
+  if (alpha >= 8 && upper * 10 > alpha * 6) {
+    verdict.score += 2.0;
+    verdict.hits.push_back("SHOUTING_SUBJECT");
+  }
+
+  // URL density: one fired rule regardless of count, scaled mildly.
+  int urls = 0;
+  for (std::size_t pos = 0;
+       (pos = body.find("http", pos)) != std::string::npos; pos += 4) {
+    ++urls;
+  }
+  if (urls >= 3) {
+    verdict.score += std::min(3.0, 1.0 + 0.5 * urls);
+    verdict.hits.push_back("MANY_URLS");
+  }
+
+  // Recipient fan-out (§4.2: spam averages ~7 RCPTs, ham 1.02).
+  if (envelope.rcpt_to.size() >= 5) {
+    verdict.score += 1.5;
+    verdict.hits.push_back("MANY_RCPTS");
+  }
+
+  // Bayes contribution: log-odds capped to +-6, weighted.
+  if (bayes_.spam_documents() > 0 && bayes_.ham_documents() > 0) {
+    const double p = bayes_.Score(body);
+    const double log_odds =
+        std::log(std::clamp(p, 1e-9, 1.0 - 1e-9) /
+                 (1.0 - std::clamp(p, 1e-9, 1.0 - 1e-9)));
+    const double contribution =
+        cfg_.bayes_weight * std::clamp(log_odds, -6.0, 6.0);
+    verdict.score += contribution;
+    if (contribution > 2.0) verdict.hits.push_back("BAYES_SPAM");
+    if (contribution < -2.0) verdict.hits.push_back("BAYES_HAM");
+  }
+
+  verdict.spam = verdict.score >= cfg_.tag_threshold;
+  verdict.reject = verdict.score >= cfg_.reject_threshold;
+  return verdict;
+}
+
+}  // namespace sams::filter

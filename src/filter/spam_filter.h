@@ -1,0 +1,53 @@
+// SpamFilter — the post-DATA content check of §5.2 ("after receiving
+// the data part of the mail, many body tests are performed by various
+// third-party spam filter modules such as keyword matching"), combined
+// from:
+//   * heuristic rules (keyword/phrase hits, shouting subject, URL
+//     density, recipient fan-out), each contributing a weighted score;
+//   * the naive-Bayes classifier's log-odds, mapped onto the same
+//     scale.
+// Under the fork-after-trust architecture these tests stay inside the
+// per-connection smtpd worker, preserving process isolation (§5.2) —
+// the SmtpServer wires Classify() into its post-DATA hook.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "filter/bayes.h"
+#include "smtp/server_session.h"
+
+namespace sams::filter {
+
+struct FilterConfig {
+  // Score at which mail is tagged (X-Spam-Flag) and counted spammy.
+  double tag_threshold = 5.0;
+  // Score at which mail is rejected outright after DATA (554).
+  double reject_threshold = 10.0;
+  // Weight of the Bayes contribution (its log-odds, capped, times this).
+  double bayes_weight = 1.0;
+};
+
+struct Verdict {
+  double score = 0.0;
+  bool spam = false;    // score >= tag_threshold
+  bool reject = false;  // score >= reject_threshold
+  std::vector<std::string> hits;  // fired rule names
+};
+
+class SpamFilter {
+ public:
+  explicit SpamFilter(FilterConfig cfg = {});
+
+  // Optional: attach a trained Bayes model (filter keeps a copy).
+  void SetBayesModel(BayesClassifier model) { bayes_ = std::move(model); }
+  BayesClassifier& bayes() { return bayes_; }
+
+  Verdict Classify(const smtp::Envelope& envelope) const;
+
+ private:
+  FilterConfig cfg_;
+  BayesClassifier bayes_;
+};
+
+}  // namespace sams::filter

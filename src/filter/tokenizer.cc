@@ -1,0 +1,32 @@
+#include "filter/tokenizer.h"
+
+#include "util/strings.h"
+
+namespace sams::filter {
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerConfig& cfg) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= cfg.min_len && current.size() <= cfg.max_len &&
+        tokens.size() < cfg.max_tokens) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      current.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      current.push_back(util::AsciiToLower(c));
+    } else {
+      flush();
+      if (tokens.size() >= cfg.max_tokens) return tokens;
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace sams::filter

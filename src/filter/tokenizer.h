@@ -1,0 +1,21 @@
+// Word tokenizer for the content filter: lowercased alphanumeric
+// tokens, 2..24 chars, with a cap on tokens per document so hostile
+// megabyte bodies cannot blow up classification cost.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sams::filter {
+
+struct TokenizerConfig {
+  std::size_t min_len = 2;
+  std::size_t max_len = 24;
+  std::size_t max_tokens = 2'000;
+};
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerConfig& cfg = {});
+
+}  // namespace sams::filter

@@ -1,0 +1,13 @@
+#include "fskit/fs_model.h"
+
+#include "util/strings.h"
+
+namespace sams::fskit {
+
+std::unique_ptr<FsModel> MakeFsModel(std::string_view name) {
+  if (util::IEquals(name, "ext3")) return std::make_unique<Ext3Model>();
+  if (util::IEquals(name, "reiser")) return std::make_unique<ReiserModel>();
+  return nullptr;
+}
+
+}  // namespace sams::fskit

@@ -1,0 +1,69 @@
+// SimFs binds a file-system cost model to the simulated disk: store
+// layouts call logical operations (create/append/link/rename/fsync)
+// and SimFs buffers the corresponding data bytes and metadata charges
+// into the disk's next journal commit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fskit/fs_model.h"
+#include "sim/disk.h"
+
+namespace sams::fskit {
+
+struct SimFsStats {
+  std::uint64_t files_created = 0;
+  std::uint64_t hard_links = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t effective_bytes = 0;
+};
+
+class SimFs {
+ public:
+  using Done = std::function<void()>;
+
+  SimFs(sim::Disk& disk, const FsModel& model) : disk_(disk), model_(model) {}
+  SimFs(const SimFs&) = delete;
+  SimFs& operator=(const SimFs&) = delete;
+
+  void CreateFile() {
+    ++stats_.files_created;
+    disk_.BufferMetadata(model_.CreateFileCost());
+  }
+  void HardLink() {
+    ++stats_.hard_links;
+    disk_.BufferMetadata(model_.HardLinkCost());
+  }
+  void DeleteFile() {
+    ++stats_.deletes;
+    disk_.BufferMetadata(model_.DeleteFileCost());
+  }
+  void Rename() {
+    ++stats_.renames;
+    disk_.BufferMetadata(model_.RenameCost());
+  }
+  void Append(std::uint64_t bytes) {
+    ++stats_.appends;
+    stats_.logical_bytes += bytes;
+    const std::uint64_t effective = model_.EffectiveWriteBytes(bytes);
+    stats_.effective_bytes += effective;
+    disk_.BufferWrite(effective);
+    disk_.BufferMetadata(model_.AppendMetaCost(bytes));
+  }
+  void Fsync(Done done) { disk_.Fsync(std::move(done)); }
+
+  const FsModel& model() const { return model_; }
+  const SimFsStats& stats() const { return stats_; }
+  sim::Disk& disk() { return disk_; }
+
+ private:
+  sim::Disk& disk_;
+  const FsModel& model_;
+  SimFsStats stats_;
+};
+
+}  // namespace sams::fskit

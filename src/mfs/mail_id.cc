@@ -1,0 +1,31 @@
+#include "mfs/mail_id.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sams::mfs {
+namespace {
+
+std::atomic<std::uint64_t> g_counter{0};
+
+}  // namespace
+
+MailId MailId::Generate(util::Rng& rng) {
+  const std::uint64_t seq = g_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t tag = rng.NextU64();
+  char buf[kMaxLen + 1];
+  std::snprintf(buf, sizeof(buf), "%08llX%016llX",
+                static_cast<unsigned long long>(seq & 0xffffffff),
+                static_cast<unsigned long long>(tag));
+  return MailId(std::string(buf));
+}
+
+std::optional<MailId> MailId::Parse(std::string_view s) {
+  if (s.empty() || s.size() > kMaxLen) return std::nullopt;
+  for (char c : s) {
+    if (c <= 0x20 || c > 0x7e) return std::nullopt;
+  }
+  return MailId(std::string(s));
+}
+
+}  // namespace sams::mfs

@@ -1,0 +1,140 @@
+#include "mfs/paper_api.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sams::mfs {
+namespace {
+
+thread_local std::string t_last_error;
+
+int Fail(const util::Error& err) {
+  t_last_error = err.ToString();
+  return MFS_ERR;
+}
+
+int Fail(const char* message) {
+  t_last_error = message;
+  return MFS_ERR;
+}
+
+}  // namespace
+
+// The C handle owns the C++ handle plus streaming-read state.
+struct mail_file {
+  MfsVolume* volume;
+  std::unique_ptr<MailFile> handle;
+  // In-progress mail_read drain state.
+  bool draining = false;
+  std::string pending_body;
+  std::string pending_id;
+  std::size_t drained = 0;
+};
+
+const char* mfs_last_error() { return t_last_error.c_str(); }
+
+mail_file* mail_open(MfsVolume* vol, const char* filename, const char* mode) {
+  if (vol == nullptr || filename == nullptr || mode == nullptr) {
+    Fail("mail_open: null argument");
+    return nullptr;
+  }
+  auto handle = vol->MailOpen(filename, mode);
+  if (!handle.ok()) {
+    Fail(handle.error());
+    return nullptr;
+  }
+  return new mail_file{vol, std::move(handle).value()};
+}
+
+int mail_seek(mail_file* mfd, int offset, int whence) {
+  if (mfd == nullptr) return Fail("mail_seek: null handle");
+  Whence w;
+  switch (whence) {
+    case MFS_SEEK_SET: w = Whence::kSet; break;
+    case MFS_SEEK_CUR: w = Whence::kCur; break;
+    case MFS_SEEK_END: w = Whence::kEnd; break;
+    default: return Fail("mail_seek: bad whence");
+  }
+  mfd->draining = false;  // seeking abandons a partial read
+  const util::Error err = mfd->volume->MailSeek(*mfd->handle, offset, w);
+  return err.ok() ? MFS_OK : Fail(err);
+}
+
+int mail_nwrite(mail_file** mfd, int nmfd, const char* buf,
+                const char* mail_id, int buf_len, int mail_id_len) {
+  if (mfd == nullptr || buf == nullptr || mail_id == nullptr || nmfd <= 0 ||
+      buf_len < 0 || mail_id_len <= 0) {
+    return Fail("mail_nwrite: bad arguments");
+  }
+  auto id = MailId::Parse(std::string_view(mail_id,
+                                           static_cast<std::size_t>(mail_id_len)));
+  if (!id) return Fail("mail_nwrite: invalid mail id");
+  std::vector<MailFile*> boxes;
+  boxes.reserve(static_cast<std::size_t>(nmfd));
+  MfsVolume* volume = nullptr;
+  for (int i = 0; i < nmfd; ++i) {
+    if (mfd[i] == nullptr) return Fail("mail_nwrite: null handle in array");
+    if (volume == nullptr) volume = mfd[i]->volume;
+    if (mfd[i]->volume != volume) {
+      return Fail("mail_nwrite: handles from different volumes");
+    }
+    boxes.push_back(mfd[i]->handle.get());
+  }
+  const util::Error err = volume->MailNWrite(
+      boxes, std::string_view(buf, static_cast<std::size_t>(buf_len)), *id);
+  return err.ok() ? MFS_OK : Fail(err);
+}
+
+int mail_read(mail_file* mfd, char* buf, char* mail_id, int* buf_len,
+              int* mail_id_len) {
+  if (mfd == nullptr || buf == nullptr || mail_id == nullptr ||
+      buf_len == nullptr || mail_id_len == nullptr || *buf_len < 0 ||
+      *mail_id_len < 0) {
+    return Fail("mail_read: bad arguments");
+  }
+  if (!mfd->draining) {
+    auto result = mfd->volume->MailRead(*mfd->handle);
+    if (!result.ok()) return Fail(result.error());
+    mfd->pending_body = std::move(result->body);
+    mfd->pending_id = result->id.str();
+    mfd->drained = 0;
+    mfd->draining = true;
+  }
+  // Copy the id (callers typically size this generously; a short id
+  // buffer is an argument error to keep semantics simple).
+  if (static_cast<std::size_t>(*mail_id_len) < mfd->pending_id.size()) {
+    return Fail("mail_read: mail_id buffer too small");
+  }
+  std::memcpy(mail_id, mfd->pending_id.data(), mfd->pending_id.size());
+  *mail_id_len = static_cast<int>(mfd->pending_id.size());
+
+  const std::size_t remaining = mfd->pending_body.size() - mfd->drained;
+  const std::size_t n = std::min(remaining, static_cast<std::size_t>(*buf_len));
+  std::memcpy(buf, mfd->pending_body.data() + mfd->drained, n);
+  mfd->drained += n;
+  *buf_len = static_cast<int>(n);
+  if (mfd->drained < mfd->pending_body.size()) return MFS_MORE;
+  mfd->draining = false;
+  return MFS_OK;
+}
+
+int mail_delete(mail_file* mfd, const char* mail_id, int mail_id_len) {
+  if (mfd == nullptr || mail_id == nullptr || mail_id_len <= 0) {
+    return Fail("mail_delete: bad arguments");
+  }
+  auto id = MailId::Parse(std::string_view(mail_id,
+                                           static_cast<std::size_t>(mail_id_len)));
+  if (!id) return Fail("mail_delete: invalid mail id");
+  const util::Error err = mfd->volume->MailDelete(*mfd->handle, *id);
+  return err.ok() ? MFS_OK : Fail(err);
+}
+
+int mail_close(mail_file* mfd) {
+  if (mfd == nullptr) return Fail("mail_close: null handle");
+  mfd->volume->MailClose(std::move(mfd->handle));
+  delete mfd;
+  return MFS_OK;
+}
+
+}  // namespace sams::mfs

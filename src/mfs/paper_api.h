@@ -1,0 +1,58 @@
+// The exact API surface of §6.2, as C-style functions over MfsVolume.
+//
+// The paper exposes MFS to postfix through mail_open / mail_seek /
+// mail_nwrite / mail_read / mail_delete / mail_close. These wrappers
+// preserve those signatures (modulo the volume handle, which the
+// paper's prototype kept as process-global state) so the examples can
+// be read side-by-side with the paper. New C++ code should prefer the
+// MfsVolume methods directly.
+#pragma once
+
+#include "mfs/volume.h"
+
+namespace sams::mfs {
+
+// Opaque per-open-file handle (the paper's mail_file*).
+struct mail_file;
+
+inline constexpr int MFS_SEEK_SET = 0;
+inline constexpr int MFS_SEEK_CUR = 1;
+inline constexpr int MFS_SEEK_END = 2;
+
+// Return codes: 0 success, -1 failure (inspect mfs_last_error()), and
+// for mail_read, +1 means "buffer filled, more bytes of this mail
+// remain — call again".
+inline constexpr int MFS_OK = 0;
+inline constexpr int MFS_ERR = -1;
+inline constexpr int MFS_MORE = 1;
+
+// mail_open: opens `filename` as an MFS mailbox in `vol`; creates the
+// proper mailbox_key and mailbox_data files if absent; seek pointer at
+// the first mail. Returns nullptr on failure.
+mail_file* mail_open(MfsVolume* vol, const char* filename, const char* mode);
+
+// mail_seek: seek at mail granularity.
+int mail_seek(mail_file* mfd, int offset, int whence);
+
+// mail_nwrite: writes one mail to the nmfd mailboxes in `mfd`.
+int mail_nwrite(mail_file** mfd, int nmfd, const char* buf,
+                const char* mail_id, int buf_len, int mail_id_len);
+
+// mail_read: reads the next mail at the seek pointer. On input,
+// *buf_len / *mail_id_len give the buffer capacities; on output they
+// hold the byte counts written. Returns MFS_MORE while the mail has
+// bytes beyond the buffer (call again to continue), MFS_OK when the
+// mail completed, MFS_ERR at end-of-mailbox or on error.
+int mail_read(mail_file* mfd, char* buf, char* mail_id, int* buf_len,
+              int* mail_id_len);
+
+// mail_delete: removes the mail with the given id from this mailbox.
+int mail_delete(mail_file* mfd, const char* mail_id, int mail_id_len);
+
+// mail_close: releases the handle.
+int mail_close(mail_file* mfd);
+
+// Last error message from an MFS_ERR return on this thread.
+const char* mfs_last_error();
+
+}  // namespace sams::mfs

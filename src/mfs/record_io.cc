@@ -1,0 +1,248 @@
+#include "mfs/record_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sams::mfs {
+namespace {
+
+using util::Error;
+using util::Result;
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+void EncodeU64(std::uint64_t v, char* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>(v >> (8 * i));
+}
+
+std::uint64_t DecodeU64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+void EncodeU32(std::uint32_t v, char* out) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>(v >> (8 * i));
+}
+
+std::uint32_t DecodeU32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+void EncodeKeyRecord(const KeyRecord& rec, char* buf) {
+  std::memset(buf, 0, KeyRecord::kWireSize);
+  std::memcpy(buf, rec.id.str().data(), rec.id.str().size());
+  EncodeU64(static_cast<std::uint64_t>(rec.offset), buf + MailId::kMaxLen);
+  EncodeU32(static_cast<std::uint32_t>(rec.refcount), buf + MailId::kMaxLen + 8);
+}
+
+Result<KeyRecord> DecodeKeyRecord(const char* buf) {
+  // Id is NUL-padded to kMaxLen.
+  std::size_t len = 0;
+  while (len < MailId::kMaxLen && buf[len] != '\0') ++len;
+  auto id = MailId::Parse(std::string_view(buf, len));
+  if (!id) return util::Corruption("key file: invalid mail id");
+  KeyRecord rec;
+  rec.id = *id;
+  rec.offset = static_cast<std::int64_t>(DecodeU64(buf + MailId::kMaxLen));
+  rec.refcount = static_cast<std::int32_t>(DecodeU32(buf + MailId::kMaxLen + 8));
+  return rec;
+}
+
+}  // namespace
+
+Result<KeyFile> KeyFile::Open(const std::string& path) {
+  KeyFile kf;
+  kf.path_ = path;
+  kf.fd_.Reset(::open(path.c_str(), O_RDWR | O_CREAT, 0600));
+  if (!kf.fd_.valid()) return util::IoError(Errno("open", path));
+
+  struct stat st;
+  if (::fstat(kf.fd_.get(), &st) != 0) return util::IoError(Errno("fstat", path));
+  if (st.st_size % static_cast<off_t>(KeyRecord::kWireSize) != 0) {
+    return util::Corruption("key file " + path + ": truncated record");
+  }
+  const std::size_t count =
+      static_cast<std::size_t>(st.st_size) / KeyRecord::kWireSize;
+  kf.records_.reserve(count);
+  char buf[KeyRecord::kWireSize];
+  for (std::size_t i = 0; i < count; ++i) {
+    const ssize_t n = ::pread(kf.fd_.get(), buf, sizeof(buf),
+                              static_cast<off_t>(i * KeyRecord::kWireSize));
+    if (n != static_cast<ssize_t>(sizeof(buf))) {
+      return util::IoError(Errno("pread", path));
+    }
+    auto rec = DecodeKeyRecord(buf);
+    if (!rec.ok()) return rec.error();
+    kf.records_.push_back(std::move(rec).value());
+  }
+  return kf;
+}
+
+Result<std::size_t> KeyFile::Append(const KeyRecord& record) {
+  if (record.id.empty()) return util::InvalidArgument("empty mail id");
+  char buf[KeyRecord::kWireSize];
+  EncodeKeyRecord(record, buf);
+  const off_t at = static_cast<off_t>(records_.size() * KeyRecord::kWireSize);
+  const ssize_t n = ::pwrite(fd_.get(), buf, sizeof(buf), at);
+  if (n != static_cast<ssize_t>(sizeof(buf))) {
+    return util::IoError(Errno("pwrite", path_));
+  }
+  records_.push_back(record);
+  return records_.size() - 1;
+}
+
+Error KeyFile::SetRefcount(std::size_t index, std::int32_t refcount) {
+  if (index >= records_.size()) return util::OutOfRange("key record index");
+  char buf[4];
+  EncodeU32(static_cast<std::uint32_t>(refcount), buf);
+  const off_t at = static_cast<off_t>(index * KeyRecord::kWireSize +
+                                      MailId::kMaxLen + 8);
+  if (::pwrite(fd_.get(), buf, sizeof(buf), at) != 4) {
+    return util::IoError(Errno("pwrite", path_));
+  }
+  records_[index].refcount = refcount;
+  return util::OkError();
+}
+
+Error KeyFile::SetOffset(std::size_t index, std::int64_t offset) {
+  if (index >= records_.size()) return util::OutOfRange("key record index");
+  char buf[8];
+  EncodeU64(static_cast<std::uint64_t>(offset), buf);
+  const off_t at =
+      static_cast<off_t>(index * KeyRecord::kWireSize + MailId::kMaxLen);
+  if (::pwrite(fd_.get(), buf, sizeof(buf), at) != 8) {
+    return util::IoError(Errno("pwrite", path_));
+  }
+  records_[index].offset = offset;
+  return util::OkError();
+}
+
+std::size_t KeyFile::Find(const MailId& id) const {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].IsTombstone() && records_[i].id == id) return i;
+  }
+  return npos;
+}
+
+Error KeyFile::Sync() {
+  if (::fsync(fd_.get()) != 0) return util::IoError(Errno("fsync", path_));
+  return util::OkError();
+}
+
+Error KeyFile::Rewrite(const std::string& path,
+                       std::vector<KeyRecord> new_records) {
+  const std::string tmp = path + ".tmp";
+  util::UniqueFd tmp_fd(::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600));
+  if (!tmp_fd.valid()) return util::IoError(Errno("open", tmp));
+  char buf[KeyRecord::kWireSize];
+  off_t at = 0;
+  for (const KeyRecord& rec : new_records) {
+    EncodeKeyRecord(rec, buf);
+    if (::pwrite(tmp_fd.get(), buf, sizeof(buf), at) !=
+        static_cast<ssize_t>(sizeof(buf))) {
+      return util::IoError(Errno("pwrite", tmp));
+    }
+    at += static_cast<off_t>(sizeof(buf));
+  }
+  if (::fsync(tmp_fd.get()) != 0) return util::IoError(Errno("fsync", tmp));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return util::IoError(Errno("rename", tmp));
+  }
+  path_ = path;
+  fd_ = std::move(tmp_fd);
+  records_ = std::move(new_records);
+  return util::OkError();
+}
+
+Result<DataFile> DataFile::Open(const std::string& path) {
+  DataFile df;
+  df.path_ = path;
+  df.fd_.Reset(::open(path.c_str(), O_RDWR | O_CREAT, 0600));
+  if (!df.fd_.valid()) return util::IoError(Errno("open", path));
+  struct stat st;
+  if (::fstat(df.fd_.get(), &st) != 0) return util::IoError(Errno("fstat", path));
+  df.end_ = static_cast<std::int64_t>(st.st_size);
+  return df;
+}
+
+Result<std::int64_t> DataFile::Append(std::string_view payload) {
+  char len_buf[4];
+  EncodeU32(static_cast<std::uint32_t>(payload.size()), len_buf);
+  const std::int64_t at = end_;
+  if (::pwrite(fd_.get(), len_buf, 4, static_cast<off_t>(at)) != 4) {
+    return util::IoError(Errno("pwrite", path_));
+  }
+  if (!payload.empty() &&
+      ::pwrite(fd_.get(), payload.data(), payload.size(),
+               static_cast<off_t>(at + 4)) !=
+          static_cast<ssize_t>(payload.size())) {
+    return util::IoError(Errno("pwrite", path_));
+  }
+  end_ = at + 4 + static_cast<std::int64_t>(payload.size());
+  return at;
+}
+
+Result<std::string> DataFile::ReadAt(std::int64_t offset) const {
+  if (offset < 0 || offset + 4 > end_) {
+    return util::OutOfRange("data offset beyond end of file");
+  }
+  char len_buf[4];
+  if (::pread(fd_.get(), len_buf, 4, static_cast<off_t>(offset)) != 4) {
+    return util::IoError(Errno("pread", path_));
+  }
+  const std::uint32_t len = DecodeU32(len_buf);
+  if (offset + 4 + static_cast<std::int64_t>(len) > end_) {
+    return util::Corruption("data record length exceeds file size");
+  }
+  std::string out(len, '\0');
+  if (len > 0 &&
+      ::pread(fd_.get(), out.data(), len, static_cast<off_t>(offset + 4)) !=
+          static_cast<ssize_t>(len)) {
+    return util::IoError(Errno("pread", path_));
+  }
+  return out;
+}
+
+Error DataFile::Sync() {
+  if (::fsync(fd_.get()) != 0) return util::IoError(Errno("fsync", path_));
+  return util::OkError();
+}
+
+Result<std::vector<std::int64_t>> DataFile::Rewrite(
+    const std::string& path, const std::vector<std::string>& payloads) {
+  const std::string tmp = path + ".tmp";
+  {
+    util::UniqueFd tmp_fd(::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600));
+    if (!tmp_fd.valid()) return util::IoError(Errno("open", tmp));
+    fd_ = std::move(tmp_fd);
+  }
+  end_ = 0;
+  std::vector<std::int64_t> offsets;
+  offsets.reserve(payloads.size());
+  for (const std::string& payload : payloads) {
+    auto off = Append(payload);
+    if (!off.ok()) return off.error();
+    offsets.push_back(*off);
+  }
+  if (::fsync(fd_.get()) != 0) return util::IoError(Errno("fsync", tmp));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return util::IoError(Errno("rename", tmp));
+  }
+  path_ = path;
+  return offsets;
+}
+
+}  // namespace sams::mfs

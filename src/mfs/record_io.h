@@ -1,0 +1,112 @@
+// On-disk building blocks of an MFS file (§6.1, Figure 9):
+//
+//   KeyFile   — the primary "key" file: fixed-width (key, offset,
+//               refcount) tuples, append-mostly with in-place refcount
+//               updates (pwrite).
+//   DataFile  — the companion "data" file: length-prefixed mail
+//               records, append-only, random reads by offset.
+//
+// Both are plain files of the underlying byte-oriented file system —
+// the paper deliberately builds MFS as an application-level extension
+// rather than a kernel file system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mfs/mail_id.h"
+#include "util/fd.h"
+#include "util/result.h"
+
+namespace sams::mfs {
+
+// Refcount conventions (paper Figure 9):
+//   > 0 : record lives in THIS file's data file; value = remaining refs
+//         (1 for a private mailbox record; N in the shared mailbox).
+//   -1  : redirect — record lives in the shared mailbox's data file at
+//         `offset`.
+//    0  : tombstone (deleted, reclaimable by compaction).
+struct KeyRecord {
+  MailId id;
+  std::int64_t offset = 0;
+  std::int32_t refcount = 0;
+
+  bool IsRedirect() const { return refcount == -1; }
+  bool IsTombstone() const { return refcount == 0; }
+
+  static constexpr std::size_t kWireSize = MailId::kMaxLen + 8 + 4;
+};
+
+class KeyFile {
+ public:
+  KeyFile() = default;
+  KeyFile(KeyFile&&) = default;
+  KeyFile& operator=(KeyFile&&) = default;
+
+  // Opens (creating if absent) and loads all records into memory.
+  static util::Result<KeyFile> Open(const std::string& path);
+
+  // Appends a record; returns its index.
+  util::Result<std::size_t> Append(const KeyRecord& record);
+
+  // In-place refcount update (pwrite at the record's slot).
+  util::Error SetRefcount(std::size_t index, std::int32_t refcount);
+
+  // In-place offset update (compaction patches redirect tuples).
+  util::Error SetOffset(std::size_t index, std::int64_t offset);
+
+  const std::vector<KeyRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  const KeyRecord& at(std::size_t i) const { return records_[i]; }
+
+  // Index of the first non-tombstone record with this id, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t Find(const MailId& id) const;
+
+  util::Error Sync();
+
+  // Rewrites the file with exactly `records` (compaction support).
+  util::Error Rewrite(const std::string& path,
+                      std::vector<KeyRecord> new_records);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  util::UniqueFd fd_;
+  std::vector<KeyRecord> records_;
+};
+
+class DataFile {
+ public:
+  DataFile() = default;
+  DataFile(DataFile&&) = default;
+  DataFile& operator=(DataFile&&) = default;
+
+  static util::Result<DataFile> Open(const std::string& path);
+
+  // Appends one record; returns the offset to store in a KeyRecord.
+  util::Result<std::int64_t> Append(std::string_view payload);
+
+  // Reads the record at `offset`.
+  util::Result<std::string> ReadAt(std::int64_t offset) const;
+
+  std::int64_t end_offset() const { return end_; }
+
+  util::Error Sync();
+
+  // Rewrites with the given payloads; returns their new offsets in
+  // order (compaction support).
+  util::Result<std::vector<std::int64_t>> Rewrite(
+      const std::string& path, const std::vector<std::string>& payloads);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  util::UniqueFd fd_;
+  std::int64_t end_ = 0;
+};
+
+}  // namespace sams::mfs

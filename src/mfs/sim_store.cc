@@ -1,0 +1,20 @@
+#include "mfs/sim_store.h"
+
+#include "util/strings.h"
+
+namespace sams::mfs {
+
+std::unique_ptr<SimMailStore> MakeSimStore(std::string_view layout,
+                                           fskit::SimFs& fs) {
+  if (util::IEquals(layout, "mbox")) return std::make_unique<SimMboxStore>(fs);
+  if (util::IEquals(layout, "maildir")) {
+    return std::make_unique<SimMaildirStore>(fs);
+  }
+  if (util::IEquals(layout, "hardlink")) {
+    return std::make_unique<SimHardlinkStore>(fs);
+  }
+  if (util::IEquals(layout, "mfs")) return std::make_unique<SimMfsStore>(fs);
+  return nullptr;
+}
+
+}  // namespace sams::mfs

@@ -1,0 +1,134 @@
+// Simulated-cost twins of the four mailbox store layouts.
+//
+// Figures 10/11 measure "mails written per second" with the base file
+// system being Ext3 or Reiser. The real backends in mfs/store.h run on
+// whatever the host kernel provides, so the figure benches instead
+// replay each layout's *operation sequence* against a file-system cost
+// model (fskit) bound to the simulated disk. The sequences below are
+// exactly what the real backends issue:
+//
+//   mbox     : per recipient: append(body)
+//   maildir  : per recipient: create + append(body) + rename
+//   hardlink : create + append(body) once, then per recipient: link;
+//              finally: delete (queue reference dropped)
+//   mfs      : 1 recipient:  append(body) + append(key tuple)
+//              n recipients: append(body) + append(shared key tuple)
+//                            + n * append(redirect tuple)
+//
+// Durability: one fsync per delivered mail (group commit batches
+// concurrent deliveries, which is what lets throughput scale with the
+// number of concurrent smtpd processes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "fskit/sim_fs.h"
+
+namespace sams::mfs {
+
+class SimMailStore {
+ public:
+  using Done = std::function<void()>;
+
+  explicit SimMailStore(fskit::SimFs& fs) : fs_(fs) {}
+  virtual ~SimMailStore() = default;
+  SimMailStore(const SimMailStore&) = delete;
+  SimMailStore& operator=(const SimMailStore&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  // Issues the layout's operations for one mail of `bytes` destined to
+  // `nrcpts` mailboxes, then fsyncs; `done` fires when durable.
+  virtual void Deliver(std::uint64_t bytes, int nrcpts, Done done) = 0;
+
+  // CPU the delivery path spends copying the body through write(2):
+  // proportional to the *physical* bytes the layout writes — n copies
+  // for mbox/maildir, one for hard-link and MFS. This is the CPU half
+  // of the duplicated-I/O cost of §4.2.
+  virtual util::SimTime DeliveryCpu(std::uint64_t bytes, int nrcpts) const {
+    return kWriteCpuPerByte * static_cast<std::int64_t>(
+        PhysicalCopies(nrcpts) * bytes);
+  }
+
+  // How many times the body hits write(2) for n recipients.
+  virtual int PhysicalCopies(int nrcpts) const = 0;
+
+  std::uint64_t mails_delivered() const { return mails_; }
+
+ protected:
+  void Finish(Done done) {
+    ++mails_;
+    fs_.Fsync(std::move(done));
+  }
+
+  // On-disk width of one MFS key tuple (id + offset + refcount).
+  static constexpr std::uint64_t kKeyTupleBytes = 44;
+  // write(2) path cost per byte (copy_from_user + page-cache insert).
+  static constexpr util::SimTime kWriteCpuPerByte = util::SimTime::Nanos(10);
+
+  fskit::SimFs& fs_;
+  std::uint64_t mails_ = 0;
+};
+
+class SimMboxStore final : public SimMailStore {
+ public:
+  using SimMailStore::SimMailStore;
+  std::string_view name() const override { return "mbox"; }
+  int PhysicalCopies(int nrcpts) const override { return nrcpts; }
+  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+    for (int i = 0; i < nrcpts; ++i) fs_.Append(bytes);
+    Finish(std::move(done));
+  }
+};
+
+class SimMaildirStore final : public SimMailStore {
+ public:
+  using SimMailStore::SimMailStore;
+  std::string_view name() const override { return "maildir"; }
+  int PhysicalCopies(int nrcpts) const override { return nrcpts; }
+  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+    for (int i = 0; i < nrcpts; ++i) {
+      fs_.CreateFile();
+      fs_.Append(bytes);
+      fs_.Rename();
+    }
+    Finish(std::move(done));
+  }
+};
+
+class SimHardlinkStore final : public SimMailStore {
+ public:
+  using SimMailStore::SimMailStore;
+  std::string_view name() const override { return "hardlink"; }
+  int PhysicalCopies(int) const override { return 1; }
+  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+    fs_.CreateFile();
+    fs_.Append(bytes);
+    for (int i = 0; i < nrcpts; ++i) fs_.HardLink();
+    fs_.DeleteFile();  // queue reference dropped after linking
+    Finish(std::move(done));
+  }
+};
+
+class SimMfsStore final : public SimMailStore {
+ public:
+  using SimMailStore::SimMailStore;
+  std::string_view name() const override { return "mfs"; }
+  int PhysicalCopies(int) const override { return 1; }
+  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+    fs_.Append(bytes);            // single body copy (shared or private)
+    fs_.Append(kKeyTupleBytes);   // owning key tuple
+    if (nrcpts > 1) {
+      for (int i = 0; i < nrcpts; ++i) fs_.Append(kKeyTupleBytes);  // redirects
+    }
+    Finish(std::move(done));
+  }
+};
+
+std::unique_ptr<SimMailStore> MakeSimStore(std::string_view layout,
+                                           fskit::SimFs& fs);
+
+}  // namespace sams::mfs

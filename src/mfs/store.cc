@@ -1,0 +1,382 @@
+#include "mfs/store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/fd.h"
+
+namespace sams::mfs {
+namespace {
+
+using util::Error;
+using util::Result;
+using util::UniqueFd;
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+Error EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0700) == 0 || errno == EEXIST) return util::OkError();
+  return util::IoError(Errno("mkdir", path));
+}
+
+Result<std::vector<std::string>> ListDirSorted(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return util::IoError(Errno("opendir", dir));
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  UniqueFd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.valid()) return util::IoError(Errno("open", path));
+  std::string out;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::IoError(Errno("read", path));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+// --- mbox -------------------------------------------------------------
+
+// Classic mbox framing: "From sams <id>\n" separator, body lines
+// beginning with "From " quoted as ">From ".
+std::string MboxEncode(const MailId& id, std::string_view body) {
+  std::string out = "From sams " + id.str() + "\n";
+  std::size_t i = 0;
+  while (i < body.size()) {
+    std::size_t eol = body.find('\n', i);
+    const std::size_t end = eol == std::string_view::npos ? body.size() : eol + 1;
+    const std::string_view line = body.substr(i, end - i);
+    if (line.substr(0, 5) == "From ") out.push_back('>');
+    out.append(line);
+    i = end;
+  }
+  if (out.empty() || out.back() != '\n') out.push_back('\n');
+  out.push_back('\n');  // blank line terminates the mbox entry
+  return out;
+}
+
+class MboxStore final : public MailStore {
+ public:
+  MboxStore(std::string root, StoreOptions opts)
+      : root_(std::move(root)), opts_(opts) {}
+
+  std::string_view name() const override { return "mbox"; }
+
+  Error Deliver(const MailId& id, std::string_view body,
+                std::span<const std::string> mailboxes) override {
+    if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    const std::string encoded = MboxEncode(id, body);
+    for (const std::string& box : mailboxes) {
+      const std::string path = root_ + "/" + box + ".mbox";
+      UniqueFd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0600));
+      if (!fd.valid()) return util::IoError(Errno("open", path));
+      SAMS_RETURN_IF_ERROR(util::WriteAll(fd.get(), encoded.data(), encoded.size()));
+      stats_.bytes_written += encoded.size();
+      ++stats_.mailbox_deliveries;
+      if (opts_.fsync_each_mail) {
+        if (::fsync(fd.get()) != 0) return util::IoError(Errno("fsync", path));
+        ++stats_.fsyncs;
+      }
+    }
+    ++stats_.mails_delivered;
+    return util::OkError();
+  }
+
+  Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
+    const std::string path = root_ + "/" + box + ".mbox";
+    auto content = ReadWholeFile(path);
+    if (!content.ok()) return content.error();
+    std::vector<std::string> mails;
+    std::string current;
+    bool in_mail = false;
+    std::size_t i = 0;
+    const std::string& text = *content;
+    while (i < text.size()) {
+      std::size_t eol = text.find('\n', i);
+      const std::size_t end = eol == std::string::npos ? text.size() : eol + 1;
+      std::string_view line(text.data() + i, end - i);
+      i = end;
+      if (line.substr(0, 10) == "From sams ") {
+        if (in_mail) mails.push_back(std::move(current));
+        current.clear();
+        in_mail = true;
+        continue;
+      }
+      if (!in_mail) continue;
+      if (line.substr(0, 6) == ">From ") line.remove_prefix(1);
+      current.append(line);
+    }
+    if (in_mail) mails.push_back(std::move(current));
+    // Drop the blank-line terminators appended by MboxEncode.
+    for (std::string& mail : mails) {
+      if (mail.size() >= 1 && mail.back() == '\n') mail.pop_back();
+    }
+    return mails;
+  }
+
+  Error Sync() override { return util::OkError(); }
+
+ private:
+  std::string root_;
+  StoreOptions opts_;
+};
+
+// --- maildir ----------------------------------------------------------
+
+class MaildirStore final : public MailStore {
+ public:
+  MaildirStore(std::string root, StoreOptions opts)
+      : root_(std::move(root)), opts_(opts) {}
+
+  std::string_view name() const override { return "maildir"; }
+
+  Error EnsureMaildir(const std::string& box) {
+    const std::string base = root_ + "/" + box;
+    SAMS_RETURN_IF_ERROR(EnsureDir(base));
+    SAMS_RETURN_IF_ERROR(EnsureDir(base + "/tmp"));
+    SAMS_RETURN_IF_ERROR(EnsureDir(base + "/new"));
+    SAMS_RETURN_IF_ERROR(EnsureDir(base + "/cur"));
+    return util::OkError();
+  }
+
+  Error Deliver(const MailId& id, std::string_view body,
+                std::span<const std::string> mailboxes) override {
+    if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    // Monotonic name prefix keeps ReadMailbox in delivery order.
+    const std::string fname = SeqName(id);
+    for (const std::string& box : mailboxes) {
+      SAMS_RETURN_IF_ERROR(EnsureMaildir(box));
+      const std::string tmp = root_ + "/" + box + "/tmp/" + fname;
+      const std::string dst = root_ + "/" + box + "/new/" + fname;
+      {
+        UniqueFd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0600));
+        if (!fd.valid()) return util::IoError(Errno("open", tmp));
+        ++stats_.files_created;
+        SAMS_RETURN_IF_ERROR(util::WriteAll(fd.get(), body.data(), body.size()));
+        stats_.bytes_written += body.size();
+        if (opts_.fsync_each_mail) {
+          if (::fsync(fd.get()) != 0) return util::IoError(Errno("fsync", tmp));
+          ++stats_.fsyncs;
+        }
+      }
+      if (::rename(tmp.c_str(), dst.c_str()) != 0) {
+        return util::IoError(Errno("rename", tmp));
+      }
+      ++stats_.mailbox_deliveries;
+    }
+    ++stats_.mails_delivered;
+    return util::OkError();
+  }
+
+  Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
+    const std::string dir = root_ + "/" + box + "/new";
+    auto names = ListDirSorted(dir);
+    if (!names.ok()) return names.error();
+    std::vector<std::string> mails;
+    for (const std::string& name : *names) {
+      auto body = ReadWholeFile(dir + "/" + name);
+      if (!body.ok()) return body.error();
+      mails.push_back(std::move(body).value());
+    }
+    return mails;
+  }
+
+  Error Sync() override { return util::OkError(); }
+
+ protected:
+  std::string SeqName(const MailId& id) {
+    char prefix[24];
+    std::snprintf(prefix, sizeof(prefix), "%012llu.",
+                  static_cast<unsigned long long>(seq_++));
+    return prefix + id.str();
+  }
+
+  std::string root_;
+  StoreOptions opts_;
+  std::uint64_t seq_ = 0;
+};
+
+// --- hard-link maildir --------------------------------------------------
+
+class HardlinkMaildirStore final : public MailStore {
+ public:
+  HardlinkMaildirStore(std::string root, StoreOptions opts)
+      : root_(std::move(root)), opts_(opts) {}
+
+  std::string_view name() const override { return "hardlink"; }
+
+  Error Deliver(const MailId& id, std::string_view body,
+                std::span<const std::string> mailboxes) override {
+    if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    const std::string fname = SeqName(id);
+    // One physical copy in the hidden queue directory...
+    const std::string master = root_ + "/.queue/" + fname;
+    {
+      UniqueFd fd(::open(master.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0600));
+      if (!fd.valid()) return util::IoError(Errno("open", master));
+      ++stats_.files_created;
+      SAMS_RETURN_IF_ERROR(util::WriteAll(fd.get(), body.data(), body.size()));
+      stats_.bytes_written += body.size();
+      if (opts_.fsync_each_mail) {
+        if (::fsync(fd.get()) != 0) return util::IoError(Errno("fsync", master));
+        ++stats_.fsyncs;
+      }
+    }
+    // ...hard-linked into every recipient's new/.
+    for (const std::string& box : mailboxes) {
+      const std::string base = root_ + "/" + box;
+      SAMS_RETURN_IF_ERROR(EnsureDir(base));
+      SAMS_RETURN_IF_ERROR(EnsureDir(base + "/new"));
+      const std::string dst = base + "/new/" + fname;
+      if (::link(master.c_str(), dst.c_str()) != 0) {
+        return util::IoError(Errno("link", dst));
+      }
+      ++stats_.hard_links;
+      ++stats_.mailbox_deliveries;
+    }
+    // Drop the queue reference; the per-mailbox links keep the inode.
+    if (::unlink(master.c_str()) != 0) {
+      return util::IoError(Errno("unlink", master));
+    }
+    ++stats_.mails_delivered;
+    return util::OkError();
+  }
+
+  Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
+    const std::string dir = root_ + "/" + box + "/new";
+    auto names = ListDirSorted(dir);
+    if (!names.ok()) return names.error();
+    std::vector<std::string> mails;
+    for (const std::string& name : *names) {
+      auto body = ReadWholeFile(dir + "/" + name);
+      if (!body.ok()) return body.error();
+      mails.push_back(std::move(body).value());
+    }
+    return mails;
+  }
+
+  Error Sync() override { return util::OkError(); }
+
+ private:
+  std::string SeqName(const MailId& id) {
+    char prefix[24];
+    std::snprintf(prefix, sizeof(prefix), "%012llu.",
+                  static_cast<unsigned long long>(seq_++));
+    return prefix + id.str();
+  }
+
+  std::string root_;
+  StoreOptions opts_;
+  std::uint64_t seq_ = 0;
+};
+
+// --- MFS ----------------------------------------------------------------
+
+class MfsStore final : public MailStore {
+ public:
+  MfsStore(std::unique_ptr<MfsVolume> volume, StoreOptions opts)
+      : volume_(std::move(volume)), opts_(opts) {}
+
+  std::string_view name() const override { return "mfs"; }
+
+  Error Deliver(const MailId& id, std::string_view body,
+                std::span<const std::string> mailboxes) override {
+    if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    std::vector<std::unique_ptr<MailFile>> handles;
+    std::vector<MailFile*> raw;
+    handles.reserve(mailboxes.size());
+    for (const std::string& box : mailboxes) {
+      auto h = volume_->MailOpen(box);
+      if (!h.ok()) return h.error();
+      raw.push_back(h->get());
+      handles.push_back(std::move(h).value());
+    }
+    SAMS_RETURN_IF_ERROR(volume_->MailNWrite(raw, body, id));
+    stats_.bytes_written += body.size();  // single copy regardless of n
+    stats_.mailbox_deliveries += mailboxes.size();
+    ++stats_.mails_delivered;
+    if (opts_.fsync_each_mail) {
+      SAMS_RETURN_IF_ERROR(volume_->SyncAll());
+      ++stats_.fsyncs;
+    }
+    for (auto& h : handles) volume_->MailClose(std::move(h));
+    return util::OkError();
+  }
+
+  Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
+    auto h = volume_->MailOpen(box);
+    if (!h.ok()) return h.error();
+    std::vector<std::string> mails;
+    for (;;) {
+      auto mail = volume_->MailRead(**h);
+      if (!mail.ok()) {
+        if (mail.error().code() == util::ErrorCode::kOutOfRange) break;
+        return mail.error();
+      }
+      mails.push_back(std::move(mail->body));
+    }
+    volume_->MailClose(std::move(*h));
+    return mails;
+  }
+
+  Error Sync() override { return volume_->SyncAll(); }
+
+  MfsVolume& volume() { return *volume_; }
+
+ private:
+  std::unique_ptr<MfsVolume> volume_;
+  StoreOptions opts_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<MailStore>> MakeMboxStore(const std::string& root,
+                                                 StoreOptions opts) {
+  SAMS_RETURN_IF_ERROR(EnsureDir(root));
+  return std::unique_ptr<MailStore>(new MboxStore(root, opts));
+}
+
+Result<std::unique_ptr<MailStore>> MakeMaildirStore(const std::string& root,
+                                                    StoreOptions opts) {
+  SAMS_RETURN_IF_ERROR(EnsureDir(root));
+  return std::unique_ptr<MailStore>(new MaildirStore(root, opts));
+}
+
+Result<std::unique_ptr<MailStore>> MakeHardlinkMaildirStore(
+    const std::string& root, StoreOptions opts) {
+  SAMS_RETURN_IF_ERROR(EnsureDir(root));
+  SAMS_RETURN_IF_ERROR(EnsureDir(root + "/.queue"));
+  return std::unique_ptr<MailStore>(new HardlinkMaildirStore(root, opts));
+}
+
+Result<std::unique_ptr<MailStore>> MakeMfsStore(const std::string& root,
+                                                StoreOptions opts) {
+  auto volume = MfsVolume::Open(root);
+  if (!volume.ok()) return volume.error();
+  return std::unique_ptr<MailStore>(
+      new MfsStore(std::move(volume).value(), opts));
+}
+
+}  // namespace sams::mfs

@@ -1,0 +1,79 @@
+// Mailbox store backends — the four delivery layouts of §6.3:
+//
+//   MboxStore            "Postfix"  — one mbox file per mailbox; a
+//                                     multi-recipient mail is appended
+//                                     once per recipient (duplicated).
+//   MaildirStore         "maildir"  — one file per mail per recipient
+//                                     (tmp/ write + rename into new/).
+//   HardlinkMaildirStore "hard-link"— one file per mail, hard-linked
+//                                     into every recipient's maildir.
+//   MfsStore             "MFS"      — the paper's contribution: single
+//                                     copy in the shared mailbox.
+//
+// All four run on the real host file system behind a common interface,
+// so unit tests and micro-benchmarks exercise genuine I/O paths; the
+// throughput *figures* (10/11) use the cost-model twins in
+// mfs/sim_store.h because the base file system there must be Ext3 or
+// Reiser specifically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mfs/mail_id.h"
+#include "mfs/volume.h"
+#include "util/result.h"
+
+namespace sams::mfs {
+
+struct StoreStats {
+  std::uint64_t mails_delivered = 0;   // logical mails (one per nwrite)
+  std::uint64_t mailbox_deliveries = 0;  // mail x recipient
+  std::uint64_t bytes_written = 0;     // body bytes physically written
+  std::uint64_t files_created = 0;
+  std::uint64_t hard_links = 0;
+  std::uint64_t fsyncs = 0;
+};
+
+class MailStore {
+ public:
+  virtual ~MailStore() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Delivers one mail (already assigned a server-side id) to one or
+  // more recipient mailboxes.
+  virtual util::Error Deliver(const MailId& id, std::string_view body,
+                              std::span<const std::string> mailboxes) = 0;
+
+  // Reads all mail bodies in a mailbox, in delivery order.
+  virtual util::Result<std::vector<std::string>> ReadMailbox(
+      const std::string& mailbox) = 0;
+
+  // Forces everything to stable storage.
+  virtual util::Error Sync() = 0;
+
+  const StoreStats& stats() const { return stats_; }
+
+ protected:
+  StoreStats stats_;
+};
+
+struct StoreOptions {
+  bool fsync_each_mail = false;  // durability per delivery (postfix does)
+};
+
+// Factories. `root` is created if needed.
+util::Result<std::unique_ptr<MailStore>> MakeMboxStore(const std::string& root,
+                                                       StoreOptions opts = {});
+util::Result<std::unique_ptr<MailStore>> MakeMaildirStore(const std::string& root,
+                                                          StoreOptions opts = {});
+util::Result<std::unique_ptr<MailStore>> MakeHardlinkMaildirStore(
+    const std::string& root, StoreOptions opts = {});
+util::Result<std::unique_ptr<MailStore>> MakeMfsStore(const std::string& root,
+                                                      StoreOptions opts = {});
+
+}  // namespace sams::mfs

@@ -1,0 +1,421 @@
+#include "mfs/volume.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace sams::mfs {
+namespace {
+
+using util::Error;
+using util::Result;
+
+Error EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0700) == 0 || errno == EEXIST) return util::OkError();
+  return util::IoError("mkdir " + path + ": " + std::strerror(errno));
+}
+
+bool ValidMailboxName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_' ||
+                    c == '@' || c == '+';
+    if (!ok) return false;
+  }
+  // Forbid collision with the hidden shared mailbox and path tricks.
+  return name != "shared" && name.find("..") == std::string::npos;
+}
+
+}  // namespace
+
+std::string MfsVolume::BoxKeyPath(const std::string& name) const {
+  return root_ + "/boxes/" + name + ".key";
+}
+
+std::string MfsVolume::BoxDataPath(const std::string& name) const {
+  return root_ + "/boxes/" + name + ".dat";
+}
+
+Result<std::unique_ptr<MfsVolume>> MfsVolume::Open(const std::string& root) {
+  SAMS_RETURN_IF_ERROR(EnsureDir(root));
+  SAMS_RETURN_IF_ERROR(EnsureDir(root + "/boxes"));
+  std::unique_ptr<MfsVolume> vol(new MfsVolume(root));
+
+  auto shared_key = KeyFile::Open(root + "/shared.key");
+  if (!shared_key.ok()) return shared_key.error();
+  vol->shared_.key = std::move(shared_key).value();
+  auto shared_data = DataFile::Open(root + "/shared.dat");
+  if (!shared_data.ok()) return shared_data.error();
+  vol->shared_.data = std::move(shared_data).value();
+
+  for (std::size_t i = 0; i < vol->shared_.key.size(); ++i) {
+    const KeyRecord& rec = vol->shared_.key.at(i);
+    if (!rec.IsTombstone()) vol->shared_index_.emplace(rec.id, i);
+  }
+  return vol;
+}
+
+MfsVolume::~MfsVolume() = default;
+
+Result<MfsVolume::Box*> MfsVolume::LoadBox(const std::string& name) {
+  auto it = boxes_.find(name);
+  if (it != boxes_.end()) return it->second.get();
+  auto box = std::make_unique<Box>();
+  auto key = KeyFile::Open(BoxKeyPath(name));
+  if (!key.ok()) return key.error();
+  box->key = std::move(key).value();
+  auto data = DataFile::Open(BoxDataPath(name));
+  if (!data.ok()) return data.error();
+  box->data = std::move(data).value();
+  Box* raw = box.get();
+  boxes_.emplace(name, std::move(box));
+  return raw;
+}
+
+Result<std::unique_ptr<MailFile>> MfsVolume::MailOpen(const std::string& name,
+                                                      const std::string& mode) {
+  if (!ValidMailboxName(name)) {
+    return util::InvalidArgument("invalid mailbox name: " + name);
+  }
+  if (mode != "r" && mode != "w" && mode != "rw") {
+    return util::InvalidArgument("invalid open mode: " + mode);
+  }
+  auto box = LoadBox(name);
+  if (!box.ok()) return box.error();
+  return std::unique_ptr<MailFile>(new MailFile(this, name));
+}
+
+util::Error MfsVolume::MailSeek(MailFile& mfd, std::int64_t offset,
+                                Whence whence) {
+  auto box = LoadBox(mfd.name_);
+  if (!box.ok()) return box.error();
+  std::int64_t live = 0;
+  for (const KeyRecord& rec : (*box)->key.records()) {
+    if (!rec.IsTombstone()) ++live;
+  }
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet: base = 0; break;
+    case Whence::kCur: base = static_cast<std::int64_t>(mfd.position_); break;
+    case Whence::kEnd: base = live; break;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0 || target > live) {
+    return util::OutOfRange("seek beyond mailbox bounds");
+  }
+  mfd.position_ = static_cast<std::size_t>(target);
+  return util::OkError();
+}
+
+util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
+                                  std::string_view body, const MailId& id) {
+  if (boxes.empty()) return util::InvalidArgument("nwrite with no mailboxes");
+  if (id.empty()) return util::InvalidArgument("nwrite with empty mail id");
+  for (MailFile* mfd : boxes) {
+    if (mfd == nullptr || mfd->volume_ != this) {
+      return util::InvalidArgument("nwrite with foreign mail_file handle");
+    }
+  }
+  ++stats_.nwrites;
+
+  if (boxes.size() == 1) {
+    // Single recipient: the mail is private to this mailbox (Fig. 9).
+    auto box = LoadBox(boxes[0]->name_);
+    if (!box.ok()) return box.error();
+    if ((*box)->key.Find(id) != KeyFile::npos) {
+      ++stats_.collisions_rejected;
+      return util::AlreadyExists("mail id already present in mailbox");
+    }
+    auto offset = (*box)->data.Append(body);
+    if (!offset.ok()) return offset.error();
+    auto idx = (*box)->key.Append(KeyRecord{id, *offset, 1});
+    if (!idx.ok()) return idx.error();
+    ++stats_.private_writes;
+    return util::OkError();
+  }
+
+  // Multi-recipient: one copy in the shared mailbox. A colliding id is
+  // the §6.4 random-guessing attack — reject before touching disk.
+  if (shared_index_.contains(id)) {
+    ++stats_.collisions_rejected;
+    return util::AlreadyExists("mail id already present in shared mailbox");
+  }
+  // Reject duplicate handles for the same mailbox (would double-count
+  // the refcount).
+  std::unordered_set<std::string> names;
+  for (MailFile* mfd : boxes) {
+    if (!names.insert(mfd->name_).second) {
+      return util::InvalidArgument("duplicate recipient mailbox: " + mfd->name_);
+    }
+  }
+
+  auto offset = shared_.data.Append(body);
+  if (!offset.ok()) return offset.error();
+  auto shared_idx = shared_.key.Append(
+      KeyRecord{id, *offset, static_cast<std::int32_t>(boxes.size())});
+  if (!shared_idx.ok()) return shared_idx.error();
+  shared_index_.emplace(id, *shared_idx);
+
+  for (MailFile* mfd : boxes) {
+    auto box = LoadBox(mfd->name_);
+    if (!box.ok()) return box.error();
+    auto idx = (*box)->key.Append(KeyRecord{id, *offset, -1});
+    if (!idx.ok()) return idx.error();
+    ++stats_.redirects_written;
+  }
+  ++stats_.shared_writes;
+  stats_.bytes_deduplicated +=
+      static_cast<std::uint64_t>(body.size()) * (boxes.size() - 1);
+  return util::OkError();
+}
+
+Result<MailReadResult> MfsVolume::MailRead(MailFile& mfd) {
+  auto box = LoadBox(mfd.name_);
+  if (!box.ok()) return box.error();
+  // Locate the position_-th live record.
+  std::size_t live = 0;
+  const KeyRecord* found = nullptr;
+  for (const KeyRecord& rec : (*box)->key.records()) {
+    if (rec.IsTombstone()) continue;
+    if (live == mfd.position_) {
+      found = &rec;
+      break;
+    }
+    ++live;
+  }
+  if (found == nullptr) return util::OutOfRange("end of mailbox");
+
+  MailReadResult result;
+  result.id = found->id;
+  result.shared = found->IsRedirect();
+  if (found->IsRedirect()) {
+    // Permission check: a redirect is only honored if it was installed
+    // in this mailbox's own key file (it was — we just read it there)
+    // AND the shared record still exists.
+    auto it = shared_index_.find(found->id);
+    if (it == shared_index_.end()) {
+      return util::Corruption("redirect to missing shared record: " +
+                              found->id.str());
+    }
+    auto body = shared_.data.ReadAt(shared_.key.at(it->second).offset);
+    if (!body.ok()) return body.error();
+    result.body = std::move(body).value();
+  } else {
+    auto body = (*box)->data.ReadAt(found->offset);
+    if (!body.ok()) return body.error();
+    result.body = std::move(body).value();
+  }
+  ++mfd.position_;
+  ++stats_.reads;
+  return result;
+}
+
+util::Error MfsVolume::MailDelete(MailFile& mfd, const MailId& id) {
+  auto box = LoadBox(mfd.name_);
+  if (!box.ok()) return box.error();
+  const std::size_t idx = (*box)->key.Find(id);
+  if (idx == KeyFile::npos) {
+    return util::NotFound("mail " + id.str() + " not in mailbox " + mfd.name_);
+  }
+  const KeyRecord rec = (*box)->key.at(idx);
+  SAMS_RETURN_IF_ERROR((*box)->key.SetRefcount(idx, 0));  // tombstone
+
+  if (rec.IsRedirect()) {
+    auto it = shared_index_.find(id);
+    if (it == shared_index_.end()) {
+      return util::Corruption("redirect to missing shared record: " + id.str());
+    }
+    const std::size_t shared_idx = it->second;
+    const std::int32_t refs = shared_.key.at(shared_idx).refcount;
+    SAMS_RETURN_IF_ERROR(shared_.key.SetRefcount(shared_idx, refs - 1));
+    if (refs - 1 <= 0) {
+      SAMS_RETURN_IF_ERROR(shared_.key.SetRefcount(shared_idx, 0));
+      shared_index_.erase(it);
+    }
+  }
+  ++stats_.deletes;
+  return util::OkError();
+}
+
+void MfsVolume::MailClose(std::unique_ptr<MailFile> mfd) { mfd.reset(); }
+
+Result<std::size_t> MfsVolume::MailCount(const std::string& name) {
+  auto box = LoadBox(name);
+  if (!box.ok()) return box.error();
+  std::size_t live = 0;
+  for (const KeyRecord& rec : (*box)->key.records()) {
+    if (!rec.IsTombstone()) ++live;
+  }
+  return live;
+}
+
+util::Error MfsVolume::SyncAll() {
+  SAMS_RETURN_IF_ERROR(shared_.data.Sync());
+  SAMS_RETURN_IF_ERROR(shared_.key.Sync());
+  for (auto& [name, box] : boxes_) {
+    SAMS_RETURN_IF_ERROR(box->data.Sync());
+    SAMS_RETURN_IF_ERROR(box->key.Sync());
+  }
+  return util::OkError();
+}
+
+Result<std::vector<std::string>> MfsVolume::ListMailboxes() const {
+  std::vector<std::string> names;
+  const std::string dir = root_ + "/boxes";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return util::IoError("opendir " + dir + ": " + std::strerror(errno));
+  }
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string fname = ent->d_name;
+    constexpr std::string_view kSuffix = ".key";
+    if (fname.size() > kSuffix.size() &&
+        fname.compare(fname.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+            0) {
+      names.push_back(fname.substr(0, fname.size() - kSuffix.size()));
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<FsckReport> MfsVolume::Fsck() {
+  FsckReport report;
+  auto names = ListMailboxes();
+  if (!names.ok()) return names.error();
+
+  // Expected shared refcounts recomputed from redirect tuples.
+  std::unordered_map<MailId, std::int32_t> redirect_counts;
+
+  for (const std::string& name : *names) {
+    ++report.mailboxes;
+    auto box = LoadBox(name);
+    if (!box.ok()) return box.error();
+    std::unordered_set<MailId> seen;
+    for (const KeyRecord& rec : (*box)->key.records()) {
+      if (rec.IsTombstone()) continue;
+      ++report.live_records;
+      if (!seen.insert(rec.id).second) {
+        report.errors.push_back("duplicate id " + rec.id.str() + " in " + name);
+      }
+      if (rec.IsRedirect()) {
+        ++redirect_counts[rec.id];
+        if (!shared_index_.contains(rec.id)) {
+          report.errors.push_back("dangling redirect " + rec.id.str() + " in " +
+                                  name);
+        }
+      } else {
+        auto body = (*box)->data.ReadAt(rec.offset);
+        if (!body.ok()) {
+          report.errors.push_back("unreadable record " + rec.id.str() + " in " +
+                                  name + ": " + body.error().ToString());
+        }
+      }
+    }
+  }
+
+  for (const auto& [id, idx] : shared_index_) {
+    const KeyRecord& rec = shared_.key.at(idx);
+    ++report.shared_records;
+    const std::int32_t expected = rec.refcount;
+    const std::int32_t actual =
+        redirect_counts.contains(id) ? redirect_counts.at(id) : 0;
+    if (expected != actual) {
+      report.errors.push_back("shared record " + id.str() + " refcount " +
+                              std::to_string(expected) + " but " +
+                              std::to_string(actual) + " redirects exist");
+    }
+    auto body = shared_.data.ReadAt(rec.offset);
+    if (!body.ok()) {
+      report.errors.push_back("unreadable shared record " + id.str());
+    }
+  }
+  // Redirects pointing at ids absent from the shared index were already
+  // flagged as dangling above.
+  return report;
+}
+
+Result<CompactStats> MfsVolume::Compact() {
+  CompactStats cstats;
+  auto names = ListMailboxes();
+  if (!names.ok()) return names.error();
+
+  // --- shared mailbox -------------------------------------------------
+  std::vector<KeyRecord> live_shared;
+  std::vector<std::string> payloads;
+  const std::int64_t old_shared_bytes = shared_.data.end_offset();
+  for (const KeyRecord& rec : shared_.key.records()) {
+    if (rec.IsTombstone()) {
+      ++cstats.shared_records_dropped;
+      continue;
+    }
+    auto body = shared_.data.ReadAt(rec.offset);
+    if (!body.ok()) return body.error();
+    live_shared.push_back(rec);
+    payloads.push_back(std::move(body).value());
+  }
+  auto new_offsets = shared_.data.Rewrite(root_ + "/shared.dat", payloads);
+  if (!new_offsets.ok()) return new_offsets.error();
+  for (std::size_t i = 0; i < live_shared.size(); ++i) {
+    live_shared[i].offset = (*new_offsets)[i];
+  }
+  SAMS_RETURN_IF_ERROR(shared_.key.Rewrite(root_ + "/shared.key", live_shared));
+  shared_index_.clear();
+  std::unordered_map<MailId, std::int64_t> new_shared_offset;
+  for (std::size_t i = 0; i < shared_.key.size(); ++i) {
+    shared_index_.emplace(shared_.key.at(i).id, i);
+    new_shared_offset.emplace(shared_.key.at(i).id, shared_.key.at(i).offset);
+  }
+  cstats.bytes_reclaimed += static_cast<std::uint64_t>(
+      old_shared_bytes - shared_.data.end_offset());
+
+  // --- private mailboxes ----------------------------------------------
+  for (const std::string& name : *names) {
+    auto box_r = LoadBox(name);
+    if (!box_r.ok()) return box_r.error();
+    Box* box = *box_r;
+    std::vector<KeyRecord> live;
+    std::vector<std::string> box_payloads;
+    const std::int64_t old_bytes = box->data.end_offset();
+    for (const KeyRecord& rec : box->key.records()) {
+      if (rec.IsTombstone()) {
+        ++cstats.private_records_dropped;
+        continue;
+      }
+      if (rec.IsRedirect()) {
+        KeyRecord patched = rec;
+        auto it = new_shared_offset.find(rec.id);
+        if (it == new_shared_offset.end()) {
+          return util::Corruption("compact: dangling redirect " + rec.id.str());
+        }
+        patched.offset = it->second;
+        live.push_back(patched);
+        continue;
+      }
+      auto body = box->data.ReadAt(rec.offset);
+      if (!body.ok()) return body.error();
+      live.push_back(rec);
+      box_payloads.push_back(std::move(body).value());
+    }
+    auto offs = box->data.Rewrite(BoxDataPath(name), box_payloads);
+    if (!offs.ok()) return offs.error();
+    std::size_t next_payload = 0;
+    for (KeyRecord& rec : live) {
+      if (!rec.IsRedirect()) rec.offset = (*offs)[next_payload++];
+    }
+    SAMS_RETURN_IF_ERROR(box->key.Rewrite(BoxKeyPath(name), std::move(live)));
+    cstats.bytes_reclaimed +=
+        static_cast<std::uint64_t>(old_bytes - box->data.end_offset());
+  }
+  return cstats;
+}
+
+}  // namespace sams::mfs

@@ -1,0 +1,167 @@
+// MfsVolume — the Mail File System of §6, as a user-space library over
+// a conventional byte-oriented file system (exactly how the paper's
+// prototype was built and evaluated).
+//
+// Layout under the volume root:
+//   boxes/<mailbox>.key / boxes/<mailbox>.dat   — per-user MFS files
+//   shared.key / shared.dat                     — the hidden shared
+//                                                 mailbox (multi-
+//                                                 recipient mails)
+//
+// Single-recipient mails append to the recipient's data file with a
+// (id, offset, 1) key tuple. Multi-recipient mails append ONCE to the
+// shared data file with (id, offset, n_recipients) in shared.key, and
+// each recipient's key file gets a redirect tuple (id, offset, -1).
+// Deleting a shared mail decrements the shared refcount; compaction
+// reclaims zero-ref records. The shared files are only reachable
+// through this API (the paper proposes kernel residence for the same
+// hiding property).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mfs/mail_id.h"
+#include "mfs/record_io.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sams::mfs {
+
+class MfsVolume;
+
+// An open MFS mail file (the paper's mail_file* / mfd). Holds a seek
+// pointer at mail granularity. Obtained from MfsVolume::MailOpen.
+class MailFile {
+ public:
+  const std::string& name() const { return name_; }
+  // Seek position counted in live (non-deleted) mails.
+  std::size_t position() const { return position_; }
+
+ private:
+  friend class MfsVolume;
+  MailFile(MfsVolume* volume, std::string name)
+      : volume_(volume), name_(std::move(name)) {}
+  MfsVolume* volume_;
+  std::string name_;
+  std::size_t position_ = 0;
+};
+
+enum class Whence { kSet, kCur, kEnd };  // mail_seek whence (§6.2)
+
+struct MailReadResult {
+  MailId id;
+  std::string body;
+  bool shared = false;  // came from the shared mailbox
+};
+
+struct VolumeStats {
+  std::uint64_t nwrites = 0;
+  std::uint64_t shared_writes = 0;   // multi-recipient mails stored once
+  std::uint64_t private_writes = 0;  // single-recipient mails
+  std::uint64_t redirects_written = 0;
+  std::uint64_t bytes_deduplicated = 0;  // body bytes NOT rewritten
+  std::uint64_t reads = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t collisions_rejected = 0;  // §6.4 attack detections
+};
+
+struct FsckReport {
+  std::uint64_t mailboxes = 0;
+  std::uint64_t live_records = 0;
+  std::uint64_t shared_records = 0;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+struct CompactStats {
+  std::uint64_t shared_records_dropped = 0;
+  std::uint64_t private_records_dropped = 0;
+  std::uint64_t bytes_reclaimed = 0;
+};
+
+class MfsVolume {
+ public:
+  // Opens (creating if needed) a volume rooted at `root`.
+  static util::Result<std::unique_ptr<MfsVolume>> Open(const std::string& root);
+
+  ~MfsVolume();
+  MfsVolume(const MfsVolume&) = delete;
+  MfsVolume& operator=(const MfsVolume&) = delete;
+
+  // --- the paper's API (§6.2), object form ---------------------------
+
+  // mail_open: opens a mailbox file; creates <name>.key/.dat if absent.
+  // `mode` is accepted for API fidelity ("r", "w", "rw"); all handles
+  // are read-write internally.
+  util::Result<std::unique_ptr<MailFile>> MailOpen(const std::string& name,
+                                                   const std::string& mode = "rw");
+
+  // mail_seek: positions the handle at mail granularity.
+  util::Error MailSeek(MailFile& mfd, std::int64_t offset, Whence whence);
+
+  // mail_nwrite: writes one mail to `boxes` (1..n recipients). The
+  // mail_id must be server-generated; a multi-recipient write whose id
+  // already exists in the shared mailbox is rejected as a collision
+  // attack (§6.4).
+  util::Error MailNWrite(std::span<MailFile* const> boxes, std::string_view body,
+                         const MailId& id);
+
+  // mail_read: reads the mail at the seek pointer and advances it.
+  // Returns OutOfRange at end of mailbox.
+  util::Result<MailReadResult> MailRead(MailFile& mfd);
+
+  // mail_delete: deletes the mail with `id` from this mailbox. Shared
+  // mails decrement the shared refcount; the payload is reclaimed by
+  // Compact once no mailbox references it.
+  util::Error MailDelete(MailFile& mfd, const MailId& id);
+
+  // mail_close: releases the handle (flushes nothing extra; data is
+  // written through at nwrite time).
+  void MailClose(std::unique_ptr<MailFile> mfd);
+
+  // --- maintenance ----------------------------------------------------
+
+  // Number of live mails visible in a mailbox.
+  util::Result<std::size_t> MailCount(const std::string& name);
+
+  // fsync everything.
+  util::Error SyncAll();
+
+  // Cross-checks key/data files and shared refcounts across ALL
+  // mailboxes in the volume (including ones not currently open).
+  util::Result<FsckReport> Fsck();
+
+  // Rewrites the shared mailbox and all private mailboxes, dropping
+  // tombstones and zero-ref shared records; patches redirect offsets.
+  util::Result<CompactStats> Compact();
+
+  const VolumeStats& stats() const { return stats_; }
+  const std::string& root() const { return root_; }
+
+ private:
+  struct Box {
+    KeyFile key;
+    DataFile data;
+  };
+
+  explicit MfsVolume(std::string root) : root_(std::move(root)) {}
+
+  util::Result<Box*> LoadBox(const std::string& name);
+  std::string BoxKeyPath(const std::string& name) const;
+  std::string BoxDataPath(const std::string& name) const;
+  util::Result<std::vector<std::string>> ListMailboxes() const;
+
+  std::string root_;
+  Box shared_;
+  std::unordered_map<std::string, std::unique_ptr<Box>> boxes_;
+  // Shared-id index: id -> record index in shared_.key.
+  std::unordered_map<MailId, std::size_t> shared_index_;
+  VolumeStats stats_;
+};
+
+}  // namespace sams::mfs

@@ -1,0 +1,115 @@
+#include "mta/drivers.h"
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace sams::mta {
+namespace {
+
+struct Snapshot {
+  sim::CpuStats cpu;
+  ServerMetrics server;
+  std::uint64_t dns_queries = 0;
+};
+
+Snapshot Take(sim::Machine& machine, const SimMailServer& server,
+              const dnsbl::Resolver* resolver) {
+  Snapshot snap;
+  snap.cpu = machine.cpu().stats();
+  snap.server = server.metrics();
+  if (resolver != nullptr) snap.dns_queries = resolver->stats().dns_queries_sent;
+  return snap;
+}
+
+LoadResult Delta(const Snapshot& before, const Snapshot& after, SimTime window,
+                 const dnsbl::Resolver* resolver) {
+  LoadResult result;
+  const double secs = window.seconds();
+  result.mails_delivered =
+      after.server.mails_delivered - before.server.mails_delivered;
+  result.mailbox_deliveries =
+      after.server.mailbox_deliveries - before.server.mailbox_deliveries;
+  result.mailbox_writes_per_sec =
+      static_cast<double>(result.mailbox_deliveries) / secs;
+  result.connections_closed =
+      after.server.connections_closed - before.server.connections_closed;
+  result.bounce_sessions =
+      after.server.bounce_sessions - before.server.bounce_sessions;
+  result.unfinished_sessions =
+      after.server.unfinished_sessions - before.server.unfinished_sessions;
+  result.forks = after.server.forks - before.server.forks;
+  result.context_switches =
+      after.cpu.context_switches - before.cpu.context_switches;
+  result.dns_queries = after.dns_queries - before.dns_queries;
+  result.goodput_mails_per_sec =
+      static_cast<double>(result.mails_delivered) / secs;
+  result.sessions_per_sec =
+      static_cast<double>(result.connections_closed) / secs;
+  result.cpu_utilization =
+      (after.cpu.busy - before.cpu.busy).seconds() / secs;
+  result.cpu_switch_overhead =
+      (after.cpu.switch_overhead - before.cpu.switch_overhead).seconds() / secs;
+  if (resolver != nullptr) result.dnsbl_hit_ratio = resolver->stats().HitRatio();
+  return result;
+}
+
+}  // namespace
+
+LoadResult RunClosedLoop(sim::Machine& machine, SimMailServer& server,
+                         std::span<const trace::SessionSpec> trace,
+                         int concurrency, SimTime warmup, SimTime window,
+                         const dnsbl::Resolver* resolver) {
+  SAMS_CHECK(!trace.empty());
+  SAMS_CHECK(concurrency > 0);
+
+  // Each slot cycles: session completes -> next trace entry starts.
+  // State lives on the heap so the lambdas stay copyable & small.
+  auto next_index = std::make_shared<std::size_t>(0);
+  auto launch = std::make_shared<std::function<void()>>();
+  *launch = [&server, trace, next_index, launch] {
+    const trace::SessionSpec& spec = trace[*next_index % trace.size()];
+    ++*next_index;
+    server.Connect(spec, [launch](bool) { (*launch)(); });
+  };
+  for (int i = 0; i < concurrency; ++i) (*launch)();
+
+  machine.sim().RunUntil(warmup);
+  const Snapshot before = Take(machine, server, resolver);
+  machine.sim().RunUntil(warmup + window);
+  const Snapshot after = Take(machine, server, resolver);
+  // Sever the self-referential launch cycle so the shared_ptrs free.
+  *launch = [] {};
+  return Delta(before, after, window, resolver);
+}
+
+LoadResult RunOpenLoop(sim::Machine& machine, SimMailServer& server,
+                       std::span<const trace::SessionSpec> trace,
+                       double rate_per_sec, SimTime warmup, SimTime window,
+                       util::Rng& rng, const dnsbl::Resolver* resolver) {
+  SAMS_CHECK(!trace.empty());
+  SAMS_CHECK(rate_per_sec > 0);
+
+  const SimTime end = warmup + window;
+  auto next_index = std::make_shared<std::size_t>(0);
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [&machine, &server, &rng, trace, next_index, arrive, rate_per_sec,
+             end] {
+    if (machine.sim().Now() > end) return;  // stop generating load
+    const trace::SessionSpec& spec = trace[*next_index % trace.size()];
+    ++*next_index;
+    server.Connect(spec, nullptr);
+    const SimTime gap = SimTime::SecondsF(rng.Exponential(1.0 / rate_per_sec));
+    machine.sim().After(gap, [arrive] { (*arrive)(); });
+  };
+  (*arrive)();
+
+  machine.sim().RunUntil(warmup);
+  const Snapshot before = Take(machine, server, resolver);
+  machine.sim().RunUntil(end);
+  const Snapshot after = Take(machine, server, resolver);
+  *arrive = [] {};
+  return Delta(before, after, window, resolver);
+}
+
+}  // namespace sams::mta

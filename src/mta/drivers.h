@@ -1,0 +1,56 @@
+// Load drivers for the simulated server — the paper's two client
+// programs (Table 1):
+//
+//   Client Program 1 — closed system [24]: maintains a configurable
+//   number of concurrent connections; each completed session
+//   immediately starts the next one from the trace.
+//
+//   Client Program 2 — open system [24]: initiates new connections as
+//   a Poisson process at a configurable rate, regardless of how many
+//   are outstanding.
+//
+// Both run a warm-up phase, then measure goodput and resource metrics
+// over a window (deltas of the machine's and server's counters).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mta/sim_server.h"
+#include "util/rng.h"
+
+namespace sams::mta {
+
+struct LoadResult {
+  double goodput_mails_per_sec = 0.0;    // delivered mails / window
+  double sessions_per_sec = 0.0;         // closed sessions / window
+  double cpu_utilization = 0.0;          // busy / window
+  double cpu_switch_overhead = 0.0;      // switch overhead / window
+  std::uint64_t context_switches = 0;    // during the window
+  std::uint64_t forks = 0;
+  std::uint64_t mails_delivered = 0;
+  std::uint64_t mailbox_deliveries = 0;   // mails x recipients
+  double mailbox_writes_per_sec = 0.0;
+  std::uint64_t bounce_sessions = 0;
+  std::uint64_t unfinished_sessions = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t dns_queries = 0;          // resolver messages sent
+  double dnsbl_hit_ratio = 0.0;           // cumulative, if resolver present
+};
+
+// Closed-system run: `concurrency` client connections cycle through
+// `trace` (wrapping around) until warmup+window of simulated time.
+LoadResult RunClosedLoop(sim::Machine& machine, SimMailServer& server,
+                         std::span<const trace::SessionSpec> trace,
+                         int concurrency, SimTime warmup, SimTime window,
+                         const dnsbl::Resolver* resolver = nullptr);
+
+// Open-system run: Poisson arrivals at `rate_per_sec`, sessions taken
+// from `trace` in order (wrapping).
+LoadResult RunOpenLoop(sim::Machine& machine, SimMailServer& server,
+                       std::span<const trace::SessionSpec> trace,
+                       double rate_per_sec, SimTime warmup, SimTime window,
+                       util::Rng& rng,
+                       const dnsbl::Resolver* resolver = nullptr);
+
+}  // namespace sams::mta

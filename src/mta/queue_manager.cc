@@ -1,0 +1,291 @@
+#include "mta/queue_manager.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "mta/recipient_db.h"
+#include "util/fd.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace sams::mta {
+namespace {
+
+// Spool format:
+//   id=<mail id>
+//   ip=<client ip>
+//   helo=<helo>
+//   from=<reverse path>
+//   rcpt=<addr>            (repeated)
+//   body=<byte count>
+//   <raw body bytes>
+std::string SerializeSpool(const mfs::MailId& id,
+                           const smtp::Envelope& envelope) {
+  std::string out;
+  out += "id=" + id.str() + "\n";
+  out += "ip=" + envelope.client_ip + "\n";
+  out += "helo=" + envelope.helo + "\n";
+  out += "from=" + envelope.mail_from.ToString() + "\n";
+  for (const smtp::Address& rcpt : envelope.rcpt_to) {
+    out += "rcpt=" + rcpt.ToString() + "\n";
+  }
+  out += "body=" + std::to_string(envelope.body.size()) + "\n";
+  out += envelope.body;
+  return out;
+}
+
+}  // namespace
+
+QueueManager::QueueManager(QueueConfig cfg, mfs::MailStore& store)
+    : cfg_(std::move(cfg)), store_(store) {
+  SAMS_CHECK(!cfg_.spool_dir.empty()) << "spool_dir required";
+}
+
+QueueManager::~QueueManager() { Stop(); }
+
+util::Error QueueManager::WriteSpoolFile(const std::string& path,
+                                         const smtp::Envelope& envelope) {
+  // The id is embedded in the filename's suffix by the caller; parse-
+  // side reads it from the content, so serialize with the same id.
+  // (Callers pass the path they derived from the id.)
+  const std::size_t dash = path.rfind('-');
+  SAMS_CHECK(dash != std::string::npos);
+  auto id = mfs::MailId::Parse(path.substr(dash + 1));
+  SAMS_CHECK(id.has_value()) << path;
+  const std::string payload = SerializeSpool(*id, envelope);
+  util::UniqueFd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0600));
+  if (!fd.valid()) {
+    return util::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  SAMS_RETURN_IF_ERROR(util::WriteAll(fd.get(), payload.data(), payload.size()));
+  if (cfg_.fsync_spool && ::fsync(fd.get()) != 0) {
+    return util::IoError("fsync " + path + ": " + std::strerror(errno));
+  }
+  return util::OkError();
+}
+
+util::Result<smtp::Envelope> QueueManager::ReadSpoolFile(
+    const std::string& path) {
+  util::UniqueFd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.valid()) {
+    return util::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::string content;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::IoError("read " + path);
+    }
+    if (n == 0) break;
+    content.append(buf, static_cast<std::size_t>(n));
+  }
+
+  smtp::Envelope envelope;
+  std::size_t pos = 0;
+  bool have_body = false;
+  while (pos < content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) return util::Corruption(path + ": no newline");
+    const std::string_view line(content.data() + pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return util::Corruption(path + ": no =");
+    const std::string_view key = line.substr(0, eq);
+    const std::string value(line.substr(eq + 1));
+    if (key == "id") {
+      // Consistency only; the filename carries the authoritative id.
+    } else if (key == "ip") {
+      envelope.client_ip = value;
+    } else if (key == "helo") {
+      envelope.helo = value;
+    } else if (key == "from") {
+      auto path_value = smtp::Path::Parse(value);
+      if (!path_value) return util::Corruption(path + ": bad from");
+      envelope.mail_from = *path_value;
+    } else if (key == "rcpt") {
+      auto addr = smtp::Address::Parse(value);
+      if (!addr) return util::Corruption(path + ": bad rcpt");
+      envelope.rcpt_to.push_back(*addr);
+    } else if (key == "body") {
+      const std::size_t len = std::strtoul(value.c_str(), nullptr, 10);
+      if (pos + len > content.size()) {
+        return util::Corruption(path + ": body truncated");
+      }
+      envelope.body = content.substr(pos, len);
+      have_body = true;
+      break;
+    } else {
+      return util::Corruption(path + ": unknown key");
+    }
+  }
+  if (!have_body || envelope.rcpt_to.empty()) {
+    return util::Corruption(path + ": incomplete spool record");
+  }
+  return envelope;
+}
+
+util::Error QueueManager::RecoverSpool() {
+  DIR* dir = ::opendir(cfg_.spool_dir.c_str());
+  if (dir == nullptr) {
+    return util::IoError("opendir " + cfg_.spool_dir + ": " +
+                         std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    if (name.rfind("inc-", 0) == 0) names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::string path = cfg_.spool_dir + "/" + name;
+    auto envelope = ReadSpoolFile(path);
+    if (!envelope.ok()) {
+      SAMS_LOG(kWarn) << "dropping corrupt spool file " << path << ": "
+                      << envelope.error().ToString();
+      ::unlink(path.c_str());
+      continue;
+    }
+    Item item;
+    item.spool_path = path;
+    item.envelope = std::move(envelope).value();
+    item.not_before = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(item));
+    stats_.recovered.fetch_add(1, std::memory_order_relaxed);
+  }
+  return util::OkError();
+}
+
+util::Error QueueManager::Start() {
+  if (::mkdir(cfg_.spool_dir.c_str(), 0700) != 0 && errno != EEXIST) {
+    return util::IoError("mkdir " + cfg_.spool_dir + ": " +
+                         std::strerror(errno));
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  SAMS_CHECK(!running_) << "queue manager already started";
+  SAMS_RETURN_IF_ERROR(RecoverSpool());
+  running_ = true;
+  thread_ = std::thread([this] { DeliveryLoop(); });
+  return util::OkError();
+}
+
+void QueueManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t QueueManager::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + (in_flight_ ? 1 : 0);
+}
+
+util::Error QueueManager::Enqueue(const smtp::Envelope& envelope) {
+  if (envelope.rcpt_to.empty()) {
+    return util::InvalidArgument("envelope without recipients");
+  }
+  Item item;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const mfs::MailId id = mfs::MailId::Generate(id_rng_);
+    char seq[24];
+    std::snprintf(seq, sizeof(seq), "%010llu",
+                  static_cast<unsigned long long>(spool_seq_++));
+    item.spool_path = cfg_.spool_dir + "/inc-" + seq + "-" + id.str();
+  }
+  SAMS_RETURN_IF_ERROR(WriteSpoolFile(item.spool_path, envelope));
+  item.envelope = envelope;
+  item.not_before = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(item));
+    stats_.enqueued.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+  return util::OkError();
+}
+
+void QueueManager::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+}
+
+void QueueManager::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    // Find the first eligible item (not_before passed).
+    const auto now = std::chrono::steady_clock::now();
+    auto it = queue_.end();
+    auto earliest = std::chrono::steady_clock::time_point::max();
+    for (auto candidate = queue_.begin(); candidate != queue_.end();
+         ++candidate) {
+      if (candidate->not_before <= now) {
+        it = candidate;
+        break;
+      }
+      earliest = std::min(earliest, candidate->not_before);
+    }
+    if (it == queue_.end()) {
+      if (queue_.empty()) {
+        idle_cv_.notify_all();
+        cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
+      } else {
+        cv_.wait_until(lock, earliest);
+      }
+      continue;
+    }
+
+    Item item = std::move(*it);
+    queue_.erase(it);
+    in_flight_ = true;
+    lock.unlock();
+
+    // Deliver outside the lock.
+    std::vector<std::string> mailboxes;
+    for (const smtp::Address& rcpt : item.envelope.rcpt_to) {
+      mailboxes.push_back(RecipientDb::MailboxName(rcpt));
+    }
+    const std::size_t dash = item.spool_path.rfind('-');
+    auto id = mfs::MailId::Parse(item.spool_path.substr(dash + 1));
+    util::Error err =
+        id ? store_.Deliver(*id, item.envelope.body, mailboxes)
+           : util::Corruption("spool path without id");
+    // Retried deliveries that already landed count as success (MFS
+    // rejects the duplicate id).
+    if (err.code() == util::ErrorCode::kAlreadyExists) err = util::OkError();
+
+    lock.lock();
+    in_flight_ = false;
+    if (err.ok()) {
+      ::unlink(item.spool_path.c_str());
+      stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+    } else if (++item.attempts >= cfg_.max_attempts) {
+      SAMS_LOG(kError) << "dropping mail after " << item.attempts
+                       << " attempts: " << err.ToString();
+      ::unlink(item.spool_path.c_str());
+      stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.deferrals.fetch_add(1, std::memory_order_relaxed);
+      const auto backoff = std::chrono::milliseconds(
+          cfg_.base_retry_ms << (item.attempts - 1));
+      item.not_before = std::chrono::steady_clock::now() + backoff;
+      queue_.push_back(std::move(item));
+    }
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace sams::mta

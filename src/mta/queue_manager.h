@@ -1,0 +1,105 @@
+// QueueManager — the queueing pipeline of Figure 2 (incoming → active
+// → delivered / deferred), for the real server.
+//
+// postfix never delivers from smtpd directly: cleanup writes the mail
+// into the incoming queue (durably), and the queue manager drains it
+// into local delivery, deferring failures with backoff. This module
+// implements that pipeline:
+//
+//   * Enqueue() persists the envelope as a spool file and returns —
+//     this is the only thing an smtpd worker waits for (the paper's
+//     disk-I/O costs of §6 are exactly these spool+mailbox writes);
+//   * a queue-manager thread performs store deliveries;
+//   * failed deliveries are re-queued with exponential backoff up to a
+//     retry cap, then dropped (counted as failed);
+//   * on construction the spool directory is recovered, so mail
+//     accepted before a crash is not lost.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "mfs/store.h"
+#include "smtp/server_session.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sams::mta {
+
+struct QueueConfig {
+  std::string spool_dir;
+  int max_attempts = 5;
+  // First retry delay; doubles per attempt.
+  int base_retry_ms = 200;
+  // fsync spool files at enqueue time (durability vs throughput).
+  bool fsync_spool = true;
+};
+
+struct QueueStats {
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> deferrals{0};   // individual retry events
+  std::atomic<std::uint64_t> failed{0};      // dropped after max attempts
+  std::atomic<std::uint64_t> recovered{0};   // picked up from spool at start
+};
+
+class QueueManager {
+ public:
+  // The store must outlive the manager.
+  QueueManager(QueueConfig cfg, mfs::MailStore& store);
+  ~QueueManager();
+
+  QueueManager(const QueueManager&) = delete;
+  QueueManager& operator=(const QueueManager&) = delete;
+
+  // Recovers the spool and starts the delivery thread.
+  util::Error Start();
+  // Drains nothing further; joins the thread. Spooled-but-undelivered
+  // mail stays on disk for the next Start (crash-safe by design).
+  void Stop();
+
+  // Durably accepts one mail for delivery. Thread-safe.
+  util::Error Enqueue(const smtp::Envelope& envelope);
+
+  // Blocks until the queue is momentarily empty (tests/shutdown).
+  void Flush();
+
+  const QueueStats& stats() const { return stats_; }
+  std::size_t depth() const;
+
+ private:
+  struct Item {
+    std::string spool_path;
+    smtp::Envelope envelope;
+    int attempts = 0;
+    std::chrono::steady_clock::time_point not_before;
+  };
+
+  void DeliveryLoop();
+  util::Error WriteSpoolFile(const std::string& path,
+                             const smtp::Envelope& envelope);
+  static util::Result<smtp::Envelope> ReadSpoolFile(const std::string& path);
+  util::Error RecoverSpool();
+
+  QueueConfig cfg_;
+  mfs::MailStore& store_;
+  util::Rng id_rng_{0x5B001};
+  std::uint64_t spool_seq_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Item> queue_;
+  bool running_ = false;
+  bool in_flight_ = false;
+  std::thread thread_;
+
+  QueueStats stats_;
+};
+
+}  // namespace sams::mta

@@ -1,0 +1,35 @@
+#include "mta/recipient_db.h"
+
+#include "util/strings.h"
+
+namespace sams::mta {
+
+void RecipientDb::AddMailbox(const std::string& local,
+                             const std::string& domain) {
+  domains_[util::ToLowerAscii(domain)].insert(util::ToLowerAscii(local));
+}
+
+bool RecipientDb::AddMailbox(const std::string& address) {
+  auto addr = smtp::Address::Parse(address);
+  if (!addr) return false;
+  AddMailbox(addr->local(), addr->domain());
+  return true;
+}
+
+bool RecipientDb::IsValid(const smtp::Address& addr) const {
+  auto it = domains_.find(util::ToLowerAscii(addr.domain()));
+  if (it == domains_.end()) return false;
+  return it->second.contains(util::ToLowerAscii(addr.local()));
+}
+
+std::size_t RecipientDb::size() const {
+  std::size_t total = 0;
+  for (const auto& [domain, locals] : domains_) total += locals.size();
+  return total;
+}
+
+bool RecipientDb::ServesDomain(const std::string& domain) const {
+  return domains_.contains(util::ToLowerAscii(domain));
+}
+
+}  // namespace sams::mta

@@ -1,0 +1,38 @@
+// Local recipient database — the "access database" smtpd consults to
+// decide whether a RCPT TO mailbox exists (§2, Figure 2). Random-
+// guessing spam probes this map; misses are the 550 bounces of §4.1.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "smtp/address.h"
+
+namespace sams::mta {
+
+class RecipientDb {
+ public:
+  // Registers `local`@`domain` as a deliverable mailbox.
+  void AddMailbox(const std::string& local, const std::string& domain);
+
+  // Convenience: parses "local@domain".
+  bool AddMailbox(const std::string& address);
+
+  // True when the address is a registered local mailbox.
+  bool IsValid(const smtp::Address& addr) const;
+
+  // The mailbox (store) name for a valid recipient: the local part.
+  static std::string MailboxName(const smtp::Address& addr) {
+    return addr.local();
+  }
+
+  std::size_t size() const;
+  bool ServesDomain(const std::string& domain) const;
+
+ private:
+  // domain -> set of local parts (ASCII-lowercased).
+  std::unordered_map<std::string, std::unordered_set<std::string>> domains_;
+};
+
+}  // namespace sams::mta

@@ -1,0 +1,341 @@
+#include "mta/sim_server.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sams::mta {
+
+using trace::SessionKind;
+
+SimMailServer::SimMailServer(sim::Machine& machine, SimServerConfig cfg,
+                             mfs::SimMailStore& store,
+                             dnsbl::Resolver* resolver)
+    : machine_(machine), cfg_(cfg), store_(store), resolver_(resolver) {
+  SAMS_CHECK(cfg_.process_limit >= 1);
+}
+
+void SimMailServer::Connect(const trace::SessionSpec& spec, SessionDone done) {
+  ++metrics_.connections_started;
+  Session session{spec, std::move(done), kMasterPid};
+  // Client SYN travels to the server; the master accepts.
+  machine_.net().Send(64, [this, session = std::move(session)]() mutable {
+    machine_.cpu().Submit(
+        kMasterPid, cfg_.costs.accept,
+        [this, session = std::move(session)]() mutable {
+          if (cfg_.hybrid) {
+            HybridAdmit(std::move(session));
+          } else {
+            VanillaAssign(std::move(session));
+          }
+        });
+  });
+}
+
+void SimMailServer::Close(Session session, bool delivered) {
+  ++metrics_.connections_closed;
+  const int pid = session.pid;
+  SessionDone done = std::move(session.done);
+  if (cfg_.hybrid) {
+    if (pid != kMasterPid) HybridWorkerFreed(pid);
+    --master_connections_;
+    if (!accept_backlog_.empty()) {
+      Session next = std::move(accept_backlog_.front());
+      accept_backlog_.pop_front();
+      HybridAdmit(std::move(next));
+    }
+  } else {
+    WorkerFreed(pid);
+  }
+  if (done) done(delivered);
+}
+
+void SimMailServer::StepThenRtt(SimTime cpu_cost, Session session,
+                                std::function<void(Session)> next) {
+  const int pid = session.pid;
+  // Dispatch overhead: a full smtpd command cycle for a dedicated
+  // process, or one event-loop dispatch for the hybrid master.
+  const SimTime dispatch = (cfg_.hybrid && pid == kMasterPid)
+                               ? cfg_.costs.master_event
+                               : cfg_.costs.command;
+  machine_.cpu().Submit(
+      pid, dispatch + cpu_cost,
+      [this, session = std::move(session), next = std::move(next)]() mutable {
+        machine_.sim().After(
+            machine_.net().Rtt(),
+            [session = std::move(session), next = std::move(next)]() mutable {
+              next(std::move(session));
+            });
+      });
+}
+
+void SimMailServer::RunDnsblCheck(Session session,
+                                  std::function<void(Session, bool)> next) {
+  if (resolver_ == nullptr) {
+    next(std::move(session), false);
+    return;
+  }
+  // Cache state advances on the *trace's* clock, not the accelerated
+  // experiment clock: the paper emulates DNSBL caching with a 24 h TTL
+  // over the two-month trace and replays the resulting hit/miss
+  // sequence while offering connections at the driver's rate (§7.2).
+  const auto outcome =
+      resolver_->Lookup(session.spec.client_ip, session.spec.arrival);
+  auto resume = [this, session = std::move(session), next = std::move(next),
+                 outcome]() mutable {
+    if (outcome.dns_queries > 0) {
+      // Resolver CPU: sockets, sends, receives, parsing, cache insert.
+      const int pid = session.pid;
+      machine_.cpu().Submit(
+          pid, cfg_.costs.dns_round_cpu,
+          [session = std::move(session), next = std::move(next),
+           outcome]() mutable {
+            next(std::move(session), outcome.blacklisted);
+          });
+    } else {
+      next(std::move(session), outcome.blacklisted);
+    }
+  };
+  if (outcome.latency.nanos() > 0) {
+    // The session waits for the slowest list; in the vanilla server
+    // this holds an smtpd process slot (pid stays busy-but-idle), in
+    // the hybrid master other sessions keep being served meanwhile.
+    machine_.sim().After(outcome.latency, std::move(resume));
+  } else {
+    resume();
+  }
+}
+
+// --- vanilla ----------------------------------------------------------
+
+void SimMailServer::VanillaAssign(Session session) {
+  if (!free_workers_.empty()) {
+    session.pid = free_workers_.back();
+    free_workers_.pop_back();
+    ++busy_workers_;
+    RunSmtpDialog(std::move(session));
+    return;
+  }
+  if (spawned_workers_ < cfg_.process_limit) {
+    const int pid = ++spawned_workers_;
+    ++metrics_.forks;
+    ++busy_workers_;
+    machine_.cpu().Fork(kMasterPid,
+                        [this, session = std::move(session), pid]() mutable {
+                          session.pid = pid;
+                          RunSmtpDialog(std::move(session));
+                        });
+    return;
+  }
+  ++metrics_.backlog_enqueued;
+  backlog_.push_back(std::move(session));
+}
+
+void SimMailServer::WorkerFreed(int pid) {
+  --busy_workers_;
+  if (!backlog_.empty()) {
+    Session next = std::move(backlog_.front());
+    backlog_.pop_front();
+    next.pid = pid;
+    ++busy_workers_;
+    RunSmtpDialog(std::move(next));
+    return;
+  }
+  free_workers_.push_back(pid);
+}
+
+// --- the SMTP dialog (shared; pid decides the architecture) -----------
+
+void SimMailServer::RunSmtpDialog(Session session) {
+  // DNSBL verdict first (postfix checks the client at connect time),
+  // then the 220 banner goes out and the client answers with HELO.
+  RunDnsblCheck(
+      std::move(session), [this](Session s, bool blacklisted) mutable {
+        if (blacklisted && cfg_.reject_blacklisted) {
+          ++metrics_.blacklist_rejects;
+          // 554 banner, client gives up: one reply + RTT + teardown.
+          StepThenRtt(SimTime{}, std::move(s), [this](Session s2) {
+            Close(std::move(s2), false);
+          });
+          return;
+        }
+        // Banner -> HELO arrives.
+        StepThenRtt(SimTime{}, std::move(s), [this](Session s2) {
+          // HELO processing.
+          if (s2.spec.kind == SessionKind::kUnfinished) {
+            ++metrics_.unfinished_sessions;
+            const SimTime hold = cfg_.unfinished_hold;
+            StepThenRtt(SimTime{}, std::move(s2), [this, hold](Session s3) {
+              machine_.sim().After(hold, [this, s3 = std::move(s3)]() mutable {
+                RunQuit(std::move(s3), false);
+              });
+            });
+            return;
+          }
+          StepThenRtt(SimTime{}, std::move(s2), [this](Session s3) {
+            // MAIL FROM processing.
+            StepThenRtt(SimTime{}, std::move(s3), [this](Session s4) {
+              const int n_rcpts = s4.spec.n_rcpts;
+              RunRcptPhase(std::move(s4), n_rcpts);
+            });
+          });
+        });
+      });
+}
+
+void SimMailServer::RunRcptPhase(Session session, int remaining) {
+  if (remaining > 0) {
+    // The master delegates as soon as a recipient is confirmed valid
+    // (fork-after-trust, §5.1): with n_valid > 0 the first RCPT
+    // processed is a valid one, so the handoff happens here and the
+    // worker handles the remaining RCPT commands.
+    const bool delegate_now = cfg_.hybrid && session.pid == kMasterPid &&
+                              session.spec.n_valid_rcpts > 0;
+    StepThenRtt(cfg_.costs.rcpt_check, std::move(session),
+                [this, remaining, delegate_now](Session s) {
+                  if (delegate_now) {
+                    HybridDelegate(std::move(s), remaining - 1);
+                  } else {
+                    RunRcptPhase(std::move(s), remaining - 1);
+                  }
+                });
+    return;
+  }
+  if (session.spec.n_valid_rcpts == 0) {
+    ++metrics_.bounce_sessions;
+    RunQuit(std::move(session), false);
+    return;
+  }
+  RunDataPhase(std::move(session));
+}
+
+void SimMailServer::RunDataPhase(Session session) {
+  // DATA command -> 354; then the body arrives (one-way + transfer).
+  const int pid = session.pid;
+  machine_.cpu().Submit(
+      pid, cfg_.costs.command, [this, session = std::move(session)]() mutable {
+        const std::uint64_t bytes = session.spec.size_bytes;
+        machine_.net().Send(bytes, [this, session = std::move(session)]() mutable {
+          const SimTime body_cpu =
+              cfg_.costs.data_fixed +
+              cfg_.costs.per_byte *
+                  static_cast<std::int64_t>(session.spec.size_bytes) +
+              store_.DeliveryCpu(session.spec.size_bytes,
+                                 session.spec.n_valid_rcpts);
+          const int p = session.pid;
+          machine_.cpu().Submit(
+              p, body_cpu, [this, session = std::move(session)]() mutable {
+                // Store + queue manager + local delivery.
+                const int nrcpts = session.spec.n_valid_rcpts;
+                const std::uint64_t sz = session.spec.size_bytes;
+                auto after_store = [this,
+                                    session = std::move(session)]() mutable {
+                  const int p2 = session.pid;
+                  machine_.cpu().Submit(
+                      p2, cfg_.costs.delivery_fixed,
+                      [this, session = std::move(session)]() mutable {
+                        ++metrics_.mails_delivered;
+                        metrics_.mailbox_deliveries += static_cast<
+                            std::uint64_t>(session.spec.n_valid_rcpts);
+                        // 250 Ok -> client QUITs.
+                        machine_.sim().After(
+                            machine_.net().Rtt(),
+                            [this, session = std::move(session)]() mutable {
+                              RunQuit(std::move(session), true);
+                            });
+                      });
+                };
+                store_.Deliver(sz, nrcpts, std::move(after_store));
+              });
+        });
+      });
+}
+
+void SimMailServer::RunQuit(Session session, bool delivered) {
+  // QUIT processing + 221 reply; connection tears down.
+  const int pid = session.pid;
+  const SimTime dispatch = (cfg_.hybrid && pid == kMasterPid)
+                               ? cfg_.costs.master_event
+                               : cfg_.costs.command;
+  machine_.cpu().Submit(pid, dispatch,
+                        [this, session = std::move(session), delivered]() mutable {
+                          Close(std::move(session), delivered);
+                        });
+}
+
+// --- hybrid -----------------------------------------------------------
+
+void SimMailServer::HybridAdmit(Session session) {
+  if (master_connections_ >= cfg_.master_connection_limit) {
+    ++metrics_.backlog_enqueued;
+    accept_backlog_.push_back(std::move(session));
+    return;
+  }
+  ++master_connections_;
+  session.pid = kMasterPid;
+  RunSmtpDialog(std::move(session));
+}
+
+void SimMailServer::HybridStartWorker(Session session, int remaining_rcpts) {
+  if (remaining_rcpts > 0) {
+    RunRcptPhase(std::move(session), remaining_rcpts);
+  } else {
+    RunDataPhase(std::move(session));
+  }
+}
+
+void SimMailServer::HybridDelegate(Session session, int remaining_rcpts) {
+  machine_.cpu().Submit(
+      kMasterPid, cfg_.costs.delegate,
+      [this, session = std::move(session), remaining_rcpts]() mutable {
+        ++metrics_.delegations;
+        if (!free_workers_.empty()) {
+          session.pid = free_workers_.back();
+          free_workers_.pop_back();
+          ++busy_workers_;
+          HybridStartWorker(std::move(session), remaining_rcpts);
+          return;
+        }
+        if (spawned_workers_ < cfg_.process_limit) {
+          const int pid = ++spawned_workers_;
+          ++metrics_.forks;
+          ++busy_workers_;
+          machine_.cpu().Fork(
+              kMasterPid,
+              [this, session = std::move(session), pid, remaining_rcpts]() mutable {
+                session.pid = pid;
+                HybridStartWorker(std::move(session), remaining_rcpts);
+              });
+          return;
+        }
+        // All workers busy: the task sits in a worker's socket buffer
+        // (vector-send batching). The buffer bound is
+        // workers * delegate_queue_per_worker; beyond it the master
+        // stalls the connection until a slot frees (natural throttle,
+        // §5.3) — modeled as staying queued either way, with the
+        // overflow counted.
+        if (delegate_queue_.size() >=
+            static_cast<std::size_t>(cfg_.process_limit) *
+                static_cast<std::size_t>(cfg_.delegate_queue_per_worker)) {
+          ++metrics_.backlog_enqueued;
+        }
+        session.pending_rcpts = remaining_rcpts;
+        delegate_queue_.push_back(std::move(session));
+      });
+}
+
+void SimMailServer::HybridWorkerFreed(int pid) {
+  --busy_workers_;
+  if (!delegate_queue_.empty()) {
+    Session next = std::move(delegate_queue_.front());
+    delegate_queue_.pop_front();
+    const int remaining = next.pending_rcpts;
+    next.pid = pid;
+    ++busy_workers_;
+    HybridStartWorker(std::move(next), remaining);
+    return;
+  }
+  free_workers_.push_back(pid);
+}
+
+}  // namespace sams::mta

@@ -1,0 +1,133 @@
+// SimMailServer — the discrete-event model of the postfix-class MTA,
+// in both concurrency architectures:
+//
+//   Vanilla (Figure 6): the master accepts and hands every connection
+//   to a dedicated smtpd process (forked on demand up to the process
+//   limit, then recycled). Bounces and unfinished sessions burn a full
+//   process lifecycle — fork amortization, context switches, slot
+//   occupancy.
+//
+//   Hybrid / fork-after-trust (Figure 7): the master runs the early
+//   dialog (banner → HELO → MAIL → RCPT) for every connection in its
+//   event loop at event-dispatch cost, with no per-session process.
+//   Only after the first valid RCPT is the connection delegated to an
+//   smtpd worker (vector-send task batching, §5.3); bounce and
+//   unfinished sessions never leave the master.
+//
+// One SimMailServer also embeds the client's side of each session (the
+// trace's SessionSpec fully determines client behaviour), so drivers
+// only decide WHEN connections start — closed-loop (Client Program 1)
+// or open-loop (Client Program 2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "dnsbl/resolver.h"
+#include "mfs/sim_store.h"
+#include "mta/costs.h"
+#include "sim/machine.h"
+#include "trace/workload.h"
+
+namespace sams::mta {
+
+struct SimServerConfig {
+  bool hybrid = false;
+  // Vanilla: max smtpd processes. Hybrid: max smtpd *workers* (the
+  // post-trust pool).
+  int process_limit = 500;
+  // Hybrid: max connections the master keeps in its socket list
+  // (the paper configures 700 sockets, §5.4).
+  int master_connection_limit = 700;
+  // Hybrid: delegated tasks that fit in one worker's UNIX-socket
+  // buffer (64 KiB / task size ~ 28, §5.3).
+  int delegate_queue_per_worker = 28;
+  // Idle time an unfinished session dawdles before quitting.
+  SimTime unfinished_hold;
+  // Reject blacklisted clients at MAIL time (postfix reject_rbl); when
+  // false the verdict is recorded but the mail is accepted (scoring
+  // deployments).
+  bool reject_blacklisted = false;
+  ServerCosts costs;
+};
+
+struct ServerMetrics {
+  std::uint64_t connections_started = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t mails_delivered = 0;
+  std::uint64_t mailbox_deliveries = 0;  // mails x recipients written
+  std::uint64_t bounce_sessions = 0;
+  std::uint64_t unfinished_sessions = 0;
+  std::uint64_t blacklist_rejects = 0;
+  std::uint64_t forks = 0;
+  std::uint64_t delegations = 0;
+  std::uint64_t backlog_enqueued = 0;
+};
+
+class SimMailServer {
+ public:
+  // `resolver` may be null (DNSBL checks disabled).
+  SimMailServer(sim::Machine& machine, SimServerConfig cfg,
+                mfs::SimMailStore& store, dnsbl::Resolver* resolver = nullptr);
+
+  // `done(delivered)` fires when the session closes.
+  using SessionDone = std::function<void(bool delivered)>;
+  void Connect(const trace::SessionSpec& spec, SessionDone done);
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  int busy_workers() const { return busy_workers_; }
+  std::size_t backlog_depth() const { return backlog_.size(); }
+
+ private:
+  struct Session {
+    trace::SessionSpec spec;
+    SessionDone done;
+    int pid = 0;  // handling process (master until delegation in hybrid)
+    int pending_rcpts = 0;  // RCPTs left for the worker after handoff
+  };
+
+  static constexpr int kMasterPid = 0;
+
+  // --- shared plumbing ------------------------------------------------
+  void Close(Session session, bool delivered);
+  // Charge `cpu_cost` to session.pid, then wait one client round trip.
+  void StepThenRtt(SimTime cpu_cost, Session session,
+                   std::function<void(Session)> next);
+  void RunDnsblCheck(Session session, std::function<void(Session, bool)> next);
+
+  // --- vanilla path -----------------------------------------------------
+  void VanillaAssign(Session session);
+  void WorkerFreed(int pid);
+  void RunSmtpDialog(Session session);  // banner -> ... (any architecture)
+  void RunRcptPhase(Session session, int remaining);
+  void RunDataPhase(Session session);
+  void RunQuit(Session session, bool delivered);
+
+  // --- hybrid path ------------------------------------------------------
+  void HybridAdmit(Session session);
+  // Delegates after the FIRST valid RCPT (§5.3); the worker finishes
+  // the remaining `remaining_rcpts` RCPT commands and the DATA phase.
+  void HybridDelegate(Session session, int remaining_rcpts);
+  void HybridStartWorker(Session session, int remaining_rcpts);
+  void HybridWorkerFreed(int pid);
+
+  sim::Machine& machine_;
+  SimServerConfig cfg_;
+  mfs::SimMailStore& store_;
+  dnsbl::Resolver* resolver_;
+
+  // Process management. Worker pids start at 1.
+  std::vector<int> free_workers_;
+  int spawned_workers_ = 0;
+  int busy_workers_ = 0;
+  std::deque<Session> backlog_;        // vanilla: waiting for a process
+  std::deque<Session> delegate_queue_; // hybrid: waiting for a worker
+  int master_connections_ = 0;
+  std::deque<Session> accept_backlog_;  // hybrid: waiting for a socket slot
+
+  ServerMetrics metrics_;
+};
+
+}  // namespace sams::mta

@@ -1,0 +1,414 @@
+#include "mta/smtp_server.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace sams::mta {
+namespace {
+
+// Restores blocking mode on a descriptor the master had non-blocking.
+void SetBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+}  // namespace
+
+// Per-connection state in the fork-after-trust master.
+struct SmtpServer::MasterConn {
+  util::UniqueFd fd;
+  std::unique_ptr<smtp::ServerSession> session;
+  bool closed = false;
+  // Pregreet test state: banner withheld until the timer fires; any
+  // bytes before that mark the client as an early talker.
+  bool banner_sent = true;   // false while the pregreet timer is armed
+  bool pregreeted = false;
+  util::UniqueFd pregreet_timer;
+};
+
+SmtpServer::SmtpServer(RealServerConfig cfg, RecipientDb recipients,
+                       mfs::MailStore& store)
+    : cfg_(std::move(cfg)), recipients_(std::move(recipients)), store_(store) {}
+
+SmtpServer::~SmtpServer() { Stop(); }
+
+bool SmtpServer::DeliverEnvelope(smtp::Envelope&& envelope) {
+  const std::size_t n_mailboxes = envelope.rcpt_to.size();
+  if (queue_) {
+    // Durable path: spool and ack; the queue manager delivers.
+    const util::Error err = queue_->Enqueue(envelope);
+    if (!err.ok()) {
+      SAMS_LOG(kError) << "spool failed: " << err.ToString();
+      stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    stats_.mails_delivered.fetch_add(1, std::memory_order_relaxed);
+    stats_.mailbox_deliveries.fetch_add(n_mailboxes,
+                                        std::memory_order_relaxed);
+    return true;
+  }
+  std::vector<std::string> mailboxes;
+  mailboxes.reserve(envelope.rcpt_to.size());
+  for (const smtp::Address& rcpt : envelope.rcpt_to) {
+    mailboxes.push_back(RecipientDb::MailboxName(rcpt));
+  }
+  mfs::MailId id;
+  {
+    std::lock_guard<std::mutex> lock(id_mutex_);
+    id = mfs::MailId::Generate(id_rng_);
+  }
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  const util::Error err = store_.Deliver(id, envelope.body, mailboxes);
+  if (!err.ok()) {
+    SAMS_LOG(kError) << "delivery failed: " << err.ToString();
+    stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  stats_.mails_delivered.fetch_add(1, std::memory_order_relaxed);
+  stats_.mailbox_deliveries.fetch_add(mailboxes.size(),
+                                      std::memory_order_relaxed);
+  return true;
+}
+
+util::Result<std::uint16_t> SmtpServer::Start() {
+  SAMS_CHECK(!running_.load()) << "server already started";
+  auto listener = net::TcpListen(cfg_.port);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(listener).value();
+  auto port = net::LocalPort(listener_.get());
+  if (!port.ok()) return port.error();
+
+  if (!cfg_.spool_dir.empty()) {
+    QueueConfig queue_cfg;
+    queue_cfg.spool_dir = cfg_.spool_dir;
+    queue_ = std::make_unique<QueueManager>(queue_cfg, store_);
+    SAMS_RETURN_IF_ERROR(queue_->Start());
+  }
+
+  running_.store(true, std::memory_order_release);
+  if (cfg_.architecture == Architecture::kThreadPerConnection) {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  } else {
+    auto loop = net::EventLoop::Create();
+    if (!loop.ok()) return loop.error();
+    loop_ = std::move(loop).value();
+    // Worker pool with one UNIX-domain delegation channel each (§5.3).
+    for (int i = 0; i < cfg_.worker_count; ++i) {
+      auto pair = util::MakeSocketPair();
+      if (!pair.ok()) return pair.error();
+      worker_channels_.push_back(std::move(pair->first));
+      const int worker_fd = pair->second.Release();
+      worker_threads_.emplace_back(
+          [this, worker_fd] { WorkerLoop(worker_fd); });
+    }
+    master_thread_ = std::thread([this] { MasterLoop(); });
+  }
+  return *port;
+}
+
+void SmtpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept(); stopping the loop unblocks
+  // epoll_wait; closing the delegation channels unblocks the workers.
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  listener_.Reset();
+  if (loop_) loop_->Stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (master_thread_.joinable()) master_thread_.join();
+  worker_channels_.clear();  // EOF to workers
+  for (std::thread& worker : worker_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  worker_threads_.clear();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& conn : conns) {
+    if (conn.joinable()) conn.join();
+  }
+  if (queue_) {
+    queue_->Flush();  // drain the incoming queue before shutdown
+    queue_->Stop();
+  }
+}
+
+// --- thread-per-connection (Figure 6) ----------------------------------
+
+void SmtpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto accepted = net::TcpAccept(listener_.get());
+    if (!accepted.ok()) {
+      if (!running_.load()) break;
+      continue;  // transient accept failure
+    }
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_threads_.emplace_back(
+        [this, fd = std::move(accepted->fd),
+         ip = std::move(accepted->peer_ip)]() mutable {
+          HandleConnection(std::move(fd), std::move(ip));
+        });
+  }
+}
+
+void SmtpServer::HandleConnection(util::UniqueFd fd, std::string peer_ip) {
+  (void)net::SetRecvTimeout(fd.get(), cfg_.recv_timeout_ms);
+  bool quit = false;
+  smtp::ServerSession::Hooks hooks;
+  const int raw = fd.get();
+  hooks.send = [raw](std::string bytes) {
+    (void)util::WriteAll(raw, bytes.data(), bytes.size());
+  };
+  hooks.validate_rcpt = [this](const smtp::Address& addr) {
+    const bool ok = recipients_.IsValid(addr);
+    if (!ok) stats_.rejected_rcpts.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+  };
+  if (cfg_.content_check) {
+    hooks.content_check = [this](const smtp::Envelope& envelope) {
+      const bool accepted = cfg_.content_check(envelope);
+      if (!accepted) {
+        stats_.content_rejects.fetch_add(1, std::memory_order_relaxed);
+      }
+      return accepted;
+    };
+  }
+  hooks.on_mail = [this](smtp::Envelope&& envelope) {
+    DeliverEnvelope(std::move(envelope));
+  };
+  hooks.on_quit = [&quit] { quit = true; };
+  smtp::ServerSession session(cfg_.session, std::move(hooks), peer_ip);
+  session.Start();
+  FinishSession(session, fd.get());
+  (void)quit;
+}
+
+void SmtpServer::FinishSession(smtp::ServerSession& session, int fd) {
+  char buf[16 * 1024];
+  while (running_.load(std::memory_order_acquire) &&
+         session.state() != smtp::SessionState::kClosed) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, timeout or error: drop the connection
+    session.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+// --- fork-after-trust (Figure 7) ----------------------------------------
+
+void SmtpServer::MasterLoop() {
+  // Connections keyed by fd; sessions run in the event loop until the
+  // first valid RCPT, then get shipped to a worker.
+  std::unordered_map<int, std::unique_ptr<MasterConn>> conns;
+
+  (void)util::SetNonBlocking(listener_.get());
+  const int listen_fd = listener_.get();
+
+  auto close_conn = [this, &conns](int fd) {
+    (void)loop_->Remove(fd);
+    conns.erase(fd);
+    stats_.master_closed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  auto delegate = [this, &conns](int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    MasterConn& conn = *it->second;
+    auto payload = conn.session->SerializeHandoff();
+    if (!payload.ok()) {
+      SAMS_LOG(kWarn) << "handoff failed: " << payload.error().ToString();
+      (void)loop_->Remove(fd);
+      conns.erase(it);
+      return;
+    }
+    const std::size_t worker = next_worker_++ % worker_channels_.size();
+    const util::Error err = util::SendFdWithPayload(
+        worker_channels_[worker].get(), fd, *payload);
+    if (err.ok()) {
+      stats_.delegations.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      SAMS_LOG(kError) << "delegation failed: " << err.ToString();
+    }
+    // The worker holds a duplicate now; drop the master's copy.
+    (void)loop_->Remove(fd);
+    conns.erase(it);
+  };
+
+  auto on_client_event = [this, &conns, close_conn, delegate](int fd,
+                                                              std::uint32_t) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    MasterConn& conn = *it->second;
+    char buf[8 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        if (!conn.banner_sent) {
+          // Early talker: the banner has not been sent yet, so these
+          // bytes violate the SMTP handshake. Remember and discard;
+          // the timer callback rejects the client.
+          conn.pregreeted = true;
+          continue;
+        }
+        conn.session->Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        if (conn.session->paused()) {
+          delegate(fd);
+          return;
+        }
+        if (conn.closed ||
+            conn.session->state() == smtp::SessionState::kClosed) {
+          close_conn(fd);
+          return;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      close_conn(fd);  // EOF or hard error
+      return;
+    }
+  };
+
+  const util::Error add_err = loop_->Add(
+      listen_fd, EPOLLIN,
+      [this, &conns, on_client_event, close_conn](std::uint32_t) {
+        for (;;) {
+          auto accepted = net::TcpAccept(listener_.get());
+          if (!accepted.ok()) return;  // EAGAIN (non-blocking) or closed
+          stats_.connections.fetch_add(1, std::memory_order_relaxed);
+          const int fd = accepted->fd.get();
+          (void)util::SetNonBlocking(fd);
+
+          auto conn = std::make_unique<MasterConn>();
+          conn->fd = std::move(accepted->fd);
+          smtp::ServerSession::Hooks hooks;
+          hooks.send = [fd](std::string bytes) {
+            (void)util::WriteAll(fd, bytes.data(), bytes.size());
+          };
+          hooks.validate_rcpt = [this](const smtp::Address& addr) {
+            const bool ok = recipients_.IsValid(addr);
+            if (!ok) {
+              stats_.rejected_rcpts.fetch_add(1, std::memory_order_relaxed);
+            }
+            return ok;
+          };
+          MasterConn* raw_conn = conn.get();
+          // Freeze the session at the first valid RCPT: the remaining
+          // bytes stay buffered and travel inside the handoff payload.
+          hooks.on_first_valid_rcpt = [raw_conn] {
+            raw_conn->session->RequestPause();
+          };
+          hooks.on_quit = [raw_conn] { raw_conn->closed = true; };
+          conn->session = std::make_unique<smtp::ServerSession>(
+              cfg_.session, std::move(hooks), accepted->peer_ip);
+          if (cfg_.pregreet_delay_ms > 0) {
+            // Withhold the banner; arm a one-shot timer. Bytes arriving
+            // before it fires brand the client an early talker.
+            conn->banner_sent = false;
+            conn->pregreet_timer.Reset(
+                ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
+            struct itimerspec when {};
+            when.it_value.tv_sec = cfg_.pregreet_delay_ms / 1000;
+            when.it_value.tv_nsec =
+                static_cast<long>(cfg_.pregreet_delay_ms % 1000) * 1'000'000L;
+            ::timerfd_settime(conn->pregreet_timer.get(), 0, &when, nullptr);
+            const int timer_fd = conn->pregreet_timer.get();
+            (void)loop_->Add(timer_fd, EPOLLIN,
+                             [this, &conns, close_conn, fd,
+                              timer_fd](std::uint32_t) {
+                               (void)loop_->Remove(timer_fd);
+                               auto conn_it = conns.find(fd);
+                               if (conn_it == conns.end()) return;
+                               MasterConn& parked = *conn_it->second;
+                               parked.pregreet_timer.Reset();
+                               parked.banner_sent = true;
+                               if (parked.pregreeted) {
+                                 stats_.pregreet_rejects.fetch_add(
+                                     1, std::memory_order_relaxed);
+                                 const std::string reject =
+                                     "554 5.5.1 Protocol error: talked "
+                                     "before my banner\r\n";
+                                 (void)util::WriteAll(fd, reject.data(),
+                                                      reject.size());
+                                 close_conn(fd);
+                                 return;
+                               }
+                               parked.session->Start();  // 220 banner
+                             });
+          } else {
+            conn->session->Start();
+          }
+          conns.emplace(fd, std::move(conn));
+          (void)loop_->Add(fd, EPOLLIN, [fd, on_client_event](std::uint32_t e) {
+            on_client_event(fd, e);
+          });
+        }
+      });
+  if (!add_err.ok()) {
+    SAMS_LOG(kError) << "master loop setup failed: " << add_err.ToString();
+    return;
+  }
+  (void)loop_->Run();
+  // Drain: close any connections still parked in the master.
+  conns.clear();
+}
+
+void SmtpServer::WorkerLoop(int channel_fd) {
+  util::UniqueFd channel(channel_fd);
+  for (;;) {
+    // Blocks until the master delegates a connection (one recvmsg pops
+    // exactly one task even when several are queued in the socket
+    // buffer — the vector-send batching of §5.3) or closes the channel.
+    auto task = util::RecvFdWithPayload(channel.get());
+    if (!task.ok()) return;  // EOF: server stopping
+
+    const int fd = task->fd.get();
+    SetBlocking(fd);
+    (void)net::SetRecvTimeout(fd, cfg_.recv_timeout_ms);
+
+    smtp::ServerSession::Hooks hooks;
+    hooks.send = [fd](std::string bytes) {
+      (void)util::WriteAll(fd, bytes.data(), bytes.size());
+    };
+    hooks.validate_rcpt = [this](const smtp::Address& addr) {
+      const bool ok = recipients_.IsValid(addr);
+      if (!ok) stats_.rejected_rcpts.fetch_add(1, std::memory_order_relaxed);
+      return ok;
+    };
+    if (cfg_.content_check) {
+      hooks.content_check = [this](const smtp::Envelope& envelope) {
+        const bool accepted = cfg_.content_check(envelope);
+        if (!accepted) {
+          stats_.content_rejects.fetch_add(1, std::memory_order_relaxed);
+        }
+        return accepted;
+      };
+    }
+    hooks.on_mail = [this](smtp::Envelope&& envelope) {
+      DeliverEnvelope(std::move(envelope));
+    };
+    auto session = smtp::ServerSession::ResumeFromHandoff(
+        cfg_.session, std::move(hooks), task->payload);
+    if (!session.ok()) {
+      SAMS_LOG(kError) << "resume failed: " << session.error().ToString();
+      continue;  // drop the connection (task->fd closes)
+    }
+    // Process any bytes the client pipelined past the handoff point,
+    // then continue with blocking reads until QUIT/EOF.
+    session->Feed("");
+    FinishSession(*session, fd);
+  }
+}
+
+}  // namespace sams::mta

@@ -1,0 +1,104 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace sams::net {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  std::unique_ptr<EventLoop> loop(new EventLoop());
+  loop->epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!loop->epoll_fd_.valid()) return util::IoError(Errno("epoll_create1"));
+  loop->wake_fd_.Reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!loop->wake_fd_.valid()) return util::IoError(Errno("eventfd"));
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = loop->wake_fd_.get();
+  if (::epoll_ctl(loop->epoll_fd_.get(), EPOLL_CTL_ADD, loop->wake_fd_.get(),
+                  &ev) != 0) {
+    return util::IoError(Errno("epoll_ctl(wake)"));
+  }
+  return loop;
+}
+
+util::Error EventLoop::Add(int fd, std::uint32_t events, Callback callback) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return util::IoError(Errno("epoll_ctl(add)"));
+  }
+  callbacks_[fd] = std::move(callback);
+  return util::OkError();
+}
+
+util::Error EventLoop::Modify(int fd, std::uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return util::IoError(Errno("epoll_ctl(mod)"));
+  }
+  return util::OkError();
+}
+
+util::Error EventLoop::Remove(int fd) {
+  callbacks_.erase(fd);
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    return util::IoError(Errno("epoll_ctl(del)"));
+  }
+  return util::OkError();
+}
+
+util::Error EventLoop::Run() {
+  running_.store(true, std::memory_order_release);
+  std::array<struct epoll_event, 64> events;
+  while (running_.load(std::memory_order_acquire)) {
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                       static_cast<int>(events.size()), -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return util::IoError(Errno("epoll_wait"));
+    for (int i = 0; i < n && running_.load(std::memory_order_acquire); ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_.get()) {
+        std::uint64_t drained;
+        while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = callbacks_.find(fd);
+      if (it != callbacks_.end()) {
+        // Copy: the callback may Remove(fd) and invalidate the entry.
+        Callback callback = it->second;
+        callback(events[static_cast<std::size_t>(i)].events);
+      }
+    }
+  }
+  return util::OkError();
+}
+
+void EventLoop::Stop() {
+  running_.store(false, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+}  // namespace sams::net

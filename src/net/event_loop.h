@@ -1,0 +1,49 @@
+// Epoll-based event loop — the real counterpart of the paper's
+// select/poll loop in the fork-after-trust master (§5.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "util/fd.h"
+#include "util/result.h"
+
+namespace sams::net {
+
+class EventLoop {
+ public:
+  // Called with the epoll event mask (EPOLLIN etc.).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  static util::Result<std::unique_ptr<EventLoop>> Create();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback
+  // runs on the loop thread.
+  util::Error Add(int fd, std::uint32_t events, Callback callback);
+  util::Error Modify(int fd, std::uint32_t events);
+  util::Error Remove(int fd);
+
+  // Runs until Stop() is called (from any thread).
+  util::Error Run();
+
+  // Thread-safe: wakes the loop and makes Run() return.
+  void Stop();
+
+  std::size_t watched() const { return callbacks_.size(); }
+
+ private:
+  EventLoop() = default;
+
+  util::UniqueFd epoll_fd_;
+  util::UniqueFd wake_fd_;  // eventfd
+  std::unordered_map<int, Callback> callbacks_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace sams::net

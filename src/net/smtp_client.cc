@@ -1,0 +1,65 @@
+#include "net/smtp_client.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/tcp.h"
+#include "util/fd.h"
+
+namespace sams::net {
+namespace {
+
+// Reads one CRLF-terminated line from fd into *line (without CRLF),
+// using *carry as the cross-call buffer.
+util::Error ReadLine(int fd, std::string* carry, std::string* line) {
+  for (;;) {
+    const std::size_t eol = carry->find('\n');
+    if (eol != std::string::npos) {
+      *line = carry->substr(0, eol);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      carry->erase(0, eol + 1);
+      return util::OkError();
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return util::IoError("read: " + std::string(strerror(errno)));
+    if (n == 0) return util::Unavailable("server closed the connection");
+    carry->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+util::Result<SendOutcome> SendMail(const std::string& host, std::uint16_t port,
+                                   smtp::MailJob job, smtp::AbortStage abort,
+                                   int timeout_ms) {
+  auto fd = TcpConnect(host, port);
+  if (!fd.ok()) return fd.error();
+  SAMS_RETURN_IF_ERROR(SetRecvTimeout(fd->get(), timeout_ms));
+
+  smtp::ClientSession session(std::move(job), abort);
+  std::string carry, line;
+  while (!session.done()) {
+    SAMS_RETURN_IF_ERROR(ReadLine(fd->get(), &carry, &line));
+    smtp::Reply reply;
+    bool more = false;
+    if (!smtp::ParseReply(line, &reply, &more)) {
+      return util::ProtocolError("unparseable reply: " + line);
+    }
+    if (more) continue;  // swallow multi-line continuations
+    auto out = session.OnReply(reply);
+    if (out) {
+      SAMS_RETURN_IF_ERROR(util::WriteAll(fd->get(), out->data(), out->size()));
+    }
+  }
+  SendOutcome outcome;
+  outcome.outcome = session.outcome();
+  outcome.accepted_rcpts = session.accepted_rcpts();
+  outcome.rejected_rcpts = session.rejected_rcpts();
+  return outcome;
+}
+
+}  // namespace sams::net

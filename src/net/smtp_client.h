@@ -1,0 +1,28 @@
+// Blocking SMTP client — connects to a server, runs one mail
+// transaction via the smtp::ClientSession FSM, and reports the
+// outcome. This is the real-network counterpart of the paper's client
+// programs, used by the examples and the end-to-end tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "smtp/client_session.h"
+#include "util/result.h"
+
+namespace sams::net {
+
+struct SendOutcome {
+  smtp::ClientOutcome outcome = smtp::ClientOutcome::kInProgress;
+  int accepted_rcpts = 0;
+  int rejected_rcpts = 0;
+};
+
+// Sends `job` to host:port (blocking; `timeout_ms` bounds each read).
+// A kAllRejected or kAborted outcome is a successful call — inspect
+// `outcome`. Errors cover transport failures only.
+util::Result<SendOutcome> SendMail(
+    const std::string& host, std::uint16_t port, smtp::MailJob job,
+    smtp::AbortStage abort = smtp::AbortStage::kNone, int timeout_ms = 10'000);
+
+}  // namespace sams::net

@@ -1,0 +1,95 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sams::net {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+util::Result<util::UniqueFd> TcpListen(std::uint16_t port, int backlog) {
+  util::UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return util::IoError(Errno("socket"));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return util::IoError(Errno("bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) return util::IoError(Errno("listen"));
+  return fd;
+}
+
+util::Result<std::uint16_t> LocalPort(int fd) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    return util::IoError(Errno("getsockname"));
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+util::Result<Accepted> TcpAccept(int listen_fd) {
+  struct sockaddr_in peer;
+  socklen_t len = sizeof(peer);
+  int fd;
+  do {
+    fd = ::accept(listen_fd, reinterpret_cast<struct sockaddr*>(&peer), &len);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return util::IoError(Errno("accept"));
+  Accepted accepted;
+  accepted.fd.Reset(fd);
+  char buf[INET_ADDRSTRLEN];
+  if (::inet_ntop(AF_INET, &peer.sin_addr, buf, sizeof(buf)) != nullptr) {
+    accepted.peer_ip = buf;
+  }
+  return accepted;
+}
+
+util::Result<util::UniqueFd> TcpConnect(const std::string& host,
+                                        std::uint16_t port) {
+  util::UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return util::IoError(Errno("socket"));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::InvalidArgument("bad IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return util::IoError(Errno("connect"));
+  return fd;
+}
+
+util::Error SetRecvTimeout(int fd, int millis) {
+  struct timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return util::IoError(Errno("setsockopt(SO_RCVTIMEO)"));
+  }
+  return util::OkError();
+}
+
+}  // namespace sams::net

@@ -1,0 +1,34 @@
+// Minimal TCP helpers for the real (non-simulated) server and client:
+// IPv4 listen / accept / connect over the loopback or LAN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/fd.h"
+#include "util/result.h"
+
+namespace sams::net {
+
+// Listens on 127.0.0.1:`port` (port 0 = kernel-assigned ephemeral).
+util::Result<util::UniqueFd> TcpListen(std::uint16_t port, int backlog = 128);
+
+// The locally bound port of a listening (or connected) socket.
+util::Result<std::uint16_t> LocalPort(int fd);
+
+// Accepts one connection (blocking). Returns the connected fd and the
+// peer's dotted address.
+struct Accepted {
+  util::UniqueFd fd;
+  std::string peer_ip;
+};
+util::Result<Accepted> TcpAccept(int listen_fd);
+
+// Connects to host:port (blocking).
+util::Result<util::UniqueFd> TcpConnect(const std::string& host,
+                                        std::uint16_t port);
+
+// Sets SO_RCVTIMEO so blocking reads give up after `millis`.
+util::Error SetRecvTimeout(int fd, int millis);
+
+}  // namespace sams::net

@@ -1,0 +1,84 @@
+#include "pop3/pop3_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/tcp.h"
+
+namespace sams::pop3 {
+
+Pop3Server::Pop3Server(Pop3ServerConfig cfg, mfs::MfsVolume& volume,
+                       CredentialMap credentials)
+    : cfg_(cfg), volume_(volume), credentials_(std::move(credentials)) {}
+
+Pop3Server::~Pop3Server() { Stop(); }
+
+util::Result<std::uint16_t> Pop3Server::Start() {
+  auto listener = net::TcpListen(cfg_.port);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(listener).value();
+  auto port = net::LocalPort(listener_.get());
+  if (!port.ok()) return port.error();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return *port;
+}
+
+void Pop3Server::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  listener_.Reset();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& conn : conns) {
+    if (conn.joinable()) conn.join();
+  }
+}
+
+void Pop3Server::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto accepted = net::TcpAccept(listener_.get());
+    if (!accepted.ok()) {
+      if (!running_.load()) break;
+      continue;
+    }
+    sessions_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_threads_.emplace_back([this, fd = std::move(accepted->fd)]() mutable {
+      HandleConnection(std::move(fd));
+    });
+  }
+}
+
+void Pop3Server::HandleConnection(util::UniqueFd fd) {
+  (void)net::SetRecvTimeout(fd.get(), cfg_.recv_timeout_ms);
+  Pop3Session::Hooks hooks;
+  const int raw = fd.get();
+  hooks.send = [raw](std::string bytes) {
+    (void)util::WriteAll(raw, bytes.data(), bytes.size());
+  };
+  // All volume access happens inside Feed/Start; serialize sessions on
+  // the shared volume. Holding the lock per-Feed keeps RETR atomic.
+  Pop3Session session(volume_, credentials_, std::move(hooks));
+  {
+    std::lock_guard<std::mutex> lock(volume_mutex_);
+    session.Start();
+  }
+  char buf[8 * 1024];
+  while (running_.load(std::memory_order_acquire) &&
+         session.state() != Pop3State::kClosed) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    std::lock_guard<std::mutex> lock(volume_mutex_);
+    session.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace sams::pop3

@@ -1,0 +1,57 @@
+// Pop3Server — real TCP POP3 service over an MfsVolume (thread per
+// connection; retrieval concurrency is not the paper's bottleneck).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mfs/volume.h"
+#include "pop3/pop3_session.h"
+#include "util/fd.h"
+#include "util/result.h"
+
+namespace sams::pop3 {
+
+struct Pop3ServerConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral
+  int recv_timeout_ms = 30'000;
+};
+
+class Pop3Server {
+ public:
+  // The volume must outlive the server. MFS access is serialized with
+  // an internal mutex (MfsVolume is single-threaded by contract).
+  Pop3Server(Pop3ServerConfig cfg, mfs::MfsVolume& volume,
+             CredentialMap credentials);
+  ~Pop3Server();
+
+  Pop3Server(const Pop3Server&) = delete;
+  Pop3Server& operator=(const Pop3Server&) = delete;
+
+  util::Result<std::uint16_t> Start();
+  void Stop();
+
+  std::uint64_t sessions_served() const {
+    return sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(util::UniqueFd fd);
+
+  Pop3ServerConfig cfg_;
+  mfs::MfsVolume& volume_;
+  std::mutex volume_mutex_;
+  CredentialMap credentials_;
+
+  util::UniqueFd listener_;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<std::uint64_t> sessions_{0};
+};
+
+}  // namespace sams::pop3

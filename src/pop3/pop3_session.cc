@@ -1,0 +1,263 @@
+#include "pop3/pop3_session.h"
+
+#include <charconv>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace sams::pop3 {
+namespace {
+
+// Parses a 1-based message number.
+int ParseMsgNumber(std::string_view arg) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(arg.data(), arg.data() + arg.size(), value);
+  if (ec != std::errc() || ptr != arg.data() + arg.size() || value < 1) {
+    return -1;
+  }
+  return value;
+}
+
+}  // namespace
+
+Pop3Session::Pop3Session(mfs::MfsVolume& volume,
+                         const CredentialMap& credentials, Hooks hooks)
+    : volume_(volume), credentials_(credentials), hooks_(std::move(hooks)) {
+  SAMS_CHECK(static_cast<bool>(hooks_.send)) << "send hook required";
+}
+
+void Pop3Session::Start() { Ok("sams POP3 server ready"); }
+
+void Pop3Session::Ok(const std::string& text) {
+  hooks_.send("+OK " + text + "\r\n");
+}
+
+void Pop3Session::Err(const std::string& text) {
+  hooks_.send("-ERR " + text + "\r\n");
+}
+
+void Pop3Session::SendMultiline(const std::string& body) {
+  // Byte-stuff lines starting with '.' and terminate with ".\r\n".
+  std::string out;
+  out.reserve(body.size() + 16);
+  std::size_t i = 0;
+  while (i < body.size()) {
+    std::size_t eol = body.find('\n', i);
+    std::string_view line;
+    if (eol == std::string::npos) {
+      line = std::string_view(body).substr(i);
+      i = body.size();
+    } else {
+      line = std::string_view(body).substr(i, eol - i);
+      i = eol + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line.front() == '.') out.push_back('.');
+    out.append(line);
+    out.append("\r\n");
+  }
+  out.append(".\r\n");
+  hooks_.send(std::move(out));
+}
+
+void Pop3Session::Feed(std::string_view bytes) {
+  inbuf_.append(bytes);
+  std::size_t start = 0;
+  while (state_ != Pop3State::kClosed) {
+    const std::size_t eol = inbuf_.find('\n', start);
+    if (eol == std::string::npos) break;
+    std::string_view line(inbuf_.data() + start, eol - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    start = eol + 1;
+    HandleLine(line);
+  }
+  inbuf_.erase(0, start);
+}
+
+bool Pop3Session::LoadMaildrop() {
+  auto handle = volume_.MailOpen(user_);
+  if (!handle.ok()) return false;
+  entries_.clear();
+  for (;;) {
+    auto mail = volume_.MailRead(**handle);
+    if (!mail.ok()) break;  // end of mailbox
+    entries_.push_back(Entry{mail->id, mail->body.size(), false});
+  }
+  volume_.MailClose(std::move(*handle));
+  return true;
+}
+
+std::size_t Pop3Session::deleted_count() const {
+  std::size_t n = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.deleted) ++n;
+  }
+  return n;
+}
+
+Pop3Session::Entry* Pop3Session::FindEntry(std::string_view arg) {
+  const int msg = ParseMsgNumber(arg);
+  if (msg < 1 || static_cast<std::size_t>(msg) > entries_.size()) {
+    Err("no such message");
+    return nullptr;
+  }
+  Entry& entry = entries_[static_cast<std::size_t>(msg - 1)];
+  if (entry.deleted) {
+    Err("message deleted");
+    return nullptr;
+  }
+  return &entry;
+}
+
+void Pop3Session::HandleLine(std::string_view line) {
+  line = util::Trim(line);
+  const std::size_t sp = line.find(' ');
+  const std::string_view verb =
+      sp == std::string_view::npos ? line : line.substr(0, sp);
+  const std::string_view arg =
+      sp == std::string_view::npos ? std::string_view{}
+                                   : util::Trim(line.substr(sp + 1));
+
+  if (util::IEquals(verb, "QUIT")) {
+    if (state_ == Pop3State::kTransaction) {
+      // UPDATE state: apply deletions through mail_delete (decrements
+      // shared refcounts for multi-recipient mails, §6.1).
+      auto handle = volume_.MailOpen(user_);
+      if (handle.ok()) {
+        for (const Entry& entry : entries_) {
+          if (entry.deleted) {
+            (void)volume_.MailDelete(**handle, entry.id);
+          }
+        }
+        volume_.MailClose(std::move(*handle));
+      }
+      state_ = Pop3State::kUpdate;
+    }
+    Ok("sams POP3 server signing off");
+    state_ = Pop3State::kClosed;
+    return;
+  }
+
+  if (state_ == Pop3State::kAuthorization) {
+    if (util::IEquals(verb, "USER")) {
+      if (arg.empty()) {
+        Err("USER requires a name");
+        return;
+      }
+      pending_user_ = std::string(arg);
+      Ok("password required for " + pending_user_);
+      return;
+    }
+    if (util::IEquals(verb, "PASS")) {
+      if (pending_user_.empty()) {
+        Err("USER first");
+        return;
+      }
+      auto it = credentials_.find(pending_user_);
+      if (it == credentials_.end() || it->second != arg) {
+        pending_user_.clear();
+        Err("invalid credentials");
+        return;
+      }
+      user_ = pending_user_;
+      if (!LoadMaildrop()) {
+        Err("maildrop unavailable");
+        return;
+      }
+      state_ = Pop3State::kTransaction;
+      Ok("maildrop has " + std::to_string(entries_.size()) + " messages");
+      return;
+    }
+    if (util::IEquals(verb, "NOOP")) {
+      Ok("");
+      return;
+    }
+    Err("command not valid before authentication");
+    return;
+  }
+
+  if (state_ != Pop3State::kTransaction) {
+    Err("session ended");
+    return;
+  }
+
+  if (util::IEquals(verb, "STAT")) {
+    std::size_t count = 0, bytes = 0;
+    for (const Entry& entry : entries_) {
+      if (!entry.deleted) {
+        ++count;
+        bytes += entry.size;
+      }
+    }
+    Ok(std::to_string(count) + " " + std::to_string(bytes));
+    return;
+  }
+  if (util::IEquals(verb, "LIST")) {
+    if (!arg.empty()) {
+      Entry* entry = FindEntry(arg);
+      if (entry == nullptr) return;
+      Ok(std::string(arg) + " " + std::to_string(entry->size));
+      return;
+    }
+    std::string body;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].deleted) continue;
+      ++count;
+      body += std::to_string(i + 1) + " " + std::to_string(entries_[i].size) +
+              "\n";
+    }
+    Ok(std::to_string(count) + " messages");
+    SendMultiline(body.empty() ? "" : body.substr(0, body.size() - 1));
+    return;
+  }
+  if (util::IEquals(verb, "RETR")) {
+    Entry* entry = FindEntry(arg);
+    if (entry == nullptr) return;
+    // Locate the mail by seeking to its live index and reading.
+    auto handle = volume_.MailOpen(user_);
+    if (!handle.ok()) {
+      Err("maildrop unavailable");
+      return;
+    }
+    std::string body;
+    bool found = false;
+    for (;;) {
+      auto mail = volume_.MailRead(**handle);
+      if (!mail.ok()) break;
+      if (mail->id == entry->id) {
+        body = std::move(mail->body);
+        found = true;
+        break;
+      }
+    }
+    volume_.MailClose(std::move(*handle));
+    if (!found) {
+      Err("message vanished");
+      return;
+    }
+    Ok(std::to_string(entry->size) + " octets");
+    SendMultiline(body);
+    return;
+  }
+  if (util::IEquals(verb, "DELE")) {
+    Entry* entry = FindEntry(arg);
+    if (entry == nullptr) return;
+    entry->deleted = true;
+    Ok("message " + std::string(arg) + " deleted");
+    return;
+  }
+  if (util::IEquals(verb, "RSET")) {
+    for (Entry& entry : entries_) entry.deleted = false;
+    Ok("maildrop reset");
+    return;
+  }
+  if (util::IEquals(verb, "NOOP")) {
+    Ok("");
+    return;
+  }
+  Err("unknown command");
+}
+
+}  // namespace sams::pop3

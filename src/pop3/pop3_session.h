@@ -1,0 +1,79 @@
+// POP3 (RFC 1939 subset) server-side session state machine.
+//
+// The paper positions MFS as the mailbox layer for "mail server/POP/
+// IMAP servers" (§6.1): delivery writes mails, retrieval reads and
+// deletes them at mail granularity. This module implements the
+// retrieval side — a POP3 session over an MfsVolume maildrop — which
+// closes the loop on the MFS API: RETR exercises mail_read, DELE/QUIT
+// exercise mail_delete with shared-mail refcounting.
+//
+// Supported: USER, PASS, STAT, LIST [msg], RETR msg, DELE msg, NOOP,
+// RSET, QUIT. Transport-agnostic, like smtp::ServerSession.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mfs/volume.h"
+
+namespace sams::pop3 {
+
+// user -> password (the paper's prototype scope: local auth).
+using CredentialMap = std::unordered_map<std::string, std::string>;
+
+enum class Pop3State {
+  kAuthorization,  // expecting USER/PASS
+  kTransaction,    // authenticated; maildrop locked
+  kUpdate,         // QUIT received; deletions applied
+  kClosed,
+};
+
+class Pop3Session {
+ public:
+  struct Hooks {
+    // Sends response bytes to the client. Required.
+    std::function<void(std::string)> send;
+  };
+
+  // The volume must outlive the session.
+  Pop3Session(mfs::MfsVolume& volume, const CredentialMap& credentials,
+              Hooks hooks);
+
+  // Emits the +OK greeting.
+  void Start();
+
+  // Consumes raw client bytes (line-buffered internally).
+  void Feed(std::string_view bytes);
+
+  Pop3State state() const { return state_; }
+  std::size_t deleted_count() const;
+
+ private:
+  struct Entry {
+    mfs::MailId id;
+    std::size_t size = 0;
+    bool deleted = false;
+  };
+
+  void HandleLine(std::string_view line);
+  void Ok(const std::string& text);
+  void Err(const std::string& text);
+  void SendMultiline(const std::string& body);
+  bool LoadMaildrop();
+  Entry* FindEntry(std::string_view arg);
+
+  mfs::MfsVolume& volume_;
+  const CredentialMap& credentials_;
+  Hooks hooks_;
+
+  Pop3State state_ = Pop3State::kAuthorization;
+  std::string pending_user_;
+  std::string user_;
+  std::vector<Entry> entries_;
+  std::string inbuf_;
+};
+
+}  // namespace sams::pop3

@@ -1,0 +1,54 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sams::sim {
+
+void Cpu::Submit(int pid, SimTime burst, Done done) {
+  queue_.push_back(Demand{pid, burst, std::move(done)});
+  if (!busy_) ServeNext();
+}
+
+void Cpu::Fork(int parent_pid, Done done) {
+  ++stats_.forks;
+  Submit(parent_pid, cfg_.fork_cost, std::move(done));
+}
+
+void Cpu::ServeNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Demand d = std::move(queue_.front());
+  queue_.pop_front();
+
+  SimTime overhead{};
+  if (d.pid != last_pid_) {
+    overhead = cfg_.ctx_switch_base +
+               cfg_.ctx_switch_per_runnable *
+                   static_cast<std::int64_t>(queue_.size() + 1);
+    ++stats_.context_switches;
+    stats_.switch_overhead += overhead;
+    last_pid_ = d.pid;
+  }
+
+  const SimTime slice = std::min(d.remaining, cfg_.quantum);
+  d.remaining -= slice;
+  stats_.busy += slice;
+
+  sim_.After(overhead + slice, [this, d = std::move(d)]() mutable {
+    if (d.remaining.nanos() <= 0) {
+      ++stats_.bursts_completed;
+      Done done = std::move(d.done);
+      ServeNext();
+      if (done) done();
+    } else {
+      queue_.push_back(std::move(d));
+      ServeNext();
+    }
+  });
+}
+
+}  // namespace sams::sim

@@ -1,0 +1,78 @@
+#include "sim/disk.h"
+
+#include <utility>
+
+namespace sams::sim {
+namespace {
+
+SimTime TransferTime(std::uint64_t bytes, double mb_per_sec) {
+  const double seconds =
+      static_cast<double>(bytes) / (mb_per_sec * 1024.0 * 1024.0);
+  return SimTime::SecondsF(seconds);
+}
+
+}  // namespace
+
+void Disk::Fsync(Done done) {
+  ++stats_.fsyncs;
+  waiters_.push_back(std::move(done));
+  if (!commit_running_) {
+    commit_running_ = true;
+    // Start via a zero-delay event so every fsync issued at the same
+    // simulated instant joins this commit (group commit batches
+    // same-tick arrivals).
+    sim_.After(SimTime{}, [this] { StartCommit(); });
+  }
+}
+
+void Disk::StartCommit() {
+  ++stats_.commits;
+
+  // Snapshot this epoch: fsyncs arriving during the commit join the
+  // next one.
+  std::vector<Done> epoch = std::move(waiters_);
+  waiters_.clear();
+  const SimTime duration = cfg_.commit_base +
+                           TransferTime(pending_bytes_, cfg_.write_mb_per_sec) +
+                           pending_meta_;
+  pending_bytes_ = 0;
+  pending_meta_ = SimTime{};
+  stats_.write_busy += duration;
+
+  sim_.After(duration, [this, epoch = std::move(epoch)]() mutable {
+    for (auto& done : epoch) {
+      if (done) done();
+    }
+    if (!waiters_.empty()) {
+      StartCommit();
+    } else {
+      commit_running_ = false;
+    }
+  });
+}
+
+void Disk::Read(std::uint64_t bytes, Done done) {
+  ++stats_.reads;
+  stats_.bytes_read += bytes;
+  const SimTime service =
+      cfg_.read_seek + TransferTime(bytes, cfg_.read_mb_per_sec);
+  read_queue_.push_back(ReadReq{service, std::move(done)});
+  if (!read_running_) StartNextRead();
+}
+
+void Disk::StartNextRead() {
+  if (read_queue_.empty()) {
+    read_running_ = false;
+    return;
+  }
+  read_running_ = true;
+  ReadReq req = std::move(read_queue_.front());
+  read_queue_.pop_front();
+  stats_.read_busy += req.service;
+  sim_.After(req.service, [this, done = std::move(req.done)]() mutable {
+    if (done) done();
+    StartNextRead();
+  });
+}
+
+}  // namespace sams::sim

@@ -1,0 +1,39 @@
+// The simulated testbed of Table 1: one server machine (CPU + disk)
+// and the network path from the client machine. Benches construct a
+// Machine, attach a server model from sams::mta, and drive it with a
+// client model from sams::trace.
+#pragma once
+
+#include <memory>
+
+#include "sim/cpu.h"
+#include "sim/disk.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace sams::sim {
+
+struct MachineConfig {
+  CpuConfig cpu;
+  DiskConfig disk;
+  NetworkConfig network;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {})
+      : cpu_(sim_, cfg.cpu), disk_(sim_, cfg.disk), net_(sim_, cfg.network) {}
+
+  Simulator& sim() { return sim_; }
+  Cpu& cpu() { return cpu_; }
+  Disk& disk() { return disk_; }
+  Network& net() { return net_; }
+
+ private:
+  Simulator sim_;
+  Cpu cpu_;
+  Disk disk_;
+  Network net_;
+};
+
+}  // namespace sams::sim

@@ -1,0 +1,14 @@
+#include "sim/network.h"
+
+namespace sams::sim {
+
+void Network::Send(std::uint64_t bytes, Done deliver) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  const SimTime serialization = SimTime::SecondsF(
+      static_cast<double>(bytes) / (cfg_.mb_per_sec * 1024.0 * 1024.0));
+  if (!deliver) return;  // stats-only send (e.g. fire-and-forget reply)
+  sim_.After(cfg_.one_way_delay + serialization, std::move(deliver));
+}
+
+}  // namespace sams::sim

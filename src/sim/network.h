@@ -1,0 +1,51 @@
+// Simulated network path between the SMTP client machine and the mail
+// server: fixed one-way propagation delay (the paper emulates a 30 ms
+// WAN with tc on a gigabit switch) plus serialization at a configurable
+// bandwidth. Bandwidth only matters for DATA payloads; command lines
+// are latency-bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace sams::sim {
+
+struct NetworkConfig {
+  SimTime one_way_delay = SimTime::Millis(15);  // 30 ms RTT / 2
+  double mb_per_sec = 100.0;                    // effective gigabit path
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  using Done = std::function<void()>;
+
+  Network(Simulator& sim, NetworkConfig cfg) : sim_(sim), cfg_(cfg) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Delivers a `bytes`-sized message to the other side after
+  // propagation + serialization delay. Messages do not queue on each
+  // other (the link is far from saturated in all experiments).
+  void Send(std::uint64_t bytes, Done deliver);
+
+  // One full round trip (request + response of negligible size).
+  SimTime Rtt() const { return cfg_.one_way_delay * 2; }
+  SimTime OneWay() const { return cfg_.one_way_delay; }
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  NetworkConfig cfg_;
+  NetworkStats stats_;
+};
+
+}  // namespace sams::sim

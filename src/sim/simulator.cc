@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace sams::sim {
+
+void Simulator::At(SimTime t, Callback cb) {
+  SAMS_CHECK(t >= now_) << "event scheduled in the past: " << t.ToString()
+                        << " < " << now_.ToString();
+  queue_.push(Event{t, seq_++, std::move(cb)});
+}
+
+bool Simulator::PopAndRunNext() {
+  // The queue holds const refs; move out via const_cast-free copy of
+  // the callback by re-wrapping: top() is const, so take a copy of the
+  // metadata and swap the callback out through a mutable reference.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) PopAndRunNext();
+}
+
+void Simulator::RunUntil(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().at <= t) PopAndRunNext();
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace sams::sim

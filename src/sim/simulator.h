@@ -1,0 +1,74 @@
+// Discrete-event simulation core.
+//
+// The paper's evaluation ran on a 2007 testbed (3 GHz Xeon, 10K SCSI
+// disk, 30 ms emulated WAN delay). We reproduce the *dynamics* of that
+// machine with a deterministic event-driven simulator: the figure
+// benches schedule SMTP protocol steps, CPU bursts, disk commits and
+// DNS waits as events, and measure goodput in simulated time. Events
+// at equal timestamps fire in scheduling order (FIFO tie-break), so a
+// run is a pure function of its RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace sams::sim {
+
+using util::SimTime;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` at absolute simulated time `t` (>= Now()).
+  void At(SimTime t, Callback cb);
+
+  // Schedules `cb` after simulated delay `d` (>= 0).
+  void After(SimTime d, Callback cb) { At(now_ + d, std::move(cb)); }
+
+  // Runs until the event queue drains or Stop() is called.
+  void Run();
+
+  // Runs all events with timestamp <= t; afterwards Now() == t (unless
+  // stopped early). Events scheduled beyond t stay pending.
+  void RunUntil(SimTime t);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRunNext();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sams::sim

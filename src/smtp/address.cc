@@ -1,0 +1,77 @@
+#include "smtp/address.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace sams::smtp {
+namespace {
+
+bool IsAtomChar(char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+    return true;
+  }
+  // RFC 5321 atext specials, minus characters that would confuse logs.
+  constexpr std::string_view kSpecials = "!#$%&'*+-/=?^_`{|}~";
+  return kSpecials.find(c) != std::string_view::npos;
+}
+
+bool ValidLocalPart(std::string_view s) {
+  if (s.empty() || s.size() > 64) return false;
+  bool prev_dot = true;  // leading dot forbidden
+  for (char c : s) {
+    if (c == '.') {
+      if (prev_dot) return false;
+      prev_dot = true;
+    } else if (IsAtomChar(c)) {
+      prev_dot = false;
+    } else {
+      return false;
+    }
+  }
+  return !prev_dot;  // trailing dot forbidden
+}
+
+bool ValidDomain(std::string_view s) {
+  if (s.empty() || s.size() > 255) return false;
+  bool prev_sep = true;
+  for (char c : s) {
+    if (c == '.') {
+      if (prev_sep) return false;
+      prev_sep = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '-') {
+      prev_sep = false;
+    } else {
+      return false;
+    }
+  }
+  return !prev_sep;
+}
+
+}  // namespace
+
+Address::Address(std::string local, std::string domain)
+    : local_(std::move(local)), domain_(std::move(domain)) {}
+
+std::optional<Address> Address::Parse(std::string_view s) {
+  const std::size_t at = s.rfind('@');
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string_view local = s.substr(0, at);
+  const std::string_view domain = s.substr(at + 1);
+  if (!ValidLocalPart(local) || !ValidDomain(domain)) return std::nullopt;
+  return Address(std::string(local), std::string(domain));
+}
+
+std::optional<Path> Path::Parse(std::string_view s) {
+  s = util::Trim(s);
+  if (s.size() < 2 || s.front() != '<' || s.back() != '>') return std::nullopt;
+  const std::string_view inner = s.substr(1, s.size() - 2);
+  if (inner.empty()) return Path();  // null reverse-path "<>"
+  if (inner.front() == '@') return std::nullopt;  // source routes rejected
+  auto addr = Address::Parse(inner);
+  if (!addr) return std::nullopt;
+  return Path(std::move(*addr));
+}
+
+}  // namespace sams::smtp

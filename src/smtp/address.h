@@ -1,0 +1,55 @@
+// Mailbox addresses and SMTP paths (RFC 5321 §4.1.2 subset).
+//
+// We accept the dotted local-part / domain syntax real MTAs see in
+// practice, including the null reverse-path "<>" that delivery status
+// notifications use, and reject source routes (obsolete) and control
+// characters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sams::smtp {
+
+class Address {
+ public:
+  Address() = default;
+  Address(std::string local, std::string domain);
+
+  // Parses "local@domain" (no angle brackets).
+  static std::optional<Address> Parse(std::string_view s);
+
+  const std::string& local() const { return local_; }
+  const std::string& domain() const { return domain_; }
+  std::string ToString() const { return local_ + "@" + domain_; }
+
+  bool operator==(const Address&) const = default;
+
+ private:
+  std::string local_;
+  std::string domain_;
+};
+
+// An SMTP path: "<local@domain>" or the null path "<>".
+class Path {
+ public:
+  Path() = default;  // null path
+  explicit Path(Address addr) : addr_(std::move(addr)) {}
+
+  // Parses "<...>"; empty brackets yield the null path.
+  static std::optional<Path> Parse(std::string_view s);
+
+  bool IsNull() const { return !addr_.has_value(); }
+  const Address& address() const { return *addr_; }
+  std::string ToString() const {
+    return addr_ ? "<" + addr_->ToString() + ">" : "<>";
+  }
+
+  bool operator==(const Path&) const = default;
+
+ private:
+  std::optional<Address> addr_;
+};
+
+}  // namespace sams::smtp

@@ -1,0 +1,90 @@
+#include "smtp/client_session.h"
+
+#include <utility>
+
+#include "smtp/command.h"
+#include "smtp/dotstuff.h"
+
+namespace sams::smtp {
+
+ClientSession::ClientSession(MailJob job, AbortStage abort)
+    : job_(std::move(job)), abort_(abort) {}
+
+std::string ClientSession::Quit(ClientOutcome outcome) {
+  outcome_ = outcome;
+  state_ = State::kWaitQuitAck;
+  return QuitLine();
+}
+
+std::optional<std::string> ClientSession::NextAfterRcptPhase() {
+  if (next_rcpt_ < job_.rcpts.size()) {
+    state_ = State::kWaitRcpt;
+    return RcptToLine(job_.rcpts[next_rcpt_++]);
+  }
+  if (accepted_rcpts_ > 0) {
+    state_ = State::kWaitDataGo;
+    return DataLine();
+  }
+  return Quit(ClientOutcome::kAllRejected);
+}
+
+std::optional<std::string> ClientSession::OnReply(const Reply& reply) {
+  if (done_) return std::nullopt;
+
+  switch (state_) {
+    case State::kWaitBanner:
+      if (!reply.IsPositive()) {
+        done_ = true;
+        outcome_ = ClientOutcome::kServerError;
+        return std::nullopt;
+      }
+      if (abort_ == AbortStage::kAfterBanner) {
+        return Quit(ClientOutcome::kAborted);
+      }
+      state_ = State::kWaitHelo;
+      return HeloLine(job_.helo);
+
+    case State::kWaitHelo:
+      if (!reply.IsPositive()) return Quit(ClientOutcome::kServerError);
+      if (abort_ == AbortStage::kAfterHelo) {
+        return Quit(ClientOutcome::kAborted);
+      }
+      state_ = State::kWaitMail;
+      return MailFromLine(job_.mail_from);
+
+    case State::kWaitMail:
+      if (!reply.IsPositive()) return Quit(ClientOutcome::kServerError);
+      if (abort_ == AbortStage::kAfterMail) {
+        return Quit(ClientOutcome::kAborted);
+      }
+      return NextAfterRcptPhase();
+
+    case State::kWaitRcpt:
+      if (reply.IsPositive()) {
+        ++accepted_rcpts_;
+      } else {
+        ++rejected_rcpts_;
+      }
+      return NextAfterRcptPhase();
+
+    case State::kWaitDataGo:
+      if (reply.code != ReplyCode::kStartMailInput) {
+        return Quit(ClientOutcome::kServerError);
+      }
+      state_ = State::kWaitDataAck;
+      return DotStuffEncode(job_.body);
+
+    case State::kWaitDataAck:
+      return Quit(reply.IsPositive() ? ClientOutcome::kDelivered
+                                     : ClientOutcome::kServerError);
+
+    case State::kWaitQuitAck:
+    case State::kDone:
+      done_ = true;
+      state_ = State::kDone;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sams::smtp

@@ -1,0 +1,83 @@
+// Client-side SMTP dialog state machine.
+//
+// Drives one mail transaction against a server: HELO → MAIL FROM →
+// RCPT (all recipients) → DATA → body → QUIT. Also models the two
+// rogue client behaviours the paper measures (§4.1): sessions whose
+// recipients all bounce, and sessions deliberately abandoned mid-
+// handshake ("unfinished SMTP transactions"). Transport-agnostic:
+// callers pass in each server reply and send back whatever bytes the
+// session returns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smtp/address.h"
+#include "smtp/reply.h"
+
+namespace sams::smtp {
+
+struct MailJob {
+  std::string helo = "client.sams.test";
+  Path mail_from;
+  std::vector<Path> rcpts;
+  std::string body;  // raw, un-stuffed
+};
+
+enum class AbortStage {
+  kNone,        // run to completion
+  kAfterBanner, // connect, read banner, QUIT
+  kAfterHelo,   // HELO then QUIT
+  kAfterMail,   // HELO, MAIL FROM then QUIT
+};
+
+enum class ClientOutcome {
+  kInProgress,
+  kDelivered,      // mail accepted (250 after data)
+  kAllRejected,    // every RCPT bounced; no DATA attempted
+  kAborted,        // we abandoned the session (AbortStage)
+  kServerError,    // unexpected negative reply
+};
+
+class ClientSession {
+ public:
+  explicit ClientSession(MailJob job, AbortStage abort = AbortStage::kNone);
+
+  // Processes one server reply; returns the bytes to send next, or
+  // nullopt when the session is finished (after our QUIT was acked or
+  // the server failed hard).
+  std::optional<std::string> OnReply(const Reply& reply);
+
+  ClientOutcome outcome() const { return outcome_; }
+  bool done() const { return done_; }
+  int accepted_rcpts() const { return accepted_rcpts_; }
+  int rejected_rcpts() const { return rejected_rcpts_; }
+
+ private:
+  enum class State {
+    kWaitBanner,
+    kWaitHelo,
+    kWaitMail,
+    kWaitRcpt,
+    kWaitDataGo,   // expect 354
+    kWaitDataAck,  // expect 250 after body
+    kWaitQuitAck,
+    kDone,
+  };
+
+  std::string Quit(ClientOutcome outcome);
+  std::optional<std::string> NextAfterRcptPhase();
+
+  MailJob job_;
+  AbortStage abort_;
+  State state_ = State::kWaitBanner;
+  std::size_t next_rcpt_ = 0;
+  int accepted_rcpts_ = 0;
+  int rejected_rcpts_ = 0;
+  ClientOutcome outcome_ = ClientOutcome::kInProgress;
+  bool done_ = false;
+};
+
+}  // namespace sams::smtp

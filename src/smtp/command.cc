@@ -1,0 +1,111 @@
+#include "smtp/command.h"
+
+#include "util/strings.h"
+
+namespace sams::smtp {
+namespace {
+
+using util::IEquals;
+using util::IStartsWith;
+using util::Trim;
+
+// Extracts the path argument of "MAIL FROM:<...>" / "RCPT TO:<...>".
+// RFC 5321 allows no space before '<' and optional parameters after.
+void ParsePathArgument(std::string_view rest, Command* cmd) {
+  rest = Trim(rest);
+  // Cut ESMTP parameters ("<p> SIZE=123"): path ends at the first '>'.
+  const std::size_t close = rest.find('>');
+  if (close != std::string_view::npos) rest = rest.substr(0, close + 1);
+  auto path = Path::Parse(rest);
+  if (path) {
+    cmd->path = std::move(*path);
+  } else {
+    cmd->bad_path = true;
+    cmd->argument = std::string(rest);
+  }
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kHelo: return "HELO";
+    case Verb::kEhlo: return "EHLO";
+    case Verb::kMail: return "MAIL";
+    case Verb::kRcpt: return "RCPT";
+    case Verb::kData: return "DATA";
+    case Verb::kRset: return "RSET";
+    case Verb::kNoop: return "NOOP";
+    case Verb::kQuit: return "QUIT";
+    case Verb::kVrfy: return "VRFY";
+    case Verb::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+Command ParseCommand(std::string_view line) {
+  Command cmd;
+  line = Trim(line);
+
+  if (IStartsWith(line, "MAIL FROM:")) {
+    cmd.verb = Verb::kMail;
+    ParsePathArgument(line.substr(10), &cmd);
+    return cmd;
+  }
+  if (IStartsWith(line, "RCPT TO:")) {
+    cmd.verb = Verb::kRcpt;
+    ParsePathArgument(line.substr(8), &cmd);
+    return cmd;
+  }
+
+  // Single-word verbs (+ optional argument).
+  const std::size_t sp = line.find(' ');
+  const std::string_view verb =
+      sp == std::string_view::npos ? line : line.substr(0, sp);
+  const std::string_view arg =
+      sp == std::string_view::npos ? std::string_view{} : Trim(line.substr(sp + 1));
+
+  if (IEquals(verb, "HELO")) {
+    cmd.verb = Verb::kHelo;
+    cmd.argument = std::string(arg);
+  } else if (IEquals(verb, "EHLO")) {
+    cmd.verb = Verb::kEhlo;
+    cmd.argument = std::string(arg);
+  } else if (IEquals(verb, "DATA")) {
+    cmd.verb = Verb::kData;
+  } else if (IEquals(verb, "RSET")) {
+    cmd.verb = Verb::kRset;
+  } else if (IEquals(verb, "NOOP")) {
+    cmd.verb = Verb::kNoop;
+  } else if (IEquals(verb, "QUIT")) {
+    cmd.verb = Verb::kQuit;
+  } else if (IEquals(verb, "VRFY")) {
+    cmd.verb = Verb::kVrfy;
+    cmd.argument = std::string(arg);
+  } else if (IEquals(verb, "MAIL") || IEquals(verb, "RCPT")) {
+    // "MAIL" / "RCPT" without the FROM:/TO: keyword is a syntax error
+    // in the parameters, not an unknown command.
+    cmd.verb = IEquals(verb, "MAIL") ? Verb::kMail : Verb::kRcpt;
+    cmd.bad_path = true;
+    cmd.argument = std::string(arg);
+  } else {
+    cmd.verb = Verb::kUnknown;
+    cmd.argument = std::string(verb);
+  }
+  return cmd;
+}
+
+std::string HeloLine(const std::string& hostname) { return "HELO " + hostname + "\r\n"; }
+std::string EhloLine(const std::string& hostname) { return "EHLO " + hostname + "\r\n"; }
+std::string MailFromLine(const Path& reverse_path) {
+  return "MAIL FROM:" + reverse_path.ToString() + "\r\n";
+}
+std::string RcptToLine(const Path& forward_path) {
+  return "RCPT TO:" + forward_path.ToString() + "\r\n";
+}
+std::string DataLine() { return "DATA\r\n"; }
+std::string QuitLine() { return "QUIT\r\n"; }
+std::string RsetLine() { return "RSET\r\n"; }
+std::string NoopLine() { return "NOOP\r\n"; }
+
+}  // namespace sams::smtp

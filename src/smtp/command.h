@@ -1,0 +1,52 @@
+// SMTP command parsing (RFC 5321 §4.1.1 subset).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "smtp/address.h"
+
+namespace sams::smtp {
+
+enum class Verb {
+  kHelo,
+  kEhlo,
+  kMail,  // MAIL FROM:<path>
+  kRcpt,  // RCPT TO:<path>
+  kData,
+  kRset,
+  kNoop,
+  kQuit,
+  kVrfy,
+  kUnknown,
+};
+
+const char* VerbName(Verb verb);
+
+struct Command {
+  Verb verb = Verb::kUnknown;
+  // HELO/EHLO: peer hostname. VRFY: queried mailbox. Unknown: raw verb.
+  std::string argument;
+  // MAIL/RCPT: the parsed path; nullopt when the path failed to parse,
+  // in which case `argument` holds the raw text for the 501 reply.
+  std::optional<Path> path;
+  // MAIL/RCPT: true when "FROM:"/"TO:" was present but malformed.
+  bool bad_path = false;
+};
+
+// Parses one command line (CRLF already stripped). Never fails: wire
+// garbage parses to Verb::kUnknown for a 500 reply.
+Command ParseCommand(std::string_view line);
+
+// Serializers used by the client side.
+std::string HeloLine(const std::string& hostname);
+std::string EhloLine(const std::string& hostname);
+std::string MailFromLine(const Path& reverse_path);
+std::string RcptToLine(const Path& forward_path);
+std::string DataLine();
+std::string QuitLine();
+std::string RsetLine();
+std::string NoopLine();
+
+}  // namespace sams::smtp

@@ -1,0 +1,67 @@
+#include "smtp/dotstuff.h"
+
+namespace sams::smtp {
+
+std::string DotStuffEncode(std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + body.size() / 64 + 8);
+  std::size_t i = 0;
+  while (i < body.size()) {
+    // Find end of line (either \n or \r\n).
+    std::size_t eol = body.find('\n', i);
+    std::string_view line;
+    if (eol == std::string_view::npos) {
+      line = body.substr(i);
+      i = body.size();
+    } else {
+      line = body.substr(i, eol - i);
+      i = eol + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line.front() == '.') out.push_back('.');
+    out.append(line);
+    out.append("\r\n");
+  }
+  out.append(".\r\n");
+  return out;
+}
+
+DotStuffDecoder::FeedResult DotStuffDecoder::Feed(std::string_view chunk) {
+  FeedResult result;
+  if (finished_) {
+    result.finished = true;
+    return result;
+  }
+  std::size_t i = 0;
+  while (i < chunk.size()) {
+    const char c = chunk[i++];
+    if (c != '\n') {
+      line_.push_back(c);
+      continue;
+    }
+    // Completed a line (strip the \r of CRLF if present).
+    std::string_view line = line_;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line == ".") {
+      finished_ = true;
+      line_.clear();
+      result.finished = true;
+      result.consumed = i;
+      return result;
+    }
+    if (!line.empty() && line.front() == '.') line.remove_prefix(1);
+    body_.append(line);
+    body_.append("\r\n");
+    line_.clear();
+  }
+  result.consumed = chunk.size();
+  return result;
+}
+
+void DotStuffDecoder::Reset() {
+  body_.clear();
+  line_.clear();
+  finished_ = false;
+}
+
+}  // namespace sams::smtp

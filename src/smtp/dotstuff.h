@@ -1,0 +1,48 @@
+// Dot-stuffing codec for the DATA phase (RFC 5321 §4.5.2).
+//
+// Encoder: prefixes each body line that starts with '.' with another
+// '.', ensures CRLF line endings, and appends the ".\r\n" terminator.
+// Decoder: streaming — feed it network chunks, it un-stuffs lines into
+// the message body and reports when the terminator has been consumed
+// (including how many raw bytes of the final chunk belonged to the
+// message, so pipelined bytes after the terminator are preserved).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sams::smtp {
+
+// One-shot encode of a message body for transmission after DATA.
+// `body` uses either \n or \r\n line endings; output is normalized to
+// CRLF, dot-stuffed, and terminated with ".\r\n".
+std::string DotStuffEncode(std::string_view body);
+
+class DotStuffDecoder {
+ public:
+  struct FeedResult {
+    bool finished = false;     // terminator seen
+    std::size_t consumed = 0;  // bytes of `chunk` consumed
+  };
+
+  // Consumes up to the end of `chunk` or the data terminator,
+  // whichever comes first. After finished==true, further Feed calls
+  // consume nothing.
+  FeedResult Feed(std::string_view chunk);
+
+  // The decoded message body (terminator excluded, dot-stuffing
+  // removed, CRLF endings preserved).
+  const std::string& body() const { return body_; }
+  std::string TakeBody() { return std::move(body_); }
+  bool finished() const { return finished_; }
+
+  void Reset();
+
+ private:
+  std::string body_;
+  std::string line_;  // current partial line (raw, still stuffed)
+  bool finished_ = false;
+};
+
+}  // namespace sams::smtp

@@ -1,0 +1,94 @@
+#include "smtp/reply.h"
+
+#include <cstdio>
+
+namespace sams::smtp {
+
+std::string Reply::Serialize() const {
+  char head[8];
+  std::snprintf(head, sizeof(head), "%d ", static_cast<int>(code));
+  return std::string(head) + text + "\r\n";
+}
+
+bool ParseReply(std::string_view line, Reply* out, bool* more) {
+  // Strip trailing CRLF / LF.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.size() < 3) return false;
+  int code = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (line[i] < '0' || line[i] > '9') return false;
+    code = code * 10 + (line[i] - '0');
+  }
+  if (code < 200 || code > 599) return false;
+  bool continuation = false;
+  std::string_view text;
+  if (line.size() > 3) {
+    if (line[3] == '-') {
+      continuation = true;
+    } else if (line[3] != ' ') {
+      return false;
+    }
+    text = line.substr(4);
+  }
+  out->code = static_cast<ReplyCode>(code);
+  out->text = std::string(text);
+  if (more) *more = continuation;
+  return true;
+}
+
+Reply BannerReply(const std::string& hostname) {
+  return {ReplyCode::kServiceReady, hostname + " ESMTP sams"};
+}
+
+Reply OkReply() { return {ReplyCode::kOk, "Ok"}; }
+
+Reply ByeReply(const std::string& hostname) {
+  return {ReplyCode::kClosing, hostname + " closing connection"};
+}
+
+Reply UserUnknownReply(const std::string& rcpt) {
+  return {ReplyCode::kUserUnknown,
+          "<" + rcpt + ">: Recipient address rejected: User unknown"};
+}
+
+Reply StartMailInputReply() {
+  return {ReplyCode::kStartMailInput, "End data with <CR><LF>.<CR><LF>"};
+}
+
+Reply BadSequenceReply(const std::string& what) {
+  return {ReplyCode::kBadSequence, "Error: " + what};
+}
+
+Reply SyntaxErrorReply() {
+  return {ReplyCode::kSyntaxError, "Error: command not recognized"};
+}
+
+Reply ParamSyntaxErrorReply(const std::string& what) {
+  return {ReplyCode::kParamSyntaxError, "Syntax error in " + what};
+}
+
+Reply NotImplementedReply(const std::string& verb) {
+  return {ReplyCode::kNotImplemented, "Error: command not implemented: " + verb};
+}
+
+Reply TooManyRecipientsReply() {
+  return {ReplyCode::kInsufficientStorage, "Error: too many recipients"};
+}
+
+Reply MessageTooBigReply() {
+  return {ReplyCode::kExceededStorage, "Error: message size exceeds limit"};
+}
+
+Reply HeloReply(const std::string& hostname) {
+  return {ReplyCode::kOk, hostname};
+}
+
+Reply BlacklistedReply(const std::string& client_ip, const std::string& zone) {
+  return {ReplyCode::kTransactionFailed,
+          "Service unavailable; Client host [" + client_ip + "] blocked using " +
+              zone};
+}
+
+}  // namespace sams::smtp

@@ -1,0 +1,62 @@
+// SMTP reply codes and wire rendering (RFC 5321 §4.2), restricted to
+// the subset a 2007-era MTA actually emits.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sams::smtp {
+
+enum class ReplyCode : int {
+  kServiceReady = 220,
+  kClosing = 221,
+  kOk = 250,
+  kStartMailInput = 354,
+  kServiceUnavailable = 421,
+  kMailboxBusy = 450,
+  kLocalError = 451,
+  kInsufficientStorage = 452,
+  kSyntaxError = 500,
+  kParamSyntaxError = 501,
+  kNotImplemented = 502,
+  kBadSequence = 503,
+  kUserUnknown = 550,       // the bounce reply (§4.1)
+  kExceededStorage = 552,
+  kTransactionFailed = 554,
+};
+
+struct Reply {
+  ReplyCode code = ReplyCode::kOk;
+  std::string text;
+
+  // "250 OK\r\n"
+  std::string Serialize() const;
+
+  bool IsPositive() const { return static_cast<int>(code) < 400; }
+  bool IsPermanentFailure() const { return static_cast<int>(code) >= 500; }
+  bool IsTransientFailure() const {
+    const int c = static_cast<int>(code);
+    return c >= 400 && c < 500;
+  }
+};
+
+// Parses "250 some text\r\n" (or without CRLF). Multi-line replies use
+// "250-" continuation; `more` is set when the line is a continuation.
+bool ParseReply(std::string_view line, Reply* out, bool* more = nullptr);
+
+// Canned replies shared by server implementations.
+Reply BannerReply(const std::string& hostname);
+Reply OkReply();
+Reply ByeReply(const std::string& hostname);
+Reply UserUnknownReply(const std::string& rcpt);
+Reply StartMailInputReply();
+Reply BadSequenceReply(const std::string& what);
+Reply SyntaxErrorReply();
+Reply ParamSyntaxErrorReply(const std::string& what);
+Reply NotImplementedReply(const std::string& verb);
+Reply TooManyRecipientsReply();
+Reply MessageTooBigReply();
+Reply HeloReply(const std::string& hostname);
+Reply BlacklistedReply(const std::string& client_ip, const std::string& zone);
+
+}  // namespace sams::smtp

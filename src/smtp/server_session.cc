@@ -1,0 +1,282 @@
+#include "smtp/server_session.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace sams::smtp {
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kConnected: return "CONNECTED";
+    case SessionState::kGreeted: return "GREETED";
+    case SessionState::kMailGiven: return "MAIL_GIVEN";
+    case SessionState::kRcptGiven: return "RCPT_GIVEN";
+    case SessionState::kData: return "DATA";
+    case SessionState::kClosed: return "CLOSED";
+  }
+  return "?";
+}
+
+ServerSession::ServerSession(SessionConfig cfg, Hooks hooks, std::string client_ip)
+    : cfg_(std::move(cfg)), hooks_(std::move(hooks)),
+      client_ip_(std::move(client_ip)) {
+  SAMS_CHECK(static_cast<bool>(hooks_.send)) << "send hook required";
+  SAMS_CHECK(static_cast<bool>(hooks_.validate_rcpt))
+      << "validate_rcpt hook required";
+}
+
+void ServerSession::Start() { Emit(BannerReply(cfg_.hostname)); }
+
+void ServerSession::Emit(const Reply& reply) { hooks_.send(reply.Serialize()); }
+
+void ServerSession::Feed(std::string_view bytes) {
+  inbuf_.append(bytes);
+  std::string_view rest = inbuf_;
+  while (!rest.empty() && state_ != SessionState::kClosed &&
+         !pause_requested_) {
+    if (state_ == SessionState::kData) {
+      HandleDataBytes(&rest);
+      continue;
+    }
+    const std::size_t eol = rest.find('\n');
+    if (eol == std::string_view::npos) {
+      // Guard against unbounded command lines from hostile clients.
+      if (rest.size() > cfg_.max_line_length) {
+        ++stats_.syntax_errors;
+        Emit(SyntaxErrorReply());
+        rest = {};
+      }
+      break;
+    }
+    std::string_view line = rest.substr(0, eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    rest.remove_prefix(eol + 1);
+    HandleCommand(line);
+  }
+  inbuf_.erase(0, inbuf_.size() - rest.size());
+}
+
+void ServerSession::HandleDataBytes(std::string_view* bytes) {
+  const auto result = decoder_.Feed(*bytes);
+  bytes->remove_prefix(result.consumed);
+  if (decoder_.body().size() > cfg_.max_message_bytes) oversized_ = true;
+  if (!result.finished) return;
+
+  if (oversized_) {
+    Emit(MessageTooBigReply());
+  } else {
+    Envelope env;
+    env.client_ip = client_ip_;
+    env.helo = helo_;
+    env.mail_from = mail_from_;
+    env.rcpt_to = rcpts_;
+    env.body = decoder_.TakeBody();
+    if (hooks_.content_check && !hooks_.content_check(env)) {
+      ++stats_.content_rejects;
+      Emit({ReplyCode::kTransactionFailed,
+            "Error: message content rejected"});
+    } else {
+      ++stats_.mails_delivered;
+      if (hooks_.on_mail) hooks_.on_mail(std::move(env));
+      Emit({ReplyCode::kOk, "Ok: queued"});
+    }
+  }
+  ResetTransaction();
+  state_ = SessionState::kGreeted;
+}
+
+void ServerSession::ResetTransaction() {
+  mail_from_ = Path();
+  rcpts_.clear();
+  rejected_this_txn_ = 0;
+  decoder_.Reset();
+  oversized_ = false;
+}
+
+void ServerSession::HandleCommand(std::string_view line) {
+  ++stats_.commands;
+  const Command cmd = ParseCommand(line);
+
+  switch (cmd.verb) {
+    case Verb::kHelo:
+    case Verb::kEhlo:
+      if (cmd.argument.empty()) {
+        ++stats_.syntax_errors;
+        Emit(ParamSyntaxErrorReply("HELO hostname required"));
+        return;
+      }
+      helo_ = cmd.argument;
+      ResetTransaction();
+      state_ = SessionState::kGreeted;
+      Emit(HeloReply(cfg_.hostname));
+      return;
+
+    case Verb::kMail:
+      if (cfg_.require_helo && state_ == SessionState::kConnected) {
+        Emit(BadSequenceReply("send HELO/EHLO first"));
+        return;
+      }
+      if (state_ == SessionState::kMailGiven ||
+          state_ == SessionState::kRcptGiven) {
+        Emit(BadSequenceReply("nested MAIL command"));
+        return;
+      }
+      if (cmd.bad_path || !cmd.path) {
+        ++stats_.syntax_errors;
+        Emit(ParamSyntaxErrorReply("MAIL FROM address"));
+        return;
+      }
+      mail_from_ = *cmd.path;
+      state_ = SessionState::kMailGiven;
+      Emit(OkReply());
+      return;
+
+    case Verb::kRcpt: {
+      if (state_ != SessionState::kMailGiven &&
+          state_ != SessionState::kRcptGiven) {
+        Emit(BadSequenceReply("need MAIL command first"));
+        return;
+      }
+      if (cmd.bad_path || !cmd.path || cmd.path->IsNull()) {
+        ++stats_.syntax_errors;
+        Emit(ParamSyntaxErrorReply("RCPT TO address"));
+        return;
+      }
+      if (rcpts_.size() >= cfg_.max_recipients) {
+        Emit(TooManyRecipientsReply());
+        return;
+      }
+      const Address& addr = cmd.path->address();
+      if (!hooks_.validate_rcpt(addr)) {
+        ++stats_.rejected_rcpts;
+        ++rejected_this_txn_;
+        Emit(UserUnknownReply(addr.ToString()));
+        return;
+      }
+      ++stats_.accepted_rcpts;
+      rcpts_.push_back(addr);
+      const bool first = state_ != SessionState::kRcptGiven;
+      state_ = SessionState::kRcptGiven;
+      Emit(OkReply());
+      if (first && hooks_.on_first_valid_rcpt) hooks_.on_first_valid_rcpt();
+      return;
+    }
+
+    case Verb::kData:
+      if (state_ != SessionState::kRcptGiven) {
+        if (state_ == SessionState::kMailGiven && rejected_this_txn_ > 0) {
+          // All RCPTs bounced: postfix answers 554 here.
+          Emit({ReplyCode::kTransactionFailed, "Error: no valid recipients"});
+        } else {
+          Emit(BadSequenceReply("need RCPT command first"));
+        }
+        return;
+      }
+      decoder_.Reset();
+      oversized_ = false;
+      state_ = SessionState::kData;
+      Emit(StartMailInputReply());
+      return;
+
+    case Verb::kRset:
+      ResetTransaction();
+      if (state_ != SessionState::kConnected) state_ = SessionState::kGreeted;
+      Emit(OkReply());
+      return;
+
+    case Verb::kNoop:
+      Emit(OkReply());
+      return;
+
+    case Verb::kVrfy:
+      // Disabled, as on virtually all production MTAs (address
+      // harvesting via VRFY predates the RG technique of §4.1).
+      Emit(NotImplementedReply("VRFY"));
+      return;
+
+    case Verb::kQuit:
+      Emit(ByeReply(cfg_.hostname));
+      state_ = SessionState::kClosed;
+      if (hooks_.on_quit) hooks_.on_quit();
+      return;
+
+    case Verb::kUnknown:
+      ++stats_.syntax_errors;
+      Emit(SyntaxErrorReply());
+      return;
+  }
+}
+
+util::Result<std::string> ServerSession::SerializeHandoff() const {
+  if (state_ != SessionState::kRcptGiven) {
+    return util::FailedPrecondition(
+        std::string("handoff requires RCPT_GIVEN state, session is ") +
+        SessionStateName(state_));
+  }
+  std::string out;
+  out += "ip=" + client_ip_ + "\n";
+  out += "helo=" + helo_ + "\n";
+  out += "from=" + mail_from_.ToString() + "\n";
+  for (const Address& rcpt : rcpts_) {
+    out += "rcpt=<" + rcpt.ToString() + ">\n";
+  }
+  out += "buf=" + inbuf_ + "\n";  // pipelined bytes, if any (always last)
+  return out;
+}
+
+util::Result<ServerSession> ServerSession::ResumeFromHandoff(
+    const SessionConfig& cfg, Hooks hooks, const std::string& payload) {
+  ServerSession session(cfg, std::move(hooks), "");
+  bool have_ip = false, have_from = false;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) {
+      return util::ProtocolError("handoff payload: unterminated line");
+    }
+    const std::string_view line(payload.data() + pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::ProtocolError("handoff payload: missing '='");
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    if (key == "ip") {
+      session.client_ip_ = std::string(value);
+      have_ip = true;
+    } else if (key == "helo") {
+      session.helo_ = std::string(value);
+    } else if (key == "from") {
+      auto path = Path::Parse(value);
+      if (!path) return util::ProtocolError("handoff payload: bad from path");
+      session.mail_from_ = *path;
+      have_from = true;
+    } else if (key == "rcpt") {
+      auto path = Path::Parse(value);
+      if (!path || path->IsNull()) {
+        return util::ProtocolError("handoff payload: bad rcpt path");
+      }
+      session.rcpts_.push_back(path->address());
+    } else if (key == "buf") {
+      // buf is by construction the final field; its value runs from
+      // just after "buf=" to the payload's terminating newline and may
+      // itself contain newlines (pipelined commands).
+      const std::size_t value_start = eq + 1 + (line.data() - payload.data());
+      session.inbuf_ = payload.substr(value_start,
+                                      payload.size() - value_start - 1);
+      pos = payload.size();
+    } else {
+      return util::ProtocolError("handoff payload: unknown key");
+    }
+  }
+  if (!have_ip || !have_from || session.rcpts_.empty()) {
+    return util::ProtocolError("handoff payload: incomplete");
+  }
+  session.state_ = SessionState::kRcptGiven;
+  return session;
+}
+
+}  // namespace sams::smtp

@@ -1,0 +1,144 @@
+// Server-side SMTP session state machine, transport-agnostic.
+//
+// The same FSM runs in three places: the real epoll server (sams::net),
+// the threaded smtpd workers (sams::mta), and — crucially for the
+// paper — the fork-after-trust master (§5), which executes the early
+// dialog (banner → HELO → MAIL → RCPT) in its event loop and hands the
+// session to a worker only after the first *valid* RCPT. The handoff
+// payload (SerializeHandoff / ResumeFromHandoff) carries exactly the
+// state the paper lists in §5.3: client IP, sender address and the
+// validated recipient list.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smtp/address.h"
+#include "smtp/command.h"
+#include "smtp/dotstuff.h"
+#include "smtp/reply.h"
+#include "util/result.h"
+
+namespace sams::smtp {
+
+struct SessionConfig {
+  std::string hostname = "mail.sams.test";
+  std::size_t max_recipients = 100;
+  std::size_t max_message_bytes = 10 * 1024 * 1024;
+  std::size_t max_line_length = 2048;
+  bool require_helo = true;
+};
+
+// A completed mail transaction.
+struct Envelope {
+  std::string client_ip;
+  std::string helo;
+  Path mail_from;
+  std::vector<Address> rcpt_to;  // accepted recipients only
+  std::string body;
+};
+
+enum class SessionState {
+  kConnected,  // banner sent, no HELO yet
+  kGreeted,    // HELO/EHLO accepted (or after a completed transaction)
+  kMailGiven,  // MAIL FROM accepted
+  kRcptGiven,  // at least one RCPT accepted
+  kData,       // between 354 and the dot terminator
+  kClosed,     // QUIT processed
+};
+
+const char* SessionStateName(SessionState state);
+
+struct SessionStats {
+  std::uint64_t commands = 0;
+  std::uint64_t syntax_errors = 0;
+  std::uint64_t accepted_rcpts = 0;
+  std::uint64_t rejected_rcpts = 0;  // 550 bounces (§4.1)
+  std::uint64_t content_rejects = 0;  // 554 after DATA (body tests)
+  std::uint64_t mails_delivered = 0;
+};
+
+class ServerSession {
+ public:
+  struct Hooks {
+    // Sends reply bytes to the client. Required.
+    std::function<void(std::string)> send;
+    // Returns true when the recipient mailbox exists. Required.
+    std::function<bool(const Address&)> validate_rcpt;
+    // Post-DATA content check (§5.2 body tests): return false to
+    // reject the mail with 554 instead of queueing it. Optional.
+    std::function<bool(const Envelope&)> content_check;
+    // Called once per completed mail, before the 250 ack. Optional.
+    std::function<void(Envelope&&)> on_mail;
+    // Called when the client QUITs. Optional.
+    std::function<void()> on_quit;
+    // Called after the *first* accepted RCPT of each transaction; the
+    // fork-after-trust master uses this as the delegation trigger.
+    // Optional.
+    std::function<void()> on_first_valid_rcpt;
+  };
+
+  ServerSession(SessionConfig cfg, Hooks hooks, std::string client_ip);
+
+  // Emits the 220 banner. Call once, before Feed.
+  void Start();
+
+  // Consumes raw network bytes; drives the FSM, emitting replies and
+  // events through the hooks. Reentrant-safe for hook-initiated sends.
+  void Feed(std::string_view bytes);
+
+  // Makes Feed stop consuming after the current command, leaving any
+  // remaining bytes buffered (they travel with SerializeHandoff). The
+  // fork-after-trust master calls this from on_first_valid_rcpt so the
+  // session freezes in RCPT_GIVEN state for delegation.
+  void RequestPause() { pause_requested_ = true; }
+  void ClearPause() { pause_requested_ = false; }
+  bool paused() const { return pause_requested_; }
+
+  SessionState state() const { return state_; }
+  const SessionStats& stats() const { return stats_; }
+  const std::string& client_ip() const { return client_ip_; }
+
+  // Pending (accepted) envelope of the in-progress transaction.
+  const Path& mail_from() const { return mail_from_; }
+  const std::vector<Address>& rcpt_to() const { return rcpts_; }
+
+  // --- fork-after-trust handoff -------------------------------------
+  // Serializes the in-progress transaction (valid only in state
+  // kRcptGiven, before DATA). Includes any bytes already buffered but
+  // not yet parsed, so nothing pipelined is lost across the handoff.
+  util::Result<std::string> SerializeHandoff() const;
+
+  // Reconstructs a session in kRcptGiven state from a handoff payload.
+  static util::Result<ServerSession> ResumeFromHandoff(
+      const SessionConfig& cfg, Hooks hooks, const std::string& payload);
+
+ private:
+  void Emit(const Reply& reply);
+  void HandleCommand(std::string_view line);
+  void HandleDataBytes(std::string_view* bytes);
+  void ResetTransaction();
+
+  SessionConfig cfg_;
+  Hooks hooks_;
+  std::string client_ip_;
+
+  SessionState state_ = SessionState::kConnected;
+  std::string helo_;
+  Path mail_from_;
+  std::vector<Address> rcpts_;
+  std::uint64_t rejected_this_txn_ = 0;
+
+  std::string inbuf_;
+  DotStuffDecoder decoder_;
+  bool oversized_ = false;
+  bool pause_requested_ = false;
+
+  SessionStats stats_;
+};
+
+}  // namespace sams::smtp

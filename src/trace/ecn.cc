@@ -1,0 +1,45 @@
+#include "trace/ecn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sams::trace {
+
+EcnBounceModel::EcnBounceModel(EcnConfig cfg) {
+  util::Rng rng(cfg.seed);
+  days_.reserve(static_cast<std::size_t>(cfg.n_days));
+  for (int d = 0; d < cfg.n_days; ++d) {
+    const double progress = static_cast<double>(d) / std::max(1, cfg.n_days - 1);
+    EcnDay day;
+    day.day_index = d;
+
+    const double trend =
+        cfg.bounce_start + (cfg.bounce_end - cfg.bounce_start) * progress;
+    const double weekly = 0.006 * std::sin(2.0 * M_PI * d / 7.0);
+    day.bounce_ratio = std::clamp(
+        trend + weekly + rng.Normal(0.0, cfg.bounce_noise), 0.17, 0.28);
+
+    // Unfinished sessions drift on a ~2 month period: scanners come
+    // and go in waves.
+    const double slow = cfg.unfinished_swing * std::sin(2.0 * M_PI * d / 63.0);
+    day.unfinished_ratio = std::clamp(
+        cfg.unfinished_mid + slow + rng.Normal(0.0, cfg.unfinished_noise),
+        0.04, 0.16);
+
+    days_.push_back(day);
+  }
+}
+
+double EcnBounceModel::MeanBounceRatio() const {
+  double sum = 0;
+  for (const EcnDay& day : days_) sum += day.bounce_ratio;
+  return days_.empty() ? 0.0 : sum / static_cast<double>(days_.size());
+}
+
+double EcnBounceModel::MeanUnfinishedRatio() const {
+  double sum = 0;
+  for (const EcnDay& day : days_) sum += day.unfinished_ratio;
+  return days_.empty() ? 0.0 : sum / static_cast<double>(days_.size());
+}
+
+}  // namespace sams::trace

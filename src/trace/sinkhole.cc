@@ -1,0 +1,267 @@
+#include "trace/sinkhole.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace sams::trace {
+namespace {
+
+// Discrete RCPT distribution matching Figure 4: bulk in 5..10, tail to
+// 20, a little mass below 5; mean ~7.
+constexpr double kRcptWeights[] = {
+    /*1*/ 6.0,  /*2*/ 5.0, /*3*/ 5.0, /*4*/ 6.0,  /*5*/ 12.0,
+    /*6*/ 13.0, /*7*/ 13.0, /*8*/ 11.0, /*9*/ 8.0, /*10*/ 6.0,
+    /*11*/ 4.0, /*12*/ 3.0, /*13*/ 2.5, /*14*/ 2.0, /*15*/ 1.5,
+    /*16*/ 0.8, /*17*/ 0.5, /*18*/ 0.4, /*19*/ 0.3, /*20*/ 0.2,
+};
+
+}  // namespace
+
+int SampleSinkholeRcpts(util::Rng& rng) {
+  static const std::vector<double> weights(std::begin(kRcptWeights),
+                                           std::end(kRcptWeights));
+  return static_cast<int>(rng.WeightedIndex(weights)) + 1;
+}
+
+SinkholeModel::SinkholeModel(SinkholeConfig cfg) : cfg_(cfg) {
+  util::Rng rng(cfg_.seed);
+  SAMS_CHECK(cfg_.n_ips >= cfg_.n_prefixes)
+      << "need at least one bot per prefix";
+
+  // 1. Distinct /24 prefixes in (synthetic) public space.
+  std::vector<Prefix24> prefixes;
+  {
+    std::unordered_set<Prefix24> seen;
+    while (seen.size() < cfg_.n_prefixes) {
+      // Avoid 0.x, 10.x, 127.x, 224+ to look like routable space.
+      const std::uint8_t a =
+          static_cast<std::uint8_t>(rng.UniformInt(1, 223));
+      if (a == 10 || a == 127) continue;
+      const Ipv4 ip(a, static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+                    static_cast<std::uint8_t>(rng.UniformInt(0, 255)), 0);
+      seen.insert(Prefix24(ip));
+    }
+    prefixes.assign(seen.begin(), seen.end());
+    std::sort(prefixes.begin(), prefixes.end());
+  }
+
+  // 2. CBL density per prefix: discrete Pareto, calibrated to
+  //    P(>10) ~ 0.40 and P(>100) ~ 3% (Figure 12 and §7.1 text).
+  std::vector<int> cbl(prefixes.size());
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    // x_m = 5.2, alpha = 1.15 (after integer truncation):
+    //   P(density > 10)  = (5.2/11)^1.15  ~ 0.42
+    //   P(density > 100) = (5.2/101)^1.15 ~ 0.033
+    const double x = rng.Pareto(5.2, 1.15);
+    cbl[i] = static_cast<int>(std::clamp(x, 1.0, 254.0));
+    cbl_density_[prefixes[i]] = cbl[i];
+  }
+
+  // 3. Bots per prefix: one each, remainder distributed proportionally
+  //    to (cbl-1) and capped by the prefix's listed population.
+  std::vector<int> bots(prefixes.size(), 1);
+  {
+    std::int64_t remaining =
+        static_cast<std::int64_t>(cfg_.n_ips - cfg_.n_prefixes);
+    double total_weight = 0;
+    for (int c : cbl) total_weight += c - 1;
+    std::int64_t assigned = 0;
+    for (std::size_t i = 0; i < prefixes.size() && total_weight > 0; ++i) {
+      const double share = static_cast<double>(cbl[i] - 1) / total_weight;
+      int extra = static_cast<int>(
+          std::floor(share * static_cast<double>(remaining)));
+      extra = std::min(extra, cbl[i] - 1);
+      bots[i] += extra;
+      assigned += extra;
+    }
+    // Fix the rounding shortfall one bot at a time on prefixes with
+    // slack (deterministic scan order).
+    std::int64_t shortfall = remaining - assigned;
+    for (std::size_t i = 0; shortfall > 0; i = (i + 1) % prefixes.size()) {
+      if (bots[i] < cbl[i] && bots[i] < 254) {
+        ++bots[i];
+        --shortfall;
+      }
+    }
+  }
+
+  // 4. Concrete bot addresses: distinct host bytes per prefix. Bots
+  //    cluster inside one /25 half of the /24 (the infected DHCP pool),
+  //    spilling into the other half only when the pool is full — this
+  //    is what lets a single /25 bitmap answer cover a prefix's bots.
+  std::vector<std::vector<Ipv4>> prefix_bots(prefixes.size());
+  bot_ips_.reserve(cfg_.n_ips);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    const bool upper_half = rng.Bernoulli(0.5);
+    const int base = upper_half ? 128 : 0;
+    const int lo = upper_half ? 128 : 1;     // skip .0
+    const int hi = upper_half ? 254 : 127;   // skip .255
+    std::unordered_set<int> hosts;
+    const int half_capacity = hi - lo + 1;
+    while (static_cast<int>(hosts.size()) < std::min(bots[i], half_capacity)) {
+      hosts.insert(static_cast<int>(rng.UniformInt(lo, hi)));
+    }
+    while (static_cast<int>(hosts.size()) < bots[i]) {
+      // Overflow into the other half.
+      const int olo = base == 0 ? 128 : 1;
+      const int ohi = base == 0 ? 254 : 127;
+      hosts.insert(static_cast<int>(rng.UniformInt(olo, ohi)));
+    }
+    for (int h : hosts) {
+      const Ipv4 ip = prefixes[i].Nth(static_cast<std::uint8_t>(h));
+      prefix_bots[i].push_back(ip);
+      bot_ips_.push_back(ip);
+    }
+  }
+  SAMS_CHECK(bot_ips_.size() == cfg_.n_ips)
+      << "bot distribution failed: " << bot_ips_.size();
+
+  // 5. Botnets: contiguous chunks of a shuffled prefix order.
+  std::vector<std::size_t> order(prefixes.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng.UniformInt(0, i - 1))]);
+  }
+  const int n_botnets = std::max(1, cfg_.n_botnets);
+  std::vector<std::vector<Ipv4>> botnet_bots(
+      static_cast<std::size_t>(n_botnets));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t botnet = i * static_cast<std::size_t>(n_botnets) /
+                               order.size();
+    auto& members = botnet_bots[botnet];
+    members.insert(members.end(), prefix_bots[order[i]].begin(),
+                   prefix_bots[order[i]].end());
+  }
+
+  // Prefix -> index lookup for neighbour bursts.
+  std::unordered_map<Prefix24, std::size_t> prefix_index;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    prefix_index.emplace(prefixes[i], i);
+  }
+
+  // 6. Campaign-structured arrivals.
+  sessions_.reserve(cfg_.n_connections);
+  double t = 0;  // abstract units; normalized to `duration` at the end
+  int campaign_left = 0;
+  std::size_t campaign_botnet = 0;
+  Ipv4 last_ip;
+  bool have_last = false;
+  for (std::size_t s = 0; s < cfg_.n_connections; ++s) {
+    if (campaign_left == 0) {
+      campaign_botnet =
+          static_cast<std::size_t>(rng.UniformInt(0, n_botnets - 1));
+      campaign_left = static_cast<int>(rng.UniformInt(
+          cfg_.campaign_min_sessions, cfg_.campaign_max_sessions));
+    }
+    --campaign_left;
+
+    Ipv4 ip;
+    const double locality_u = have_last ? rng.NextDouble() : 1.0;
+    if (locality_u < cfg_.burst_continue_prob) {
+      // Burst continuation: the same bot fires again after a short gap.
+      ip = last_ip;
+      t += rng.Exponential(0.05);
+    } else if (locality_u <
+               cfg_.burst_continue_prob + cfg_.neighbour_continue_prob) {
+      // A neighbouring bot fires next — preferentially from the same
+      // /25 (DHCP pools cluster; this is the granularity the bitmap
+      // answer covers), falling back to the /24.
+      auto it = prefix_index.find(Prefix24(last_ip));
+      const auto& neighbours = prefix_bots[it->second];
+      const util::Prefix25 half(last_ip);
+      std::size_t pick = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(neighbours.size()) - 1));
+      for (std::size_t probe = 0; probe < neighbours.size(); ++probe) {
+        const std::size_t j = (pick + probe) % neighbours.size();
+        if (util::Prefix25(neighbours[j]) == half) {
+          pick = j;
+          break;
+        }
+      }
+      ip = neighbours[pick];
+      t += rng.Exponential(0.08);
+    } else {
+      const bool background = rng.Bernoulli(cfg_.background_fraction);
+      const std::vector<Ipv4>& pool =
+          background ? bot_ips_ : botnet_bots[campaign_botnet];
+      ip = pool[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      t += rng.Exponential(1.0);
+    }
+    last_ip = ip;
+    have_last = true;
+    SessionSpec spec;
+    spec.arrival = SimTime::Nanos(static_cast<std::int64_t>(t * 1e6));
+    spec.client_ip = ip;
+    spec.kind = SessionKind::kNormal;  // the sinkhole accepts everything
+    spec.is_spam = true;
+    spec.size_bytes = SampleSpamSize(rng);
+    spec.n_rcpts = static_cast<std::uint16_t>(SampleSinkholeRcpts(rng));
+    spec.n_valid_rcpts = spec.n_rcpts;
+    sessions_.push_back(spec);
+  }
+
+  // Ensure every bot appears at least once (Table 1's unique-IP count
+  // is exact): substitute unused bots into sessions whose client has
+  // other appearances left.
+  {
+    std::unordered_map<Ipv4, int> uses;
+    for (const SessionSpec& spec : sessions_) ++uses[spec.client_ip];
+    std::vector<Ipv4> unused;
+    for (const Ipv4 ip : bot_ips_) {
+      if (!uses.contains(ip)) unused.push_back(ip);
+    }
+    SAMS_CHECK(unused.size() < sessions_.size() / 2)
+        << "trace too short to cover the bot population";
+    std::size_t cursor = 0;
+    for (const Ipv4 ip : unused) {
+      for (;; cursor = (cursor + 1) % sessions_.size()) {
+        auto it = uses.find(sessions_[cursor].client_ip);
+        if (it->second > 1) {
+          --it->second;
+          sessions_[cursor].client_ip = ip;
+          cursor = (cursor + 1) % sessions_.size();
+          break;
+        }
+      }
+    }
+  }
+
+  // Normalize arrivals onto [0, duration].
+  const double scale =
+      static_cast<double>(cfg_.duration.nanos()) /
+      static_cast<double>(sessions_.back().arrival.nanos());
+  for (SessionSpec& spec : sessions_) {
+    spec.arrival = SimTime::Nanos(static_cast<std::int64_t>(
+        static_cast<double>(spec.arrival.nanos()) * scale));
+  }
+}
+
+std::vector<Ipv4> SinkholeModel::ListedIps() const {
+  // The trace's bots plus additional CBL-listed neighbours up to each
+  // prefix's density. Deterministic from the same seed.
+  util::Rng rng(cfg_.seed ^ 0xC0FFEE);
+  std::unordered_map<Prefix24, std::unordered_set<std::uint32_t>> hosts;
+  for (const Ipv4 ip : bot_ips_) {
+    hosts[Prefix24(ip)].insert(ip.value() & 0xff);
+  }
+  std::vector<Ipv4> listed = bot_ips_;
+  for (const auto& [prefix, density] : cbl_density_) {
+    auto& taken = hosts[prefix];
+    while (static_cast<int>(taken.size()) < density) {
+      const std::uint32_t h =
+          static_cast<std::uint32_t>(rng.UniformInt(1, 254));
+      if (taken.insert(h).second) {
+        listed.push_back(prefix.Nth(static_cast<std::uint8_t>(h)));
+      }
+    }
+  }
+  return listed;
+}
+
+}  // namespace sams::trace

@@ -1,0 +1,24 @@
+// Figure 1 — distribution of mail-server software across ~400,000
+// company domains, fingerprinted remotely in January 2007 (Simpson &
+// Bekman, O'Reilly SysAdmin). This is an external Internet measurement
+// the paper reproduces as motivation; it cannot be re-measured
+// offline, so the values below are transcribed (approximately — the
+// figure is a bar chart) from the paper's Figure 1 and the cited
+// survey. The shares shown cover the named servers only; the remainder
+// of the fingerprinted domains ran other/unidentified software.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace sams::trace {
+
+struct MtaShare {
+  std::string_view name;
+  double percent;  // of fingerprinted domains
+};
+
+// Ordered as plotted in Figure 1 (ascending share).
+const std::vector<MtaShare>& FigureOneSurvey();
+
+}  // namespace sams::trace

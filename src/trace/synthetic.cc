@@ -1,0 +1,75 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+
+#include "trace/sinkhole.h"
+#include "util/logging.h"
+
+namespace sams::trace {
+
+std::vector<SessionSpec> MakeBounceSweepTrace(const BounceSweepConfig& cfg) {
+  SAMS_CHECK(cfg.bounce_ratio >= 0.0 && cfg.bounce_ratio <= 1.0);
+  util::Rng rng(cfg.seed);
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(cfg.n_sessions);
+  for (std::size_t i = 0; i < cfg.n_sessions; ++i) {
+    SessionSpec spec;
+    spec.arrival = SimTime{};  // closed-loop driver ignores arrivals
+    spec.client_ip = Ipv4(static_cast<std::uint32_t>(rng.NextU64()));
+    if (rng.Bernoulli(cfg.bounce_ratio)) {
+      if (rng.Bernoulli(cfg.unfinished_share)) {
+        spec.kind = SessionKind::kUnfinished;
+        spec.n_rcpts = 0;
+        spec.n_valid_rcpts = 0;
+      } else {
+        spec.kind = SessionKind::kBounce;
+        spec.n_rcpts = static_cast<std::uint16_t>(rng.UniformInt(1, 3));
+        spec.n_valid_rcpts = 0;
+      }
+      spec.is_spam = true;
+      spec.size_bytes = 0;
+    } else {
+      spec.kind = SessionKind::kNormal;
+      spec.is_spam = rng.Bernoulli(0.67);
+      spec.n_rcpts = 1;
+      spec.n_valid_rcpts = 1;
+      spec.size_bytes =
+          spec.is_spam ? SampleSpamSize(rng) : SampleHamSize(rng);
+    }
+    sessions.push_back(spec);
+  }
+  return sessions;
+}
+
+std::vector<SessionSpec> MakeRecipientSweepTrace(
+    const RecipientSweepConfig& cfg) {
+  SAMS_CHECK(cfg.rcpts_per_connection >= 1);
+  SAMS_CHECK(cfg.sequence_len >= 1);
+  util::Rng rng(cfg.seed);
+  std::vector<SessionSpec> sessions;
+  std::size_t mails_emitted = 0;
+  while (mails_emitted < cfg.n_mails) {
+    // One sequence: `sequence_len` mailbox deliveries of one mail size
+    // (the modified trace of §6.3), split into connections carrying
+    // `rcpts_per_connection` RCPTs each.
+    const std::uint32_t size = SampleHamSize(rng);
+    int remaining = cfg.sequence_len;
+    while (remaining > 0) {
+      const int batch = std::min(remaining, cfg.rcpts_per_connection);
+      SessionSpec spec;
+      spec.arrival = SimTime{};
+      spec.client_ip = Ipv4(static_cast<std::uint32_t>(rng.NextU64()));
+      spec.kind = SessionKind::kNormal;
+      spec.is_spam = true;
+      spec.size_bytes = size;
+      spec.n_rcpts = static_cast<std::uint16_t>(batch);
+      spec.n_valid_rcpts = spec.n_rcpts;
+      sessions.push_back(spec);
+      remaining -= batch;
+    }
+    ++mails_emitted;
+  }
+  return sessions;
+}
+
+}  // namespace sams::trace

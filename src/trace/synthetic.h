@@ -1,0 +1,38 @@
+// Synthetic traces derived from the Univ trace (§3): keep the mail
+// size distribution, dial the controlled parameter.
+//
+//   * MakeBounceSweepTrace — fixed bounce ratio b (Figure 8's x-axis);
+//     sizes follow the Univ model.
+//   * MakeRecipientSweepTrace — zero bounces, repeated sequences of
+//     mails destined to `sequence_len` distinct mailboxes, each
+//     sequence sharing one size drawn from the Univ distribution
+//     (the Figures 10/11 controlled workload).
+#pragma once
+
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace sams::trace {
+
+struct BounceSweepConfig {
+  std::size_t n_sessions = 50'000;
+  double bounce_ratio = 0.0;       // bounce + unfinished combined (§4.1)
+  double unfinished_share = 0.3;   // of the bounce mass, how much quits early
+  std::uint64_t seed = 8;
+};
+
+std::vector<SessionSpec> MakeBounceSweepTrace(const BounceSweepConfig& cfg);
+
+struct RecipientSweepConfig {
+  std::size_t n_mails = 20'000;   // logical mails (not connections)
+  int rcpts_per_connection = 1;   // "rcpt to" fields used per connection
+  int sequence_len = 15;          // distinct mailboxes per size-sharing run
+  std::uint64_t seed = 10;
+};
+
+// Returns one SessionSpec per *connection*; a 15-mailbox sequence sent
+// with 5 RCPTs per connection becomes 3 connections of the same size.
+std::vector<SessionSpec> MakeRecipientSweepTrace(const RecipientSweepConfig& cfg);
+
+}  // namespace sams::trace

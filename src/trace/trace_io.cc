@@ -1,0 +1,125 @@
+#include "trace/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/fd.h"
+#include "util/strings.h"
+
+namespace sams::trace {
+namespace {
+
+constexpr std::string_view kMagic = "sams-trace-v1";
+
+const char* KindToken(SessionKind kind) {
+  switch (kind) {
+    case SessionKind::kNormal: return "N";
+    case SessionKind::kBounce: return "B";
+    case SessionKind::kUnfinished: return "U";
+  }
+  return "?";
+}
+
+bool ParseKind(std::string_view token, SessionKind* kind) {
+  if (token == "N") {
+    *kind = SessionKind::kNormal;
+  } else if (token == "B") {
+    *kind = SessionKind::kBounce;
+  } else if (token == "U") {
+    *kind = SessionKind::kUnfinished;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Error SaveTrace(const std::string& path,
+                      const std::vector<SessionSpec>& sessions) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::fprintf(file, "%.*s\n", static_cast<int>(kMagic.size()), kMagic.data());
+  for (const SessionSpec& spec : sessions) {
+    std::fprintf(file, "%" PRId64 "|%s|%s|%d|%u|%u|%u\n",
+                 spec.arrival.nanos(), spec.client_ip.ToString().c_str(),
+                 KindToken(spec.kind), spec.is_spam ? 1 : 0, spec.size_bytes,
+                 spec.n_rcpts, spec.n_valid_rcpts);
+  }
+  if (std::fclose(file) != 0) {
+    return util::IoError("close " + path + ": " + std::strerror(errno));
+  }
+  return util::OkError();
+}
+
+util::Result<std::vector<SessionSpec>> LoadTrace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return util::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<SessionSpec> sessions;
+  char line[256];
+  std::size_t line_no = 0;
+  util::Error error;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_no;
+    std::string_view text(line);
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.remove_suffix(1);
+    }
+    if (line_no == 1) {
+      if (text != kMagic) {
+        error = util::InvalidArgument(path + ": not a sams-trace-v1 file");
+        break;
+      }
+      continue;
+    }
+    if (text.empty()) continue;
+    const auto fields = util::Split(text, '|');
+    if (fields.size() != 7) {
+      error = util::Corruption(path + ":" + std::to_string(line_no) +
+                               ": expected 7 fields");
+      break;
+    }
+    SessionSpec spec;
+    char* end = nullptr;
+    spec.arrival = util::SimTime::Nanos(
+        std::strtoll(fields[0].c_str(), &end, 10));
+    if (end == nullptr || *end != '\0') {
+      error = util::Corruption("bad arrival at line " + std::to_string(line_no));
+      break;
+    }
+    auto ip = util::Ipv4::Parse(fields[1]);
+    if (!ip) {
+      error = util::Corruption("bad ip at line " + std::to_string(line_no));
+      break;
+    }
+    spec.client_ip = *ip;
+    if (!ParseKind(fields[2], &spec.kind)) {
+      error = util::Corruption("bad kind at line " + std::to_string(line_no));
+      break;
+    }
+    spec.is_spam = fields[3] == "1";
+    spec.size_bytes = static_cast<std::uint32_t>(
+        std::strtoul(fields[4].c_str(), nullptr, 10));
+    spec.n_rcpts = static_cast<std::uint16_t>(
+        std::strtoul(fields[5].c_str(), nullptr, 10));
+    spec.n_valid_rcpts = static_cast<std::uint16_t>(
+        std::strtoul(fields[6].c_str(), nullptr, 10));
+    if (spec.n_valid_rcpts > spec.n_rcpts) {
+      error = util::Corruption("valid > attempted rcpts at line " +
+                               std::to_string(line_no));
+      break;
+    }
+    sessions.push_back(spec);
+  }
+  std::fclose(file);
+  if (!error.ok()) return error;
+  if (line_no == 0) return util::InvalidArgument(path + ": empty file");
+  return sessions;
+}
+
+}  // namespace sams::trace

@@ -1,0 +1,24 @@
+// Trace serialization: save/load SessionSpec traces as a versioned
+// text format, so expensive generations (the 1.86M-connection Univ
+// trace) can be produced once and replayed across bench runs, and so
+// users can feed their own mail-server logs into the drivers.
+//
+// Format (one record per line, '|'-separated):
+//   sams-trace-v1
+//   <arrival_ns>|<client_ip>|<kind>|<spam>|<size>|<rcpts>|<valid_rcpts>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/workload.h"
+#include "util/result.h"
+
+namespace sams::trace {
+
+util::Error SaveTrace(const std::string& path,
+                      const std::vector<SessionSpec>& sessions);
+
+util::Result<std::vector<SessionSpec>> LoadTrace(const std::string& path);
+
+}  // namespace sams::trace

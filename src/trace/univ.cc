@@ -1,0 +1,149 @@
+#include "trace/univ.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "trace/sinkhole.h"
+#include "util/logging.h"
+
+namespace sams::trace {
+namespace {
+
+// Builds `n_ips` unique addresses spread over `n_prefixes` unique /24s
+// (one IP per prefix first, extras sprinkled randomly).
+std::vector<Ipv4> MakePopulation(std::size_t n_ips, std::size_t n_prefixes,
+                                 util::Rng& rng) {
+  SAMS_CHECK(n_ips >= n_prefixes);
+  std::unordered_set<Prefix24> prefixes;
+  prefixes.reserve(n_prefixes);
+  while (prefixes.size() < n_prefixes) {
+    const std::uint8_t a = static_cast<std::uint8_t>(rng.UniformInt(1, 223));
+    if (a == 10 || a == 127) continue;
+    prefixes.insert(Prefix24(
+        Ipv4(a, static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+             static_cast<std::uint8_t>(rng.UniformInt(0, 255)), 0)));
+  }
+  std::vector<Prefix24> prefix_list(prefixes.begin(), prefixes.end());
+  // Hosts cluster inside one /25 half per prefix (infected DHCP pools),
+  // mirroring the sinkhole population's structure.
+  std::unordered_map<Prefix24, std::pair<int, int>> half;  // [lo, hi]
+  auto host_range = [&](const Prefix24& p) {
+    auto it = half.find(p);
+    if (it == half.end()) {
+      const bool upper = rng.Bernoulli(0.5);
+      it = half.emplace(p, upper ? std::make_pair(128, 254)
+                                 : std::make_pair(1, 127)).first;
+    }
+    return it->second;
+  };
+  std::unordered_set<Ipv4> ips;
+  ips.reserve(n_ips);
+  for (const Prefix24& p : prefix_list) {
+    const auto [lo, hi] = host_range(p);
+    ips.insert(p.Nth(static_cast<std::uint8_t>(rng.UniformInt(lo, hi))));
+  }
+  while (ips.size() < n_ips) {
+    const Prefix24& p = prefix_list[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(prefix_list.size()) - 1))];
+    const auto [lo, hi] = host_range(p);
+    ips.insert(p.Nth(static_cast<std::uint8_t>(rng.UniformInt(lo, hi))));
+  }
+  return {ips.begin(), ips.end()};
+}
+
+}  // namespace
+
+UnivModel::UnivModel(UnivConfig cfg) : cfg_(cfg) {
+  util::Rng rng(cfg_.seed);
+
+  // Populations: ~1.8 spam IPs per /24 (wide botnets); ham relays are
+  // fewer, denser. Prefix counts chosen so the union lands near the
+  // 344,679 unique /24s of Table 1.
+  const std::size_t spam_prefixes =
+      std::max<std::size_t>(1, cfg_.n_spam_ips * 10 / 18);
+  const std::size_t ham_prefixes =
+      std::max<std::size_t>(1, cfg_.n_ham_ips / 2);
+  spam_ips_ = MakePopulation(cfg_.n_spam_ips, spam_prefixes, rng);
+  const std::vector<Ipv4> ham_ips =
+      MakePopulation(cfg_.n_ham_ips, ham_prefixes, rng);
+
+  // Heavy-hitter weighting for stable legitimate relays.
+  util::ZipfDistribution ham_zipf(0.9, ham_ips.size());
+
+  // Prefix index of the spam population for neighbour locality.
+  std::unordered_map<Prefix24, std::vector<Ipv4>> spam_by_prefix;
+  for (const Ipv4 ip : spam_ips_) spam_by_prefix[Prefix24(ip)].push_back(ip);
+  Ipv4 last_spam_ip;
+  bool have_last_spam = false;
+
+  sessions_.reserve(cfg_.n_connections);
+  double t = 0;
+  std::size_t next_uncovered_spam = 0;  // ensure every spam IP appears
+  std::size_t next_uncovered_ham = 0;
+  for (std::size_t s = 0; s < cfg_.n_connections; ++s) {
+    t += rng.Exponential(1.0);
+    SessionSpec spec;
+    spec.arrival = SimTime::Nanos(static_cast<std::int64_t>(t * 1e6));
+
+    const double kind_u = rng.NextDouble();
+    if (kind_u < cfg_.unfinished_ratio) {
+      spec.kind = SessionKind::kUnfinished;
+      spec.is_spam = true;
+      spec.n_rcpts = 0;
+      spec.n_valid_rcpts = 0;
+      spec.size_bytes = 0;
+    } else if (kind_u < cfg_.unfinished_ratio + cfg_.bounce_ratio) {
+      spec.kind = SessionKind::kBounce;  // random-guessing spam (§4.1)
+      spec.is_spam = true;
+      spec.n_rcpts = static_cast<std::uint16_t>(rng.UniformInt(1, 5));
+      spec.n_valid_rcpts = 0;
+      spec.size_bytes = 0;  // never reaches DATA
+    } else {
+      spec.kind = SessionKind::kNormal;
+      spec.is_spam = rng.Bernoulli(cfg_.spam_ratio);
+      if (spec.is_spam) {
+        spec.n_rcpts = static_cast<std::uint16_t>(SampleSinkholeRcpts(rng));
+        spec.size_bytes = SampleSpamSize(rng);
+      } else {
+        spec.n_rcpts = rng.Bernoulli(0.02) ? 2 : 1;  // mean 1.02 (§4.2)
+        spec.size_bytes = SampleHamSize(rng);
+      }
+      spec.n_valid_rcpts = spec.n_rcpts;
+    }
+
+    if (spec.is_spam) {
+      const double locality_u = have_last_spam ? rng.NextDouble() : 1.0;
+      if (next_uncovered_spam < spam_ips_.size()) {
+        spec.client_ip = spam_ips_[next_uncovered_spam++];
+      } else if (locality_u < cfg_.burst_continue_prob) {
+        spec.client_ip = last_spam_ip;  // bot burst
+      } else if (locality_u <
+                 cfg_.burst_continue_prob + cfg_.neighbour_continue_prob) {
+        const auto& neighbours = spam_by_prefix[Prefix24(last_spam_ip)];
+        spec.client_ip = neighbours[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(neighbours.size()) - 1))];
+      } else {
+        spec.client_ip = spam_ips_[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(spam_ips_.size()) - 1))];
+      }
+      last_spam_ip = spec.client_ip;
+      have_last_spam = true;
+    } else {
+      if (next_uncovered_ham < ham_ips.size()) {
+        spec.client_ip = ham_ips[next_uncovered_ham++];
+      } else {
+        spec.client_ip = ham_ips[ham_zipf.Sample(rng) - 1];
+      }
+    }
+    sessions_.push_back(spec);
+  }
+
+  const double scale = static_cast<double>(cfg_.duration.nanos()) /
+                       static_cast<double>(sessions_.back().arrival.nanos());
+  for (SessionSpec& spec : sessions_) {
+    spec.arrival = SimTime::Nanos(static_cast<std::int64_t>(
+        static_cast<double>(spec.arrival.nanos()) * scale));
+  }
+}
+
+}  // namespace sams::trace

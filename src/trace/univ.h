@@ -1,0 +1,57 @@
+// UnivModel — re-synthesis of the university-department trace
+// (November 2007, Table 1):
+//
+//   1,862,349 connections; 621,124 unique IPs; 344,679 unique /24s;
+//   67% spam (SpamAssassin-flagged); legitimate mail averages 1.02
+//   recipients per session (§4.2, consistent with Clayton).
+//
+// Composition:
+//   * Legitimate senders come from a stable population of
+//     long-lived relay IPs ("legitimate mails originate from long
+//     lasting static IPs" §8) — strong per-IP temporal locality but
+//     little /24 clustering.
+//   * Spam comes from a very wide botnet population (~1.8 IPs per
+//     /24): low per-IP volume, which is exactly the workload that
+//     defeats per-IP DNS caching (§4.3).
+//   * Bounce and unfinished-session ratios follow the ECN
+//     measurements (Figure 3): ~22% bounces, ~10% unfinished.
+#pragma once
+
+#include <vector>
+
+#include "trace/workload.h"
+
+namespace sams::trace {
+
+struct UnivConfig {
+  std::size_t n_connections = 1'862'349;
+  std::size_t n_spam_ips = 600'000;
+  std::size_t n_ham_ips = 21'124;  // stable relays: unique total 621,124
+  SimTime duration = SimTime::Days(30);
+  double spam_ratio = 0.67;
+  double bounce_ratio = 0.22;      // of all sessions (ECN, Figure 3)
+  double unfinished_ratio = 0.10;  // of all sessions (ECN, Figure 3)
+  // Spam-arrival temporal locality (weaker than the sinkhole's — the
+  // Univ population is far wider, which is why the paper's prefix
+  // cache gains only 20% here vs 39% on the sinkhole trace, §8).
+  double burst_continue_prob = 0.22;
+  double neighbour_continue_prob = 0.13;
+  std::uint64_t seed = 20071101;
+};
+
+class UnivModel {
+ public:
+  explicit UnivModel(UnivConfig cfg = {});
+
+  const std::vector<SessionSpec>& sessions() const { return sessions_; }
+  const std::vector<Ipv4>& spam_ips() const { return spam_ips_; }
+
+  TraceSummary Summary() const { return Summarize("univ", sessions_); }
+
+ private:
+  UnivConfig cfg_;
+  std::vector<SessionSpec> sessions_;
+  std::vector<Ipv4> spam_ips_;
+};
+
+}  // namespace sams::trace

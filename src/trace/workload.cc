@@ -1,0 +1,65 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sams::trace {
+
+const char* SessionKindName(SessionKind kind) {
+  switch (kind) {
+    case SessionKind::kNormal: return "normal";
+    case SessionKind::kBounce: return "bounce";
+    case SessionKind::kUnfinished: return "unfinished";
+  }
+  return "?";
+}
+
+std::uint32_t SampleSpamSize(util::Rng& rng) {
+  // Median ~4 KiB, 95th pct ~15 KiB: spam is small text/images.
+  const double bytes = rng.LogNormal(8.3, 0.8);
+  return static_cast<std::uint32_t>(std::clamp(bytes, 300.0, 2.0e6));
+}
+
+std::uint32_t SampleHamSize(util::Rng& rng) {
+  // Median ~10 KiB with a heavy attachment tail.
+  const double bytes = rng.LogNormal(9.2, 1.25);
+  return static_cast<std::uint32_t>(std::clamp(bytes, 300.0, 2.5e7));
+}
+
+TraceSummary Summarize(const std::string& name,
+                       const std::vector<SessionSpec>& sessions) {
+  TraceSummary s;
+  s.name = name;
+  s.connections = sessions.size();
+  std::unordered_set<Ipv4> ips;
+  std::unordered_set<Prefix24> prefixes;
+  std::size_t spam = 0, bounce = 0, unfinished = 0;
+  double rcpts = 0;
+  std::size_t rcpt_sessions = 0;
+  for (const SessionSpec& spec : sessions) {
+    ips.insert(spec.client_ip);
+    prefixes.insert(Prefix24(spec.client_ip));
+    if (spec.is_spam) ++spam;
+    switch (spec.kind) {
+      case SessionKind::kBounce: ++bounce; break;
+      case SessionKind::kUnfinished: ++unfinished; break;
+      case SessionKind::kNormal: break;
+    }
+    if (spec.kind != SessionKind::kUnfinished) {
+      rcpts += spec.n_rcpts;
+      ++rcpt_sessions;
+    }
+    s.duration = std::max(s.duration, spec.arrival);
+  }
+  s.unique_ips = ips.size();
+  s.unique_prefixes24 = prefixes.size();
+  if (!sessions.empty()) {
+    s.spam_ratio = static_cast<double>(spam) / sessions.size();
+    s.bounce_ratio = static_cast<double>(bounce) / sessions.size();
+    s.unfinished_ratio = static_cast<double>(unfinished) / sessions.size();
+  }
+  if (rcpt_sessions > 0) s.mean_rcpts = rcpts / static_cast<double>(rcpt_sessions);
+  return s;
+}
+
+}  // namespace sams::trace

@@ -1,0 +1,66 @@
+// Workload record types shared by the trace models and the server
+// benches.
+//
+// The paper's traces are unavailable (a private spam sinkhole and a
+// university department's mail logs), so sams::trace re-synthesizes
+// them from the published statistics: every number in Table 1 and
+// every distribution in Figures 3, 4, 12 and 13 is a generator target,
+// and the tests pin the generated traces to those targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ipv4.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sams::trace {
+
+using util::Ipv4;
+using util::Prefix24;
+using util::SimTime;
+
+enum class SessionKind {
+  kNormal,      // delivers a mail to >=1 valid recipient
+  kBounce,      // all RCPTs hit non-existent mailboxes (550, §4.1)
+  kUnfinished,  // handshake abandoned before any mail (§4.1)
+};
+
+const char* SessionKindName(SessionKind kind);
+
+// One SMTP connection in a trace.
+struct SessionSpec {
+  SimTime arrival;       // offset from trace start
+  Ipv4 client_ip;
+  SessionKind kind = SessionKind::kNormal;
+  bool is_spam = false;
+  std::uint32_t size_bytes = 0;  // mail size (0 for unfinished)
+  std::uint16_t n_rcpts = 1;     // RCPT TO commands attempted
+  std::uint16_t n_valid_rcpts = 1;  // of which exist (0 for bounce)
+};
+
+// Mail-size models (log-normal; mail sizes are classically heavy
+// right-tailed). Parameters give spam a ~4 KiB median and legitimate
+// mail a ~10 KiB median with a heavier attachment tail.
+std::uint32_t SampleSpamSize(util::Rng& rng);
+std::uint32_t SampleHamSize(util::Rng& rng);
+
+// Summary statistics a trace prints for Table 1.
+struct TraceSummary {
+  std::string name;
+  std::size_t connections = 0;
+  std::size_t unique_ips = 0;
+  std::size_t unique_prefixes24 = 0;
+  double spam_ratio = 0.0;
+  double bounce_ratio = 0.0;
+  double unfinished_ratio = 0.0;
+  double mean_rcpts = 0.0;
+  SimTime duration;
+};
+
+TraceSummary Summarize(const std::string& name,
+                       const std::vector<SessionSpec>& sessions);
+
+}  // namespace sams::trace

@@ -1,0 +1,147 @@
+#include "util/fd.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sams::util {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<std::pair<UniqueFd, UniqueFd>> MakeSocketPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return IoError(Errno("socketpair"));
+  }
+  return std::make_pair(UniqueFd(fds[0]), UniqueFd(fds[1]));
+}
+
+Error SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return IoError(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return IoError(Errno("fcntl(F_SETFL)"));
+  }
+  return OkError();
+}
+
+Error SendFdWithPayload(int channel, int fd_to_send, const std::string& payload) {
+  if (payload.empty()) return InvalidArgument("payload must be non-empty");
+  struct iovec iov;
+  iov.iov_base = const_cast<char*>(payload.data());
+  iov.iov_len = payload.size();
+
+  alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+  std::memset(control, 0, sizeof(control));
+
+  struct msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+
+  struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cmsg), &fd_to_send, sizeof(int));
+
+  ssize_t sent;
+  do {
+    sent = ::sendmsg(channel, &msg, 0);
+  } while (sent < 0 && errno == EINTR);
+  if (sent < 0) return IoError(Errno("sendmsg"));
+  if (static_cast<std::size_t>(sent) != payload.size()) {
+    return IoError("sendmsg: short write of task payload");
+  }
+  return OkError();
+}
+
+Result<ReceivedFd> RecvFdWithPayload(int channel, std::size_t max_payload) {
+  std::string buf(max_payload, '\0');
+  struct iovec iov;
+  iov.iov_base = buf.data();
+  iov.iov_len = buf.size();
+
+  alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+  std::memset(control, 0, sizeof(control));
+
+  struct msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+
+  ssize_t n;
+  do {
+    n = ::recvmsg(channel, &msg, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return IoError(Errno("recvmsg"));
+  if (n == 0) return Unavailable("peer closed delegation channel");
+
+  ReceivedFd out;
+  buf.resize(static_cast<std::size_t>(n));
+  out.payload = std::move(buf);
+
+  for (struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS &&
+        cmsg->cmsg_len >= CMSG_LEN(sizeof(int))) {
+      int fd;
+      std::memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+      out.fd.Reset(fd);
+      break;
+    }
+  }
+  if (!out.fd.valid()) {
+    return ProtocolError("recvmsg: task message carried no descriptor");
+  }
+  return out;
+}
+
+Error WriteAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("write"));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return OkError();
+}
+
+Error ReadAll(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("read"));
+    }
+    if (r == 0) return Unavailable("unexpected EOF");
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return OkError();
+}
+
+}  // namespace sams::util

@@ -1,0 +1,73 @@
+// RAII file descriptors plus UNIX-domain socketpair and SCM_RIGHTS
+// descriptor passing.
+//
+// The paper's fork-after-trust master hands an accepted client socket
+// to an smtpd process over a UNIX-domain connection (§5.3). We
+// implement the real mechanism (sendmsg/recvmsg with SCM_RIGHTS and a
+// small task payload) so the delegation path is genuine, even when the
+// receiving end is an in-process worker thread.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+
+namespace sams::util {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a connected AF_UNIX SOCK_STREAM pair.
+Result<std::pair<UniqueFd, UniqueFd>> MakeSocketPair();
+
+// Sets O_NONBLOCK on fd.
+Error SetNonBlocking(int fd);
+
+// Sends `payload` together with file descriptor `fd_to_send` over the
+// UNIX socket `channel` (one sendmsg with an SCM_RIGHTS ancillary
+// block). The payload carries the task header the master collected
+// before delegation (client IP, MAIL FROM, validated RCPTs).
+Error SendFdWithPayload(int channel, int fd_to_send, const std::string& payload);
+
+struct ReceivedFd {
+  UniqueFd fd;
+  std::string payload;
+};
+
+// Receives one descriptor + payload; blocks unless `channel` is
+// non-blocking. Returns kUnavailable on EOF.
+Result<ReceivedFd> RecvFdWithPayload(int channel, std::size_t max_payload = 65536);
+
+// Fully writes / reads `n` bytes on a (possibly signal-interrupted)
+// blocking descriptor; used by tests and the threaded server.
+Error WriteAll(int fd, const void* data, std::size_t n);
+Error ReadAll(int fd, void* data, std::size_t n);
+
+}  // namespace sams::util

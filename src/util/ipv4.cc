@@ -1,0 +1,113 @@
+#include "util/ipv4.h"
+
+#include <cstdio>
+
+namespace sams::util {
+namespace {
+
+// Parses up to 3 digits as one octet; advances *pos past them.
+std::optional<std::uint8_t> ParseOctet(const std::string& s, std::size_t* pos) {
+  if (*pos >= s.size() || s[*pos] < '0' || s[*pos] > '9') return std::nullopt;
+  int v = 0;
+  std::size_t digits = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9' && digits < 4) {
+    v = v * 10 + (s[*pos] - '0');
+    ++*pos;
+    ++digits;
+  }
+  if (digits == 0 || digits > 3 || v > 255) return std::nullopt;
+  return static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+std::optional<Ipv4> Ipv4::Parse(const std::string& dotted) {
+  std::size_t pos = 0;
+  std::uint8_t o[4];
+  for (int i = 0; i < 4; ++i) {
+    auto v = ParseOctet(dotted, &pos);
+    if (!v) return std::nullopt;
+    o[i] = *v;
+    if (i < 3) {
+      if (pos >= dotted.size() || dotted[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != dotted.size()) return std::nullopt;
+  return Ipv4(o[0], o[1], o[2], o[3]);
+}
+
+std::string Ipv4::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::string Prefix24::ToString() const {
+  return First().ToString() + "/24";
+}
+
+std::string Prefix25::ToString() const {
+  return First().ToString() + "/25";
+}
+
+std::string DnsblQueryName(Ipv4 ip, const std::string& zone) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u.", ip.octet(3), ip.octet(2),
+                ip.octet(1), ip.octet(0));
+  return buf + zone;
+}
+
+std::string Dnsblv6QueryName(Ipv4 ip, const std::string& zone) {
+  const int half = ip.octet(3) < 128 ? 0 : 1;
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%d.%u.%u.%u.", half, ip.octet(2), ip.octet(1),
+                ip.octet(0));
+  return buf + zone;
+}
+
+namespace {
+
+// Splits "<labels>.<zone>" and parses the leading labels as reversed
+// octets; reassembles the address (or /25 representative for the v6
+// half form, where the first label must be 0 or 1).
+std::optional<Ipv4> ParseReversedLabels(const std::string& name,
+                                        const std::string& zone,
+                                        bool v6_half_form) {
+  if (name.size() <= zone.size() + 1) return std::nullopt;
+  const std::size_t zone_at = name.size() - zone.size();
+  if (name.compare(zone_at, std::string::npos, zone) != 0) return std::nullopt;
+  if (name[zone_at - 1] != '.') return std::nullopt;
+  const std::string labels = name.substr(0, zone_at - 1) + ".";
+  std::size_t pos = 0;
+  std::uint8_t o[4];
+  for (int i = 0; i < 4; ++i) {
+    auto v = ParseOctet(labels, &pos);
+    if (!v) return std::nullopt;
+    if (pos >= labels.size() || labels[pos] != '.') return std::nullopt;
+    ++pos;
+    o[i] = *v;
+  }
+  if (pos != labels.size()) return std::nullopt;
+  if (v6_half_form && o[0] > 1) return std::nullopt;
+  // Labels are w.z.y.x → address is x.y.z.w (or half.z.y.x).
+  return Ipv4(o[3], o[2], o[1], v6_half_form ? static_cast<std::uint8_t>(o[0] * 128)
+                                             : o[0]);
+}
+
+}  // namespace
+
+std::optional<Ipv4> ParseDnsblQueryName(const std::string& name,
+                                        const std::string& zone) {
+  return ParseReversedLabels(name, zone, /*v6_half_form=*/false);
+}
+
+std::optional<Prefix25> ParseDnsblv6QueryName(const std::string& name,
+                                              const std::string& zone) {
+  auto ip = ParseReversedLabels(name, zone, /*v6_half_form=*/true);
+  if (!ip) return std::nullopt;
+  return Prefix25(*ip);
+}
+
+}  // namespace sams::util

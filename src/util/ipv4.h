@@ -1,0 +1,109 @@
+// IPv4 addresses, /24 and /25 prefix arithmetic, and the DNSBL query
+// name encodings the paper uses:
+//   classic:  w.z.y.x.<zone>          (per-IP lookup, §4.3)
+//   DNSBLv6:  {0|1}.z.y.x.<zone>      (/25 bitmap lookup, §7.1)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sams::util {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t be_value) : v_(be_value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+           (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4> Parse(const std::string& dotted);
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(v_ >> (8 * (3 - i)));
+  }
+
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+// A /24 prefix: the top 24 bits of an address.
+class Prefix24 {
+ public:
+  constexpr Prefix24() = default;
+  constexpr explicit Prefix24(Ipv4 ip) : v_(ip.value() >> 8) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr Ipv4 First() const { return Ipv4(v_ << 8); }
+  constexpr Ipv4 Nth(std::uint8_t host) const { return Ipv4((v_ << 8) | host); }
+  std::string ToString() const;  // "a.b.c.0/24"
+
+  constexpr auto operator<=>(const Prefix24&) const = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+// A /25 prefix: the granularity of the DNSBLv6 bitmap (128 addresses,
+// matching the 128 bits of an IPv6 record).
+class Prefix25 {
+ public:
+  constexpr Prefix25() = default;
+  constexpr explicit Prefix25(Ipv4 ip) : v_(ip.value() >> 7) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr Ipv4 First() const { return Ipv4(v_ << 7); }
+  // Offset of `ip` within this /25, in [0, 128).
+  static constexpr int BitIndex(Ipv4 ip) { return ip.value() & 0x7f; }
+  // Which half of the /24: 0 if host byte < 128, 1 otherwise (§7.1).
+  constexpr int HalfOfSlash24() const { return static_cast<int>(v_ & 1); }
+  std::string ToString() const;  // "a.b.c.{0|128}/25"
+
+  constexpr auto operator<=>(const Prefix25&) const = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+// "w.z.y.x.<zone>" — the classic reversed-octet DNSBL query name.
+std::string DnsblQueryName(Ipv4 ip, const std::string& zone);
+
+// "{0|1}.z.y.x.<zone>" — the DNSBLv6 /25-bitmap query name (§7.1).
+std::string Dnsblv6QueryName(Ipv4 ip, const std::string& zone);
+
+// Inverse of DnsblQueryName: recovers the IP from a query name under
+// the given zone; nullopt if the name is not of that form.
+std::optional<Ipv4> ParseDnsblQueryName(const std::string& name,
+                                        const std::string& zone);
+
+// Inverse of Dnsblv6QueryName: recovers the /25 prefix.
+std::optional<Prefix25> ParseDnsblv6QueryName(const std::string& name,
+                                              const std::string& zone);
+
+}  // namespace sams::util
+
+// Hash support so addresses/prefixes can key unordered containers.
+template <>
+struct std::hash<sams::util::Ipv4> {
+  std::size_t operator()(const sams::util::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};
+template <>
+struct std::hash<sams::util::Prefix24> {
+  std::size_t operator()(const sams::util::Prefix24& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value() * 0x9e3779b9u);
+  }
+};
+template <>
+struct std::hash<sams::util::Prefix25> {
+  std::size_t operator()(const sams::util::Prefix25& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value() * 0x85ebca6bu);
+  }
+};

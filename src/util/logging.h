@@ -1,0 +1,71 @@
+// Minimal leveled logger. Library code logs through this so tests and
+// benches can silence or capture output; no global iostream state is
+// touched outside the sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace sams::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* LogLevelName(LogLevel level);
+
+// Process-wide minimum level; messages below it are formatted lazily
+// (the stream body never runs). Default: kWarn so tests stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Redirect log output (used by tests); pass nullptr to restore stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SAMS_LOG(level)                                                    \
+  if (::sams::util::LogLevel::level < ::sams::util::GetLogLevel()) {       \
+  } else                                                                   \
+    ::sams::util::internal::LogMessage(::sams::util::LogLevel::level,      \
+                                       __FILE__, __LINE__)                 \
+        .stream()
+
+#define SAMS_CHECK(cond)                                                   \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::sams::util::internal::CheckFailure(#cond, __FILE__, __LINE__).stream()
+
+namespace internal {
+
+// Fatal check helper: logs and aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sams::util

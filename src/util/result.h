@@ -1,0 +1,133 @@
+// Lightweight error propagation for fallible library operations.
+//
+// MFS and the networking layer report expected failures (missing file,
+// bad record, peer reset) through Result<T> rather than exceptions so
+// hot paths stay allocation- and unwind-free; programming errors still
+// assert. Modeled on the usual Status/StatusOr shape.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sams::util {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kCorruption,
+  kIoError,
+  kOutOfRange,
+  kUnavailable,
+  kProtocolError,
+  kResourceExhausted,
+  kFailedPrecondition,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  bool ok() const { return code_ == ErrorCode::kOk; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Error OkError() { return Error(); }
+inline Error NotFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+inline Error AlreadyExists(std::string m) {
+  return {ErrorCode::kAlreadyExists, std::move(m)};
+}
+inline Error InvalidArgument(std::string m) {
+  return {ErrorCode::kInvalidArgument, std::move(m)};
+}
+inline Error PermissionDenied(std::string m) {
+  return {ErrorCode::kPermissionDenied, std::move(m)};
+}
+inline Error Corruption(std::string m) { return {ErrorCode::kCorruption, std::move(m)}; }
+inline Error IoError(std::string m) { return {ErrorCode::kIoError, std::move(m)}; }
+inline Error OutOfRange(std::string m) { return {ErrorCode::kOutOfRange, std::move(m)}; }
+inline Error Unavailable(std::string m) {
+  return {ErrorCode::kUnavailable, std::move(m)};
+}
+inline Error ProtocolError(std::string m) {
+  return {ErrorCode::kProtocolError, std::move(m)};
+}
+inline Error ResourceExhausted(std::string m) {
+  return {ErrorCode::kResourceExhausted, std::move(m)};
+}
+inline Error FailedPrecondition(std::string m) {
+  return {ErrorCode::kFailedPrecondition, std::move(m)};
+}
+
+// Result<T> holds either a value or an Error. Result<void> is spelled
+// as the bare Error (use .ok()).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Result(Error error) : v_(std::in_place_index<1>, std::move(error)) {  // NOLINT
+    assert(!std::get<1>(v_).ok() && "Result<T> built from OK error");
+  }
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    static const Error kOk;
+    return ok() ? kOk : std::get<1>(v_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+#define SAMS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::sams::util::Error sams_err_ = (expr);         \
+    if (!sams_err_.ok()) return sams_err_;          \
+  } while (0)
+
+#define SAMS_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto sams_result_##__LINE__ = (expr);             \
+  if (!sams_result_##__LINE__.ok())                 \
+    return sams_result_##__LINE__.error();          \
+  lhs = std::move(sams_result_##__LINE__).value()
+
+}  // namespace sams::util

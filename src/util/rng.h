@@ -1,0 +1,78 @@
+// Deterministic random number generation for workload synthesis and
+// the discrete-event simulator.
+//
+// Every experiment seeds its own Rng explicitly, so figure benches are
+// bit-reproducible across runs and platforms (we avoid std::
+// distributions, whose outputs are implementation-defined, and
+// implement the handful of distributions the trace models need).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sams::util {
+
+// xoshiro256** by Blackman & Vigna, seeded via SplitMix64. Fast, good
+// statistical quality, trivially portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed);
+
+  std::uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (= 1/rate). Used for Poisson
+  // arrival processes (open-system client, Schroeder et al. [24]).
+  double Exponential(double mean);
+
+  // Standard normal via Box-Muller (no cached spare: keeps state small
+  // and reproducibility trivial).
+  double Normal(double mu, double sigma);
+
+  // Log-normal parameterized by the *underlying* normal's mu/sigma.
+  // Mail sizes are classically log-normal.
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  // Pareto (type I) with scale x_m > 0 and shape alpha > 0; heavy tail
+  // for per-prefix bot densities.
+  double Pareto(double x_m, double alpha);
+
+  // Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipf(s, n) sampler over {1..n} with exponent s, using precomputed
+// cumulative weights (O(log n) per sample). Spam campaigns hit
+// mailboxes with Zipf-like popularity.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(double s, std::size_t n);
+
+  // Returns a rank in [1, n].
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sams::util

@@ -1,0 +1,144 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sams::util {
+
+void OnlineStats::Add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Sampler::Sort() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Sampler::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Sampler::Percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (xs_.empty()) return 0.0;
+  Sort();
+  if (xs_.size() == 1) return xs_[0];
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double Sampler::CdfAt(double x) const {
+  if (xs_.empty()) return 0.0;
+  Sort();
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<double>(it - xs_.begin()) / static_cast<double>(xs_.size());
+}
+
+std::vector<Sampler::CdfPoint> Sampler::CdfSeries(std::size_t points) const {
+  std::vector<CdfPoint> out;
+  if (xs_.empty() || points == 0) return out;
+  Sort();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    std::size_t idx = static_cast<std::size_t>(
+        frac * static_cast<double>(xs_.size()));
+    if (idx > 0) --idx;
+    out.push_back({xs_[idx], frac});
+  }
+  return out;
+}
+
+void Counters::Inc(const std::string& name, std::int64_t by) {
+  for (auto& [k, v] : entries_) {
+    if (k == name) {
+      v += by;
+      return;
+    }
+  }
+  entries_.emplace_back(name, by);
+}
+
+std::int64_t Counters::Get(const std::string& name) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Counters::Sorted() const {
+  auto out = entries_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  ";
+      // Right-align numeric-looking cells, left-align labels.
+      const std::size_t pad = widths[c] - row[c].size();
+      os << std::string(pad, ' ') << row[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace sams::util

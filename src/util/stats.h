@@ -1,0 +1,92 @@
+// Statistics collection used throughout the benches: running moments,
+// percentile/CDF extraction, and fixed-width text rendering so every
+// figure bench prints the same series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sams::util {
+
+// Online mean/variance (Welford) plus min/max; O(1) memory.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0, m2_ = 0, sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Accumulates raw samples; extracts exact percentiles and CDF points.
+// The figure benches keep at most a few hundred thousand samples, so
+// exact (sort-based) quantiles are affordable and reproducible.
+class Sampler {
+ public:
+  void Add(double x) { xs_.push_back(x); }
+  void Reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+
+  // p in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+
+  // Fraction of samples <= x (empirical CDF evaluated at x).
+  double CdfAt(double x) const;
+
+  // (value, cumulative fraction) pairs at `points` evenly spaced ranks,
+  // suitable for printing a CDF series.
+  struct CdfPoint {
+    double value;
+    double fraction;
+  };
+  std::vector<CdfPoint> CdfSeries(std::size_t points = 50) const;
+
+ private:
+  void Sort() const;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+// Simple named-counter bag for server metrics.
+class Counters {
+ public:
+  void Inc(const std::string& name, std::int64_t by = 1);
+  std::int64_t Get(const std::string& name) const;
+  std::vector<std::pair<std::string, std::int64_t>> Sorted() const;
+
+ private:
+  std::vector<std::pair<std::string, std::int64_t>> entries_;
+};
+
+// Fixed-width table printer for bench output: matches the "rows the
+// paper reports" requirement with aligned, diff-friendly text.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sams::util

@@ -1,0 +1,55 @@
+#include "util/strings.h"
+
+namespace sams::util {
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = AsciiToUpper(c);
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = AsciiToLower(c);
+  return out;
+}
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (AsciiToUpper(a[i]) != AsciiToUpper(b[i])) return false;
+  }
+  return true;
+}
+
+bool IStartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && IEquals(s.substr(0, prefix.size()), prefix);
+}
+
+std::string_view Trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool IsPrintableAscii(std::string_view s) {
+  for (char c : s) {
+    if (c < 0x20 || c > 0x7e) return false;
+  }
+  return true;
+}
+
+}  // namespace sams::util

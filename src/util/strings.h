@@ -1,0 +1,34 @@
+// Small ASCII string helpers used by the SMTP parser; SMTP verbs are
+// case-insensitive ASCII, so we avoid locale-dependent <cctype>.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sams::util {
+
+constexpr char AsciiToUpper(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+constexpr char AsciiToLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+std::string ToUpperAscii(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+
+// Case-insensitive ASCII equality / prefix test.
+bool IEquals(std::string_view a, std::string_view b);
+bool IStartsWith(std::string_view s, std::string_view prefix);
+
+// Strips leading/trailing spaces and tabs.
+std::string_view Trim(std::string_view s);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// True if every char is printable ASCII (0x20..0x7e).
+bool IsPrintableAscii(std::string_view s);
+
+}  // namespace sams::util

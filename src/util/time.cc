@@ -1,0 +1,23 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sams::util {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  const double ns = static_cast<double>(ns_);
+  if (std::llabs(ns_) < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  } else if (std::llabs(ns_) < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (std::llabs(ns_) < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace sams::util

@@ -1,0 +1,76 @@
+// Simulated-time primitives shared by the discrete-event core and the
+// workload generators.
+//
+// SimTime is a strong wrapper over a signed 64-bit nanosecond count so
+// that simulated timestamps cannot be silently mixed with wall-clock
+// values or raw integers. Arithmetic is closed over SimTime/Duration in
+// the usual affine-space way (time - time = duration, time + duration =
+// time); we keep a single type for both to stay lightweight, mirroring
+// std::chrono::nanoseconds semantics.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace sams::util {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime Nanos(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime Micros(std::int64_t n) { return SimTime(n * 1'000); }
+  static constexpr SimTime Millis(std::int64_t n) { return SimTime(n * 1'000'000); }
+  static constexpr SimTime Seconds(std::int64_t n) { return SimTime(n * 1'000'000'000); }
+  static constexpr SimTime Minutes(std::int64_t n) { return Seconds(n * 60); }
+  static constexpr SimTime Hours(std::int64_t n) { return Minutes(n * 60); }
+  static constexpr SimTime Days(std::int64_t n) { return Hours(n * 24); }
+
+  // Fractional constructors for calibration constants ("0.35 ms").
+  static constexpr SimTime MicrosF(double us) {
+    return SimTime(static_cast<std::int64_t>(us * 1e3));
+  }
+  static constexpr SimTime MillisF(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e6));
+  }
+  static constexpr SimTime SecondsF(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime rhs) const { return SimTime(ns_ + rhs.ns_); }
+  constexpr SimTime operator-(SimTime rhs) const { return SimTime(ns_ - rhs.ns_); }
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(ns_ * k); }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime(ns_ / k); }
+  // Scaling by a real factor, used by cost models ("1.7x slower disk").
+  constexpr SimTime Scaled(double f) const {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(ns_) * f));
+  }
+
+  // Human-readable rendering with an auto-selected unit, for logs.
+  std::string ToString() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+}  // namespace sams::util

@@ -1,0 +1,149 @@
+// Tests of core::ServerStack — the §8 composition with ablation
+// switches.
+#include <gtest/gtest.h>
+
+#include "core/server_stack.h"
+#include "mta/drivers.h"
+#include "trace/synthetic.h"
+
+namespace sams::core {
+namespace {
+
+using util::Ipv4;
+using util::SimTime;
+
+std::vector<Ipv4> SomeListedIps() {
+  std::vector<Ipv4> ips;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    ips.push_back(Ipv4(static_cast<std::uint32_t>(rng.NextU64())));
+  }
+  return ips;
+}
+
+std::vector<trace::SessionSpec> SomeTrace(double bounce_ratio = 0.3) {
+  trace::BounceSweepConfig cfg;
+  cfg.n_sessions = 3'000;
+  cfg.bounce_ratio = bounce_ratio;
+  return trace::MakeBounceSweepTrace(cfg);
+}
+
+TEST(ServerStackTest, DescribeNamesTheConfiguration) {
+  const auto listed = SomeListedIps();
+  {
+    StackConfig cfg;
+    ServerStack stack(cfg, listed);
+    EXPECT_EQ(stack.Describe(), "fork-after-trust + MFS + prefix-DNSBL");
+  }
+  {
+    StackConfig cfg;
+    cfg.hybrid_concurrency = false;
+    cfg.mfs_store = false;
+    cfg.prefix_dnsbl = false;
+    ServerStack stack(cfg, listed);
+    EXPECT_EQ(stack.Describe(), "process-per-conn + mbox + ip-DNSBL");
+  }
+  {
+    StackConfig cfg;
+    cfg.dnsbl_enabled = false;
+    ServerStack stack(cfg, listed);
+    EXPECT_EQ(stack.Describe(), "fork-after-trust + MFS");
+    EXPECT_EQ(stack.resolver(), nullptr);
+  }
+}
+
+TEST(ServerStackTest, StoreFollowsSwitch) {
+  const auto listed = SomeListedIps();
+  StackConfig cfg;
+  cfg.mfs_store = true;
+  ServerStack mfs_stack(cfg, listed);
+  EXPECT_EQ(mfs_stack.store().name(), "mfs");
+  cfg.mfs_store = false;
+  ServerStack mbox_stack(cfg, listed);
+  EXPECT_EQ(mbox_stack.store().name(), "mbox");
+}
+
+TEST(ServerStackTest, ResolverModeFollowsSwitch) {
+  const auto listed = SomeListedIps();
+  StackConfig cfg;
+  cfg.prefix_dnsbl = true;
+  ServerStack prefix_stack(cfg, listed);
+  ASSERT_NE(prefix_stack.resolver(), nullptr);
+  EXPECT_EQ(prefix_stack.resolver()->mode(), dnsbl::CacheMode::kPrefixCache);
+  cfg.prefix_dnsbl = false;
+  ServerStack ip_stack(cfg, listed);
+  EXPECT_EQ(ip_stack.resolver()->mode(), dnsbl::CacheMode::kIpCache);
+}
+
+TEST(ServerStackTest, RunsAWorkloadEndToEnd) {
+  const auto listed = SomeListedIps();
+  const auto sessions = SomeTrace();
+  StackConfig cfg;
+  cfg.unfinished_hold = SimTime::MillisF(100);
+  ServerStack stack(cfg, listed);
+  const auto result =
+      mta::RunClosedLoop(stack.machine(), stack.server(), sessions, 100,
+                         SimTime::Seconds(5), SimTime::Seconds(20),
+                         stack.resolver());
+  EXPECT_GT(result.goodput_mails_per_sec, 10.0);
+  EXPECT_GT(result.mails_delivered, 0u);
+  EXPECT_GT(result.bounce_sessions, 0u);
+  EXPECT_GT(result.dns_queries, 0u);
+}
+
+TEST(ServerStackTest, DeterministicAcrossRuns) {
+  const auto listed = SomeListedIps();
+  const auto sessions = SomeTrace();
+  auto run = [&] {
+    StackConfig cfg;
+    ServerStack stack(cfg, listed);
+    return mta::RunClosedLoop(stack.machine(), stack.server(), sessions, 100,
+                              SimTime::Seconds(5), SimTime::Seconds(15),
+                              stack.resolver());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.mails_delivered, b.mails_delivered);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.dns_queries, b.dns_queries);
+}
+
+TEST(ServerStackTest, PrewarmRaisesHitRatio) {
+  const auto listed = SomeListedIps();
+  const auto sessions = SomeTrace(0.0);
+  StackConfig cfg;
+  ServerStack cold(cfg, listed);
+  ServerStack warm(cfg, listed);
+  warm.PrewarmResolver(sessions);
+  // Re-looking-up the same trace: warm stack answers from cache.
+  std::uint64_t cold_queries = 0, warm_queries = 0;
+  for (const auto& session : sessions) {
+    cold.resolver()->Lookup(session.client_ip, session.arrival);
+    warm.resolver()->Lookup(session.client_ip, session.arrival);
+  }
+  cold_queries = cold.resolver()->stats().dns_queries_sent;
+  warm_queries = warm.resolver()->stats().dns_queries_sent;
+  // Warm did the prewarm queries once, then everything hit.
+  EXPECT_GT(warm.resolver()->stats().HitRatio(), 0.45);
+  EXPECT_EQ(warm_queries, cold_queries);  // same unique misses overall
+}
+
+TEST(ServerStackTest, FullStackBeatsVanillaOnBouncyWorkload) {
+  const auto listed = SomeListedIps();
+  const auto sessions = SomeTrace(0.5);
+  auto goodput = [&](bool spam_aware) {
+    StackConfig cfg;
+    cfg.hybrid_concurrency = spam_aware;
+    cfg.mfs_store = spam_aware;
+    cfg.prefix_dnsbl = spam_aware;
+    ServerStack stack(cfg, listed);
+    return mta::RunClosedLoop(stack.machine(), stack.server(), sessions, 300,
+                              SimTime::Seconds(5), SimTime::Seconds(20),
+                              stack.resolver())
+        .goodput_mails_per_sec;
+  };
+  EXPECT_GT(goodput(true), goodput(false) * 1.05);
+}
+
+}  // namespace
+}  // namespace sams::core

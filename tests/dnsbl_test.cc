@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "dnsbl/blacklist_db.h"
+#include "dnsbl/cache.h"
+#include "dnsbl/dnsbl_server.h"
+#include "dnsbl/resolver.h"
+
+namespace sams::dnsbl {
+namespace {
+
+using util::Ipv4;
+using util::Prefix24;
+using util::Prefix25;
+using util::SimTime;
+
+TEST(PrefixBitmapTest, SetAndTest) {
+  PrefixBitmap bm;
+  EXPECT_FALSE(bm.Any());
+  bm.Set(0);
+  bm.Set(127);
+  bm.Set(64);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(127));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.PopCount(), 3);
+  EXPECT_TRUE(bm.Any());
+}
+
+TEST(PrefixBitmapTest, OrMerges) {
+  PrefixBitmap a, b;
+  a.Set(3);
+  b.Set(100);
+  a |= b;
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(100));
+  EXPECT_EQ(a.PopCount(), 2);
+}
+
+TEST(BlacklistDbTest, AddLookupRemove) {
+  BlacklistDb db;
+  const Ipv4 ip(10, 1, 2, 3);
+  EXPECT_FALSE(db.IsListed(ip));
+  db.Add(ip, 4);
+  EXPECT_EQ(db.Lookup(ip), 4);
+  EXPECT_EQ(db.size(), 1u);
+  db.Remove(ip);
+  EXPECT_FALSE(db.IsListed(ip));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(BlacklistDbTest, ZeroCodeCoercedToListed) {
+  BlacklistDb db;
+  db.Add(Ipv4(1, 2, 3, 4), 0);
+  EXPECT_TRUE(db.IsListed(Ipv4(1, 2, 3, 4)));
+}
+
+TEST(BlacklistDbTest, PrefixBitmapMatchesPerIpAnswers) {
+  // The §7.1 guarantee: the bitmap identifies exactly the blacklisted
+  // IPs — no IP not blacklisted is punished.
+  BlacklistDb db;
+  util::Rng rng(99);
+  const Prefix25 p(Ipv4(192, 168, 7, 0));
+  std::set<int> listed_bits;
+  for (int i = 0; i < 40; ++i) {
+    const int bit = static_cast<int>(rng.UniformInt(0, 127));
+    listed_bits.insert(bit);
+    db.Add(Ipv4(p.First().value() + static_cast<std::uint32_t>(bit)));
+  }
+  const PrefixBitmap bm = db.LookupPrefix(p);
+  for (int bit = 0; bit < 128; ++bit) {
+    const Ipv4 ip(p.First().value() + static_cast<std::uint32_t>(bit));
+    EXPECT_EQ(bm.Test(bit), db.IsListed(ip)) << "bit " << bit;
+    EXPECT_EQ(bm.TestIp(ip), db.IsListed(ip)) << "bit " << bit;
+  }
+  EXPECT_EQ(bm.PopCount(), static_cast<int>(listed_bits.size()));
+}
+
+TEST(BlacklistDbTest, RemoveUpdatesBitmap) {
+  BlacklistDb db;
+  const Ipv4 a(10, 0, 0, 5), b(10, 0, 0, 9);
+  db.Add(a);
+  db.Add(b);
+  db.Remove(a);
+  const PrefixBitmap bm = db.LookupPrefix(Prefix25(a));
+  EXPECT_FALSE(bm.TestIp(a));
+  EXPECT_TRUE(bm.TestIp(b));
+}
+
+TEST(BlacklistDbTest, CountInPrefix24) {
+  BlacklistDb db;
+  for (int i = 0; i < 30; ++i) {
+    db.Add(Ipv4(172, 16, 5, static_cast<std::uint8_t>(i * 8)));
+  }
+  db.Add(Ipv4(172, 16, 6, 1));
+  EXPECT_EQ(db.CountInPrefix24(Prefix24(Ipv4(172, 16, 5, 0))), 30);
+  EXPECT_EQ(db.CountInPrefix24(Prefix24(Ipv4(172, 16, 6, 0))), 1);
+  EXPECT_EQ(db.CountInPrefix24(Prefix24(Ipv4(172, 16, 7, 0))), 0);
+  db.Remove(Ipv4(172, 16, 6, 1));
+  EXPECT_EQ(db.CountInPrefix24(Prefix24(Ipv4(172, 16, 6, 0))), 0);
+}
+
+TEST(BlacklistDbTest, DuplicateAddKeepsSingleEntry) {
+  BlacklistDb db;
+  db.Add(Ipv4(1, 1, 1, 1), 2);
+  db.Add(Ipv4(1, 1, 1, 1), 4);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.Lookup(Ipv4(1, 1, 1, 1)), 4);
+  EXPECT_EQ(db.CountInPrefix24(Prefix24(Ipv4(1, 1, 1, 1))), 1);
+}
+
+TEST(LatencyProfileTest, SamplesWithinConfiguredRange) {
+  util::Rng rng(5);
+  LatencyProfile profile{3.0, 0.5, 0.3, 100.0, 500.0};
+  int beyond_knee = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const SimTime t = profile.Sample(rng);
+    EXPECT_GT(t.nanos(), 0);
+    EXPECT_LE(t.millis(), 500.0 + 1e-9);
+    if (t.millis() > 100.0) ++beyond_knee;
+  }
+  // Tail probability ~0.3 (body is clamped at the knee).
+  EXPECT_NEAR(static_cast<double>(beyond_knee) / n, 0.3, 0.03);
+}
+
+TEST(DnsblServerTest, AnswersMatchDatabase) {
+  auto db = std::make_shared<BlacklistDb>();
+  db->Add(Ipv4(66, 55, 44, 33), 7);
+  util::Rng rng(3);
+  DnsblServer server("test.zone", db, LatencyProfile{});
+  EXPECT_EQ(server.QueryIp(Ipv4(66, 55, 44, 33), rng).code, 7);
+  EXPECT_EQ(server.QueryIp(Ipv4(66, 55, 44, 34), rng).code, 0);
+  EXPECT_EQ(server.queries_received(), 2u);
+}
+
+TEST(DnsblServerTest, PrefixAnswerConsistentWithIpAnswers) {
+  auto db = std::make_shared<BlacklistDb>();
+  const Prefix25 p(Ipv4(20, 30, 40, 128));
+  db->Add(Ipv4(20, 30, 40, 130));
+  db->Add(Ipv4(20, 30, 40, 200));
+  util::Rng rng(3);
+  DnsblServer server("test.zone", db, LatencyProfile{});
+  const auto answer = server.QueryPrefix(p, rng);
+  for (int bit = 0; bit < 128; ++bit) {
+    const Ipv4 ip(p.First().value() + static_cast<std::uint32_t>(bit));
+    EXPECT_EQ(answer.bitmap.Test(bit), db->IsListed(ip));
+  }
+}
+
+TEST(FigureFiveServersTest, SixListsWithDistinctCoverage) {
+  util::Rng rng(17);
+  std::vector<Ipv4> ips;
+  for (int i = 0; i < 5000; ++i) {
+    ips.push_back(Ipv4(static_cast<std::uint32_t>(rng.NextU64())));
+  }
+  auto servers = MakeFigureFiveServers(ips, rng);
+  ASSERT_EQ(servers.size(), 6u);
+  const auto& specs = FigureFiveListSpecs();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    EXPECT_EQ(servers[i]->zone(), specs[i].zone);
+    const double coverage =
+        static_cast<double>(servers[i]->db().size()) / ips.size();
+    EXPECT_NEAR(coverage, specs[i].coverage, 0.03) << specs[i].zone;
+  }
+}
+
+TEST(TtlCacheTest, MissThenHit) {
+  IpCache cache(SimTime::Hours(24));
+  const Ipv4 ip(9, 9, 9, 9);
+  EXPECT_EQ(cache.Lookup(ip, SimTime::Seconds(0)), nullptr);
+  cache.Insert(ip, IpVerdict{true}, SimTime::Seconds(0));
+  const IpVerdict* v = cache.Lookup(ip, SimTime::Seconds(10));
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->blacklisted);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TtlCacheTest, EntriesExpire) {
+  IpCache cache(SimTime::Hours(24));
+  const Ipv4 ip(9, 9, 9, 9);
+  cache.Insert(ip, IpVerdict{true}, SimTime::Seconds(0));
+  EXPECT_NE(cache.Lookup(ip, SimTime::Hours(24)), nullptr);
+  EXPECT_EQ(cache.Lookup(ip, SimTime::Hours(25)), nullptr);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+}
+
+TEST(TtlCacheTest, ReinsertRefreshesTtl) {
+  IpCache cache(SimTime::Hours(1));
+  const Ipv4 ip(9, 9, 9, 9);
+  cache.Insert(ip, IpVerdict{false}, SimTime::Seconds(0));
+  cache.Insert(ip, IpVerdict{true}, SimTime::Minutes(50));
+  const IpVerdict* v = cache.Lookup(ip, SimTime::Minutes(100));
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->blacklisted);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_shared<BlacklistDb>();
+    db_->Add(Ipv4(10, 0, 0, 1));
+    db_->Add(Ipv4(10, 0, 0, 50));   // same /25 as .1
+    db_->Add(Ipv4(10, 0, 0, 200));  // other half of the /24
+    LatencyProfile quick{2.0, 0.1, 0.0, 100.0, 200.0};
+    server_a_ = std::make_unique<DnsblServer>("a.zone", db_, quick);
+    server_b_ = std::make_unique<DnsblServer>("b.zone", db_, quick);
+  }
+
+  Resolver Make(CacheMode mode) {
+    return Resolver(mode, {server_a_.get(), server_b_.get()},
+                    SimTime::Hours(24), rng_);
+  }
+
+  std::shared_ptr<BlacklistDb> db_;
+  std::unique_ptr<DnsblServer> server_a_;
+  std::unique_ptr<DnsblServer> server_b_;
+  util::Rng rng_{31};
+};
+
+TEST_F(ResolverTest, NoCacheAlwaysQueries) {
+  Resolver r = Make(CacheMode::kNoCache);
+  for (int i = 0; i < 3; ++i) {
+    const auto out = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(i));
+    EXPECT_TRUE(out.blacklisted);
+    EXPECT_FALSE(out.cache_hit);
+    EXPECT_EQ(out.dns_queries, 2);
+    EXPECT_GT(out.latency.nanos(), 0);
+  }
+  EXPECT_EQ(r.stats().dns_queries_sent, 6u);
+  EXPECT_EQ(r.stats().cache_hits, 0u);
+}
+
+TEST_F(ResolverTest, IpCacheHitsOnRepeat) {
+  Resolver r = Make(CacheMode::kIpCache);
+  const auto miss = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  EXPECT_FALSE(miss.cache_hit);
+  const auto hit = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(5));
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.blacklisted);
+  EXPECT_EQ(hit.latency.nanos(), 0);
+  EXPECT_EQ(hit.dns_queries, 0);
+  // A different IP in the same /25 still misses under IP caching.
+  const auto neighbour = r.Lookup(Ipv4(10, 0, 0, 50), SimTime::Seconds(6));
+  EXPECT_FALSE(neighbour.cache_hit);
+}
+
+TEST_F(ResolverTest, PrefixCacheHitsForNeighbours) {
+  Resolver r = Make(CacheMode::kPrefixCache);
+  const auto miss = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_TRUE(miss.blacklisted);
+  // The rest of the /25 now hits — including non-listed neighbours.
+  const auto hit_listed = r.Lookup(Ipv4(10, 0, 0, 50), SimTime::Seconds(1));
+  EXPECT_TRUE(hit_listed.cache_hit);
+  EXPECT_TRUE(hit_listed.blacklisted);
+  const auto hit_clean = r.Lookup(Ipv4(10, 0, 0, 77), SimTime::Seconds(2));
+  EXPECT_TRUE(hit_clean.cache_hit);
+  EXPECT_FALSE(hit_clean.blacklisted);  // no punishment of unlisted IPs
+  // The other /25 half misses (separate bitmap).
+  const auto other_half = r.Lookup(Ipv4(10, 0, 0, 200), SimTime::Seconds(3));
+  EXPECT_FALSE(other_half.cache_hit);
+  EXPECT_TRUE(other_half.blacklisted);
+}
+
+TEST_F(ResolverTest, PrefixVerdictsEqualIpVerdicts) {
+  // Exactness property: for every IP, the prefix-cached verdict must
+  // equal the direct per-IP verdict.
+  Resolver ip_r = Make(CacheMode::kIpCache);
+  Resolver px_r = Make(CacheMode::kPrefixCache);
+  for (int host = 0; host < 256; ++host) {
+    const Ipv4 ip(10, 0, 0, static_cast<std::uint8_t>(host));
+    const auto a = ip_r.Lookup(ip, SimTime::Seconds(host));
+    const auto b = px_r.Lookup(ip, SimTime::Seconds(host));
+    EXPECT_EQ(a.blacklisted, b.blacklisted) << ip.ToString();
+  }
+}
+
+TEST_F(ResolverTest, PrefixModeSendsFewerQueries) {
+  Resolver ip_r = Make(CacheMode::kIpCache);
+  Resolver px_r = Make(CacheMode::kPrefixCache);
+  // A botnet burst: 60 distinct IPs from the same /25.
+  for (int i = 0; i < 60; ++i) {
+    const Ipv4 ip(10, 0, 0, static_cast<std::uint8_t>(i));
+    ip_r.Lookup(ip, SimTime::Seconds(i));
+    px_r.Lookup(ip, SimTime::Seconds(i));
+  }
+  EXPECT_EQ(px_r.stats().dns_queries_sent, 2u);            // one round
+  EXPECT_EQ(ip_r.stats().dns_queries_sent, 60u * 2u);      // every time
+  EXPECT_GT(px_r.stats().HitRatio(), 0.95);
+  EXPECT_EQ(ip_r.stats().HitRatio(), 0.0);
+}
+
+TEST_F(ResolverTest, TtlExpiryForcesRequery) {
+  Resolver r = Make(CacheMode::kIpCache);
+  r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  const auto hit = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Hours(23));
+  EXPECT_TRUE(hit.cache_hit);
+  const auto expired = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Hours(25));
+  EXPECT_FALSE(expired.cache_hit);
+}
+
+TEST(CacheModeNameTest, Names) {
+  EXPECT_STREQ(CacheModeName(CacheMode::kNoCache), "no-cache");
+  EXPECT_STREQ(CacheModeName(CacheMode::kIpCache), "ip-cache");
+  EXPECT_STREQ(CacheModeName(CacheMode::kPrefixCache), "prefix-cache");
+}
+
+}  // namespace
+}  // namespace sams::dnsbl

@@ -1,0 +1,206 @@
+// Tests of the DNS wire codec and the real UDP DNSBL daemon — the
+// DNSBLv6 scheme the paper emulated, here running over actual DNS
+// datagrams on loopback.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dnsbl/dns_wire.h"
+#include "dnsbl/udp_daemon.h"
+#include "util/rng.h"
+
+namespace sams::dnsbl {
+namespace {
+
+using util::Ipv4;
+using util::Prefix25;
+
+TEST(DnsWireTest, QueryEncodeParseRoundTrip) {
+  DnsQuery query;
+  query.id = 0xBEEF;
+  query.question.qname = "4.3.2.1.cbl.abuseat.org";
+  query.question.qtype = QType::kA;
+  auto wire = EncodeQuery(query);
+  ASSERT_TRUE(wire.ok()) << wire.error().ToString();
+  auto parsed = ParseQuery(wire->data(), wire->size());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed->id, 0xBEEF);
+  EXPECT_EQ(parsed->question.qname, "4.3.2.1.cbl.abuseat.org");
+  EXPECT_EQ(parsed->question.qtype, QType::kA);
+}
+
+TEST(DnsWireTest, ResponseEncodeParseRoundTripA) {
+  DnsQuery query;
+  query.id = 7;
+  query.question.qname = "4.3.2.1.bl.test";
+  query.question.qtype = QType::kA;
+  DnsAnswer answer;
+  answer.rdata = {127, 0, 0, 2};
+  answer.ttl = 86'400;
+  auto wire = EncodeResponse(query, answer);
+  ASSERT_TRUE(wire.ok());
+  auto parsed = ParseResponse(wire->data(), wire->size());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed->id, 7);
+  EXPECT_EQ(parsed->rcode, RCode::kNoError);
+  EXPECT_EQ(parsed->question.qname, "4.3.2.1.bl.test");
+  ASSERT_EQ(parsed->answers.size(), 1u);
+  EXPECT_EQ(parsed->answers[0].rdata, (std::vector<std::uint8_t>{127, 0, 0, 2}));
+  EXPECT_EQ(parsed->answers[0].ttl, 86'400u);
+}
+
+TEST(DnsWireTest, NxDomainResponse) {
+  DnsQuery query;
+  query.id = 9;
+  query.question.qname = "9.9.9.9.bl.test";
+  query.question.qtype = QType::kA;
+  DnsAnswer answer;
+  answer.rcode = RCode::kNxDomain;
+  auto wire = EncodeResponse(query, answer);
+  ASSERT_TRUE(wire.ok());
+  auto parsed = ParseResponse(wire->data(), wire->size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rcode, RCode::kNxDomain);
+  EXPECT_TRUE(parsed->answers.empty());
+}
+
+TEST(DnsWireTest, BitmapRdataRoundTrip) {
+  PrefixBitmap bitmap;
+  bitmap.Set(0);
+  bitmap.Set(63);
+  bitmap.Set(127);
+  const auto rdata = BitmapToRdata(bitmap);
+  ASSERT_EQ(rdata.size(), 16u);
+  auto back = RdataToBitmap(rdata);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, bitmap);
+}
+
+TEST(DnsWireTest, ParseRejectsGarbage) {
+  const std::uint8_t junk[] = {1, 2, 3};
+  EXPECT_FALSE(ParseQuery(junk, sizeof(junk)).ok());
+  EXPECT_FALSE(ParseResponse(junk, sizeof(junk)).ok());
+  // A response is not a query and vice versa.
+  DnsQuery query;
+  query.question.qname = "a.b";
+  auto wire = EncodeQuery(query);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_FALSE(ParseResponse(wire->data(), wire->size()).ok());
+}
+
+TEST(DnsWireTest, RejectsOverlongLabels) {
+  DnsQuery query;
+  query.question.qname = std::string(64, 'a') + ".test";
+  EXPECT_FALSE(EncodeQuery(query).ok());
+  query.question.qname = "a..b";
+  EXPECT_FALSE(EncodeQuery(query).ok());
+}
+
+class UdpDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.Add(Ipv4(192, 0, 2, 10), 2);
+    db_.Add(Ipv4(192, 0, 2, 55), 4);
+    db_.Add(Ipv4(192, 0, 2, 200), 2);  // other /25 half
+    daemon_ = std::make_unique<UdpDnsblDaemon>("bl.sams.test", db_);
+    auto port = daemon_->Start();
+    ASSERT_TRUE(port.ok()) << port.error().ToString();
+    port_ = *port;
+  }
+  void TearDown() override { daemon_->Stop(); }
+
+  BlacklistDb db_;
+  std::unique_ptr<UdpDnsblDaemon> daemon_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(UdpDaemonTest, ClassicLookupListedAndClean) {
+  UdpDnsblClient client(port_, "bl.sams.test");
+  auto listed = client.QueryIp(Ipv4(192, 0, 2, 10));
+  ASSERT_TRUE(listed.ok()) << listed.error().ToString();
+  EXPECT_EQ(*listed, 2);
+  auto listed4 = client.QueryIp(Ipv4(192, 0, 2, 55));
+  ASSERT_TRUE(listed4.ok());
+  EXPECT_EQ(*listed4, 4);
+  auto clean = client.QueryIp(Ipv4(192, 0, 2, 11));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, 0);  // NXDOMAIN -> not listed
+  EXPECT_EQ(daemon_->stats().ip_queries.load(), 3u);
+  EXPECT_EQ(daemon_->stats().listed_answers.load(), 2u);
+  EXPECT_EQ(daemon_->stats().nxdomain_answers.load(), 1u);
+}
+
+TEST_F(UdpDaemonTest, PrefixBitmapOverRealDns) {
+  UdpDnsblClient client(port_, "bl.sams.test");
+  // Lower /25 of 192.0.2.0/24: hosts 10 and 55 are listed.
+  auto bitmap = client.QueryPrefix(Ipv4(192, 0, 2, 1));
+  ASSERT_TRUE(bitmap.ok()) << bitmap.error().ToString();
+  EXPECT_TRUE(bitmap->Test(10));
+  EXPECT_TRUE(bitmap->Test(55));
+  EXPECT_FALSE(bitmap->Test(11));
+  EXPECT_EQ(bitmap->PopCount(), 2);
+  // Upper /25: host 200 -> bit 72.
+  auto upper = client.QueryPrefix(Ipv4(192, 0, 2, 129));
+  ASSERT_TRUE(upper.ok());
+  EXPECT_TRUE(upper->TestIp(Ipv4(192, 0, 2, 200)));
+  EXPECT_EQ(upper->PopCount(), 1);
+}
+
+TEST_F(UdpDaemonTest, BitmapExactlyMatchesPerIpAnswersOverWire) {
+  // The §7.1 exactness property, verified END TO END over real DNS:
+  // one AAAA bitmap answer agrees with 128 individual A answers.
+  UdpDnsblClient client(port_, "bl.sams.test");
+  auto bitmap = client.QueryPrefix(Ipv4(192, 0, 2, 0));
+  ASSERT_TRUE(bitmap.ok());
+  for (int host = 0; host < 128; ++host) {
+    auto code = client.QueryIp(Ipv4(192, 0, 2, static_cast<std::uint8_t>(host)));
+    ASSERT_TRUE(code.ok()) << host;
+    EXPECT_EQ(bitmap->Test(host), *code != 0) << "host " << host;
+  }
+}
+
+TEST_F(UdpDaemonTest, UnknownZoneGetsNxDomain) {
+  UdpDnsblClient client(port_, "other.zone");
+  auto code = client.QueryIp(Ipv4(192, 0, 2, 10));
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, 0);  // name doesn't parse under the daemon's zone
+}
+
+TEST_F(UdpDaemonTest, MalformedDatagramsIgnored) {
+  // Poke the daemon with garbage; it must survive and keep serving.
+  UdpDnsblClient client(port_, "bl.sams.test");
+  {
+    // Raw junk datagram.
+    int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    ASSERT_GE(fd, 0);
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    const std::uint8_t junk[] = {0xde, 0xad, 0xbe};
+    ::sendto(fd, junk, sizeof(junk), 0,
+             reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+  }
+  auto listed = client.QueryIp(Ipv4(192, 0, 2, 10));
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, 2);
+  EXPECT_GE(daemon_->stats().malformed.load(), 1u);
+}
+
+TEST_F(UdpDaemonTest, ManyQueriesStressAndDeterministicAnswers) {
+  UdpDnsblClient client(port_, "bl.sams.test");
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Ipv4 ip(192, 0, 2, static_cast<std::uint8_t>(rng.UniformInt(0, 255)));
+    auto code = client.QueryIp(ip);
+    ASSERT_TRUE(code.ok()) << i;
+    EXPECT_EQ(*code, db_.Lookup(ip));
+  }
+  EXPECT_EQ(daemon_->stats().queries.load(), 200u);
+}
+
+}  // namespace
+}  // namespace sams::dnsbl

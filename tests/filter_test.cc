@@ -1,0 +1,207 @@
+// Content-filter tests: tokenizer, Bayes training/accuracy/persistence,
+// rule scoring, and the end-to-end 554 content rejection through the
+// real SMTP server.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "filter/bayes.h"
+#include "filter/corpus.h"
+#include "filter/spam_filter.h"
+#include "filter/tokenizer.h"
+#include "mta/smtp_server.h"
+#include "net/smtp_client.h"
+
+namespace sams::filter {
+namespace {
+
+TEST(TokenizerTest, BasicTokens) {
+  const auto tokens = Tokenize("Hello, World! buy V1AGRA now-123");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"hello", "world", "buy",
+                                              "v1agra", "now", "123"}));
+}
+
+TEST(TokenizerTest, LengthFilters) {
+  const auto tokens = Tokenize("a bb " + std::string(30, 'x') + " ok");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"bb", "ok"}));
+}
+
+TEST(TokenizerTest, TokenCapBoundsWork) {
+  std::string huge;
+  for (int i = 0; i < 10'000; ++i) huge += "word ";
+  TokenizerConfig cfg;
+  cfg.max_tokens = 100;
+  EXPECT_EQ(Tokenize(huge, cfg).size(), 100u);
+}
+
+TEST(BayesTest, EmptyModelIsNeutral) {
+  BayesClassifier model;
+  EXPECT_DOUBLE_EQ(model.Score("anything at all"), 0.5);
+}
+
+TEST(BayesTest, LearnsSeparableVocabulary) {
+  BayesClassifier model;
+  for (int i = 0; i < 20; ++i) {
+    model.Train("cheap pills casino jackpot", true);
+    model.Train("project meeting semester review", false);
+  }
+  EXPECT_GT(model.Score("pills and casino tonight"), 0.9);
+  EXPECT_LT(model.Score("review the project before the meeting"), 0.1);
+}
+
+TEST(BayesTest, AccuracyOnSyntheticCorpus) {
+  util::Rng rng(11);
+  BayesClassifier model;
+  for (int i = 0; i < 300; ++i) {
+    model.Train(MakeSpamBody(rng), true);
+    model.Train(MakeHamBody(rng), false);
+  }
+  int correct = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    if (model.Score(MakeSpamBody(rng)) > 0.5) ++correct;
+    if (model.Score(MakeHamBody(rng)) < 0.5) ++correct;
+  }
+  // Despite deliberate 15% vocabulary cross-contamination in the
+  // corpus, separation should be nearly perfect at this training size.
+  EXPECT_GT(correct, static_cast<int>(2 * trials * 0.93));
+}
+
+TEST(BayesTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bayes_model.txt";
+  std::filesystem::remove(path);
+  util::Rng rng(13);
+  BayesClassifier model;
+  for (int i = 0; i < 50; ++i) {
+    model.Train(MakeSpamBody(rng), true);
+    model.Train(MakeHamBody(rng), false);
+  }
+  ASSERT_TRUE(model.Save(path).ok());
+  auto loaded = BayesClassifier::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  EXPECT_EQ(loaded->spam_documents(), 50u);
+  EXPECT_EQ(loaded->ham_documents(), 50u);
+  EXPECT_EQ(loaded->vocabulary_size(), model.vocabulary_size());
+  const std::string probe = MakeSpamBody(rng);
+  EXPECT_NEAR(loaded->Score(probe), model.Score(probe), 1e-9);
+  std::filesystem::remove(path);
+}
+
+TEST(BayesTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/bayes_junk.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a model\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(BayesClassifier::Load(path).ok());
+  EXPECT_FALSE(BayesClassifier::Load(path + ".missing").ok());
+  std::filesystem::remove(path);
+}
+
+smtp::Envelope EnvelopeWithBody(std::string body, int rcpts = 1) {
+  smtp::Envelope envelope;
+  envelope.client_ip = "192.0.2.9";
+  envelope.mail_from = *smtp::Path::Parse("<s@x.test>");
+  for (int i = 0; i < rcpts; ++i) {
+    envelope.rcpt_to.push_back(
+        *smtp::Address::Parse("u" + std::to_string(i) + "@d.test"));
+  }
+  envelope.body = std::move(body);
+  return envelope;
+}
+
+TEST(SpamFilterTest, CleanMailScoresLow) {
+  SpamFilter filter;
+  const auto verdict = filter.Classify(EnvelopeWithBody(
+      "Subject: lunch\r\n\r\nSee you at noon by the seminar room?\r\n"));
+  EXPECT_LT(verdict.score, 2.0);
+  EXPECT_FALSE(verdict.spam);
+  EXPECT_FALSE(verdict.reject);
+}
+
+TEST(SpamFilterTest, KeywordStackingTagsAndRejects) {
+  SpamFilter filter;
+  const auto verdict = filter.Classify(EnvelopeWithBody(
+      "Subject: WINNER WINNER BIG PRIZE\r\n\r\n"
+      "Buy now! Viagra no prescription, free money, act now, cheap!\r\n"
+      "http://a http://b http://c\r\n",
+      8));
+  EXPECT_TRUE(verdict.spam);
+  EXPECT_TRUE(verdict.reject);
+  EXPECT_GE(verdict.hits.size(), 5u);
+  // Named rules fired.
+  const auto has = [&](const char* name) {
+    for (const auto& hit : verdict.hits) {
+      if (hit == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("DRUG_SPAM"));
+  EXPECT_TRUE(has("SHOUTING_SUBJECT"));
+  EXPECT_TRUE(has("MANY_URLS"));
+  EXPECT_TRUE(has("MANY_RCPTS"));
+}
+
+TEST(SpamFilterTest, BayesShiftsBorderlineMail) {
+  util::Rng rng(17);
+  SpamFilter filter;
+  for (int i = 0; i < 200; ++i) {
+    filter.bayes().Train(MakeSpamBody(rng), true);
+    filter.bayes().Train(MakeHamBody(rng), false);
+  }
+  const auto spammy = filter.Classify(EnvelopeWithBody(MakeSpamBody(rng)));
+  const auto hammy = filter.Classify(EnvelopeWithBody(MakeHamBody(rng)));
+  EXPECT_GT(spammy.score, hammy.score + 3.0);
+}
+
+TEST(ContentRejectTest, ServerReturns554ForFilteredMail) {
+  const std::string root = ::testing::TempDir() + "/filter_srv";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMfsStore(root, {});
+  ASSERT_TRUE(store.ok());
+  mta::RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+
+  auto filter = std::make_shared<SpamFilter>();
+  mta::RealServerConfig cfg;
+  cfg.architecture = mta::Architecture::kForkAfterTrust;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 2'000;
+  cfg.content_check = [filter](const smtp::Envelope& envelope) {
+    return !filter->Classify(envelope).reject;
+  };
+  mta::SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // Clean mail goes through.
+  smtp::MailJob clean;
+  clean.mail_from = *smtp::Path::Parse("<s@x.test>");
+  clean.rcpts = {*smtp::Path::Parse("<alice@dept.test>")};
+  clean.body = "Subject: agenda\n\nnotes attached\n";
+  auto ok = net::SendMail("127.0.0.1", *port, clean);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->outcome, smtp::ClientOutcome::kDelivered);
+
+  // Blatant spam is rejected after DATA with 554.
+  smtp::MailJob spam = clean;
+  spam.body =
+      "Subject: FREE MONEY WINNER TODAY\n\n"
+      "viagra no prescription buy now click here lottery nigerian prince\n"
+      "http://x http://y http://z\n";
+  auto rejected = net::SendMail("127.0.0.1", *port, spam);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->outcome, smtp::ClientOutcome::kServerError);
+
+  server.Stop();
+  EXPECT_EQ(server.stats().mails_delivered.load(), 1u);
+  EXPECT_EQ(server.stats().content_rejects.load(), 1u);
+  auto mails = (*store)->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  EXPECT_EQ(mails->size(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace sams::filter

@@ -1,0 +1,169 @@
+// Failure-injection tests for MFS: on-disk corruption must be detected
+// at open or by fsck — never silently served as mail content.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "mfs/volume.h"
+#include "util/rng.h"
+
+namespace sams::mfs {
+namespace {
+
+class MfsCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tag = ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    for (char& c : tag) {
+      if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    root_ = ::testing::TempDir() + "/mfs_corrupt_" + tag;
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  // Creates a volume with one private and one shared mail, then closes.
+  void Populate() {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto alice = (*volume)->MailOpen("alice");
+    auto bob = (*volume)->MailOpen("bob");
+    MailFile* only_alice[] = {alice->get()};
+    ASSERT_TRUE(
+        (*volume)->MailNWrite(only_alice, "private body", Id()).ok());
+    MailFile* both[] = {alice->get(), bob->get()};
+    ASSERT_TRUE((*volume)->MailNWrite(both, "shared body", Id()).ok());
+    ASSERT_TRUE((*volume)->SyncAll().ok());
+  }
+
+  MailId Id() { return MailId::Generate(rng_); }
+
+  // Overwrites `count` bytes at `offset` in `path` with 0xFF.
+  void Smash(const std::string& path, off_t offset, std::size_t count) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0) << path;
+    std::string junk(count, '\xff');
+    ASSERT_EQ(::pwrite(fd, junk.data(), junk.size(), offset),
+              static_cast<ssize_t>(count));
+    ::close(fd);
+  }
+
+  std::string root_;
+  util::Rng rng_{77};
+};
+
+TEST_F(MfsCorruptionTest, TruncatedKeyFileDetectedAtOpen) {
+  Populate();
+  std::filesystem::resize_file(
+      root_ + "/boxes/alice.key",
+      std::filesystem::file_size(root_ + "/boxes/alice.key") - 5);
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());  // volume opens; the box fails on access
+  auto handle = (*volume)->MailOpen("alice");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.error().code(), util::ErrorCode::kCorruption);
+}
+
+TEST_F(MfsCorruptionTest, SmashedMailIdDetected) {
+  Populate();
+  // The id occupies the first 32 bytes of each key record; 0xFF bytes
+  // are not printable ASCII, so decoding fails.
+  Smash(root_ + "/boxes/alice.key", 0, 8);
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto handle = (*volume)->MailOpen("alice");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.error().code(), util::ErrorCode::kCorruption);
+}
+
+TEST_F(MfsCorruptionTest, TruncatedDataFileCaughtByFsckOrRead) {
+  Populate();
+  std::filesystem::resize_file(root_ + "/boxes/alice.dat", 2);
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Fsck();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());  // unreadable record flagged
+  // Reading the private mail fails cleanly; the shared mail (stored in
+  // shared.dat) remains readable.
+  auto handle = (*volume)->MailOpen("alice");
+  ASSERT_TRUE(handle.ok());
+  auto first = (*volume)->MailRead(**handle);
+  EXPECT_FALSE(first.ok());
+}
+
+TEST_F(MfsCorruptionTest, SmashedSharedDataLengthDetected) {
+  Populate();
+  // Corrupt the length prefix of the shared record: read must fail
+  // with corruption, not return garbage.
+  Smash(root_ + "/shared.dat", 0, 4);
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto handle = (*volume)->MailOpen("bob");
+  ASSERT_TRUE(handle.ok());
+  auto mail = (*volume)->MailRead(**handle);
+  ASSERT_FALSE(mail.ok());
+  EXPECT_TRUE(mail.error().code() == util::ErrorCode::kCorruption ||
+              mail.error().code() == util::ErrorCode::kOutOfRange)
+      << mail.error().ToString();
+}
+
+TEST_F(MfsCorruptionTest, FsckFlagsRefcountMismatch) {
+  Populate();
+  {
+    // Manually lower the shared record's refcount from 2 to 1 while
+    // both redirects still exist.
+    auto key = KeyFile::Open(root_ + "/shared.key");
+    ASSERT_TRUE(key.ok());
+    ASSERT_EQ(key->size(), 1u);
+    ASSERT_TRUE(key->SetRefcount(0, 1).ok());
+  }
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Fsck();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->ok());
+  EXPECT_NE(report->errors[0].find("refcount"), std::string::npos);
+}
+
+TEST_F(MfsCorruptionTest, FsckFlagsDanglingRedirect) {
+  Populate();
+  {
+    // Tombstone the shared record while redirects still point at it.
+    auto key = KeyFile::Open(root_ + "/shared.key");
+    ASSERT_TRUE(key.ok());
+    ASSERT_TRUE(key->SetRefcount(0, 0).ok());
+  }
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Fsck();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->ok());
+  bool dangling = false;
+  for (const auto& error : report->errors) {
+    if (error.find("dangling redirect") != std::string::npos) dangling = true;
+  }
+  EXPECT_TRUE(dangling);
+}
+
+TEST_F(MfsCorruptionTest, CleanVolumeStaysCleanAcrossManyReopens) {
+  Populate();
+  for (int i = 0; i < 5; ++i) {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto report = (*volume)->Fsck();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->ok());
+    auto mails = (*volume)->MailCount("alice");
+    ASSERT_TRUE(mails.ok());
+    EXPECT_EQ(*mails, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace sams::mfs

@@ -1,0 +1,184 @@
+#include "mfs/paper_api.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "util/rng.h"
+
+namespace sams::mfs {
+namespace {
+
+class PaperApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/mfs_papi_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : root_) {
+      if (c == '/') c = '_';
+    }
+    std::filesystem::remove_all(root_);
+    auto vol = MfsVolume::Open(root_);
+    ASSERT_TRUE(vol.ok());
+    vol_ = std::move(vol).value();
+  }
+  void TearDown() override {
+    vol_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::string NewId() { return MailId::Generate(rng_).str(); }
+
+  std::string root_;
+  std::unique_ptr<MfsVolume> vol_;
+  util::Rng rng_{11};
+};
+
+TEST_F(PaperApiTest, OpenWriteReadClose) {
+  mail_file* mfd = mail_open(vol_.get(), "alice", "rw");
+  ASSERT_NE(mfd, nullptr);
+
+  const std::string id = NewId();
+  const char body[] = "paper api body";
+  mail_file* boxes[] = {mfd};
+  ASSERT_EQ(mail_nwrite(boxes, 1, body, id.c_str(),
+                        static_cast<int>(sizeof(body) - 1),
+                        static_cast<int>(id.size())),
+            MFS_OK);
+
+  char buf[64];
+  char got_id[MailId::kMaxLen];
+  int buf_len = sizeof(buf);
+  int id_len = sizeof(got_id);
+  ASSERT_EQ(mail_read(mfd, buf, got_id, &buf_len, &id_len), MFS_OK);
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(buf_len)),
+            "paper api body");
+  EXPECT_EQ(std::string(got_id, static_cast<std::size_t>(id_len)), id);
+
+  EXPECT_EQ(mail_close(mfd), MFS_OK);
+}
+
+TEST_F(PaperApiTest, NWriteToMultipleMailboxes) {
+  mail_file* a = mail_open(vol_.get(), "alice", "rw");
+  mail_file* b = mail_open(vol_.get(), "bob", "rw");
+  mail_file* c = mail_open(vol_.get(), "carol", "rw");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+
+  const std::string id = NewId();
+  const std::string body = "make money fast";
+  mail_file* boxes[] = {a, b, c};
+  ASSERT_EQ(mail_nwrite(boxes, 3, body.data(), id.c_str(),
+                        static_cast<int>(body.size()),
+                        static_cast<int>(id.size())),
+            MFS_OK);
+
+  for (mail_file* mfd : {a, b, c}) {
+    char buf[64];
+    char got_id[MailId::kMaxLen];
+    int buf_len = sizeof(buf);
+    int id_len = sizeof(got_id);
+    ASSERT_EQ(mail_read(mfd, buf, got_id, &buf_len, &id_len), MFS_OK);
+    EXPECT_EQ(std::string(buf, static_cast<std::size_t>(buf_len)), body);
+  }
+  mail_close(a);
+  mail_close(b);
+  mail_close(c);
+}
+
+TEST_F(PaperApiTest, ReadInSmallChunksReturnsMore) {
+  // "The API may need to be called multiple times to read a mail if
+  // the provided buffer is smaller than the mail." (§6.2)
+  mail_file* mfd = mail_open(vol_.get(), "alice", "rw");
+  ASSERT_NE(mfd, nullptr);
+  const std::string id = NewId();
+  const std::string body(100, 'Z');
+  mail_file* boxes[] = {mfd};
+  ASSERT_EQ(mail_nwrite(boxes, 1, body.data(), id.c_str(), 100,
+                        static_cast<int>(id.size())),
+            MFS_OK);
+
+  std::string assembled;
+  char buf[33];
+  char got_id[MailId::kMaxLen];
+  int rc;
+  do {
+    int buf_len = sizeof(buf);
+    int id_len = sizeof(got_id);
+    rc = mail_read(mfd, buf, got_id, &buf_len, &id_len);
+    ASSERT_NE(rc, MFS_ERR) << mfs_last_error();
+    assembled.append(buf, static_cast<std::size_t>(buf_len));
+  } while (rc == MFS_MORE);
+  EXPECT_EQ(assembled, body);
+  mail_close(mfd);
+}
+
+TEST_F(PaperApiTest, SeekAtMailGranularity) {
+  mail_file* mfd = mail_open(vol_.get(), "alice", "rw");
+  ASSERT_NE(mfd, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    const std::string id = NewId();
+    const std::string body = "mail-" + std::to_string(i);
+    mail_file* boxes[] = {mfd};
+    ASSERT_EQ(mail_nwrite(boxes, 1, body.data(), id.c_str(),
+                          static_cast<int>(body.size()),
+                          static_cast<int>(id.size())),
+              MFS_OK);
+  }
+  ASSERT_EQ(mail_seek(mfd, 2, MFS_SEEK_SET), MFS_OK);
+  char buf[32];
+  char got_id[MailId::kMaxLen];
+  int buf_len = sizeof(buf);
+  int id_len = sizeof(got_id);
+  ASSERT_EQ(mail_read(mfd, buf, got_id, &buf_len, &id_len), MFS_OK);
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(buf_len)), "mail-2");
+
+  ASSERT_EQ(mail_seek(mfd, -1, MFS_SEEK_END), MFS_OK);
+  buf_len = sizeof(buf);
+  id_len = sizeof(got_id);
+  ASSERT_EQ(mail_read(mfd, buf, got_id, &buf_len, &id_len), MFS_OK);
+  EXPECT_EQ(std::string(buf, static_cast<std::size_t>(buf_len)), "mail-3");
+  mail_close(mfd);
+}
+
+TEST_F(PaperApiTest, DeleteRemovesMail) {
+  mail_file* mfd = mail_open(vol_.get(), "alice", "rw");
+  ASSERT_NE(mfd, nullptr);
+  const std::string id = NewId();
+  mail_file* boxes[] = {mfd};
+  ASSERT_EQ(mail_nwrite(boxes, 1, "x", id.c_str(), 1,
+                        static_cast<int>(id.size())),
+            MFS_OK);
+  ASSERT_EQ(mail_delete(mfd, id.c_str(), static_cast<int>(id.size())), MFS_OK);
+  ASSERT_EQ(mail_seek(mfd, 0, MFS_SEEK_SET), MFS_OK);
+  char buf[8];
+  char got_id[MailId::kMaxLen];
+  int buf_len = sizeof(buf);
+  int id_len = sizeof(got_id);
+  EXPECT_EQ(mail_read(mfd, buf, got_id, &buf_len, &id_len), MFS_ERR);
+  mail_close(mfd);
+}
+
+TEST_F(PaperApiTest, ErrorPathsSetLastError) {
+  EXPECT_EQ(mail_open(nullptr, "x", "rw"), nullptr);
+  EXPECT_NE(std::string(mfs_last_error()).find("null"), std::string::npos);
+
+  mail_file* mfd = mail_open(vol_.get(), "alice", "rw");
+  ASSERT_NE(mfd, nullptr);
+  EXPECT_EQ(mail_seek(mfd, 0, 99), MFS_ERR);
+  EXPECT_EQ(mail_nwrite(nullptr, 1, "x", "id", 1, 2), MFS_ERR);
+  mail_file* boxes[] = {mfd};
+  EXPECT_EQ(mail_nwrite(boxes, 0, "x", "id", 1, 2), MFS_ERR);
+  EXPECT_EQ(mail_nwrite(boxes, 1, "x", "bad id", 1, 6), MFS_ERR);
+  EXPECT_EQ(mail_delete(mfd, "no-such-id", 10), MFS_ERR);
+  mail_close(mfd);
+}
+
+TEST_F(PaperApiTest, BadModeFailsOpen) {
+  EXPECT_EQ(mail_open(vol_.get(), "alice", "z"), nullptr);
+}
+
+}  // namespace
+}  // namespace sams::mfs

@@ -1,0 +1,228 @@
+#include "mfs/record_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "mfs/mail_id.h"
+#include "util/rng.h"
+
+namespace sams::mfs {
+namespace {
+
+class RecordIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/mfs_recio_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : dir_) {
+      if (c == '/') c = '_';
+    }
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  MailId Id() { return MailId::Generate(rng_); }
+
+  std::string dir_;
+  util::Rng rng_{42};
+};
+
+TEST(MailIdTest, GenerateIsUniqueAndParsable) {
+  util::Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const MailId id = MailId::Generate(rng);
+    EXPECT_FALSE(id.empty());
+    EXPECT_LE(id.str().size(), MailId::kMaxLen);
+    EXPECT_TRUE(MailId::Parse(id.str()).has_value());
+    EXPECT_TRUE(seen.insert(id.str()).second) << "duplicate id " << id.str();
+  }
+}
+
+TEST(MailIdTest, ParseRejectsBadIds) {
+  EXPECT_FALSE(MailId::Parse("").has_value());
+  EXPECT_FALSE(MailId::Parse(std::string(33, 'A')).has_value());
+  EXPECT_FALSE(MailId::Parse("has space").has_value());
+  EXPECT_FALSE(MailId::Parse("has\nnewline").has_value());
+  EXPECT_FALSE(MailId::Parse(std::string("nul\0", 4)).has_value());
+  EXPECT_TRUE(MailId::Parse("ABC123xyz-_.").has_value());
+}
+
+TEST_F(RecordIoTest, KeyFileAppendAndReload) {
+  const std::string path = dir_ + "/box.key";
+  const MailId a = Id(), b = Id();
+  {
+    auto kf = KeyFile::Open(path);
+    ASSERT_TRUE(kf.ok()) << kf.error().ToString();
+    ASSERT_TRUE(kf->Append({a, 0, 1}).ok());
+    ASSERT_TRUE(kf->Append({b, 128, -1}).ok());
+    EXPECT_EQ(kf->size(), 2u);
+  }
+  auto kf = KeyFile::Open(path);
+  ASSERT_TRUE(kf.ok());
+  ASSERT_EQ(kf->size(), 2u);
+  EXPECT_EQ(kf->at(0).id, a);
+  EXPECT_EQ(kf->at(0).offset, 0);
+  EXPECT_EQ(kf->at(0).refcount, 1);
+  EXPECT_EQ(kf->at(1).id, b);
+  EXPECT_EQ(kf->at(1).offset, 128);
+  EXPECT_TRUE(kf->at(1).IsRedirect());
+}
+
+TEST_F(RecordIoTest, KeyFileRefcountUpdatePersists) {
+  const std::string path = dir_ + "/box.key";
+  const MailId a = Id();
+  {
+    auto kf = KeyFile::Open(path);
+    ASSERT_TRUE(kf.ok());
+    ASSERT_TRUE(kf->Append({a, 0, 7}).ok());
+    ASSERT_TRUE(kf->SetRefcount(0, 3).ok());
+    EXPECT_EQ(kf->at(0).refcount, 3);
+  }
+  auto kf = KeyFile::Open(path);
+  ASSERT_TRUE(kf.ok());
+  EXPECT_EQ(kf->at(0).refcount, 3);
+}
+
+TEST_F(RecordIoTest, KeyFileOffsetUpdatePersists) {
+  const std::string path = dir_ + "/box.key";
+  auto kf = KeyFile::Open(path);
+  ASSERT_TRUE(kf.ok());
+  ASSERT_TRUE(kf->Append({Id(), 100, -1}).ok());
+  ASSERT_TRUE(kf->SetOffset(0, 4242).ok());
+  auto reloaded = KeyFile::Open(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->at(0).offset, 4242);
+}
+
+TEST_F(RecordIoTest, KeyFileFindSkipsTombstones) {
+  auto kf = KeyFile::Open(dir_ + "/box.key");
+  ASSERT_TRUE(kf.ok());
+  const MailId a = Id();
+  ASSERT_TRUE(kf->Append({a, 0, 1}).ok());
+  EXPECT_EQ(kf->Find(a), 0u);
+  ASSERT_TRUE(kf->SetRefcount(0, 0).ok());
+  EXPECT_EQ(kf->Find(a), KeyFile::npos);
+  EXPECT_EQ(kf->Find(Id()), KeyFile::npos);
+}
+
+TEST_F(RecordIoTest, KeyFileRejectsOutOfRangeUpdates) {
+  auto kf = KeyFile::Open(dir_ + "/box.key");
+  ASSERT_TRUE(kf.ok());
+  EXPECT_EQ(kf->SetRefcount(0, 1).code(), util::ErrorCode::kOutOfRange);
+  EXPECT_EQ(kf->SetOffset(5, 1).code(), util::ErrorCode::kOutOfRange);
+}
+
+TEST_F(RecordIoTest, KeyFileDetectsTruncation) {
+  const std::string path = dir_ + "/box.key";
+  {
+    auto kf = KeyFile::Open(path);
+    ASSERT_TRUE(kf.ok());
+    ASSERT_TRUE(kf->Append({Id(), 0, 1}).ok());
+  }
+  std::filesystem::resize_file(path, KeyRecord::kWireSize - 3);
+  auto kf = KeyFile::Open(path);
+  ASSERT_FALSE(kf.ok());
+  EXPECT_EQ(kf.error().code(), util::ErrorCode::kCorruption);
+}
+
+TEST_F(RecordIoTest, KeyFileRewriteDropsRecords) {
+  const std::string path = dir_ + "/box.key";
+  auto kf = KeyFile::Open(path);
+  ASSERT_TRUE(kf.ok());
+  const MailId keep = Id();
+  ASSERT_TRUE(kf->Append({Id(), 0, 0}).ok());
+  ASSERT_TRUE(kf->Append({keep, 10, 1}).ok());
+  ASSERT_TRUE(kf->Rewrite(path, {{keep, 20, 1}}).ok());
+  EXPECT_EQ(kf->size(), 1u);
+  auto reloaded = KeyFile::Open(path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->size(), 1u);
+  EXPECT_EQ(reloaded->at(0).id, keep);
+  EXPECT_EQ(reloaded->at(0).offset, 20);
+}
+
+TEST_F(RecordIoTest, DataFileAppendReadRoundTrip) {
+  auto df = DataFile::Open(dir_ + "/box.dat");
+  ASSERT_TRUE(df.ok());
+  auto off1 = df->Append("first mail body");
+  ASSERT_TRUE(off1.ok());
+  auto off2 = df->Append("second, longer mail body with more text");
+  ASSERT_TRUE(off2.ok());
+  EXPECT_GT(*off2, *off1);
+  auto r1 = df->ReadAt(*off1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, "first mail body");
+  auto r2 = df->ReadAt(*off2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, "second, longer mail body with more text");
+}
+
+TEST_F(RecordIoTest, DataFileEmptyPayload) {
+  auto df = DataFile::Open(dir_ + "/box.dat");
+  ASSERT_TRUE(df.ok());
+  auto off = df->Append("");
+  ASSERT_TRUE(off.ok());
+  auto r = df->ReadAt(*off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "");
+}
+
+TEST_F(RecordIoTest, DataFilePersistsAcrossReopen) {
+  const std::string path = dir_ + "/box.dat";
+  std::int64_t off;
+  {
+    auto df = DataFile::Open(path);
+    ASSERT_TRUE(df.ok());
+    auto r = df->Append("durable payload");
+    ASSERT_TRUE(r.ok());
+    off = *r;
+  }
+  auto df = DataFile::Open(path);
+  ASSERT_TRUE(df.ok());
+  auto r = df->ReadAt(off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "durable payload");
+}
+
+TEST_F(RecordIoTest, DataFileRejectsBadOffsets) {
+  auto df = DataFile::Open(dir_ + "/box.dat");
+  ASSERT_TRUE(df.ok());
+  ASSERT_TRUE(df->Append("x").ok());
+  EXPECT_FALSE(df->ReadAt(-1).ok());
+  EXPECT_FALSE(df->ReadAt(df->end_offset()).ok());
+  EXPECT_FALSE(df->ReadAt(1).ok());  // mid-record: length looks corrupt
+}
+
+TEST_F(RecordIoTest, DataFileRewriteReturnsNewOffsets) {
+  const std::string path = dir_ + "/box.dat";
+  auto df = DataFile::Open(path);
+  ASSERT_TRUE(df.ok());
+  ASSERT_TRUE(df->Append("junk to drop").ok());
+  ASSERT_TRUE(df->Append("keep me").ok());
+  auto offsets = df->Rewrite(path, {"keep me"});
+  ASSERT_TRUE(offsets.ok());
+  ASSERT_EQ(offsets->size(), 1u);
+  auto r = df->ReadAt((*offsets)[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "keep me");
+  EXPECT_LT(df->end_offset(), 30);
+}
+
+TEST_F(RecordIoTest, LargePayloadRoundTrip) {
+  auto df = DataFile::Open(dir_ + "/box.dat");
+  ASSERT_TRUE(df.ok());
+  std::string big(1 << 20, 'M');
+  for (std::size_t i = 0; i < big.size(); i += 7919) big[i] = 'x';
+  auto off = df->Append(big);
+  ASSERT_TRUE(off.ok());
+  auto r = df->ReadAt(*off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, big);
+}
+
+}  // namespace
+}  // namespace sams::mfs

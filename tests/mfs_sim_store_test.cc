@@ -1,0 +1,161 @@
+#include "mfs/sim_store.h"
+
+#include <gtest/gtest.h>
+
+#include "fskit/fs_model.h"
+#include "sim/disk.h"
+#include "sim/simulator.h"
+
+namespace sams::mfs {
+namespace {
+
+using util::SimTime;
+
+struct Rig {
+  explicit Rig(const fskit::FsModel& model)
+      : disk(sim, DiskCfg()), fs(disk, model) {}
+
+  static sim::DiskConfig DiskCfg() {
+    sim::DiskConfig cfg;
+    cfg.commit_base = SimTime::Millis(5);
+    cfg.write_mb_per_sec = 50.0;
+    return cfg;
+  }
+
+  // Delivers `mails` mails sequentially and returns total sim time.
+  SimTime RunSequential(SimMailStore& store, int mails, std::uint64_t bytes,
+                        int nrcpts) {
+    for (int i = 0; i < mails; ++i) {
+      bool done = false;
+      store.Deliver(bytes, nrcpts, [&] { done = true; });
+      sim.Run();
+      EXPECT_TRUE(done);
+    }
+    return sim.Now();
+  }
+
+  sim::Simulator sim;
+  sim::Disk disk;
+  fskit::SimFs fs;
+};
+
+TEST(SimStoreTest, FactoryKnowsAllLayouts) {
+  fskit::Ext3Model model;
+  sim::Simulator sim;
+  sim::Disk disk(sim, {});
+  fskit::SimFs fs(disk, model);
+  for (const char* layout : {"mbox", "maildir", "hardlink", "mfs"}) {
+    auto store = MakeSimStore(layout, fs);
+    ASSERT_NE(store, nullptr) << layout;
+    EXPECT_EQ(store->name(), layout);
+  }
+  EXPECT_EQ(MakeSimStore("zfs", fs), nullptr);
+}
+
+TEST(SimStoreTest, MboxWritesBodyPerRecipient) {
+  fskit::Ext3Model model;
+  Rig rig(model);
+  SimMboxStore store(rig.fs);
+  bool done = false;
+  store.Deliver(8000, 15, [&] { done = true; });
+  rig.sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.fs.stats().appends, 15u);
+  EXPECT_EQ(rig.fs.stats().logical_bytes, 15u * 8000u);
+  EXPECT_EQ(rig.fs.stats().files_created, 0u);
+}
+
+TEST(SimStoreTest, MfsWritesBodyOnce) {
+  fskit::Ext3Model model;
+  Rig rig(model);
+  SimMfsStore store(rig.fs);
+  store.Deliver(8000, 15, nullptr);
+  rig.sim.Run();
+  // One body append + 1 shared key tuple + 15 redirects.
+  EXPECT_EQ(rig.fs.stats().appends, 17u);
+  EXPECT_LT(rig.fs.stats().logical_bytes, 8000u + 17u * 44u + 1);
+}
+
+TEST(SimStoreTest, MaildirCreatesFilePerRecipient) {
+  fskit::Ext3Model model;
+  Rig rig(model);
+  SimMaildirStore store(rig.fs);
+  store.Deliver(8000, 15, nullptr);
+  rig.sim.Run();
+  EXPECT_EQ(rig.fs.stats().files_created, 15u);
+  EXPECT_EQ(rig.fs.stats().renames, 15u);
+}
+
+TEST(SimStoreTest, HardlinkCreatesOnceLinksN) {
+  fskit::Ext3Model model;
+  Rig rig(model);
+  SimHardlinkStore store(rig.fs);
+  store.Deliver(8000, 15, nullptr);
+  rig.sim.Run();
+  EXPECT_EQ(rig.fs.stats().files_created, 1u);
+  EXPECT_EQ(rig.fs.stats().hard_links, 15u);
+  EXPECT_EQ(rig.fs.stats().deletes, 1u);
+}
+
+// The Figure 10 ordering on Ext3: MFS > mbox > hardlink ~ maildir.
+TEST(SimStoreOrderingTest, Ext3At15Recipients) {
+  fskit::Ext3Model model;
+  std::map<std::string, double> elapsed;
+  for (const char* layout : {"mbox", "maildir", "hardlink", "mfs"}) {
+    Rig rig(model);
+    auto store = MakeSimStore(layout, rig.fs);
+    elapsed[layout] =
+        rig.RunSequential(*store, 50, 8000, 15).seconds();
+  }
+  EXPECT_LT(elapsed["mfs"], elapsed["mbox"]);
+  EXPECT_LT(elapsed["mbox"], elapsed["hardlink"]);
+  EXPECT_LT(elapsed["mbox"], elapsed["maildir"]);
+}
+
+// The Figure 11 change on Reiser: hardlink recovers dramatically
+// (cheap links/creates) while MFS stays fastest.
+TEST(SimStoreOrderingTest, ReiserHardlinkRecovers) {
+  fskit::Ext3Model ext3;
+  fskit::ReiserModel reiser;
+  double hardlink_ext3, hardlink_reiser, mfs_reiser, maildir_reiser;
+  {
+    Rig rig(ext3);
+    SimHardlinkStore store(rig.fs);
+    hardlink_ext3 = rig.RunSequential(store, 50, 8000, 15).seconds();
+  }
+  {
+    Rig rig(reiser);
+    SimHardlinkStore store(rig.fs);
+    hardlink_reiser = rig.RunSequential(store, 50, 8000, 15).seconds();
+  }
+  {
+    Rig rig(reiser);
+    SimMfsStore store(rig.fs);
+    mfs_reiser = rig.RunSequential(store, 50, 8000, 15).seconds();
+  }
+  {
+    Rig rig(reiser);
+    SimMaildirStore store(rig.fs);
+    maildir_reiser = rig.RunSequential(store, 50, 8000, 15).seconds();
+  }
+  EXPECT_LT(hardlink_reiser, hardlink_ext3 / 2);  // "improves significantly"
+  EXPECT_LT(mfs_reiser, hardlink_reiser);          // MFS still wins
+  EXPECT_GT(maildir_reiser, mfs_reiser * 2);       // maildir still worst
+}
+
+TEST(SimStoreTest, GroupCommitBatchesConcurrentDeliveries) {
+  fskit::Ext3Model model;
+  Rig rig(model);
+  SimMboxStore store(rig.fs);
+  int done = 0;
+  // 20 deliveries issued at the same instant: group commit should
+  // complete them in ~1 commit, far faster than 20 sequential ones.
+  for (int i = 0; i < 20; ++i) store.Deliver(5000, 1, [&] { ++done; });
+  rig.sim.Run();
+  EXPECT_EQ(done, 20);
+  EXPECT_LT(rig.sim.Now().millis(), 20.0);  // not 20 * commit_base
+  EXPECT_EQ(store.mails_delivered(), 20u);
+}
+
+}  // namespace
+}  // namespace sams::mfs

@@ -1,0 +1,233 @@
+#include "mfs/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/rng.h"
+
+namespace sams::mfs {
+namespace {
+
+// Parameterized over the four store layouts: every backend must agree
+// on observable mailbox contents; they differ only in I/O shape.
+using StoreFactory =
+    util::Result<std::unique_ptr<MailStore>> (*)(const std::string&, StoreOptions);
+
+struct StoreParam {
+  const char* label;
+  StoreFactory factory;
+};
+
+class StoreTest : public ::testing::TestWithParam<StoreParam> {
+ protected:
+  void SetUp() override {
+    std::string tag = std::string(GetParam().label) + "_" +
+                      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : tag) {
+      if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    root_ = ::testing::TempDir() + "/mfs_store_" + tag;
+    std::filesystem::remove_all(root_);
+    auto store = GetParam().factory(root_, StoreOptions{});
+    ASSERT_TRUE(store.ok()) << store.error().ToString();
+    store_ = std::move(store).value();
+  }
+  void TearDown() override {
+    store_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  MailId Id() { return MailId::Generate(rng_); }
+
+  std::string root_;
+  std::unique_ptr<MailStore> store_;
+  util::Rng rng_{23};
+};
+
+TEST_P(StoreTest, SingleRecipientDeliveryReadsBack) {
+  const std::string boxes[] = {"alice"};
+  ASSERT_TRUE(store_->Deliver(Id(), "hello world\n", boxes).ok());
+  auto mails = store_->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok()) << mails.error().ToString();
+  ASSERT_EQ(mails->size(), 1u);
+  EXPECT_EQ((*mails)[0], "hello world\n");
+}
+
+TEST_P(StoreTest, MultiRecipientAllReceive) {
+  const std::string boxes[] = {"alice", "bob", "carol"};
+  const std::string body = "V1AGRA CHEAP\n";
+  ASSERT_TRUE(store_->Deliver(Id(), body, boxes).ok());
+  for (const auto& box : boxes) {
+    auto mails = store_->ReadMailbox(box);
+    ASSERT_TRUE(mails.ok()) << box << ": " << mails.error().ToString();
+    ASSERT_EQ(mails->size(), 1u) << box;
+    EXPECT_EQ((*mails)[0], body) << box;
+  }
+  EXPECT_EQ(store_->stats().mails_delivered, 1u);
+  EXPECT_EQ(store_->stats().mailbox_deliveries, 3u);
+}
+
+TEST_P(StoreTest, DeliveryOrderPreserved) {
+  const std::string boxes[] = {"alice"};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        store_->Deliver(Id(), "mail number " + std::to_string(i) + "\n", boxes)
+            .ok());
+  }
+  auto mails = store_->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*mails)[i], "mail number " + std::to_string(i) + "\n");
+  }
+}
+
+TEST_P(StoreTest, InterleavedSingleAndMulti) {
+  const std::string all[] = {"alice", "bob"};
+  const std::string only_a[] = {"alice"};
+  ASSERT_TRUE(store_->Deliver(Id(), "to both 1\n", all).ok());
+  ASSERT_TRUE(store_->Deliver(Id(), "only alice\n", only_a).ok());
+  ASSERT_TRUE(store_->Deliver(Id(), "to both 2\n", all).ok());
+  auto alice = store_->ReadMailbox("alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_EQ(alice->size(), 3u);
+  EXPECT_EQ((*alice)[0], "to both 1\n");
+  EXPECT_EQ((*alice)[1], "only alice\n");
+  EXPECT_EQ((*alice)[2], "to both 2\n");
+  auto bob = store_->ReadMailbox("bob");
+  ASSERT_TRUE(bob.ok());
+  ASSERT_EQ(bob->size(), 2u);
+}
+
+TEST_P(StoreTest, EmptyRecipientsRejected) {
+  EXPECT_EQ(store_->Deliver(Id(), "x", {}).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_P(StoreTest, BinaryBodySurvives) {
+  std::string body;
+  for (int i = 1; i < 256; ++i) {
+    if (i == '\n') continue;
+    body.push_back(static_cast<char>(i));
+  }
+  body.push_back('\n');
+  const std::string boxes[] = {"alice"};
+  ASSERT_TRUE(store_->Deliver(Id(), body, boxes).ok());
+  auto mails = store_->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 1u);
+  EXPECT_EQ((*mails)[0], body);
+}
+
+TEST_P(StoreTest, LargeBodyRoundTrip) {
+  std::string body(512 * 1024, 'L');
+  body += "\n";
+  const std::string boxes[] = {"alice", "bob"};
+  ASSERT_TRUE(store_->Deliver(Id(), body, boxes).ok());
+  auto mails = store_->ReadMailbox("bob");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 1u);
+  EXPECT_EQ((*mails)[0].size(), body.size());
+  EXPECT_EQ((*mails)[0], body);
+}
+
+TEST_P(StoreTest, SyncSucceeds) {
+  const std::string boxes[] = {"alice"};
+  ASSERT_TRUE(store_->Deliver(Id(), "durable\n", boxes).ok());
+  EXPECT_TRUE(store_->Sync().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, StoreTest,
+    ::testing::Values(StoreParam{"mbox", &MakeMboxStore},
+                      StoreParam{"maildir", &MakeMaildirStore},
+                      StoreParam{"hardlink", &MakeHardlinkMaildirStore},
+                      StoreParam{"mfs", &MakeMfsStore}),
+    [](const ::testing::TestParamInfo<StoreParam>& info) {
+      return info.param.label;
+    });
+
+// Layout-specific I/O shape assertions: the whole point of MFS is that
+// a 15-recipient mail is written once, not 15 times (§6.3).
+TEST(StoreIoShapeTest, MfsWritesSingleCopyMboxWritesN) {
+  const std::string base = ::testing::TempDir() + "/mfs_ioshape";
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  util::Rng rng(3);
+  auto mbox = MakeMboxStore(base + "/mbox", {});
+  auto mfs = MakeMfsStore(base + "/mfs", {});
+  ASSERT_TRUE(mbox.ok());
+  ASSERT_TRUE(mfs.ok());
+
+  std::vector<std::string> boxes;
+  for (int i = 0; i < 15; ++i) boxes.push_back("user" + std::to_string(i));
+  const std::string body(10000, 'S');
+  ASSERT_TRUE((*mbox)->Deliver(MailId::Generate(rng), body, boxes).ok());
+  ASSERT_TRUE((*mfs)->Deliver(MailId::Generate(rng), body, boxes).ok());
+
+  // mbox wrote ~15x the body; MFS wrote ~1x.
+  EXPECT_GE((*mbox)->stats().bytes_written, 15 * body.size());
+  EXPECT_LT((*mfs)->stats().bytes_written, 2 * body.size());
+  std::filesystem::remove_all(base);
+}
+
+TEST(StoreIoShapeTest, HardlinkCreatesOneFilePerMail) {
+  const std::string base = ::testing::TempDir() + "/mfs_linkshape";
+  std::filesystem::remove_all(base);
+  util::Rng rng(5);
+  auto hardlink = MakeHardlinkMaildirStore(base, {});
+  ASSERT_TRUE(hardlink.ok());
+  std::vector<std::string> boxes = {"a", "b", "c", "d", "e"};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*hardlink)->Deliver(MailId::Generate(rng), "body\n", boxes).ok());
+  }
+  EXPECT_EQ((*hardlink)->stats().files_created, 4u);
+  EXPECT_EQ((*hardlink)->stats().hard_links, 20u);
+  std::filesystem::remove_all(base);
+}
+
+TEST(StoreIoShapeTest, MaildirCreatesOneFilePerRecipient) {
+  const std::string base = ::testing::TempDir() + "/mfs_maildirshape";
+  std::filesystem::remove_all(base);
+  util::Rng rng(5);
+  auto maildir = MakeMaildirStore(base, {});
+  ASSERT_TRUE(maildir.ok());
+  std::vector<std::string> boxes = {"a", "b", "c"};
+  ASSERT_TRUE((*maildir)->Deliver(MailId::Generate(rng), "body\n", boxes).ok());
+  EXPECT_EQ((*maildir)->stats().files_created, 3u);
+  std::filesystem::remove_all(base);
+}
+
+TEST(MboxQuotingTest, FromLinesQuotedAndRestored) {
+  const std::string base = ::testing::TempDir() + "/mfs_mboxquote";
+  std::filesystem::remove_all(base);
+  util::Rng rng(9);
+  auto store = MakeMboxStore(base, {});
+  ASSERT_TRUE(store.ok());
+  const std::string body = "line one\nFrom me to you\nlast\n";
+  const std::string boxes[] = {"alice"};
+  ASSERT_TRUE((*store)->Deliver(MailId::Generate(rng), body, boxes).ok());
+  auto mails = (*store)->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 1u);
+  EXPECT_EQ((*mails)[0], body);
+  std::filesystem::remove_all(base);
+}
+
+TEST(StoreOptionsTest, FsyncEachMailCountsFsyncs) {
+  const std::string base = ::testing::TempDir() + "/mfs_fsyncopt";
+  std::filesystem::remove_all(base);
+  util::Rng rng(13);
+  StoreOptions opts;
+  opts.fsync_each_mail = true;
+  auto store = MakeMaildirStore(base, opts);
+  ASSERT_TRUE(store.ok());
+  const std::string boxes[] = {"alice", "bob"};
+  ASSERT_TRUE((*store)->Deliver(MailId::Generate(rng), "x\n", boxes).ok());
+  EXPECT_EQ((*store)->stats().fsyncs, 2u);
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
+}  // namespace sams::mfs

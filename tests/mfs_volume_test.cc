@@ -1,0 +1,417 @@
+#include "mfs/volume.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace sams::mfs {
+namespace {
+
+class VolumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/mfs_vol_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : root_) {
+      if (c == '/') c = '_';
+    }
+    std::filesystem::remove_all(root_);
+    auto vol = MfsVolume::Open(root_);
+    ASSERT_TRUE(vol.ok()) << vol.error().ToString();
+    vol_ = std::move(vol).value();
+  }
+  void TearDown() override {
+    vol_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  MailId Id() { return MailId::Generate(rng_); }
+
+  std::unique_ptr<MailFile> Box(const std::string& name) {
+    auto h = vol_->MailOpen(name);
+    EXPECT_TRUE(h.ok()) << h.error().ToString();
+    return std::move(h).value();
+  }
+
+  util::Error Write(std::vector<MailFile*> boxes, std::string_view body,
+                    const MailId& id) {
+    return vol_->MailNWrite(boxes, body, id);
+  }
+
+  std::vector<std::string> ReadAll(const std::string& name) {
+    auto h = Box(name);
+    std::vector<std::string> out;
+    for (;;) {
+      auto r = vol_->MailRead(*h);
+      if (!r.ok()) break;
+      out.push_back(r->body);
+    }
+    return out;
+  }
+
+  std::string root_;
+  std::unique_ptr<MfsVolume> vol_;
+  util::Rng rng_{7};
+};
+
+TEST_F(VolumeTest, SingleRecipientWriteAndRead) {
+  auto alice = Box("alice");
+  const MailId id = Id();
+  ASSERT_TRUE(Write({alice.get()}, "hello alice", id).ok());
+  auto r = vol_->MailRead(*alice);
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(r->body, "hello alice");
+  EXPECT_EQ(r->id, id);
+  EXPECT_FALSE(r->shared);
+  EXPECT_EQ(vol_->stats().private_writes, 1u);
+  EXPECT_EQ(vol_->stats().shared_writes, 0u);
+}
+
+TEST_F(VolumeTest, ReadPastEndIsOutOfRange) {
+  auto alice = Box("alice");
+  auto r = vol_->MailRead(*alice);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), util::ErrorCode::kOutOfRange);
+}
+
+TEST_F(VolumeTest, MultiRecipientStoresSingleCopy) {
+  auto a = Box("alice"), b = Box("bob"), c = Box("carol");
+  const MailId id = Id();
+  const std::string body = "SPECIAL OFFER!!!";
+  ASSERT_TRUE(Write({a.get(), b.get(), c.get()}, body, id).ok());
+
+  for (auto* box : {a.get(), b.get(), c.get()}) {
+    auto r = vol_->MailRead(*box);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->body, body);
+    EXPECT_EQ(r->id, id);
+    EXPECT_TRUE(r->shared);
+  }
+  EXPECT_EQ(vol_->stats().shared_writes, 1u);
+  EXPECT_EQ(vol_->stats().redirects_written, 3u);
+  EXPECT_EQ(vol_->stats().bytes_deduplicated, body.size() * 2);
+
+  // Single copy on disk: shared.dat holds one body record.
+  const auto shared_size = std::filesystem::file_size(root_ + "/shared.dat");
+  EXPECT_EQ(shared_size, body.size() + 4);
+  // Private data files hold nothing.
+  EXPECT_EQ(std::filesystem::file_size(root_ + "/boxes/alice.dat"), 0u);
+}
+
+TEST_F(VolumeTest, MixOfPrivateAndSharedReadsInOrder) {
+  auto a = Box("alice");
+  auto b = Box("bob");
+  const MailId m1 = Id(), m2 = Id(), m3 = Id();
+  ASSERT_TRUE(Write({a.get()}, "private-1", m1).ok());
+  ASSERT_TRUE(Write({a.get(), b.get()}, "shared-2", m2).ok());
+  ASSERT_TRUE(Write({a.get()}, "private-3", m3).ok());
+  const auto mails = ReadAll("alice");
+  ASSERT_EQ(mails.size(), 3u);
+  EXPECT_EQ(mails[0], "private-1");
+  EXPECT_EQ(mails[1], "shared-2");
+  EXPECT_EQ(mails[2], "private-3");
+}
+
+TEST_F(VolumeTest, SeekSetCurEnd) {
+  auto a = Box("alice");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(Write({a.get()}, "mail-" + std::to_string(i), Id()).ok());
+  }
+  ASSERT_TRUE(vol_->MailSeek(*a, 3, Whence::kSet).ok());
+  auto r = vol_->MailRead(*a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "mail-3");
+  ASSERT_TRUE(vol_->MailSeek(*a, -2, Whence::kCur).ok());
+  r = vol_->MailRead(*a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "mail-2");
+  ASSERT_TRUE(vol_->MailSeek(*a, -1, Whence::kEnd).ok());
+  r = vol_->MailRead(*a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "mail-4");
+}
+
+TEST_F(VolumeTest, SeekOutOfBoundsRejected) {
+  auto a = Box("alice");
+  ASSERT_TRUE(Write({a.get()}, "only", Id()).ok());
+  EXPECT_FALSE(vol_->MailSeek(*a, 2, Whence::kSet).ok());
+  EXPECT_FALSE(vol_->MailSeek(*a, -1, Whence::kSet).ok());
+  EXPECT_TRUE(vol_->MailSeek(*a, 1, Whence::kSet).ok());  // == end: legal
+}
+
+TEST_F(VolumeTest, DeletePrivateMail) {
+  auto a = Box("alice");
+  const MailId id = Id();
+  ASSERT_TRUE(Write({a.get()}, "doomed", id).ok());
+  ASSERT_TRUE(Write({a.get()}, "survivor", Id()).ok());
+  ASSERT_TRUE(vol_->MailDelete(*a, id).ok());
+  const auto mails = ReadAll("alice");
+  ASSERT_EQ(mails.size(), 1u);
+  EXPECT_EQ(mails[0], "survivor");
+}
+
+TEST_F(VolumeTest, DeleteMissingMailIsNotFound) {
+  auto a = Box("alice");
+  EXPECT_EQ(vol_->MailDelete(*a, Id()).code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(VolumeTest, SharedRefcountDropsOnDelete) {
+  auto a = Box("alice"), b = Box("bob");
+  const MailId id = Id();
+  ASSERT_TRUE(Write({a.get(), b.get()}, "shared", id).ok());
+  ASSERT_TRUE(vol_->MailDelete(*a, id).ok());
+  // Bob still reads it.
+  auto r = vol_->MailRead(*b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "shared");
+  // Alice doesn't.
+  EXPECT_TRUE(ReadAll("alice").empty());
+  // Deleting the last reference tombstones the shared record.
+  ASSERT_TRUE(vol_->MailDelete(*b, id).ok());
+  auto fsck = vol_->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok()) << fsck->errors[0];
+  EXPECT_EQ(fsck->shared_records, 0u);
+}
+
+TEST_F(VolumeTest, CollidingSharedIdRejectedAsAttack) {
+  auto a = Box("alice"), b = Box("bob"), m = Box("mallory"), m2 = Box("mal2");
+  const MailId id = Id();
+  ASSERT_TRUE(Write({a.get(), b.get()}, "legit", id).ok());
+  // Mallory tries to nwrite junk with the same (guessed) id to reach
+  // the shared mail (§6.4).
+  const util::Error err = Write({m.get(), m2.get()}, "junk", id);
+  EXPECT_EQ(err.code(), util::ErrorCode::kAlreadyExists);
+  EXPECT_EQ(vol_->stats().collisions_rejected, 1u);
+  // The shared mail is untouched and mallory's mailbox is empty.
+  EXPECT_TRUE(ReadAll("mallory").empty());
+  auto r = vol_->MailRead(*a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "legit");
+}
+
+TEST_F(VolumeTest, DuplicateIdInSameMailboxRejected) {
+  auto a = Box("alice");
+  const MailId id = Id();
+  ASSERT_TRUE(Write({a.get()}, "one", id).ok());
+  EXPECT_EQ(Write({a.get()}, "two", id).code(),
+            util::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(VolumeTest, DuplicateRecipientHandleRejected) {
+  auto a1 = Box("alice"), a2 = Box("alice"), b = Box("bob");
+  EXPECT_EQ(Write({a1.get(), a2.get(), b.get()}, "x", Id()).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(VolumeTest, InvalidMailboxNamesRejected) {
+  EXPECT_FALSE(vol_->MailOpen("").ok());
+  EXPECT_FALSE(vol_->MailOpen("shared").ok());
+  EXPECT_FALSE(vol_->MailOpen("../etc/passwd").ok());
+  EXPECT_FALSE(vol_->MailOpen("a/b").ok());
+  EXPECT_FALSE(vol_->MailOpen("semi;colon").ok());
+  EXPECT_TRUE(vol_->MailOpen("alice.smith@dept-1_x+tag").ok());
+}
+
+TEST_F(VolumeTest, InvalidModeRejected) {
+  EXPECT_FALSE(vol_->MailOpen("alice", "a+").ok());
+  EXPECT_TRUE(vol_->MailOpen("alice", "r").ok());
+  EXPECT_TRUE(vol_->MailOpen("alice", "w").ok());
+}
+
+TEST_F(VolumeTest, PersistsAcrossReopen) {
+  const MailId shared_id = Id(), priv_id = Id();
+  {
+    auto a = Box("alice"), b = Box("bob");
+    ASSERT_TRUE(Write({a.get(), b.get()}, "shared body", shared_id).ok());
+    ASSERT_TRUE(Write({a.get()}, "private body", priv_id).ok());
+    ASSERT_TRUE(vol_->SyncAll().ok());
+  }
+  vol_.reset();
+  auto vol = MfsVolume::Open(root_);
+  ASSERT_TRUE(vol.ok());
+  vol_ = std::move(vol).value();
+  const auto alice = ReadAll("alice");
+  ASSERT_EQ(alice.size(), 2u);
+  EXPECT_EQ(alice[0], "shared body");
+  EXPECT_EQ(alice[1], "private body");
+  const auto bob = ReadAll("bob");
+  ASSERT_EQ(bob.size(), 1u);
+  EXPECT_EQ(bob[0], "shared body");
+}
+
+TEST_F(VolumeTest, MailCount) {
+  auto a = Box("alice"), b = Box("bob");
+  ASSERT_TRUE(Write({a.get()}, "1", Id()).ok());
+  const MailId id = Id();
+  ASSERT_TRUE(Write({a.get(), b.get()}, "2", id).ok());
+  auto count = vol_->MailCount("alice");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+  ASSERT_TRUE(vol_->MailDelete(*a, id).ok());
+  count = vol_->MailCount("alice");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+}
+
+TEST_F(VolumeTest, FsckCleanVolume) {
+  auto a = Box("alice"), b = Box("bob");
+  ASSERT_TRUE(Write({a.get()}, "p", Id()).ok());
+  ASSERT_TRUE(Write({a.get(), b.get()}, "s", Id()).ok());
+  auto report = vol_->Fsck();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->mailboxes, 2u);
+  EXPECT_EQ(report->live_records, 3u);
+  EXPECT_EQ(report->shared_records, 1u);
+}
+
+TEST_F(VolumeTest, CompactReclaimsDeletedMail) {
+  auto a = Box("alice"), b = Box("bob");
+  const MailId dead = Id(), alive = Id();
+  ASSERT_TRUE(Write({a.get(), b.get()}, std::string(10000, 'D'), dead).ok());
+  ASSERT_TRUE(Write({a.get(), b.get()}, "still here", alive).ok());
+  ASSERT_TRUE(vol_->MailDelete(*a, dead).ok());
+  ASSERT_TRUE(vol_->MailDelete(*b, dead).ok());
+
+  const auto before = std::filesystem::file_size(root_ + "/shared.dat");
+  auto cstats = vol_->Compact();
+  ASSERT_TRUE(cstats.ok()) << cstats.error().ToString();
+  EXPECT_EQ(cstats->shared_records_dropped, 1u);
+  EXPECT_GT(cstats->bytes_reclaimed, 9000u);
+  const auto after = std::filesystem::file_size(root_ + "/shared.dat");
+  EXPECT_LT(after, before);
+
+  // Surviving shared mail still reads correctly via patched redirects.
+  const auto alice = ReadAll("alice");
+  ASSERT_EQ(alice.size(), 1u);
+  EXPECT_EQ(alice[0], "still here");
+  auto fsck = vol_->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok()) << fsck->errors[0];
+}
+
+TEST_F(VolumeTest, CompactThenReopenStillConsistent) {
+  auto a = Box("alice");
+  const MailId d = Id();
+  ASSERT_TRUE(Write({a.get()}, "tombstone me", d).ok());
+  ASSERT_TRUE(Write({a.get()}, "keep", Id()).ok());
+  ASSERT_TRUE(vol_->MailDelete(*a, d).ok());
+  ASSERT_TRUE(vol_->Compact().ok());
+  vol_.reset();
+  auto vol = MfsVolume::Open(root_);
+  ASSERT_TRUE(vol.ok());
+  vol_ = std::move(vol).value();
+  const auto mails = ReadAll("alice");
+  ASSERT_EQ(mails.size(), 1u);
+  EXPECT_EQ(mails[0], "keep");
+}
+
+TEST_F(VolumeTest, EmptyBodyMailSupported) {
+  auto a = Box("alice");
+  ASSERT_TRUE(Write({a.get()}, "", Id()).ok());
+  const auto mails = ReadAll("alice");
+  ASSERT_EQ(mails.size(), 1u);
+  EXPECT_EQ(mails[0], "");
+}
+
+TEST_F(VolumeTest, NWriteValidatesArguments) {
+  auto a = Box("alice");
+  EXPECT_EQ(Write({}, "x", Id()).code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(Write({a.get()}, "x", MailId()).code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(Write({nullptr}, "x", Id()).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+// Property test: a randomized interleaving of nwrite/delete across
+// several mailboxes must (a) keep a model-checker view consistent and
+// (b) pass Fsck at every checkpoint — including after compaction.
+class VolumePropertyTest : public VolumeTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(VolumePropertyTest, RandomizedWritesDeletesStayConsistent) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::vector<std::string> names = {"u0", "u1", "u2", "u3", "u4"};
+  std::vector<std::unique_ptr<MailFile>> handles;
+  for (const auto& n : names) handles.push_back(Box(n));
+
+  // Reference model: mailbox -> ordered list of (id, body).
+  std::map<std::string, std::vector<std::pair<MailId, std::string>>> model;
+  std::vector<std::pair<MailId, std::vector<std::string>>> live_ids;
+
+  for (int step = 0; step < 200; ++step) {
+    const bool do_delete = !live_ids.empty() && rng.Bernoulli(0.3);
+    if (do_delete) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.UniformInt(0, live_ids.size() - 1));
+      auto [id, members] = live_ids[pick];
+      // Delete from one (random) member mailbox.
+      const std::size_t mi =
+          static_cast<std::size_t>(rng.UniformInt(0, members.size() - 1));
+      const std::string& box = members[mi];
+      const std::size_t box_idx =
+          std::find(names.begin(), names.end(), box) - names.begin();
+      ASSERT_TRUE(vol_->MailDelete(*handles[box_idx], id).ok());
+      auto& mails = model[box];
+      mails.erase(std::find_if(mails.begin(), mails.end(),
+                               [&](const auto& p) { return p.first == id; }));
+      live_ids[pick].second.erase(live_ids[pick].second.begin() + mi);
+      if (live_ids[pick].second.empty()) {
+        live_ids.erase(live_ids.begin() + pick);
+      }
+    } else {
+      const int nrcpt = static_cast<int>(rng.UniformInt(1, 4));
+      std::set<std::size_t> picked;
+      while (static_cast<int>(picked.size()) < nrcpt) {
+        picked.insert(static_cast<std::size_t>(
+            rng.UniformInt(0, names.size() - 1)));
+      }
+      const MailId id = MailId::Generate(rng);
+      const std::string body =
+          "body-" + id.str().substr(0, 8) + "-" +
+          std::string(static_cast<std::size_t>(rng.UniformInt(0, 2000)), 'x');
+      std::vector<MailFile*> boxes;
+      std::vector<std::string> members;
+      for (std::size_t i : picked) {
+        boxes.push_back(handles[i].get());
+        members.push_back(names[i]);
+      }
+      ASSERT_TRUE(vol_->MailNWrite(boxes, body, id).ok());
+      for (const auto& box : members) model[box].emplace_back(id, body);
+      live_ids.emplace_back(id, members);
+    }
+
+    if (step % 50 == 49) {
+      auto fsck = vol_->Fsck();
+      ASSERT_TRUE(fsck.ok());
+      ASSERT_TRUE(fsck->ok()) << "step " << step << ": " << fsck->errors[0];
+    }
+  }
+
+  // Occasionally compact, then verify every mailbox matches the model.
+  if (GetParam() % 2 == 0) {
+    ASSERT_TRUE(vol_->Compact().ok());
+  }
+  for (const auto& name : names) {
+    const auto got = ReadAll(name);
+    const auto& want = model[name];
+    ASSERT_EQ(got.size(), want.size()) << "mailbox " << name;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i].second) << "mailbox " << name << " mail " << i;
+    }
+  }
+  auto fsck = vol_->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok()) << fsck->errors[0];
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VolumePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sams::mfs

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "fskit/fs_model.h"
+#include "mta/drivers.h"
+#include "mta/sim_server.h"
+#include "trace/synthetic.h"
+
+namespace sams::mta {
+namespace {
+
+using trace::SessionKind;
+using trace::SessionSpec;
+using util::SimTime;
+
+// A self-contained rig: machine + ext3 mbox store + server.
+struct Rig {
+  explicit Rig(SimServerConfig cfg, dnsbl::Resolver* resolver = nullptr)
+      : fs(machine.disk(), ext3),
+        store(fs),
+        server(machine, cfg, store, resolver) {}
+
+  sim::Machine machine;
+  fskit::Ext3Model ext3;
+  fskit::SimFs fs;
+  mfs::SimMboxStore store;
+  SimMailServer server;
+};
+
+SessionSpec NormalSession(std::uint32_t size = 8'000, int rcpts = 1) {
+  SessionSpec spec;
+  spec.client_ip = util::Ipv4(1, 2, 3, 4);
+  spec.kind = SessionKind::kNormal;
+  spec.size_bytes = size;
+  spec.n_rcpts = static_cast<std::uint16_t>(rcpts);
+  spec.n_valid_rcpts = spec.n_rcpts;
+  return spec;
+}
+
+SessionSpec BounceSession(int rcpts = 2) {
+  SessionSpec spec;
+  spec.client_ip = util::Ipv4(5, 6, 7, 8);
+  spec.kind = SessionKind::kBounce;
+  spec.n_rcpts = static_cast<std::uint16_t>(rcpts);
+  spec.n_valid_rcpts = 0;
+  return spec;
+}
+
+SessionSpec UnfinishedSession() {
+  SessionSpec spec;
+  spec.client_ip = util::Ipv4(9, 9, 9, 9);
+  spec.kind = SessionKind::kUnfinished;
+  spec.n_rcpts = 0;
+  spec.n_valid_rcpts = 0;
+  return spec;
+}
+
+TEST(SimServerTest, VanillaDeliversNormalSession) {
+  Rig rig(SimServerConfig{});
+  bool delivered = false;
+  rig.server.Connect(NormalSession(), [&](bool d) { delivered = d; });
+  rig.machine.sim().Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 1u);
+  EXPECT_EQ(rig.server.metrics().connections_closed, 1u);
+  EXPECT_EQ(rig.server.metrics().forks, 1u);
+  EXPECT_EQ(rig.store.mails_delivered(), 1u);
+  // Session time: ~7 round trips at 30 ms + processing.
+  EXPECT_GT(rig.machine.sim().Now().millis(), 180.0);
+  EXPECT_LT(rig.machine.sim().Now().millis(), 400.0);
+}
+
+TEST(SimServerTest, BounceSessionDeliversNothing) {
+  Rig rig(SimServerConfig{});
+  bool delivered = true;
+  rig.server.Connect(BounceSession(), [&](bool d) { delivered = d; });
+  rig.machine.sim().Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 0u);
+  EXPECT_EQ(rig.server.metrics().bounce_sessions, 1u);
+  EXPECT_EQ(rig.store.mails_delivered(), 0u);
+}
+
+TEST(SimServerTest, UnfinishedSessionHoldsForConfiguredTime) {
+  SimServerConfig cfg;
+  cfg.unfinished_hold = SimTime::Seconds(5);
+  Rig rig(cfg);
+  rig.server.Connect(UnfinishedSession(), nullptr);
+  rig.machine.sim().Run();
+  EXPECT_GT(rig.machine.sim().Now().seconds(), 5.0);
+  EXPECT_EQ(rig.server.metrics().unfinished_sessions, 1u);
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 0u);
+}
+
+TEST(SimServerTest, VanillaRecyclesProcesses) {
+  SimServerConfig cfg;
+  cfg.process_limit = 4;
+  Rig rig(cfg);
+  int closed = 0;
+  for (int i = 0; i < 10; ++i) {
+    rig.server.Connect(NormalSession(), [&](bool) { ++closed; });
+  }
+  rig.machine.sim().Run();
+  EXPECT_EQ(closed, 10);
+  // Only `process_limit` forks ever happen; the rest recycle.
+  EXPECT_EQ(rig.server.metrics().forks, 4u);
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 10u);
+}
+
+TEST(SimServerTest, VanillaBacklogsBeyondProcessLimit) {
+  SimServerConfig cfg;
+  cfg.process_limit = 2;
+  Rig rig(cfg);
+  for (int i = 0; i < 6; ++i) rig.server.Connect(NormalSession(), nullptr);
+  rig.machine.sim().RunUntil(SimTime::Millis(100));
+  EXPECT_GT(rig.server.metrics().backlog_enqueued, 0u);
+  rig.machine.sim().Run();
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 6u);
+}
+
+TEST(SimServerTest, HybridDeliversAndDelegates) {
+  SimServerConfig cfg;
+  cfg.hybrid = true;
+  cfg.process_limit = 8;
+  Rig rig(cfg);
+  bool delivered = false;
+  rig.server.Connect(NormalSession(9'000, 3), [&](bool d) { delivered = d; });
+  rig.machine.sim().Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(rig.server.metrics().delegations, 1u);
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 1u);
+}
+
+TEST(SimServerTest, HybridHandlesBounceWithoutFork) {
+  SimServerConfig cfg;
+  cfg.hybrid = true;
+  Rig rig(cfg);
+  for (int i = 0; i < 20; ++i) rig.server.Connect(BounceSession(), nullptr);
+  rig.machine.sim().Run();
+  EXPECT_EQ(rig.server.metrics().bounce_sessions, 20u);
+  EXPECT_EQ(rig.server.metrics().forks, 0u);        // never left the master
+  EXPECT_EQ(rig.server.metrics().delegations, 0u);
+}
+
+TEST(SimServerTest, HybridBouncesCostFarFewerSwitchesThanVanilla) {
+  // §5.4: "the total number of context switches is reduced by close to
+  // a factor of two" under a bounce-heavy mix; for pure bounces the
+  // master handles everything in one process.
+  auto run_bounces = [](bool hybrid) {
+    SimServerConfig cfg;
+    cfg.hybrid = hybrid;
+    cfg.process_limit = 50;
+    Rig rig(cfg);
+    for (int i = 0; i < 100; ++i) rig.server.Connect(BounceSession(), nullptr);
+    rig.machine.sim().Run();
+    return rig.machine.cpu().stats().context_switches;
+  };
+  const auto vanilla = run_bounces(false);
+  const auto hybrid = run_bounces(true);
+  EXPECT_LT(hybrid * 3, vanilla);
+}
+
+TEST(SimServerTest, HybridMasterConnectionLimitBackpressure) {
+  SimServerConfig cfg;
+  cfg.hybrid = true;
+  cfg.master_connection_limit = 3;
+  cfg.unfinished_hold = SimTime::Seconds(2);
+  Rig rig(cfg);
+  for (int i = 0; i < 10; ++i) rig.server.Connect(UnfinishedSession(), nullptr);
+  rig.machine.sim().RunUntil(SimTime::Millis(500));
+  EXPECT_GT(rig.server.metrics().backlog_enqueued, 0u);
+  rig.machine.sim().Run();
+  EXPECT_EQ(rig.server.metrics().unfinished_sessions, 10u);
+}
+
+TEST(SimServerTest, BlacklistRejectionWhenEnabled) {
+  auto db = std::make_shared<dnsbl::BlacklistDb>();
+  db->Add(util::Ipv4(1, 2, 3, 4));
+  dnsbl::LatencyProfile quick{2.0, 0.1, 0.0, 100.0, 200.0};
+  dnsbl::DnsblServer list("bl.test", db, quick);
+  util::Rng rng(1);
+  dnsbl::Resolver resolver(dnsbl::CacheMode::kIpCache, {&list},
+                           SimTime::Hours(24), rng);
+  SimServerConfig cfg;
+  cfg.reject_blacklisted = true;
+  Rig rig(cfg, &resolver);
+  bool delivered = true;
+  rig.server.Connect(NormalSession(), [&](bool d) { delivered = d; });
+  rig.machine.sim().Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(rig.server.metrics().blacklist_rejects, 1u);
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 0u);
+}
+
+TEST(SimServerTest, DnsblLatencyDelaysSession) {
+  auto db = std::make_shared<dnsbl::BlacklistDb>();
+  dnsbl::LatencyProfile slow{5.0, 0.01, 1.0, 400.0, 401.0};  // ~400 ms always
+  dnsbl::DnsblServer list("slow.test", db, slow);
+  util::Rng rng(1);
+  dnsbl::Resolver resolver(dnsbl::CacheMode::kNoCache, {&list},
+                           SimTime::Hours(24), rng);
+  Rig rig(SimServerConfig{}, &resolver);
+  rig.server.Connect(NormalSession(), nullptr);
+  rig.machine.sim().Run();
+  EXPECT_GT(rig.machine.sim().Now().millis(), 550.0);  // 400 DNS + dialog
+}
+
+TEST(SimServerTest, HybridDelegateQueueCarriesPendingRcpts) {
+  // Worker scarcity forces delegated sessions through the task queue;
+  // sessions handed off mid-RCPT must resume with their remaining
+  // RCPT commands intact (pending_rcpts plumbing).
+  SimServerConfig cfg;
+  cfg.hybrid = true;
+  cfg.process_limit = 1;  // single worker: everything queues
+  Rig rig(cfg);
+  int delivered = 0;
+  for (int i = 0; i < 12; ++i) {
+    rig.server.Connect(NormalSession(6'000, 5), [&](bool d) {
+      if (d) ++delivered;
+    });
+  }
+  rig.machine.sim().Run();
+  EXPECT_EQ(delivered, 12);
+  EXPECT_EQ(rig.server.metrics().mails_delivered, 12u);
+  EXPECT_EQ(rig.server.metrics().delegations, 12u);
+  EXPECT_EQ(rig.server.metrics().forks, 1u);
+}
+
+TEST(ClosedLoopTest, SteadyGoodputAndDeterminism) {
+  auto run = [] {
+    SimServerConfig cfg;
+    cfg.process_limit = 50;
+    Rig rig(cfg);
+    trace::BounceSweepConfig tcfg;
+    tcfg.n_sessions = 2'000;
+    tcfg.bounce_ratio = 0.0;
+    const auto sessions = trace::MakeBounceSweepTrace(tcfg);
+    return RunClosedLoop(rig.machine, rig.server, sessions, 40,
+                         SimTime::Seconds(5), SimTime::Seconds(20));
+  };
+  const LoadResult a = run();
+  const LoadResult b = run();
+  EXPECT_GT(a.goodput_mails_per_sec, 10.0);
+  EXPECT_EQ(a.mails_delivered, b.mails_delivered);  // deterministic
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_GT(a.cpu_utilization, 0.0);
+  EXPECT_LE(a.cpu_utilization, 1.0);
+}
+
+TEST(ClosedLoopTest, MoreConcurrencyMoreThroughputUntilSaturation) {
+  auto goodput = [](int concurrency) {
+    SimServerConfig cfg;
+    cfg.process_limit = 1'000;
+    Rig rig(cfg);
+    trace::BounceSweepConfig tcfg;
+    tcfg.n_sessions = 2'000;
+    const auto sessions = trace::MakeBounceSweepTrace(tcfg);
+    return RunClosedLoop(rig.machine, rig.server, sessions, concurrency,
+                         SimTime::Seconds(5), SimTime::Seconds(15))
+        .goodput_mails_per_sec;
+  };
+  const double g10 = goodput(10);
+  const double g80 = goodput(80);
+  EXPECT_GT(g80, g10 * 2);
+}
+
+TEST(OpenLoopTest, ThroughputTracksOfferedLoadWhenUnderutilized) {
+  SimServerConfig cfg;
+  cfg.process_limit = 200;
+  Rig rig(cfg);
+  trace::BounceSweepConfig tcfg;
+  tcfg.n_sessions = 2'000;
+  const auto sessions = trace::MakeBounceSweepTrace(tcfg);
+  util::Rng rng(77);
+  const LoadResult result =
+      RunOpenLoop(rig.machine, rig.server, sessions, 20.0,
+                  SimTime::Seconds(5), SimTime::Seconds(30), rng);
+  EXPECT_NEAR(result.sessions_per_sec, 20.0, 3.0);
+  EXPECT_NEAR(result.goodput_mails_per_sec, 20.0, 3.0);
+}
+
+TEST(OpenLoopTest, SaturationCapsThroughput) {
+  auto run = [](double rate) {
+    SimServerConfig cfg;
+    cfg.process_limit = 400;
+    Rig rig(cfg);
+    trace::BounceSweepConfig tcfg;
+    tcfg.n_sessions = 2'000;
+    const auto sessions = trace::MakeBounceSweepTrace(tcfg);
+    util::Rng rng(77);
+    return RunOpenLoop(rig.machine, rig.server, sessions, rate,
+                       SimTime::Seconds(5), SimTime::Seconds(20), rng);
+  };
+  const double low = run(50.0).goodput_mails_per_sec;
+  const double high = run(5'000.0).goodput_mails_per_sec;
+  EXPECT_NEAR(low, 50.0, 8.0);
+  // At 5000/s offered the CPU saturates well below the offered rate.
+  EXPECT_LT(high, 1'000.0);
+  EXPECT_GT(high, low);
+}
+
+}  // namespace
+}  // namespace sams::mta

@@ -1,0 +1,157 @@
+// Tests of the raw networking layer: TCP helpers and the epoll loop.
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "mta/recipient_db.h"
+#include "net/event_loop.h"
+#include "net/tcp.h"
+#include "util/fd.h"
+
+namespace sams::net {
+namespace {
+
+TEST(TcpTest, ListenConnectAcceptRoundTrip) {
+  auto listener = TcpListen(0);
+  ASSERT_TRUE(listener.ok()) << listener.error().ToString();
+  auto port = LocalPort(listener->get());
+  ASSERT_TRUE(port.ok());
+  ASSERT_GT(*port, 0);
+
+  std::thread client([port] {
+    auto fd = TcpConnect("127.0.0.1", *port);
+    ASSERT_TRUE(fd.ok());
+    const char msg[] = "ping";
+    ASSERT_TRUE(util::WriteAll(fd->get(), msg, 4).ok());
+    char buf[4];
+    ASSERT_TRUE(util::ReadAll(fd->get(), buf, 4).ok());
+    EXPECT_EQ(std::string(buf, 4), "pong");
+  });
+
+  auto accepted = TcpAccept(listener->get());
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->peer_ip, "127.0.0.1");
+  char buf[4];
+  ASSERT_TRUE(util::ReadAll(accepted->fd.get(), buf, 4).ok());
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  ASSERT_TRUE(util::WriteAll(accepted->fd.get(), "pong", 4).ok());
+  client.join();
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Bind-then-close to find a (very likely) dead port.
+  std::uint16_t dead_port;
+  {
+    auto listener = TcpListen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = *LocalPort(listener->get());
+  }
+  auto fd = TcpConnect("127.0.0.1", dead_port);
+  EXPECT_FALSE(fd.ok());
+}
+
+TEST(TcpTest, BadAddressRejected) {
+  auto fd = TcpConnect("not-an-ip", 25);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(TcpTest, RecvTimeoutFires) {
+  auto listener = TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  const auto port = *LocalPort(listener->get());
+  auto client = TcpConnect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  auto accepted = TcpAccept(listener->get());
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(SetRecvTimeout(client->get(), 100).ok());
+  char buf[1];
+  const ssize_t n = ::read(client->get(), buf, 1);  // nothing will arrive
+  EXPECT_LT(n, 0);
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+}
+
+TEST(EventLoopTest, DispatchesReadEvents) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok()) << loop.error().ToString();
+  auto pipe_pair = util::MakeSocketPair();
+  ASSERT_TRUE(pipe_pair.ok());
+
+  std::string received;
+  ASSERT_TRUE((*loop)
+                  ->Add(pipe_pair->first.get(), EPOLLIN,
+                        [&](std::uint32_t) {
+                          char buf[16];
+                          const ssize_t n =
+                              ::read(pipe_pair->first.get(), buf, sizeof(buf));
+                          if (n > 0) {
+                            received.assign(buf, static_cast<std::size_t>(n));
+                          }
+                          (*loop)->Stop();
+                        })
+                  .ok());
+
+  std::thread writer([&] {
+    const char msg[] = "hello";
+    (void)util::WriteAll(pipe_pair->second.get(), msg, 5);
+  });
+  ASSERT_TRUE((*loop)->Run().ok());
+  writer.join();
+  EXPECT_EQ(received, "hello");
+}
+
+TEST(EventLoopTest, StopFromAnotherThread) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    (*loop)->Stop();
+  });
+  EXPECT_TRUE((*loop)->Run().ok());  // returns once stopped
+  stopper.join();
+}
+
+TEST(EventLoopTest, RemoveStopsDispatch) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  auto pair = util::MakeSocketPair();
+  ASSERT_TRUE(pair.ok());
+  int calls = 0;
+  ASSERT_TRUE((*loop)
+                  ->Add(pair->first.get(), EPOLLIN,
+                        [&](std::uint32_t) {
+                          ++calls;
+                          char buf[16];
+                          (void)::read(pair->first.get(), buf, sizeof(buf));
+                          ASSERT_TRUE((*loop)->Remove(pair->first.get()).ok());
+                          (*loop)->Stop();
+                        })
+                  .ok());
+  EXPECT_EQ((*loop)->watched(), 1u);
+  (void)util::WriteAll(pair->second.get(), "x", 1);
+  ASSERT_TRUE((*loop)->Run().ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ((*loop)->watched(), 0u);
+}
+
+TEST(RecipientDbTest, ValidatesMailboxes) {
+  sams::mta::RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  ASSERT_TRUE(db.AddMailbox("bob@dept.test"));
+  EXPECT_FALSE(db.AddMailbox("not-an-address"));
+
+  EXPECT_TRUE(db.IsValid(*sams::smtp::Address::Parse("alice@dept.test")));
+  EXPECT_TRUE(db.IsValid(*sams::smtp::Address::Parse("ALICE@DEPT.TEST")));
+  EXPECT_TRUE(db.IsValid(*sams::smtp::Address::Parse("bob@dept.test")));
+  EXPECT_FALSE(db.IsValid(*sams::smtp::Address::Parse("ghost@dept.test")));
+  EXPECT_FALSE(db.IsValid(*sams::smtp::Address::Parse("alice@other.test")));
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.ServesDomain("dept.test"));
+  EXPECT_FALSE(db.ServesDomain("other.test"));
+}
+
+}  // namespace
+}  // namespace sams::net

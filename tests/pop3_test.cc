@@ -1,0 +1,298 @@
+// POP3 session + server tests, including the full mail loop:
+// SMTP delivery into MFS, POP3 retrieval, shared-mail refcounting on
+// DELE.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mta/smtp_server.h"
+#include "net/smtp_client.h"
+#include "net/tcp.h"
+#include "pop3/pop3_server.h"
+#include "pop3/pop3_session.h"
+#include "util/rng.h"
+
+namespace sams::pop3 {
+namespace {
+
+class Pop3SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tag = ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    for (char& c : tag) {
+      if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    root_ = ::testing::TempDir() + "/pop3_" + tag;
+    std::filesystem::remove_all(root_);
+    auto volume = mfs::MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    volume_ = std::move(volume).value();
+    credentials_["alice"] = "secret";
+    credentials_["bob"] = "hunter2";
+  }
+  void TearDown() override {
+    volume_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  void Deliver(const std::vector<std::string>& boxes, const std::string& body) {
+    std::vector<std::unique_ptr<mfs::MailFile>> handles;
+    std::vector<mfs::MailFile*> raw;
+    for (const auto& box : boxes) {
+      auto handle = volume_->MailOpen(box);
+      ASSERT_TRUE(handle.ok());
+      raw.push_back(handle->get());
+      handles.push_back(std::move(handle).value());
+    }
+    ASSERT_TRUE(
+        volume_->MailNWrite(raw, body, mfs::MailId::Generate(rng_)).ok());
+  }
+
+  Pop3Session MakeSession() {
+    Pop3Session::Hooks hooks;
+    hooks.send = [this](std::string bytes) { wire_ += bytes; };
+    return Pop3Session(*volume_, credentials_, std::move(hooks));
+  }
+
+  // Drains and returns accumulated output.
+  std::string Take() {
+    std::string out;
+    out.swap(wire_);
+    return out;
+  }
+
+  std::string root_;
+  std::unique_ptr<mfs::MfsVolume> volume_;
+  CredentialMap credentials_;
+  util::Rng rng_{101};
+  std::string wire_;
+};
+
+TEST_F(Pop3SessionTest, GreetingAndAuth) {
+  auto session = MakeSession();
+  session.Start();
+  EXPECT_EQ(Take().substr(0, 3), "+OK");
+  session.Feed("USER alice\r\n");
+  EXPECT_EQ(Take().substr(0, 3), "+OK");
+  session.Feed("PASS secret\r\n");
+  const std::string reply = Take();
+  EXPECT_EQ(reply.substr(0, 3), "+OK");
+  EXPECT_NE(reply.find("0 messages"), std::string::npos);
+  EXPECT_EQ(session.state(), Pop3State::kTransaction);
+}
+
+TEST_F(Pop3SessionTest, WrongPasswordRejected) {
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS wrong\r\n");
+  EXPECT_NE(Take().find("-ERR invalid credentials"), std::string::npos);
+  EXPECT_EQ(session.state(), Pop3State::kAuthorization);
+  // Can retry.
+  session.Feed("USER alice\r\nPASS secret\r\n");
+  EXPECT_EQ(session.state(), Pop3State::kTransaction);
+}
+
+TEST_F(Pop3SessionTest, PassWithoutUserRejected) {
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("PASS secret\r\n");
+  EXPECT_NE(Take().find("-ERR"), std::string::npos);
+}
+
+TEST_F(Pop3SessionTest, TransactionCommandsBeforeAuthRejected) {
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("STAT\r\n");
+  EXPECT_NE(Take().find("-ERR"), std::string::npos);
+}
+
+TEST_F(Pop3SessionTest, StatListRetr) {
+  Deliver({"alice"}, "first mail body");
+  Deliver({"alice"}, "second mail, longer body text");
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS secret\r\n");
+  Take();
+
+  session.Feed("STAT\r\n");
+  const std::string stat = Take();
+  EXPECT_EQ(stat.substr(0, 6), "+OK 2 ");
+
+  session.Feed("LIST\r\n");
+  const std::string list = Take();
+  EXPECT_NE(list.find("+OK 2 messages"), std::string::npos);
+  EXPECT_NE(list.find("1 15"), std::string::npos);
+  EXPECT_NE(list.find(".\r\n"), std::string::npos);
+
+  session.Feed("RETR 1\r\n");
+  const std::string retr = Take();
+  EXPECT_NE(retr.find("+OK 15 octets"), std::string::npos);
+  EXPECT_NE(retr.find("first mail body\r\n"), std::string::npos);
+  EXPECT_EQ(retr.substr(retr.size() - 3), ".\r\n");
+
+  session.Feed("LIST 2\r\n");
+  EXPECT_NE(Take().find("+OK 2 "), std::string::npos);
+}
+
+TEST_F(Pop3SessionTest, RetrByteStuffsDotLines) {
+  Deliver({"alice"}, ".hidden\nvisible\n");
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS secret\r\nRETR 1\r\n");
+  const std::string wire = Take();
+  EXPECT_NE(wire.find("..hidden\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("visible\r\n"), std::string::npos);
+}
+
+TEST_F(Pop3SessionTest, DeleQuitRemovesMail) {
+  Deliver({"alice"}, "doomed");
+  Deliver({"alice"}, "kept");
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS secret\r\nDELE 1\r\n");
+  EXPECT_NE(Take().find("+OK message 1 deleted"), std::string::npos);
+  EXPECT_EQ(session.deleted_count(), 1u);
+  session.Feed("QUIT\r\n");
+  EXPECT_EQ(session.state(), Pop3State::kClosed);
+
+  auto count = volume_->MailCount("alice");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+}
+
+TEST_F(Pop3SessionTest, RsetUndeletes) {
+  Deliver({"alice"}, "mail");
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS secret\r\nDELE 1\r\nRSET\r\nQUIT\r\n");
+  auto count = volume_->MailCount("alice");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);  // nothing deleted
+}
+
+TEST_F(Pop3SessionTest, DeletedMessageInaccessible) {
+  Deliver({"alice"}, "mail");
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS secret\r\nDELE 1\r\n");
+  Take();
+  session.Feed("RETR 1\r\n");
+  EXPECT_NE(Take().find("-ERR message deleted"), std::string::npos);
+  session.Feed("DELE 1\r\n");
+  EXPECT_NE(Take().find("-ERR message deleted"), std::string::npos);
+  session.Feed("STAT\r\n");
+  EXPECT_EQ(Take().substr(0, 6), "+OK 0 ");
+}
+
+TEST_F(Pop3SessionTest, BadMessageNumbers) {
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS secret\r\n");
+  Take();
+  for (const char* cmd : {"RETR 0", "RETR 5", "RETR x", "DELE -1", "LIST 9"}) {
+    session.Feed(std::string(cmd) + "\r\n");
+    EXPECT_NE(Take().find("-ERR"), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(Pop3SessionTest, SharedMailRefcountDropsOnPop3Delete) {
+  // A multi-recipient mail: alice deletes her copy over POP3; bob's
+  // copy survives; the shared record's refcount drops (fsck clean).
+  Deliver({"alice", "bob"}, "shared spam");
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("USER alice\r\nPASS secret\r\nDELE 1\r\nQUIT\r\n");
+  EXPECT_EQ(session.state(), Pop3State::kClosed);
+
+  EXPECT_EQ(*volume_->MailCount("alice"), 0u);
+  EXPECT_EQ(*volume_->MailCount("bob"), 1u);
+  auto fsck = volume_->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok()) << fsck->errors[0];
+
+  // Bob deletes too: the shared record becomes garbage, compaction
+  // reclaims it.
+  auto bob_session = [&] {
+    Pop3Session::Hooks hooks;
+    hooks.send = [this](std::string bytes) { wire_ += bytes; };
+    return Pop3Session(*volume_, credentials_, std::move(hooks));
+  }();
+  bob_session.Start();
+  bob_session.Feed("USER bob\r\nPASS hunter2\r\nDELE 1\r\nQUIT\r\n");
+  auto compacted = volume_->Compact();
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted->shared_records_dropped, 1u);
+}
+
+TEST_F(Pop3SessionTest, QuitBeforeAuthClosesCleanly) {
+  auto session = MakeSession();
+  session.Start();
+  session.Feed("QUIT\r\n");
+  EXPECT_EQ(session.state(), Pop3State::kClosed);
+  EXPECT_NE(Take().find("+OK"), std::string::npos);
+}
+
+// --- the full loop: SMTP in, POP3 out, over real TCP -------------------
+
+TEST(MailLoopTest, SmtpDeliverThenPop3Retrieve) {
+  const std::string root = ::testing::TempDir() + "/mail_loop";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMfsStore(root, {});
+  ASSERT_TRUE(store.ok());
+
+  // SMTP side.
+  mta::RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  db.AddMailbox("bob", "dept.test");
+  mta::RealServerConfig smtp_cfg;
+  smtp_cfg.architecture = mta::Architecture::kForkAfterTrust;
+  smtp_cfg.worker_count = 2;
+  smtp_cfg.recv_timeout_ms = 3'000;
+  mta::SmtpServer smtp_server(smtp_cfg, std::move(db), **store);
+  auto smtp_port = smtp_server.Start();
+  ASSERT_TRUE(smtp_port.ok());
+
+  smtp::MailJob job;
+  job.mail_from = *smtp::Path::Parse("<sender@remote.test>");
+  job.rcpts = {*smtp::Path::Parse("<alice@dept.test>"),
+               *smtp::Path::Parse("<bob@dept.test>")};
+  job.body = "Subject: loop\n\nround trip body\n";
+  auto sent = net::SendMail("127.0.0.1", *smtp_port, job);
+  ASSERT_TRUE(sent.ok()) << sent.error().ToString();
+  ASSERT_EQ(sent->outcome, smtp::ClientOutcome::kDelivered);
+  smtp_server.Stop();
+
+  // POP3 side, over the same volume directory.
+  auto volume = mfs::MfsVolume::Open(root);
+  ASSERT_TRUE(volume.ok());
+  CredentialMap creds{{"alice", "pw"}};
+  Pop3ServerConfig pop_cfg;
+  pop_cfg.recv_timeout_ms = 3'000;
+  Pop3Server pop_server(pop_cfg, **volume, creds);
+  auto pop_port = pop_server.Start();
+  ASSERT_TRUE(pop_port.ok());
+
+  auto fd = net::TcpConnect("127.0.0.1", *pop_port);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 3'000).ok());
+  const std::string dialog = "USER alice\r\nPASS pw\r\nRETR 1\r\nQUIT\r\n";
+  ASSERT_TRUE(util::WriteAll(fd->get(), dialog.data(), dialog.size()).ok());
+  std::string wire;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd->get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    wire.append(buf, static_cast<std::size_t>(n));
+    if (wire.find("signing off") != std::string::npos) break;
+  }
+  EXPECT_NE(wire.find("round trip body\r\n"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("maildrop has 1 messages"), std::string::npos);
+  pop_server.Stop();
+  EXPECT_EQ(pop_server.sessions_served(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace sams::pop3

@@ -1,0 +1,428 @@
+// End-to-end tests of the REAL SMTP server over loopback TCP, in both
+// concurrency architectures, delivering into real mail stores
+// (including MFS). This is the paper's system actually running.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+// Polls `predicate` until true or ~2 s elapse (cross-thread counters
+// may lag the client's view of the dialog by a scheduling quantum).
+bool EventuallyTrue(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 200; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+}  // namespace
+
+#include "mta/smtp_server.h"
+#include "net/smtp_client.h"
+
+namespace sams::mta {
+namespace {
+
+using smtp::AbortStage;
+using smtp::ClientOutcome;
+using smtp::MailJob;
+using smtp::Path;
+
+struct ServerParam {
+  const char* label;
+  Architecture architecture;
+};
+
+class RealServerTest : public ::testing::TestWithParam<ServerParam> {
+ protected:
+  void SetUp() override {
+    std::string tag = std::string(GetParam().label) + "_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    for (char& c : tag) {
+      if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    root_ = ::testing::TempDir() + "/real_srv_" + tag;
+    std::filesystem::remove_all(root_);
+    auto store = mfs::MakeMfsStore(root_, {});
+    ASSERT_TRUE(store.ok()) << store.error().ToString();
+    store_ = std::move(store).value();
+
+    RecipientDb db;
+    for (const char* user : {"alice", "bob", "carol", "dave"}) {
+      db.AddMailbox(user, "dept.test");
+    }
+
+    RealServerConfig cfg;
+    cfg.architecture = GetParam().architecture;
+    cfg.worker_count = 3;
+    cfg.recv_timeout_ms = 3'000;
+    server_ = std::make_unique<SmtpServer>(cfg, std::move(db), *store_);
+    auto port = server_->Start();
+    ASSERT_TRUE(port.ok()) << port.error().ToString();
+    port_ = *port;
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    server_.reset();
+    store_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  static MailJob Job(std::vector<std::string> rcpts, std::string body) {
+    MailJob job;
+    job.helo = "client.test";
+    job.mail_from = *Path::Parse("<sender@remote.test>");
+    for (const auto& rcpt : rcpts) {
+      job.rcpts.push_back(*Path::Parse("<" + rcpt + ">"));
+    }
+    job.body = std::move(body);
+    return job;
+  }
+
+  std::string root_;
+  std::unique_ptr<mfs::MailStore> store_;
+  std::unique_ptr<SmtpServer> server_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_P(RealServerTest, DeliversSingleRecipientMail) {
+  auto result = net::SendMail("127.0.0.1", port_,
+                              Job({"alice@dept.test"}, "hello over tcp\n"));
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, ClientOutcome::kDelivered);
+  EXPECT_EQ(result->accepted_rcpts, 1);
+
+  server_->Stop();  // flush
+  auto mails = store_->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 1u);
+  EXPECT_EQ((*mails)[0], "hello over tcp\r\n");
+  EXPECT_EQ(server_->stats().mails_delivered.load(), 1u);
+}
+
+TEST_P(RealServerTest, MultiRecipientSingleCopyInMfs) {
+  auto result = net::SendMail(
+      "127.0.0.1", port_,
+      Job({"alice@dept.test", "bob@dept.test", "carol@dept.test"},
+          "spam to many\n"));
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, ClientOutcome::kDelivered);
+  EXPECT_EQ(result->accepted_rcpts, 3);
+  server_->Stop();
+  for (const char* user : {"alice", "bob", "carol"}) {
+    auto mails = store_->ReadMailbox(user);
+    ASSERT_TRUE(mails.ok()) << user;
+    ASSERT_EQ(mails->size(), 1u) << user;
+    EXPECT_EQ((*mails)[0], "spam to many\r\n");
+  }
+  // The single-copy property on the wire-delivered mail.
+  EXPECT_LT(store_->stats().bytes_written, 2 * 14u);
+  EXPECT_EQ(server_->stats().mailbox_deliveries.load(), 3u);
+}
+
+TEST_P(RealServerTest, BounceGets550AndNoDelivery) {
+  auto result = net::SendMail("127.0.0.1", port_,
+                              Job({"ghost@dept.test", "phantom@dept.test"},
+                                  "undeliverable\n"));
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, ClientOutcome::kAllRejected);
+  EXPECT_EQ(result->rejected_rcpts, 2);
+  EXPECT_EQ(server_->stats().mails_delivered.load(), 0u);
+  EXPECT_EQ(server_->stats().rejected_rcpts.load(), 2u);
+}
+
+TEST_P(RealServerTest, ForeignDomainRejected) {
+  auto result = net::SendMail("127.0.0.1", port_,
+                              Job({"alice@elsewhere.test"}, "relay attempt\n"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ClientOutcome::kAllRejected);
+}
+
+TEST_P(RealServerTest, MixedRcptsDeliverToValidOnly) {
+  auto result = net::SendMail(
+      "127.0.0.1", port_,
+      Job({"ghost@dept.test", "alice@dept.test", "bob@dept.test"},
+          "partial\n"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ClientOutcome::kDelivered);
+  EXPECT_EQ(result->accepted_rcpts, 2);
+  EXPECT_EQ(result->rejected_rcpts, 1);
+  server_->Stop();
+  EXPECT_EQ(store_->ReadMailbox("alice")->size(), 1u);
+  EXPECT_EQ(store_->ReadMailbox("bob")->size(), 1u);
+  EXPECT_TRUE(store_->ReadMailbox("ghost").error().ok() ||
+              store_->ReadMailbox("ghost")->empty());
+}
+
+TEST_P(RealServerTest, UnfinishedSessionsCostNoDelivery) {
+  for (AbortStage stage : {AbortStage::kAfterBanner, AbortStage::kAfterHelo,
+                           AbortStage::kAfterMail}) {
+    auto result = net::SendMail("127.0.0.1", port_,
+                                Job({"alice@dept.test"}, "never sent\n"), stage);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->outcome, ClientOutcome::kAborted);
+  }
+  EXPECT_EQ(server_->stats().mails_delivered.load(), 0u);
+  EXPECT_EQ(server_->stats().connections.load(), 3u);
+}
+
+TEST_P(RealServerTest, ManySequentialMails) {
+  for (int i = 0; i < 20; ++i) {
+    auto result = net::SendMail(
+        "127.0.0.1", port_,
+        Job({"alice@dept.test"}, "mail number " + std::to_string(i) + "\n"));
+    ASSERT_TRUE(result.ok()) << i;
+    ASSERT_EQ(result->outcome, ClientOutcome::kDelivered) << i;
+  }
+  server_->Stop();
+  auto mails = store_->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 20u);
+  EXPECT_EQ((*mails)[7], "mail number 7\r\n");
+}
+
+TEST_P(RealServerTest, ConcurrentClients) {
+  constexpr int kClients = 12;
+  std::vector<std::thread> clients;
+  std::atomic<int> delivered{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([this, i, &delivered] {
+      const char* user = (i % 2 == 0) ? "alice@dept.test" : "bob@dept.test";
+      auto result = net::SendMail(
+          "127.0.0.1", port_,
+          Job({user, "carol@dept.test"},
+              "concurrent mail " + std::to_string(i) + "\n"));
+      if (result.ok() && result->outcome == ClientOutcome::kDelivered) {
+        delivered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(delivered.load(), kClients);
+  server_->Stop();
+  auto carol = store_->ReadMailbox("carol");
+  ASSERT_TRUE(carol.ok());
+  EXPECT_EQ(carol->size(), static_cast<std::size_t>(kClients));
+}
+
+TEST_P(RealServerTest, LargeBodySurvivesTransport) {
+  std::string body;
+  for (int i = 0; i < 2'000; ++i) {
+    body += "line " + std::to_string(i) + " with some padding text\n";
+  }
+  body += ".leading dot line needs stuffing\n";
+  auto result = net::SendMail("127.0.0.1", port_, Job({"dave@dept.test"}, body));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, ClientOutcome::kDelivered);
+  server_->Stop();
+  auto mails = store_->ReadMailbox("dave");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 1u);
+  EXPECT_NE((*mails)[0].find("line 1999 with some padding"), std::string::npos);
+  EXPECT_NE((*mails)[0].find(".leading dot line"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, RealServerTest,
+    ::testing::Values(
+        ServerParam{"thread_per_conn", Architecture::kThreadPerConnection},
+        ServerParam{"fork_after_trust", Architecture::kForkAfterTrust}),
+    [](const ::testing::TestParamInfo<ServerParam>& info) {
+      return info.param.label;
+    });
+
+// Architecture-specific behaviours.
+TEST(ForkAfterTrustTest, BouncesNeverLeaveTheMaster) {
+  const std::string root = ::testing::TempDir() + "/fat_bounce";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMfsStore(root, {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 2'000;
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  MailJob bounce;
+  bounce.mail_from = *Path::Parse("<s@x.test>");
+  bounce.rcpts.push_back(*Path::Parse("<ghost@dept.test>"));
+  bounce.body = "x\n";
+  for (int i = 0; i < 5; ++i) {
+    auto result = net::SendMail("127.0.0.1", *port, bounce);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->outcome, smtp::ClientOutcome::kAllRejected);
+  }
+  // No delegation happened: every bounce died in the event loop.
+  EXPECT_EQ(server.stats().delegations.load(), 0u);
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server.stats().master_closed.load() == 5u; }))
+      << server.stats().master_closed.load();
+
+  MailJob good = bounce;
+  good.rcpts = {*Path::Parse("<alice@dept.test>")};
+  auto result = net::SendMail("127.0.0.1", *port, good);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, smtp::ClientOutcome::kDelivered);
+  EXPECT_EQ(server.stats().delegations.load(), 1u);
+  server.Stop();
+  std::filesystem::remove_all(root);
+}
+
+TEST(ForkAfterTrustTest, PipelinedBytesSurviveHandoff) {
+  // A client that blasts the entire transaction in one write: the
+  // master pauses at the first valid RCPT and the unread bytes must
+  // reach the worker intact through the handoff payload.
+  const std::string root = ::testing::TempDir() + "/fat_pipeline";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMboxStore(root, {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  db.AddMailbox("bob", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 1;
+  cfg.recv_timeout_ms = 2'000;
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto fd = net::TcpConnect("127.0.0.1", *port);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 3'000).ok());
+  const std::string blast =
+      "HELO blaster.test\r\n"
+      "MAIL FROM:<s@x.test>\r\n"
+      "RCPT TO:<alice@dept.test>\r\n"
+      "RCPT TO:<bob@dept.test>\r\n"
+      "DATA\r\n"
+      "pipelined body\r\n"
+      ".\r\n"
+      "QUIT\r\n";
+  ASSERT_TRUE(util::WriteAll(fd->get(), blast.data(), blast.size()).ok());
+  // Drain replies until the server closes or we see 221.
+  std::string wire;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd->get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    wire.append(buf, static_cast<std::size_t>(n));
+    if (wire.find("221 ") != std::string::npos) break;
+  }
+  EXPECT_NE(wire.find("354 "), std::string::npos) << wire;
+  EXPECT_NE(wire.find("221 "), std::string::npos) << wire;
+  server.Stop();
+  auto alice = (*store)->ReadMailbox("alice");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_EQ(alice->size(), 1u);
+  EXPECT_EQ((*alice)[0], "pipelined body\r\n");
+  auto bob = (*store)->ReadMailbox("bob");
+  ASSERT_TRUE(bob.ok());
+  EXPECT_EQ(bob->size(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(PregreetTest, EarlyTalkersRejectedPatientClientsServed) {
+  const std::string root = ::testing::TempDir() + "/srv_pregreet";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMfsStore(root, {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 3'000;
+  cfg.pregreet_delay_ms = 250;
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // 1. A spam bot that blasts its dialog without waiting for the
+  //    banner: must get 554 and nothing delivered.
+  {
+    auto fd = net::TcpConnect("127.0.0.1", *port);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 3'000).ok());
+    const std::string blast =
+        "HELO bot\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\n";
+    ASSERT_TRUE(util::WriteAll(fd->get(), blast.data(), blast.size()).ok());
+    std::string wire;
+    char buf[512];
+    for (;;) {
+      const ssize_t n = ::read(fd->get(), buf, sizeof(buf));
+      if (n <= 0) break;
+      wire.append(buf, static_cast<std::size_t>(n));
+      if (wire.find("\r\n") != std::string::npos) break;
+    }
+    EXPECT_EQ(wire.substr(0, 4), "554 ") << wire;
+  }
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server.stats().pregreet_rejects.load() == 1u; }));
+
+  // 2. A well-behaved client that waits for the banner sails through.
+  MailJob job;
+  job.mail_from = *Path::Parse("<s@remote.test>");
+  job.rcpts = {*Path::Parse("<alice@dept.test>")};
+  job.body = "patience pays\n";
+  auto result = net::SendMail("127.0.0.1", *port, job);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, ClientOutcome::kDelivered);
+  server.Stop();
+  EXPECT_EQ(server.stats().mails_delivered.load(), 1u);
+  EXPECT_EQ(server.stats().pregreet_rejects.load(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(SpoolModeTest, QueueManagerPathDeliversDurably) {
+  const std::string root = ::testing::TempDir() + "/srv_spool";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  auto store = mfs::MakeMfsStore(root + "/store", {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 2'000;
+  cfg.spool_dir = root + "/spool";
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.error().ToString();
+
+  for (int i = 0; i < 5; ++i) {
+    MailJob job;
+    job.mail_from = *Path::Parse("<s@remote.test>");
+    job.rcpts = {*Path::Parse("<alice@dept.test>")};
+    job.body = "spooled " + std::to_string(i) + "\n";
+    auto result = net::SendMail("127.0.0.1", *port, job);
+    ASSERT_TRUE(result.ok()) << i;
+    ASSERT_EQ(result->outcome, ClientOutcome::kDelivered) << i;
+  }
+  server.Stop();  // flushes the queue before returning
+  auto mails = (*store)->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 5u);
+  EXPECT_EQ((*mails)[3], "spooled 3\r\n");
+  // Spool fully drained.
+  EXPECT_TRUE(std::filesystem::is_empty(root + "/spool"));
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace sams::mta

@@ -1,0 +1,164 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sams::sim {
+namespace {
+
+using util::SimTime;
+
+CpuConfig ZeroOverheadConfig() {
+  CpuConfig cfg;
+  cfg.ctx_switch_base = SimTime{};
+  cfg.ctx_switch_per_runnable = SimTime{};
+  cfg.quantum = SimTime::Millis(1);
+  return cfg;
+}
+
+TEST(CpuTest, SingleBurstTakesItsCost) {
+  Simulator sim;
+  Cpu cpu(sim, ZeroOverheadConfig());
+  SimTime done_at;
+  cpu.Submit(1, SimTime::MicrosF(2500), [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, SimTime::MicrosF(2500));
+  EXPECT_EQ(cpu.stats().bursts_completed, 1u);
+  EXPECT_EQ(cpu.stats().busy, SimTime::MicrosF(2500));
+}
+
+TEST(CpuTest, ZeroBurstCompletesImmediately) {
+  Simulator sim;
+  Cpu cpu(sim, ZeroOverheadConfig());
+  bool done = false;
+  cpu.Submit(1, SimTime{}, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.Now().nanos(), 0);
+}
+
+TEST(CpuTest, TwoProcessesShareCpuFairly) {
+  Simulator sim;
+  Cpu cpu(sim, ZeroOverheadConfig());
+  SimTime a_done, b_done;
+  // Two 5 ms bursts with a 1 ms quantum: they interleave, both finish
+  // near 10 ms (B last).
+  cpu.Submit(1, SimTime::Millis(5), [&] { a_done = sim.Now(); });
+  cpu.Submit(2, SimTime::Millis(5), [&] { b_done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(a_done, SimTime::Millis(9));
+  EXPECT_EQ(b_done, SimTime::Millis(10));
+}
+
+TEST(CpuTest, ContextSwitchChargedOnProcessChange) {
+  Simulator sim;
+  CpuConfig cfg = ZeroOverheadConfig();
+  cfg.ctx_switch_base = SimTime::Micros(10);
+  Cpu cpu(sim, cfg);
+  cpu.Submit(1, SimTime::Millis(1), nullptr);
+  cpu.Submit(2, SimTime::Millis(1), nullptr);
+  sim.Run();
+  // Two switches: idle->1, 1->2.
+  EXPECT_EQ(cpu.stats().context_switches, 2u);
+  EXPECT_EQ(cpu.stats().switch_overhead, SimTime::Micros(20));
+  EXPECT_EQ(sim.Now(), SimTime::Millis(2) + SimTime::Micros(20));
+}
+
+TEST(CpuTest, NoSwitchWhenSameProcessContinues) {
+  Simulator sim;
+  CpuConfig cfg = ZeroOverheadConfig();
+  cfg.ctx_switch_base = SimTime::Micros(10);
+  Cpu cpu(sim, cfg);
+  // One process, 3 ms burst = 3 quanta, but no inter-process switching.
+  cpu.Submit(7, SimTime::Millis(3), nullptr);
+  sim.Run();
+  EXPECT_EQ(cpu.stats().context_switches, 1u);  // idle -> 7 only
+}
+
+TEST(CpuTest, InterleavingCausesSwitchPerQuantum) {
+  Simulator sim;
+  CpuConfig cfg = ZeroOverheadConfig();
+  cfg.ctx_switch_base = SimTime::Micros(1);
+  Cpu cpu(sim, cfg);
+  cpu.Submit(1, SimTime::Millis(3), nullptr);
+  cpu.Submit(2, SimTime::Millis(3), nullptr);
+  sim.Run();
+  // Round-robin 1,2,1,2,1,2: six slices, six switches.
+  EXPECT_EQ(cpu.stats().context_switches, 6u);
+}
+
+TEST(CpuTest, PressureTermScalesWithRunnable) {
+  Simulator sim;
+  CpuConfig cfg = ZeroOverheadConfig();
+  cfg.ctx_switch_per_runnable = SimTime::Micros(1);
+  Cpu cpu(sim, cfg);
+  // Submit 10 short bursts from distinct processes. The first Submit
+  // starts service immediately (1 runnable); the remaining nine queue
+  // up, so switches to them see 9, 8, ..., 1 runnable.
+  for (int p = 0; p < 10; ++p) cpu.Submit(p, SimTime::Micros(100), nullptr);
+  sim.Run();
+  // Overhead = 1 + (9 + 8 + ... + 1) us = 46 us.
+  EXPECT_EQ(cpu.stats().switch_overhead, SimTime::Micros(46));
+}
+
+TEST(CpuTest, CompletionOrderFifoForEqualBursts) {
+  Simulator sim;
+  Cpu cpu(sim, ZeroOverheadConfig());
+  std::vector<int> order;
+  for (int p = 0; p < 4; ++p) {
+    cpu.Submit(p, SimTime::Micros(200), [&order, p] { order.push_back(p); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CpuTest, ForkChargesForkCost) {
+  Simulator sim;
+  CpuConfig cfg = ZeroOverheadConfig();
+  cfg.fork_cost = SimTime::Micros(300);
+  Cpu cpu(sim, cfg);
+  SimTime forked_at;
+  cpu.Fork(0, [&] { forked_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(forked_at, SimTime::Micros(300));
+  EXPECT_EQ(cpu.stats().forks, 1u);
+}
+
+TEST(CpuTest, DoneCallbackMaySubmitMoreWork) {
+  Simulator sim;
+  Cpu cpu(sim, ZeroOverheadConfig());
+  SimTime second_done;
+  cpu.Submit(1, SimTime::Millis(1), [&] {
+    cpu.Submit(1, SimTime::Millis(1), [&] { second_done = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(second_done, SimTime::Millis(2));
+}
+
+TEST(CpuTest, BusyTimeExcludesSwitchOverhead) {
+  Simulator sim;
+  CpuConfig cfg = ZeroOverheadConfig();
+  cfg.ctx_switch_base = SimTime::Micros(50);
+  Cpu cpu(sim, cfg);
+  cpu.Submit(1, SimTime::Millis(2), nullptr);
+  cpu.Submit(2, SimTime::Millis(2), nullptr);
+  sim.Run();
+  EXPECT_EQ(cpu.stats().busy, SimTime::Millis(4));
+  EXPECT_GT(cpu.stats().switch_overhead.nanos(), 0);
+}
+
+TEST(CpuTest, RunnableCountsQueuedAndActive) {
+  Simulator sim;
+  Cpu cpu(sim, ZeroOverheadConfig());
+  EXPECT_EQ(cpu.runnable(), 0u);
+  cpu.Submit(1, SimTime::Millis(10), nullptr);
+  cpu.Submit(2, SimTime::Millis(10), nullptr);
+  // Before running events: one active (popped by ServeNext), one queued.
+  EXPECT_EQ(cpu.runnable(), 2u);
+}
+
+}  // namespace
+}  // namespace sams::sim

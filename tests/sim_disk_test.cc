@@ -1,0 +1,133 @@
+#include "sim/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sams::sim {
+namespace {
+
+using util::SimTime;
+
+DiskConfig SimpleConfig() {
+  DiskConfig cfg;
+  cfg.commit_base = SimTime::Millis(10);
+  cfg.write_mb_per_sec = 1.0;  // 1 MiB/s: easy arithmetic
+  cfg.read_seek = SimTime::Millis(5);
+  cfg.read_mb_per_sec = 1.0;
+  return cfg;
+}
+
+TEST(DiskTest, FsyncTakesCommitBase) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  SimTime done_at;
+  disk.Fsync([&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, SimTime::Millis(10));
+  EXPECT_EQ(disk.stats().commits, 1u);
+  EXPECT_EQ(disk.stats().fsyncs, 1u);
+}
+
+TEST(DiskTest, DirtyBytesExtendCommit) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  disk.BufferWrite(1024 * 1024);  // 1 MiB at 1 MiB/s = 1 s transfer
+  SimTime done_at;
+  disk.Fsync([&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, SimTime::Millis(10) + SimTime::Seconds(1));
+  EXPECT_EQ(disk.stats().bytes_written, 1024u * 1024u);
+}
+
+TEST(DiskTest, MetadataCostExtendsCommit) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  disk.BufferMetadata(SimTime::Millis(7));
+  SimTime done_at;
+  disk.Fsync([&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, SimTime::Millis(17));
+}
+
+TEST(DiskTest, GroupCommitBatchesConcurrentFsyncs) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  std::vector<SimTime> done_times;
+  for (int i = 0; i < 5; ++i) {
+    disk.Fsync([&] { done_times.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done_times.size(), 5u);
+  for (const auto& t : done_times) EXPECT_EQ(t, SimTime::Millis(10));
+  EXPECT_EQ(disk.stats().commits, 1u);  // one commit served all five
+  EXPECT_EQ(disk.stats().fsyncs, 5u);
+}
+
+TEST(DiskTest, FsyncDuringCommitJoinsNextEpoch) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  SimTime first_done, second_done;
+  disk.Fsync([&] {
+    first_done = sim.Now();
+  });
+  // Arrives mid-commit (at 3 ms): must complete at 20 ms, not 10 ms.
+  sim.At(SimTime::Millis(3), [&] {
+    disk.Fsync([&] { second_done = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(first_done, SimTime::Millis(10));
+  EXPECT_EQ(second_done, SimTime::Millis(20));
+  EXPECT_EQ(disk.stats().commits, 2u);
+}
+
+TEST(DiskTest, CommitClearsPendingState) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  disk.BufferWrite(1024 * 1024);
+  disk.Fsync(nullptr);
+  sim.Run();
+  // Second fsync with no new dirty data: base cost only.
+  SimTime done_at;
+  disk.Fsync([&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, SimTime::Millis(10) + SimTime::Seconds(1) + SimTime::Millis(10));
+}
+
+TEST(DiskTest, ReadCostsSeekPlusTransfer) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  SimTime done_at;
+  disk.Read(1024 * 1024, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, SimTime::Millis(5) + SimTime::Seconds(1));
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().bytes_read, 1024u * 1024u);
+}
+
+TEST(DiskTest, ReadsAreFifoSerialized) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  std::vector<SimTime> times;
+  disk.Read(0, [&] { times.push_back(sim.Now()); });
+  disk.Read(0, [&] { times.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], SimTime::Millis(5));
+  EXPECT_EQ(times[1], SimTime::Millis(10));
+}
+
+TEST(DiskTest, WriteBusyAccumulates) {
+  Simulator sim;
+  Disk disk(sim, SimpleConfig());
+  disk.Fsync(nullptr);
+  sim.Run();
+  disk.Fsync(nullptr);
+  sim.Run();
+  EXPECT_EQ(disk.stats().write_busy, SimTime::Millis(20));
+}
+
+}  // namespace
+}  // namespace sams::sim

@@ -1,0 +1,84 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/simulator.h"
+
+namespace sams::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(NetworkTest, SmallMessageTakesOneWayDelay) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.one_way_delay = SimTime::Millis(15);
+  cfg.mb_per_sec = 1024.0;  // effectively infinite
+  Network net(sim, cfg);
+  SimTime at;
+  net.Send(64, [&] { at = sim.Now(); });
+  sim.Run();
+  // 64 bytes at 1 GiB/s is < 100 ns; delay dominates.
+  EXPECT_GE(at, SimTime::Millis(15));
+  EXPECT_LT(at, SimTime::Millis(15) + SimTime::Micros(1));
+}
+
+TEST(NetworkTest, LargePayloadAddsSerialization) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.one_way_delay = SimTime::Millis(10);
+  cfg.mb_per_sec = 1.0;
+  Network net(sim, cfg);
+  SimTime at;
+  net.Send(1024 * 1024, [&] { at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(at, SimTime::Millis(10) + SimTime::Seconds(1));
+}
+
+TEST(NetworkTest, RttIsTwiceOneWay) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.one_way_delay = SimTime::Millis(15);
+  Network net(sim, cfg);
+  EXPECT_EQ(net.Rtt(), SimTime::Millis(30));
+  EXPECT_EQ(net.OneWay(), SimTime::Millis(15));
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes) {
+  Simulator sim;
+  Network net(sim, NetworkConfig{});
+  net.Send(100, nullptr);
+  net.Send(200, nullptr);
+  sim.Run();
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 300u);
+}
+
+TEST(NetworkTest, MessagesDoNotQueueOnEachOther) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.one_way_delay = SimTime::Millis(15);
+  cfg.mb_per_sec = 1024.0;
+  Network net(sim, cfg);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) net.Send(64, [&] { ++delivered; });
+  sim.Run();
+  EXPECT_EQ(delivered, 10);
+  // All arrive ~15 ms, not 10 * 15 ms.
+  EXPECT_LT(sim.Now(), SimTime::Millis(16));
+}
+
+TEST(MachineTest, BundlesComponents) {
+  Machine m;
+  EXPECT_EQ(m.sim().Now().nanos(), 0);
+  bool fired = false;
+  m.net().Send(1, [&] { fired = true; });
+  m.sim().Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(m.cpu().stats().bursts_completed, 0u);
+  EXPECT_EQ(m.disk().stats().commits, 0u);
+}
+
+}  // namespace
+}  // namespace sams::sim

@@ -1,0 +1,116 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sams::sim {
+namespace {
+
+using util::SimTime;
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now().nanos(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(SimTime::Millis(30), [&] { order.push_back(3); });
+  sim.At(SimTime::Millis(10), [&] { order.push_back(1); });
+  sim.At(SimTime::Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), SimTime::Millis(30));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.At(SimTime::Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  SimTime fired;
+  sim.At(SimTime::Millis(10), [&] {
+    sim.After(SimTime::Millis(5), [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, SimTime::Millis(15));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.After(SimTime::Micros(1), recurse);
+  };
+  sim.After(SimTime::Micros(1), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), SimTime::Micros(100));
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Seconds(1), [&] { ++fired; });
+  sim.At(SimTime::Seconds(3), [&] { ++fired; });
+  sim.RunUntil(SimTime::Seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), SimTime::Seconds(2));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Seconds(2), [&] { ++fired; });
+  sim.RunUntil(SimTime::Seconds(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Millis(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.At(SimTime::Millis(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, EventsAtCurrentTimeRunBeforeLater) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(SimTime::Millis(10), [&] {
+    sim.At(sim.Now(), [&] { order.push_back(1); });
+    sim.At(sim.Now() + SimTime::Nanos(1), [&] { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorDeathTest, SchedulingInPastAborts) {
+  Simulator sim;
+  sim.At(SimTime::Millis(10), [&] {
+    EXPECT_DEATH(sim.At(SimTime::Millis(5), [] {}), "past");
+  });
+  sim.Run();
+}
+
+}  // namespace
+}  // namespace sams::sim

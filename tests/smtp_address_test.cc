@@ -1,0 +1,90 @@
+#include "smtp/address.h"
+
+#include <gtest/gtest.h>
+
+namespace sams::smtp {
+namespace {
+
+TEST(AddressTest, ParsesSimpleAddress) {
+  auto a = Address::Parse("alice@example.edu");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->local(), "alice");
+  EXPECT_EQ(a->domain(), "example.edu");
+  EXPECT_EQ(a->ToString(), "alice@example.edu");
+}
+
+TEST(AddressTest, ParsesDotsAndSpecials) {
+  EXPECT_TRUE(Address::Parse("first.last@cs.example.edu").has_value());
+  EXPECT_TRUE(Address::Parse("user+tag@example.com").has_value());
+  EXPECT_TRUE(Address::Parse("o'brien@example.ie").has_value());
+  EXPECT_TRUE(Address::Parse("x_1-2=3@host-name.org").has_value());
+}
+
+TEST(AddressTest, RejectsMalformed) {
+  EXPECT_FALSE(Address::Parse("").has_value());
+  EXPECT_FALSE(Address::Parse("nodomain").has_value());
+  EXPECT_FALSE(Address::Parse("@example.com").has_value());
+  EXPECT_FALSE(Address::Parse("user@").has_value());
+  EXPECT_FALSE(Address::Parse(".leadingdot@x.com").has_value());
+  EXPECT_FALSE(Address::Parse("trailingdot.@x.com").has_value());
+  EXPECT_FALSE(Address::Parse("double..dot@x.com").has_value());
+  EXPECT_FALSE(Address::Parse("user@.leadingdot.com").has_value());
+  EXPECT_FALSE(Address::Parse("user@dom..com").has_value());
+  EXPECT_FALSE(Address::Parse("sp ace@x.com").has_value());
+  EXPECT_FALSE(Address::Parse("user@under_score.com").has_value());
+}
+
+TEST(AddressTest, RejectsOverlongLocalPart) {
+  const std::string long_local(65, 'a');
+  EXPECT_FALSE(Address::Parse(long_local + "@x.com").has_value());
+  const std::string ok_local(64, 'a');
+  EXPECT_TRUE(Address::Parse(ok_local + "@x.com").has_value());
+}
+
+TEST(AddressTest, LastAtSignSplits) {
+  // "a@b@c.com" — RFC allows quoted @; we take the last @ as separator
+  // and then reject the local part containing a bare @.
+  EXPECT_FALSE(Address::Parse("a@b@c.com").has_value());
+}
+
+TEST(PathTest, ParsesBracketedAddress) {
+  auto p = Path::Parse("<bob@example.org>");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->IsNull());
+  EXPECT_EQ(p->address().ToString(), "bob@example.org");
+  EXPECT_EQ(p->ToString(), "<bob@example.org>");
+}
+
+TEST(PathTest, ParsesNullPath) {
+  auto p = Path::Parse("<>");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->IsNull());
+  EXPECT_EQ(p->ToString(), "<>");
+}
+
+TEST(PathTest, TrimsWhitespace) {
+  auto p = Path::Parse("  <bob@example.org>  ");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->address().local(), "bob");
+}
+
+TEST(PathTest, RejectsUnbracketed) {
+  EXPECT_FALSE(Path::Parse("bob@example.org").has_value());
+  EXPECT_FALSE(Path::Parse("<bob@example.org").has_value());
+  EXPECT_FALSE(Path::Parse("bob@example.org>").has_value());
+  EXPECT_FALSE(Path::Parse("").has_value());
+  EXPECT_FALSE(Path::Parse("<").has_value());
+}
+
+TEST(PathTest, RejectsSourceRoutes) {
+  EXPECT_FALSE(Path::Parse("<@relay.com:bob@example.org>").has_value());
+}
+
+TEST(PathTest, Equality) {
+  EXPECT_EQ(*Path::Parse("<a@b.com>"), *Path::Parse("<a@b.com>"));
+  EXPECT_NE(*Path::Parse("<a@b.com>"), *Path::Parse("<c@b.com>"));
+  EXPECT_EQ(*Path::Parse("<>"), Path());
+}
+
+}  // namespace
+}  // namespace sams::smtp

@@ -1,0 +1,172 @@
+#include "smtp/client_session.h"
+
+#include <gtest/gtest.h>
+
+#include "smtp/server_session.h"
+
+namespace sams::smtp {
+namespace {
+
+MailJob MakeJob(int rcpts = 1) {
+  MailJob job;
+  job.helo = "bot.example";
+  job.mail_from = *Path::Parse("<spammer@offers.test>");
+  for (int i = 0; i < rcpts; ++i) {
+    job.rcpts.push_back(*Path::Parse("<user" + std::to_string(i) + "@dept.test>"));
+  }
+  job.body = "BUY NOW\n";
+  return job;
+}
+
+Reply R(ReplyCode code) { return Reply{code, ""}; }
+
+TEST(ClientSessionTest, HappyPathDialog) {
+  ClientSession c(MakeJob(2));
+  auto out = c.OnReply(R(ReplyCode::kServiceReady));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "HELO bot.example\r\n");
+  out = c.OnReply(R(ReplyCode::kOk));
+  EXPECT_EQ(*out, "MAIL FROM:<spammer@offers.test>\r\n");
+  out = c.OnReply(R(ReplyCode::kOk));
+  EXPECT_EQ(*out, "RCPT TO:<user0@dept.test>\r\n");
+  out = c.OnReply(R(ReplyCode::kOk));
+  EXPECT_EQ(*out, "RCPT TO:<user1@dept.test>\r\n");
+  out = c.OnReply(R(ReplyCode::kOk));
+  EXPECT_EQ(*out, "DATA\r\n");
+  out = c.OnReply(R(ReplyCode::kStartMailInput));
+  EXPECT_EQ(*out, "BUY NOW\r\n.\r\n");
+  out = c.OnReply(R(ReplyCode::kOk));
+  EXPECT_EQ(*out, "QUIT\r\n");
+  EXPECT_EQ(c.outcome(), ClientOutcome::kDelivered);
+  out = c.OnReply(R(ReplyCode::kClosing));
+  EXPECT_FALSE(out.has_value());
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.accepted_rcpts(), 2);
+}
+
+TEST(ClientSessionTest, AllRcptsRejectedSkipsData) {
+  ClientSession c(MakeJob(3));
+  c.OnReply(R(ReplyCode::kServiceReady));
+  c.OnReply(R(ReplyCode::kOk));  // HELO ack
+  auto out = c.OnReply(R(ReplyCode::kOk));  // MAIL ack -> first RCPT
+  for (int i = 0; i < 2; ++i) {
+    out = c.OnReply(R(ReplyCode::kUserUnknown));
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->substr(0, 4), "RCPT");
+  }
+  out = c.OnReply(R(ReplyCode::kUserUnknown));  // last rejection
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "QUIT\r\n");
+  EXPECT_EQ(c.outcome(), ClientOutcome::kAllRejected);
+  EXPECT_EQ(c.rejected_rcpts(), 3);
+  EXPECT_EQ(c.accepted_rcpts(), 0);
+}
+
+TEST(ClientSessionTest, PartialRejectionStillDelivers) {
+  ClientSession c(MakeJob(2));
+  c.OnReply(R(ReplyCode::kServiceReady));
+  c.OnReply(R(ReplyCode::kOk));
+  c.OnReply(R(ReplyCode::kOk));                       // -> RCPT 0
+  c.OnReply(R(ReplyCode::kUserUnknown));              // -> RCPT 1
+  auto out = c.OnReply(R(ReplyCode::kOk));            // -> DATA
+  EXPECT_EQ(*out, "DATA\r\n");
+  EXPECT_EQ(c.accepted_rcpts(), 1);
+  EXPECT_EQ(c.rejected_rcpts(), 1);
+}
+
+TEST(ClientSessionTest, AbortAfterBanner) {
+  ClientSession c(MakeJob(), AbortStage::kAfterBanner);
+  auto out = c.OnReply(R(ReplyCode::kServiceReady));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "QUIT\r\n");
+  EXPECT_EQ(c.outcome(), ClientOutcome::kAborted);
+}
+
+TEST(ClientSessionTest, AbortAfterHelo) {
+  ClientSession c(MakeJob(), AbortStage::kAfterHelo);
+  c.OnReply(R(ReplyCode::kServiceReady));
+  auto out = c.OnReply(R(ReplyCode::kOk));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "QUIT\r\n");
+  EXPECT_EQ(c.outcome(), ClientOutcome::kAborted);
+}
+
+TEST(ClientSessionTest, AbortAfterMail) {
+  ClientSession c(MakeJob(), AbortStage::kAfterMail);
+  c.OnReply(R(ReplyCode::kServiceReady));
+  c.OnReply(R(ReplyCode::kOk));
+  auto out = c.OnReply(R(ReplyCode::kOk));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "QUIT\r\n");
+  EXPECT_EQ(c.outcome(), ClientOutcome::kAborted);
+}
+
+TEST(ClientSessionTest, ServerErrorOnMailAbortsPolitely) {
+  ClientSession c(MakeJob());
+  c.OnReply(R(ReplyCode::kServiceReady));
+  c.OnReply(R(ReplyCode::kOk));
+  auto out = c.OnReply(R(ReplyCode::kBadSequence));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "QUIT\r\n");
+  EXPECT_EQ(c.outcome(), ClientOutcome::kServerError);
+}
+
+TEST(ClientSessionTest, NegativeBannerEndsImmediately) {
+  ClientSession c(MakeJob());
+  auto out = c.OnReply(R(ReplyCode::kServiceUnavailable));
+  EXPECT_FALSE(out.has_value());
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.outcome(), ClientOutcome::kServerError);
+}
+
+TEST(ClientSessionTest, RejectedDataGoEndsWithError) {
+  ClientSession c(MakeJob());
+  c.OnReply(R(ReplyCode::kServiceReady));
+  c.OnReply(R(ReplyCode::kOk));
+  c.OnReply(R(ReplyCode::kOk));
+  c.OnReply(R(ReplyCode::kOk));  // RCPT accepted -> DATA
+  auto out = c.OnReply(R(ReplyCode::kBadSequence));  // no 354
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "QUIT\r\n");
+  EXPECT_EQ(c.outcome(), ClientOutcome::kServerError);
+}
+
+// End-to-end: wire the client FSM straight into the server FSM.
+TEST(SmtpDialogTest, ClientAgainstServerDeliversMail) {
+  std::vector<Envelope> mails;
+  std::string to_client;
+  ServerSession::Hooks hooks;
+  hooks.send = [&](std::string b) { to_client += b; };
+  hooks.validate_rcpt = [](const Address& a) { return a.local() != "ghost"; };
+  hooks.on_mail = [&](Envelope&& env) { mails.push_back(std::move(env)); };
+  ServerSession server({}, std::move(hooks), "192.0.2.9");
+
+  MailJob job = MakeJob(2);
+  job.rcpts.push_back(*Path::Parse("<ghost@dept.test>"));
+  ClientSession client(job);
+
+  server.Start();
+  // Pump replies through the client until it finishes.
+  int guard = 0;
+  while (!client.done() && guard++ < 100) {
+    // Pop one reply line from the server's outbound buffer.
+    const std::size_t eol = to_client.find("\r\n");
+    ASSERT_NE(eol, std::string::npos) << "server produced no reply";
+    Reply reply;
+    ASSERT_TRUE(ParseReply(to_client.substr(0, eol + 2), &reply));
+    to_client.erase(0, eol + 2);
+    auto out = client.OnReply(reply);
+    if (out) server.Feed(*out);
+  }
+  ASSERT_LT(guard, 100);
+  EXPECT_EQ(client.outcome(), ClientOutcome::kDelivered);
+  EXPECT_EQ(client.accepted_rcpts(), 2);
+  EXPECT_EQ(client.rejected_rcpts(), 1);
+  ASSERT_EQ(mails.size(), 1u);
+  EXPECT_EQ(mails[0].rcpt_to.size(), 2u);
+  EXPECT_EQ(mails[0].body, "BUY NOW\r\n");
+  EXPECT_EQ(server.state(), SessionState::kClosed);
+}
+
+}  // namespace
+}  // namespace sams::smtp

@@ -1,0 +1,130 @@
+#include "smtp/command.h"
+
+#include <gtest/gtest.h>
+
+namespace sams::smtp {
+namespace {
+
+TEST(ParseCommandTest, Helo) {
+  const Command cmd = ParseCommand("HELO mail.example.com");
+  EXPECT_EQ(cmd.verb, Verb::kHelo);
+  EXPECT_EQ(cmd.argument, "mail.example.com");
+}
+
+TEST(ParseCommandTest, EhloCaseInsensitive) {
+  const Command cmd = ParseCommand("ehlo client.net");
+  EXPECT_EQ(cmd.verb, Verb::kEhlo);
+  EXPECT_EQ(cmd.argument, "client.net");
+}
+
+TEST(ParseCommandTest, MailFrom) {
+  const Command cmd = ParseCommand("MAIL FROM:<alice@example.com>");
+  EXPECT_EQ(cmd.verb, Verb::kMail);
+  ASSERT_TRUE(cmd.path.has_value());
+  EXPECT_EQ(cmd.path->address().ToString(), "alice@example.com");
+  EXPECT_FALSE(cmd.bad_path);
+}
+
+TEST(ParseCommandTest, MailFromNullPath) {
+  const Command cmd = ParseCommand("MAIL FROM:<>");
+  EXPECT_EQ(cmd.verb, Verb::kMail);
+  ASSERT_TRUE(cmd.path.has_value());
+  EXPECT_TRUE(cmd.path->IsNull());
+}
+
+TEST(ParseCommandTest, MailFromLowercaseWithSpaces) {
+  const Command cmd = ParseCommand("mail from: <bob@x.org> ");
+  EXPECT_EQ(cmd.verb, Verb::kMail);
+  ASSERT_TRUE(cmd.path.has_value());
+  EXPECT_EQ(cmd.path->address().local(), "bob");
+}
+
+TEST(ParseCommandTest, MailFromWithSizeParameter) {
+  const Command cmd = ParseCommand("MAIL FROM:<bob@x.org> SIZE=12345");
+  EXPECT_EQ(cmd.verb, Verb::kMail);
+  ASSERT_TRUE(cmd.path.has_value());
+  EXPECT_EQ(cmd.path->address().local(), "bob");
+}
+
+TEST(ParseCommandTest, MailFromMalformed) {
+  const Command cmd = ParseCommand("MAIL FROM:garbage");
+  EXPECT_EQ(cmd.verb, Verb::kMail);
+  EXPECT_FALSE(cmd.path.has_value());
+  EXPECT_TRUE(cmd.bad_path);
+}
+
+TEST(ParseCommandTest, MailWithoutFromKeyword) {
+  const Command cmd = ParseCommand("MAIL <bob@x.org>");
+  EXPECT_EQ(cmd.verb, Verb::kMail);
+  EXPECT_TRUE(cmd.bad_path);
+}
+
+TEST(ParseCommandTest, RcptTo) {
+  const Command cmd = ParseCommand("RCPT TO:<carol@dept.example.edu>");
+  EXPECT_EQ(cmd.verb, Verb::kRcpt);
+  ASSERT_TRUE(cmd.path.has_value());
+  EXPECT_EQ(cmd.path->address().ToString(), "carol@dept.example.edu");
+}
+
+TEST(ParseCommandTest, RcptToMalformed) {
+  const Command cmd = ParseCommand("RCPT TO:no-brackets@x.com");
+  EXPECT_EQ(cmd.verb, Verb::kRcpt);
+  EXPECT_TRUE(cmd.bad_path);
+}
+
+TEST(ParseCommandTest, SimpleVerbs) {
+  EXPECT_EQ(ParseCommand("DATA").verb, Verb::kData);
+  EXPECT_EQ(ParseCommand("data").verb, Verb::kData);
+  EXPECT_EQ(ParseCommand("RSET").verb, Verb::kRset);
+  EXPECT_EQ(ParseCommand("NOOP").verb, Verb::kNoop);
+  EXPECT_EQ(ParseCommand("QUIT").verb, Verb::kQuit);
+}
+
+TEST(ParseCommandTest, Vrfy) {
+  const Command cmd = ParseCommand("VRFY postmaster");
+  EXPECT_EQ(cmd.verb, Verb::kVrfy);
+  EXPECT_EQ(cmd.argument, "postmaster");
+}
+
+TEST(ParseCommandTest, UnknownVerb) {
+  const Command cmd = ParseCommand("XYZZY magic");
+  EXPECT_EQ(cmd.verb, Verb::kUnknown);
+  EXPECT_EQ(cmd.argument, "XYZZY");
+}
+
+TEST(ParseCommandTest, EmptyLineIsUnknown) {
+  EXPECT_EQ(ParseCommand("").verb, Verb::kUnknown);
+}
+
+TEST(ParseCommandTest, LeadingWhitespaceTolerated) {
+  EXPECT_EQ(ParseCommand("  QUIT  ").verb, Verb::kQuit);
+}
+
+TEST(VerbNameTest, NamesAll) {
+  EXPECT_STREQ(VerbName(Verb::kMail), "MAIL");
+  EXPECT_STREQ(VerbName(Verb::kRcpt), "RCPT");
+  EXPECT_STREQ(VerbName(Verb::kUnknown), "UNKNOWN");
+}
+
+TEST(SerializersTest, WireFormats) {
+  EXPECT_EQ(HeloLine("c.net"), "HELO c.net\r\n");
+  EXPECT_EQ(EhloLine("c.net"), "EHLO c.net\r\n");
+  EXPECT_EQ(MailFromLine(*Path::Parse("<a@b.c>")), "MAIL FROM:<a@b.c>\r\n");
+  EXPECT_EQ(MailFromLine(Path()), "MAIL FROM:<>\r\n");
+  EXPECT_EQ(RcptToLine(*Path::Parse("<x@y.z>")), "RCPT TO:<x@y.z>\r\n");
+  EXPECT_EQ(DataLine(), "DATA\r\n");
+  EXPECT_EQ(QuitLine(), "QUIT\r\n");
+  EXPECT_EQ(RsetLine(), "RSET\r\n");
+  EXPECT_EQ(NoopLine(), "NOOP\r\n");
+}
+
+TEST(RoundTripTest, SerializedCommandsReparse) {
+  EXPECT_EQ(ParseCommand("HELO c.net\r"[0] == 'H' ? "HELO c.net" : "").verb,
+            Verb::kHelo);
+  const Command mail = ParseCommand("MAIL FROM:<a@b.c>");
+  ASSERT_TRUE(mail.path.has_value());
+  EXPECT_EQ(MailFromLine(*mail.path), "MAIL FROM:<a@b.c>\r\n");
+}
+
+}  // namespace
+}  // namespace sams::smtp

@@ -1,0 +1,145 @@
+#include "smtp/dotstuff.h"
+
+#include <gtest/gtest.h>
+
+namespace sams::smtp {
+namespace {
+
+TEST(DotStuffEncodeTest, SimpleBody) {
+  EXPECT_EQ(DotStuffEncode("hello\nworld\n"), "hello\r\nworld\r\n.\r\n");
+}
+
+TEST(DotStuffEncodeTest, NormalizesCrlf) {
+  EXPECT_EQ(DotStuffEncode("a\r\nb\n"), "a\r\nb\r\n.\r\n");
+}
+
+TEST(DotStuffEncodeTest, StuffsLeadingDots) {
+  EXPECT_EQ(DotStuffEncode(".hidden\n..double\n"),
+            "..hidden\r\n...double\r\n.\r\n");
+}
+
+TEST(DotStuffEncodeTest, LoneDotLineIsEscaped) {
+  EXPECT_EQ(DotStuffEncode(".\n"), "..\r\n.\r\n");
+}
+
+TEST(DotStuffEncodeTest, EmptyBodyIsJustTerminator) {
+  EXPECT_EQ(DotStuffEncode(""), ".\r\n");
+}
+
+TEST(DotStuffEncodeTest, UnterminatedLastLineGetsCrlf) {
+  EXPECT_EQ(DotStuffEncode("no newline"), "no newline\r\n.\r\n");
+}
+
+TEST(DotStuffDecoderTest, DecodesSimpleMessage) {
+  DotStuffDecoder dec;
+  const auto r = dec.Feed("hello\r\nworld\r\n.\r\n");
+  EXPECT_TRUE(r.finished);
+  EXPECT_TRUE(dec.finished());
+  EXPECT_EQ(dec.body(), "hello\r\nworld\r\n");
+}
+
+TEST(DotStuffDecoderTest, RemovesStuffing) {
+  DotStuffDecoder dec;
+  dec.Feed("..leading\r\n...two\r\n.\r\n");
+  EXPECT_EQ(dec.body(), ".leading\r\n..two\r\n");
+}
+
+TEST(DotStuffDecoderTest, HandlesChunkedInput) {
+  DotStuffDecoder dec;
+  EXPECT_FALSE(dec.Feed("hel").finished);
+  EXPECT_FALSE(dec.Feed("lo\r").finished);
+  EXPECT_FALSE(dec.Feed("\nwor").finished);
+  EXPECT_FALSE(dec.Feed("ld\r\n.").finished);
+  EXPECT_TRUE(dec.Feed("\r\n").finished);
+  EXPECT_EQ(dec.body(), "hello\r\nworld\r\n");
+}
+
+TEST(DotStuffDecoderTest, ReportsConsumedBytesAtTerminator) {
+  DotStuffDecoder dec;
+  const std::string wire = "body\r\n.\r\nQUIT\r\n";
+  const auto r = dec.Feed(wire);
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.consumed, 9u);  // up to and including ".\r\n"
+  EXPECT_EQ(wire.substr(r.consumed), "QUIT\r\n");
+}
+
+TEST(DotStuffDecoderTest, NoFurtherConsumptionAfterFinish) {
+  DotStuffDecoder dec;
+  dec.Feed(".\r\n");
+  const auto r = dec.Feed("more");
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.consumed, 0u);
+}
+
+TEST(DotStuffDecoderTest, BareLfTerminatorAccepted) {
+  // Tolerate sloppy clients that send "\n.\n".
+  DotStuffDecoder dec;
+  const auto r = dec.Feed("line\n.\n");
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(dec.body(), "line\r\n");
+}
+
+TEST(DotStuffDecoderTest, ResetClearsState) {
+  DotStuffDecoder dec;
+  dec.Feed("x\r\n.\r\n");
+  EXPECT_TRUE(dec.finished());
+  dec.Reset();
+  EXPECT_FALSE(dec.finished());
+  EXPECT_EQ(dec.body(), "");
+  dec.Feed("y\r\n.\r\n");
+  EXPECT_EQ(dec.body(), "y\r\n");
+}
+
+TEST(DotStuffDecoderTest, TakeBodyMoves) {
+  DotStuffDecoder dec;
+  dec.Feed("abc\r\n.\r\n");
+  EXPECT_EQ(dec.TakeBody(), "abc\r\n");
+}
+
+TEST(DotStuffRoundTripTest, EncodeDecodeIdentity) {
+  const std::string bodies[] = {
+      "",
+      "simple\n",
+      ".starts with dot\n",
+      "multi\nline\n.\nwith dot line\n",
+      "ends without newline",
+      std::string(10000, 'x') + "\n.\n" + std::string(100, 'y') + "\n",
+  };
+  for (const std::string& body : bodies) {
+    DotStuffDecoder dec;
+    const auto r = dec.Feed(DotStuffEncode(body));
+    EXPECT_TRUE(r.finished);
+    // Decoder output uses CRLF endings; normalize the input likewise.
+    std::string expected;
+    std::size_t i = 0;
+    while (i < body.size()) {
+      std::size_t eol = body.find('\n', i);
+      std::string_view line;
+      if (eol == std::string::npos) {
+        line = std::string_view(body).substr(i);
+        i = body.size();
+      } else {
+        line = std::string_view(body).substr(i, eol - i);
+        i = eol + 1;
+      }
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      expected.append(line);
+      expected.append("\r\n");
+    }
+    EXPECT_EQ(dec.body(), expected);
+  }
+}
+
+TEST(DotStuffRoundTripTest, ByteAtATimeDecoding) {
+  const std::string wire = DotStuffEncode("alpha\n.beta\ngamma\n");
+  DotStuffDecoder dec;
+  bool finished = false;
+  for (char c : wire) {
+    finished = dec.Feed(std::string_view(&c, 1)).finished;
+  }
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(dec.body(), "alpha\r\n.beta\r\ngamma\r\n");
+}
+
+}  // namespace
+}  // namespace sams::smtp

@@ -1,0 +1,170 @@
+// Robustness property tests: the server session must survive arbitrary
+// byte streams without crashing, violating its state machine, or
+// delivering mail that never completed a transaction — hostile input
+// is the normal case for an MTA (§2: sendmail's history of parser
+// CVEs motivated postfix's architecture in the first place).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "smtp/server_session.h"
+#include "util/rng.h"
+
+namespace sams::smtp {
+namespace {
+
+struct Harness {
+  explicit Harness(SessionConfig cfg = {}) {
+    ServerSession::Hooks hooks;
+    hooks.send = [this](std::string bytes) { sent += bytes; };
+    hooks.validate_rcpt = [](const Address& addr) {
+      return addr.local().starts_with("valid");
+    };
+    hooks.on_mail = [this](Envelope&& env) { mails.push_back(std::move(env)); };
+    session = std::make_unique<ServerSession>(cfg, std::move(hooks), "1.2.3.4");
+    session->Start();
+  }
+
+  std::string sent;
+  std::vector<Envelope> mails;
+  std::unique_ptr<ServerSession> session;
+};
+
+// Every emitted reply must be a well-formed SMTP reply line.
+void ExpectWellFormedReplies(const std::string& wire) {
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t eol = wire.find("\r\n", pos);
+    ASSERT_NE(eol, std::string::npos) << "reply without CRLF";
+    const std::string line = wire.substr(pos, eol - pos);
+    Reply reply;
+    EXPECT_TRUE(ParseReply(line, &reply)) << "malformed reply: " << line;
+    pos = eol + 2;
+  }
+}
+
+class SmtpFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmtpFuzzTest, RandomBytesNeverCrashOrDeliver) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Harness harness;
+  for (int chunk = 0; chunk < 50; ++chunk) {
+    std::string bytes;
+    const int len = static_cast<int>(rng.UniformInt(1, 200));
+    for (int i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    harness.session->Feed(bytes);
+    if (harness.session->state() == SessionState::kClosed) break;
+  }
+  // Random bytes contain no valid MAIL/RCPT/DATA sequence with a
+  // parseable address ending in a dot-terminator — no mail may appear.
+  EXPECT_TRUE(harness.mails.empty());
+  ExpectWellFormedReplies(harness.sent);
+}
+
+TEST_P(SmtpFuzzTest, RandomCommandSoupKeepsInvariants) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::vector<std::string> fragments = {
+      "HELO x\r\n",
+      "EHLO \r\n",
+      "MAIL FROM:<valid.sender@x.test>\r\n",
+      "MAIL FROM:garbage\r\n",
+      "RCPT TO:<valid1@dept.test>\r\n",
+      "RCPT TO:<invalid@dept.test>\r\n",
+      "RCPT TO:<>\r\n",
+      "DATA\r\n",
+      "some body line\r\n",
+      ".\r\n",
+      "..stuffed\r\n",
+      "RSET\r\n",
+      "NOOP\r\n",
+      "VRFY a\r\n",
+      "BOGUS\r\n",
+      "\r\n",
+      "MAIL FROM:<>\r\n",
+  };
+  Harness harness;
+  for (int step = 0; step < 300; ++step) {
+    const auto& fragment = fragments[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(fragments.size()) - 1))];
+    // Occasionally split a fragment across two Feed calls.
+    if (fragment.size() > 2 && rng.Bernoulli(0.3)) {
+      const std::size_t cut = static_cast<std::size_t>(
+          rng.UniformInt(1, static_cast<std::int64_t>(fragment.size()) - 1));
+      harness.session->Feed(fragment.substr(0, cut));
+      harness.session->Feed(fragment.substr(cut));
+    } else {
+      harness.session->Feed(fragment);
+    }
+  }
+  ExpectWellFormedReplies(harness.sent);
+  // Invariant: every delivered envelope has >= 1 valid recipient and
+  // every recipient passed validation.
+  for (const Envelope& env : harness.mails) {
+    ASSERT_FALSE(env.rcpt_to.empty());
+    for (const Address& rcpt : env.rcpt_to) {
+      EXPECT_TRUE(rcpt.local().starts_with("valid"));
+    }
+    EXPECT_EQ(env.client_ip, "1.2.3.4");
+  }
+  // Stats are consistent with observed deliveries.
+  EXPECT_EQ(harness.session->stats().mails_delivered, harness.mails.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmtpFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(SmtpAbuseTest, HugeCommandLineBounded) {
+  SessionConfig cfg;
+  cfg.max_line_length = 512;
+  Harness harness(cfg);
+  harness.session->Feed(std::string(100'000, 'A'));  // no newline ever
+  // The session must have rejected it rather than buffering forever.
+  EXPECT_NE(harness.sent.find("500 "), std::string::npos);
+}
+
+TEST(SmtpAbuseTest, ObeysMaxRecipients) {
+  SessionConfig cfg;
+  cfg.max_recipients = 10;
+  Harness harness(cfg);
+  harness.session->Feed("HELO x\r\nMAIL FROM:<valid.s@x.test>\r\n");
+  for (int i = 0; i < 200; ++i) {
+    harness.session->Feed("RCPT TO:<valid" + std::to_string(i) +
+                          "@dept.test>\r\n");
+  }
+  EXPECT_EQ(harness.session->rcpt_to().size(), 10u);
+  EXPECT_NE(harness.sent.find("452 "), std::string::npos);
+}
+
+TEST(SmtpAbuseTest, OversizedBodyRejectedButSessionContinues) {
+  SessionConfig cfg;
+  cfg.max_message_bytes = 1'000;
+  Harness harness(cfg);
+  harness.session->Feed(
+      "HELO x\r\nMAIL FROM:<valid.s@x.test>\r\nRCPT TO:<valid1@d.test>\r\n"
+      "DATA\r\n");
+  harness.session->Feed(std::string(100'000, 'B') + "\r\n.\r\n");
+  EXPECT_TRUE(harness.mails.empty());
+  EXPECT_NE(harness.sent.find("552 "), std::string::npos);
+  // The connection is still usable for a correct transaction.
+  harness.session->Feed(
+      "MAIL FROM:<valid.s@x.test>\r\nRCPT TO:<valid1@d.test>\r\nDATA\r\n"
+      "small\r\n.\r\n");
+  EXPECT_EQ(harness.mails.size(), 1u);
+}
+
+TEST(SmtpAbuseTest, NulBytesInCommandsHandled) {
+  Harness harness;
+  std::string nul_line = "HELO x";
+  nul_line.push_back('\0');
+  nul_line += "y\r\n";
+  harness.session->Feed(nul_line);
+  harness.session->Feed("NOOP\r\n");
+  EXPECT_NE(harness.sent.find("250 "), std::string::npos);
+  ExpectWellFormedReplies(harness.sent);
+}
+
+}  // namespace
+}  // namespace sams::smtp

@@ -1,0 +1,95 @@
+#include "smtp/reply.h"
+
+#include <gtest/gtest.h>
+
+namespace sams::smtp {
+namespace {
+
+TEST(ReplyTest, SerializeFormatsCodeTextCrlf) {
+  Reply r{ReplyCode::kOk, "Ok"};
+  EXPECT_EQ(r.Serialize(), "250 Ok\r\n");
+}
+
+TEST(ReplyTest, Classification) {
+  EXPECT_TRUE((Reply{ReplyCode::kOk, ""}).IsPositive());
+  EXPECT_TRUE((Reply{ReplyCode::kStartMailInput, ""}).IsPositive());
+  EXPECT_FALSE((Reply{ReplyCode::kUserUnknown, ""}).IsPositive());
+  EXPECT_TRUE((Reply{ReplyCode::kUserUnknown, ""}).IsPermanentFailure());
+  EXPECT_TRUE((Reply{ReplyCode::kMailboxBusy, ""}).IsTransientFailure());
+  EXPECT_FALSE((Reply{ReplyCode::kMailboxBusy, ""}).IsPermanentFailure());
+}
+
+TEST(ParseReplyTest, ParsesSimpleReply) {
+  Reply r;
+  ASSERT_TRUE(ParseReply("250 Ok\r\n", &r));
+  EXPECT_EQ(r.code, ReplyCode::kOk);
+  EXPECT_EQ(r.text, "Ok");
+}
+
+TEST(ParseReplyTest, ParsesWithoutCrlf) {
+  Reply r;
+  ASSERT_TRUE(ParseReply("550 User unknown", &r));
+  EXPECT_EQ(r.code, ReplyCode::kUserUnknown);
+  EXPECT_EQ(r.text, "User unknown");
+}
+
+TEST(ParseReplyTest, ParsesBareCode) {
+  Reply r;
+  ASSERT_TRUE(ParseReply("221", &r));
+  EXPECT_EQ(r.code, ReplyCode::kClosing);
+  EXPECT_EQ(r.text, "");
+}
+
+TEST(ParseReplyTest, DetectsContinuation) {
+  Reply r;
+  bool more = false;
+  ASSERT_TRUE(ParseReply("250-PIPELINING\r\n", &r, &more));
+  EXPECT_TRUE(more);
+  ASSERT_TRUE(ParseReply("250 DSN\r\n", &r, &more));
+  EXPECT_FALSE(more);
+}
+
+TEST(ParseReplyTest, RejectsGarbage) {
+  Reply r;
+  EXPECT_FALSE(ParseReply("", &r));
+  EXPECT_FALSE(ParseReply("ab", &r));
+  EXPECT_FALSE(ParseReply("2x0 Ok", &r));
+  EXPECT_FALSE(ParseReply("199 too low", &r));
+  EXPECT_FALSE(ParseReply("600 too high", &r));
+  EXPECT_FALSE(ParseReply("250_bad separator", &r));
+}
+
+TEST(CannedRepliesTest, BounceReplyIs550) {
+  const Reply r = UserUnknownReply("ghost@example.edu");
+  EXPECT_EQ(r.code, ReplyCode::kUserUnknown);
+  EXPECT_NE(r.text.find("ghost@example.edu"), std::string::npos);
+  EXPECT_NE(r.text.find("User unknown"), std::string::npos);
+}
+
+TEST(CannedRepliesTest, BannerAndByeCarryHostname) {
+  EXPECT_NE(BannerReply("mx.purdue.test").text.find("mx.purdue.test"),
+            std::string::npos);
+  EXPECT_EQ(BannerReply("h").code, ReplyCode::kServiceReady);
+  EXPECT_EQ(ByeReply("h").code, ReplyCode::kClosing);
+}
+
+TEST(CannedRepliesTest, BlacklistedReplyNamesZone) {
+  const Reply r = BlacklistedReply("1.2.3.4", "cbl.abuseat.org");
+  EXPECT_EQ(r.code, ReplyCode::kTransactionFailed);
+  EXPECT_NE(r.text.find("cbl.abuseat.org"), std::string::npos);
+  EXPECT_NE(r.text.find("1.2.3.4"), std::string::npos);
+}
+
+TEST(CannedRepliesTest, RoundTripThroughParse) {
+  for (const Reply& canned :
+       {OkReply(), StartMailInputReply(), SyntaxErrorReply(),
+        TooManyRecipientsReply(), MessageTooBigReply()}) {
+    Reply parsed;
+    ASSERT_TRUE(ParseReply(canned.Serialize(), &parsed));
+    EXPECT_EQ(parsed.code, canned.code);
+    EXPECT_EQ(parsed.text, canned.text);
+  }
+}
+
+}  // namespace
+}  // namespace sams::smtp

@@ -1,0 +1,380 @@
+#include "smtp/server_session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sams::smtp {
+namespace {
+
+// Test fixture capturing replies/mails and validating recipients
+// against a fixed mailbox set — a miniature access database (§2).
+class ServerSessionTest : public ::testing::Test {
+ protected:
+  ServerSession MakeSession(SessionConfig cfg = {}) {
+    ServerSession::Hooks hooks;
+    hooks.send = [this](std::string bytes) { wire_ += bytes; };
+    hooks.validate_rcpt = [this](const Address& a) {
+      return mailboxes_.count(a.ToString()) > 0;
+    };
+    hooks.on_mail = [this](Envelope&& env) { mails_.push_back(std::move(env)); };
+    hooks.on_quit = [this] { quit_ = true; };
+    hooks.on_first_valid_rcpt = [this] { ++first_rcpt_events_; };
+    return ServerSession(cfg, std::move(hooks), "10.1.2.3");
+  }
+
+  // Returns the last complete reply line.
+  std::string LastReply() const {
+    if (wire_.empty()) return "";
+    std::size_t end = wire_.rfind("\r\n");
+    if (end == std::string::npos) return wire_;
+    std::size_t begin = wire_.rfind("\r\n", end - 1);
+    begin = begin == std::string::npos ? 0 : begin + 2;
+    return wire_.substr(begin, end - begin);
+  }
+
+  std::set<std::string> mailboxes_ = {"alice@dept.test", "bob@dept.test",
+                                      "carol@dept.test"};
+  std::string wire_;
+  std::vector<Envelope> mails_;
+  bool quit_ = false;
+  int first_rcpt_events_ = 0;
+};
+
+TEST_F(ServerSessionTest, StartSendsBanner) {
+  auto s = MakeSession();
+  s.Start();
+  EXPECT_EQ(wire_.substr(0, 4), "220 ");
+  EXPECT_EQ(s.state(), SessionState::kConnected);
+}
+
+TEST_F(ServerSessionTest, FullTransactionDeliversMail) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO spammer.example\r\n");
+  EXPECT_EQ(s.state(), SessionState::kGreeted);
+  s.Feed("MAIL FROM:<sender@spam.test>\r\n");
+  EXPECT_EQ(s.state(), SessionState::kMailGiven);
+  s.Feed("RCPT TO:<alice@dept.test>\r\n");
+  EXPECT_EQ(s.state(), SessionState::kRcptGiven);
+  s.Feed("DATA\r\n");
+  EXPECT_EQ(s.state(), SessionState::kData);
+  s.Feed("Subject: hi\r\n\r\nbody line\r\n.\r\n");
+  EXPECT_EQ(s.state(), SessionState::kGreeted);
+  s.Feed("QUIT\r\n");
+  EXPECT_EQ(s.state(), SessionState::kClosed);
+  EXPECT_TRUE(quit_);
+
+  ASSERT_EQ(mails_.size(), 1u);
+  const Envelope& env = mails_[0];
+  EXPECT_EQ(env.client_ip, "10.1.2.3");
+  EXPECT_EQ(env.helo, "spammer.example");
+  EXPECT_EQ(env.mail_from.ToString(), "<sender@spam.test>");
+  ASSERT_EQ(env.rcpt_to.size(), 1u);
+  EXPECT_EQ(env.rcpt_to[0].ToString(), "alice@dept.test");
+  EXPECT_EQ(env.body, "Subject: hi\r\n\r\nbody line\r\n");
+}
+
+TEST_F(ServerSessionTest, BounceGets550) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<ghost@dept.test>\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "550 ");
+  EXPECT_EQ(s.state(), SessionState::kMailGiven);  // not advanced
+  EXPECT_EQ(s.stats().rejected_rcpts, 1u);
+  EXPECT_EQ(first_rcpt_events_, 0);
+}
+
+TEST_F(ServerSessionTest, MixedRcptsKeepOnlyValid) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\n");
+  s.Feed("RCPT TO:<ghost@dept.test>\r\n");
+  s.Feed("RCPT TO:<alice@dept.test>\r\n");
+  s.Feed("RCPT TO:<bob@dept.test>\r\n");
+  s.Feed("RCPT TO:<phantom@dept.test>\r\n");
+  EXPECT_EQ(s.rcpt_to().size(), 2u);
+  EXPECT_EQ(s.stats().accepted_rcpts, 2u);
+  EXPECT_EQ(s.stats().rejected_rcpts, 2u);
+  // Delegation trigger fires exactly once, on the FIRST valid RCPT.
+  EXPECT_EQ(first_rcpt_events_, 1);
+}
+
+TEST_F(ServerSessionTest, MailBeforeHeloRejectedWhenRequired) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("MAIL FROM:<s@x.test>\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "503 ");
+  EXPECT_EQ(s.state(), SessionState::kConnected);
+}
+
+TEST_F(ServerSessionTest, MailBeforeHeloAllowedWhenNotRequired) {
+  SessionConfig cfg;
+  cfg.require_helo = false;
+  auto s = MakeSession(cfg);
+  s.Start();
+  s.Feed("MAIL FROM:<s@x.test>\r\n");
+  EXPECT_EQ(s.state(), SessionState::kMailGiven);
+}
+
+TEST_F(ServerSessionTest, RcptBeforeMailRejected) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nRCPT TO:<alice@dept.test>\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "503 ");
+}
+
+TEST_F(ServerSessionTest, NestedMailRejected) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<a@x.test>\r\nMAIL FROM:<b@x.test>\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "503 ");
+  EXPECT_EQ(s.mail_from().ToString(), "<a@x.test>");
+}
+
+TEST_F(ServerSessionTest, DataWithAllRcptsBouncedGets554) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<ghost@dept.test>\r\nDATA\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "554 ");
+}
+
+TEST_F(ServerSessionTest, DataWithoutRcptGets503) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nDATA\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "503 ");
+}
+
+TEST_F(ServerSessionTest, NullSenderAcceptedForBounceNotifications) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<>\r\nRCPT TO:<alice@dept.test>\r\n");
+  EXPECT_EQ(s.state(), SessionState::kRcptGiven);
+  EXPECT_TRUE(s.mail_from().IsNull());
+}
+
+TEST_F(ServerSessionTest, NullRcptRejected) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<>\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "501 ");
+}
+
+TEST_F(ServerSessionTest, MalformedMailFromGets501) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:junk\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "501 ");
+  EXPECT_EQ(s.stats().syntax_errors, 1u);
+}
+
+TEST_F(ServerSessionTest, UnknownCommandGets500) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("XYZZY\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "500 ");
+}
+
+TEST_F(ServerSessionTest, VrfyDisabled) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("VRFY alice\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "502 ");
+}
+
+TEST_F(ServerSessionTest, NoopAndRset) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\n");
+  s.Feed("RSET\r\n");
+  EXPECT_EQ(s.state(), SessionState::kGreeted);
+  EXPECT_TRUE(s.rcpt_to().empty());
+  s.Feed("NOOP\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "250 ");
+}
+
+TEST_F(ServerSessionTest, RecipientCapEnforced) {
+  SessionConfig cfg;
+  cfg.max_recipients = 2;
+  auto s = MakeSession(cfg);
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\n");
+  s.Feed("RCPT TO:<alice@dept.test>\r\nRCPT TO:<bob@dept.test>\r\n");
+  s.Feed("RCPT TO:<carol@dept.test>\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "452 ");
+  EXPECT_EQ(s.rcpt_to().size(), 2u);
+}
+
+TEST_F(ServerSessionTest, OversizedMessageGets552AndIsDropped) {
+  SessionConfig cfg;
+  cfg.max_message_bytes = 10;
+  auto s = MakeSession(cfg);
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\n");
+  s.Feed("this line is much longer than ten bytes\r\n.\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "552 ");
+  EXPECT_TRUE(mails_.empty());
+  EXPECT_EQ(s.state(), SessionState::kGreeted);
+}
+
+TEST_F(ServerSessionTest, PipelinedCommandsInOneChunk) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed(
+      "HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\n"
+      "DATA\r\nhi\r\n.\r\nQUIT\r\n");
+  ASSERT_EQ(mails_.size(), 1u);
+  EXPECT_EQ(mails_[0].body, "hi\r\n");
+  EXPECT_TRUE(quit_);
+}
+
+TEST_F(ServerSessionTest, BytePerByteFeeding) {
+  auto s = MakeSession();
+  s.Start();
+  const std::string wire =
+      "HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<bob@dept.test>\r\n"
+      "DATA\r\nslow body\r\n.\r\nQUIT\r\n";
+  for (char c : wire) s.Feed(std::string_view(&c, 1));
+  ASSERT_EQ(mails_.size(), 1u);
+  EXPECT_EQ(mails_[0].body, "slow body\r\n");
+}
+
+TEST_F(ServerSessionTest, MultipleTransactionsPerConnection) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\n");
+  for (int i = 0; i < 3; ++i) {
+    s.Feed("MAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\n");
+    s.Feed("mail " + std::to_string(i) + "\r\n.\r\n");
+  }
+  EXPECT_EQ(mails_.size(), 3u);
+  EXPECT_EQ(mails_[2].body, "mail 2\r\n");
+  EXPECT_EQ(s.stats().mails_delivered, 3u);
+}
+
+TEST_F(ServerSessionTest, OverlongCommandLineRejected) {
+  SessionConfig cfg;
+  cfg.max_line_length = 64;
+  auto s = MakeSession(cfg);
+  s.Start();
+  s.Feed(std::string(100, 'A'));  // no newline
+  EXPECT_EQ(LastReply().substr(0, 4), "500 ");
+}
+
+TEST_F(ServerSessionTest, NoCommandsProcessedAfterQuit) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("QUIT\r\nHELO x\r\n");
+  EXPECT_EQ(s.state(), SessionState::kClosed);
+  EXPECT_EQ(s.stats().commands, 1u);
+}
+
+TEST_F(ServerSessionTest, DotStuffedBodyUnstuffed) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\n");
+  s.Feed("..dot line\r\n.\r\n");
+  ASSERT_EQ(mails_.size(), 1u);
+  EXPECT_EQ(mails_[0].body, ".dot line\r\n");
+}
+
+// --- fork-after-trust handoff ---------------------------------------
+
+TEST_F(ServerSessionTest, HandoffRequiresRcptGiven) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO x\r\n");
+  auto payload = s.SerializeHandoff();
+  EXPECT_FALSE(payload.ok());
+  EXPECT_EQ(payload.error().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(ServerSessionTest, HandoffRoundTripPreservesEnvelope) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO relay.example\r\nMAIL FROM:<s@x.test>\r\n");
+  s.Feed("RCPT TO:<alice@dept.test>\r\nRCPT TO:<bob@dept.test>\r\n");
+  auto payload = s.SerializeHandoff();
+  ASSERT_TRUE(payload.ok()) << payload.error().ToString();
+
+  std::string worker_wire;
+  std::vector<Envelope> worker_mails;
+  ServerSession::Hooks hooks;
+  hooks.send = [&](std::string b) { worker_wire += b; };
+  hooks.validate_rcpt = [](const Address&) { return true; };
+  hooks.on_mail = [&](Envelope&& env) { worker_mails.push_back(std::move(env)); };
+  auto resumed = ServerSession::ResumeFromHandoff({}, std::move(hooks), *payload);
+  ASSERT_TRUE(resumed.ok()) << resumed.error().ToString();
+
+  EXPECT_EQ(resumed->state(), SessionState::kRcptGiven);
+  EXPECT_EQ(resumed->client_ip(), "10.1.2.3");
+  EXPECT_EQ(resumed->mail_from().ToString(), "<s@x.test>");
+  ASSERT_EQ(resumed->rcpt_to().size(), 2u);
+
+  // The worker finishes the transaction.
+  resumed->Feed("DATA\r\nhanded off\r\n.\r\nQUIT\r\n");
+  ASSERT_EQ(worker_mails.size(), 1u);
+  EXPECT_EQ(worker_mails[0].body, "handed off\r\n");
+  EXPECT_EQ(worker_mails[0].client_ip, "10.1.2.3");
+  EXPECT_EQ(worker_mails[0].helo, "relay.example");
+  EXPECT_EQ(worker_mails[0].rcpt_to.size(), 2u);
+}
+
+TEST_F(ServerSessionTest, HandoffCarriesPipelinedBytes) {
+  auto s = MakeSession();
+  s.Start();
+  // Client pipelines DATA (and more) right behind RCPT.
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\npipelined");
+  auto payload = s.SerializeHandoff();
+  // Session already advanced past RCPT into DATA due to pipelining —
+  // handoff must fail (master only delegates from RCPT_GIVEN).
+  EXPECT_FALSE(payload.ok());
+}
+
+TEST_F(ServerSessionTest, HandoffWithPartialNextLineBuffered) {
+  auto s = MakeSession();
+  s.Start();
+  // A partial next command sits in the buffer at delegation time.
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDA");
+  ASSERT_EQ(s.state(), SessionState::kRcptGiven);
+  auto payload = s.SerializeHandoff();
+  ASSERT_TRUE(payload.ok());
+
+  std::vector<Envelope> worker_mails;
+  ServerSession::Hooks hooks;
+  hooks.send = [](std::string) {};
+  hooks.validate_rcpt = [](const Address&) { return true; };
+  hooks.on_mail = [&](Envelope&& env) { worker_mails.push_back(std::move(env)); };
+  auto resumed = ServerSession::ResumeFromHandoff({}, std::move(hooks), *payload);
+  ASSERT_TRUE(resumed.ok());
+  resumed->Feed("TA\r\nbody\r\n.\r\n");
+  ASSERT_EQ(worker_mails.size(), 1u);
+  EXPECT_EQ(worker_mails[0].body, "body\r\n");
+}
+
+TEST_F(ServerSessionTest, ResumeRejectsCorruptPayloads) {
+  ServerSession::Hooks hooks;
+  hooks.send = [](std::string) {};
+  hooks.validate_rcpt = [](const Address&) { return true; };
+  const std::string bad_payloads[] = {
+      "",
+      "ip=1.2.3.4\n",                                    // incomplete
+      "garbage\n",                                       // no '='
+      "ip=1.2.3.4\nfrom=<s@x>\nrcpt=bad\nbuf=\n",        // bad rcpt
+      "ip=1.2.3.4\nfrom=junk\nrcpt=<a@b.c>\nbuf=\n",     // bad from
+      "zz=1\nip=1.2.3.4\nfrom=<s@x.y>\nrcpt=<a@b.c>\nbuf=\n",  // unknown key
+      "ip=1.2.3.4\nfrom=<s@x.y>\nbuf=\n",                // no rcpt
+  };
+  for (const auto& payload : bad_payloads) {
+    auto hooks_copy = hooks;
+    auto r = ServerSession::ResumeFromHandoff({}, std::move(hooks_copy), payload);
+    EXPECT_FALSE(r.ok()) << "payload accepted: " << payload;
+  }
+}
+
+}  // namespace
+}  // namespace sams::smtp

@@ -1,0 +1,109 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/sinkhole.h"
+#include "trace/synthetic.h"
+
+namespace sams::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tag = ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    for (char& c : tag) {
+      if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    path_ = ::testing::TempDir() + "/trace_io_" + tag + ".trace";
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  BounceSweepConfig cfg;
+  cfg.n_sessions = 500;
+  cfg.bounce_ratio = 0.4;
+  const auto sessions = MakeBounceSweepTrace(cfg);
+  ASSERT_TRUE(SaveTrace(path_, sessions).ok());
+
+  auto loaded = LoadTrace(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  ASSERT_EQ(loaded->size(), sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].arrival, sessions[i].arrival) << i;
+    EXPECT_EQ((*loaded)[i].client_ip, sessions[i].client_ip) << i;
+    EXPECT_EQ((*loaded)[i].kind, sessions[i].kind) << i;
+    EXPECT_EQ((*loaded)[i].is_spam, sessions[i].is_spam) << i;
+    EXPECT_EQ((*loaded)[i].size_bytes, sessions[i].size_bytes) << i;
+    EXPECT_EQ((*loaded)[i].n_rcpts, sessions[i].n_rcpts) << i;
+    EXPECT_EQ((*loaded)[i].n_valid_rcpts, sessions[i].n_valid_rcpts) << i;
+  }
+}
+
+TEST_F(TraceIoTest, SinkholeSliceRoundTrip) {
+  SinkholeConfig cfg;
+  cfg.n_connections = 2'000;
+  cfg.n_ips = 500;
+  cfg.n_prefixes = 220;
+  const SinkholeModel model(cfg);
+  ASSERT_TRUE(SaveTrace(path_, model.sessions()).ok());
+  auto loaded = LoadTrace(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(Summarize("x", *loaded).unique_ips,
+            Summarize("x", model.sessions()).unique_ips);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrip) {
+  ASSERT_TRUE(SaveTrace(path_, {}).ok());
+  auto loaded = LoadTrace(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(TraceIoTest, MissingFileFails) {
+  auto loaded = LoadTrace(path_ + ".nope");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code(), util::ErrorCode::kIoError);
+}
+
+TEST_F(TraceIoTest, WrongMagicRejected) {
+  std::ofstream(path_) << "not-a-trace\n1|2|3\n";
+  auto loaded = LoadTrace(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, MalformedRecordsRejected) {
+  const char* bad_bodies[] = {
+      "1000|1.2.3.4|N|1|100",              // too few fields
+      "x|1.2.3.4|N|1|100|1|1",             // bad arrival
+      "1000|999.2.3.4|N|1|100|1|1",        // bad ip
+      "1000|1.2.3.4|Z|1|100|1|1",          // bad kind
+      "1000|1.2.3.4|N|1|100|1|5",          // valid > attempted
+  };
+  for (const char* body : bad_bodies) {
+    std::ofstream(path_) << "sams-trace-v1\n" << body << "\n";
+    auto loaded = LoadTrace(path_);
+    EXPECT_FALSE(loaded.ok()) << body;
+  }
+}
+
+TEST_F(TraceIoTest, ToleratesBlankLines) {
+  std::ofstream(path_) << "sams-trace-v1\n\n1000|1.2.3.4|N|1|100|2|2\n\n";
+  auto loaded = LoadTrace(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].n_rcpts, 2);
+}
+
+}  // namespace
+}  // namespace sams::trace

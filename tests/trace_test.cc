@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/ecn.h"
+#include "trace/sinkhole.h"
+#include "trace/survey.h"
+#include "trace/synthetic.h"
+#include "trace/univ.h"
+#include "trace/workload.h"
+#include "util/stats.h"
+
+namespace sams::trace {
+namespace {
+
+// Scaled-down sinkhole for fast unit tests; full-size statistics are
+// verified once in SinkholeFullSizeTest below.
+SinkholeConfig SmallSinkhole() {
+  SinkholeConfig cfg;
+  cfg.n_connections = 20'000;
+  cfg.n_ips = 4'000;
+  cfg.n_prefixes = 1'800;
+  cfg.n_botnets = 20;
+  return cfg;
+}
+
+TEST(SizeModelTest, SpamSmallerThanHamOnAverage) {
+  util::Rng rng(1);
+  double spam = 0, ham = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    spam += SampleSpamSize(rng);
+    ham += SampleHamSize(rng);
+  }
+  EXPECT_LT(spam / n, ham / n);
+  EXPECT_GT(spam / n, 1'000);   // not degenerate
+  EXPECT_LT(ham / n, 200'000);  // tail clamped
+}
+
+TEST(RcptDistributionTest, MatchesFigureFour) {
+  util::Rng rng(2);
+  util::Sampler sampler;
+  for (int i = 0; i < 100'000; ++i) {
+    sampler.Add(SampleSinkholeRcpts(rng));
+  }
+  // §6.3: "the average number of recipients per connection in this
+  // trace is about 7"; Figure 4: bulk between 5 and 15.
+  EXPECT_NEAR(sampler.mean(), 7.0, 0.3);
+  EXPECT_GE(sampler.Percentile(25), 4.0);
+  EXPECT_LE(sampler.Percentile(90), 12.0);
+  EXPECT_LE(sampler.Percentile(100), 20.0);
+  EXPECT_GE(sampler.Percentile(1), 1.0);
+}
+
+TEST(SinkholeTest, TableOneCountsExact) {
+  SinkholeModel model(SmallSinkhole());
+  const TraceSummary s = model.Summary();
+  EXPECT_EQ(s.connections, 20'000u);
+  EXPECT_EQ(s.unique_ips, 4'000u);  // every bot appears (campaigns cycle)
+  EXPECT_EQ(model.bot_ips().size(), 4'000u);
+  std::unordered_set<Prefix24> prefixes;
+  for (const Ipv4 ip : model.bot_ips()) prefixes.insert(Prefix24(ip));
+  EXPECT_EQ(prefixes.size(), 1'800u);
+}
+
+TEST(SinkholeTest, ArrivalsSortedAndSpanDuration) {
+  SinkholeModel model(SmallSinkhole());
+  const auto& sessions = model.sessions();
+  for (std::size_t i = 1; i < sessions.size(); ++i) {
+    EXPECT_LE(sessions[i - 1].arrival, sessions[i].arrival);
+  }
+  EXPECT_EQ(sessions.back().arrival, SimTime::Days(61));
+}
+
+TEST(SinkholeTest, CblDensityMatchesFigureTwelve) {
+  SinkholeModel model(SmallSinkhole());
+  int over10 = 0, over100 = 0, total = 0;
+  for (const auto& [prefix, density] : model.cbl_density()) {
+    ++total;
+    if (density > 10) ++over10;
+    if (density > 100) ++over100;
+    EXPECT_GE(density, 1);
+    EXPECT_LE(density, 254);
+  }
+  // "40% of the prefixes contained more than 10 IPs blacklisted" and
+  // "about 3% contained more than 100" (§7.1).
+  EXPECT_NEAR(static_cast<double>(over10) / total, 0.40, 0.05);
+  EXPECT_NEAR(static_cast<double>(over100) / total, 0.03, 0.02);
+}
+
+TEST(SinkholeTest, ListedIpsCoverBotsAndDensity) {
+  SinkholeConfig cfg = SmallSinkhole();
+  cfg.n_connections = 5'000;
+  cfg.n_ips = 1'000;
+  cfg.n_prefixes = 450;
+  SinkholeModel model(cfg);
+  const auto listed = model.ListedIps();
+  std::unordered_set<Ipv4> listed_set(listed.begin(), listed.end());
+  EXPECT_EQ(listed_set.size(), listed.size());  // no duplicates
+  for (const Ipv4 bot : model.bot_ips()) {
+    EXPECT_TRUE(listed_set.contains(bot));
+  }
+  // Per-prefix counts match the density map.
+  std::unordered_map<Prefix24, int> counts;
+  for (const Ipv4 ip : listed) ++counts[Prefix24(ip)];
+  for (const auto& [prefix, density] : model.cbl_density()) {
+    EXPECT_EQ(counts[prefix], density) << prefix.ToString();
+  }
+}
+
+TEST(SinkholeTest, PrefixInterarrivalShorterThanIp) {
+  // Figure 13: temporal locality is stronger at /24 granularity.
+  SinkholeModel model(SmallSinkhole());
+  std::unordered_map<Ipv4, SimTime> last_ip;
+  std::unordered_map<Prefix24, SimTime> last_prefix;
+  util::Sampler ip_gaps, prefix_gaps;
+  for (const SessionSpec& s : model.sessions()) {
+    if (auto it = last_ip.find(s.client_ip); it != last_ip.end()) {
+      ip_gaps.Add((s.arrival - it->second).seconds());
+    }
+    last_ip[s.client_ip] = s.arrival;
+    const Prefix24 p(s.client_ip);
+    if (auto it = last_prefix.find(p); it != last_prefix.end()) {
+      prefix_gaps.Add((s.arrival - it->second).seconds());
+    }
+    last_prefix[p] = s.arrival;
+  }
+  ASSERT_GT(ip_gaps.count(), 100u);
+  ASSERT_GT(prefix_gaps.count(), 100u);
+  EXPECT_LT(prefix_gaps.Percentile(50), ip_gaps.Percentile(50));
+  EXPECT_LT(prefix_gaps.mean(), ip_gaps.mean());
+}
+
+TEST(SinkholeTest, DeterministicForSameSeed) {
+  SinkholeModel a(SmallSinkhole());
+  SinkholeModel b(SmallSinkhole());
+  ASSERT_EQ(a.sessions().size(), b.sessions().size());
+  for (std::size_t i = 0; i < a.sessions().size(); i += 997) {
+    EXPECT_EQ(a.sessions()[i].client_ip, b.sessions()[i].client_ip);
+    EXPECT_EQ(a.sessions()[i].arrival, b.sessions()[i].arrival);
+    EXPECT_EQ(a.sessions()[i].size_bytes, b.sessions()[i].size_bytes);
+  }
+}
+
+// One full-size generation pass pinning the exact Table 1 numbers.
+TEST(SinkholeFullSizeTest, TableOneNumbers) {
+  SinkholeModel model;  // defaults = paper values
+  const TraceSummary s = model.Summary();
+  EXPECT_EQ(s.connections, 101'692u);
+  EXPECT_EQ(s.unique_ips, 19'492u);
+  EXPECT_EQ(s.unique_prefixes24, 8'832u);
+  EXPECT_NEAR(s.mean_rcpts, 7.0, 0.3);
+  EXPECT_EQ(s.spam_ratio, 1.0);
+}
+
+UnivConfig SmallUniv() {
+  UnivConfig cfg;
+  cfg.n_connections = 60'000;
+  cfg.n_spam_ips = 18'000;
+  cfg.n_ham_ips = 1'000;
+  return cfg;
+}
+
+TEST(UnivTest, RatiosMatchConfig) {
+  UnivModel model(SmallUniv());
+  const TraceSummary s = model.Summary();
+  EXPECT_EQ(s.connections, 60'000u);
+  EXPECT_NEAR(s.bounce_ratio, 0.22, 0.02);
+  EXPECT_NEAR(s.unfinished_ratio, 0.10, 0.02);
+  // Among delivered (normal) sessions, 67% are spam.
+  std::size_t normal = 0, normal_spam = 0;
+  for (const SessionSpec& spec : model.sessions()) {
+    if (spec.kind == SessionKind::kNormal) {
+      ++normal;
+      if (spec.is_spam) ++normal_spam;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(normal_spam) / normal, 0.67, 0.02);
+}
+
+TEST(UnivTest, HamRcptMeanNearOne) {
+  UnivModel model(SmallUniv());
+  double rcpts = 0;
+  std::size_t n = 0;
+  for (const SessionSpec& spec : model.sessions()) {
+    if (spec.kind == SessionKind::kNormal && !spec.is_spam) {
+      rcpts += spec.n_rcpts;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(rcpts / static_cast<double>(n), 1.02, 0.01);
+}
+
+TEST(UnivTest, SpamPopulationIsWide) {
+  UnivModel model(SmallUniv());
+  // ~1.8 spam IPs per /24: per-IP caching will not help much (§4.3).
+  std::unordered_set<Prefix24> prefixes;
+  for (const Ipv4 ip : model.spam_ips()) prefixes.insert(Prefix24(ip));
+  const double per_prefix =
+      static_cast<double>(model.spam_ips().size()) / prefixes.size();
+  EXPECT_LT(per_prefix, 2.2);
+  EXPECT_GT(per_prefix, 1.2);
+}
+
+TEST(UnivTest, BouncesNeverHaveValidRcpts) {
+  UnivModel model(SmallUniv());
+  for (const SessionSpec& spec : model.sessions()) {
+    if (spec.kind == SessionKind::kBounce) {
+      EXPECT_EQ(spec.n_valid_rcpts, 0);
+      EXPECT_GE(spec.n_rcpts, 1);
+    }
+    if (spec.kind == SessionKind::kUnfinished) {
+      EXPECT_EQ(spec.n_rcpts, 0);
+    }
+  }
+}
+
+TEST(EcnTest, FigureThreeBands) {
+  EcnBounceModel model;
+  ASSERT_EQ(model.days().size(), 395u);
+  for (const EcnDay& day : model.days()) {
+    EXPECT_GE(day.bounce_ratio, 0.17);
+    EXPECT_LE(day.bounce_ratio, 0.28);
+    EXPECT_GE(day.unfinished_ratio, 0.04);
+    EXPECT_LE(day.unfinished_ratio, 0.16);
+  }
+  EXPECT_NEAR(model.MeanBounceRatio(), 0.225, 0.015);
+  EXPECT_NEAR(model.MeanUnfinishedRatio(), 0.10, 0.02);
+}
+
+TEST(EcnTest, SlightUpwardTrend) {
+  EcnBounceModel model;
+  // First vs last quarter averages.
+  double early = 0, late = 0;
+  const std::size_t q = model.days().size() / 4;
+  for (std::size_t i = 0; i < q; ++i) early += model.days()[i].bounce_ratio;
+  for (std::size_t i = model.days().size() - q; i < model.days().size(); ++i) {
+    late += model.days()[i].bounce_ratio;
+  }
+  EXPECT_GT(late / q, early / q + 0.01);
+}
+
+TEST(BounceSweepTest, RatioControlsKinds) {
+  for (double ratio : {0.0, 0.4, 0.9, 1.0}) {
+    BounceSweepConfig cfg;
+    cfg.n_sessions = 20'000;
+    cfg.bounce_ratio = ratio;
+    const auto sessions = MakeBounceSweepTrace(cfg);
+    std::size_t rogue = 0;
+    for (const SessionSpec& s : sessions) {
+      if (s.kind != SessionKind::kNormal) ++rogue;
+    }
+    EXPECT_NEAR(static_cast<double>(rogue) / sessions.size(), ratio, 0.02)
+        << "ratio " << ratio;
+  }
+}
+
+TEST(BounceSweepTest, NormalSessionsSingleRecipient) {
+  BounceSweepConfig cfg;
+  cfg.bounce_ratio = 0.0;
+  cfg.n_sessions = 1'000;
+  for (const SessionSpec& s : MakeBounceSweepTrace(cfg)) {
+    EXPECT_EQ(s.kind, SessionKind::kNormal);
+    EXPECT_EQ(s.n_rcpts, 1);
+    EXPECT_GT(s.size_bytes, 0u);
+  }
+}
+
+TEST(RecipientSweepTest, SequencesShareSizeAndSplitIntoConnections) {
+  RecipientSweepConfig cfg;
+  cfg.n_mails = 100;
+  cfg.sequence_len = 15;
+  cfg.rcpts_per_connection = 5;
+  const auto sessions = MakeRecipientSweepTrace(cfg);
+  // 15 recipients at 5 per connection = 3 connections per sequence.
+  ASSERT_EQ(sessions.size(), 300u);
+  for (std::size_t i = 0; i < sessions.size(); i += 3) {
+    EXPECT_EQ(sessions[i].size_bytes, sessions[i + 1].size_bytes);
+    EXPECT_EQ(sessions[i].size_bytes, sessions[i + 2].size_bytes);
+    EXPECT_EQ(sessions[i].n_rcpts, 5);
+  }
+  // Different sequences (almost surely) differ in size.
+  EXPECT_NE(sessions[0].size_bytes, sessions[3].size_bytes);
+}
+
+TEST(RecipientSweepTest, UnevenSplitLastConnectionSmaller) {
+  RecipientSweepConfig cfg;
+  cfg.n_mails = 1;
+  cfg.sequence_len = 15;
+  cfg.rcpts_per_connection = 4;
+  const auto sessions = MakeRecipientSweepTrace(cfg);
+  ASSERT_EQ(sessions.size(), 4u);  // 4+4+4+3
+  EXPECT_EQ(sessions[3].n_rcpts, 3);
+}
+
+TEST(SurveyTest, FigureOneDataSane) {
+  const auto& survey = FigureOneSurvey();
+  ASSERT_EQ(survey.size(), 11u);
+  EXPECT_EQ(survey.back().name, "Sendmail");  // largest share
+  double prev = 0, total = 0;
+  for (const MtaShare& share : survey) {
+    EXPECT_GE(share.percent, prev);  // plotted ascending
+    prev = share.percent;
+    total += share.percent;
+  }
+  EXPECT_LT(total, 100.0);  // remainder is other/unknown software
+  EXPECT_GT(total, 30.0);
+}
+
+TEST(SummarizeTest, EmptyTrace) {
+  const TraceSummary s = Summarize("empty", {});
+  EXPECT_EQ(s.connections, 0u);
+  EXPECT_EQ(s.spam_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace sams::trace

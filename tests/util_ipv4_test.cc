@@ -1,0 +1,134 @@
+#include "util/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sams::util {
+namespace {
+
+TEST(Ipv4Test, ParseValid) {
+  auto ip = Ipv4::Parse("192.168.1.200");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->octet(0), 192);
+  EXPECT_EQ(ip->octet(1), 168);
+  EXPECT_EQ(ip->octet(2), 1);
+  EXPECT_EQ(ip->octet(3), 200);
+  EXPECT_EQ(ip->ToString(), "192.168.1.200");
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::Parse("").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::Parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1..3.4").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3.-4").has_value());
+}
+
+TEST(Ipv4Test, ParseFormatRoundTrip) {
+  for (const char* s : {"0.0.0.0", "255.255.255.255", "10.0.0.1", "127.0.0.2"}) {
+    auto ip = Ipv4::Parse(s);
+    ASSERT_TRUE(ip.has_value()) << s;
+    EXPECT_EQ(ip->ToString(), s);
+  }
+}
+
+TEST(Ipv4Test, OctetConstructorMatchesValue) {
+  const Ipv4 ip(1, 2, 3, 4);
+  EXPECT_EQ(ip.value(), 0x01020304u);
+}
+
+TEST(Ipv4Test, Ordering) {
+  EXPECT_LT(Ipv4(1, 2, 3, 4), Ipv4(1, 2, 3, 5));
+  EXPECT_LT(Ipv4(1, 2, 3, 255), Ipv4(1, 2, 4, 0));
+}
+
+TEST(Prefix24Test, GroupsSameSlash24) {
+  const Ipv4 a(10, 20, 30, 1), b(10, 20, 30, 200), c(10, 20, 31, 1);
+  EXPECT_EQ(Prefix24(a), Prefix24(b));
+  EXPECT_NE(Prefix24(a), Prefix24(c));
+  EXPECT_EQ(Prefix24(a).ToString(), "10.20.30.0/24");
+  EXPECT_EQ(Prefix24(a).First(), Ipv4(10, 20, 30, 0));
+  EXPECT_EQ(Prefix24(a).Nth(77), Ipv4(10, 20, 30, 77));
+}
+
+TEST(Prefix25Test, SplitsSlash24InHalves) {
+  const Ipv4 lo(10, 20, 30, 5), hi(10, 20, 30, 200);
+  EXPECT_NE(Prefix25(lo), Prefix25(hi));
+  EXPECT_EQ(Prefix25(lo).HalfOfSlash24(), 0);
+  EXPECT_EQ(Prefix25(hi).HalfOfSlash24(), 1);
+  EXPECT_EQ(Prefix25(lo).First(), Ipv4(10, 20, 30, 0));
+  EXPECT_EQ(Prefix25(hi).First(), Ipv4(10, 20, 30, 128));
+}
+
+TEST(Prefix25Test, BitIndexWithinHalf) {
+  EXPECT_EQ(Prefix25::BitIndex(Ipv4(1, 2, 3, 0)), 0);
+  EXPECT_EQ(Prefix25::BitIndex(Ipv4(1, 2, 3, 127)), 127);
+  EXPECT_EQ(Prefix25::BitIndex(Ipv4(1, 2, 3, 128)), 0);
+  EXPECT_EQ(Prefix25::BitIndex(Ipv4(1, 2, 3, 255)), 127);
+}
+
+TEST(Prefix25Test, SameBucketSameBitmapSlot) {
+  // Two IPs in the same /25 must map to the same prefix but distinct bits.
+  const Ipv4 a(5, 6, 7, 10), b(5, 6, 7, 100);
+  EXPECT_EQ(Prefix25(a), Prefix25(b));
+  EXPECT_NE(Prefix25::BitIndex(a), Prefix25::BitIndex(b));
+}
+
+TEST(DnsblNameTest, ClassicEncoding) {
+  const Ipv4 ip(11, 22, 33, 44);
+  EXPECT_EQ(DnsblQueryName(ip, "cbl.abuseat.org"), "44.33.22.11.cbl.abuseat.org");
+}
+
+TEST(DnsblNameTest, V6EncodingUsesHalfLabel) {
+  EXPECT_EQ(Dnsblv6QueryName(Ipv4(11, 22, 33, 44), "bl.example"),
+            "0.33.22.11.bl.example");
+  EXPECT_EQ(Dnsblv6QueryName(Ipv4(11, 22, 33, 200), "bl.example"),
+            "1.33.22.11.bl.example");
+}
+
+TEST(DnsblNameTest, ClassicRoundTrip) {
+  const Ipv4 ip(98, 76, 54, 32);
+  auto back = ParseDnsblQueryName(DnsblQueryName(ip, "zone.test"), "zone.test");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ip);
+}
+
+TEST(DnsblNameTest, V6RoundTrip) {
+  const Ipv4 ip(98, 76, 54, 150);
+  auto back = ParseDnsblv6QueryName(Dnsblv6QueryName(ip, "zone.test"), "zone.test");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, Prefix25(ip));
+}
+
+TEST(DnsblNameTest, ParseRejectsWrongZone) {
+  EXPECT_FALSE(
+      ParseDnsblQueryName("4.3.2.1.other.zone", "zone.test").has_value());
+}
+
+TEST(DnsblNameTest, ParseRejectsMalformedLabels) {
+  EXPECT_FALSE(ParseDnsblQueryName("4.3.2.zone.test", "zone.test").has_value());
+  EXPECT_FALSE(ParseDnsblQueryName("300.3.2.1.zone.test", "zone.test").has_value());
+  EXPECT_FALSE(ParseDnsblv6QueryName("2.3.2.1.zone.test", "zone.test").has_value());
+}
+
+TEST(HashTest, DistinctHashesMostly) {
+  std::unordered_set<Ipv4> ips;
+  std::unordered_set<Prefix24> p24s;
+  std::unordered_set<Prefix25> p25s;
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(i * 2654435761u));
+    ips.insert(ip);
+    p24s.insert(Prefix24(ip));
+    p25s.insert(Prefix25(ip));
+  }
+  EXPECT_EQ(ips.size(), 1000u);
+  EXPECT_GT(p24s.size(), 900u);
+  EXPECT_GT(p25s.size(), 900u);
+}
+
+}  // namespace
+}  // namespace sams::util

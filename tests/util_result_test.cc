@@ -1,0 +1,110 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace sams::util {
+namespace {
+
+TEST(ErrorTest, DefaultIsOk) {
+  Error e;
+  EXPECT_TRUE(e.ok());
+  EXPECT_EQ(e.code(), ErrorCode::kOk);
+  EXPECT_EQ(e.ToString(), "OK");
+}
+
+TEST(ErrorTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(NotFound("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(InvalidArgument("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(PermissionDenied("x").code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(Corruption("x").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(IoError("x").code(), ErrorCode::kIoError);
+  EXPECT_EQ(OutOfRange("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(Unavailable("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ProtocolError("x").code(), ErrorCode::kProtocolError);
+  EXPECT_EQ(ResourceExhausted("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(NotFound("missing mailbox").message(), "missing mailbox");
+}
+
+TEST(ErrorTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Corruption("bad key file").ToString(), "CORRUPTION: bad key file");
+}
+
+TEST(ErrorCodeNameTest, AllNamesDistinct) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kProtocolError), "PROTOCOL_ERROR");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.error().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Error FailsIfNegative(int x) {
+  if (x < 0) return InvalidArgument("negative");
+  return OkError();
+}
+
+Error UsesReturnIfError(int x) {
+  SAMS_RETURN_IF_ERROR(FailsIfNegative(x));
+  return OkError();
+}
+
+TEST(ResultMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), ErrorCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return OutOfRange("not positive");
+  return x;
+}
+
+Error UsesAssignOrReturn(int x, int* out) {
+  SAMS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return OkError();
+}
+
+TEST(ResultMacrosTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(UsesAssignOrReturn(0, &out).code(), ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace sams::util

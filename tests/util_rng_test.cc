@@ -1,0 +1,150 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace sams::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::map<std::int64_t, int> hist;
+  for (int i = 0; i < 60'000; ++i) ++hist[rng.UniformInt(3, 8)];
+  ASSERT_EQ(hist.size(), 6u);
+  EXPECT_EQ(hist.begin()->first, 3);
+  EXPECT_EQ(hist.rbegin()->first, 8);
+  // Each bucket should get roughly 10k; allow wide tolerance.
+  for (const auto& [k, v] : hist) {
+    EXPECT_GT(v, 8'000) << "value " << k;
+    EXPECT_LT(v, 12'000) << "value " << k;
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(25.0);
+  EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(RngTest, NormalMomentsConverge) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(rng.LogNormal(8.0, 1.5), 0.0);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, ParetoIsHeavyTailed) {
+  Rng rng(29);
+  int beyond10x = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Pareto(1.0, 1.0) > 10.0) ++beyond10x;
+  }
+  // For alpha=1, P(X > 10) = 0.1.
+  EXPECT_NEAR(static_cast<double>(beyond10x) / n, 0.1, 0.01);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(31);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> hist(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++hist[rng.WeightedIndex(w)];
+  EXPECT_NEAR(hist[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hist[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(hist[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(ZipfTest, RankOneIsMostPopular) {
+  Rng rng(41);
+  ZipfDistribution zipf(1.2, 100);
+  std::vector<int> hist(101, 0);
+  for (int i = 0; i < 50'000; ++i) ++hist[zipf.Sample(rng)];
+  EXPECT_GT(hist[1], hist[2]);
+  EXPECT_GT(hist[2], hist[10]);
+  EXPECT_GT(hist[10], hist[90] - 50);  // monotone up to noise
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(43);
+  ZipfDistribution zipf(0.8, 17);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::size_t r = zipf.Sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 17u);
+  }
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  Rng rng(47);
+  ZipfDistribution zipf(0.0, 4);
+  std::vector<int> hist(5, 0);
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++hist[zipf.Sample(rng)];
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(hist[k] / static_cast<double>(n), 0.25, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace sams::util

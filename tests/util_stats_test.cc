@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sams::util {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MeanMinMaxSum) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 6.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(OnlineStatsTest, VarianceMatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  // Population variance of {1,2,3,4} is 1.25.
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+  EXPECT_NEAR(s.stddev(), 1.1180339887, 1e-9);
+}
+
+TEST(SamplerTest, PercentilesOfKnownData) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(SamplerTest, PercentileSingleElement) {
+  Sampler s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(SamplerTest, CdfAt) {
+  Sampler s;
+  for (int i = 1; i <= 10; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(100.0), 1.0);
+}
+
+TEST(SamplerTest, CdfSeriesMonotone) {
+  Sampler s;
+  for (int i = 0; i < 1000; ++i) s.Add((i * 37) % 101);
+  const auto series = s.CdfSeries(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].value, series[i].value);
+    EXPECT_LT(series[i - 1].fraction, series[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(series.back().fraction, 1.0);
+}
+
+TEST(SamplerTest, AddAfterQueryResorts) {
+  Sampler s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 10.0);
+  s.Add(20);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+}
+
+TEST(SamplerTest, MeanOfEmptyIsZero) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CountersTest, IncrementAndGet) {
+  Counters c;
+  c.Inc("forks");
+  c.Inc("forks", 2);
+  c.Inc("ctx_switches", 10);
+  EXPECT_EQ(c.Get("forks"), 3);
+  EXPECT_EQ(c.Get("ctx_switches"), 10);
+  EXPECT_EQ(c.Get("missing"), 0);
+}
+
+TEST(CountersTest, SortedOutput) {
+  Counters c;
+  c.Inc("zeta");
+  c.Inc("alpha");
+  const auto sorted = c.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, "alpha");
+  EXPECT_EQ(sorted[1].first, "zeta");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "23"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, NumAndPctFormat) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(10, 0), "10");
+  EXPECT_EQ(TextTable::Pct(0.401, 1), "40.1%");
+}
+
+}  // namespace
+}  // namespace sams::util

@@ -1,0 +1,91 @@
+#include "util/logging.h"
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sams::util {
+namespace {
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToUpperAscii("Mail From"), "MAIL FROM");
+  EXPECT_EQ(ToLowerAscii("RCPT To"), "rcpt to");
+  EXPECT_EQ(ToUpperAscii("123!@#abc"), "123!@#ABC");
+}
+
+TEST(StringsTest, IEquals) {
+  EXPECT_TRUE(IEquals("helo", "HELO"));
+  EXPECT_TRUE(IEquals("", ""));
+  EXPECT_FALSE(IEquals("helo", "ehlo"));
+  EXPECT_FALSE(IEquals("helo", "hel"));
+}
+
+TEST(StringsTest, IStartsWith) {
+  EXPECT_TRUE(IStartsWith("MAIL FROM:<a@b>", "mail from:"));
+  EXPECT_TRUE(IStartsWith("rcpt to:<x>", "RCPT TO:"));
+  EXPECT_FALSE(IStartsWith("RC", "RCPT"));
+  EXPECT_TRUE(IStartsWith("anything", ""));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t x\t"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = Split("lonely", ';');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "lonely");
+}
+
+TEST(StringsTest, SplitEmptyString) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, IsPrintableAscii) {
+  EXPECT_TRUE(IsPrintableAscii("Hello, World! ~"));
+  EXPECT_FALSE(IsPrintableAscii("tab\there"));
+  EXPECT_FALSE(IsPrintableAscii(std::string("nul\0byte", 8)));
+  EXPECT_FALSE(IsPrintableAscii("\x80"));
+  EXPECT_TRUE(IsPrintableAscii(""));
+}
+
+TEST(LoggingTest, SinkCapturesAtOrAboveLevel) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&](LogLevel level, const std::string& text) {
+    captured.emplace_back(level, text);
+  });
+  SetLogLevel(LogLevel::kInfo);
+  SAMS_LOG(kDebug) << "dropped";
+  SAMS_LOG(kInfo) << "info " << 42;
+  SAMS_LOG(kError) << "error!";
+  SetLogLevel(LogLevel::kWarn);  // restore the test-suite default
+  SetLogSink(nullptr);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("info 42"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("util_strings_test.cc"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace sams::util

@@ -1,0 +1,77 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace sams::util {
+namespace {
+
+TEST(SimTimeTest, UnitConstructors) {
+  EXPECT_EQ(SimTime::Nanos(5).nanos(), 5);
+  EXPECT_EQ(SimTime::Micros(3).nanos(), 3'000);
+  EXPECT_EQ(SimTime::Millis(2).nanos(), 2'000'000);
+  EXPECT_EQ(SimTime::Seconds(1).nanos(), 1'000'000'000);
+  EXPECT_EQ(SimTime::Minutes(1).nanos(), 60ll * 1'000'000'000);
+  EXPECT_EQ(SimTime::Hours(1).nanos(), 3600ll * 1'000'000'000);
+  EXPECT_EQ(SimTime::Days(1).nanos(), 86400ll * 1'000'000'000);
+}
+
+TEST(SimTimeTest, FractionalConstructors) {
+  EXPECT_EQ(SimTime::MicrosF(1.5).nanos(), 1'500);
+  EXPECT_EQ(SimTime::MillisF(0.25).nanos(), 250'000);
+  EXPECT_EQ(SimTime::SecondsF(0.001).nanos(), 1'000'000);
+}
+
+TEST(SimTimeTest, ConversionAccessors) {
+  const SimTime t = SimTime::Millis(1500);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.micros(), 1'500'000.0);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::Millis(10);
+  const SimTime b = SimTime::Millis(4);
+  EXPECT_EQ((a + b).nanos(), SimTime::Millis(14).nanos());
+  EXPECT_EQ((a - b).nanos(), SimTime::Millis(6).nanos());
+  EXPECT_EQ((a * 3).nanos(), SimTime::Millis(30).nanos());
+  EXPECT_EQ((3 * a).nanos(), SimTime::Millis(30).nanos());
+  EXPECT_EQ((a / 2).nanos(), SimTime::Millis(5).nanos());
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  SimTime t = SimTime::Seconds(1);
+  t += SimTime::Millis(500);
+  EXPECT_EQ(t.nanos(), SimTime::MillisF(1500).nanos());
+  t -= SimTime::Seconds(1);
+  EXPECT_EQ(t.nanos(), SimTime::Millis(500).nanos());
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::Millis(1), SimTime::Millis(2));
+  EXPECT_GT(SimTime::Seconds(1), SimTime::Millis(999));
+  EXPECT_EQ(SimTime::Micros(1000), SimTime::Millis(1));
+  EXPECT_LE(SimTime(), SimTime::Nanos(0));
+}
+
+TEST(SimTimeTest, Scaled) {
+  EXPECT_EQ(SimTime::Millis(10).Scaled(1.5).nanos(), SimTime::Millis(15).nanos());
+  EXPECT_EQ(SimTime::Millis(10).Scaled(0.0).nanos(), 0);
+}
+
+TEST(SimTimeTest, ToStringSelectsUnit) {
+  EXPECT_EQ(SimTime::Nanos(42).ToString(), "42ns");
+  EXPECT_EQ(SimTime::Micros(5).ToString(), "5.00us");
+  EXPECT_EQ(SimTime::Millis(7).ToString(), "7.00ms");
+  EXPECT_EQ(SimTime::Seconds(3).ToString(), "3.000s");
+}
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime().nanos(), 0);
+}
+
+TEST(SimTimeTest, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(SimTime::Max(), SimTime::Days(365 * 100));
+}
+
+}  // namespace
+}  // namespace sams::util
