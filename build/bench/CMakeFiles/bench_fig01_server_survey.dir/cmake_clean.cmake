@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_server_survey.dir/bench_fig01_server_survey.cc.o"
+  "CMakeFiles/bench_fig01_server_survey.dir/bench_fig01_server_survey.cc.o.d"
+  "bench_fig01_server_survey"
+  "bench_fig01_server_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_server_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_hybrid_goodput.cc" "bench/CMakeFiles/bench_fig08_hybrid_goodput.dir/bench_fig08_hybrid_goodput.cc.o" "gcc" "bench/CMakeFiles/bench_fig08_hybrid_goodput.dir/bench_fig08_hybrid_goodput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_mta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_mfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_fskit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_dnsbl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_smtp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_hybrid_goodput.dir/bench_fig08_hybrid_goodput.cc.o"
+  "CMakeFiles/bench_fig08_hybrid_goodput.dir/bench_fig08_hybrid_goodput.cc.o.d"
+  "bench_fig08_hybrid_goodput"
+  "bench_fig08_hybrid_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_hybrid_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mfs_reiser.dir/bench_fig11_mfs_reiser.cc.o"
+  "CMakeFiles/bench_fig11_mfs_reiser.dir/bench_fig11_mfs_reiser.cc.o.d"
+  "bench_fig11_mfs_reiser"
+  "bench_fig11_mfs_reiser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mfs_reiser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

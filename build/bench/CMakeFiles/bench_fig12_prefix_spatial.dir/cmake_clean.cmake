@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_prefix_spatial.dir/bench_fig12_prefix_spatial.cc.o"
+  "CMakeFiles/bench_fig12_prefix_spatial.dir/bench_fig12_prefix_spatial.cc.o.d"
+  "bench_fig12_prefix_spatial"
+  "bench_fig12_prefix_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_prefix_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dnsbl.dir/bench_micro_dnsbl.cc.o"
+  "CMakeFiles/bench_micro_dnsbl.dir/bench_micro_dnsbl.cc.o.d"
+  "bench_micro_dnsbl"
+  "bench_micro_dnsbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dnsbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mfs.dir/bench_micro_mfs.cc.o"
+  "CMakeFiles/bench_micro_mfs.dir/bench_micro_mfs.cc.o.d"
+  "bench_micro_mfs"
+  "bench_micro_mfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

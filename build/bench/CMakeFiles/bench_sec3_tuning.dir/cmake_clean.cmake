@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_tuning.dir/bench_sec3_tuning.cc.o"
+  "CMakeFiles/bench_sec3_tuning.dir/bench_sec3_tuning.cc.o.d"
+  "bench_sec3_tuning"
+  "bench_sec3_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

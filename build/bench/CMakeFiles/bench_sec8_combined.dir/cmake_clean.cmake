@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_combined.dir/bench_sec8_combined.cc.o"
+  "CMakeFiles/bench_sec8_combined.dir/bench_sec8_combined.cc.o.d"
+  "bench_sec8_combined"
+  "bench_sec8_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbl_daemon.dir/dnsbl_daemon.cpp.o"
+  "CMakeFiles/dnsbl_daemon.dir/dnsbl_daemon.cpp.o.d"
+  "dnsbl_daemon"
+  "dnsbl_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbl_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailbox_tool.dir/mailbox_tool.cpp.o"
+  "CMakeFiles/mailbox_tool.dir/mailbox_tool.cpp.o.d"
+  "mailbox_tool"
+  "mailbox_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailbox_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop3_fetch.dir/pop3_fetch.cpp.o"
+  "CMakeFiles/pop3_fetch.dir/pop3_fetch.cpp.o.d"
+  "pop3_fetch"
+  "pop3_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop3_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_filter_demo.dir/spam_filter_demo.cpp.o"
+  "CMakeFiles/spam_filter_demo.dir/spam_filter_demo.cpp.o.d"
+  "spam_filter_demo"
+  "spam_filter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_filter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

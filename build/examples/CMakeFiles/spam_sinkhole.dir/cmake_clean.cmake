@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_sinkhole.dir/spam_sinkhole.cpp.o"
+  "CMakeFiles/spam_sinkhole.dir/spam_sinkhole.cpp.o.d"
+  "spam_sinkhole"
+  "spam_sinkhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_sinkhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

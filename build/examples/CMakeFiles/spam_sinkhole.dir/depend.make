@@ -1,0 +1,2 @@
+# Empty dependencies file for spam_sinkhole.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_core.dir/core/server_stack.cc.o"
+  "CMakeFiles/sams_core.dir/core/server_stack.cc.o.d"
+  "libsams_core.a"
+  "libsams_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsams_core.a"
+)

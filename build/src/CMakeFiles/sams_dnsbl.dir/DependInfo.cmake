@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnsbl/blacklist_db.cc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/blacklist_db.cc.o" "gcc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/blacklist_db.cc.o.d"
+  "/root/repo/src/dnsbl/dns_wire.cc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/dns_wire.cc.o" "gcc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/dns_wire.cc.o.d"
+  "/root/repo/src/dnsbl/dnsbl_server.cc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/dnsbl_server.cc.o" "gcc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/dnsbl_server.cc.o.d"
+  "/root/repo/src/dnsbl/resolver.cc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/resolver.cc.o" "gcc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/resolver.cc.o.d"
+  "/root/repo/src/dnsbl/udp_daemon.cc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/udp_daemon.cc.o" "gcc" "src/CMakeFiles/sams_dnsbl.dir/dnsbl/udp_daemon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

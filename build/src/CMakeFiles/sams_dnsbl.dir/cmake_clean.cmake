@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/blacklist_db.cc.o"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/blacklist_db.cc.o.d"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/dns_wire.cc.o"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/dns_wire.cc.o.d"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/dnsbl_server.cc.o"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/dnsbl_server.cc.o.d"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/resolver.cc.o"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/resolver.cc.o.d"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/udp_daemon.cc.o"
+  "CMakeFiles/sams_dnsbl.dir/dnsbl/udp_daemon.cc.o.d"
+  "libsams_dnsbl.a"
+  "libsams_dnsbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_dnsbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/bayes.cc" "src/CMakeFiles/sams_filter.dir/filter/bayes.cc.o" "gcc" "src/CMakeFiles/sams_filter.dir/filter/bayes.cc.o.d"
+  "/root/repo/src/filter/corpus.cc" "src/CMakeFiles/sams_filter.dir/filter/corpus.cc.o" "gcc" "src/CMakeFiles/sams_filter.dir/filter/corpus.cc.o.d"
+  "/root/repo/src/filter/spam_filter.cc" "src/CMakeFiles/sams_filter.dir/filter/spam_filter.cc.o" "gcc" "src/CMakeFiles/sams_filter.dir/filter/spam_filter.cc.o.d"
+  "/root/repo/src/filter/tokenizer.cc" "src/CMakeFiles/sams_filter.dir/filter/tokenizer.cc.o" "gcc" "src/CMakeFiles/sams_filter.dir/filter/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_smtp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

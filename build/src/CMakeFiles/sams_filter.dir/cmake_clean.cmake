@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_filter.dir/filter/bayes.cc.o"
+  "CMakeFiles/sams_filter.dir/filter/bayes.cc.o.d"
+  "CMakeFiles/sams_filter.dir/filter/corpus.cc.o"
+  "CMakeFiles/sams_filter.dir/filter/corpus.cc.o.d"
+  "CMakeFiles/sams_filter.dir/filter/spam_filter.cc.o"
+  "CMakeFiles/sams_filter.dir/filter/spam_filter.cc.o.d"
+  "CMakeFiles/sams_filter.dir/filter/tokenizer.cc.o"
+  "CMakeFiles/sams_filter.dir/filter/tokenizer.cc.o.d"
+  "libsams_filter.a"
+  "libsams_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

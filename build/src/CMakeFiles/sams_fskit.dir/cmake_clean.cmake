@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_fskit.dir/fskit/fs_model.cc.o"
+  "CMakeFiles/sams_fskit.dir/fskit/fs_model.cc.o.d"
+  "libsams_fskit.a"
+  "libsams_fskit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_fskit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sams_fskit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mfs/mail_id.cc" "src/CMakeFiles/sams_mfs.dir/mfs/mail_id.cc.o" "gcc" "src/CMakeFiles/sams_mfs.dir/mfs/mail_id.cc.o.d"
+  "/root/repo/src/mfs/paper_api.cc" "src/CMakeFiles/sams_mfs.dir/mfs/paper_api.cc.o" "gcc" "src/CMakeFiles/sams_mfs.dir/mfs/paper_api.cc.o.d"
+  "/root/repo/src/mfs/record_io.cc" "src/CMakeFiles/sams_mfs.dir/mfs/record_io.cc.o" "gcc" "src/CMakeFiles/sams_mfs.dir/mfs/record_io.cc.o.d"
+  "/root/repo/src/mfs/sim_store.cc" "src/CMakeFiles/sams_mfs.dir/mfs/sim_store.cc.o" "gcc" "src/CMakeFiles/sams_mfs.dir/mfs/sim_store.cc.o.d"
+  "/root/repo/src/mfs/store.cc" "src/CMakeFiles/sams_mfs.dir/mfs/store.cc.o" "gcc" "src/CMakeFiles/sams_mfs.dir/mfs/store.cc.o.d"
+  "/root/repo/src/mfs/volume.cc" "src/CMakeFiles/sams_mfs.dir/mfs/volume.cc.o" "gcc" "src/CMakeFiles/sams_mfs.dir/mfs/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_fskit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

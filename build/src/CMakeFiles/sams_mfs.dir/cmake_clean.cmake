@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_mfs.dir/mfs/mail_id.cc.o"
+  "CMakeFiles/sams_mfs.dir/mfs/mail_id.cc.o.d"
+  "CMakeFiles/sams_mfs.dir/mfs/paper_api.cc.o"
+  "CMakeFiles/sams_mfs.dir/mfs/paper_api.cc.o.d"
+  "CMakeFiles/sams_mfs.dir/mfs/record_io.cc.o"
+  "CMakeFiles/sams_mfs.dir/mfs/record_io.cc.o.d"
+  "CMakeFiles/sams_mfs.dir/mfs/sim_store.cc.o"
+  "CMakeFiles/sams_mfs.dir/mfs/sim_store.cc.o.d"
+  "CMakeFiles/sams_mfs.dir/mfs/store.cc.o"
+  "CMakeFiles/sams_mfs.dir/mfs/store.cc.o.d"
+  "CMakeFiles/sams_mfs.dir/mfs/volume.cc.o"
+  "CMakeFiles/sams_mfs.dir/mfs/volume.cc.o.d"
+  "libsams_mfs.a"
+  "libsams_mfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_mfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

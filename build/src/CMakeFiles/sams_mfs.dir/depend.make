@@ -1,0 +1,2 @@
+# Empty dependencies file for sams_mfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_mta.dir/mta/drivers.cc.o"
+  "CMakeFiles/sams_mta.dir/mta/drivers.cc.o.d"
+  "CMakeFiles/sams_mta.dir/mta/queue_manager.cc.o"
+  "CMakeFiles/sams_mta.dir/mta/queue_manager.cc.o.d"
+  "CMakeFiles/sams_mta.dir/mta/recipient_db.cc.o"
+  "CMakeFiles/sams_mta.dir/mta/recipient_db.cc.o.d"
+  "CMakeFiles/sams_mta.dir/mta/sim_server.cc.o"
+  "CMakeFiles/sams_mta.dir/mta/sim_server.cc.o.d"
+  "CMakeFiles/sams_mta.dir/mta/smtp_server.cc.o"
+  "CMakeFiles/sams_mta.dir/mta/smtp_server.cc.o.d"
+  "libsams_mta.a"
+  "libsams_mta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_mta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sams_mta.
+# This may be replaced when dependencies are built.

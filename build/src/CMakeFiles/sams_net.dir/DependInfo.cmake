@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_loop.cc" "src/CMakeFiles/sams_net.dir/net/event_loop.cc.o" "gcc" "src/CMakeFiles/sams_net.dir/net/event_loop.cc.o.d"
+  "/root/repo/src/net/smtp_client.cc" "src/CMakeFiles/sams_net.dir/net/smtp_client.cc.o" "gcc" "src/CMakeFiles/sams_net.dir/net/smtp_client.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/sams_net.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/sams_net.dir/net/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_smtp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_net.dir/net/event_loop.cc.o"
+  "CMakeFiles/sams_net.dir/net/event_loop.cc.o.d"
+  "CMakeFiles/sams_net.dir/net/smtp_client.cc.o"
+  "CMakeFiles/sams_net.dir/net/smtp_client.cc.o.d"
+  "CMakeFiles/sams_net.dir/net/tcp.cc.o"
+  "CMakeFiles/sams_net.dir/net/tcp.cc.o.d"
+  "libsams_net.a"
+  "libsams_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pop3/pop3_server.cc" "src/CMakeFiles/sams_pop3.dir/pop3/pop3_server.cc.o" "gcc" "src/CMakeFiles/sams_pop3.dir/pop3/pop3_server.cc.o.d"
+  "/root/repo/src/pop3/pop3_session.cc" "src/CMakeFiles/sams_pop3.dir/pop3/pop3_session.cc.o" "gcc" "src/CMakeFiles/sams_pop3.dir/pop3/pop3_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_mfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_fskit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_smtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

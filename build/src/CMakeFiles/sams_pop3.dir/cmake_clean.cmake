@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_pop3.dir/pop3/pop3_server.cc.o"
+  "CMakeFiles/sams_pop3.dir/pop3/pop3_server.cc.o.d"
+  "CMakeFiles/sams_pop3.dir/pop3/pop3_session.cc.o"
+  "CMakeFiles/sams_pop3.dir/pop3/pop3_session.cc.o.d"
+  "libsams_pop3.a"
+  "libsams_pop3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_pop3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sams_pop3.
+# This may be replaced when dependencies are built.

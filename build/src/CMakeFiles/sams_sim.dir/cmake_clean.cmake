@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_sim.dir/sim/cpu.cc.o"
+  "CMakeFiles/sams_sim.dir/sim/cpu.cc.o.d"
+  "CMakeFiles/sams_sim.dir/sim/disk.cc.o"
+  "CMakeFiles/sams_sim.dir/sim/disk.cc.o.d"
+  "CMakeFiles/sams_sim.dir/sim/network.cc.o"
+  "CMakeFiles/sams_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/sams_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/sams_sim.dir/sim/simulator.cc.o.d"
+  "libsams_sim.a"
+  "libsams_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

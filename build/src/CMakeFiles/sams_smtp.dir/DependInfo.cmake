@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smtp/address.cc" "src/CMakeFiles/sams_smtp.dir/smtp/address.cc.o" "gcc" "src/CMakeFiles/sams_smtp.dir/smtp/address.cc.o.d"
+  "/root/repo/src/smtp/client_session.cc" "src/CMakeFiles/sams_smtp.dir/smtp/client_session.cc.o" "gcc" "src/CMakeFiles/sams_smtp.dir/smtp/client_session.cc.o.d"
+  "/root/repo/src/smtp/command.cc" "src/CMakeFiles/sams_smtp.dir/smtp/command.cc.o" "gcc" "src/CMakeFiles/sams_smtp.dir/smtp/command.cc.o.d"
+  "/root/repo/src/smtp/dotstuff.cc" "src/CMakeFiles/sams_smtp.dir/smtp/dotstuff.cc.o" "gcc" "src/CMakeFiles/sams_smtp.dir/smtp/dotstuff.cc.o.d"
+  "/root/repo/src/smtp/reply.cc" "src/CMakeFiles/sams_smtp.dir/smtp/reply.cc.o" "gcc" "src/CMakeFiles/sams_smtp.dir/smtp/reply.cc.o.d"
+  "/root/repo/src/smtp/server_session.cc" "src/CMakeFiles/sams_smtp.dir/smtp/server_session.cc.o" "gcc" "src/CMakeFiles/sams_smtp.dir/smtp/server_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

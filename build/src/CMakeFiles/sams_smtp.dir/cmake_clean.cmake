@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_smtp.dir/smtp/address.cc.o"
+  "CMakeFiles/sams_smtp.dir/smtp/address.cc.o.d"
+  "CMakeFiles/sams_smtp.dir/smtp/client_session.cc.o"
+  "CMakeFiles/sams_smtp.dir/smtp/client_session.cc.o.d"
+  "CMakeFiles/sams_smtp.dir/smtp/command.cc.o"
+  "CMakeFiles/sams_smtp.dir/smtp/command.cc.o.d"
+  "CMakeFiles/sams_smtp.dir/smtp/dotstuff.cc.o"
+  "CMakeFiles/sams_smtp.dir/smtp/dotstuff.cc.o.d"
+  "CMakeFiles/sams_smtp.dir/smtp/reply.cc.o"
+  "CMakeFiles/sams_smtp.dir/smtp/reply.cc.o.d"
+  "CMakeFiles/sams_smtp.dir/smtp/server_session.cc.o"
+  "CMakeFiles/sams_smtp.dir/smtp/server_session.cc.o.d"
+  "libsams_smtp.a"
+  "libsams_smtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_smtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

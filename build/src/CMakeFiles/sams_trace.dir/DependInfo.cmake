@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ecn.cc" "src/CMakeFiles/sams_trace.dir/trace/ecn.cc.o" "gcc" "src/CMakeFiles/sams_trace.dir/trace/ecn.cc.o.d"
+  "/root/repo/src/trace/sinkhole.cc" "src/CMakeFiles/sams_trace.dir/trace/sinkhole.cc.o" "gcc" "src/CMakeFiles/sams_trace.dir/trace/sinkhole.cc.o.d"
+  "/root/repo/src/trace/survey.cc" "src/CMakeFiles/sams_trace.dir/trace/survey.cc.o" "gcc" "src/CMakeFiles/sams_trace.dir/trace/survey.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/sams_trace.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/sams_trace.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/sams_trace.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/sams_trace.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/univ.cc" "src/CMakeFiles/sams_trace.dir/trace/univ.cc.o" "gcc" "src/CMakeFiles/sams_trace.dir/trace/univ.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/sams_trace.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/sams_trace.dir/trace/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

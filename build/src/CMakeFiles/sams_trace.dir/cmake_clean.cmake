@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_trace.dir/trace/ecn.cc.o"
+  "CMakeFiles/sams_trace.dir/trace/ecn.cc.o.d"
+  "CMakeFiles/sams_trace.dir/trace/sinkhole.cc.o"
+  "CMakeFiles/sams_trace.dir/trace/sinkhole.cc.o.d"
+  "CMakeFiles/sams_trace.dir/trace/survey.cc.o"
+  "CMakeFiles/sams_trace.dir/trace/survey.cc.o.d"
+  "CMakeFiles/sams_trace.dir/trace/synthetic.cc.o"
+  "CMakeFiles/sams_trace.dir/trace/synthetic.cc.o.d"
+  "CMakeFiles/sams_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/sams_trace.dir/trace/trace_io.cc.o.d"
+  "CMakeFiles/sams_trace.dir/trace/univ.cc.o"
+  "CMakeFiles/sams_trace.dir/trace/univ.cc.o.d"
+  "CMakeFiles/sams_trace.dir/trace/workload.cc.o"
+  "CMakeFiles/sams_trace.dir/trace/workload.cc.o.d"
+  "libsams_trace.a"
+  "libsams_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/fd.cc" "src/CMakeFiles/sams_util.dir/util/fd.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/fd.cc.o.d"
+  "/root/repo/src/util/ipv4.cc" "src/CMakeFiles/sams_util.dir/util/ipv4.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/ipv4.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/sams_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/result.cc" "src/CMakeFiles/sams_util.dir/util/result.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/result.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/sams_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/sams_util.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/sams_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/time.cc" "src/CMakeFiles/sams_util.dir/util/time.cc.o" "gcc" "src/CMakeFiles/sams_util.dir/util/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

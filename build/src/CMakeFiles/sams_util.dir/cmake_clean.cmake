@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sams_util.dir/util/fd.cc.o"
+  "CMakeFiles/sams_util.dir/util/fd.cc.o.d"
+  "CMakeFiles/sams_util.dir/util/ipv4.cc.o"
+  "CMakeFiles/sams_util.dir/util/ipv4.cc.o.d"
+  "CMakeFiles/sams_util.dir/util/logging.cc.o"
+  "CMakeFiles/sams_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/sams_util.dir/util/result.cc.o"
+  "CMakeFiles/sams_util.dir/util/result.cc.o.d"
+  "CMakeFiles/sams_util.dir/util/rng.cc.o"
+  "CMakeFiles/sams_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/sams_util.dir/util/stats.cc.o"
+  "CMakeFiles/sams_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/sams_util.dir/util/strings.cc.o"
+  "CMakeFiles/sams_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/sams_util.dir/util/time.cc.o"
+  "CMakeFiles/sams_util.dir/util/time.cc.o.d"
+  "libsams_util.a"
+  "libsams_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sams_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsbl_test.dir/dnsbl_test.cc.o"
+  "CMakeFiles/dnsbl_test.dir/dnsbl_test.cc.o.d"
+  "CMakeFiles/dnsbl_test.dir/dnsbl_udp_test.cc.o"
+  "CMakeFiles/dnsbl_test.dir/dnsbl_udp_test.cc.o.d"
+  "dnsbl_test"
+  "dnsbl_test.pdb"
+  "dnsbl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsbl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

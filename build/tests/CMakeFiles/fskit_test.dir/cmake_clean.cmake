@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fskit_test.dir/fskit_test.cc.o"
+  "CMakeFiles/fskit_test.dir/fskit_test.cc.o.d"
+  "fskit_test"
+  "fskit_test.pdb"
+  "fskit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fskit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mfs_corruption_test.cc" "tests/CMakeFiles/mfs_test.dir/mfs_corruption_test.cc.o" "gcc" "tests/CMakeFiles/mfs_test.dir/mfs_corruption_test.cc.o.d"
+  "/root/repo/tests/mfs_paper_api_test.cc" "tests/CMakeFiles/mfs_test.dir/mfs_paper_api_test.cc.o" "gcc" "tests/CMakeFiles/mfs_test.dir/mfs_paper_api_test.cc.o.d"
+  "/root/repo/tests/mfs_record_io_test.cc" "tests/CMakeFiles/mfs_test.dir/mfs_record_io_test.cc.o" "gcc" "tests/CMakeFiles/mfs_test.dir/mfs_record_io_test.cc.o.d"
+  "/root/repo/tests/mfs_sim_store_test.cc" "tests/CMakeFiles/mfs_test.dir/mfs_sim_store_test.cc.o" "gcc" "tests/CMakeFiles/mfs_test.dir/mfs_sim_store_test.cc.o.d"
+  "/root/repo/tests/mfs_store_test.cc" "tests/CMakeFiles/mfs_test.dir/mfs_store_test.cc.o" "gcc" "tests/CMakeFiles/mfs_test.dir/mfs_store_test.cc.o.d"
+  "/root/repo/tests/mfs_volume_test.cc" "tests/CMakeFiles/mfs_test.dir/mfs_volume_test.cc.o" "gcc" "tests/CMakeFiles/mfs_test.dir/mfs_volume_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_mfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_fskit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

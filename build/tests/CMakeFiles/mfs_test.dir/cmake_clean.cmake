@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfs_test.dir/mfs_corruption_test.cc.o"
+  "CMakeFiles/mfs_test.dir/mfs_corruption_test.cc.o.d"
+  "CMakeFiles/mfs_test.dir/mfs_paper_api_test.cc.o"
+  "CMakeFiles/mfs_test.dir/mfs_paper_api_test.cc.o.d"
+  "CMakeFiles/mfs_test.dir/mfs_record_io_test.cc.o"
+  "CMakeFiles/mfs_test.dir/mfs_record_io_test.cc.o.d"
+  "CMakeFiles/mfs_test.dir/mfs_sim_store_test.cc.o"
+  "CMakeFiles/mfs_test.dir/mfs_sim_store_test.cc.o.d"
+  "CMakeFiles/mfs_test.dir/mfs_store_test.cc.o"
+  "CMakeFiles/mfs_test.dir/mfs_store_test.cc.o.d"
+  "CMakeFiles/mfs_test.dir/mfs_volume_test.cc.o"
+  "CMakeFiles/mfs_test.dir/mfs_volume_test.cc.o.d"
+  "mfs_test"
+  "mfs_test.pdb"
+  "mfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

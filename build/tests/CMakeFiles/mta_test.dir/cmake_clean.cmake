@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mta_test.dir/mta_sim_test.cc.o"
+  "CMakeFiles/mta_test.dir/mta_sim_test.cc.o.d"
+  "CMakeFiles/mta_test.dir/queue_manager_test.cc.o"
+  "CMakeFiles/mta_test.dir/queue_manager_test.cc.o.d"
+  "mta_test"
+  "mta_test.pdb"
+  "mta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop3_test.dir/pop3_test.cc.o"
+  "CMakeFiles/pop3_test.dir/pop3_test.cc.o.d"
+  "pop3_test"
+  "pop3_test.pdb"
+  "pop3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smtp_address_test.cc" "tests/CMakeFiles/smtp_test.dir/smtp_address_test.cc.o" "gcc" "tests/CMakeFiles/smtp_test.dir/smtp_address_test.cc.o.d"
+  "/root/repo/tests/smtp_client_session_test.cc" "tests/CMakeFiles/smtp_test.dir/smtp_client_session_test.cc.o" "gcc" "tests/CMakeFiles/smtp_test.dir/smtp_client_session_test.cc.o.d"
+  "/root/repo/tests/smtp_command_test.cc" "tests/CMakeFiles/smtp_test.dir/smtp_command_test.cc.o" "gcc" "tests/CMakeFiles/smtp_test.dir/smtp_command_test.cc.o.d"
+  "/root/repo/tests/smtp_dotstuff_test.cc" "tests/CMakeFiles/smtp_test.dir/smtp_dotstuff_test.cc.o" "gcc" "tests/CMakeFiles/smtp_test.dir/smtp_dotstuff_test.cc.o.d"
+  "/root/repo/tests/smtp_fuzz_test.cc" "tests/CMakeFiles/smtp_test.dir/smtp_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/smtp_test.dir/smtp_fuzz_test.cc.o.d"
+  "/root/repo/tests/smtp_reply_test.cc" "tests/CMakeFiles/smtp_test.dir/smtp_reply_test.cc.o" "gcc" "tests/CMakeFiles/smtp_test.dir/smtp_reply_test.cc.o.d"
+  "/root/repo/tests/smtp_server_session_test.cc" "tests/CMakeFiles/smtp_test.dir/smtp_server_session_test.cc.o" "gcc" "tests/CMakeFiles/smtp_test.dir/smtp_server_session_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sams_smtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

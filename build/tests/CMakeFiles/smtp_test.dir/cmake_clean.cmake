@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_test.dir/smtp_address_test.cc.o"
+  "CMakeFiles/smtp_test.dir/smtp_address_test.cc.o.d"
+  "CMakeFiles/smtp_test.dir/smtp_client_session_test.cc.o"
+  "CMakeFiles/smtp_test.dir/smtp_client_session_test.cc.o.d"
+  "CMakeFiles/smtp_test.dir/smtp_command_test.cc.o"
+  "CMakeFiles/smtp_test.dir/smtp_command_test.cc.o.d"
+  "CMakeFiles/smtp_test.dir/smtp_dotstuff_test.cc.o"
+  "CMakeFiles/smtp_test.dir/smtp_dotstuff_test.cc.o.d"
+  "CMakeFiles/smtp_test.dir/smtp_fuzz_test.cc.o"
+  "CMakeFiles/smtp_test.dir/smtp_fuzz_test.cc.o.d"
+  "CMakeFiles/smtp_test.dir/smtp_reply_test.cc.o"
+  "CMakeFiles/smtp_test.dir/smtp_reply_test.cc.o.d"
+  "CMakeFiles/smtp_test.dir/smtp_server_session_test.cc.o"
+  "CMakeFiles/smtp_test.dir/smtp_server_session_test.cc.o.d"
+  "smtp_test"
+  "smtp_test.pdb"
+  "smtp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

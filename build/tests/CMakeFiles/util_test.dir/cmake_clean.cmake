@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util_fd_test.cc.o"
+  "CMakeFiles/util_test.dir/util_fd_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_ipv4_test.cc.o"
+  "CMakeFiles/util_test.dir/util_ipv4_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_result_test.cc.o"
+  "CMakeFiles/util_test.dir/util_result_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_rng_test.cc.o"
+  "CMakeFiles/util_test.dir/util_rng_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_stats_test.cc.o"
+  "CMakeFiles/util_test.dir/util_stats_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_strings_test.cc.o"
+  "CMakeFiles/util_test.dir/util_strings_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_time_test.cc.o"
+  "CMakeFiles/util_test.dir/util_time_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
