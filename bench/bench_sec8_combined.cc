@@ -36,7 +36,8 @@ struct RunOutcome {
 RunOutcome RunStack(const StackConfig& cfg,
                     std::span<const sams::trace::SessionSpec> sessions,
                     std::span<const sams::util::Ipv4> listed,
-                    const BenchArgs& args) {
+                    const BenchArgs& args,
+                    const char* metrics_json = nullptr) {
   sams::core::ServerStack stack(cfg, listed);
   const std::size_t prewarm = sessions.size() / 3;
   stack.PrewarmResolver(sessions.subspan(0, prewarm));
@@ -56,6 +57,16 @@ RunOutcome RunStack(const StackConfig& cfg,
           ? static_cast<double>(dns_delta) /
                 static_cast<double>(result.connections_closed)
           : 0.0;
+  if (metrics_json != nullptr) {
+    std::printf("\n-- stack metrics (%s) --\n%s", stack.Describe().c_str(),
+                stack.DumpMetrics().c_str());
+    const sams::util::Error err = stack.WriteMetricsJson(metrics_json);
+    if (err.ok()) {
+      std::printf("metrics snapshot written to %s\n", metrics_json);
+    } else {
+      std::fprintf(stderr, "metrics snapshot: %s\n", err.ToString().c_str());
+    }
+  }
   return outcome;
 }
 
@@ -86,7 +97,8 @@ std::vector<sams::trace::SessionSpec> MixEcn(
 void RunWorkload(const char* label,
                  std::span<const sams::trace::SessionSpec> sessions,
                  std::span<const sams::util::Ipv4> listed, double paper_gain,
-                 double paper_dns_cut, const BenchArgs& args) {
+                 double paper_dns_cut, const BenchArgs& args,
+                 const char* metrics_json = nullptr) {
   struct Variant {
     const char* name;
     bool hybrid, mfs, prefix;
@@ -114,7 +126,10 @@ void RunWorkload(const char* label,
     cfg.prefix_dnsbl = variant.prefix;
     cfg.unfinished_hold = SimTime::MillisF(300);
     cfg.seed = args.seed;
-    const RunOutcome outcome = RunStack(cfg, sessions, listed, args);
+    const bool is_modified =
+        std::string(variant.name) == "all three (modified)";
+    const RunOutcome outcome = RunStack(
+        cfg, sessions, listed, args, is_modified ? metrics_json : nullptr);
     if (std::string(variant.name) == "vanilla") {
       vanilla_tput = outcome.mails_per_sec;
       vanilla_dns = outcome.dns_queries_per_conn;
@@ -161,7 +176,7 @@ int main(int argc, char** argv) {
              ecn.MeanUnfinishedRatio(), args.seed);
   const auto listed = sinkhole.ListedIps();
   RunWorkload("spam sinkhole + ECN bounce mix", spam_sessions, listed, 40, 39,
-              args);
+              args, "BENCH_sec8_combined.json");
 
   // Workload 2: the Univ trace.
   sams::trace::UnivConfig ucfg;

@@ -6,7 +6,11 @@
 //     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
 //
 // Valid recipients: alice, bob, carol @example.test. Mail lands under
-// /tmp/sams_live_server/. Stops on SIGINT/SIGTERM.
+// /tmp/sams_live_server/. Stops on SIGINT/SIGTERM; SIGUSR1 dumps the
+// metrics registry (Prometheus text) and recent session traces to
+// stdout without stopping the server:
+//
+//   $ kill -USR1 $(pidof live_smtp_server)
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -14,11 +18,15 @@
 #include <filesystem>
 
 #include "mta/smtp_server.h"
+#include "obs/export.h"
+#include "obs/span.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 void HandleSignal(int) { g_stop = 1; }
+void HandleDumpSignal(int) { g_dump = 1; }
 
 }  // namespace
 
@@ -52,7 +60,11 @@ int main(int argc, char** argv) {
   cfg.worker_count = 4;
   cfg.port = port;
   cfg.session.hostname = "live.sams.test";
+  // Declared before the server so bound counters outlive its threads.
+  sams::obs::Registry registry;
+  sams::obs::TraceSink trace;
   sams::mta::SmtpServer server(cfg, std::move(recipients), **store);
+  server.BindObservability(registry, &trace);
   auto bound = server.Start();
   if (!bound.ok()) {
     std::fprintf(stderr, "start: %s\n", bound.error().ToString().c_str());
@@ -61,18 +73,29 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
   std::printf(
       "live.sams.test listening on 127.0.0.1:%u  [%s architecture, %s store]\n"
       "valid recipients: alice|bob|carol @example.test\n"
-      "mail lands under %s — Ctrl-C to stop\n",
+      "mail lands under %s — Ctrl-C to stop, SIGUSR1 to dump metrics\n",
       *bound, hybrid ? "fork-after-trust" : "thread-per-connection",
       layout.c_str(), root.c_str());
 
   while (!g_stop) {
+    if (g_dump) {
+      g_dump = 0;
+      const std::string text = sams::obs::PrometheusText(registry);
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      const std::string spans = trace.DumpText();
+      std::fwrite(spans.data(), 1, spans.size(), stdout);
+      std::fflush(stdout);
+    }
     struct timespec ts{0, 200'000'000};
     nanosleep(&ts, nullptr);
   }
   server.Stop();
+  const std::string text = sams::obs::PrometheusText(registry);
+  std::fwrite(text.data(), 1, text.size(), stdout);
   std::printf(
       "\nstopped. connections %llu, mails %llu, delegations %llu, "
       "rejected RCPTs %llu\n",

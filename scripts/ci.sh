@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the test suite,
+# and hold the observability subsystem to -Werror (it is new code with
+# no legacy-warning grandfathering).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" >/dev/null
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== src/obs under -Wall -Wextra -Werror =="
+for src in src/obs/*.cc; do
+  echo "   ${src}"
+  c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
+done
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "CI OK"

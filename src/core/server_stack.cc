@@ -1,5 +1,6 @@
 #include "core/server_stack.h"
 
+#include "obs/export.h"
 #include "util/logging.h"
 
 namespace sams::core {
@@ -32,6 +33,62 @@ ServerStack::ServerStack(const StackConfig& cfg,
   server_cfg.unfinished_hold = cfg_.unfinished_hold;
   server_ = std::make_unique<mta::SimMailServer>(machine_, server_cfg, *store_,
                                                  resolver_.get());
+
+  store_->BindMetrics(registry_);
+  if (resolver_) resolver_->BindMetrics(registry_);
+  server_->BindObservability(registry_, &trace_);
+  BindMachineMetrics();
+}
+
+void ServerStack::BindMachineMetrics() {
+  // Snapshot-style instruments for the simulated machine, refreshed at
+  // collect time from the substrate's stats structs.
+  auto* net_msgs = &registry_.GetCounter("sams_net_messages_total",
+                                         "simulated network sends");
+  auto* net_bytes = &registry_.GetCounter("sams_net_bytes_total",
+                                          "simulated network payload bytes");
+  auto* cpu_switches = &registry_.GetCounter("sams_cpu_context_switches_total",
+                                             "simulated context switches");
+  auto* cpu_forks =
+      &registry_.GetCounter("sams_cpu_forks_total", "simulated fork(2) calls");
+  auto* cpu_busy_ms = &registry_.GetGauge(
+      "sams_cpu_busy_millis", "simulated CPU time doing useful work (ms)");
+  auto* cpu_switch_ms = &registry_.GetGauge(
+      "sams_cpu_switch_overhead_millis",
+      "simulated CPU time lost to context switches (ms)");
+  auto* disk_fsyncs = &registry_.GetCounter("sams_disk_fsyncs_total",
+                                            "simulated fsync barriers");
+  auto* disk_bytes = &registry_.GetCounter("sams_disk_bytes_written_total",
+                                           "simulated bytes committed");
+  auto* fs_appends =
+      &registry_.GetCounter("sams_fs_appends_total", "file-system appends");
+  auto* fs_creates = &registry_.GetCounter("sams_fs_files_created_total",
+                                           "file-system creates");
+  registry_.AddCollector([this, net_msgs, net_bytes, cpu_switches, cpu_forks,
+                          cpu_busy_ms, cpu_switch_ms, disk_fsyncs, disk_bytes,
+                          fs_appends, fs_creates] {
+    net_msgs->Overwrite(machine_.net().stats().messages);
+    net_bytes->Overwrite(machine_.net().stats().bytes);
+    cpu_switches->Overwrite(machine_.cpu().stats().context_switches);
+    cpu_forks->Overwrite(machine_.cpu().stats().forks);
+    cpu_busy_ms->Set(machine_.cpu().stats().busy.millis());
+    cpu_switch_ms->Set(machine_.cpu().stats().switch_overhead.millis());
+    disk_fsyncs->Overwrite(machine_.disk().stats().fsyncs);
+    disk_bytes->Overwrite(machine_.disk().stats().bytes_written);
+    fs_appends->Overwrite(fs_->stats().appends);
+    fs_creates->Overwrite(fs_->stats().files_created);
+  });
+}
+
+std::string ServerStack::DumpMetrics() {
+  std::string out = obs::PrometheusText(registry_);
+  out += "\n";
+  out += trace_.DumpText();
+  return out;
+}
+
+util::Error ServerStack::WriteMetricsJson(const std::string& path) {
+  return obs::WriteJsonSnapshot(registry_, path);
 }
 
 void ServerStack::PrewarmResolver(

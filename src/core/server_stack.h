@@ -25,8 +25,11 @@
 #include "fskit/sim_fs.h"
 #include "mfs/sim_store.h"
 #include "mta/sim_server.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/machine.h"
 #include "trace/workload.h"
+#include "util/result.h"
 #include "util/rng.h"
 
 namespace sams::core {
@@ -61,6 +64,19 @@ class ServerStack {
   dnsbl::Resolver* resolver() { return resolver_.get(); }
   mfs::SimMailStore& store() { return *store_; }
 
+  // The stack-wide metrics registry and session trace ring. Every
+  // component (resolver, store, MTA, simulated machine) is bound at
+  // construction, so one Collect() refreshes the whole stack.
+  obs::Registry& registry() { return registry_; }
+  obs::TraceSink& trace() { return trace_; }
+
+  // Prometheus-style text dump of every metric, followed by the most
+  // recent session traces. What bench_sec8_combined and the live
+  // server print on demand.
+  std::string DumpMetrics();
+  // Writes the registry as a JSON snapshot (BENCH_*.json convention).
+  util::Error WriteMetricsJson(const std::string& path);
+
   // Replays sessions' (ip, arrival) pairs through the resolver so a
   // driven run starts from steady-state cache ratios.
   void PrewarmResolver(std::span<const trace::SessionSpec> sessions);
@@ -69,7 +85,13 @@ class ServerStack {
   std::string Describe() const;
 
  private:
+  void BindMachineMetrics();
+
   StackConfig cfg_;
+  // Declared before the components it observes so bound counter
+  // pointers stay valid for the components' whole lifetime.
+  obs::Registry registry_;
+  obs::TraceSink trace_;
   sim::Machine machine_;
   std::unique_ptr<fskit::FsModel> fs_model_;
   std::unique_ptr<fskit::SimFs> fs_;

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "dnsbl/blacklist_db.h"
+#include "obs/metrics.h"
 #include "util/time.h"
 
 namespace sams::dnsbl {
@@ -31,27 +32,44 @@ struct CacheStats {
   }
 };
 
+// Registry counters a cache dual-writes next to its CacheStats, so the
+// hit/miss series is visible in every metrics dump instead of living
+// in a private struct. All pointers may be null (unbound).
+struct CacheCounters {
+  obs::Counter* lookups = nullptr;
+  obs::Counter* hits = nullptr;
+  obs::Counter* insertions = nullptr;
+  obs::Counter* expirations = nullptr;
+};
+
 template <typename Key, typename Value>
 class TtlCache {
  public:
   explicit TtlCache(SimTime ttl) : ttl_(ttl) {}
 
+  // Mirrors every stats update into `counters` from now on.
+  void BindCounters(const CacheCounters& counters) { counters_ = counters; }
+
   // Returns the cached value if present and fresh at `now`.
   const Value* Lookup(const Key& key, SimTime now) {
     ++stats_.lookups;
+    if (counters_.lookups != nullptr) counters_.lookups->Inc();
     auto it = map_.find(key);
     if (it == map_.end()) return nullptr;
     if (it->second.expires_at < now) {
       ++stats_.expirations;
+      if (counters_.expirations != nullptr) counters_.expirations->Inc();
       map_.erase(it);
       return nullptr;
     }
     ++stats_.hits;
+    if (counters_.hits != nullptr) counters_.hits->Inc();
     return &it->second.value;
   }
 
   void Insert(const Key& key, Value value, SimTime now) {
     ++stats_.insertions;
+    if (counters_.insertions != nullptr) counters_.insertions->Inc();
     map_[key] = Entry{std::move(value), now + ttl_};
   }
 
@@ -67,6 +85,7 @@ class TtlCache {
   SimTime ttl_;
   std::unordered_map<Key, Entry> map_;
   CacheStats stats_;
+  CacheCounters counters_;
 };
 
 // Cached combined verdict for one IP across all queried lists.

@@ -13,16 +13,61 @@ const char* CacheModeName(CacheMode mode) {
   return "?";
 }
 
+void Resolver::BindMetrics(obs::Registry& registry) {
+  const obs::Labels mode_label = {{"mode", CacheModeName(mode_)}};
+  lookups_counter_ = &registry.GetCounter(
+      "sams_dnsbl_lookups_total", "client-IP verdict lookups", mode_label);
+  hits_counter_ = &registry.GetCounter(
+      "sams_dnsbl_cache_hits_total", "lookups answered from cache",
+      mode_label);
+  queries_counter_ = &registry.GetCounter(
+      "sams_dnsbl_queries_sent_total", "DNS messages sent to DNSBL servers",
+      mode_label);
+  blacklisted_counter_ = &registry.GetCounter(
+      "sams_dnsbl_blacklisted_total", "lookups with a listed verdict",
+      mode_label);
+  miss_latency_ms_ = &registry.GetHistogram(
+      "sams_dnsbl_miss_latency_millis",
+      "slowest-list DNS round latency on a miss (ms)", {0.5, 2.0, 12},
+      mode_label);
+  ip_cache_.BindCounters({
+      &registry.GetCounter("sams_dnsbl_cache_lookups_total",
+                           "TTL-cache probes", {{"cache", "ip"}}),
+      &registry.GetCounter("sams_dnsbl_cache_entry_hits_total",
+                           "TTL-cache fresh hits", {{"cache", "ip"}}),
+      &registry.GetCounter("sams_dnsbl_cache_insertions_total",
+                           "TTL-cache fills", {{"cache", "ip"}}),
+      &registry.GetCounter("sams_dnsbl_cache_expirations_total",
+                           "TTL-cache entries expired on probe",
+                           {{"cache", "ip"}}),
+  });
+  prefix_cache_.BindCounters({
+      &registry.GetCounter("sams_dnsbl_cache_lookups_total",
+                           "TTL-cache probes", {{"cache", "prefix"}}),
+      &registry.GetCounter("sams_dnsbl_cache_entry_hits_total",
+                           "TTL-cache fresh hits", {{"cache", "prefix"}}),
+      &registry.GetCounter("sams_dnsbl_cache_insertions_total",
+                           "/25-bitmap fills (127 neighbours per fill)",
+                           {{"cache", "prefix"}}),
+      &registry.GetCounter("sams_dnsbl_cache_expirations_total",
+                           "TTL-cache entries expired on probe",
+                           {{"cache", "prefix"}}),
+  });
+}
+
 LookupOutcome Resolver::Lookup(Ipv4 ip, SimTime now) {
   ++stats_.lookups;
+  if (lookups_counter_ != nullptr) lookups_counter_->Inc();
   LookupOutcome out;
 
   switch (mode_) {
     case CacheMode::kIpCache: {
       if (const IpVerdict* v = ip_cache_.Lookup(ip, now)) {
         ++stats_.cache_hits;
+        if (hits_counter_ != nullptr) hits_counter_->Inc();
         out.blacklisted = v->blacklisted;
         out.cache_hit = true;
+        CountVerdict(out.blacklisted);
         return out;
       }
       break;
@@ -30,8 +75,10 @@ LookupOutcome Resolver::Lookup(Ipv4 ip, SimTime now) {
     case CacheMode::kPrefixCache: {
       if (const PrefixBitmap* bm = prefix_cache_.Lookup(Prefix25(ip), now)) {
         ++stats_.cache_hits;
+        if (hits_counter_ != nullptr) hits_counter_->Inc();
         out.blacklisted = bm->TestIp(ip);
         out.cache_hit = true;
+        CountVerdict(out.blacklisted);
         return out;
       }
       break;
@@ -68,7 +115,18 @@ LookupOutcome Resolver::Lookup(Ipv4 ip, SimTime now) {
   }
   out.latency = slowest;
   stats_.dns_queries_sent += static_cast<std::uint64_t>(out.dns_queries);
+  if (queries_counter_ != nullptr) {
+    queries_counter_->Inc(static_cast<std::uint64_t>(out.dns_queries));
+    miss_latency_ms_->Observe(slowest.millis());
+  }
+  CountVerdict(out.blacklisted);
   return out;
+}
+
+void Resolver::CountVerdict(bool blacklisted) {
+  if (blacklisted && blacklisted_counter_ != nullptr) {
+    blacklisted_counter_->Inc();
+  }
 }
 
 }  // namespace sams::dnsbl

@@ -17,6 +17,7 @@
 
 #include "dnsbl/cache.h"
 #include "dnsbl/dnsbl_server.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace sams::dnsbl {
@@ -62,18 +63,32 @@ class Resolver {
   // Resolves the blacklist verdict for `ip` at simulated time `now`.
   LookupOutcome Lookup(Ipv4 ip, SimTime now);
 
+  // Publishes resolver + cache counters into `registry`, labelled with
+  // the cache mode; the formerly private TtlCache hit/miss stats are
+  // dual-written from here on. The registry must outlive the resolver.
+  void BindMetrics(obs::Registry& registry);
+
   CacheMode mode() const { return mode_; }
   const ResolverStats& stats() const { return stats_; }
   const CacheStats& ip_cache_stats() const { return ip_cache_.stats(); }
   const CacheStats& prefix_cache_stats() const { return prefix_cache_.stats(); }
 
  private:
+  void CountVerdict(bool blacklisted);
+
   CacheMode mode_;
   std::vector<const DnsblServer*> servers_;
   util::Rng& rng_;
   IpCache ip_cache_;
   PrefixCache prefix_cache_;
   ResolverStats stats_;
+
+  // Optional observability (null until BindMetrics).
+  obs::Counter* lookups_counter_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* blacklisted_counter_ = nullptr;
+  obs::Histogram* miss_latency_ms_ = nullptr;
 };
 
 }  // namespace sams::dnsbl

@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "fskit/sim_fs.h"
+#include "obs/metrics.h"
 
 namespace sams::mfs {
 
@@ -42,7 +43,46 @@ class SimMailStore {
 
   // Issues the layout's operations for one mail of `bytes` destined to
   // `nrcpts` mailboxes, then fsyncs; `done` fires when durable.
-  virtual void Deliver(std::uint64_t bytes, int nrcpts, Done done) = 0;
+  // Non-virtual so single-copy accounting (logical vs physical body
+  // bytes, shared-mailbox redirects) is uniform across layouts.
+  void Deliver(std::uint64_t bytes, int nrcpts, Done done) {
+    bytes_logical_ += bytes * static_cast<std::uint64_t>(nrcpts);
+    bytes_physical_ +=
+        bytes * static_cast<std::uint64_t>(PhysicalCopies(nrcpts));
+    if (nrcpts > 1) shared_refs_ += static_cast<std::uint64_t>(nrcpts);
+    if (mails_counter_ != nullptr) {
+      mails_counter_->Inc();
+      logical_counter_->Inc(bytes * static_cast<std::uint64_t>(nrcpts));
+      physical_counter_->Inc(bytes *
+                             static_cast<std::uint64_t>(PhysicalCopies(nrcpts)));
+      if (nrcpts > 1) {
+        shared_refs_counter_->Inc(static_cast<std::uint64_t>(nrcpts));
+      }
+    }
+    DoDeliver(bytes, nrcpts, std::move(done));
+  }
+
+  // Publishes the layout's delivery counters (labelled layout=name())
+  // into `registry`; call once, after construction. The registry must
+  // outlive the store.
+  void BindMetrics(obs::Registry& registry) {
+    const obs::Labels layout = {{"layout", std::string(name())}};
+    mails_counter_ = &registry.GetCounter("sams_mfs_mails_delivered_total",
+                                          "mails made durable", layout);
+    logical_counter_ = &registry.GetCounter(
+        "sams_mfs_bytes_logical_total",
+        "body bytes logically delivered (size x recipients)", layout);
+    physical_counter_ = &registry.GetCounter(
+        "sams_mfs_bytes_physical_total",
+        "body bytes physically written (single-copy savings = logical - "
+        "physical)",
+        layout);
+    shared_refs_counter_ = &registry.GetCounter(
+        "sams_mfs_shared_refs_total",
+        "shared-mailbox references (redirect tuples / links / copies) for "
+        "multi-recipient mail",
+        layout);
+  }
 
   // CPU the delivery path spends copying the body through write(2):
   // proportional to the *physical* bytes the layout writes — n copies
@@ -57,8 +97,14 @@ class SimMailStore {
   virtual int PhysicalCopies(int nrcpts) const = 0;
 
   std::uint64_t mails_delivered() const { return mails_; }
+  std::uint64_t bytes_logical() const { return bytes_logical_; }
+  std::uint64_t bytes_physical() const { return bytes_physical_; }
+  std::uint64_t shared_refs() const { return shared_refs_; }
 
  protected:
+  // Layout-specific operation sequence behind the accounting wrapper.
+  virtual void DoDeliver(std::uint64_t bytes, int nrcpts, Done done) = 0;
+
   void Finish(Done done) {
     ++mails_;
     fs_.Fsync(std::move(done));
@@ -71,6 +117,15 @@ class SimMailStore {
 
   fskit::SimFs& fs_;
   std::uint64_t mails_ = 0;
+  std::uint64_t bytes_logical_ = 0;
+  std::uint64_t bytes_physical_ = 0;
+  std::uint64_t shared_refs_ = 0;
+
+  // Optional observability (null until BindMetrics).
+  obs::Counter* mails_counter_ = nullptr;
+  obs::Counter* logical_counter_ = nullptr;
+  obs::Counter* physical_counter_ = nullptr;
+  obs::Counter* shared_refs_counter_ = nullptr;
 };
 
 class SimMboxStore final : public SimMailStore {
@@ -78,7 +133,9 @@ class SimMboxStore final : public SimMailStore {
   using SimMailStore::SimMailStore;
   std::string_view name() const override { return "mbox"; }
   int PhysicalCopies(int nrcpts) const override { return nrcpts; }
-  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+
+ protected:
+  void DoDeliver(std::uint64_t bytes, int nrcpts, Done done) override {
     for (int i = 0; i < nrcpts; ++i) fs_.Append(bytes);
     Finish(std::move(done));
   }
@@ -89,7 +146,9 @@ class SimMaildirStore final : public SimMailStore {
   using SimMailStore::SimMailStore;
   std::string_view name() const override { return "maildir"; }
   int PhysicalCopies(int nrcpts) const override { return nrcpts; }
-  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+
+ protected:
+  void DoDeliver(std::uint64_t bytes, int nrcpts, Done done) override {
     for (int i = 0; i < nrcpts; ++i) {
       fs_.CreateFile();
       fs_.Append(bytes);
@@ -104,7 +163,9 @@ class SimHardlinkStore final : public SimMailStore {
   using SimMailStore::SimMailStore;
   std::string_view name() const override { return "hardlink"; }
   int PhysicalCopies(int) const override { return 1; }
-  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+
+ protected:
+  void DoDeliver(std::uint64_t bytes, int nrcpts, Done done) override {
     fs_.CreateFile();
     fs_.Append(bytes);
     for (int i = 0; i < nrcpts; ++i) fs_.HardLink();
@@ -118,7 +179,9 @@ class SimMfsStore final : public SimMailStore {
   using SimMailStore::SimMailStore;
   std::string_view name() const override { return "mfs"; }
   int PhysicalCopies(int) const override { return 1; }
-  void Deliver(std::uint64_t bytes, int nrcpts, Done done) override {
+
+ protected:
+  void DoDeliver(std::uint64_t bytes, int nrcpts, Done done) override {
     fs_.Append(bytes);            // single body copy (shared or private)
     fs_.Append(kKeyTupleBytes);   // owning key tuple
     if (nrcpts > 1) {

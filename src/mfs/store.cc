@@ -87,6 +87,7 @@ class MboxStore final : public MailStore {
   Error Deliver(const MailId& id, std::string_view body,
                 std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    stats_.bytes_logical += body.size() * mailboxes.size();
     const std::string encoded = MboxEncode(id, body);
     for (const std::string& box : mailboxes) {
       const std::string path = root_ + "/" + box + ".mbox";
@@ -164,6 +165,7 @@ class MaildirStore final : public MailStore {
   Error Deliver(const MailId& id, std::string_view body,
                 std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    stats_.bytes_logical += body.size() * mailboxes.size();
     // Monotonic name prefix keeps ReadMailbox in delivery order.
     const std::string fname = SeqName(id);
     for (const std::string& box : mailboxes) {
@@ -230,6 +232,7 @@ class HardlinkMaildirStore final : public MailStore {
   Error Deliver(const MailId& id, std::string_view body,
                 std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    stats_.bytes_logical += body.size() * mailboxes.size();
     const std::string fname = SeqName(id);
     // One physical copy in the hidden queue directory...
     const std::string master = root_ + "/.queue/" + fname;
@@ -304,6 +307,7 @@ class MfsStore final : public MailStore {
   Error Deliver(const MailId& id, std::string_view body,
                 std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    stats_.bytes_logical += body.size() * mailboxes.size();
     std::vector<std::unique_ptr<MailFile>> handles;
     std::vector<MailFile*> raw;
     handles.reserve(mailboxes.size());
@@ -351,6 +355,39 @@ class MfsStore final : public MailStore {
 };
 
 }  // namespace
+
+void MailStore::BindMetrics(obs::Registry& registry) {
+  const obs::Labels layout = {{"layout", std::string(name())}};
+  auto* mails = &registry.GetCounter("sams_mfs_mails_delivered_total",
+                                     "mails made durable", layout);
+  auto* mailbox = &registry.GetCounter("sams_mfs_mailbox_deliveries_total",
+                                       "mailbox writes (mail x recipient)",
+                                       layout);
+  auto* physical = &registry.GetCounter(
+      "sams_mfs_bytes_physical_total",
+      "body bytes physically written (single-copy savings = logical - "
+      "physical)",
+      layout);
+  auto* logical = &registry.GetCounter(
+      "sams_mfs_bytes_logical_total",
+      "body bytes logically delivered (size x recipients)", layout);
+  auto* creates = &registry.GetCounter("sams_mfs_files_created_total",
+                                       "mail files created", layout);
+  auto* links = &registry.GetCounter("sams_mfs_hard_links_total",
+                                     "recipient hard links", layout);
+  auto* fsyncs = &registry.GetCounter("sams_mfs_fsyncs_total",
+                                      "per-delivery fsync barriers", layout);
+  registry.AddCollector(
+      [this, mails, mailbox, physical, logical, creates, links, fsyncs] {
+        mails->Overwrite(stats_.mails_delivered);
+        mailbox->Overwrite(stats_.mailbox_deliveries);
+        physical->Overwrite(stats_.bytes_written);
+        logical->Overwrite(stats_.bytes_logical);
+        creates->Overwrite(stats_.files_created);
+        links->Overwrite(stats_.hard_links);
+        fsyncs->Overwrite(stats_.fsyncs);
+      });
+}
 
 Result<std::unique_ptr<MailStore>> MakeMboxStore(const std::string& root,
                                                  StoreOptions opts) {

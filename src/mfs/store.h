@@ -25,6 +25,7 @@
 
 #include "mfs/mail_id.h"
 #include "mfs/volume.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace sams::mfs {
@@ -33,6 +34,7 @@ struct StoreStats {
   std::uint64_t mails_delivered = 0;   // logical mails (one per nwrite)
   std::uint64_t mailbox_deliveries = 0;  // mail x recipient
   std::uint64_t bytes_written = 0;     // body bytes physically written
+  std::uint64_t bytes_logical = 0;     // body bytes x recipients delivered
   std::uint64_t files_created = 0;
   std::uint64_t hard_links = 0;
   std::uint64_t fsyncs = 0;
@@ -55,6 +57,11 @@ class MailStore {
 
   // Forces everything to stable storage.
   virtual util::Error Sync() = 0;
+
+  // Publishes this store's StoreStats as layout-labelled registry
+  // counters, refreshed at collect time. The registry must outlive the
+  // store; call once, after construction.
+  void BindMetrics(obs::Registry& registry);
 
   const StoreStats& stats() const { return stats_; }
 

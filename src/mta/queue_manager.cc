@@ -193,6 +193,30 @@ std::size_t QueueManager::depth() const {
   return queue_.size() + (in_flight_ ? 1 : 0);
 }
 
+void QueueManager::BindMetrics(obs::Registry& registry) {
+  auto* enqueued = &registry.GetCounter("sams_queue_enqueued_total",
+                                        "mails durably spooled");
+  auto* delivered = &registry.GetCounter("sams_queue_delivered_total",
+                                         "mails drained into the store");
+  auto* deferrals = &registry.GetCounter("sams_queue_deferrals_total",
+                                         "delivery retries with backoff");
+  auto* failed = &registry.GetCounter("sams_queue_failed_total",
+                                      "mails dropped after max attempts");
+  auto* recovered = &registry.GetCounter(
+      "sams_queue_recovered_total", "spool files picked up at startup");
+  auto* depth_gauge = &registry.GetGauge(
+      "sams_queue_depth", "mails waiting in the incoming queue");
+  registry.AddCollector(
+      [this, enqueued, delivered, deferrals, failed, recovered, depth_gauge] {
+        enqueued->Overwrite(stats_.enqueued.load(std::memory_order_relaxed));
+        delivered->Overwrite(stats_.delivered.load(std::memory_order_relaxed));
+        deferrals->Overwrite(stats_.deferrals.load(std::memory_order_relaxed));
+        failed->Overwrite(stats_.failed.load(std::memory_order_relaxed));
+        recovered->Overwrite(stats_.recovered.load(std::memory_order_relaxed));
+        depth_gauge->Set(static_cast<double>(depth()));
+      });
+}
+
 util::Error QueueManager::Enqueue(const smtp::Envelope& envelope) {
   if (envelope.rcpt_to.empty()) {
     return util::InvalidArgument("envelope without recipients");

@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "mfs/store.h"
+#include "obs/metrics.h"
 #include "smtp/server_session.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -71,6 +72,11 @@ class QueueManager {
 
   const QueueStats& stats() const { return stats_; }
   std::size_t depth() const;
+
+  // Publishes QueueStats counters plus a live queue-depth gauge into
+  // `registry`, refreshed at collect time. The registry must outlive
+  // the manager.
+  void BindMetrics(obs::Registry& registry);
 
  private:
   struct Item {

@@ -15,9 +15,73 @@ SimMailServer::SimMailServer(sim::Machine& machine, SimServerConfig cfg,
   SAMS_CHECK(cfg_.process_limit >= 1);
 }
 
+void SimMailServer::BindObservability(obs::Registry& registry,
+                                      obs::TraceSink* sink) {
+  trace_ = sink;
+  const obs::Labels arch = {{"arch", cfg_.hybrid ? "hybrid" : "vanilla"}};
+  auto* started = &registry.GetCounter("sams_smtp_connections_total",
+                                       "client connections accepted", arch);
+  auto* closed = &registry.GetCounter("sams_smtp_connections_closed_total",
+                                      "sessions torn down", arch);
+  auto* mails = &registry.GetCounter("sams_smtp_mails_delivered_total",
+                                     "mails accepted and made durable", arch);
+  auto* mailbox = &registry.GetCounter(
+      "sams_smtp_mailbox_deliveries_total",
+      "mailbox writes (mails x valid recipients)", arch);
+  auto* bounces = &registry.GetCounter(
+      "sams_smtp_bounce_sessions_total",
+      "sessions with zero valid recipients (all-RCPT reject)", arch);
+  auto* unfinished = &registry.GetCounter(
+      "sams_smtp_unfinished_sessions_total",
+      "sessions abandoned after HELO without sending mail", arch);
+  auto* rejects = &registry.GetCounter(
+      "sams_smtp_blacklist_rejects_total",
+      "connections 554-rejected on the DNSBL verdict", arch);
+  auto* forks = &registry.GetCounter("sams_smtp_forks_total",
+                                     "smtpd processes forked", arch);
+  auto* delegations = &registry.GetCounter(
+      "sams_smtp_delegations_total",
+      "fork-after-trust handoffs from master to worker", arch);
+  auto* backlogged = &registry.GetCounter(
+      "sams_smtp_backlog_enqueued_total",
+      "connections that waited for a process/socket slot", arch);
+  auto* busy = &registry.GetGauge("sams_smtp_busy_workers",
+                                  "smtpd workers mid-session", arch);
+  auto* backlog_depth = &registry.GetGauge(
+      "sams_smtp_backlog_depth", "connections awaiting a worker", arch);
+  auto* delegate_depth = &registry.GetGauge(
+      "sams_smtp_delegate_queue_depth",
+      "delegated tasks parked in worker socket buffers", arch);
+  auto* master_conns = &registry.GetGauge(
+      "sams_smtp_master_connections",
+      "connections held in the hybrid master's socket list", arch);
+  registry.AddCollector([this, started, closed, mails, mailbox, bounces,
+                         unfinished, rejects, forks, delegations, backlogged,
+                         busy, backlog_depth, delegate_depth, master_conns] {
+    started->Overwrite(metrics_.connections_started);
+    closed->Overwrite(metrics_.connections_closed);
+    mails->Overwrite(metrics_.mails_delivered);
+    mailbox->Overwrite(metrics_.mailbox_deliveries);
+    bounces->Overwrite(metrics_.bounce_sessions);
+    unfinished->Overwrite(metrics_.unfinished_sessions);
+    rejects->Overwrite(metrics_.blacklist_rejects);
+    forks->Overwrite(metrics_.forks);
+    delegations->Overwrite(metrics_.delegations);
+    backlogged->Overwrite(metrics_.backlog_enqueued);
+    busy->Set(static_cast<double>(busy_workers_));
+    backlog_depth->Set(static_cast<double>(backlog_.size()));
+    delegate_depth->Set(static_cast<double>(delegate_queue_.size()));
+    master_conns->Set(static_cast<double>(master_connections_));
+  });
+}
+
 void SimMailServer::Connect(const trace::SessionSpec& spec, SessionDone done) {
   ++metrics_.connections_started;
-  Session session{spec, std::move(done), kMasterPid};
+  Session session{spec, std::move(done), kMasterPid, 0, {}};
+  if (trace_ != nullptr) {
+    session.span = obs::SessionSpan(trace_, metrics_.connections_started,
+                                    obs::Stage::kAccept, NowNs());
+  }
   // Client SYN travels to the server; the master accepts.
   machine_.net().Send(64, [this, session = std::move(session)]() mutable {
     machine_.cpu().Submit(
@@ -34,6 +98,7 @@ void SimMailServer::Connect(const trace::SessionSpec& spec, SessionDone done) {
 
 void SimMailServer::Close(Session session, bool delivered) {
   ++metrics_.connections_closed;
+  session.span.Close(NowNs());
   const int pid = session.pid;
   SessionDone done = std::move(session.done);
   if (cfg_.hybrid) {
@@ -75,6 +140,7 @@ void SimMailServer::RunDnsblCheck(Session session,
     next(std::move(session), false);
     return;
   }
+  session.span.Enter(obs::Stage::kDnsbl, NowNs());
   // Cache state advances on the *trace's* clock, not the accelerated
   // experiment clock: the paper emulates DNSBL caching with a 24 h TTL
   // over the two-month trace and replays the resulting hit/miss
@@ -153,6 +219,7 @@ void SimMailServer::RunSmtpDialog(Session session) {
       std::move(session), [this](Session s, bool blacklisted) mutable {
         if (blacklisted && cfg_.reject_blacklisted) {
           ++metrics_.blacklist_rejects;
+          s.span.Enter(obs::Stage::kBounce, NowNs());
           // 554 banner, client gives up: one reply + RTT + teardown.
           StepThenRtt(SimTime{}, std::move(s), [this](Session s2) {
             Close(std::move(s2), false);
@@ -160,10 +227,13 @@ void SimMailServer::RunSmtpDialog(Session session) {
           return;
         }
         // Banner -> HELO arrives.
+        s.span.Enter(obs::Stage::kBanner, NowNs());
         StepThenRtt(SimTime{}, std::move(s), [this](Session s2) {
           // HELO processing.
+          s2.span.Enter(obs::Stage::kHelo, NowNs());
           if (s2.spec.kind == SessionKind::kUnfinished) {
             ++metrics_.unfinished_sessions;
+            s2.span.Enter(obs::Stage::kUnfinished, NowNs());
             const SimTime hold = cfg_.unfinished_hold;
             StepThenRtt(SimTime{}, std::move(s2), [this, hold](Session s3) {
               machine_.sim().After(hold, [this, s3 = std::move(s3)]() mutable {
@@ -174,8 +244,10 @@ void SimMailServer::RunSmtpDialog(Session session) {
           }
           StepThenRtt(SimTime{}, std::move(s2), [this](Session s3) {
             // MAIL FROM processing.
+            s3.span.Enter(obs::Stage::kMail, NowNs());
             StepThenRtt(SimTime{}, std::move(s3), [this](Session s4) {
               const int n_rcpts = s4.spec.n_rcpts;
+              s4.span.Enter(obs::Stage::kRcpt, NowNs());
               RunRcptPhase(std::move(s4), n_rcpts);
             });
           });
@@ -203,6 +275,7 @@ void SimMailServer::RunRcptPhase(Session session, int remaining) {
   }
   if (session.spec.n_valid_rcpts == 0) {
     ++metrics_.bounce_sessions;
+    session.span.Enter(obs::Stage::kBounce, NowNs());
     RunQuit(std::move(session), false);
     return;
   }
@@ -211,6 +284,7 @@ void SimMailServer::RunRcptPhase(Session session, int remaining) {
 
 void SimMailServer::RunDataPhase(Session session) {
   // DATA command -> 354; then the body arrives (one-way + transfer).
+  session.span.Enter(obs::Stage::kData, NowNs());
   const int pid = session.pid;
   machine_.cpu().Submit(
       pid, cfg_.costs.command, [this, session = std::move(session)]() mutable {
@@ -228,8 +302,10 @@ void SimMailServer::RunDataPhase(Session session) {
                 // Store + queue manager + local delivery.
                 const int nrcpts = session.spec.n_valid_rcpts;
                 const std::uint64_t sz = session.spec.size_bytes;
+                session.span.Enter(obs::Stage::kStoreWrite, NowNs());
                 auto after_store = [this,
                                     session = std::move(session)]() mutable {
+                  session.span.Enter(obs::Stage::kDelivery, NowNs());
                   const int p2 = session.pid;
                   machine_.cpu().Submit(
                       p2, cfg_.costs.delivery_fixed,
@@ -253,6 +329,7 @@ void SimMailServer::RunDataPhase(Session session) {
 
 void SimMailServer::RunQuit(Session session, bool delivered) {
   // QUIT processing + 221 reply; connection tears down.
+  session.span.Enter(obs::Stage::kQuit, NowNs());
   const int pid = session.pid;
   const SimTime dispatch = (cfg_.hybrid && pid == kMasterPid)
                                ? cfg_.costs.master_event
@@ -278,6 +355,7 @@ void SimMailServer::HybridAdmit(Session session) {
 
 void SimMailServer::HybridStartWorker(Session session, int remaining_rcpts) {
   if (remaining_rcpts > 0) {
+    session.span.Enter(obs::Stage::kRcpt, NowNs());
     RunRcptPhase(std::move(session), remaining_rcpts);
   } else {
     RunDataPhase(std::move(session));
@@ -285,6 +363,7 @@ void SimMailServer::HybridStartWorker(Session session, int remaining_rcpts) {
 }
 
 void SimMailServer::HybridDelegate(Session session, int remaining_rcpts) {
+  session.span.Enter(obs::Stage::kHandoff, NowNs());
   machine_.cpu().Submit(
       kMasterPid, cfg_.costs.delegate,
       [this, session = std::move(session), remaining_rcpts]() mutable {

@@ -28,6 +28,8 @@
 #include "dnsbl/resolver.h"
 #include "mfs/sim_store.h"
 #include "mta/costs.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/machine.h"
 #include "trace/workload.h"
 
@@ -76,6 +78,13 @@ class SimMailServer {
   using SessionDone = std::function<void(bool delivered)>;
   void Connect(const trace::SessionSpec& spec, SessionDone done);
 
+  // Publishes the server's counters/gauges into `registry` (refreshed
+  // from ServerMetrics at collect time, labelled with the concurrency
+  // architecture) and, when `sink` is non-null, records one span per
+  // pipeline stage of every subsequent session on the simulated clock.
+  // Registry and sink must outlive the server.
+  void BindObservability(obs::Registry& registry, obs::TraceSink* sink);
+
   const ServerMetrics& metrics() const { return metrics_; }
   int busy_workers() const { return busy_workers_; }
   std::size_t backlog_depth() const { return backlog_.size(); }
@@ -86,9 +95,12 @@ class SimMailServer {
     SessionDone done;
     int pid = 0;  // handling process (master until delegation in hybrid)
     int pending_rcpts = 0;  // RCPTs left for the worker after handoff
+    obs::SessionSpan span;  // detached unless a TraceSink is bound
   };
 
   static constexpr int kMasterPid = 0;
+
+  std::int64_t NowNs() const { return machine_.sim().Now().nanos(); }
 
   // --- shared plumbing ------------------------------------------------
   void Close(Session session, bool delivered);
@@ -128,6 +140,7 @@ class SimMailServer {
   std::deque<Session> accept_backlog_;  // hybrid: waiting for a socket slot
 
   ServerMetrics metrics_;
+  obs::TraceSink* trace_ = nullptr;  // null until BindObservability
 };
 
 }  // namespace sams::mta

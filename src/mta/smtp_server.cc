@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/time.h"
 
 namespace sams::mta {
 namespace {
@@ -79,6 +80,55 @@ bool SmtpServer::DeliverEnvelope(smtp::Envelope&& envelope) {
   return true;
 }
 
+void SmtpServer::BindObservability(obs::Registry& registry,
+                                   obs::TraceSink* sink) {
+  registry_ = &registry;
+  trace_ = sink;
+  const obs::Labels arch = {
+      {"arch", cfg_.architecture == Architecture::kForkAfterTrust
+                   ? "fork-after-trust"
+                   : "thread-per-connection"}};
+  auto* conns = &registry.GetCounter("sams_smtp_connections_total",
+                                     "client connections accepted", arch);
+  auto* mails = &registry.GetCounter("sams_smtp_mails_delivered_total",
+                                     "mails accepted and made durable", arch);
+  auto* mailbox = &registry.GetCounter(
+      "sams_smtp_mailbox_deliveries_total",
+      "mailbox writes (mails x valid recipients)", arch);
+  auto* rejected = &registry.GetCounter("sams_smtp_rejected_rcpts_total",
+                                        "RCPT commands answered 550", arch);
+  auto* content = &registry.GetCounter(
+      "sams_smtp_content_rejects_total",
+      "mails 554-rejected by the post-DATA body test", arch);
+  auto* pregreet = &registry.GetCounter(
+      "sams_smtp_pregreet_rejects_total",
+      "early talkers rejected before the banner", arch);
+  auto* delegations = &registry.GetCounter(
+      "sams_smtp_delegations_total",
+      "fork-after-trust handoffs from master to worker", arch);
+  auto* master_closed = &registry.GetCounter(
+      "sams_smtp_master_closed_total",
+      "sessions that never left the master loop", arch);
+  auto* errors = &registry.GetCounter("sams_smtp_delivery_errors_total",
+                                      "store deliveries that failed", arch);
+  registry.AddCollector([this, conns, mails, mailbox, rejected, content,
+                         pregreet, delegations, master_closed, errors] {
+    conns->Overwrite(stats_.connections.load(std::memory_order_relaxed));
+    mails->Overwrite(stats_.mails_delivered.load(std::memory_order_relaxed));
+    mailbox->Overwrite(
+        stats_.mailbox_deliveries.load(std::memory_order_relaxed));
+    rejected->Overwrite(stats_.rejected_rcpts.load(std::memory_order_relaxed));
+    content->Overwrite(stats_.content_rejects.load(std::memory_order_relaxed));
+    pregreet->Overwrite(
+        stats_.pregreet_rejects.load(std::memory_order_relaxed));
+    delegations->Overwrite(stats_.delegations.load(std::memory_order_relaxed));
+    master_closed->Overwrite(
+        stats_.master_closed.load(std::memory_order_relaxed));
+    errors->Overwrite(stats_.delivery_errors.load(std::memory_order_relaxed));
+  });
+  store_.BindMetrics(registry);
+}
+
 util::Result<std::uint16_t> SmtpServer::Start() {
   SAMS_CHECK(!running_.load()) << "server already started";
   auto listener = net::TcpListen(cfg_.port);
@@ -91,6 +141,7 @@ util::Result<std::uint16_t> SmtpServer::Start() {
     QueueConfig queue_cfg;
     queue_cfg.spool_dir = cfg_.spool_dir;
     queue_ = std::make_unique<QueueManager>(queue_cfg, store_);
+    if (registry_ != nullptr) queue_->BindMetrics(*registry_);
     SAMS_RETURN_IF_ERROR(queue_->Start());
   }
 
@@ -101,6 +152,7 @@ util::Result<std::uint16_t> SmtpServer::Start() {
     auto loop = net::EventLoop::Create();
     if (!loop.ok()) return loop.error();
     loop_ = std::move(loop).value();
+    if (registry_ != nullptr) loop_->BindMetrics(*registry_);
     // Worker pool with one UNIX-domain delegation channel each (§5.3).
     for (int i = 0; i < cfg_.worker_count; ++i) {
       auto pair = util::MakeSocketPair();
@@ -189,6 +241,11 @@ void SmtpServer::HandleConnection(util::UniqueFd fd, std::string peer_ip) {
   };
   hooks.on_quit = [&quit] { quit = true; };
   smtp::ServerSession session(cfg_.session, std::move(hooks), peer_ip);
+  if (trace_ != nullptr) {
+    session.AttachTracer(
+        trace_, &util::MonotonicNanos,
+        trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
   session.Start();
   FinishSession(session, fd.get());
   (void)quit;
@@ -225,6 +282,7 @@ void SmtpServer::MasterLoop() {
     auto it = conns.find(fd);
     if (it == conns.end()) return;
     MasterConn& conn = *it->second;
+    conn.session->TraceHandoff();
     auto payload = conn.session->SerializeHandoff();
     if (!payload.ok()) {
       SAMS_LOG(kWarn) << "handoff failed: " << payload.error().ToString();
@@ -312,6 +370,11 @@ void SmtpServer::MasterLoop() {
           hooks.on_quit = [raw_conn] { raw_conn->closed = true; };
           conn->session = std::make_unique<smtp::ServerSession>(
               cfg_.session, std::move(hooks), accepted->peer_ip);
+          if (trace_ != nullptr) {
+            conn->session->AttachTracer(
+                trace_, &util::MonotonicNanos,
+                trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+          }
           if (cfg_.pregreet_delay_ms > 0) {
             // Withhold the banner; arm a one-shot timer. Bytes arriving
             // before it fires brand the client an early talker.
@@ -403,6 +466,14 @@ void SmtpServer::WorkerLoop(int channel_fd) {
     if (!session.ok()) {
       SAMS_LOG(kError) << "resume failed: " << session.error().ToString();
       continue;  // drop the connection (task->fd closes)
+    }
+    if (trace_ != nullptr && session->handoff_trace_id() != 0) {
+      // Continue the master-side trace: same session id, kHandoff
+      // stage opened at the master's handoff timestamp so the span
+      // covers the actual descriptor transfer.
+      session->AttachTracer(trace_, &util::MonotonicNanos,
+                            session->handoff_trace_id(), obs::Stage::kHandoff,
+                            session->handoff_trace_start_ns());
     }
     // Process any bytes the client pipelined past the handoff point,
     // then continue with blocking reads until QUIT/EOF.

@@ -32,6 +32,8 @@
 #include "mta/recipient_db.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "smtp/server_session.h"
 #include "util/rng.h"
 
@@ -94,6 +96,12 @@ class SmtpServer {
   // Stops all threads and closes all sockets. Idempotent.
   void Stop();
 
+  // Publishes the server's, store's, and (once started) queue's and
+  // event loop's instruments into `registry`; when `sink` is non-null,
+  // every session records per-stage spans on the monotonic clock. Call
+  // before Start(); registry and sink must outlive the server.
+  void BindObservability(obs::Registry& registry, obs::TraceSink* sink);
+
   const RealServerStats& stats() const { return stats_; }
 
  private:
@@ -130,6 +138,11 @@ class SmtpServer {
   std::size_t next_worker_ = 0;
 
   RealServerStats stats_;
+
+  // Optional observability (null until BindObservability).
+  obs::Registry* registry_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  std::atomic<std::uint64_t> trace_seq_{0};
 };
 
 }  // namespace sams::mta

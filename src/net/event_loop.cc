@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/time.h"
+
 namespace sams::net {
 namespace {
 
@@ -34,6 +36,21 @@ util::Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
   return loop;
 }
 
+void EventLoop::BindMetrics(obs::Registry& registry) {
+  iterations_ = &registry.GetCounter("sams_net_loop_iterations_total",
+                                     "epoll_wait wakeups");
+  dispatched_ = &registry.GetCounter("sams_net_loop_events_total",
+                                     "callbacks dispatched");
+  ready_fds_ = &registry.GetHistogram("sams_net_loop_ready_fds",
+                                      "fds ready per epoll_wait",
+                                      {1.0, 2.0, 8});
+  callback_us_ = &registry.GetHistogram("sams_net_loop_callback_micros",
+                                        "callback wall latency (us)",
+                                        {1.0, 4.0, 10});
+  watched_gauge_ =
+      &registry.GetGauge("sams_net_loop_watched_fds", "registered fds");
+}
+
 util::Error EventLoop::Add(int fd, std::uint32_t events, Callback callback) {
   struct epoll_event ev;
   std::memset(&ev, 0, sizeof(ev));
@@ -43,6 +60,9 @@ util::Error EventLoop::Add(int fd, std::uint32_t events, Callback callback) {
     return util::IoError(Errno("epoll_ctl(add)"));
   }
   callbacks_[fd] = std::move(callback);
+  if (watched_gauge_ != nullptr) {
+    watched_gauge_->Set(static_cast<double>(callbacks_.size()));
+  }
   return util::OkError();
 }
 
@@ -59,6 +79,9 @@ util::Error EventLoop::Modify(int fd, std::uint32_t events) {
 
 util::Error EventLoop::Remove(int fd) {
   callbacks_.erase(fd);
+  if (watched_gauge_ != nullptr) {
+    watched_gauge_->Set(static_cast<double>(callbacks_.size()));
+  }
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
     return util::IoError(Errno("epoll_ctl(del)"));
   }
@@ -75,6 +98,10 @@ util::Error EventLoop::Run() {
                        static_cast<int>(events.size()), -1);
     } while (n < 0 && errno == EINTR);
     if (n < 0) return util::IoError(Errno("epoll_wait"));
+    if (iterations_ != nullptr) {
+      iterations_->Inc();
+      ready_fds_->Observe(static_cast<double>(n));
+    }
     for (int i = 0; i < n && running_.load(std::memory_order_acquire); ++i) {
       const int fd = events[static_cast<std::size_t>(i)].data.fd;
       if (fd == wake_fd_.get()) {
@@ -87,7 +114,15 @@ util::Error EventLoop::Run() {
       if (it != callbacks_.end()) {
         // Copy: the callback may Remove(fd) and invalidate the entry.
         Callback callback = it->second;
-        callback(events[static_cast<std::size_t>(i)].events);
+        if (dispatched_ != nullptr) {
+          const std::int64_t start = util::MonotonicNanos();
+          callback(events[static_cast<std::size_t>(i)].events);
+          dispatched_->Inc();
+          callback_us_->Observe(
+              static_cast<double>(util::MonotonicNanos() - start) / 1e3);
+        } else {
+          callback(events[static_cast<std::size_t>(i)].events);
+        }
       }
     }
   }

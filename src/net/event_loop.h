@@ -8,6 +8,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/fd.h"
 #include "util/result.h"
 
@@ -22,6 +23,11 @@ class EventLoop {
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+
+  // Publishes loop health into `registry`: iteration count, dispatched
+  // events, ready-fd batch sizes and per-callback wall latency. Call
+  // before Run(); the registry must outlive the loop.
+  void BindMetrics(obs::Registry& registry);
 
   // Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback
   // runs on the loop thread.
@@ -44,6 +50,13 @@ class EventLoop {
   util::UniqueFd wake_fd_;  // eventfd
   std::unordered_map<int, Callback> callbacks_;
   std::atomic<bool> running_{false};
+
+  // Optional observability (null until BindMetrics).
+  obs::Counter* iterations_ = nullptr;
+  obs::Counter* dispatched_ = nullptr;
+  obs::Histogram* ready_fds_ = nullptr;
+  obs::Histogram* callback_us_ = nullptr;
+  obs::Gauge* watched_gauge_ = nullptr;
 };
 
 }  // namespace sams::net

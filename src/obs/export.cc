@@ -1,0 +1,193 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sams::obs {
+namespace {
+
+// Prometheus label values escape backslash, double-quote and newline.
+std::string EscapeLabel(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string LabelBlock(const Labels& labels, const char* extra_key = nullptr,
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + EscapeLabel(v) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(Registry& registry) {
+  registry.Collect();
+  std::string out;
+  std::string last_family;
+  for (const MetricFamily& family : registry.Families()) {
+    if (family.name != last_family) {
+      if (!family.help.empty()) {
+        out += "# HELP " + family.name + " " + family.help + "\n";
+      }
+      out += "# TYPE " + family.name + " " +
+             MetricTypeName(family.type) + "\n";
+      last_family = family.name;
+    }
+    char buf[64];
+    switch (family.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, family.counter->value());
+        out += family.name + LabelBlock(family.labels) + " " + buf + "\n";
+        break;
+      case MetricType::kGauge:
+        out += family.name + LabelBlock(family.labels) + " " +
+               FormatDouble(family.gauge->value()) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *family.histogram;
+        const auto cum = h.CumulativeCounts();
+        const auto& bounds = h.bounds();
+        for (std::size_t i = 0; i < cum.size(); ++i) {
+          const std::string le =
+              i < bounds.size() ? FormatDouble(bounds[i]) : "+Inf";
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, cum[i]);
+          out += family.name + "_bucket" +
+                 LabelBlock(family.labels, "le", le) + " " + buf + "\n";
+        }
+        out += family.name + "_sum" + LabelBlock(family.labels) + " " +
+               FormatDouble(h.sum()) + "\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count());
+        out += family.name + "_count" + LabelBlock(family.labels) + " " +
+               buf + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string JsonSnapshot(Registry& registry) {
+  registry.Collect();
+  std::string out = "{\n  \"metrics\": [\n";
+  bool first = true;
+  char buf[64];
+  for (const MetricFamily& family : registry.Families()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\":\"" + JsonEscape(family.name) + "\",\"type\":\"" +
+           MetricTypeName(family.type) + "\",\"labels\":" +
+           JsonLabels(family.labels);
+    switch (family.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, family.counter->value());
+        out += std::string(",\"value\":") + buf;
+        break;
+      case MetricType::kGauge:
+        out += ",\"value\":" + FormatDouble(family.gauge->value());
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *family.histogram;
+        out += ",\"count\":";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count());
+        out += buf;
+        out += ",\"sum\":" + FormatDouble(h.sum());
+        out += ",\"p50\":" + FormatDouble(h.Percentile(50));
+        out += ",\"p99\":" + FormatDouble(h.Percentile(99));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+util::Error WriteJsonSnapshot(Registry& registry, const std::string& path) {
+  const std::string body = JsonSnapshot(registry);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return util::IoError("open " + tmp + ": " + std::strerror(errno));
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return util::IoError("write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::IoError("rename " + tmp + " -> " + path);
+  }
+  return util::OkError();
+}
+
+}  // namespace sams::obs

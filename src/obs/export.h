@@ -1,0 +1,30 @@
+// Exporters for the metrics registry.
+//
+//   PrometheusText — the standard text exposition format (one family
+//                    per # TYPE block, histogram as _bucket/_sum/_count
+//                    with cumulative le labels). The live server prints
+//                    this on SIGUSR1; scrapers and humans both read it.
+//   JsonSnapshot   — a flat JSON document the figure benches write as
+//                    BENCH_<name>.json so the perf trajectory across
+//                    PRs is machine-diffable.
+//
+// Both exporters call Registry::Collect() first so snapshot-style
+// instruments are fresh, and emit families in (name, labels) order so
+// output is deterministic and golden-testable.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace sams::obs {
+
+std::string PrometheusText(Registry& registry);
+
+std::string JsonSnapshot(Registry& registry);
+
+// Writes JsonSnapshot(registry) to `path` (atomically via rename).
+util::Error WriteJsonSnapshot(Registry& registry, const std::string& path);
+
+}  // namespace sams::obs

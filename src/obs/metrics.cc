@@ -1,0 +1,230 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sams::obs {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+// --- Histogram --------------------------------------------------------
+
+Histogram::Histogram(HistogramSpec spec)
+    : counts_(static_cast<std::size_t>(std::max(spec.buckets, 1)) + 1) {
+  SAMS_CHECK(spec.start > 0.0);
+  SAMS_CHECK(spec.growth > 1.0);
+  double bound = spec.start;
+  for (int i = 0; i < std::max(spec.buckets, 1); ++i) {
+    bounds_.push_back(bound);
+    bound *= spec.growth;
+  }
+}
+
+void Histogram::Observe(double v) {
+  // Exponential bounds make the bucket index a log, but a linear scan
+  // over <=32 doubles beats the transcendental on every miss path we
+  // instrument; the common case exits early.
+  std::size_t idx = bounds_.size();  // +Inf bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      idx = i;
+      break;
+    }
+  }
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::vector<std::uint64_t> cum = CumulativeCounts();
+  const std::uint64_t total = cum.empty() ? 0 : cum.back();
+  if (total == 0) return 0.0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(total);
+  for (std::size_t i = 0; i < cum.size(); ++i) {
+    if (static_cast<double>(cum[i]) >= rank) {
+      const double hi = i < bounds_.size() ? bounds_[i] : bounds_.back();
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const std::uint64_t below = i == 0 ? 0 : cum[i - 1];
+      const std::uint64_t in_bucket = cum[i] - below;
+      if (in_bucket == 0) return hi;
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return bounds_.back();
+}
+
+// --- Registry ---------------------------------------------------------
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+std::string Registry::Key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Registry::Entry* Registry::Find(const std::string& name,
+                                const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string key = Key(name, sorted);
+  for (auto& entry : entries_) {
+    if (Key(entry->family.name, entry->family.labels) == key) {
+      return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+Registry::Entry& Registry::Register(const std::string& name,
+                                    const std::string& help, MetricType type,
+                                    Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  auto entry = std::make_unique<Entry>();
+  entry->family.name = name;
+  entry->family.help = help;
+  entry->family.type = type;
+  entry->family.labels = std::move(labels);
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::GetCounter(const std::string& name, const std::string& help,
+                              Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* found = Find(name, labels)) {
+    SAMS_CHECK(found->family.type == MetricType::kCounter)
+        << "metric " << name << " re-registered with a different type";
+    return *found->counter;
+  }
+  Entry& entry = Register(name, help, MetricType::kCounter, std::move(labels));
+  entry.counter = std::make_unique<Counter>();
+  entry.family.counter = entry.counter.get();
+  return *entry.counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const std::string& help,
+                          Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* found = Find(name, labels)) {
+    SAMS_CHECK(found->family.type == MetricType::kGauge)
+        << "metric " << name << " re-registered with a different type";
+    return *found->gauge;
+  }
+  Entry& entry = Register(name, help, MetricType::kGauge, std::move(labels));
+  entry.gauge = std::make_unique<Gauge>();
+  entry.family.gauge = entry.gauge.get();
+  return *entry.gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::string& help, HistogramSpec spec,
+                                  Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* found = Find(name, labels)) {
+    SAMS_CHECK(found->family.type == MetricType::kHistogram)
+        << "metric " << name << " re-registered with a different type";
+    return *found->histogram;
+  }
+  Entry& entry =
+      Register(name, help, MetricType::kHistogram, std::move(labels));
+  entry.histogram = std::make_unique<Histogram>(spec);
+  entry.family.histogram = entry.histogram.get();
+  return *entry.histogram;
+}
+
+void Registry::AddCollector(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.push_back(std::move(fn));
+}
+
+void Registry::Collect() {
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors = collectors_;
+  }
+  for (const auto& fn : collectors) fn();
+}
+
+const Counter* Registry::FindCounter(const std::string& name,
+                                     const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = const_cast<Registry*>(this)->Find(name, labels);
+  return entry ? entry->counter.get() : nullptr;
+}
+
+const Gauge* Registry::FindGauge(const std::string& name,
+                                 const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = const_cast<Registry*>(this)->Find(name, labels);
+  return entry ? entry->gauge.get() : nullptr;
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name,
+                                         const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = const_cast<Registry*>(this)->Find(name, labels);
+  return entry ? entry->histogram.get() : nullptr;
+}
+
+std::vector<MetricFamily> Registry::Families() const {
+  std::vector<MetricFamily> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_) out.push_back(entry->family);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricFamily& a, const MetricFamily& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sams::obs

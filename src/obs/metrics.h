@@ -1,0 +1,172 @@
+// sams::obs — the unified metrics registry.
+//
+// Every subsystem of the reproduction (event loop, SMTP sessions,
+// DNSBL resolver, MFS stores, queue manager, simulated machine)
+// publishes its numbers through one process-visible Registry so the
+// figure benches, the live server and the tests all read the same
+// counters the paper's tables quote. Three instrument kinds:
+//
+//   Counter   — monotonic event count (lock-free atomic increment).
+//   Gauge     — instantaneous level (queue depth, busy workers).
+//   Histogram — fixed exponential buckets; powers latency percentiles
+//               without storing samples (the hot path pays one atomic
+//               add per observation).
+//
+// Identity is (name, sorted labels); registering the same identity
+// twice returns the same instrument, so components may bind lazily.
+// Components whose stats live in legacy structs register a *collector*
+// instead: a callback run at export time that refreshes snapshot-style
+// instruments (Counter::Overwrite / Gauge::Set). Collectors must not
+// outlive the component they read from — bind to a registry that is
+// dumped only while the component is alive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sams::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+class Counter {
+ public:
+  void Inc(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  // Snapshot refresh from a legacy stats struct (collector use only);
+  // the caller guarantees monotonicity.
+  void Overwrite(std::uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double by) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + by,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Bucket upper bounds grow exponentially: bounds[i] = start * growth^i,
+// with a final +Inf bucket. Observations clamp into the last bucket.
+struct HistogramSpec {
+  double start = 1.0;    // first bucket upper bound
+  double growth = 2.0;   // ratio between consecutive bounds
+  int buckets = 16;      // finite buckets (excluding +Inf)
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec);
+
+  void Observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  // Upper bounds of the finite buckets, ascending.
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Cumulative counts aligned with bounds(), plus the +Inf bucket as
+  // the final element (== count()).
+  std::vector<std::uint64_t> CumulativeCounts() const;
+
+  // Percentile estimate (p in [0,100]) by linear interpolation inside
+  // the containing bucket; exact enough for latency reporting.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // one per bound + Inf
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// One registered instrument, as seen by exporters.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Process-wide registry for components without an owner stack (the
+  // live server binds here).
+  static Registry& Default();
+
+  // Get-or-create. Returned references stay valid for the registry's
+  // lifetime. Re-registering an identity with a different type aborts.
+  Counter& GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          HistogramSpec spec, Labels labels = {});
+
+  // Snapshot-style publishers; run (in registration order) by
+  // Collect() before every export.
+  void AddCollector(std::function<void()> fn);
+  void Collect();
+
+  // Lookup for tests/exporters; nullptr when absent.
+  const Counter* FindCounter(const std::string& name,
+                             const Labels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name,
+                         const Labels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const Labels& labels = {}) const;
+
+  // Stable-order (name, then labels) view of everything registered.
+  std::vector<MetricFamily> Families() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricFamily family;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static std::string Key(const std::string& name, const Labels& labels);
+  Entry* Find(const std::string& name, const Labels& labels);
+  Entry& Register(const std::string& name, const std::string& help,
+                  MetricType type, Labels labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+}  // namespace sams::obs

@@ -1,0 +1,116 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/time.h"
+
+namespace sams::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAccept:
+      return "accept";
+    case Stage::kBanner:
+      return "banner";
+    case Stage::kHelo:
+      return "helo";
+    case Stage::kMail:
+      return "mail";
+    case Stage::kRcpt:
+      return "rcpt";
+    case Stage::kDnsbl:
+      return "dnsbl";
+    case Stage::kHandoff:
+      return "handoff";
+    case Stage::kData:
+      return "data";
+    case Stage::kStoreWrite:
+      return "store_write";
+    case Stage::kDelivery:
+      return "delivery";
+    case Stage::kBounce:
+      return "bounce";
+    case Stage::kUnfinished:
+      return "unfinished";
+    case Stage::kQuit:
+      return "quit";
+  }
+  return "unknown";
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void TraceSink::Record(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[next_] = record;
+  next_ = (next_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+std::vector<SpanRecord> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  const std::size_t n = std::min<std::uint64_t>(recorded_, ring_.size());
+  out.reserve(n);
+  // Oldest retained record first: when the ring has wrapped that is
+  // ring_[next_], otherwise index 0.
+  const std::size_t first = recorded_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanRecord> TraceSink::SessionRecords(
+    std::uint64_t session_id) const {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& r : Snapshot()) {
+    if (r.session_id == session_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::string TraceSink::DumpText(std::size_t max_sessions) const {
+  const std::vector<SpanRecord> records = Snapshot();
+  // Most recent sessions, by last appearance in the ring.
+  std::vector<std::uint64_t> session_order;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (std::find(session_order.begin(), session_order.end(),
+                  it->session_id) == session_order.end()) {
+      session_order.push_back(it->session_id);
+      if (session_order.size() >= max_sessions) break;
+    }
+  }
+  std::reverse(session_order.begin(), session_order.end());
+
+  std::string out;
+  char buf[160];
+  for (std::uint64_t id : session_order) {
+    std::snprintf(buf, sizeof(buf), "session %llu\n",
+                  static_cast<unsigned long long>(id));
+    out += buf;
+    for (const SpanRecord& r : records) {
+      if (r.session_id != id) continue;
+      std::snprintf(buf, sizeof(buf), "  %-11s start=%s dur=%s\n",
+                    StageName(r.stage),
+                    util::SimTime(r.start_ns).ToString().c_str(),
+                    util::SimTime(r.duration_ns()).ToString().c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+}  // namespace sams::obs

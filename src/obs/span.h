@@ -1,0 +1,120 @@
+// Per-session span tracing across the SMTP pipeline.
+//
+// A mail session walks a fixed sequence of stages (the paper's Figures
+// 6/7 pipeline): accept → HELO → MAIL → RCPT → DNSBL wait →
+// fork-after-trust handoff → DATA → store write → delivery or
+// bounce/unfinished teardown. Each stage becomes one SpanRecord
+// (session id, stage, start, end) pushed into a fixed-capacity ring
+// sink; timestamps are raw nanoseconds so the same tracer runs against
+// both the real clock (util::MonotonicNanos) and the simulated clock
+// (sim::Simulator::Now().nanos()).
+//
+// The sink is a debugging instrument, not an analytics store: when the
+// ring wraps, old sessions are overwritten (dropped() counts them), and
+// DumpText() renders the most recent sessions — which is exactly what
+// one wants when asking "why was this session rejected/unfinished?".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sams::obs {
+
+enum class Stage {
+  kAccept,
+  kBanner,
+  kHelo,
+  kMail,
+  kRcpt,
+  kDnsbl,
+  kHandoff,
+  kData,
+  kStoreWrite,
+  kDelivery,
+  kBounce,
+  kUnfinished,
+  kQuit,
+};
+
+const char* StageName(Stage stage);
+
+struct SpanRecord {
+  std::uint64_t session_id = 0;
+  Stage stage = Stage::kAccept;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+
+  std::int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 4096);
+
+  void Record(const SpanRecord& record);
+
+  // All retained records in recording order (oldest first).
+  std::vector<SpanRecord> Snapshot() const;
+  // Retained records for one session, in recording order.
+  std::vector<SpanRecord> SessionRecords(std::uint64_t session_id) const;
+
+  // Human-readable dump of the most recent `max_sessions` sessions,
+  // one line per span, grouped by session.
+  std::string DumpText(std::size_t max_sessions = 16) const;
+
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;  // overwritten by ring wrap
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+// Moves one session through its stages, emitting a SpanRecord each
+// time the stage changes. Plain value type: safe to copy/move inside
+// session state that travels through std::function continuations; only
+// explicit Enter/Close calls record, so a stale copy is inert.
+class SessionSpan {
+ public:
+  SessionSpan() = default;  // detached: all calls no-op
+  SessionSpan(TraceSink* sink, std::uint64_t session_id, Stage first,
+              std::int64_t now_ns)
+      : sink_(sink), session_id_(session_id), stage_(first), start_ns_(now_ns),
+        open_(sink != nullptr) {}
+
+  // Closes the current stage at `now_ns` and opens `next`.
+  void Enter(Stage next, std::int64_t now_ns) {
+    if (open_) {
+      sink_->Record({session_id_, stage_, start_ns_, now_ns});
+    }
+    stage_ = next;
+    start_ns_ = now_ns;
+  }
+
+  // Closes the current stage; the session is over.
+  void Close(std::int64_t now_ns) {
+    if (open_) {
+      sink_->Record({session_id_, stage_, start_ns_, now_ns});
+      open_ = false;
+    }
+  }
+
+  bool attached() const { return open_; }
+  std::uint64_t session_id() const { return session_id_; }
+  Stage stage() const { return stage_; }
+  std::int64_t stage_start_ns() const { return start_ns_; }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint64_t session_id_ = 0;
+  Stage stage_ = Stage::kAccept;
+  std::int64_t start_ns_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace sams::obs

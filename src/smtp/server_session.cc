@@ -1,5 +1,6 @@
 #include "smtp/server_session.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "util/logging.h"
@@ -27,7 +28,21 @@ ServerSession::ServerSession(SessionConfig cfg, Hooks hooks, std::string client_
       << "validate_rcpt hook required";
 }
 
-void ServerSession::Start() { Emit(BannerReply(cfg_.hostname)); }
+void ServerSession::AttachTracer(obs::TraceSink* sink,
+                                 std::function<std::int64_t()> clock,
+                                 std::uint64_t session_id, obs::Stage first,
+                                 std::int64_t start_ns) {
+  clock_ = std::move(clock);
+  if (sink != nullptr && clock_) {
+    span_ = obs::SessionSpan(sink, session_id, first,
+                             start_ns >= 0 ? start_ns : clock_());
+  }
+}
+
+void ServerSession::Start() {
+  TraceStage(obs::Stage::kBanner);
+  Emit(BannerReply(cfg_.hostname));
+}
 
 void ServerSession::Emit(const Reply& reply) { hooks_.send(reply.Serialize()); }
 
@@ -79,6 +94,7 @@ void ServerSession::HandleDataBytes(std::string_view* bytes) {
             "Error: message content rejected"});
     } else {
       ++stats_.mails_delivered;
+      TraceStage(obs::Stage::kDelivery);
       if (hooks_.on_mail) hooks_.on_mail(std::move(env));
       Emit({ReplyCode::kOk, "Ok: queued"});
     }
@@ -109,6 +125,7 @@ void ServerSession::HandleCommand(std::string_view line) {
       }
       helo_ = cmd.argument;
       ResetTransaction();
+      TraceStage(obs::Stage::kHelo);
       state_ = SessionState::kGreeted;
       Emit(HeloReply(cfg_.hostname));
       return;
@@ -129,6 +146,7 @@ void ServerSession::HandleCommand(std::string_view line) {
         return;
       }
       mail_from_ = *cmd.path;
+      TraceStage(obs::Stage::kMail);
       state_ = SessionState::kMailGiven;
       Emit(OkReply());
       return;
@@ -158,6 +176,7 @@ void ServerSession::HandleCommand(std::string_view line) {
       ++stats_.accepted_rcpts;
       rcpts_.push_back(addr);
       const bool first = state_ != SessionState::kRcptGiven;
+      if (first) TraceStage(obs::Stage::kRcpt);
       state_ = SessionState::kRcptGiven;
       Emit(OkReply());
       if (first && hooks_.on_first_valid_rcpt) hooks_.on_first_valid_rcpt();
@@ -168,6 +187,7 @@ void ServerSession::HandleCommand(std::string_view line) {
       if (state_ != SessionState::kRcptGiven) {
         if (state_ == SessionState::kMailGiven && rejected_this_txn_ > 0) {
           // All RCPTs bounced: postfix answers 554 here.
+          TraceStage(obs::Stage::kBounce);
           Emit({ReplyCode::kTransactionFailed, "Error: no valid recipients"});
         } else {
           Emit(BadSequenceReply("need RCPT command first"));
@@ -176,6 +196,7 @@ void ServerSession::HandleCommand(std::string_view line) {
       }
       decoder_.Reset();
       oversized_ = false;
+      TraceStage(obs::Stage::kData);
       state_ = SessionState::kData;
       Emit(StartMailInputReply());
       return;
@@ -198,6 +219,8 @@ void ServerSession::HandleCommand(std::string_view line) {
 
     case Verb::kQuit:
       Emit(ByeReply(cfg_.hostname));
+      TraceStage(obs::Stage::kQuit);
+      TraceClose();
       state_ = SessionState::kClosed;
       if (hooks_.on_quit) hooks_.on_quit();
       return;
@@ -221,6 +244,12 @@ util::Result<std::string> ServerSession::SerializeHandoff() const {
   out += "from=" + mail_from_.ToString() + "\n";
   for (const Address& rcpt : rcpts_) {
     out += "rcpt=<" + rcpt.ToString() + ">\n";
+  }
+  if (span_.attached()) {
+    // Span identity + current stage start, so the resuming worker
+    // continues this session's trace under the same id.
+    out += "trace=" + std::to_string(span_.session_id()) + ":" +
+           std::to_string(span_.stage_start_ns()) + "\n";
   }
   out += "buf=" + inbuf_ + "\n";  // pipelined bytes, if any (always last)
   return out;
@@ -260,6 +289,16 @@ util::Result<ServerSession> ServerSession::ResumeFromHandoff(
         return util::ProtocolError("handoff payload: bad rcpt path");
       }
       session.rcpts_.push_back(path->address());
+    } else if (key == "trace") {
+      const std::string spec(value);
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        return util::ProtocolError("handoff payload: bad trace field");
+      }
+      session.handoff_trace_id_ =
+          std::strtoull(spec.c_str(), nullptr, 10);
+      session.handoff_trace_start_ns_ =
+          std::strtoll(spec.c_str() + colon + 1, nullptr, 10);
     } else if (key == "buf") {
       // buf is by construction the final field; its value runs from
       // just after "buf=" to the payload's terminating newline and may

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/span.h"
 #include "smtp/address.h"
 #include "smtp/command.h"
 #include "smtp/dotstuff.h"
@@ -84,6 +85,23 @@ class ServerSession {
 
   ServerSession(SessionConfig cfg, Hooks hooks, std::string client_ip);
 
+  // Records one span per FSM phase into `sink`, timestamped by `clock`
+  // (raw nanoseconds — util::MonotonicNanos for the real server, the
+  // simulated clock in tests). Call before Start; the span opens at
+  // `first` immediately (kAccept for fresh sessions; a worker resuming
+  // a handed-off session passes kHandoff and the master-side stage
+  // start so the handoff stage covers the actual transfer). Sink and
+  // clock must outlive the session.
+  void AttachTracer(obs::TraceSink* sink, std::function<std::int64_t()> clock,
+                    std::uint64_t session_id,
+                    obs::Stage first = obs::Stage::kAccept,
+                    std::int64_t start_ns = -1);
+
+  // Enters the kHandoff span stage; the fork-after-trust master calls
+  // this just before SerializeHandoff so the in-flight stage (and its
+  // start time) travel with the payload.
+  void TraceHandoff() { TraceStage(obs::Stage::kHandoff); }
+
   // Emits the 220 banner. Call once, before Feed.
   void Start();
 
@@ -117,11 +135,26 @@ class ServerSession {
   static util::Result<ServerSession> ResumeFromHandoff(
       const SessionConfig& cfg, Hooks hooks, const std::string& payload);
 
+  // Span identity carried in the handoff payload (0 / -1 when the
+  // master side was not tracing); the worker passes these back to
+  // AttachTracer to continue the master's trace under the same id.
+  std::uint64_t handoff_trace_id() const { return handoff_trace_id_; }
+  std::int64_t handoff_trace_start_ns() const {
+    return handoff_trace_start_ns_;
+  }
+
  private:
   void Emit(const Reply& reply);
   void HandleCommand(std::string_view line);
   void HandleDataBytes(std::string_view* bytes);
   void ResetTransaction();
+
+  void TraceStage(obs::Stage stage) {
+    if (span_.attached()) span_.Enter(stage, clock_());
+  }
+  void TraceClose() {
+    if (span_.attached()) span_.Close(clock_());
+  }
 
   SessionConfig cfg_;
   Hooks hooks_;
@@ -137,6 +170,11 @@ class ServerSession {
   DotStuffDecoder decoder_;
   bool oversized_ = false;
   bool pause_requested_ = false;
+
+  obs::SessionSpan span_;  // detached unless AttachTracer was called
+  std::function<std::int64_t()> clock_;
+  std::uint64_t handoff_trace_id_ = 0;       // parsed by ResumeFromHandoff
+  std::int64_t handoff_trace_start_ns_ = -1;
 
   SessionStats stats_;
 };

@@ -1,5 +1,7 @@
 #include "util/time.h"
 
+#include <ctime>
+
 #include <cmath>
 #include <cstdio>
 
@@ -18,6 +20,12 @@ std::string SimTime::ToString() const {
     std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
   }
   return buf;
+}
+
+std::int64_t MonotonicNanos() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
 }
 
 }  // namespace sams::util

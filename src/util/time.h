@@ -73,4 +73,8 @@ class SimTime {
 
 constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
 
+// Real monotonic clock in raw nanoseconds — the wall-clock twin of
+// SimTime::nanos() so span tracing runs against either timebase.
+std::int64_t MonotonicNanos();
+
 }  // namespace sams::util

@@ -1,0 +1,328 @@
+// Tests of sams::obs — registry identity, histogram math, span
+// tracing, the two exporters (golden strings), and the end-to-end
+// wiring through core::ServerStack.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/server_stack.h"
+#include "mta/drivers.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "trace/synthetic.h"
+
+namespace sams::obs {
+namespace {
+
+TEST(RegistryTest, SameIdentityReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.GetCounter("reqs_total", "requests");
+  Counter& b = registry.GetCounter("reqs_total", "requests");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Different labels → different instrument; label order is canonical.
+  Counter& red = registry.GetCounter("reqs_total", "", {{"color", "red"}});
+  EXPECT_NE(&red, &a);
+  Counter& two = registry.GetCounter(
+      "reqs_total", "", {{"b", "2"}, {"a", "1"}});
+  Counter& two_again = registry.GetCounter(
+      "reqs_total", "", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&two, &two_again);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(RegistryTest, FindMatchesNameLabelsAndType) {
+  Registry registry;
+  registry.GetCounter("c_total", "", {{"k", "v"}});
+  registry.GetGauge("g", "");
+
+  EXPECT_NE(registry.FindCounter("c_total", {{"k", "v"}}), nullptr);
+  EXPECT_EQ(registry.FindCounter("c_total"), nullptr);  // labels differ
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  // Wrong instrument kind for the registered identity → nullptr, not
+  // a reinterpretation.
+  EXPECT_EQ(registry.FindGauge("c_total", {{"k", "v"}}), nullptr);
+  EXPECT_NE(registry.FindGauge("g"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("g"), nullptr);
+}
+
+TEST(RegistryTest, CountersAndGaugesHoldValues) {
+  Registry registry;
+  Counter& c = registry.GetCounter("c_total", "");
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Overwrite(7);
+  EXPECT_EQ(c.value(), 7u);
+
+  Gauge& g = registry.GetGauge("g", "");
+  g.Set(2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(RegistryTest, CollectorsRunAtCollectTime) {
+  Registry registry;
+  Counter& snapshot = registry.GetCounter("snap_total", "");
+  std::uint64_t source = 5;
+  registry.AddCollector([&] { snapshot.Overwrite(source); });
+  EXPECT_EQ(snapshot.value(), 0u);
+  registry.Collect();
+  EXPECT_EQ(snapshot.value(), 5u);
+  source = 9;
+  registry.Collect();
+  EXPECT_EQ(snapshot.value(), 9u);
+}
+
+TEST(HistogramTest, ExponentialBucketsAndCumulativeCounts) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("lat", "", {1.0, 2.0, 4});
+  ASSERT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+
+  h.Observe(0.5);   // le=1
+  h.Observe(1.5);   // le=2
+  h.Observe(3.0);   // le=4
+  h.Observe(20.0);  // +Inf
+  EXPECT_EQ(h.CumulativeCounts(),
+            (std::vector<std::uint64_t>{1, 2, 3, 3, 4}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 25.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesInsideBucket) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("lat", "", {1.0, 2.0, 4});
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.Observe(3.0);
+  // All mass in (2,4]; the median interpolates to the bucket middle.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
+  EXPECT_LE(h.Percentile(99), 4.0);
+  EXPECT_GT(h.Percentile(99), 2.0);
+}
+
+TEST(TraceSinkTest, RingWrapKeepsNewestAndCountsDropped) {
+  TraceSink sink(/*capacity=*/4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    sink.Record({i, Stage::kAccept, 0, 1});
+  }
+  EXPECT_EQ(sink.recorded(), 6u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const auto records = sink.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest retained first: sessions 3,4,5,6 survive the wrap.
+  EXPECT_EQ(records.front().session_id, 3u);
+  EXPECT_EQ(records.back().session_id, 6u);
+}
+
+TEST(SessionSpanTest, EnterAndCloseEmitContiguousStages) {
+  TraceSink sink;
+  SessionSpan span(&sink, 7, Stage::kAccept, 100);
+  EXPECT_TRUE(span.attached());
+  span.Enter(Stage::kHelo, 150);
+  span.Enter(Stage::kData, 200);
+  span.Close(250);
+  EXPECT_FALSE(span.attached());
+  span.Close(300);  // closed span is inert
+  EXPECT_EQ(sink.recorded(), 3u);
+
+  const auto records = sink.SessionRecords(7);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].stage, Stage::kAccept);
+  EXPECT_EQ(records[1].stage, Stage::kHelo);
+  EXPECT_EQ(records[2].stage, Stage::kData);
+  // Stages tile the session: each starts where the previous ended.
+  EXPECT_EQ(records[0].start_ns, 100);
+  EXPECT_EQ(records[0].end_ns, records[1].start_ns);
+  EXPECT_EQ(records[1].end_ns, records[2].start_ns);
+  EXPECT_EQ(records[2].end_ns, 250);
+  EXPECT_EQ(records[1].duration_ns(), 50);
+}
+
+TEST(SessionSpanTest, DetachedSpanIsInert) {
+  SessionSpan span;
+  EXPECT_FALSE(span.attached());
+  span.Enter(Stage::kData, 10);  // must not crash or record
+  span.Close(20);
+}
+
+Registry& GoldenRegistry(Registry& registry) {
+  Counter& c = registry.GetCounter("test_counter_total", "events seen",
+                                   {{"arch", "hybrid"}});
+  c.Inc(3);
+  Gauge& g = registry.GetGauge("test_gauge", "current depth");
+  g.Set(2.5);
+  Histogram& h =
+      registry.GetHistogram("test_hist", "latency", {1.0, 2.0, 2});
+  h.Observe(0.5);
+  h.Observe(3.0);
+  return registry;
+}
+
+TEST(ExportTest, PrometheusTextGolden) {
+  Registry registry;
+  const std::string text = PrometheusText(GoldenRegistry(registry));
+  EXPECT_EQ(text,
+            "# HELP test_counter_total events seen\n"
+            "# TYPE test_counter_total counter\n"
+            "test_counter_total{arch=\"hybrid\"} 3\n"
+            "# HELP test_gauge current depth\n"
+            "# TYPE test_gauge gauge\n"
+            "test_gauge 2.5\n"
+            "# HELP test_hist latency\n"
+            "# TYPE test_hist histogram\n"
+            "test_hist_bucket{le=\"1\"} 1\n"
+            "test_hist_bucket{le=\"2\"} 1\n"
+            "test_hist_bucket{le=\"+Inf\"} 2\n"
+            "test_hist_sum 3.5\n"
+            "test_hist_count 2\n");
+}
+
+TEST(ExportTest, PrometheusEscapesLabelValues) {
+  Registry registry;
+  registry.GetCounter("c_total", "", {{"path", "a\\b\"c\nd"}});
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("c_total{path=\"a\\\\b\\\"c\\nd\"} 0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExportTest, JsonSnapshotGolden) {
+  Registry registry;
+  const std::string json = JsonSnapshot(GoldenRegistry(registry));
+  EXPECT_EQ(json,
+            "{\n  \"metrics\": [\n"
+            "    {\"name\":\"test_counter_total\",\"type\":\"counter\","
+            "\"labels\":{\"arch\":\"hybrid\"},\"value\":3},\n"
+            "    {\"name\":\"test_gauge\",\"type\":\"gauge\","
+            "\"labels\":{},\"value\":2.5},\n"
+            "    {\"name\":\"test_hist\",\"type\":\"histogram\","
+            "\"labels\":{},\"count\":2,\"sum\":3.5,\"p50\":1,\"p99\":2}"
+            "\n  ]\n}\n");
+}
+
+TEST(ExportTest, WriteJsonSnapshotRoundTrips) {
+  Registry registry;
+  GoldenRegistry(registry);
+  const std::string path = ::testing::TempDir() + "obs_test_snapshot.json";
+  const util::Error err = WriteJsonSnapshot(registry, path);
+  ASSERT_TRUE(err.ok()) << err.ToString();
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), JsonSnapshot(registry));
+  std::remove(path.c_str());
+}
+
+// --- End-to-end: the stack publishes every subsystem -----------------
+
+core::ServerStack& DrivenStack(core::ServerStack& stack) {
+  trace::BounceSweepConfig cfg;
+  cfg.n_sessions = 2'000;
+  cfg.bounce_ratio = 0.3;
+  const auto sessions = trace::MakeBounceSweepTrace(cfg);
+  std::vector<util::Ipv4> listed;
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    listed.push_back(util::Ipv4(static_cast<std::uint32_t>(rng.NextU64())));
+  }
+  mta::RunClosedLoop(stack.machine(), stack.server(), sessions, 100,
+                     util::SimTime::Seconds(5), util::SimTime::Seconds(15),
+                     stack.resolver());
+  return stack;
+}
+
+TEST(StackObservabilityTest, RegistryCoversAtLeastFourSubsystems) {
+  const std::vector<util::Ipv4> listed = {util::Ipv4(10, 0, 0, 1)};
+  core::StackConfig cfg;
+  core::ServerStack stack(cfg, listed);
+  DrivenStack(stack);
+  stack.registry().Collect();
+
+  std::set<std::string> names;
+  for (const MetricFamily& family : stack.registry().Families()) {
+    names.insert(family.name);
+  }
+  EXPECT_GE(names.size(), 12u) << "distinct metric names";
+
+  const std::vector<std::string> prefixes = {
+      "sams_net_", "sams_smtp_", "sams_dnsbl_", "sams_mfs_",
+      "sams_cpu_", "sams_disk_", "sams_fs_"};
+  int covered = 0;
+  for (const std::string& prefix : prefixes) {
+    for (const std::string& name : names) {
+      if (name.rfind(prefix, 0) == 0) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(covered, 4) << "subsystem prefixes represented";
+
+  // The workload actually moved the counters.
+  const Counter* connections = stack.registry().FindCounter(
+      "sams_smtp_connections_total", {{"arch", "hybrid"}});
+  ASSERT_NE(connections, nullptr);
+  EXPECT_GT(connections->value(), 0u);
+  const Counter* lookups = stack.registry().FindCounter(
+      "sams_dnsbl_lookups_total", {{"mode", "prefix-cache"}});
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_GT(lookups->value(), 0u);
+  const Counter* mails = stack.registry().FindCounter(
+      "sams_mfs_mails_delivered_total",
+      {{"layout", std::string(stack.store().name())}});
+  ASSERT_NE(mails, nullptr);
+  EXPECT_GT(mails->value(), 0u);
+
+  const std::string dump = stack.DumpMetrics();
+  EXPECT_NE(dump.find("# TYPE sams_smtp_connections_total counter"),
+            std::string::npos);
+  EXPECT_NE(dump.find("session "), std::string::npos) << "trace dump";
+}
+
+TEST(StackObservabilityTest, DeliveredSessionWalksStagesInOrder) {
+  const std::vector<util::Ipv4> listed = {util::Ipv4(10, 0, 0, 1)};
+  core::StackConfig cfg;
+  core::ServerStack stack(cfg, listed);
+  DrivenStack(stack);
+
+  // Find a fully-retained delivered session (kAccept survived the
+  // ring wrap) and check its stage walk.
+  auto index_of = [](const std::vector<SpanRecord>& records, Stage stage) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (records[i].stage == stage) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  std::set<std::uint64_t> seen;
+  bool checked = false;
+  for (const SpanRecord& r : stack.trace().Snapshot()) {
+    if (!seen.insert(r.session_id).second) continue;
+    const auto records = stack.trace().SessionRecords(r.session_id);
+    if (records.front().stage != Stage::kAccept) continue;  // truncated
+    const int delivery = index_of(records, Stage::kDelivery);
+    if (delivery < 0) continue;  // bounced or unfinished session
+    const int dnsbl = index_of(records, Stage::kDnsbl);
+    const int data = index_of(records, Stage::kData);
+    const int store = index_of(records, Stage::kStoreWrite);
+    ASSERT_GT(dnsbl, 0);
+    ASSERT_GT(data, dnsbl);
+    ASSERT_GT(store, data);
+    ASSERT_GT(delivery, store);
+    // Stages tile the session timeline.
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].start_ns, records[i - 1].end_ns);
+      EXPECT_GE(records[i].duration_ns(), 0);
+    }
+    checked = true;
+    break;
+  }
+  EXPECT_TRUE(checked) << "no complete delivered session in the trace ring";
+}
+
+}  // namespace
+}  // namespace sams::obs
