@@ -1,0 +1,220 @@
+// Chaos bench: goodput and accept-path latency with ONE of three DNSBL
+// lists blackholed (queries sent, no answer ever returns — injected via
+// sams::fault), comparing three hardening configurations:
+//
+//   fail-open    timeout+retry+breaker, lost answers read "not listed"
+//   fail-closed  same, but lost answers read "listed" (paranoid)
+//   no-breaker   timeout+retry only: every lookup re-pays the timeout
+//
+// The claims under test:
+//   - accept-path p99 stays bounded by QueryPolicy::Budget() in every
+//     hardened configuration (the legacy path would wait forever),
+//   - the circuit breaker collapses steady-state latency once it opens
+//     (skips are free; no-breaker burns the full budget per lookup),
+//   - fail-open preserves clean-sender goodput and still catches spam
+//     through the surviving lists; fail-closed trades ALL goodput for
+//     paranoia while a list is dark.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dnsbl/resolver.h"
+#include "fault/injector.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/stats.h"
+
+namespace {
+
+using sams::bench::BenchArgs;
+using sams::dnsbl::BlacklistDb;
+using sams::dnsbl::CacheMode;
+using sams::dnsbl::DnsblServer;
+using sams::dnsbl::LatencyProfile;
+using sams::dnsbl::QueryPolicy;
+using sams::dnsbl::Resolver;
+using sams::util::Ipv4;
+using sams::util::SimTime;
+using sams::util::TextTable;
+
+struct Variant {
+  const char* name;
+  bool breaker_enabled;
+  bool fail_open;
+};
+
+struct RunResult {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  double degraded_frac = 0;
+  double clean_accept_frac = 0;  // goodput proxy: ham not falsely listed
+  double spam_caught_frac = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_skips = 0;
+  std::uint64_t timeouts = 0;
+};
+
+RunResult RunOne(const Variant& variant, const BenchArgs& args,
+                 int n_connections) {
+  // Three identical lists; bl-c.test goes dark for the whole run.
+  auto db = std::make_shared<BlacklistDb>();
+  sams::util::Rng db_rng(args.seed);
+  std::vector<Ipv4> spammers;
+  for (int i = 0; i < 256; ++i) {
+    const Ipv4 ip(10, 0, static_cast<std::uint8_t>(db_rng.NextU64() % 256),
+                  static_cast<std::uint8_t>(db_rng.NextU64() % 256));
+    db->Add(ip);
+    spammers.push_back(ip);
+  }
+  const LatencyProfile quick{2.0, 0.1, 0.0, 100.0, 200.0};
+  DnsblServer server_a("bl-a.test", db, quick);
+  DnsblServer server_b("bl-b.test", db, quick);
+  DnsblServer server_c("bl-c.test", db, quick);
+
+  sams::util::Rng resolver_rng(args.seed + 1);
+  Resolver resolver(CacheMode::kNoCache,
+                    {&server_a, &server_b, &server_c}, SimTime::Hours(24),
+                    resolver_rng);
+  QueryPolicy policy;
+  policy.enabled = true;
+  policy.timeout = SimTime::Millis(800);
+  policy.max_retries = 1;
+  policy.retry_backoff = SimTime::Millis(40);
+  policy.breaker_enabled = variant.breaker_enabled;
+  policy.breaker_threshold = 4;
+  policy.breaker_cooldown = SimTime::Seconds(30);
+  policy.fail_open = variant.fail_open;
+  resolver.SetQueryPolicy(policy);
+
+  sams::fault::ScopedArm arm(args.seed);
+  sams::fault::Injector::Global().Set("dnsbl.query.bl-c.test",
+                                      sams::fault::Policy{});
+
+  sams::util::Rng traffic_rng(args.seed + 2);
+  sams::util::Sampler latency_ms;
+  std::uint64_t degraded = 0;
+  std::uint64_t clean = 0, clean_accepted = 0;
+  std::uint64_t spam = 0, spam_caught = 0;
+  SimTime now = SimTime::Seconds(0);
+  for (int i = 0; i < n_connections; ++i) {
+    now = now + SimTime::Millis(200);  // 5 connections/sec offered
+    const bool is_spam = traffic_rng.Uniform(0.0, 1.0) < 0.3;
+    const Ipv4 ip =
+        is_spam ? spammers[traffic_rng.NextU64() % spammers.size()]
+                : Ipv4(172, 16,
+                       static_cast<std::uint8_t>(traffic_rng.NextU64() % 256),
+                       static_cast<std::uint8_t>(traffic_rng.NextU64() % 256));
+    const auto out = resolver.Lookup(ip, now);
+    latency_ms.Add(out.latency.millis());
+    if (out.degraded) ++degraded;
+    if (is_spam) {
+      ++spam;
+      if (out.blacklisted) ++spam_caught;
+    } else {
+      ++clean;
+      if (!out.blacklisted) ++clean_accepted;
+    }
+  }
+
+  RunResult result;
+  result.p50_ms = latency_ms.Percentile(50);
+  result.p99_ms = latency_ms.Percentile(99);
+  result.max_ms = latency_ms.Percentile(100);
+  result.degraded_frac =
+      static_cast<double>(degraded) / static_cast<double>(n_connections);
+  result.clean_accept_frac =
+      clean == 0 ? 0.0
+                 : static_cast<double>(clean_accepted) /
+                       static_cast<double>(clean);
+  result.spam_caught_frac =
+      spam == 0 ? 0.0
+                : static_cast<double>(spam_caught) / static_cast<double>(spam);
+  result.breaker_trips = resolver.stats().breaker_trips;
+  result.breaker_skips = resolver.stats().breaker_skips;
+  result.timeouts = resolver.stats().timeouts;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  sams::bench::PrintHeader(
+      "Degraded goodput - 1 of 3 DNSBL lists blackholed (fault injection)",
+      "robustness follow-up to ICDCS'09 sections 4.3/7.2",
+      "hardened accept p99 <= QueryPolicy::Budget(); breaker restores "
+      "latency; fail-open preserves goodput");
+
+  const int n_connections = args.quick ? 2'000 : 20'000;
+  const Variant variants[] = {
+      {"fail-open", true, true},
+      {"fail-closed", true, false},
+      {"no-breaker", true /*overridden below*/, true},
+  };
+
+  QueryPolicy reference;
+  reference.timeout = SimTime::Millis(800);
+  reference.max_retries = 1;
+  reference.retry_backoff = SimTime::Millis(40);
+  const double budget_ms = reference.Budget().millis();
+  std::printf("  connections: %d, blackholed list: bl-c.test, "
+              "per-server budget: %.0f ms\n\n",
+              n_connections, budget_ms);
+
+  TextTable table({"config", "p50 (ms)", "p99 (ms)", "max (ms)", "degraded",
+                   "ham accepted", "spam caught", "trips", "skips"});
+  sams::obs::Registry summary;
+  bool p99_bounded = true;
+  for (const Variant& base : variants) {
+    Variant variant = base;
+    if (std::string(variant.name) == "no-breaker") {
+      variant.breaker_enabled = false;
+    }
+    const RunResult r = RunOne(variant, args, n_connections);
+    p99_bounded = p99_bounded && r.p99_ms <= budget_ms;
+    table.AddRow({variant.name, TextTable::Num(r.p50_ms, 1),
+                  TextTable::Num(r.p99_ms, 1), TextTable::Num(r.max_ms, 1),
+                  TextTable::Pct(r.degraded_frac),
+                  TextTable::Pct(r.clean_accept_frac),
+                  TextTable::Pct(r.spam_caught_frac),
+                  std::to_string(r.breaker_trips),
+                  std::to_string(r.breaker_skips)});
+    const sams::obs::Labels label = {{"config", variant.name}};
+    summary
+        .GetGauge("bench_fault_degraded_p99_ms",
+                  "accept-path DNSBL wait p99 with one list dark", label)
+        .Set(r.p99_ms);
+    summary
+        .GetGauge("bench_fault_degraded_ham_accept_frac",
+                  "fraction of clean senders not falsely listed", label)
+        .Set(r.clean_accept_frac);
+    summary
+        .GetGauge("bench_fault_degraded_spam_caught_frac",
+                  "fraction of listed senders still caught", label)
+        .Set(r.spam_caught_frac);
+    summary
+        .GetGauge("bench_fault_degraded_breaker_trips",
+                  "circuit breaker trips over the run", label)
+        .Set(static_cast<double>(r.breaker_trips));
+  }
+  sams::bench::PrintTable(table);
+  summary
+      .GetGauge("bench_fault_degraded_budget_ms",
+                "QueryPolicy::Budget() for the hardened configurations")
+      .Set(budget_ms);
+  std::printf(
+      "\n  p99 bounded by the %.0f ms budget in every configuration: %s\n",
+      budget_ms, p99_bounded ? "yes" : "NO - REGRESSION");
+
+  const char* json_path = "BENCH_fault_degraded.json";
+  const sams::util::Error err = sams::obs::WriteJsonSnapshot(summary, json_path);
+  if (err.ok()) {
+    std::printf("  summary written to %s\n\n", json_path);
+  } else {
+    std::fprintf(stderr, "  summary write failed: %s\n\n",
+                 err.ToString().c_str());
+  }
+  return p99_bounded ? 0 : 1;
+}

@@ -6,8 +6,11 @@
 //     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
 //
 // Valid recipients: alice, bob, carol @example.test. Mail lands under
-// /tmp/sams_live_server/. Stops on SIGINT/SIGTERM; SIGUSR1 dumps the
-// metrics registry (Prometheus text) and recent session traces to
+// /tmp/sams_live_server/. SIGINT/SIGTERM triggers a graceful drain:
+// the listener stops accepting, in-flight sessions get a grace period
+// to finish, the spool queue is flushed (every acked mail reaches its
+// mailbox), and the final metrics snapshot is dumped. SIGUSR1 dumps
+// the metrics registry (Prometheus text) and recent session traces to
 // stdout without stopping the server:
 //
 //   $ kill -USR1 $(pidof live_smtp_server)
@@ -60,6 +63,11 @@ int main(int argc, char** argv) {
   cfg.worker_count = 4;
   cfg.port = port;
   cfg.session.hostname = "live.sams.test";
+  // A live server on an open port needs the abuse defenses on: evict
+  // idle half-open dialogs, cap pre-trust lifetime, shed overload.
+  cfg.master_idle_timeout_ms = 60'000;
+  cfg.master_session_deadline_ms = 300'000;
+  cfg.max_inflight_sessions = 512;
   // Declared before the server so bound counters outlive its threads.
   sams::obs::Registry registry;
   sams::obs::TraceSink trace;
@@ -77,7 +85,8 @@ int main(int argc, char** argv) {
   std::printf(
       "live.sams.test listening on 127.0.0.1:%u  [%s architecture, %s store]\n"
       "valid recipients: alice|bob|carol @example.test\n"
-      "mail lands under %s — Ctrl-C to stop, SIGUSR1 to dump metrics\n",
+      "mail lands under %s — Ctrl-C drains and stops, SIGUSR1 dumps "
+      "metrics\n",
       *bound, hybrid ? "fork-after-trust" : "thread-per-connection",
       layout.c_str(), root.c_str());
 
@@ -93,7 +102,12 @@ int main(int argc, char** argv) {
     struct timespec ts{0, 200'000'000};
     nanosleep(&ts, nullptr);
   }
-  server.Stop();
+  // Graceful drain: finish in-flight sessions, flush the spool, stop.
+  std::printf("\ndraining (%d in flight)...\n", server.inflight());
+  const int leftover = server.Drain(/*grace_ms=*/10'000);
+  if (leftover > 0) {
+    std::printf("grace expired with %d sessions still open\n", leftover);
+  }
   const std::string text = sams::obs::PrometheusText(registry);
   std::fwrite(text.data(), 1, text.size(), stdout);
   std::printf(

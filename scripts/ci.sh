@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build everything, run the test suite,
-# and hold the observability subsystem to -Werror (it is new code with
-# no legacy-warning grandfathering).
+# and hold the observability + fault subsystems to -Werror (new code
+# with no legacy-warning grandfathering).
+#
+# Extra jobs (opt-in, because they rebuild the tree):
+#   CI_SANITIZE=1  scripts/ci.sh   — ASan+UBSan build + full ctest
+#   CI_CHAOS=1     scripts/ci.sh   — chaos smoke: the fault-injection
+#                                    suites under a fixed seed, twice,
+#                                    to catch nondeterminism
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,13 +23,42 @@ cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" >/dev/null
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== src/obs under -Wall -Wextra -Werror =="
-for src in src/obs/*.cc; do
+echo "== src/obs + src/fault under -Wall -Wextra -Werror =="
+for src in src/obs/*.cc src/fault/*.cc; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
 done
 
 echo "== ctest =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+# Chaos smoke: run every fault-injection suite (injector unit tests,
+# MFS crash recovery, DNSBL hardening, server chaos) twice under the
+# same fixed seeds; any flake between the runs is nondeterminism in
+# the injector or in a recovery path.
+if [[ "${CI_CHAOS:-0}" == "1" ]]; then
+  echo "== chaos smoke (ctest -R fault, fixed seeds, x2) =="
+  for round in 1 2; do
+    echo "   round ${round}"
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -R '[Ff]ault' \
+      -j "$(nproc)"
+  done
+fi
+
+# Sanitizer job: a separate build tree so the default build stays warm.
+# ASan+UBSan catches the bugs fault injection is designed to flush out
+# (use-after-free on teardown paths, signed overflow in backoff math).
+if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
+  SAN_DIR="${BUILD_DIR}-asan"
+  echo "== sanitizer build (ASan+UBSan) =="
+  cmake -B "${SAN_DIR}" -S . "${GENERATOR_ARGS[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  cmake --build "${SAN_DIR}" -j "$(nproc)"
+  echo "== sanitizer ctest =="
+  ASAN_OPTIONS=detect_leaks=0 ctest --test-dir "${SAN_DIR}" \
+    --output-on-failure -j "$(nproc)"
+fi
 
 echo "CI OK"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
+
 namespace sams::dnsbl {
 
 const char* CacheModeName(CacheMode mode) {
@@ -11,6 +13,11 @@ const char* CacheModeName(CacheMode mode) {
     case CacheMode::kPrefixCache: return "prefix-cache";
   }
   return "?";
+}
+
+void Resolver::SetQueryPolicy(const QueryPolicy& policy) {
+  policy_ = policy;
+  health_.assign(servers_.size(), ServerHealth{});
 }
 
 void Resolver::BindMetrics(obs::Registry& registry) {
@@ -26,6 +33,21 @@ void Resolver::BindMetrics(obs::Registry& registry) {
   blacklisted_counter_ = &registry.GetCounter(
       "sams_dnsbl_blacklisted_total", "lookups with a listed verdict",
       mode_label);
+  timeouts_counter_ = &registry.GetCounter(
+      "sams_dnsbl_query_timeouts_total",
+      "per-server query attempts abandoned at the timeout", mode_label);
+  retries_counter_ = &registry.GetCounter(
+      "sams_dnsbl_query_retries_total",
+      "per-server query re-sends after a timeout", mode_label);
+  breaker_trips_counter_ = &registry.GetCounter(
+      "sams_dnsbl_breaker_trips_total",
+      "per-server circuit breakers opened", mode_label);
+  breaker_skips_counter_ = &registry.GetCounter(
+      "sams_dnsbl_breaker_skips_total",
+      "server queries skipped on an open breaker", mode_label);
+  degraded_counter_ = &registry.GetCounter(
+      "sams_dnsbl_degraded_lookups_total",
+      "lookups that lost a server and synthesized a verdict", mode_label);
   miss_latency_ms_ = &registry.GetHistogram(
       "sams_dnsbl_miss_latency_millis",
       "slowest-list DNS round latency on a miss (ms)", {0.5, 2.0, 12},
@@ -88,30 +110,65 @@ LookupOutcome Resolver::Lookup(Ipv4 ip, SimTime now) {
   }
 
   // Miss: query all lists concurrently; the transaction waits for the
-  // slowest reply.
+  // slowest reply (bounded by QueryPolicy::Budget() when hardening is
+  // on — an unresponsive list can no longer stall the round forever).
   SimTime slowest{};
-  if (mode_ == CacheMode::kPrefixCache) {
+  const bool prefix_mode = mode_ == CacheMode::kPrefixCache;
+  if (prefix_mode) {
     PrefixBitmap combined;
-    for (const DnsblServer* server : servers_) {
-      const auto answer = server->QueryPrefix(Prefix25(ip), rng_);
-      combined |= answer.bitmap;
-      slowest = std::max(slowest, answer.latency);
-      ++out.dns_queries;
+    bool closed_listed = false;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (!policy_.enabled) {
+        const auto answer = servers_[i]->QueryPrefix(Prefix25(ip), rng_);
+        combined |= answer.bitmap;
+        slowest = std::max(slowest, answer.latency);
+        ++out.dns_queries;
+        continue;
+      }
+      SimTime waited{};
+      std::uint8_t code = 0;
+      PrefixBitmap bitmap;
+      if (QueryServerHardened(i, ip, /*prefix_mode=*/true, now, waited, code,
+                              bitmap, out.dns_queries)) {
+        combined |= bitmap;
+      } else {
+        out.degraded = true;
+        if (!policy_.fail_open) closed_listed = true;
+      }
+      slowest = std::max(slowest, waited);
     }
-    out.blacklisted = combined.TestIp(ip);
-    prefix_cache_.Insert(Prefix25(ip), combined, now);
+    out.blacklisted = combined.TestIp(ip) || closed_listed;
+    if (!out.degraded) prefix_cache_.Insert(Prefix25(ip), combined, now);
   } else {
     bool listed = false;
-    for (const DnsblServer* server : servers_) {
-      const auto answer = server->QueryIp(ip, rng_);
-      listed = listed || answer.code != 0;
-      slowest = std::max(slowest, answer.latency);
-      ++out.dns_queries;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (!policy_.enabled) {
+        const auto answer = servers_[i]->QueryIp(ip, rng_);
+        listed = listed || answer.code != 0;
+        slowest = std::max(slowest, answer.latency);
+        ++out.dns_queries;
+        continue;
+      }
+      SimTime waited{};
+      std::uint8_t code = 0;
+      PrefixBitmap bitmap;
+      if (QueryServerHardened(i, ip, /*prefix_mode=*/false, now, waited, code,
+                              bitmap, out.dns_queries)) {
+        listed = listed || code != 0;
+      } else {
+        out.degraded = true;
+        if (!policy_.fail_open) listed = true;
+      }
+      slowest = std::max(slowest, waited);
     }
     out.blacklisted = listed;
-    if (mode_ == CacheMode::kIpCache) {
+    if (mode_ == CacheMode::kIpCache && !out.degraded) {
       ip_cache_.Insert(ip, IpVerdict{listed}, now);
     }
+  }
+  if (out.degraded) {
+    ++stats_.degraded_lookups;
+    if (degraded_counter_ != nullptr) degraded_counter_->Inc();
   }
   out.latency = slowest;
   stats_.dns_queries_sent += static_cast<std::uint64_t>(out.dns_queries);
@@ -121,6 +178,82 @@ LookupOutcome Resolver::Lookup(Ipv4 ip, SimTime now) {
   }
   CountVerdict(out.blacklisted);
   return out;
+}
+
+bool Resolver::QueryServerHardened(std::size_t index, Ipv4 ip,
+                                   bool prefix_mode, SimTime now,
+                                   SimTime& answered_latency,
+                                   std::uint8_t& answer_code,
+                                   PrefixBitmap& answer_bitmap, int& queries) {
+  const DnsblServer* server = servers_[index];
+  ServerHealth& health = health_[index];
+
+  // Open breaker: skip the server outright — no query, no waiting.
+  if (policy_.breaker_enabled && now < health.open_until) {
+    ++health.skips;
+    ++stats_.breaker_skips;
+    if (breaker_skips_counter_ != nullptr) breaker_skips_counter_->Inc();
+    answered_latency = SimTime{};
+    return false;
+  }
+
+  // The chaos hook: an injected error on "dnsbl.query.<zone>" models a
+  // blackholed query — the message is sent but no answer ever comes.
+  const std::string point = "dnsbl.query." + server->zone();
+
+  SimTime waited{};
+  const int attempts = 1 + std::max(0, policy_.max_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      waited += policy_.retry_backoff.Scaled(rng_.Uniform(0.5, 1.5));
+      ++health.retries;
+      ++stats_.retries;
+      if (retries_counter_ != nullptr) retries_counter_->Inc();
+    }
+    ++queries;
+    const bool blackholed = !SAMS_FAULT_ERROR(point.c_str()).ok();
+    if (!blackholed) {
+      SimTime latency;
+      if (prefix_mode) {
+        const auto answer = server->QueryPrefix(Prefix25(ip), rng_);
+        latency = answer.latency;
+        if (latency <= policy_.timeout) {
+          answer_bitmap = answer.bitmap;
+          answered_latency = waited + latency;
+          health.consecutive_failures = 0;
+          return true;
+        }
+      } else {
+        const auto answer = server->QueryIp(ip, rng_);
+        latency = answer.latency;
+        if (latency <= policy_.timeout) {
+          answer_code = answer.code;
+          answered_latency = waited + latency;
+          health.consecutive_failures = 0;
+          return true;
+        }
+      }
+    }
+    // Blackholed, or the sampled reply was slower than the timeout:
+    // the attempt burns the full timeout before giving up.
+    waited += policy_.timeout;
+    ++health.timeouts;
+    ++stats_.timeouts;
+    if (timeouts_counter_ != nullptr) timeouts_counter_->Inc();
+  }
+
+  // Every attempt lost. Count a consecutive failure; maybe trip.
+  ++health.consecutive_failures;
+  if (policy_.breaker_enabled &&
+      health.consecutive_failures >= policy_.breaker_threshold) {
+    health.open_until = now + policy_.breaker_cooldown;
+    health.consecutive_failures = 0;
+    ++health.trips;
+    ++stats_.breaker_trips;
+    if (breaker_trips_counter_ != nullptr) breaker_trips_counter_->Inc();
+  }
+  answered_latency = waited;
+  return false;
 }
 
 void Resolver::CountVerdict(bool blacklisted) {

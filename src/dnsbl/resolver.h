@@ -10,8 +10,17 @@
 //   kNoCache     — every connection pays the full DNS round.
 //   kIpCache     — classic per-IP caching.
 //   kPrefixCache — DNSBLv6: cache /25 bitmaps; neighbours hit.
+//
+// With a QueryPolicy enabled the resolver additionally hardens the
+// round: each server's query gets a timeout and a bounded number of
+// retries (jittered backoff), and a per-server circuit breaker stops
+// querying a list that keeps timing out until a cooldown elapses. A
+// lookup that lost any server's answer is "degraded": its verdict is
+// synthesized per the fail-open/fail-closed setting and is NOT cached
+// (a degraded verdict must not poison the cache for a full TTL).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -29,14 +38,63 @@ const char* CacheModeName(CacheMode mode);
 struct LookupOutcome {
   bool blacklisted = false;
   bool cache_hit = false;
+  bool degraded = false;  // at least one server's answer was lost
   SimTime latency;        // 0 on a cache hit (local memory lookup)
   int dns_queries = 0;    // DNS messages sent (0 on a hit)
+};
+
+// Per-query hardening knobs. Disabled by default: the legacy behaviour
+// (wait for the slowest list, forever) is exactly what Figures 14/15
+// model, so simulation paths leave this off.
+struct QueryPolicy {
+  bool enabled = false;
+
+  // A query unanswered after `timeout` is abandoned and retried up to
+  // `max_retries` times, waiting a jittered backoff (0.5x–1.5x of
+  // `retry_backoff`) between attempts.
+  SimTime timeout = SimTime::Millis(800);
+  int max_retries = 1;
+  SimTime retry_backoff = SimTime::Millis(40);
+
+  // After `breaker_threshold` consecutive per-server failures the
+  // breaker opens: the server is skipped (no query, no waiting) until
+  // `breaker_cooldown` has elapsed, then probed again.
+  bool breaker_enabled = true;
+  int breaker_threshold = 4;
+  SimTime breaker_cooldown = SimTime::Seconds(30);
+
+  // Verdict synthesis for a server whose answer was lost or skipped:
+  // fail-open treats it as "not listed" (favours availability),
+  // fail-closed treats it as "listed" (favours paranoia).
+  bool fail_open = true;
+
+  // Worst-case wall a single lookup can wait on one server: every
+  // attempt times out and every backoff draws maximum jitter.
+  SimTime Budget() const {
+    return timeout * (1 + max_retries) +
+           retry_backoff.Scaled(1.5 * max_retries);
+  }
+};
+
+// Breaker/health bookkeeping the resolver keeps per configured server.
+struct ServerHealth {
+  int consecutive_failures = 0;
+  SimTime open_until{};  // breaker open while now < open_until
+  std::uint64_t timeouts = 0;   // attempts abandoned at the timeout
+  std::uint64_t retries = 0;    // re-sends after an abandoned attempt
+  std::uint64_t trips = 0;      // times the breaker opened
+  std::uint64_t skips = 0;      // lookups that skipped this server
 };
 
 struct ResolverStats {
   std::uint64_t lookups = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t dns_queries_sent = 0;  // messages to DNSBL servers
+  std::uint64_t timeouts = 0;          // per-server attempts timed out
+  std::uint64_t retries = 0;           // per-server retries issued
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_skips = 0;
+  std::uint64_t degraded_lookups = 0;  // verdict synthesized, uncached
 
   double HitRatio() const {
     return lookups == 0
@@ -58,7 +116,13 @@ class Resolver {
   Resolver(CacheMode mode, std::vector<const DnsblServer*> servers,
            SimTime ttl, util::Rng& rng)
       : mode_(mode), servers_(std::move(servers)), rng_(rng),
-        ip_cache_(ttl), prefix_cache_(ttl) {}
+        ip_cache_(ttl), prefix_cache_(ttl),
+        health_(servers_.size()) {}
+
+  // Installs the hardening policy (timeouts/retries/breaker). Resets
+  // all per-server breaker state.
+  void SetQueryPolicy(const QueryPolicy& policy);
+  const QueryPolicy& query_policy() const { return policy_; }
 
   // Resolves the blacklist verdict for `ip` at simulated time `now`.
   LookupOutcome Lookup(Ipv4 ip, SimTime now);
@@ -72,9 +136,22 @@ class Resolver {
   const ResolverStats& stats() const { return stats_; }
   const CacheStats& ip_cache_stats() const { return ip_cache_.stats(); }
   const CacheStats& prefix_cache_stats() const { return prefix_cache_.stats(); }
+  const ServerHealth& server_health(std::size_t i) const {
+    return health_.at(i);
+  }
 
  private:
   void CountVerdict(bool blacklisted);
+
+  // One hardened per-server query round: timeout, retries, breaker
+  // accounting. On success fills `answered_latency` + `answer_code`
+  // (ip mode) or `answer_bitmap` (prefix mode) and returns true; on an
+  // unreachable/skipped server returns false and `answered_latency` is
+  // the time burned waiting. `queries` counts DNS messages sent.
+  bool QueryServerHardened(std::size_t index, Ipv4 ip, bool prefix_mode,
+                           SimTime now, SimTime& answered_latency,
+                           std::uint8_t& answer_code,
+                           PrefixBitmap& answer_bitmap, int& queries);
 
   CacheMode mode_;
   std::vector<const DnsblServer*> servers_;
@@ -82,12 +159,19 @@ class Resolver {
   IpCache ip_cache_;
   PrefixCache prefix_cache_;
   ResolverStats stats_;
+  QueryPolicy policy_;
+  std::vector<ServerHealth> health_;
 
   // Optional observability (null until BindMetrics).
   obs::Counter* lookups_counter_ = nullptr;
   obs::Counter* hits_counter_ = nullptr;
   obs::Counter* queries_counter_ = nullptr;
   obs::Counter* blacklisted_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* breaker_trips_counter_ = nullptr;
+  obs::Counter* breaker_skips_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
   obs::Histogram* miss_latency_ms_ = nullptr;
 };
 

@@ -1,0 +1,111 @@
+#include "fault/injector.h"
+
+#include <ctime>
+
+namespace sams::fault {
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();  // never destroyed
+  return *injector;
+}
+
+void Injector::Arm(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  rng_.Seed(seed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Injector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  points_.clear();
+}
+
+void Injector::Set(const std::string& point, Policy policy) {
+  if (policy.action == Action::kCrash) policy.max_triggers = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& state = points_[point];
+  state.policy = std::move(policy);
+  state.has_policy = true;
+  state.skipped = 0;
+}
+
+void Injector::Clear(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.has_policy = false;
+}
+
+util::Error Injector::Hit(const char* point) {
+  int delay_ms = 0;
+  util::Error injected;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return util::OkError();
+    State& state = points_[point];
+    ++state.hits;
+    if (!state.has_policy) return util::OkError();
+    const Policy& policy = state.policy;
+    if (state.skipped < policy.skip) {
+      ++state.skipped;
+      return util::OkError();
+    }
+    if (policy.max_triggers >= 0 &&
+        state.triggers >= static_cast<std::uint64_t>(policy.max_triggers)) {
+      return util::OkError();
+    }
+    if (policy.probability < 1.0 && !rng_.Bernoulli(policy.probability)) {
+      return util::OkError();
+    }
+    ++state.triggers;
+    if (registry_ != nullptr) {
+      registry_
+          ->GetCounter("sams_fault_triggers_total",
+                       "injected faults fired at this point",
+                       {{"point", point}})
+          .Inc();
+    }
+    switch (policy.action) {
+      case Action::kDelay:
+        delay_ms = policy.delay_ms;
+        break;
+      case Action::kError:
+        injected = util::Error(policy.code,
+                               policy.message + " @ " + point);
+        break;
+      case Action::kCrash:
+        injected = util::Error(util::ErrorCode::kUnavailable,
+                               std::string("simulated crash @ ") + point);
+        break;
+    }
+  }
+  if (delay_ms > 0) {
+    // Sleep outside the lock so concurrent hits on other points and
+    // threads are not serialized behind the delay.
+    struct timespec ts;
+    ts.tv_sec = delay_ms / 1000;
+    ts.tv_nsec = static_cast<long>(delay_ms % 1000) * 1'000'000L;
+    ::nanosleep(&ts, nullptr);
+  }
+  return injected;
+}
+
+std::uint64_t Injector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Injector::triggers(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+void Injector::BindMetrics(obs::Registry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_ = &registry;
+}
+
+}  // namespace sams::fault

@@ -1,0 +1,154 @@
+// sams::fault — deterministic fault injection for chaos testing.
+//
+// Production code marks interesting failure sites with a named
+// injection point:
+//
+//   util::Error MfsVolume::MailNWrite(...) {
+//     ...
+//     SAMS_FAULT_POINT("mfs.nwrite.shared.after_data");   // may return
+//     ...
+//   }
+//
+// Tests and chaos runs arm the process-wide Injector with a seed and
+// attach per-point policies: return a configured Error, sleep, or
+// simulate a crash (a one-shot error-return that unwinds the call
+// exactly where a process death would have truncated the work — the
+// caller then reopens state from disk the way a restarted server
+// would). Probabilistic policies draw from the injector's own seeded
+// RNG, so a chaos run with a fixed seed triggers the identical fault
+// sequence every time.
+//
+// When the injector is disarmed (the default, and the only state
+// production ever runs in) an injection point costs one relaxed atomic
+// load and a predicted-not-taken branch — nothing else. Defining
+// SAMS_FAULT_DISABLED compiles every point out entirely.
+//
+// Point naming convention: <subsystem>.<operation>.<site>, e.g.
+// "mfs.nwrite.shared.after_data", "dnsbl.query.<zone>",
+// "mta.worker.after_recv". DESIGN.md §7 lists every wired point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sams::fault {
+
+#if defined(SAMS_FAULT_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+enum class Action {
+  kError,  // return the configured Error from the injection site
+  kDelay,  // sleep delay_ms on the hitting thread, then continue
+  kCrash,  // one-shot error-return simulating a process death here
+};
+
+struct Policy {
+  Action action = Action::kError;
+  util::ErrorCode code = util::ErrorCode::kUnavailable;
+  std::string message = "injected fault";
+  int delay_ms = 0;
+  double probability = 1.0;  // per-hit trigger chance (seeded RNG)
+  int skip = 0;              // let this many hits pass first
+  int max_triggers = -1;     // -1 = unlimited; kCrash forces 1
+};
+
+class Injector {
+ public:
+  // The process-wide injector every SAMS_FAULT_POINT consults.
+  static Injector& Global();
+
+  // The only cost an injection point pays while disarmed.
+  static bool ArmedFast() {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  // Arms the injector: clears all points/counters and reseeds the RNG.
+  // Chaos runs with the same seed and policy set fire identically.
+  void Arm(std::uint64_t seed);
+
+  // Disarms and clears every policy and counter (read stats first).
+  void Disarm();
+
+  // Installs/replaces the policy for a point (effective while armed).
+  void Set(const std::string& point, Policy policy);
+  void Clear(const std::string& point);
+
+  // Called by SAMS_FAULT_POINT. Returns the injected error, or OK.
+  // Hits on points with no policy are still counted while armed, so
+  // coverage tests can assert that sites stayed wired.
+  util::Error Hit(const char* point);
+
+  std::uint64_t hits(const std::string& point) const;
+  std::uint64_t triggers(const std::string& point) const;
+
+  // Publishes sams_fault_triggers_total{point=...} counters. The
+  // registry must outlive the injector's armed phase.
+  void BindMetrics(obs::Registry& registry);
+
+ private:
+  struct State {
+    Policy policy;
+    bool has_policy = false;
+    std::uint64_t hits = 0;
+    std::uint64_t triggers = 0;
+    int skipped = 0;
+  };
+
+  inline static std::atomic<bool> armed_{false};
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, State> points_;
+  util::Rng rng_{1};
+  obs::Registry* registry_ = nullptr;
+};
+
+// RAII arm/disarm for tests: arms on construction, disarms (clearing
+// all policies) on destruction.
+class ScopedArm {
+ public:
+  explicit ScopedArm(std::uint64_t seed) { Injector::Global().Arm(seed); }
+  ~ScopedArm() { Injector::Global().Disarm(); }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+};
+
+#if defined(SAMS_FAULT_DISABLED)
+
+#define SAMS_FAULT_ERROR(name) (::sams::util::OkError())
+#define SAMS_FAULT_POINT(name) \
+  do {                         \
+  } while (0)
+
+#else
+
+// Evaluates the point and yields the injected Error (OK when idle);
+// for sites that need custom handling (e.g. treat as a DNS timeout).
+#define SAMS_FAULT_ERROR(name)                       \
+  (::sams::fault::Injector::ArmedFast()              \
+       ? ::sams::fault::Injector::Global().Hit(name) \
+       : ::sams::util::OkError())
+
+// Early-returns the injected error. Usable in any function returning
+// util::Error or util::Result<T>.
+#define SAMS_FAULT_POINT(name)                             \
+  do {                                                     \
+    if (::sams::fault::Injector::ArmedFast()) {            \
+      ::sams::util::Error sams_fault_err_ =                \
+          ::sams::fault::Injector::Global().Hit(name);     \
+      if (!sams_fault_err_.ok()) return sams_fault_err_;   \
+    }                                                      \
+  } while (0)
+
+#endif
+
+}  // namespace sams::fault

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "fault/injector.h"
 #include "util/logging.h"
 
 namespace sams::mfs {
@@ -135,6 +136,7 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
     }
     auto offset = (*box)->data.Append(body);
     if (!offset.ok()) return offset.error();
+    SAMS_FAULT_POINT("mfs.nwrite.private.after_data");
     auto idx = (*box)->key.Append(KeyRecord{id, *offset, 1});
     if (!idx.ok()) return idx.error();
     ++stats_.private_writes;
@@ -156,12 +158,13 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
     }
   }
 
+  // Crash-safe ordering: payload, then the recipients' redirects, then
+  // the shared key record LAST. The shared record is the commit point —
+  // a crash before it leaves only dangling redirects, which Recover()
+  // rolls back; a crash after it leaves a fully delivered mail.
   auto offset = shared_.data.Append(body);
   if (!offset.ok()) return offset.error();
-  auto shared_idx = shared_.key.Append(
-      KeyRecord{id, *offset, static_cast<std::int32_t>(boxes.size())});
-  if (!shared_idx.ok()) return shared_idx.error();
-  shared_index_.emplace(id, *shared_idx);
+  SAMS_FAULT_POINT("mfs.nwrite.shared.after_data");
 
   for (MailFile* mfd : boxes) {
     auto box = LoadBox(mfd->name_);
@@ -169,7 +172,14 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
     auto idx = (*box)->key.Append(KeyRecord{id, *offset, -1});
     if (!idx.ok()) return idx.error();
     ++stats_.redirects_written;
+    SAMS_FAULT_POINT("mfs.nwrite.shared.mid_redirects");
   }
+
+  SAMS_FAULT_POINT("mfs.nwrite.shared.before_commit");
+  auto shared_idx = shared_.key.Append(
+      KeyRecord{id, *offset, static_cast<std::int32_t>(boxes.size())});
+  if (!shared_idx.ok()) return shared_idx.error();
+  shared_index_.emplace(id, *shared_idx);
   ++stats_.shared_writes;
   stats_.bytes_deduplicated +=
       static_cast<std::uint64_t>(body.size()) * (boxes.size() - 1);
@@ -226,6 +236,7 @@ util::Error MfsVolume::MailDelete(MailFile& mfd, const MailId& id) {
   }
   const KeyRecord rec = (*box)->key.at(idx);
   SAMS_RETURN_IF_ERROR((*box)->key.SetRefcount(idx, 0));  // tombstone
+  SAMS_FAULT_POINT("mfs.delete.after_tombstone");
 
   if (rec.IsRedirect()) {
     auto it = shared_index_.find(id);
@@ -340,6 +351,81 @@ Result<FsckReport> MfsVolume::Fsck() {
   }
   // Redirects pointing at ids absent from the shared index were already
   // flagged as dangling above.
+  return report;
+}
+
+Result<RecoverReport> MfsVolume::Recover() {
+  // DataFile record = 4-byte length prefix + payload.
+  constexpr std::int64_t kDataHeader = 4;
+  RecoverReport report;
+  auto names = ListMailboxes();
+  if (!names.ok()) return names.error();
+
+  // Pass 1: private mailboxes. Tombstone redirects that never got a
+  // shared commit record (torn nwrite) and duplicates from a retry that
+  // ran before recovery; census the survivors for refcount repair.
+  std::unordered_map<MailId, std::int32_t> redirect_counts;
+  for (const std::string& name : *names) {
+    auto box_r = LoadBox(name);
+    if (!box_r.ok()) return box_r.error();
+    Box* box = *box_r;
+    std::unordered_set<MailId> seen;
+    std::int64_t referenced = 0;
+    for (std::size_t i = 0; i < box->key.size(); ++i) {
+      const KeyRecord& rec = box->key.at(i);
+      if (rec.IsTombstone()) continue;
+      if (rec.IsRedirect()) {
+        if (!shared_index_.contains(rec.id)) {
+          SAMS_RETURN_IF_ERROR(box->key.SetRefcount(i, 0));
+          ++report.dangling_redirects_tombstoned;
+          continue;
+        }
+        if (!seen.insert(rec.id).second) {
+          SAMS_RETURN_IF_ERROR(box->key.SetRefcount(i, 0));
+          ++report.duplicate_redirects_tombstoned;
+          continue;
+        }
+        ++redirect_counts[rec.id];
+      } else {
+        seen.insert(rec.id);
+        auto body = box->data.ReadAt(rec.offset);
+        if (!body.ok()) return body.error();
+        referenced += kDataHeader + static_cast<std::int64_t>(body->size());
+      }
+    }
+    report.orphaned_data_bytes +=
+        static_cast<std::uint64_t>(box->data.end_offset() - referenced);
+  }
+
+  // Pass 2: shared mailbox. A live record's refcount must equal its
+  // live-redirect population; zero redirects means every reference is
+  // gone (torn delete or rolled-back nwrite) and the record itself is
+  // reclaimed.
+  std::vector<MailId> reclaimed;
+  std::int64_t shared_referenced = 0;
+  for (const auto& [id, idx] : shared_index_) {
+    const KeyRecord& rec = shared_.key.at(idx);
+    const std::int32_t actual =
+        redirect_counts.contains(id) ? redirect_counts.at(id) : 0;
+    if (actual == 0) {
+      SAMS_RETURN_IF_ERROR(shared_.key.SetRefcount(idx, 0));
+      reclaimed.push_back(id);
+      ++report.orphaned_shared_reclaimed;
+      continue;
+    }
+    if (actual != rec.refcount) {
+      SAMS_RETURN_IF_ERROR(shared_.key.SetRefcount(idx, actual));
+      ++report.refcounts_repaired;
+    }
+    auto body = shared_.data.ReadAt(rec.offset);
+    if (!body.ok()) return body.error();
+    shared_referenced += kDataHeader + static_cast<std::int64_t>(body->size());
+  }
+  for (const MailId& id : reclaimed) shared_index_.erase(id);
+  report.orphaned_data_bytes += static_cast<std::uint64_t>(
+      shared_.data.end_offset() - shared_referenced);
+
+  SAMS_RETURN_IF_ERROR(SyncAll());
   return report;
 }
 

@@ -84,6 +84,19 @@ struct CompactStats {
   std::uint64_t bytes_reclaimed = 0;
 };
 
+struct RecoverReport {
+  std::uint64_t dangling_redirects_tombstoned = 0;  // torn shared nwrite
+  std::uint64_t duplicate_redirects_tombstoned = 0; // retry before recovery
+  std::uint64_t refcounts_repaired = 0;             // torn shared delete
+  std::uint64_t orphaned_shared_reclaimed = 0;      // zero-redirect records
+  std::uint64_t orphaned_data_bytes = 0;            // Compact() reclaims
+  bool clean() const {
+    return dangling_redirects_tombstoned == 0 &&
+           duplicate_redirects_tombstoned == 0 && refcounts_repaired == 0 &&
+           orphaned_shared_reclaimed == 0;
+  }
+};
+
 class MfsVolume {
  public:
   // Opens (creating if needed) a volume rooted at `root`.
@@ -139,6 +152,20 @@ class MfsVolume {
   // Rewrites the shared mailbox and all private mailboxes, dropping
   // tombstones and zero-ref shared records; patches redirect offsets.
   util::Result<CompactStats> Compact();
+
+  // Crash-recovery scavenger. MailNWrite orders the shared commit so
+  // the shared key record is written LAST; a crash at any earlier
+  // point leaves only artifacts Recover can roll back unambiguously:
+  //   - redirect with no live shared record  -> tombstone (torn nwrite;
+  //     retrying the same id then succeeds),
+  //   - duplicate redirect in one mailbox    -> tombstone the extra,
+  //   - shared refcount != live redirects    -> repair to the actual
+  //     count (torn delete), 0 -> reclaim the shared record,
+  //   - data-file bytes no key record references are counted; Compact
+  //     reclaims them.
+  // Run after reopening a volume that may not have shut down cleanly.
+  // Idempotent: a second run reports clean().
+  util::Result<RecoverReport> Recover();
 
   const VolumeStats& stats() const { return stats_; }
   const std::string& root() const { return root_; }

@@ -6,10 +6,13 @@
 #include <sys/timerfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <unordered_map>
 
+#include "fault/injector.h"
 #include "util/logging.h"
 #include "util/time.h"
 
@@ -34,6 +37,10 @@ struct SmtpServer::MasterConn {
   bool banner_sent = true;   // false while the pregreet timer is armed
   bool pregreeted = false;
   util::UniqueFd pregreet_timer;
+  // Reaper bookkeeping (monotonic ns): slow-loris sessions are evicted
+  // on inactivity, and every pre-trust session has a hard deadline.
+  std::int64_t accepted_ns = 0;
+  std::int64_t last_activity_ns = 0;
 };
 
 SmtpServer::SmtpServer(RealServerConfig cfg, RecipientDb recipients,
@@ -111,8 +118,31 @@ void SmtpServer::BindObservability(obs::Registry& registry,
       "sessions that never left the master loop", arch);
   auto* errors = &registry.GetCounter("sams_smtp_delivery_errors_total",
                                       "store deliveries that failed", arch);
+  auto* reaped = &registry.GetCounter(
+      "sams_smtp_idle_reaped_total",
+      "master sessions 421-evicted on idle/deadline", arch);
+  auto* sheds = &registry.GetCounter(
+      "sams_smtp_overload_sheds_total",
+      "connections 421-shed at accept by the overload gate", arch);
+  auto* deaths = &registry.GetCounter(
+      "sams_smtp_worker_deaths_total",
+      "delegation channels retired after a worker died", arch);
+  auto* requeues = &registry.GetCounter(
+      "sams_smtp_requeued_delegations_total",
+      "delegations retried on a live worker after a death", arch);
+  auto* inflight = &registry.GetGauge(
+      "sams_smtp_inflight_sessions", "sessions accepted and not yet done",
+      arch);
   registry.AddCollector([this, conns, mails, mailbox, rejected, content,
-                         pregreet, delegations, master_closed, errors] {
+                         pregreet, delegations, master_closed, errors, reaped,
+                         sheds, deaths, requeues, inflight] {
+    reaped->Overwrite(stats_.idle_reaped.load(std::memory_order_relaxed));
+    sheds->Overwrite(stats_.overload_sheds.load(std::memory_order_relaxed));
+    deaths->Overwrite(stats_.worker_deaths.load(std::memory_order_relaxed));
+    requeues->Overwrite(
+        stats_.requeued_delegations.load(std::memory_order_relaxed));
+    inflight->Set(
+        static_cast<double>(inflight_.load(std::memory_order_relaxed)));
     conns->Overwrite(stats_.connections.load(std::memory_order_relaxed));
     mails->Overwrite(stats_.mails_delivered.load(std::memory_order_relaxed));
     mailbox->Overwrite(
@@ -146,6 +176,7 @@ util::Result<std::uint16_t> SmtpServer::Start() {
   }
 
   running_.store(true, std::memory_order_release);
+  accepting_.store(true, std::memory_order_release);
   if (cfg_.architecture == Architecture::kThreadPerConnection) {
     accept_thread_ = std::thread([this] { AcceptLoop(); });
   } else {
@@ -167,7 +198,44 @@ util::Result<std::uint16_t> SmtpServer::Start() {
   return *port;
 }
 
+int SmtpServer::Drain(int grace_ms) {
+  if (!running_.load(std::memory_order_acquire)) return 0;
+  // Refuse new work: the listener stops accepting but every session
+  // already admitted keeps running.
+  accepting_.store(false, std::memory_order_release);
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  const std::int64_t deadline =
+      util::MonotonicNanos() + static_cast<std::int64_t>(grace_ms) * 1'000'000;
+  while (inflight_.load(std::memory_order_relaxed) > 0 &&
+         util::MonotonicNanos() < deadline) {
+    struct timespec ts{0, 5'000'000};  // 5 ms
+    ::nanosleep(&ts, nullptr);
+  }
+  const int leftover = inflight_.load(std::memory_order_relaxed);
+  if (leftover > 0) {
+    SAMS_LOG(kWarn) << "drain grace expired with " << leftover
+                    << " sessions still open";
+  }
+  if (queue_) queue_->Flush();  // every acked mail reaches its mailbox
+  Stop();
+  return leftover;
+}
+
+bool SmtpServer::AdmitSession(int fd) {
+  const int now = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cfg_.max_inflight_sessions > 0 && now > cfg_.max_inflight_sessions) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    stats_.overload_sheds.fetch_add(1, std::memory_order_relaxed);
+    static constexpr char kShed[] =
+        "421 4.3.2 Service overloaded, try again later\r\n";
+    (void)util::SendAll(fd, kShed, sizeof(kShed) - 1);
+    return false;
+  }
+  return true;
+}
+
 void SmtpServer::Stop() {
+  accepting_.store(false, std::memory_order_release);
   if (!running_.exchange(false)) return;
   // Closing the listener unblocks accept(); stopping the loop unblocks
   // epoll_wait; closing the delegation channels unblocks the workers.
@@ -198,13 +266,15 @@ void SmtpServer::Stop() {
 // --- thread-per-connection (Figure 6) ----------------------------------
 
 void SmtpServer::AcceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
+  while (running_.load(std::memory_order_acquire) &&
+         accepting_.load(std::memory_order_acquire)) {
     auto accepted = net::TcpAccept(listener_.get());
     if (!accepted.ok()) {
-      if (!running_.load()) break;
+      if (!running_.load() || !accepting_.load()) break;
       continue;  // transient accept failure
     }
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    if (!AdmitSession(accepted->fd.get())) continue;  // shed; fd closes
     std::lock_guard<std::mutex> lock(conn_mutex_);
     conn_threads_.emplace_back(
         [this, fd = std::move(accepted->fd),
@@ -216,11 +286,14 @@ void SmtpServer::AcceptLoop() {
 
 void SmtpServer::HandleConnection(util::UniqueFd fd, std::string peer_ip) {
   (void)net::SetRecvTimeout(fd.get(), cfg_.recv_timeout_ms);
+  if (cfg_.send_timeout_ms > 0) {
+    (void)net::SetSendTimeout(fd.get(), cfg_.send_timeout_ms);
+  }
   bool quit = false;
   smtp::ServerSession::Hooks hooks;
   const int raw = fd.get();
   hooks.send = [raw](std::string bytes) {
-    (void)util::WriteAll(raw, bytes.data(), bytes.size());
+    (void)util::SendAll(raw, bytes.data(), bytes.size());
   };
   hooks.validate_rcpt = [this](const smtp::Address& addr) {
     const bool ok = recipients_.IsValid(addr);
@@ -249,6 +322,7 @@ void SmtpServer::HandleConnection(util::UniqueFd fd, std::string peer_ip) {
   session.Start();
   FinishSession(session, fd.get());
   (void)quit;
+  SessionDone();
 }
 
 void SmtpServer::FinishSession(smtp::ServerSession& session, int fd) {
@@ -276,6 +350,7 @@ void SmtpServer::MasterLoop() {
     (void)loop_->Remove(fd);
     conns.erase(fd);
     stats_.master_closed.fetch_add(1, std::memory_order_relaxed);
+    SessionDone();
   };
 
   auto delegate = [this, &conns](int fd) {
@@ -288,17 +363,47 @@ void SmtpServer::MasterLoop() {
       SAMS_LOG(kWarn) << "handoff failed: " << payload.error().ToString();
       (void)loop_->Remove(fd);
       conns.erase(it);
+      SessionDone();
       return;
     }
-    const std::size_t worker = next_worker_++ % worker_channels_.size();
-    const util::Error err = util::SendFdWithPayload(
-        worker_channels_[worker].get(), fd, *payload);
-    if (err.ok()) {
-      stats_.delegations.fetch_add(1, std::memory_order_relaxed);
-    } else {
+    // Round-robin over the LIVE workers. kUnavailable from the channel
+    // (EPIPE — the worker died) retires that channel and requeues the
+    // session on the next live worker; the client never notices.
+    bool handed_off = false;
+    bool saw_death = false;
+    const std::size_t n_workers = worker_channels_.size();
+    for (std::size_t tried = 0; tried < n_workers; ++tried) {
+      const std::size_t worker = next_worker_++ % n_workers;
+      if (!worker_channels_[worker].valid()) continue;  // retired earlier
+      const util::Error err = util::SendFdWithPayload(
+          worker_channels_[worker].get(), fd, *payload);
+      if (err.ok()) {
+        stats_.delegations.fetch_add(1, std::memory_order_relaxed);
+        if (saw_death) {
+          stats_.requeued_delegations.fetch_add(1, std::memory_order_relaxed);
+        }
+        handed_off = true;
+        break;
+      }
+      if (err.code() == util::ErrorCode::kUnavailable) {
+        SAMS_LOG(kWarn) << "smtpd worker " << worker
+                        << " died: " << err.ToString();
+        worker_channels_[worker].Reset();
+        stats_.worker_deaths.fetch_add(1, std::memory_order_relaxed);
+        saw_death = true;
+        continue;
+      }
       SAMS_LOG(kError) << "delegation failed: " << err.ToString();
+      break;
     }
-    // The worker holds a duplicate now; drop the master's copy.
+    if (!handed_off) {
+      static constexpr char kBusy[] =
+          "421 4.3.2 No smtpd available, try again later\r\n";
+      (void)util::SendAll(fd, kBusy, sizeof(kBusy) - 1);
+      SessionDone();
+    }
+    // On success the worker holds a duplicate now; drop the master's
+    // copy either way.
     (void)loop_->Remove(fd);
     conns.erase(it);
   };
@@ -312,6 +417,7 @@ void SmtpServer::MasterLoop() {
     for (;;) {
       const ssize_t n = ::read(fd, buf, sizeof(buf));
       if (n > 0) {
+        conn.last_activity_ns = util::MonotonicNanos();
         if (!conn.banner_sent) {
           // Early talker: the banner has not been sent yet, so these
           // bytes violate the SMTP handshake. Remember and discard;
@@ -340,19 +446,29 @@ void SmtpServer::MasterLoop() {
 
   const util::Error add_err = loop_->Add(
       listen_fd, EPOLLIN,
-      [this, &conns, on_client_event, close_conn](std::uint32_t) {
+      [this, &conns, on_client_event, close_conn, listen_fd](std::uint32_t) {
         for (;;) {
           auto accepted = net::TcpAccept(listener_.get());
-          if (!accepted.ok()) return;  // EAGAIN (non-blocking) or closed
+          if (!accepted.ok()) {
+            // EAGAIN (non-blocking) — or Drain() shut the listener
+            // down, in which case stop polling it to avoid a spin.
+            if (!accepting_.load(std::memory_order_acquire)) {
+              (void)loop_->Remove(listen_fd);
+            }
+            return;
+          }
           stats_.connections.fetch_add(1, std::memory_order_relaxed);
           const int fd = accepted->fd.get();
+          if (!AdmitSession(fd)) continue;  // shed; fd closes with accepted
           (void)util::SetNonBlocking(fd);
 
           auto conn = std::make_unique<MasterConn>();
           conn->fd = std::move(accepted->fd);
+          conn->accepted_ns = util::MonotonicNanos();
+          conn->last_activity_ns = conn->accepted_ns;
           smtp::ServerSession::Hooks hooks;
           hooks.send = [fd](std::string bytes) {
-            (void)util::WriteAll(fd, bytes.data(), bytes.size());
+            (void)util::SendAll(fd, bytes.data(), bytes.size());
           };
           hooks.validate_rcpt = [this](const smtp::Address& addr) {
             const bool ok = recipients_.IsValid(addr);
@@ -402,8 +518,8 @@ void SmtpServer::MasterLoop() {
                                  const std::string reject =
                                      "554 5.5.1 Protocol error: talked "
                                      "before my banner\r\n";
-                                 (void)util::WriteAll(fd, reject.data(),
-                                                      reject.size());
+                                 (void)util::SendAll(fd, reject.data(),
+                                                     reject.size());
                                  close_conn(fd);
                                  return;
                                }
@@ -422,6 +538,57 @@ void SmtpServer::MasterLoop() {
     SAMS_LOG(kError) << "master loop setup failed: " << add_err.ToString();
     return;
   }
+
+  // Periodic reaper: evict parked sessions that have gone idle (slow
+  // loris) or outlived the pre-trust deadline. Spammers must not be
+  // able to fill the master's epoll set with half-open dialogs.
+  util::UniqueFd reap_timer;
+  if (cfg_.master_idle_timeout_ms > 0 || cfg_.master_session_deadline_ms > 0) {
+    int tick_ms = 1'000;
+    if (cfg_.master_idle_timeout_ms > 0) {
+      tick_ms = std::min(tick_ms, std::max(10, cfg_.master_idle_timeout_ms / 4));
+    }
+    if (cfg_.master_session_deadline_ms > 0) {
+      tick_ms =
+          std::min(tick_ms, std::max(10, cfg_.master_session_deadline_ms / 4));
+    }
+    reap_timer.Reset(::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
+    struct itimerspec when {};
+    when.it_value.tv_sec = tick_ms / 1000;
+    when.it_value.tv_nsec = static_cast<long>(tick_ms % 1000) * 1'000'000L;
+    when.it_interval = when.it_value;
+    ::timerfd_settime(reap_timer.get(), 0, &when, nullptr);
+    const int timer_fd = reap_timer.get();
+    (void)loop_->Add(
+        timer_fd, EPOLLIN,
+        [this, &conns, close_conn, timer_fd](std::uint32_t) {
+          std::uint64_t expirations = 0;
+          (void)::read(timer_fd, &expirations, sizeof(expirations));
+          const std::int64_t now = util::MonotonicNanos();
+          const std::int64_t idle_ns =
+              static_cast<std::int64_t>(cfg_.master_idle_timeout_ms) *
+              1'000'000;
+          const std::int64_t deadline_ns =
+              static_cast<std::int64_t>(cfg_.master_session_deadline_ms) *
+              1'000'000;
+          std::vector<int> expired;
+          for (const auto& [fd, conn] : conns) {
+            const bool idle =
+                idle_ns > 0 && now - conn->last_activity_ns >= idle_ns;
+            const bool over =
+                deadline_ns > 0 && now - conn->accepted_ns >= deadline_ns;
+            if (idle || over) expired.push_back(fd);
+          }
+          for (int fd : expired) {
+            stats_.idle_reaped.fetch_add(1, std::memory_order_relaxed);
+            static constexpr char kReap[] =
+                "421 4.4.2 Idle timeout, closing transmission channel\r\n";
+            (void)util::SendAll(fd, kReap, sizeof(kReap) - 1);
+            close_conn(fd);
+          }
+        });
+  }
+
   (void)loop_->Run();
   // Drain: close any connections still parked in the master.
   conns.clear();
@@ -436,13 +603,25 @@ void SmtpServer::WorkerLoop(int channel_fd) {
     auto task = util::RecvFdWithPayload(channel.get());
     if (!task.ok()) return;  // EOF: server stopping
 
+    if (!SAMS_FAULT_ERROR("mta.worker.after_recv").ok()) {
+      // Simulated smtpd death mid-delegation: abandon the channel the
+      // way a crashed worker process would. The client socket closes
+      // (its unacked session is lost, never acked mail) and the
+      // master's next send on this channel gets EPIPE and requeues.
+      SessionDone();
+      return;
+    }
+
     const int fd = task->fd.get();
     SetBlocking(fd);
     (void)net::SetRecvTimeout(fd, cfg_.recv_timeout_ms);
+    if (cfg_.send_timeout_ms > 0) {
+      (void)net::SetSendTimeout(fd, cfg_.send_timeout_ms);
+    }
 
     smtp::ServerSession::Hooks hooks;
     hooks.send = [fd](std::string bytes) {
-      (void)util::WriteAll(fd, bytes.data(), bytes.size());
+      (void)util::SendAll(fd, bytes.data(), bytes.size());
     };
     hooks.validate_rcpt = [this](const smtp::Address& addr) {
       const bool ok = recipients_.IsValid(addr);
@@ -465,6 +644,7 @@ void SmtpServer::WorkerLoop(int channel_fd) {
         cfg_.session, std::move(hooks), task->payload);
     if (!session.ok()) {
       SAMS_LOG(kError) << "resume failed: " << session.error().ToString();
+      SessionDone();
       continue;  // drop the connection (task->fd closes)
     }
     if (trace_ != nullptr && session->handoff_trace_id() != 0) {
@@ -479,6 +659,7 @@ void SmtpServer::WorkerLoop(int channel_fd) {
     // then continue with blocking reads until QUIT/EOF.
     session->Feed("");
     FinishSession(*session, fd);
+    SessionDone();
   }
 }
 

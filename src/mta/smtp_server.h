@@ -64,6 +64,21 @@ struct RealServerConfig {
   // the smtpd worker: the 250 ack then means "safely spooled", exactly
   // postfix's contract.
   std::string spool_dir;
+
+  // --- robustness knobs (0 = off) ------------------------------------
+  // SO_SNDTIMEO on client sockets: a peer that stops draining its
+  // receive window cannot park a worker in a blocking reply write.
+  int send_timeout_ms = 30'000;
+  // Fork-after-trust master: reap a parked connection with 421 after
+  // this much inactivity (slow-loris defense — an untrusted session
+  // may not squat in the master's epoll set indefinitely)...
+  int master_idle_timeout_ms = 0;
+  // ...and regardless of activity, cap its total pre-trust lifetime.
+  int master_session_deadline_ms = 0;
+  // Overload gate: beyond this many concurrently open sessions, new
+  // connections are shed immediately with 421 (bounded work, fast
+  // failure — the client retries later, per SMTP semantics).
+  int max_inflight_sessions = 0;
 };
 
 struct RealServerStats {
@@ -77,6 +92,10 @@ struct RealServerStats {
   std::atomic<std::uint64_t> master_closed{0};     // sessions that never
                                                    // left the master
   std::atomic<std::uint64_t> delivery_errors{0};
+  std::atomic<std::uint64_t> idle_reaped{0};       // master 421s (idle/deadline)
+  std::atomic<std::uint64_t> overload_sheds{0};    // 421s at accept
+  std::atomic<std::uint64_t> worker_deaths{0};     // dead delegation channels
+  std::atomic<std::uint64_t> requeued_delegations{0};  // retried on live worker
 };
 
 class SmtpServer {
@@ -96,6 +115,15 @@ class SmtpServer {
   // Stops all threads and closes all sockets. Idempotent.
   void Stop();
 
+  // Graceful shutdown: stop accepting new connections, wait up to
+  // `grace_ms` for in-flight sessions to finish, flush the spool queue
+  // (every acked mail reaches its mailbox), then Stop(). Returns the
+  // number of sessions still open when the grace period expired.
+  int Drain(int grace_ms);
+
+  // Concurrently open sessions (accepted, not yet finished).
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
   // Publishes the server's, store's, and (once started) queue's and
   // event loop's instruments into `registry`; when `sink` is non-null,
   // every session records per-stage spans on the monotonic clock. Call
@@ -113,6 +141,10 @@ class SmtpServer {
   void WorkerLoop(int channel_fd);  // takes ownership of channel_fd
   void FinishSession(smtp::ServerSession& session, int fd);
   bool DeliverEnvelope(smtp::Envelope&& envelope);
+  // Overload gate: true = session admitted (inflight_ counted); false =
+  // the connection was shed with 421 and must be closed by the caller.
+  bool AdmitSession(int fd);
+  void SessionDone() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
 
   RealServerConfig cfg_;
   RecipientDb recipients_;
@@ -124,6 +156,8 @@ class SmtpServer {
 
   util::UniqueFd listener_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
+  std::atomic<int> inflight_{0};
 
   // thread-per-connection state
   std::thread accept_thread_;

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -73,12 +74,30 @@ util::Result<util::UniqueFd> TcpConnect(const std::string& host,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return util::InvalidArgument("bad IPv4 address: " + host);
   }
-  int rc;
-  do {
-    rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) return util::IoError(Errno("connect"));
+  const int rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0) {
+    // EINTR leaves the connect in progress; re-calling connect() would
+    // fail with EALREADY. Wait for writability and read SO_ERROR.
+    if (errno != EINTR) return util::IoError(Errno("connect"));
+    struct pollfd pfd;
+    pfd.fd = fd.get();
+    pfd.events = POLLOUT;
+    int prc;
+    do {
+      prc = ::poll(&pfd, 1, -1);
+    } while (prc < 0 && errno == EINTR);
+    if (prc < 0) return util::IoError(Errno("poll"));
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      return util::IoError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (so_error != 0) {
+      errno = so_error;
+      return util::IoError(Errno("connect"));
+    }
+  }
   return fd;
 }
 
@@ -88,6 +107,16 @@ util::Error SetRecvTimeout(int fd, int millis) {
   tv.tv_usec = (millis % 1000) * 1000;
   if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
     return util::IoError(Errno("setsockopt(SO_RCVTIMEO)"));
+  }
+  return util::OkError();
+}
+
+util::Error SetSendTimeout(int fd, int millis) {
+  struct timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return util::IoError(Errno("setsockopt(SO_SNDTIMEO)"));
   }
   return util::OkError();
 }

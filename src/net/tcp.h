@@ -31,4 +31,9 @@ util::Result<util::UniqueFd> TcpConnect(const std::string& host,
 // Sets SO_RCVTIMEO so blocking reads give up after `millis`.
 util::Error SetRecvTimeout(int fd, int millis);
 
+// Sets SO_SNDTIMEO so blocking writes give up after `millis` — a
+// client that stops draining its receive window (slow-loris on the
+// reply path) cannot park a worker in write() forever.
+util::Error SetSendTimeout(int fd, int millis);
+
 }  // namespace sams::net

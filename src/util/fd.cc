@@ -1,9 +1,13 @@
 #include "util/fd.h"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
 
 #include <cerrno>
 #include <cstring>
@@ -39,19 +43,93 @@ Error SetNonBlocking(int fd) {
   return OkError();
 }
 
+namespace {
+
+// Blocks until `fd` is ready for the given poll events; tolerates
+// EINTR. Used to wait out EAGAIN on non-blocking channels.
+Error WaitReady(int fd, short events) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, -1);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return IoError(Errno("poll"));
+  return OkError();
+}
+
+bool PeerGone(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ENOTCONN;
+}
+
+// send() the full buffer; retries EINTR, waits out EAGAIN, maps a dead
+// peer to kUnavailable. MSG_NOSIGNAL keeps SIGPIPE away.
+Error SendExactly(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SAMS_RETURN_IF_ERROR(WaitReady(fd, POLLOUT));
+        continue;
+      }
+      if (PeerGone(errno)) return Unavailable(Errno("send"));
+      return IoError(Errno("send"));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return OkError();
+}
+
+// recv() exactly n bytes; EOF mid-frame is a protocol error.
+Error RecvExactly(int fd, char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SAMS_RETURN_IF_ERROR(WaitReady(fd, POLLIN));
+        continue;
+      }
+      if (PeerGone(errno)) return Unavailable(Errno("recv"));
+      return IoError(Errno("recv"));
+    }
+    if (r == 0) return ProtocolError("peer closed mid-frame");
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return OkError();
+}
+
+}  // namespace
+
 Error SendFdWithPayload(int channel, int fd_to_send, const std::string& payload) {
   if (payload.empty()) return InvalidArgument("payload must be non-empty");
-  struct iovec iov;
-  iov.iov_base = const_cast<char*>(payload.data());
-  iov.iov_len = payload.size();
+  if (payload.size() > kMaxFdPayload) {
+    return InvalidArgument("task payload exceeds kMaxFdPayload");
+  }
+  // Frame: 4-byte payload length, then the bytes. The length prefix —
+  // not kernel message boundaries — delimits the task, so a partial
+  // first write cannot merge adjacent tasks on the receiver.
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char header[4];
+  std::memcpy(header, &len, sizeof(header));
+
+  struct iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
 
   alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
   std::memset(control, 0, sizeof(control));
 
   struct msghdr msg;
   std::memset(&msg, 0, sizeof(msg));
-  msg.msg_iov = &iov;
-  msg.msg_iovlen = 1;
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
   msg.msg_control = control;
   msg.msg_controllen = sizeof(control);
 
@@ -61,22 +139,43 @@ Error SendFdWithPayload(int channel, int fd_to_send, const std::string& payload)
   cmsg->cmsg_len = CMSG_LEN(sizeof(int));
   std::memcpy(CMSG_DATA(cmsg), &fd_to_send, sizeof(int));
 
+  // The descriptor must ride a successful sendmsg; retry EINTR/EAGAIN
+  // until at least the frame head is accepted.
   ssize_t sent;
-  do {
-    sent = ::sendmsg(channel, &msg, 0);
-  } while (sent < 0 && errno == EINTR);
-  if (sent < 0) return IoError(Errno("sendmsg"));
-  if (static_cast<std::size_t>(sent) != payload.size()) {
-    return IoError("sendmsg: short write of task payload");
+  for (;;) {
+    sent = ::sendmsg(channel, &msg, MSG_NOSIGNAL);
+    if (sent >= 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SAMS_RETURN_IF_ERROR(WaitReady(channel, POLLOUT));
+      continue;
+    }
+    if (PeerGone(errno)) return Unavailable(Errno("sendmsg"));
+    return IoError(Errno("sendmsg"));
   }
-  return OkError();
+  const std::size_t frame = sizeof(header) + payload.size();
+  if (static_cast<std::size_t>(sent) >= frame) return OkError();
+  // Partial acceptance (tiny socket buffer / non-blocking channel):
+  // the descriptor is already across; stream the rest of the frame.
+  std::size_t done = static_cast<std::size_t>(sent);
+  if (done < sizeof(header)) {
+    SAMS_RETURN_IF_ERROR(
+        SendExactly(channel, header + done, sizeof(header) - done));
+    done = sizeof(header);
+  }
+  return SendExactly(channel, payload.data() + (done - sizeof(header)),
+                     payload.size() - (done - sizeof(header)));
 }
 
 Result<ReceivedFd> RecvFdWithPayload(int channel, std::size_t max_payload) {
-  std::string buf(max_payload, '\0');
+  // First recvmsg: the descriptor plus the head of the frame. The
+  // kernel never merges bytes across an SCM_RIGHTS boundary, so this
+  // read cannot slurp a neighbouring task's descriptor; the length
+  // prefix bounds how much of the stream belongs to this task.
+  char head[16 * 1024];
   struct iovec iov;
-  iov.iov_base = buf.data();
-  iov.iov_len = buf.size();
+  iov.iov_base = head;
+  iov.iov_len = sizeof(head);
 
   alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
   std::memset(control, 0, sizeof(control));
@@ -89,16 +188,20 @@ Result<ReceivedFd> RecvFdWithPayload(int channel, std::size_t max_payload) {
   msg.msg_controllen = sizeof(control);
 
   ssize_t n;
-  do {
-    n = ::recvmsg(channel, &msg, 0);
-  } while (n < 0 && errno == EINTR);
-  if (n < 0) return IoError(Errno("recvmsg"));
+  for (;;) {
+    n = ::recvmsg(channel, &msg, MSG_CMSG_CLOEXEC);
+    if (n >= 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SAMS_RETURN_IF_ERROR(WaitReady(channel, POLLIN));
+      continue;
+    }
+    if (PeerGone(errno)) return Unavailable(Errno("recvmsg"));
+    return IoError(Errno("recvmsg"));
+  }
   if (n == 0) return Unavailable("peer closed delegation channel");
 
   ReceivedFd out;
-  buf.resize(static_cast<std::size_t>(n));
-  out.payload = std::move(buf);
-
   for (struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
        cmsg = CMSG_NXTHDR(&msg, cmsg)) {
     if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS &&
@@ -112,6 +215,31 @@ Result<ReceivedFd> RecvFdWithPayload(int channel, std::size_t max_payload) {
   if (!out.fd.valid()) {
     return ProtocolError("recvmsg: task message carried no descriptor");
   }
+
+  std::size_t got = static_cast<std::size_t>(n);
+  char length_buf[4];
+  std::size_t header_have = std::min(got, sizeof(length_buf));
+  std::memcpy(length_buf, head, header_have);
+  if (header_have < sizeof(length_buf)) {
+    SAMS_RETURN_IF_ERROR(RecvExactly(channel, length_buf + header_have,
+                                     sizeof(length_buf) - header_have));
+    got = sizeof(length_buf);
+  }
+  std::uint32_t len;
+  std::memcpy(&len, length_buf, sizeof(len));
+  if (len == 0 || len > max_payload) {
+    return ProtocolError("task frame length " + std::to_string(len) +
+                         " out of bounds");
+  }
+  out.payload.resize(len);
+  const std::size_t body_have =
+      got > sizeof(length_buf) ? got - sizeof(length_buf) : 0;
+  if (body_have > len) {
+    return ProtocolError("task frame overran its declared length");
+  }
+  std::memcpy(out.payload.data(), head + sizeof(length_buf), body_have);
+  SAMS_RETURN_IF_ERROR(
+      RecvExactly(channel, out.payload.data() + body_have, len - body_have));
   return out;
 }
 
@@ -140,6 +268,29 @@ Error ReadAll(int fd, void* data, std::size_t n) {
     if (r == 0) return Unavailable("unexpected EOF");
     p += r;
     n -= static_cast<std::size_t>(r);
+  }
+  return OkError();
+}
+
+Error SendAll(int fd, const void* data, std::size_t n) {
+  // Unlike the delegation-channel path (SendExactly), a client reply
+  // must NOT wait indefinitely for writability: EAGAIN here means
+  // either SO_SNDTIMEO expired on a blocking socket (slow-loris peer
+  // not draining its window) or a non-blocking socket's buffer is
+  // full — both are "give up on this client", never "park the thread".
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Unavailable("send: peer not draining (timeout/full buffer)");
+      }
+      if (PeerGone(errno)) return Unavailable(Errno("send"));
+      return IoError(Errno("send"));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
   }
   return OkError();
 }

@@ -50,10 +50,19 @@ Result<std::pair<UniqueFd, UniqueFd>> MakeSocketPair();
 // Sets O_NONBLOCK on fd.
 Error SetNonBlocking(int fd);
 
+// Upper bound on a delegation task payload (framed below).
+inline constexpr std::size_t kMaxFdPayload = 4u << 20;
+
 // Sends `payload` together with file descriptor `fd_to_send` over the
-// UNIX socket `channel` (one sendmsg with an SCM_RIGHTS ancillary
-// block). The payload carries the task header the master collected
-// before delegation (client IP, MAIL FROM, validated RCPTs).
+// UNIX socket `channel`. The payload carries the task header the
+// master collected before delegation (client IP, MAIL FROM, validated
+// RCPTs). The frame is a 4-byte payload length followed by the bytes;
+// the descriptor rides the first sendmsg as SCM_RIGHTS ancillary data
+// and any remainder of a partially-accepted frame is sent with plain
+// send() (EINTR and EAGAIN are retried, so a short socket buffer or a
+// non-blocking channel cannot tear the frame). A dead receiver yields
+// kUnavailable (EPIPE/ECONNRESET, no SIGPIPE) — the master's
+// worker-death detection keys off exactly this.
 Error SendFdWithPayload(int channel, int fd_to_send, const std::string& payload);
 
 struct ReceivedFd {
@@ -61,13 +70,25 @@ struct ReceivedFd {
   std::string payload;
 };
 
-// Receives one descriptor + payload; blocks unless `channel` is
-// non-blocking. Returns kUnavailable on EOF.
-Result<ReceivedFd> RecvFdWithPayload(int channel, std::size_t max_payload = 65536);
+// Receives one descriptor + framed payload; blocks unless `channel` is
+// non-blocking (then EAGAIN is waited out with poll). Reads exactly one
+// frame — queued tasks behind it are untouched. Returns kUnavailable on
+// EOF and kProtocolError on frames over `max_payload`.
+Result<ReceivedFd> RecvFdWithPayload(int channel,
+                                     std::size_t max_payload = kMaxFdPayload);
 
 // Fully writes / reads `n` bytes on a (possibly signal-interrupted)
 // blocking descriptor; used by tests and the threaded server.
 Error WriteAll(int fd, const void* data, std::size_t n);
 Error ReadAll(int fd, void* data, std::size_t n);
+
+// WriteAll for sockets: send() with MSG_NOSIGNAL so a peer that reset
+// the connection surfaces as kUnavailable instead of killing the
+// process with SIGPIPE. Gives up with kUnavailable on EAGAIN too —
+// a full buffer on a non-blocking socket, or SO_SNDTIMEO expiry on a
+// blocking one (slow-loris client not draining its window). Server
+// reply paths must use this, never WriteAll — spam bots routinely slam
+// the connection mid-reply.
+Error SendAll(int fd, const void* data, std::size_t n);
 
 }  // namespace sams::util

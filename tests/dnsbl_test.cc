@@ -4,6 +4,7 @@
 #include "dnsbl/cache.h"
 #include "dnsbl/dnsbl_server.h"
 #include "dnsbl/resolver.h"
+#include "fault/injector.h"
 
 namespace sams::dnsbl {
 namespace {
@@ -380,6 +381,181 @@ TEST(CacheModeNameTest, Names) {
   EXPECT_STREQ(CacheModeName(CacheMode::kNoCache), "no-cache");
   EXPECT_STREQ(CacheModeName(CacheMode::kIpCache), "ip-cache");
   EXPECT_STREQ(CacheModeName(CacheMode::kPrefixCache), "prefix-cache");
+}
+
+// --- hardened query round: timeout, retry, circuit breaker -------------
+
+class ResolverFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_shared<BlacklistDb>();
+    db_->Add(Ipv4(10, 0, 0, 1));
+    LatencyProfile quick{2.0, 0.1, 0.0, 100.0, 200.0};
+    server_a_ = std::make_unique<DnsblServer>("a.zone", db_, quick);
+    server_b_ = std::make_unique<DnsblServer>("b.zone", db_, quick);
+  }
+
+  Resolver Make(CacheMode mode) {
+    return Resolver(mode, {server_a_.get(), server_b_.get()},
+                    SimTime::Hours(24), rng_);
+  }
+
+  static QueryPolicy HardenedPolicy() {
+    QueryPolicy p;
+    p.enabled = true;
+    p.timeout = SimTime::Millis(800);
+    p.max_retries = 1;
+    p.retry_backoff = SimTime::Millis(40);
+    p.breaker_threshold = 3;
+    p.breaker_cooldown = SimTime::Seconds(30);
+    return p;
+  }
+
+  // Blackholes every query to server b (the injected error = the query
+  // was sent and no answer ever comes back).
+  static void BlackholeB() {
+    fault::Injector::Global().Set("dnsbl.query.b.zone", fault::Policy{});
+  }
+
+  std::shared_ptr<BlacklistDb> db_;
+  std::unique_ptr<DnsblServer> server_a_;
+  std::unique_ptr<DnsblServer> server_b_;
+  util::Rng rng_{31};
+};
+
+TEST_F(ResolverFaultTest, PolicyOffPreservesLegacyBehaviour) {
+  Resolver r = Make(CacheMode::kNoCache);
+  EXPECT_FALSE(r.query_policy().enabled);
+  const auto out = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  EXPECT_TRUE(out.blacklisted);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.dns_queries, 2);
+  EXPECT_EQ(r.stats().timeouts, 0u);
+}
+
+TEST_F(ResolverFaultTest, BlackholedServerBoundedByBudget) {
+  fault::ScopedArm arm(42);
+  BlackholeB();
+  Resolver r = Make(CacheMode::kNoCache);
+  const QueryPolicy policy = HardenedPolicy();
+  r.SetQueryPolicy(policy);
+
+  const auto out = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  // Server a still answers, so the listed verdict survives fail-open.
+  EXPECT_TRUE(out.blacklisted);
+  EXPECT_TRUE(out.degraded);
+  // The wait is bounded by the per-server budget — never unbounded as
+  // in the legacy wait-for-the-slowest round.
+  EXPECT_LE(out.latency, policy.Budget());
+  // b burned timeout+retry: 2 attempts timed out, 1 retry issued.
+  EXPECT_EQ(r.stats().timeouts, 2u);
+  EXPECT_EQ(r.stats().retries, 1u);
+  EXPECT_EQ(r.server_health(1).consecutive_failures, 1);
+}
+
+TEST_F(ResolverFaultTest, BreakerOpensAfterThresholdAndSkips) {
+  fault::ScopedArm arm(42);
+  BlackholeB();
+  Resolver r = Make(CacheMode::kNoCache);
+  const QueryPolicy policy = HardenedPolicy();
+  r.SetQueryPolicy(policy);
+
+  // Each lookup = one consecutive failure for b; threshold trips at 3.
+  for (int i = 0; i < 3; ++i) {
+    (void)r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(i));
+  }
+  EXPECT_EQ(r.stats().breaker_trips, 1u);
+  EXPECT_EQ(r.server_health(1).trips, 1u);
+
+  // While open, b is skipped without waiting: the round is now as fast
+  // as server a alone.
+  const auto out = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(5));
+  EXPECT_TRUE(out.degraded);
+  EXPECT_LT(out.latency, policy.timeout);
+  EXPECT_GE(r.stats().breaker_skips, 1u);
+
+  // After the cooldown the breaker half-closes: b is probed again (and
+  // fails again, re-tripping).
+  (void)r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(60));
+  EXPECT_GT(r.stats().timeouts, 6u);
+}
+
+TEST_F(ResolverFaultTest, FailOpenVersusFailClosedVerdicts) {
+  fault::ScopedArm arm(42);
+  // Blackhole BOTH servers: the verdict is pure policy.
+  fault::Injector::Global().Set("dnsbl.query.a.zone", fault::Policy{});
+  BlackholeB();
+
+  Resolver open = Make(CacheMode::kNoCache);
+  QueryPolicy p = HardenedPolicy();
+  p.fail_open = true;
+  open.SetQueryPolicy(p);
+  const auto open_out = open.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  EXPECT_FALSE(open_out.blacklisted);  // unlisted: let the mail in
+  EXPECT_TRUE(open_out.degraded);
+
+  Resolver closed = Make(CacheMode::kNoCache);
+  p.fail_open = false;
+  closed.SetQueryPolicy(p);
+  const auto closed_out =
+      closed.Lookup(Ipv4(192, 168, 7, 7), SimTime::Seconds(0));
+  EXPECT_TRUE(closed_out.blacklisted);  // listed: paranoid reject
+  EXPECT_TRUE(closed_out.degraded);
+}
+
+TEST_F(ResolverFaultTest, DegradedVerdictsAreNotCached) {
+  fault::ScopedArm arm(42);
+  BlackholeB();
+  Resolver r = Make(CacheMode::kIpCache);
+  r.SetQueryPolicy(HardenedPolicy());
+
+  // Degraded lookup: must NOT poison the 24h cache.
+  const auto first = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  EXPECT_TRUE(first.degraded);
+  EXPECT_EQ(r.stats().degraded_lookups, 1u);
+
+  // Heal b; the next lookup must re-query (no cache hit) and, now
+  // healthy, the full verdict is cached.
+  fault::Injector::Global().Clear("dnsbl.query.b.zone");
+  const auto second = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(10));
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_FALSE(second.degraded);
+  const auto third = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(20));
+  EXPECT_TRUE(third.cache_hit);
+}
+
+TEST_F(ResolverFaultTest, PrefixModeDegradedAlsoUncached) {
+  fault::ScopedArm arm(42);
+  BlackholeB();
+  Resolver r = Make(CacheMode::kPrefixCache);
+  r.SetQueryPolicy(HardenedPolicy());
+  const auto first = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(0));
+  EXPECT_TRUE(first.degraded);
+  fault::Injector::Global().Clear("dnsbl.query.b.zone");
+  const auto second = r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(10));
+  EXPECT_FALSE(second.cache_hit) << "degraded bitmap was cached";
+  EXPECT_TRUE(second.blacklisted);
+}
+
+TEST_F(ResolverFaultTest, ChaosRunIsSeedDeterministic) {
+  auto run = [this](std::uint64_t seed) {
+    fault::ScopedArm arm(seed);
+    fault::Policy flaky;
+    flaky.probability = 0.5;  // half the queries to b vanish
+    fault::Injector::Global().Set("dnsbl.query.b.zone", flaky);
+    util::Rng rng(99);
+    Resolver r(CacheMode::kNoCache, {server_a_.get(), server_b_.get()},
+               SimTime::Hours(24), rng);
+    r.SetQueryPolicy(HardenedPolicy());
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 32; ++i) {
+      (void)r.Lookup(Ipv4(10, 0, 0, 1), SimTime::Seconds(i));
+      trace.push_back(r.stats().timeouts);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
 }
 
 }  // namespace

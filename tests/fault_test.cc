@@ -1,0 +1,179 @@
+// sams::fault — the deterministic fault-injection registry itself.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+#include "util/time.h"
+
+namespace sams::fault {
+namespace {
+
+util::Error Guarded() {
+  SAMS_FAULT_POINT("test.guarded.site");
+  return util::OkError();
+}
+
+util::Result<int> GuardedValue() {
+  SAMS_FAULT_POINT("test.guarded.value");
+  return 42;
+}
+
+TEST(FaultInjectorTest, DisarmedIsInvisible) {
+  // Default state: every point is a no-op and nothing is counted.
+  EXPECT_FALSE(Injector::ArmedFast());
+  EXPECT_TRUE(Guarded().ok());
+  EXPECT_EQ(Injector::Global().hits("test.guarded.site"), 0u);
+}
+
+TEST(FaultInjectorTest, ArmedCountsHitsEvenWithoutPolicy) {
+  ScopedArm arm(7);
+  EXPECT_TRUE(Guarded().ok());
+  EXPECT_TRUE(Guarded().ok());
+  EXPECT_EQ(Injector::Global().hits("test.guarded.site"), 2u);
+  EXPECT_EQ(Injector::Global().triggers("test.guarded.site"), 0u);
+}
+
+TEST(FaultInjectorTest, ErrorPolicyReturnsConfiguredError) {
+  ScopedArm arm(7);
+  Policy p;
+  p.action = Action::kError;
+  p.code = util::ErrorCode::kIoError;
+  p.message = "disk on fire";
+  Injector::Global().Set("test.guarded.site", p);
+  const util::Error err = Guarded();
+  EXPECT_EQ(err.code(), util::ErrorCode::kIoError);
+  EXPECT_NE(err.message().find("disk on fire"), std::string::npos);
+  EXPECT_NE(err.message().find("test.guarded.site"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, WorksInResultReturningFunctions) {
+  ScopedArm arm(7);
+  Injector::Global().Set("test.guarded.value", Policy{});
+  auto r = GuardedValue();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), util::ErrorCode::kUnavailable);
+  Injector::Global().Clear("test.guarded.value");
+  auto ok = GuardedValue();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+}
+
+TEST(FaultInjectorTest, SkipLetsEarlyHitsPass) {
+  ScopedArm arm(7);
+  Policy p;
+  p.skip = 2;
+  Injector::Global().Set("test.guarded.site", p);
+  EXPECT_TRUE(Guarded().ok());
+  EXPECT_TRUE(Guarded().ok());
+  EXPECT_FALSE(Guarded().ok());
+  EXPECT_EQ(Injector::Global().triggers("test.guarded.site"), 1u);
+}
+
+TEST(FaultInjectorTest, MaxTriggersBoundsTheDamage) {
+  ScopedArm arm(7);
+  Policy p;
+  p.max_triggers = 2;
+  Injector::Global().Set("test.guarded.site", p);
+  EXPECT_FALSE(Guarded().ok());
+  EXPECT_FALSE(Guarded().ok());
+  EXPECT_TRUE(Guarded().ok());  // budget spent
+  EXPECT_EQ(Injector::Global().triggers("test.guarded.site"), 2u);
+}
+
+TEST(FaultInjectorTest, CrashIsOneShot) {
+  ScopedArm arm(7);
+  Policy p;
+  p.action = Action::kCrash;
+  p.max_triggers = 99;  // forced back to 1 by Set()
+  Injector::Global().Set("test.guarded.site", p);
+  const util::Error err = Guarded();
+  EXPECT_EQ(err.code(), util::ErrorCode::kUnavailable);
+  EXPECT_NE(err.message().find("simulated crash"), std::string::npos);
+  EXPECT_TRUE(Guarded().ok());  // the process "restarted"
+}
+
+TEST(FaultInjectorTest, ProbabilisticTriggersAreSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    ScopedArm arm(seed);
+    Policy p;
+    p.probability = 0.3;
+    Injector::Global().Set("test.guarded.site", p);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!Guarded().ok());
+    return fired;
+  };
+  const auto a = run(1234);
+  const auto b = run(1234);
+  const auto c = run(5678);
+  EXPECT_EQ(a, b);  // same seed -> identical fault sequence
+  EXPECT_NE(a, c);  // different seed -> (overwhelmingly) different
+  // Roughly 30% of hits should fire — sanity band, not a sharp bound.
+  const int fired_a = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired_a, 5);
+  EXPECT_LT(fired_a, 40);
+}
+
+TEST(FaultInjectorTest, DelayPolicySleepsButSucceeds) {
+  ScopedArm arm(7);
+  Policy p;
+  p.action = Action::kDelay;
+  p.delay_ms = 20;
+  Injector::Global().Set("test.guarded.site", p);
+  const std::int64_t before = util::MonotonicNanos();
+  EXPECT_TRUE(Guarded().ok());
+  const std::int64_t elapsed = util::MonotonicNanos() - before;
+  EXPECT_GE(elapsed, 15'000'000);  // ~20ms, scheduler slack allowed
+}
+
+TEST(FaultInjectorTest, DisarmClearsEverything) {
+  {
+    ScopedArm arm(7);
+    Injector::Global().Set("test.guarded.site", Policy{});
+    EXPECT_FALSE(Guarded().ok());
+  }
+  // ScopedArm's destructor disarmed: no policy, no counters, no cost.
+  EXPECT_FALSE(Injector::ArmedFast());
+  EXPECT_TRUE(Guarded().ok());
+  EXPECT_EQ(Injector::Global().hits("test.guarded.site"), 0u);
+}
+
+TEST(FaultInjectorTest, TriggersExportedThroughMetricsRegistry) {
+  obs::Registry registry;
+  Injector::Global().BindMetrics(registry);
+  {
+    ScopedArm arm(7);
+    Injector::Global().Set("test.guarded.site", Policy{});
+    (void)Guarded();
+    (void)Guarded();
+  }
+  const std::string text = obs::PrometheusText(registry);
+  EXPECT_NE(text.find("sams_fault_triggers_total"), std::string::npos);
+  EXPECT_NE(text.find("test.guarded.site"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, DisabledHotPathIsOneRelaxedLoad) {
+  // The acceptance bar for "no measurable overhead while disarmed": the
+  // guard must not take locks or touch the map. We pin the observable
+  // contract — disarmed hits never reach the registry (zero recorded
+  // hits) — and time a burst as a coarse regression tripwire.
+  ASSERT_FALSE(Injector::ArmedFast());
+  constexpr int kBurst = 1'000'000;
+  const std::int64_t before = util::MonotonicNanos();
+  for (int i = 0; i < kBurst; ++i) {
+    (void)SAMS_FAULT_ERROR("test.hotpath.site");
+  }
+  const std::int64_t elapsed = util::MonotonicNanos() - before;
+  EXPECT_EQ(Injector::Global().hits("test.hotpath.site"), 0u);
+  // 1M disarmed checks in well under 100ms even on a loaded CI box
+  // (measured ~1-2ms); a mutex in the path would blow through this.
+  EXPECT_LT(elapsed, 100'000'000) << "disarmed fault point got expensive";
+}
+
+}  // namespace
+}  // namespace sams::fault

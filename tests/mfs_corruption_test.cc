@@ -1,12 +1,17 @@
 // Failure-injection tests for MFS: on-disk corruption must be detected
-// at open or by fsck — never silently served as mail content.
+// at open or by fsck — never silently served as mail content, and a
+// crash torn mid-nwrite/mid-delete must be rolled back by Recover()
+// without losing acked mail or delivering anything twice.
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
 #include <unistd.h>
 
 #include <filesystem>
+#include <string>
+#include <vector>
 
+#include "fault/injector.h"
 #include "mfs/volume.h"
 #include "util/rng.h"
 
@@ -162,6 +167,336 @@ TEST_F(MfsCorruptionTest, CleanVolumeStaysCleanAcrossManyReopens) {
     auto mails = (*volume)->MailCount("alice");
     ASSERT_TRUE(mails.ok());
     EXPECT_EQ(*mails, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Crash-recovery chaos: kill the process (via the fault injector's
+// one-shot crash points) at every stage of the shared-commit protocol,
+// model the restart by reopening the volume from disk, and require that
+// Recover() restores the invariants exactly — acked mail survives,
+// un-acked mail vanishes, retries with the same id succeed.
+// ---------------------------------------------------------------------
+
+class MfsFaultRecoveryTest : public MfsCorruptionTest {
+ protected:
+  // Fails `op` at `point` exactly once (kCrash is forced one-shot).
+  template <typename Op>
+  util::Error CrashAt(const char* point, Op&& op) {
+    fault::ScopedArm arm(41);
+    fault::Policy p;
+    p.action = fault::Action::kCrash;
+    fault::Injector::Global().Set(point, p);
+    return op();
+  }
+
+  // Reads every live mail in `name` through a fresh handle.
+  std::vector<MailReadResult> Drain(MfsVolume& volume,
+                                    const std::string& name) {
+    std::vector<MailReadResult> out;
+    auto handle = volume.MailOpen(name);
+    EXPECT_TRUE(handle.ok());
+    if (!handle.ok()) return out;
+    for (;;) {
+      auto mail = volume.MailRead(**handle);
+      if (!mail.ok()) {
+        EXPECT_EQ(mail.error().code(), util::ErrorCode::kOutOfRange)
+            << mail.error().ToString();
+        break;
+      }
+      out.push_back(std::move(*mail));
+    }
+    return out;
+  }
+
+  // Reopens the volume as a restarting server would: Recover first.
+  std::unique_ptr<MfsVolume> Restart() {
+    auto volume = MfsVolume::Open(root_);
+    EXPECT_TRUE(volume.ok());
+    if (!volume.ok()) return nullptr;
+    auto report = (*volume)->Recover();
+    EXPECT_TRUE(report.ok());
+    return std::move(*volume);
+  }
+};
+
+TEST_F(MfsFaultRecoveryTest, TornSharedWriteBeforeCommitIsRolledBack) {
+  Populate();
+  const MailId torn_id = Id();
+  const std::string body = "torn body";
+  {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto alice = (*volume)->MailOpen("alice");
+    auto bob = (*volume)->MailOpen("bob");
+    MailFile* both[] = {alice->get(), bob->get()};
+    // Payload and both redirects land; the shared commit record never
+    // does. This is the widest window the ordering leaves open.
+    const util::Error err = CrashAt("mfs.nwrite.shared.before_commit", [&] {
+      return (*volume)->MailNWrite(both, body, torn_id);
+    });
+    ASSERT_FALSE(err.ok());
+  }  // crash: the volume object is dropped without a clean close
+
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dangling_redirects_tombstoned, 2u);
+  EXPECT_EQ(report->duplicate_redirects_tombstoned, 0u);
+  EXPECT_EQ(report->orphaned_data_bytes, 4u + body.size());
+  auto fsck = (*volume)->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok()) << (fsck->errors.empty() ? "" : fsck->errors[0]);
+
+  // The write was never acked, so the mail must NOT be visible...
+  for (const auto& mail : Drain(**volume, "alice")) {
+    EXPECT_NE(mail.id, torn_id);
+  }
+  // ...and retrying the delivery with the SAME id must succeed.
+  auto alice = (*volume)->MailOpen("alice");
+  auto bob = (*volume)->MailOpen("bob");
+  MailFile* both[] = {alice->get(), bob->get()};
+  ASSERT_TRUE((*volume)->MailNWrite(both, body, torn_id).ok());
+  auto alice_mails = Drain(**volume, "alice");
+  auto bob_mails = Drain(**volume, "bob");
+  ASSERT_EQ(alice_mails.size(), 3u);  // private + shared + retried
+  ASSERT_EQ(bob_mails.size(), 2u);
+  EXPECT_EQ(alice_mails.back().id, torn_id);
+  EXPECT_EQ(alice_mails.back().body, body);
+  EXPECT_EQ(bob_mails.back().id, torn_id);
+
+  // Recovery is idempotent: a second pass finds nothing to do.
+  auto again = (*volume)->Recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->clean());
+}
+
+TEST_F(MfsFaultRecoveryTest, TornSharedWriteMidRedirectsIsRolledBack) {
+  Populate();
+  const MailId torn_id = Id();
+  {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto alice = (*volume)->MailOpen("alice");
+    auto bob = (*volume)->MailOpen("bob");
+    MailFile* both[] = {alice->get(), bob->get()};
+    // Crash after the FIRST redirect: alice has one, bob has none.
+    const util::Error err = CrashAt("mfs.nwrite.shared.mid_redirects", [&] {
+      return (*volume)->MailNWrite(both, "half delivered", torn_id);
+    });
+    ASSERT_FALSE(err.ok());
+  }
+
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dangling_redirects_tombstoned, 1u);
+  auto fsck = (*volume)->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok());
+  // Neither recipient sees the half-delivered mail.
+  EXPECT_EQ(Drain(**volume, "alice").size(), 2u);
+  EXPECT_EQ(Drain(**volume, "bob").size(), 1u);
+}
+
+TEST_F(MfsFaultRecoveryTest, TornSharedWriteAfterDataLeavesOnlyOrphanBytes) {
+  Populate();
+  const MailId torn_id = Id();
+  const std::string body = "payload only";
+  {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto alice = (*volume)->MailOpen("alice");
+    auto bob = (*volume)->MailOpen("bob");
+    MailFile* both[] = {alice->get(), bob->get()};
+    const util::Error err = CrashAt("mfs.nwrite.shared.after_data", [&] {
+      return (*volume)->MailNWrite(both, body, torn_id);
+    });
+    ASSERT_FALSE(err.ok());
+  }
+
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Recover();
+  ASSERT_TRUE(report.ok());
+  // No key-side artifacts at all: just dead bytes for Compact.
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->orphaned_data_bytes, 4u + body.size());
+  // Retrying with the same id is a normal delivery.
+  auto alice = (*volume)->MailOpen("alice");
+  auto bob = (*volume)->MailOpen("bob");
+  MailFile* both[] = {alice->get(), bob->get()};
+  ASSERT_TRUE((*volume)->MailNWrite(both, body, torn_id).ok());
+  EXPECT_EQ(Drain(**volume, "bob").size(), 2u);
+}
+
+TEST_F(MfsFaultRecoveryTest, TornPrivateWriteLeavesOnlyOrphanBytes) {
+  Populate();
+  const MailId torn_id = Id();
+  const std::string body = "private torn";
+  {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto alice = (*volume)->MailOpen("alice");
+    MailFile* only_alice[] = {alice->get()};
+    const util::Error err = CrashAt("mfs.nwrite.private.after_data", [&] {
+      return (*volume)->MailNWrite(only_alice, body, torn_id);
+    });
+    ASSERT_FALSE(err.ok());
+  }
+
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->orphaned_data_bytes, 4u + body.size());
+  auto alice = (*volume)->MailOpen("alice");
+  MailFile* only_alice[] = {alice->get()};
+  ASSERT_TRUE((*volume)->MailNWrite(only_alice, body, torn_id).ok());
+  auto mails = Drain(**volume, "alice");
+  ASSERT_EQ(mails.size(), 3u);
+  EXPECT_EQ(mails.back().body, body);
+}
+
+TEST_F(MfsFaultRecoveryTest, TornSharedDeleteRepairsRefcount) {
+  Populate();
+  MailId shared_id;
+  {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto bob = (*volume)->MailOpen("bob");
+    auto first = (*volume)->MailRead(**bob);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->shared);
+    shared_id = first->id;
+    auto alice = (*volume)->MailOpen("alice");
+    // Crash between tombstoning alice's redirect and decrementing the
+    // shared refcount: the record says 2 but only bob references it.
+    const util::Error err = CrashAt("mfs.delete.after_tombstone", [&] {
+      return (*volume)->MailDelete(**alice, shared_id);
+    });
+    ASSERT_FALSE(err.ok());
+  }
+
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto broken = (*volume)->Fsck();
+  ASSERT_TRUE(broken.ok());
+  EXPECT_FALSE(broken->ok());  // refcount mismatch is visible pre-repair
+  auto report = (*volume)->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->refcounts_repaired, 1u);
+  EXPECT_EQ(report->orphaned_shared_reclaimed, 0u);
+  auto fsck = (*volume)->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok());
+  // Alice's delete took effect; bob still reads the shared body.
+  EXPECT_EQ(Drain(**volume, "alice").size(), 1u);
+  auto bob_mails = Drain(**volume, "bob");
+  ASSERT_EQ(bob_mails.size(), 1u);
+  EXPECT_EQ(bob_mails[0].body, "shared body");
+}
+
+TEST_F(MfsFaultRecoveryTest, TornDeleteOfLastReferenceReclaimsRecord) {
+  Populate();
+  MailId shared_id;
+  {
+    auto volume = MfsVolume::Open(root_);
+    ASSERT_TRUE(volume.ok());
+    auto bob = (*volume)->MailOpen("bob");
+    auto first = (*volume)->MailRead(**bob);
+    ASSERT_TRUE(first.ok());
+    shared_id = first->id;
+    ASSERT_TRUE((*volume)->MailDelete(**bob, shared_id).ok());
+    auto alice = (*volume)->MailOpen("alice");
+    const util::Error err = CrashAt("mfs.delete.after_tombstone", [&] {
+      return (*volume)->MailDelete(**alice, shared_id);
+    });
+    ASSERT_FALSE(err.ok());
+  }
+
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Recover();
+  ASSERT_TRUE(report.ok());
+  // Zero live redirects remain: the shared record itself is reclaimed
+  // and its payload becomes dead bytes for Compact.
+  EXPECT_EQ(report->orphaned_shared_reclaimed, 1u);
+  EXPECT_EQ(report->orphaned_data_bytes,
+            4u + std::string("shared body").size());
+  auto fsck = (*volume)->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok());
+  EXPECT_EQ(Drain(**volume, "alice").size(), 1u);
+  EXPECT_EQ(Drain(**volume, "bob").size(), 0u);
+}
+
+TEST_F(MfsFaultRecoveryTest, RecoverOnCleanVolumeIsANoOp) {
+  Populate();
+  auto volume = MfsVolume::Open(root_);
+  ASSERT_TRUE(volume.ok());
+  auto report = (*volume)->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->orphaned_data_bytes, 0u);
+  EXPECT_EQ(Drain(**volume, "alice").size(), 2u);
+  EXPECT_EQ(Drain(**volume, "bob").size(), 1u);
+}
+
+TEST_F(MfsFaultRecoveryTest, ChaosCrashLoopNeverLosesAckedMail) {
+  // End-to-end exactly-once: crash a delivery at a rotating kill point
+  // every other iteration, restart (reopen + Recover) each time, and
+  // require the surviving mailboxes to contain precisely the acked
+  // writes — in order, once each — and none of the torn ones.
+  static const char* kKillPoints[] = {
+      "mfs.nwrite.shared.after_data",
+      "mfs.nwrite.shared.mid_redirects",
+      "mfs.nwrite.shared.before_commit",
+  };
+  std::vector<MailId> acked;
+  std::vector<std::string> acked_bodies;
+  for (int i = 0; i < 24; ++i) {
+    auto volume = Restart();
+    ASSERT_NE(volume, nullptr);
+    auto alice = volume->MailOpen("alice");
+    auto bob = volume->MailOpen("bob");
+    ASSERT_TRUE(alice.ok());
+    ASSERT_TRUE(bob.ok());
+    MailFile* both[] = {alice->get(), bob->get()};
+    const MailId id = Id();
+    const std::string body = "chaos mail " + std::to_string(i);
+    util::Error err = util::OkError();
+    {
+      fault::ScopedArm arm(1000 + i);
+      if (i % 2 == 0) {
+        fault::Policy p;
+        p.action = fault::Action::kCrash;
+        fault::Injector::Global().Set(kKillPoints[(i / 2) % 3], p);
+      }
+      err = volume->MailNWrite(both, body, id);
+    }
+    if (err.ok()) {
+      acked.push_back(id);
+      acked_bodies.push_back(body);
+    }
+  }  // each loop exit without SyncAll models a hard restart
+
+  auto volume = Restart();
+  ASSERT_NE(volume, nullptr);
+  auto fsck = volume->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok()) << (fsck->errors.empty() ? "" : fsck->errors[0]);
+  ASSERT_EQ(acked.size(), 12u);  // the odd iterations all succeeded
+  for (const char* box : {"alice", "bob"}) {
+    auto mails = Drain(*volume, box);
+    ASSERT_EQ(mails.size(), acked.size()) << box;
+    for (std::size_t i = 0; i < mails.size(); ++i) {
+      EXPECT_EQ(mails[i].id, acked[i]) << box << " mail " << i;
+      EXPECT_EQ(mails[i].body, acked_bodies[i]) << box << " mail " << i;
+    }
   }
 }
 

@@ -24,6 +24,7 @@ bool EventuallyTrue(const std::function<bool()>& predicate) {
 
 }  // namespace
 
+#include "fault/injector.h"
 #include "mta/smtp_server.h"
 #include "net/smtp_client.h"
 
@@ -385,6 +386,239 @@ TEST(PregreetTest, EarlyTalkersRejectedPatientClientsServed) {
   server.Stop();
   EXPECT_EQ(server.stats().mails_delivered.load(), 1u);
   EXPECT_EQ(server.stats().pregreet_rejects.load(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+// ---------------------------------------------------------------------
+// Chaos tests: injected worker death, overload shedding, idle reaping
+// and graceful drain — the failure modes a spam-facing server actually
+// meets, exercised over real loopback TCP.
+// ---------------------------------------------------------------------
+
+namespace {
+
+MailJob MakeJob(std::vector<std::string> rcpts, std::string body) {
+  MailJob job;
+  job.helo = "client.test";
+  job.mail_from = *Path::Parse("<sender@remote.test>");
+  for (const auto& rcpt : rcpts) {
+    job.rcpts.push_back(*Path::Parse("<" + rcpt + ">"));
+  }
+  job.body = std::move(body);
+  return job;
+}
+
+// Reads from `fd` until `token` appears, EOF, or the recv timeout.
+std::string ReadUntil(int fd, const std::string& token) {
+  std::string wire;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    wire.append(buf, static_cast<std::size_t>(n));
+    if (wire.find(token) != std::string::npos) break;
+  }
+  return wire;
+}
+
+}  // namespace
+
+TEST(ServerFaultTest, WorkerDeathRequeuesAndLosesNoAckedMail) {
+  const std::string root = ::testing::TempDir() + "/srv_fault_workerdeath";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMfsStore(root, {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 3'000;
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // Kill exactly one smtpd: the first delegation its worker receives
+  // aborts after the handoff, dropping the un-acked session and closing
+  // the delegation channel the way a crashed process would.
+  fault::ScopedArm arm(7);
+  {
+    fault::Policy p;
+    p.max_triggers = 1;
+    fault::Injector::Global().Set("mta.worker.after_recv", p);
+  }
+
+  int delivered = 0;
+  int failed = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto result = net::SendMail(
+        "127.0.0.1", *port,
+        MakeJob({"alice@dept.test"},
+                            "survivor " + std::to_string(i) + "\n"));
+    if (result.ok() && result->outcome == ClientOutcome::kDelivered) {
+      ++delivered;
+    } else {
+      ++failed;  // the session the dead worker took: never acked
+    }
+  }
+  // One session died un-acked with the worker; every later one was
+  // requeued onto the surviving worker and acked.
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(server.stats().worker_deaths.load(), 1u);
+  EXPECT_GE(server.stats().requeued_delegations.load(), 1u);
+
+  server.Stop();
+  // Zero accepted-and-acked mail lost, zero double delivery.
+  auto mails = (*store)->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  EXPECT_EQ(mails->size(), static_cast<std::size_t>(delivered));
+  std::filesystem::remove_all(root);
+}
+
+TEST(ServerFaultTest, OverloadShedsWith421) {
+  const std::string root = ::testing::TempDir() + "/srv_fault_overload";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMfsStore(root, {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 1;
+  cfg.recv_timeout_ms = 3'000;
+  cfg.max_inflight_sessions = 1;
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // Occupy the only session slot with a half-open dialog.
+  auto holder = net::TcpConnect("127.0.0.1", *port);
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(net::SetRecvTimeout(holder->get(), 3'000).ok());
+  ASSERT_NE(ReadUntil(holder->get(), "\r\n").substr(0, 4), "421 ");
+  ASSERT_TRUE(EventuallyTrue([&] { return server.inflight() == 1; }));
+
+  // The next client must be shed with 421, not queued and not served.
+  {
+    auto shed = net::TcpConnect("127.0.0.1", *port);
+    ASSERT_TRUE(shed.ok());
+    ASSERT_TRUE(net::SetRecvTimeout(shed->get(), 3'000).ok());
+    const std::string wire = ReadUntil(shed->get(), "\r\n");
+    EXPECT_EQ(wire.substr(0, 4), "421 ") << wire;
+    EXPECT_NE(wire.find("overloaded"), std::string::npos) << wire;
+  }
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server.stats().overload_sheds.load() == 1u; }));
+
+  // Freeing the slot restores service.
+  holder->Reset();
+  ASSERT_TRUE(EventuallyTrue([&] { return server.inflight() == 0; }));
+  auto result = net::SendMail("127.0.0.1", *port,
+                              MakeJob({"alice@dept.test"},
+                                                  "after the storm\n"));
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, ClientOutcome::kDelivered);
+  server.Stop();
+  std::filesystem::remove_all(root);
+}
+
+TEST(ServerFaultTest, IdleSessionsReapedWith421) {
+  const std::string root = ::testing::TempDir() + "/srv_fault_idle";
+  std::filesystem::remove_all(root);
+  auto store = mfs::MakeMfsStore(root, {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 1;
+  cfg.recv_timeout_ms = 3'000;
+  cfg.master_idle_timeout_ms = 150;  // reaper ticks every ~37 ms
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // A slow-loris client: connects, reads the banner, then goes silent.
+  // The master must evict it instead of holding the socket forever.
+  auto fd = net::TcpConnect("127.0.0.1", *port);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 3'000).ok());
+  std::string banner = ReadUntil(fd->get(), "\r\n");
+  ASSERT_EQ(banner.substr(0, 4), "220 ") << banner;
+  // Stay silent: the next bytes on the wire are the reaper's goodbye.
+  const std::string goodbye = ReadUntil(fd->get(), "\r\n");
+  EXPECT_EQ(goodbye.substr(0, 9), "421 4.4.2") << goodbye;
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server.stats().idle_reaped.load() == 1u; }));
+  EXPECT_TRUE(EventuallyTrue([&] { return server.inflight() == 0; }));
+
+  // A live client is untouched by the reaper.
+  auto result = net::SendMail("127.0.0.1", *port,
+                              MakeJob({"alice@dept.test"},
+                                                  "prompt client\n"));
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, ClientOutcome::kDelivered);
+  server.Stop();
+  std::filesystem::remove_all(root);
+}
+
+TEST(ServerFaultTest, DrainFinishesInflightSessionsAndFlushes) {
+  const std::string root = ::testing::TempDir() + "/srv_fault_drain";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  auto store = mfs::MakeMfsStore(root + "/store", {});
+  ASSERT_TRUE(store.ok());
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 3'000;
+  cfg.spool_dir = root + "/spool";
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // Park a session mid-dialog, then start the drain: the listener must
+  // close while the admitted session runs to completion inside the
+  // grace period.
+  auto fd = net::TcpConnect("127.0.0.1", *port);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 3'000).ok());
+  ASSERT_EQ(ReadUntil(fd->get(), "\r\n").substr(0, 4), "220 ");
+  ASSERT_TRUE(EventuallyTrue([&] { return server.inflight() == 1; }));
+
+  std::thread drainer;
+  int leftover = -1;
+  drainer = std::thread([&] { leftover = server.Drain(/*grace_ms=*/5'000); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // New clients are refused while the old session finishes normally.
+  auto late = net::TcpConnect("127.0.0.1", *port);
+  EXPECT_FALSE(late.ok());
+
+  const std::string dialog =
+      "HELO drain.test\r\n"
+      "MAIL FROM:<s@x.test>\r\n"
+      "RCPT TO:<alice@dept.test>\r\n"
+      "DATA\r\n"
+      "accepted during drain\r\n"
+      ".\r\n"
+      "QUIT\r\n";
+  ASSERT_TRUE(util::WriteAll(fd->get(), dialog.data(), dialog.size()).ok());
+  const std::string wire = ReadUntil(fd->get(), "221 ");
+  EXPECT_NE(wire.find("250 Ok: queued"), std::string::npos) << wire;
+  drainer.join();
+  EXPECT_EQ(leftover, 0);
+
+  // The acked mail reached its mailbox and the spool is empty: drain
+  // flushed the queue before declaring the server stopped.
+  auto mails = (*store)->ReadMailbox("alice");
+  ASSERT_TRUE(mails.ok());
+  ASSERT_EQ(mails->size(), 1u);
+  EXPECT_EQ((*mails)[0], "accepted during drain\r\n");
+  EXPECT_TRUE(std::filesystem::is_empty(root + "/spool"));
   std::filesystem::remove_all(root);
 }
 

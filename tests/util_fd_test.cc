@@ -2,10 +2,12 @@
 
 #include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace sams::util {
 namespace {
@@ -155,6 +157,141 @@ TEST(FdPassingTest, CrossThreadDelegation) {
   ASSERT_TRUE(ReadAll(data_pair->first.get(), buf, 6).ok());
   EXPECT_EQ(std::string(buf, 6), "250 OK");
   worker.join();
+}
+
+TEST(FdPassingFaultTest, LargePayloadSurvivesPartialSendmsg) {
+  // Shrink the channel's socket buffers so the first sendmsg can only
+  // accept part of the frame: the length-prefix framing and the
+  // continuation sends must reassemble the task intact, with the
+  // descriptor from the first message.
+  auto channel = MakeSocketPair();
+  ASSERT_TRUE(channel.ok());
+  const int small = 4 * 1024;
+  ASSERT_EQ(::setsockopt(channel->first.get(), SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+  ASSERT_EQ(::setsockopt(channel->second.get(), SOL_SOCKET, SO_RCVBUF, &small,
+                         sizeof(small)),
+            0);
+  auto data_pair = MakeSocketPair();
+  ASSERT_TRUE(data_pair.ok());
+
+  // Far larger than the shrunken buffers (kernel doubles the value, so
+  // go well past 2x).
+  std::string big(256 * 1024, 'x');
+  for (std::size_t i = 0; i < big.size(); i += 977) big[i] = 'A' + (i % 26);
+
+  std::thread receiver([fd = channel->second.get(), &big] {
+    auto r = RecvFdWithPayload(fd);
+    ASSERT_TRUE(r.ok()) << r.error().ToString();
+    EXPECT_TRUE(r->fd.valid());
+    EXPECT_EQ(r->payload.size(), big.size());
+    EXPECT_EQ(r->payload, big);
+  });
+  ASSERT_TRUE(
+      SendFdWithPayload(channel->first.get(), data_pair->second.get(), big)
+          .ok());
+  receiver.join();
+}
+
+TEST(FdPassingFaultTest, QueuedTasksKeepBoundariesUnderSmallBuffers) {
+  // Several back-to-back frames over a tiny-buffer channel: receiver
+  // pops them concurrently; every boundary must hold.
+  auto channel = MakeSocketPair();
+  ASSERT_TRUE(channel.ok());
+  const int small = 4 * 1024;
+  ASSERT_EQ(::setsockopt(channel->first.get(), SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+
+  constexpr int kTasks = 8;
+  std::vector<std::string> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(std::string(20'000 + 1'000 * i, static_cast<char>('a' + i)));
+  }
+  std::thread receiver([fd = channel->second.get(), &tasks] {
+    for (const std::string& want : tasks) {
+      auto r = RecvFdWithPayload(fd);
+      ASSERT_TRUE(r.ok()) << r.error().ToString();
+      EXPECT_TRUE(r->fd.valid());
+      EXPECT_EQ(r->payload, want);
+    }
+  });
+  std::vector<UniqueFd> keep;
+  for (const std::string& task : tasks) {
+    auto p = MakeSocketPair();
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(
+        SendFdWithPayload(channel->first.get(), p->second.get(), task).ok());
+    keep.push_back(std::move(p->first));
+    keep.push_back(std::move(p->second));
+  }
+  receiver.join();
+}
+
+TEST(FdPassingFaultTest, DeadReceiverYieldsUnavailableNotSigpipe) {
+  // The master's worker-death detection depends on getting EPIPE back
+  // as kUnavailable — not on the process dying of SIGPIPE.
+  auto channel = MakeSocketPair();
+  ASSERT_TRUE(channel.ok());
+  auto data_pair = MakeSocketPair();
+  ASSERT_TRUE(data_pair.ok());
+  channel->second.Reset();  // the "worker" is gone
+  const Error err = SendFdWithPayload(channel->first.get(),
+                                      data_pair->second.get(), "task");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kUnavailable);
+}
+
+TEST(FdPassingFaultTest, OversizePayloadRejectedBySender) {
+  auto channel = MakeSocketPair();
+  ASSERT_TRUE(channel.ok());
+  const std::string too_big(kMaxFdPayload + 1, 'x');
+  EXPECT_EQ(SendFdWithPayload(channel->first.get(), 0, too_big).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FdPassingFaultTest, ReceiverBoundsDeclaredLength) {
+  // A frame whose declared length exceeds the receiver's cap must be
+  // rejected as a protocol error, not trusted into a huge allocation.
+  auto channel = MakeSocketPair();
+  ASSERT_TRUE(channel.ok());
+  auto data_pair = MakeSocketPair();
+  ASSERT_TRUE(data_pair.ok());
+  const std::string task(2'000, 'y');
+  ASSERT_TRUE(
+      SendFdWithPayload(channel->first.get(), data_pair->second.get(), task)
+          .ok());
+  auto r = RecvFdWithPayload(channel->second.get(), /*max_payload=*/1'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(SendAllTest, DeadPeerYieldsUnavailableNotSigpipe) {
+  auto pair = MakeSocketPair();
+  ASSERT_TRUE(pair.ok());
+  pair->second.Reset();  // client slammed the connection
+  const std::string reply = "250 OK\r\n";
+  const Error err = SendAll(pair->first.get(), reply.data(), reply.size());
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kUnavailable);
+}
+
+TEST(SendAllTest, FullNonBlockingBufferGivesUpInsteadOfParking) {
+  // A reply path must never wait indefinitely for a peer that stopped
+  // draining: EAGAIN is "give up on this client".
+  auto pair = MakeSocketPair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(SetNonBlocking(pair->first.get()).ok());
+  const int small = 4 * 1024;
+  ::setsockopt(pair->first.get(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  const std::string chunk(64 * 1024, 'z');
+  Error err = OkError();
+  for (int i = 0; i < 64 && err.ok(); ++i) {
+    err = SendAll(pair->first.get(), chunk.data(), chunk.size());
+  }
+  ASSERT_FALSE(err.ok()) << "send never hit the full buffer";
+  EXPECT_EQ(err.code(), ErrorCode::kUnavailable);
 }
 
 TEST(SetNonBlockingTest, SetsFlag) {
