@@ -4,7 +4,9 @@
 # with no legacy-warning grandfathering).
 #
 # Extra jobs (opt-in, because they rebuild the tree):
-#   CI_SANITIZE=1  scripts/ci.sh   — ASan+UBSan build + full ctest
+#   CI_SANITIZE=1  scripts/ci.sh   — ASan+UBSan build + full ctest, then
+#                                    a TSan build of the flush-thread
+#                                    suites (ctest -L threads)
 #   CI_CHAOS=1     scripts/ci.sh   — chaos smoke: the fault-injection
 #                                    suites under a fixed seed, twice,
 #                                    to catch nondeterminism
@@ -23,14 +25,19 @@ cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" >/dev/null
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== src/obs + src/fault under -Wall -Wextra -Werror =="
-for src in src/obs/*.cc src/fault/*.cc; do
+echo "== src/obs + src/fault + mfs fast path under -Wall -Wextra -Werror =="
+MFS_FAST_PATH=(src/mfs/record_io.cc src/mfs/group_commit.cc
+               src/mfs/volume.cc src/mfs/store.cc)
+for src in src/obs/*.cc src/fault/*.cc "${MFS_FAST_PATH[@]}"; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
 done
 
 echo "== ctest =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== group-commit smoke bench (fsyncs/mail < 1 at concurrency 8) =="
+"${BUILD_DIR}/bench/bench_mfs_group_commit" --smoke
 
 # Chaos smoke: run every fault-injection suite (injector unit tests,
 # MFS crash recovery, DNSBL hardening, server chaos) twice under the
@@ -59,6 +66,19 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
   echo "== sanitizer ctest =="
   ASAN_OPTIONS=detect_leaks=0 ctest --test-dir "${SAN_DIR}" \
     --output-on-failure -j "$(nproc)"
+
+  # TSan is incompatible with ASan, so the flush-thread suites get a
+  # third tree; `-L threads` limits it to the tests that actually race
+  # committers against the group-commit flush thread.
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  echo "== sanitizer build (TSan) =="
+  cmake -B "${TSAN_DIR}" -S . "${GENERATOR_ARGS[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build "${TSAN_DIR}" -j "$(nproc)" --target mfs_commit_test
+  echo "== sanitizer ctest (-L threads) =="
+  ctest --test-dir "${TSAN_DIR}" --output-on-failure -L threads -j "$(nproc)"
 fi
 
 echo "CI OK"

@@ -64,9 +64,12 @@ void ServerStack::BindMachineMetrics() {
       &registry_.GetCounter("sams_fs_appends_total", "file-system appends");
   auto* fs_creates = &registry_.GetCounter("sams_fs_files_created_total",
                                            "file-system creates");
+  auto* fsyncs_per_mail = &registry_.GetGauge(
+      "sams_mfs_fsyncs_per_mail",
+      "store durability barriers divided by mails delivered");
   registry_.AddCollector([this, net_msgs, net_bytes, cpu_switches, cpu_forks,
                           cpu_busy_ms, cpu_switch_ms, disk_fsyncs, disk_bytes,
-                          fs_appends, fs_creates] {
+                          fs_appends, fs_creates, fsyncs_per_mail] {
     net_msgs->Overwrite(machine_.net().stats().messages);
     net_bytes->Overwrite(machine_.net().stats().bytes);
     cpu_switches->Overwrite(machine_.cpu().stats().context_switches);
@@ -77,6 +80,11 @@ void ServerStack::BindMachineMetrics() {
     disk_bytes->Overwrite(machine_.disk().stats().bytes_written);
     fs_appends->Overwrite(fs_->stats().appends);
     fs_creates->Overwrite(fs_->stats().files_created);
+    const std::uint64_t mails = store_->mails_delivered();
+    fsyncs_per_mail->Set(
+        mails == 0 ? 0.0
+                   : static_cast<double>(store_->fsyncs()) /
+                         static_cast<double>(mails));
   });
 }
 

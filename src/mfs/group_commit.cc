@@ -1,0 +1,138 @@
+#include "mfs/group_commit.h"
+
+#include <algorithm>
+
+#include "fault/injector.h"
+
+namespace sams::mfs {
+
+GroupCommitter::GroupCommitter(SyncFn sync_fn, Options opts)
+    : sync_fn_(std::move(sync_fn)), opts_(opts) {
+  if (opts_.background) {
+    flusher_ = std::thread([this] { ThreadMain(); });
+  }
+}
+
+GroupCommitter::~GroupCommitter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_flush_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void GroupCommitter::ThreadMain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_flush_.wait(lk, [&] { return stop_ || pending_tokens_ > 0; });
+    if (pending_tokens_ == 0) {
+      if (stop_) return;  // drained; committers all satisfied
+      continue;
+    }
+    // Window: give concurrent deliveries a moment to pile onto this
+    // batch (unless we're shutting down or the batch is already full).
+    if (!stop_ && opts_.window.count() > 0 &&
+        pending_tokens_ < opts_.max_batch) {
+      cv_flush_.wait_for(lk, opts_.window, [&] {
+        return stop_ || pending_tokens_ >= opts_.max_batch;
+      });
+    }
+    while (flush_in_progress_) cv_done_.wait(lk);
+    if (pending_tokens_ == 0) continue;  // an explicit Flush() took them
+    FlushRound(lk);
+  }
+}
+
+util::Error GroupCommitter::FlushRound(std::unique_lock<std::mutex>& lk) {
+  flush_in_progress_ = true;
+  const std::uint64_t flushing = epoch_++;
+  const std::size_t batch = pending_tokens_;
+  pending_tokens_ = 0;
+  lk.unlock();
+
+  util::Error err = SAMS_FAULT_ERROR("mfs.commit.flush");
+  int fsyncs = 0;
+  if (err.ok()) {
+    auto synced = sync_fn_();
+    if (synced.ok()) {
+      fsyncs = *synced;
+      err = SAMS_FAULT_ERROR("mfs.commit.after_fsync");
+    } else {
+      err = synced.error();
+    }
+  }
+
+  lk.lock();
+  ++stats_.flushes;
+  stats_.fsyncs += static_cast<std::uint64_t>(fsyncs);
+  stats_.batch_max =
+      std::max(stats_.batch_max, static_cast<std::uint64_t>(batch));
+  if (batch_hist_ != nullptr && batch > 0) {
+    batch_hist_->Observe(static_cast<double>(batch));
+  }
+  last_error_ = err;
+  completed_epoch_ = flushing + 1;
+  flush_in_progress_ = false;
+  cv_done_.notify_all();
+  return err;
+}
+
+util::Error GroupCommitter::Commit() {
+  SAMS_RETURN_IF_ERROR(SAMS_FAULT_ERROR("mfs.commit.enqueue"));
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t my = epoch_;
+  ++pending_tokens_;
+  ++stats_.commits;
+  if (opts_.background) {
+    cv_flush_.notify_one();
+    cv_done_.wait(lk, [&] { return completed_epoch_ > my; });
+    return last_error_;
+  }
+  // Foreground: run the round inline, or ride a concurrent one.
+  while (completed_epoch_ <= my) {
+    if (flush_in_progress_) {
+      cv_done_.wait(lk);
+    } else {
+      FlushRound(lk);
+    }
+  }
+  return last_error_;
+}
+
+util::Error GroupCommitter::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (flush_in_progress_) cv_done_.wait(lk);
+  return FlushRound(lk);
+}
+
+GroupCommitter::Stats GroupCommitter::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void GroupCommitter::BindMetrics(obs::Registry& registry, obs::Labels labels) {
+  auto& hist = registry.GetHistogram(
+      "sams_mfs_commit_batch_size",
+      "durability tokens completed per group-commit flush round",
+      obs::HistogramSpec{1.0, 2.0, 10}, labels);
+  auto* commits = &registry.GetCounter(
+      "sams_mfs_commit_tokens_total", "durability tokens enqueued", labels);
+  auto* flushes = &registry.GetCounter("sams_mfs_commit_flushes_total",
+                                       "group-commit flush rounds", labels);
+  auto* fsyncs =
+      &registry.GetCounter("sams_mfs_commit_fsyncs_total",
+                           "fsync(2) calls issued by flush rounds", labels);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_hist_ = &hist;
+  }
+  registry.AddCollector([this, commits, flushes, fsyncs] {
+    const Stats s = stats();
+    commits->Overwrite(s.commits);
+    flushes->Overwrite(s.flushes);
+    fsyncs->Overwrite(s.fsyncs);
+  });
+}
+
+}  // namespace sams::mfs

@@ -1,0 +1,115 @@
+// GroupCommitter — the group-commit engine of the delivery fast path
+// (DESIGN.md §8). sim_store.h has always *modelled* group commit ("one
+// fsync per batch"); this is the real thing for the real-I/O stores.
+//
+// Protocol: a delivery finishes its writes (data first, commit record
+// last — see MfsVolume::MailNWrite), then calls Commit() to enqueue a
+// durability token and block. A flush round captures every pending
+// token, fsyncs each dirty file ONCE via the store-provided SyncFn,
+// and only then completes the captured tokens. N concurrent
+// deliveries therefore cost ~2 fsyncs (key + data) instead of 2N,
+// while every acked mail is still durable — exactly the batching the
+// paper's §6 evaluation credits for mailbox-store throughput.
+//
+// Crash semantics: a crash before the flush loses only mails whose
+// Commit() had not returned (never acked to the SMTP client, so the
+// sender retries); Volume::Recover() rolls back any torn batch. A
+// crash after the fsync but before tokens complete loses nothing —
+// the mail is durable, merely unacked (at-least-once, deduplicated by
+// mail id upstream).
+//
+// Two modes:
+//   background=true  — a flush thread wakes on the first token, waits
+//                      up to `window` for joiners (or `max_batch`),
+//                      then flushes. Production mode.
+//   background=false — no thread; Commit() runs the flush round inline
+//                      (still batching with concurrent committers).
+//                      Deterministic for tests; Flush() also forces a
+//                      round explicitly.
+//
+// Fault points (sams::fault):
+//   mfs.commit.enqueue     — fail a delivery before its token enqueues
+//   mfs.commit.flush       — fail/crash a round before any fsync runs
+//   mfs.commit.after_fsync — crash after durability, before acks
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace sams::mfs {
+
+class GroupCommitter {
+ public:
+  // Syncs every file the store dirtied since the last call; returns
+  // the number of fsync(2) calls issued. Called with no committer
+  // lock held; the store is responsible for its own synchronisation
+  // (typically its delivery mutex).
+  using SyncFn = std::function<util::Result<int>()>;
+
+  struct Options {
+    bool background = true;
+    std::chrono::microseconds window{500};  // wait for joiners
+    std::size_t max_batch = 256;            // flush early at this size
+  };
+
+  struct Stats {
+    std::uint64_t commits = 0;      // tokens enqueued
+    std::uint64_t flushes = 0;      // flush rounds run
+    std::uint64_t fsyncs = 0;       // fsync(2) calls issued by SyncFn
+    std::uint64_t batch_max = 0;    // largest batch (tokens) seen
+  };
+
+  GroupCommitter(SyncFn sync_fn, Options opts);
+  ~GroupCommitter();
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  // Enqueues a durability token and blocks until a flush round that
+  // captured it completes. Returns that round's result. (If a LATER
+  // successful round completes first, OK is returned — sound, because
+  // fsync covers the whole file regardless of which round issued it.)
+  util::Error Commit();
+
+  // Forces one flush round NOW (even with no tokens pending) and
+  // returns its exact result. The deterministic-test entry point.
+  util::Error Flush();
+
+  Stats stats() const;
+
+  // Registers sams_mfs_commit_batch_size (histogram) plus flush/fsync
+  // counters. The registry must outlive this committer.
+  void BindMetrics(obs::Registry& registry, obs::Labels labels = {});
+
+ private:
+  // Captures the pending batch and runs sync_fn_ with `lk` released.
+  // Returns the round's result; on return the captured epoch is
+  // completed and waiters notified.
+  util::Error FlushRound(std::unique_lock<std::mutex>& lk);
+  void ThreadMain();
+
+  SyncFn sync_fn_;
+  Options opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_flush_;  // wakes the flush thread
+  std::condition_variable cv_done_;   // wakes committers
+  std::uint64_t epoch_ = 0;            // batch being accumulated
+  std::uint64_t completed_epoch_ = 0;  // all batches < this are flushed
+  std::size_t pending_tokens_ = 0;     // tokens in batch `epoch_`
+  bool flush_in_progress_ = false;
+  bool stop_ = false;
+  util::Error last_error_;  // result of the most recent round
+  Stats stats_;
+  obs::Histogram* batch_hist_ = nullptr;  // set by BindMetrics
+
+  std::thread flusher_;  // only when opts_.background
+};
+
+}  // namespace sams::mfs

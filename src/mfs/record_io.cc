@@ -1,11 +1,16 @@
 #include "mfs/record_io.h"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "fault/injector.h"
 
 namespace sams::mfs {
 namespace {
@@ -61,7 +66,56 @@ Result<KeyRecord> DecodeKeyRecord(const char* buf) {
   return rec;
 }
 
+Error PwriteAll(int fd, const void* data, std::size_t n, std::int64_t off,
+                const std::string& path) {
+  struct iovec iov;
+  iov.iov_base = const_cast<void*>(data);
+  iov.iov_len = n;
+  return PwritevAll(fd, &iov, 1, off, path);
+}
+
 }  // namespace
+
+util::Error PwritevAll(int fd, struct iovec* iov, int iovcnt,
+                       std::int64_t off, const std::string& path) {
+  int idx = 0;
+  while (idx < iovcnt) {
+    if (iov[idx].iov_len == 0) {
+      ++idx;
+      continue;
+    }
+    ssize_t n;
+    if (!SAMS_FAULT_ERROR("mfs.io.pwritev.short").ok()) {
+      // Test hook: force a 1-byte short write so the continuation loop
+      // below is exercised deterministically.
+      n = ::pwrite(fd, iov[idx].iov_base, 1, static_cast<off_t>(off));
+    } else {
+      n = ::pwritev(fd, iov + idx,
+                    std::min(iovcnt - idx, static_cast<int>(IOV_MAX)),
+                    static_cast<off_t>(off));
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::IoError(Errno("pwritev", path));
+    }
+    if (n == 0) {
+      return util::IoError("pwritev " + path + ": wrote 0 bytes");
+    }
+    off += n;
+    auto remaining = static_cast<std::size_t>(n);
+    while (remaining > 0 && idx < iovcnt) {
+      if (remaining >= iov[idx].iov_len) {
+        remaining -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + remaining;
+        iov[idx].iov_len -= remaining;
+        remaining = 0;
+      }
+    }
+  }
+  return util::OkError();
+}
 
 Result<KeyFile> KeyFile::Open(const std::string& path) {
   KeyFile kf;
@@ -92,27 +146,31 @@ Result<KeyFile> KeyFile::Open(const std::string& path) {
 }
 
 Result<std::size_t> KeyFile::Append(const KeyRecord& record) {
-  if (record.id.empty()) return util::InvalidArgument("empty mail id");
-  char buf[KeyRecord::kWireSize];
-  EncodeKeyRecord(record, buf);
-  const off_t at = static_cast<off_t>(records_.size() * KeyRecord::kWireSize);
-  const ssize_t n = ::pwrite(fd_.get(), buf, sizeof(buf), at);
-  if (n != static_cast<ssize_t>(sizeof(buf))) {
-    return util::IoError(Errno("pwrite", path_));
+  return AppendBatch(std::span<const KeyRecord>(&record, 1));
+}
+
+Result<std::size_t> KeyFile::AppendBatch(std::span<const KeyRecord> records) {
+  if (records.empty()) return records_.size();  // nothing to write
+  std::string buf(records.size() * KeyRecord::kWireSize, '\0');
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].id.empty()) return util::InvalidArgument("empty mail id");
+    EncodeKeyRecord(records[i], buf.data() + i * KeyRecord::kWireSize);
   }
-  records_.push_back(record);
-  return records_.size() - 1;
+  const auto at =
+      static_cast<std::int64_t>(records_.size() * KeyRecord::kWireSize);
+  SAMS_RETURN_IF_ERROR(PwriteAll(fd_.get(), buf.data(), buf.size(), at, path_));
+  const std::size_t first = records_.size();
+  records_.insert(records_.end(), records.begin(), records.end());
+  return first;
 }
 
 Error KeyFile::SetRefcount(std::size_t index, std::int32_t refcount) {
   if (index >= records_.size()) return util::OutOfRange("key record index");
   char buf[4];
   EncodeU32(static_cast<std::uint32_t>(refcount), buf);
-  const off_t at = static_cast<off_t>(index * KeyRecord::kWireSize +
-                                      MailId::kMaxLen + 8);
-  if (::pwrite(fd_.get(), buf, sizeof(buf), at) != 4) {
-    return util::IoError(Errno("pwrite", path_));
-  }
+  const auto at = static_cast<std::int64_t>(index * KeyRecord::kWireSize +
+                                            MailId::kMaxLen + 8);
+  SAMS_RETURN_IF_ERROR(PwriteAll(fd_.get(), buf, sizeof(buf), at, path_));
   records_[index].refcount = refcount;
   return util::OkError();
 }
@@ -121,11 +179,9 @@ Error KeyFile::SetOffset(std::size_t index, std::int64_t offset) {
   if (index >= records_.size()) return util::OutOfRange("key record index");
   char buf[8];
   EncodeU64(static_cast<std::uint64_t>(offset), buf);
-  const off_t at =
-      static_cast<off_t>(index * KeyRecord::kWireSize + MailId::kMaxLen);
-  if (::pwrite(fd_.get(), buf, sizeof(buf), at) != 8) {
-    return util::IoError(Errno("pwrite", path_));
-  }
+  const auto at =
+      static_cast<std::int64_t>(index * KeyRecord::kWireSize + MailId::kMaxLen);
+  SAMS_RETURN_IF_ERROR(PwriteAll(fd_.get(), buf, sizeof(buf), at, path_));
   records_[index].offset = offset;
   return util::OkError();
 }
@@ -147,16 +203,11 @@ Error KeyFile::Rewrite(const std::string& path,
   const std::string tmp = path + ".tmp";
   util::UniqueFd tmp_fd(::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600));
   if (!tmp_fd.valid()) return util::IoError(Errno("open", tmp));
-  char buf[KeyRecord::kWireSize];
-  off_t at = 0;
-  for (const KeyRecord& rec : new_records) {
-    EncodeKeyRecord(rec, buf);
-    if (::pwrite(tmp_fd.get(), buf, sizeof(buf), at) !=
-        static_cast<ssize_t>(sizeof(buf))) {
-      return util::IoError(Errno("pwrite", tmp));
-    }
-    at += static_cast<off_t>(sizeof(buf));
+  std::string buf(new_records.size() * KeyRecord::kWireSize, '\0');
+  for (std::size_t i = 0; i < new_records.size(); ++i) {
+    EncodeKeyRecord(new_records[i], buf.data() + i * KeyRecord::kWireSize);
   }
+  SAMS_RETURN_IF_ERROR(PwriteAll(tmp_fd.get(), buf.data(), buf.size(), 0, tmp));
   if (::fsync(tmp_fd.get()) != 0) return util::IoError(Errno("fsync", tmp));
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     return util::IoError(Errno("rename", tmp));
@@ -179,18 +230,22 @@ Result<DataFile> DataFile::Open(const std::string& path) {
 }
 
 Result<std::int64_t> DataFile::Append(std::string_view payload) {
+  if (payload.size() > kMaxDataRecordBytes) {
+    return util::InvalidArgument(
+        "data record of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxDataRecordBytes) +
+        "-byte record limit");
+  }
   char len_buf[4];
   EncodeU32(static_cast<std::uint32_t>(payload.size()), len_buf);
   const std::int64_t at = end_;
-  if (::pwrite(fd_.get(), len_buf, 4, static_cast<off_t>(at)) != 4) {
-    return util::IoError(Errno("pwrite", path_));
-  }
-  if (!payload.empty() &&
-      ::pwrite(fd_.get(), payload.data(), payload.size(),
-               static_cast<off_t>(at + 4)) !=
-          static_cast<ssize_t>(payload.size())) {
-    return util::IoError(Errno("pwrite", path_));
-  }
+  struct iovec iov[2];
+  iov[0].iov_base = len_buf;
+  iov[0].iov_len = sizeof(len_buf);
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  SAMS_RETURN_IF_ERROR(
+      PwritevAll(fd_.get(), iov, payload.empty() ? 1 : 2, at, path_));
   end_ = at + 4 + static_cast<std::int64_t>(payload.size());
   return at;
 }

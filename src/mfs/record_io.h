@@ -9,9 +9,15 @@
 // Both are plain files of the underlying byte-oriented file system —
 // the paper deliberately builds MFS as an application-level extension
 // rather than a kernel file system.
+//
+// All writes go through one shared continuation loop (PwritevAll):
+// EINTR restarts, short writes resume where the kernel stopped, and a
+// record append issues a single vectored syscall for the length prefix
+// plus payload (or a whole batch of key tuples).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,7 +25,23 @@
 #include "util/fd.h"
 #include "util/result.h"
 
+struct iovec;  // <sys/uio.h>
+
 namespace sams::mfs {
+
+// Upper bound on one data record's payload (a sane max mail size, far
+// below the u32 length-prefix ceiling). Larger payloads are rejected
+// with kInvalidArgument before any byte is written.
+inline constexpr std::size_t kMaxDataRecordBytes = 64u * 1024 * 1024;
+
+// Writes every byte of `iov[0..iovcnt)` at `off`, restarting after
+// EINTR and continuing after short writes. errno is only consulted on
+// a true failure (ret < 0), never after a short count. The fault point
+// "mfs.io.pwritev.short" (any injected error) clamps one iteration to
+// a single byte so tests can drive the continuation path. `iov` is
+// consumed (entries are advanced in place).
+util::Error PwritevAll(int fd, struct iovec* iov, int iovcnt,
+                       std::int64_t off, const std::string& path);
 
 // Refcount conventions (paper Figure 9):
 //   > 0 : record lives in THIS file's data file; value = remaining refs
@@ -49,6 +71,11 @@ class KeyFile {
 
   // Appends a record; returns its index.
   util::Result<std::size_t> Append(const KeyRecord& record);
+
+  // Appends several records with ONE vectored write; returns the index
+  // of the first. All-or-nothing in memory (a failed write appends no
+  // record to records_).
+  util::Result<std::size_t> AppendBatch(std::span<const KeyRecord> records);
 
   // In-place refcount update (pwrite at the record's slot).
   util::Error SetRefcount(std::size_t index, std::int32_t refcount);
@@ -86,7 +113,9 @@ class DataFile {
 
   static util::Result<DataFile> Open(const std::string& path);
 
-  // Appends one record; returns the offset to store in a KeyRecord.
+  // Appends one record (length prefix + payload in one vectored
+  // write); returns the offset to store in a KeyRecord. Payloads over
+  // kMaxDataRecordBytes are rejected before anything is written.
   util::Result<std::int64_t> Append(std::string_view payload);
 
   // Reads the record at `offset`.

@@ -82,6 +82,9 @@ class SimMailStore {
         "shared-mailbox references (redirect tuples / links / copies) for "
         "multi-recipient mail",
         layout);
+    fsyncs_counter_ = &registry.GetCounter(
+        "sams_mfs_fsyncs_total",
+        "durability barriers issued by the delivery path", layout);
   }
 
   // CPU the delivery path spends copying the body through write(2):
@@ -100,6 +103,7 @@ class SimMailStore {
   std::uint64_t bytes_logical() const { return bytes_logical_; }
   std::uint64_t bytes_physical() const { return bytes_physical_; }
   std::uint64_t shared_refs() const { return shared_refs_; }
+  std::uint64_t fsyncs() const { return fsyncs_; }
 
  protected:
   // Layout-specific operation sequence behind the accounting wrapper.
@@ -107,6 +111,8 @@ class SimMailStore {
 
   void Finish(Done done) {
     ++mails_;
+    ++fsyncs_;
+    if (fsyncs_counter_ != nullptr) fsyncs_counter_->Inc();
     fs_.Fsync(std::move(done));
   }
 
@@ -120,12 +126,14 @@ class SimMailStore {
   std::uint64_t bytes_logical_ = 0;
   std::uint64_t bytes_physical_ = 0;
   std::uint64_t shared_refs_ = 0;
+  std::uint64_t fsyncs_ = 0;
 
   // Optional observability (null until BindMetrics).
   obs::Counter* mails_counter_ = nullptr;
   obs::Counter* logical_counter_ = nullptr;
   obs::Counter* physical_counter_ = nullptr;
   obs::Counter* shared_refs_counter_ = nullptr;
+  obs::Counter* fsyncs_counter_ = nullptr;
 };
 
 class SimMboxStore final : public SimMailStore {

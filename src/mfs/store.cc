@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <unordered_set>
 
 #include "util/fd.h"
 
@@ -27,13 +28,46 @@ Error EnsureDir(const std::string& path) {
   return util::IoError(Errno("mkdir", path));
 }
 
+// fsync through a fresh descriptor. The dirty pages live under the
+// inode, so a group-commit flush can sync a file (or directory) that
+// no longer has a cached fd — or never had one, as with maildir
+// renames.
+Error FsyncPath(const std::string& path) {
+  UniqueFd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.valid()) return util::IoError(Errno("open", path));
+  if (::fsync(fd.get()) != 0) return util::IoError(Errno("fsync", path));
+  return util::OkError();
+}
+
+// Syncs and drains a set of dirty paths, counting fsync(2) calls.
+// Paths that fail stay in the set for the next round.
+Error SyncPathSet(std::unordered_set<std::string>& paths, int& fsyncs) {
+  while (!paths.empty()) {
+    const std::string path = *paths.begin();
+    SAMS_RETURN_IF_ERROR(FsyncPath(path));
+    ++fsyncs;
+    paths.erase(path);
+  }
+  return util::OkError();
+}
+
 Result<std::vector<std::string>> ListDirSorted(const std::string& dir) {
   std::vector<std::string> names;
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return util::IoError(Errno("opendir", dir));
+  // readdir returns nullptr for both end-of-directory and failure;
+  // only errno tells them apart. Without this a half-read mailbox
+  // listing would be returned as complete.
+  errno = 0;
   while (struct dirent* ent = ::readdir(d)) {
     const std::string name = ent->d_name;
     if (name != "." && name != "..") names.push_back(name);
+    errno = 0;
+  }
+  if (errno != 0) {
+    const std::string msg = std::strerror(errno);
+    ::closedir(d);
+    return util::IoError("readdir " + dir + ": " + msg);
   }
   ::closedir(d);
   std::sort(names.begin(), names.end());
@@ -80,12 +114,13 @@ std::string MboxEncode(const MailId& id, std::string_view body) {
 class MboxStore final : public MailStore {
  public:
   MboxStore(std::string root, StoreOptions opts)
-      : root_(std::move(root)), opts_(opts) {}
+      : MailStore(opts), root_(std::move(root)) {}
+  ~MboxStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "mbox"; }
 
-  Error Deliver(const MailId& id, std::string_view body,
-                std::span<const std::string> mailboxes) override {
+  Error DoDeliver(const MailId& id, std::string_view body,
+                  std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
     stats_.bytes_logical += body.size() * mailboxes.size();
     const std::string encoded = MboxEncode(id, body);
@@ -99,10 +134,18 @@ class MboxStore final : public MailStore {
       if (opts_.fsync_each_mail) {
         if (::fsync(fd.get()) != 0) return util::IoError(Errno("fsync", path));
         ++stats_.fsyncs;
+      } else if (opts_.group_commit) {
+        dirty_files_.insert(path);
       }
     }
     ++stats_.mails_delivered;
     return util::OkError();
+  }
+
+  Result<int> SyncDirty() override {
+    int fsyncs = 0;
+    SAMS_RETURN_IF_ERROR(SyncPathSet(dirty_files_, fsyncs));
+    return fsyncs;
   }
 
   Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
@@ -137,11 +180,17 @@ class MboxStore final : public MailStore {
     return mails;
   }
 
-  Error Sync() override { return util::OkError(); }
+  Error Sync() override {
+    std::lock_guard<std::mutex> lk(deliver_mutex_);
+    auto synced = SyncDirty();
+    if (!synced.ok()) return synced.error();
+    stats_.fsyncs += static_cast<std::uint64_t>(*synced);
+    return util::OkError();
+  }
 
  private:
   std::string root_;
-  StoreOptions opts_;
+  std::unordered_set<std::string> dirty_files_;
 };
 
 // --- maildir ----------------------------------------------------------
@@ -149,7 +198,8 @@ class MboxStore final : public MailStore {
 class MaildirStore final : public MailStore {
  public:
   MaildirStore(std::string root, StoreOptions opts)
-      : root_(std::move(root)), opts_(opts) {}
+      : MailStore(opts), root_(std::move(root)) {}
+  ~MaildirStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "maildir"; }
 
@@ -162,8 +212,8 @@ class MaildirStore final : public MailStore {
     return util::OkError();
   }
 
-  Error Deliver(const MailId& id, std::string_view body,
-                std::span<const std::string> mailboxes) override {
+  Error DoDeliver(const MailId& id, std::string_view body,
+                  std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
     stats_.bytes_logical += body.size() * mailboxes.size();
     // Monotonic name prefix keeps ReadMailbox in delivery order.
@@ -186,10 +236,24 @@ class MaildirStore final : public MailStore {
       if (::rename(tmp.c_str(), dst.c_str()) != 0) {
         return util::IoError(Errno("rename", tmp));
       }
+      if (opts_.group_commit) {
+        // One fsync per mail file is unavoidable in this layout, but
+        // the directory entries batch: one dir fsync covers every
+        // rename into that maildir since the last flush.
+        dirty_files_.insert(dst);
+        dirty_dirs_.insert(root_ + "/" + box + "/new");
+      }
       ++stats_.mailbox_deliveries;
     }
     ++stats_.mails_delivered;
     return util::OkError();
+  }
+
+  Result<int> SyncDirty() override {
+    int fsyncs = 0;
+    SAMS_RETURN_IF_ERROR(SyncPathSet(dirty_files_, fsyncs));
+    SAMS_RETURN_IF_ERROR(SyncPathSet(dirty_dirs_, fsyncs));
+    return fsyncs;
   }
 
   Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
@@ -205,7 +269,13 @@ class MaildirStore final : public MailStore {
     return mails;
   }
 
-  Error Sync() override { return util::OkError(); }
+  Error Sync() override {
+    std::lock_guard<std::mutex> lk(deliver_mutex_);
+    auto synced = SyncDirty();
+    if (!synced.ok()) return synced.error();
+    stats_.fsyncs += static_cast<std::uint64_t>(*synced);
+    return util::OkError();
+  }
 
  protected:
   std::string SeqName(const MailId& id) {
@@ -216,8 +286,9 @@ class MaildirStore final : public MailStore {
   }
 
   std::string root_;
-  StoreOptions opts_;
   std::uint64_t seq_ = 0;
+  std::unordered_set<std::string> dirty_files_;
+  std::unordered_set<std::string> dirty_dirs_;
 };
 
 // --- hard-link maildir --------------------------------------------------
@@ -225,12 +296,13 @@ class MaildirStore final : public MailStore {
 class HardlinkMaildirStore final : public MailStore {
  public:
   HardlinkMaildirStore(std::string root, StoreOptions opts)
-      : root_(std::move(root)), opts_(opts) {}
+      : MailStore(opts), root_(std::move(root)) {}
+  ~HardlinkMaildirStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "hardlink"; }
 
-  Error Deliver(const MailId& id, std::string_view body,
-                std::span<const std::string> mailboxes) override {
+  Error DoDeliver(const MailId& id, std::string_view body,
+                  std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
     stats_.bytes_logical += body.size() * mailboxes.size();
     const std::string fname = SeqName(id);
@@ -248,6 +320,7 @@ class HardlinkMaildirStore final : public MailStore {
       }
     }
     // ...hard-linked into every recipient's new/.
+    bool content_tracked = false;
     for (const std::string& box : mailboxes) {
       const std::string base = root_ + "/" + box;
       SAMS_RETURN_IF_ERROR(EnsureDir(base));
@@ -255,6 +328,15 @@ class HardlinkMaildirStore final : public MailStore {
       const std::string dst = base + "/new/" + fname;
       if (::link(master.c_str(), dst.c_str()) != 0) {
         return util::IoError(Errno("link", dst));
+      }
+      if (opts_.group_commit) {
+        // The master path is unlinked below; any one link reaches the
+        // shared inode for the content fsync.
+        if (!content_tracked) {
+          dirty_files_.insert(dst);
+          content_tracked = true;
+        }
+        dirty_dirs_.insert(base + "/new");
       }
       ++stats_.hard_links;
       ++stats_.mailbox_deliveries;
@@ -265,6 +347,13 @@ class HardlinkMaildirStore final : public MailStore {
     }
     ++stats_.mails_delivered;
     return util::OkError();
+  }
+
+  Result<int> SyncDirty() override {
+    int fsyncs = 0;
+    SAMS_RETURN_IF_ERROR(SyncPathSet(dirty_files_, fsyncs));
+    SAMS_RETURN_IF_ERROR(SyncPathSet(dirty_dirs_, fsyncs));
+    return fsyncs;
   }
 
   Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
@@ -280,7 +369,13 @@ class HardlinkMaildirStore final : public MailStore {
     return mails;
   }
 
-  Error Sync() override { return util::OkError(); }
+  Error Sync() override {
+    std::lock_guard<std::mutex> lk(deliver_mutex_);
+    auto synced = SyncDirty();
+    if (!synced.ok()) return synced.error();
+    stats_.fsyncs += static_cast<std::uint64_t>(*synced);
+    return util::OkError();
+  }
 
  private:
   std::string SeqName(const MailId& id) {
@@ -291,8 +386,9 @@ class HardlinkMaildirStore final : public MailStore {
   }
 
   std::string root_;
-  StoreOptions opts_;
   std::uint64_t seq_ = 0;
+  std::unordered_set<std::string> dirty_files_;
+  std::unordered_set<std::string> dirty_dirs_;
 };
 
 // --- MFS ----------------------------------------------------------------
@@ -300,12 +396,13 @@ class HardlinkMaildirStore final : public MailStore {
 class MfsStore final : public MailStore {
  public:
   MfsStore(std::unique_ptr<MfsVolume> volume, StoreOptions opts)
-      : volume_(std::move(volume)), opts_(opts) {}
+      : MailStore(opts), volume_(std::move(volume)) {}
+  ~MfsStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "mfs"; }
 
-  Error Deliver(const MailId& id, std::string_view body,
-                std::span<const std::string> mailboxes) override {
+  Error DoDeliver(const MailId& id, std::string_view body,
+                  std::span<const std::string> mailboxes) override {
     if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
     stats_.bytes_logical += body.size() * mailboxes.size();
     std::vector<std::unique_ptr<MailFile>> handles;
@@ -322,14 +419,20 @@ class MfsStore final : public MailStore {
     stats_.mailbox_deliveries += mailboxes.size();
     ++stats_.mails_delivered;
     if (opts_.fsync_each_mail) {
-      SAMS_RETURN_IF_ERROR(volume_->SyncAll());
-      ++stats_.fsyncs;
+      // The volume tracks what this write dirtied; count the actual
+      // fsync(2) calls rather than a flat 1.
+      auto synced = volume_->SyncDirty();
+      if (!synced.ok()) return synced.error();
+      stats_.fsyncs += static_cast<std::uint64_t>(*synced);
     }
     for (auto& h : handles) volume_->MailClose(std::move(h));
     return util::OkError();
   }
 
+  Result<int> SyncDirty() override { return volume_->SyncDirty(); }
+
   Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
+    std::lock_guard<std::mutex> lk(deliver_mutex_);
     auto h = volume_->MailOpen(box);
     if (!h.ok()) return h.error();
     std::vector<std::string> mails;
@@ -345,16 +448,75 @@ class MfsStore final : public MailStore {
     return mails;
   }
 
-  Error Sync() override { return volume_->SyncAll(); }
+  Error Sync() override {
+    std::lock_guard<std::mutex> lk(deliver_mutex_);
+    return volume_->SyncAll();
+  }
+
+  void BindBackendMetrics(obs::Registry& registry,
+                          const obs::Labels& layout) override {
+    auto* hits = &registry.GetCounter("sams_mfs_fd_cache_hits_total",
+                                      "mailbox fd cache hits", layout);
+    auto* misses = &registry.GetCounter(
+        "sams_mfs_fd_cache_misses_total",
+        "mailbox fd cache misses (paid open())", layout);
+    auto* evictions = &registry.GetCounter(
+        "sams_mfs_fd_cache_evictions_total",
+        "mailboxes closed by the LRU bound", layout);
+    registry.AddCollector([this, hits, misses, evictions] {
+      const VolumeStats& vs = volume_->stats();
+      hits->Overwrite(vs.fd_cache_hits);
+      misses->Overwrite(vs.fd_cache_misses);
+      evictions->Overwrite(vs.fd_cache_evictions);
+    });
+  }
 
   MfsVolume& volume() { return *volume_; }
 
  private:
   std::unique_ptr<MfsVolume> volume_;
-  StoreOptions opts_;
 };
 
 }  // namespace
+
+MailStore::MailStore(StoreOptions opts) : opts_(opts) {
+  if (opts_.group_commit) {
+    committer_ = std::make_unique<GroupCommitter>(
+        [this]() -> Result<int> {
+          std::lock_guard<std::mutex> lk(deliver_mutex_);
+          auto synced = SyncDirty();
+          if (synced.ok()) {
+            stats_.fsyncs += static_cast<std::uint64_t>(*synced);
+          }
+          return synced;
+        },
+        opts_.commit);
+  }
+}
+
+Error MailStore::Deliver(const MailId& id, std::string_view body,
+                         std::span<const std::string> mailboxes) {
+  {
+    std::lock_guard<std::mutex> lk(deliver_mutex_);
+    SAMS_RETURN_IF_ERROR(DoDeliver(id, body, mailboxes));
+  }
+  // Writes staged; now block until a flush round makes them durable.
+  if (committer_ != nullptr) return committer_->Commit();
+  return util::OkError();
+}
+
+Error MailStore::StageDelivery(const MailId& id, std::string_view body,
+                               std::span<const std::string> mailboxes) {
+  std::lock_guard<std::mutex> lk(deliver_mutex_);
+  return DoDeliver(id, body, mailboxes);
+}
+
+Error MailStore::Commit() {
+  if (committer_ != nullptr) return committer_->Commit();
+  return Sync();
+}
+
+void MailStore::BindBackendMetrics(obs::Registry&, const obs::Labels&) {}
 
 void MailStore::BindMetrics(obs::Registry& registry) {
   const obs::Labels layout = {{"layout", std::string(name())}};
@@ -376,17 +538,28 @@ void MailStore::BindMetrics(obs::Registry& registry) {
   auto* links = &registry.GetCounter("sams_mfs_hard_links_total",
                                      "recipient hard links", layout);
   auto* fsyncs = &registry.GetCounter("sams_mfs_fsyncs_total",
-                                      "per-delivery fsync barriers", layout);
-  registry.AddCollector(
-      [this, mails, mailbox, physical, logical, creates, links, fsyncs] {
-        mails->Overwrite(stats_.mails_delivered);
-        mailbox->Overwrite(stats_.mailbox_deliveries);
-        physical->Overwrite(stats_.bytes_written);
-        logical->Overwrite(stats_.bytes_logical);
-        creates->Overwrite(stats_.files_created);
-        links->Overwrite(stats_.hard_links);
-        fsyncs->Overwrite(stats_.fsyncs);
-      });
+                                      "fsync(2) calls issued", layout);
+  auto* per_mail = &registry.GetGauge(
+      "sams_mfs_fsyncs_per_mail",
+      "fsync(2) calls divided by mails delivered (group commit drives "
+      "this below 1)",
+      layout);
+  registry.AddCollector([this, mails, mailbox, physical, logical, creates,
+                         links, fsyncs, per_mail] {
+    mails->Overwrite(stats_.mails_delivered);
+    mailbox->Overwrite(stats_.mailbox_deliveries);
+    physical->Overwrite(stats_.bytes_written);
+    logical->Overwrite(stats_.bytes_logical);
+    creates->Overwrite(stats_.files_created);
+    links->Overwrite(stats_.hard_links);
+    fsyncs->Overwrite(stats_.fsyncs);
+    per_mail->Set(stats_.mails_delivered == 0
+                      ? 0.0
+                      : static_cast<double>(stats_.fsyncs) /
+                            static_cast<double>(stats_.mails_delivered));
+  });
+  if (committer_ != nullptr) committer_->BindMetrics(registry, layout);
+  BindBackendMetrics(registry, layout);
 }
 
 Result<std::unique_ptr<MailStore>> MakeMboxStore(const std::string& root,
@@ -410,7 +583,7 @@ Result<std::unique_ptr<MailStore>> MakeHardlinkMaildirStore(
 
 Result<std::unique_ptr<MailStore>> MakeMfsStore(const std::string& root,
                                                 StoreOptions opts) {
-  auto volume = MfsVolume::Open(root);
+  auto volume = MfsVolume::Open(root, opts.volume);
   if (!volume.ok()) return volume.error();
   return std::unique_ptr<MailStore>(
       new MfsStore(std::move(volume).value(), opts));

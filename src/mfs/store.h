@@ -15,14 +15,25 @@
 // throughput *figures* (10/11) use the cost-model twins in
 // mfs/sim_store.h because the base file system there must be Ext3 or
 // Reiser specifically.
+//
+// Durability modes (StoreOptions):
+//   fsync_each_mail — fsync inline per delivery (what Postfix does).
+//   group_commit    — deliveries stage their writes and block on a
+//                     shared GroupCommitter; each flush round fsyncs
+//                     every dirty file ONCE, so N concurrent
+//                     deliveries cost ~2 fsyncs instead of 2N at the
+//                     same "durable before ack" guarantee (DESIGN.md
+//                     §8).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "mfs/group_commit.h"
 #include "mfs/mail_id.h"
 #include "mfs/volume.h"
 #include "obs/metrics.h"
@@ -37,7 +48,14 @@ struct StoreStats {
   std::uint64_t bytes_logical = 0;     // body bytes x recipients delivered
   std::uint64_t files_created = 0;
   std::uint64_t hard_links = 0;
-  std::uint64_t fsyncs = 0;
+  std::uint64_t fsyncs = 0;            // fsync(2) calls issued
+};
+
+struct StoreOptions {
+  bool fsync_each_mail = false;  // durability per delivery (postfix does)
+  bool group_commit = false;     // batch durability via GroupCommitter
+  GroupCommitter::Options commit;  // used when group_commit is set
+  VolumeOptions volume;            // MFS backend only
 };
 
 class MailStore {
@@ -47,9 +65,23 @@ class MailStore {
   virtual std::string_view name() const = 0;
 
   // Delivers one mail (already assigned a server-side id) to one or
-  // more recipient mailboxes.
-  virtual util::Error Deliver(const MailId& id, std::string_view body,
-                              std::span<const std::string> mailboxes) = 0;
+  // more recipient mailboxes, at the configured durability: with
+  // group_commit the call stages the writes and blocks until a flush
+  // round covers them; with fsync_each_mail the backend syncs inline.
+  // Thread-safe.
+  util::Error Deliver(const MailId& id, std::string_view body,
+                      std::span<const std::string> mailboxes);
+
+  // The stage-only half of Deliver for batched callers (the queue
+  // manager's delivery stage): writes the mail but skips the group-
+  // commit wait. Call Commit() once per batch to make it durable.
+  // Without group_commit this is identical to Deliver.
+  util::Error StageDelivery(const MailId& id, std::string_view body,
+                            std::span<const std::string> mailboxes);
+
+  // Durability barrier for staged deliveries: joins one group-commit
+  // flush round (or Sync() when group_commit is off).
+  util::Error Commit();
 
   // Reads all mail bodies in a mailbox, in delivery order.
   virtual util::Result<std::vector<std::string>> ReadMailbox(
@@ -59,18 +91,41 @@ class MailStore {
   virtual util::Error Sync() = 0;
 
   // Publishes this store's StoreStats as layout-labelled registry
-  // counters, refreshed at collect time. The registry must outlive the
-  // store; call once, after construction.
+  // counters, refreshed at collect time, plus the group-commit batch
+  // histogram and backend extras (MFS fd-cache counters). The registry
+  // must outlive the store; call once, after construction.
   void BindMetrics(obs::Registry& registry);
 
   const StoreStats& stats() const { return stats_; }
+  // Null unless group_commit is on.
+  const GroupCommitter* committer() const { return committer_.get(); }
 
  protected:
-  StoreStats stats_;
-};
+  explicit MailStore(StoreOptions opts);
 
-struct StoreOptions {
-  bool fsync_each_mail = false;  // durability per delivery (postfix does)
+  // Backend write path: everything Deliver does except durability.
+  // Called with deliver_mutex_ held. A backend in group-commit mode
+  // records what it dirtied for the next SyncDirty.
+  virtual util::Error DoDeliver(const MailId& id, std::string_view body,
+                                std::span<const std::string> mailboxes) = 0;
+
+  // fsyncs every file dirtied since the last call, once each; returns
+  // the fsync(2) count. Called with deliver_mutex_ held (the group-
+  // commit SyncFn takes it). Failed files stay dirty.
+  virtual util::Result<int> SyncDirty() = 0;
+
+  // Extra per-backend metrics (MFS: fd cache + volume counters).
+  virtual void BindBackendMetrics(obs::Registry& registry,
+                                  const obs::Labels& layout);
+
+  // Derived destructors MUST call this first: it joins the flush
+  // thread while the backend (and its SyncDirty) still exists.
+  void StopCommitter() { committer_.reset(); }
+
+  std::mutex deliver_mutex_;
+  StoreOptions opts_;
+  StoreStats stats_;
+  std::unique_ptr<GroupCommitter> committer_;
 };
 
 // Factories. `root` is created if needed.

@@ -1,7 +1,9 @@
 #include "mfs/volume.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -34,6 +36,18 @@ bool ValidMailboxName(const std::string& name) {
   return name != "shared" && name.find("..") == std::string::npos;
 }
 
+// fsync through a fresh descriptor — used for mailboxes whose cached
+// fds were evicted. fsync flushes the file's dirty pages regardless of
+// which descriptor issued the earlier writes.
+Error FsyncPath(const std::string& path) {
+  util::UniqueFd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.valid()) return util::IoError("open " + path + ": " + std::strerror(errno));
+  if (::fsync(fd.get()) != 0) {
+    return util::IoError("fsync " + path + ": " + std::strerror(errno));
+  }
+  return util::OkError();
+}
+
 }  // namespace
 
 std::string MfsVolume::BoxKeyPath(const std::string& name) const {
@@ -45,9 +59,18 @@ std::string MfsVolume::BoxDataPath(const std::string& name) const {
 }
 
 Result<std::unique_ptr<MfsVolume>> MfsVolume::Open(const std::string& root) {
+  return Open(root, VolumeOptions{});
+}
+
+Result<std::unique_ptr<MfsVolume>> MfsVolume::Open(const std::string& root,
+                                                   VolumeOptions opts) {
+  // LoadBox never evicts the entry it just inserted, so even a bound
+  // of 1 is pointer-safe; clamp anyway so delivery + read interleave
+  // doesn't degenerate to open()-per-call.
+  opts.max_open_boxes = std::max<std::size_t>(opts.max_open_boxes, 2);
   SAMS_RETURN_IF_ERROR(EnsureDir(root));
   SAMS_RETURN_IF_ERROR(EnsureDir(root + "/boxes"));
-  std::unique_ptr<MfsVolume> vol(new MfsVolume(root));
+  std::unique_ptr<MfsVolume> vol(new MfsVolume(root, opts));
 
   auto shared_key = KeyFile::Open(root + "/shared.key");
   if (!shared_key.ok()) return shared_key.error();
@@ -67,7 +90,12 @@ MfsVolume::~MfsVolume() = default;
 
 Result<MfsVolume::Box*> MfsVolume::LoadBox(const std::string& name) {
   auto it = boxes_.find(name);
-  if (it != boxes_.end()) return it->second.get();
+  if (it != boxes_.end()) {
+    ++stats_.fd_cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second->lru_it);
+    return it->second.get();
+  }
+  ++stats_.fd_cache_misses;
   auto box = std::make_unique<Box>();
   auto key = KeyFile::Open(BoxKeyPath(name));
   if (!key.ok()) return key.error();
@@ -75,8 +103,18 @@ Result<MfsVolume::Box*> MfsVolume::LoadBox(const std::string& name) {
   auto data = DataFile::Open(BoxDataPath(name));
   if (!data.ok()) return data.error();
   box->data = std::move(data).value();
+  lru_.push_front(name);
+  box->lru_it = lru_.begin();
   Box* raw = box.get();
   boxes_.emplace(name, std::move(box));
+  while (boxes_.size() > opts_.max_open_boxes) {
+    const std::string victim = lru_.back();
+    if (victim == name) break;  // never evict the box being returned
+    lru_.pop_back();
+    boxes_.erase(victim);  // closes both fds; dirty_boxes_ keeps any
+                           // durability debt for SyncDirty/SyncAll
+    ++stats_.fd_cache_evictions;
+  }
   return raw;
 }
 
@@ -136,6 +174,7 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
     }
     auto offset = (*box)->data.Append(body);
     if (!offset.ok()) return offset.error();
+    MarkDirty(boxes[0]->name_);
     SAMS_FAULT_POINT("mfs.nwrite.private.after_data");
     auto idx = (*box)->key.Append(KeyRecord{id, *offset, 1});
     if (!idx.ok()) return idx.error();
@@ -164,6 +203,7 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
   // rolls back; a crash after it leaves a fully delivered mail.
   auto offset = shared_.data.Append(body);
   if (!offset.ok()) return offset.error();
+  shared_dirty_ = true;
   SAMS_FAULT_POINT("mfs.nwrite.shared.after_data");
 
   for (MailFile* mfd : boxes) {
@@ -171,6 +211,7 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
     if (!box.ok()) return box.error();
     auto idx = (*box)->key.Append(KeyRecord{id, *offset, -1});
     if (!idx.ok()) return idx.error();
+    MarkDirty(mfd->name_);
     ++stats_.redirects_written;
     SAMS_FAULT_POINT("mfs.nwrite.shared.mid_redirects");
   }
@@ -236,9 +277,11 @@ util::Error MfsVolume::MailDelete(MailFile& mfd, const MailId& id) {
   }
   const KeyRecord rec = (*box)->key.at(idx);
   SAMS_RETURN_IF_ERROR((*box)->key.SetRefcount(idx, 0));  // tombstone
+  MarkDirty(mfd.name_);
   SAMS_FAULT_POINT("mfs.delete.after_tombstone");
 
   if (rec.IsRedirect()) {
+    shared_dirty_ = true;
     auto it = shared_index_.find(id);
     if (it == shared_index_.end()) {
       return util::Corruption("redirect to missing shared record: " + id.str());
@@ -267,14 +310,84 @@ Result<std::size_t> MfsVolume::MailCount(const std::string& name) {
   return live;
 }
 
+void MfsVolume::MarkDirty(const std::string& name) {
+  dirty_boxes_.insert(name);
+}
+
+util::Error MfsVolume::SyncBoxByName(const std::string& name, int& fsyncs) {
+  auto it = boxes_.find(name);
+  if (it != boxes_.end()) {
+    SAMS_RETURN_IF_ERROR(it->second->data.Sync());
+    ++fsyncs;
+    SAMS_RETURN_IF_ERROR(it->second->key.Sync());
+    ++fsyncs;
+    return util::OkError();
+  }
+  // Evicted: the writes are in the page cache under the inode, not the
+  // old fd — a fresh descriptor flushes them just the same.
+  SAMS_RETURN_IF_ERROR(FsyncPath(BoxDataPath(name)));
+  ++fsyncs;
+  SAMS_RETURN_IF_ERROR(FsyncPath(BoxKeyPath(name)));
+  ++fsyncs;
+  return util::OkError();
+}
+
 util::Error MfsVolume::SyncAll() {
+  int fsyncs = 0;
   SAMS_RETURN_IF_ERROR(shared_.data.Sync());
+  ++fsyncs;
   SAMS_RETURN_IF_ERROR(shared_.key.Sync());
+  ++fsyncs;
+  shared_dirty_ = false;
   for (auto& [name, box] : boxes_) {
     SAMS_RETURN_IF_ERROR(box->data.Sync());
+    ++fsyncs;
     SAMS_RETURN_IF_ERROR(box->key.Sync());
+    ++fsyncs;
+    dirty_boxes_.erase(name);
   }
+  // Evicted mailboxes with unsynced writes.
+  while (!dirty_boxes_.empty()) {
+    const std::string name = *dirty_boxes_.begin();
+    auto err = SyncBoxByName(name, fsyncs);
+    if (!err.ok()) {
+      stats_.fsyncs += static_cast<std::uint64_t>(fsyncs);
+      return err;  // stays dirty for the next attempt
+    }
+    dirty_boxes_.erase(name);
+  }
+  stats_.fsyncs += static_cast<std::uint64_t>(fsyncs);
   return util::OkError();
+}
+
+Result<int> MfsVolume::SyncDirty() {
+  int fsyncs = 0;
+  if (shared_dirty_) {
+    auto sync_shared = [&]() -> Error {
+      SAMS_RETURN_IF_ERROR(shared_.data.Sync());
+      ++fsyncs;
+      SAMS_RETURN_IF_ERROR(shared_.key.Sync());
+      ++fsyncs;
+      return util::OkError();
+    };
+    auto err = sync_shared();
+    if (!err.ok()) {
+      stats_.fsyncs += static_cast<std::uint64_t>(fsyncs);
+      return err;  // shared_dirty_ stays set
+    }
+    shared_dirty_ = false;
+  }
+  while (!dirty_boxes_.empty()) {
+    const std::string name = *dirty_boxes_.begin();
+    auto err = SyncBoxByName(name, fsyncs);
+    if (!err.ok()) {
+      stats_.fsyncs += static_cast<std::uint64_t>(fsyncs);
+      return err;  // stays dirty for the next round
+    }
+    dirty_boxes_.erase(name);
+  }
+  stats_.fsyncs += static_cast<std::uint64_t>(fsyncs);
+  return fsyncs;
 }
 
 Result<std::vector<std::string>> MfsVolume::ListMailboxes() const {
@@ -284,6 +397,10 @@ Result<std::vector<std::string>> MfsVolume::ListMailboxes() const {
   if (d == nullptr) {
     return util::IoError("opendir " + dir + ": " + std::strerror(errno));
   }
+  // readdir returns nullptr for both end-of-directory and failure;
+  // only errno distinguishes them. A half-scanned volume must never be
+  // reported as clean by fsck/recovery.
+  errno = 0;
   while (struct dirent* ent = ::readdir(d)) {
     const std::string fname = ent->d_name;
     constexpr std::string_view kSuffix = ".key";
@@ -292,6 +409,12 @@ Result<std::vector<std::string>> MfsVolume::ListMailboxes() const {
             0) {
       names.push_back(fname.substr(0, fname.size() - kSuffix.size()));
     }
+    errno = 0;
+  }
+  if (errno != 0) {
+    const std::string msg = std::strerror(errno);
+    ::closedir(d);
+    return util::IoError("readdir " + dir + ": " + msg);
   }
   ::closedir(d);
   std::sort(names.begin(), names.end());

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mfs/mail_id.h"
@@ -68,6 +70,19 @@ struct VolumeStats {
   std::uint64_t reads = 0;
   std::uint64_t deletes = 0;
   std::uint64_t collisions_rejected = 0;  // §6.4 attack detections
+  std::uint64_t fd_cache_hits = 0;        // LoadBox served from cache
+  std::uint64_t fd_cache_misses = 0;      // LoadBox paid open()
+  std::uint64_t fd_cache_evictions = 0;   // LRU closed a mailbox
+  std::uint64_t fsyncs = 0;               // fsync(2) calls issued
+};
+
+struct VolumeOptions {
+  // Upper bound on cached open mailboxes (each holds 2 fds). The
+  // least-recently-used mailbox is closed when the bound is exceeded;
+  // the just-loaded mailbox is never the victim. Unsynced writes in an
+  // evicted mailbox stay tracked and are fsynced by SyncDirty/SyncAll
+  // through a fresh fd (fsync flushes the inode, not the descriptor).
+  std::size_t max_open_boxes = 128;
 };
 
 struct FsckReport {
@@ -101,6 +116,8 @@ class MfsVolume {
  public:
   // Opens (creating if needed) a volume rooted at `root`.
   static util::Result<std::unique_ptr<MfsVolume>> Open(const std::string& root);
+  static util::Result<std::unique_ptr<MfsVolume>> Open(const std::string& root,
+                                                       VolumeOptions opts);
 
   ~MfsVolume();
   MfsVolume(const MfsVolume&) = delete;
@@ -142,8 +159,16 @@ class MfsVolume {
   // Number of live mails visible in a mailbox.
   util::Result<std::size_t> MailCount(const std::string& name);
 
-  // fsync everything.
+  // fsync everything (shared files, every open mailbox, and any
+  // evicted mailbox with unsynced writes).
   util::Error SyncAll();
+
+  // fsync only what changed since the last sync: the shared files if
+  // dirty, plus each dirty mailbox — open or evicted — exactly once.
+  // Returns the number of fsync(2) calls issued. This is the group-
+  // commit flush primitive: N buffered deliveries cost ~2 fsyncs.
+  // Files that fail to sync stay dirty for the next round.
+  util::Result<int> SyncDirty();
 
   // Cross-checks key/data files and shared refcounts across ALL
   // mailboxes in the volume (including ones not currently open).
@@ -174,20 +199,34 @@ class MfsVolume {
   struct Box {
     KeyFile key;
     DataFile data;
+    std::list<std::string>::iterator lru_it;  // position in lru_
   };
 
-  explicit MfsVolume(std::string root) : root_(std::move(root)) {}
+  MfsVolume(std::string root, VolumeOptions opts)
+      : root_(std::move(root)), opts_(opts) {}
 
+  // Returns the cached Box, loading (and possibly evicting the LRU
+  // entry) on a miss. The returned pointer is invalidated by the NEXT
+  // LoadBox call — never hold it across one.
   util::Result<Box*> LoadBox(const std::string& name);
   std::string BoxKeyPath(const std::string& name) const;
   std::string BoxDataPath(const std::string& name) const;
   util::Result<std::vector<std::string>> ListMailboxes() const;
+  void MarkDirty(const std::string& name);
+  // fsyncs one mailbox through its cached fds or a fresh fd if it was
+  // evicted; adds the syscall count to `fsyncs`.
+  util::Error SyncBoxByName(const std::string& name, int& fsyncs);
 
   std::string root_;
+  VolumeOptions opts_;
   Box shared_;
   std::unordered_map<std::string, std::unique_ptr<Box>> boxes_;
+  std::list<std::string> lru_;  // front = most recently used
   // Shared-id index: id -> record index in shared_.key.
   std::unordered_map<MailId, std::size_t> shared_index_;
+  // Mailboxes with writes not yet fsynced (may include evicted ones).
+  std::unordered_set<std::string> dirty_boxes_;
+  bool shared_dirty_ = false;
   VolumeStats stats_;
 };
 

@@ -140,9 +140,19 @@ util::Error QueueManager::RecoverSpool() {
                          std::strerror(errno));
   }
   std::vector<std::string> names;
+  // readdir reports end-of-directory and failure the same way; a read
+  // error here must not pass off a partial spool scan as a complete
+  // recovery.
+  errno = 0;
   while (struct dirent* ent = ::readdir(dir)) {
     const std::string name = ent->d_name;
     if (name.rfind("inc-", 0) == 0) names.push_back(name);
+    errno = 0;
+  }
+  if (errno != 0) {
+    const std::string msg = std::strerror(errno);
+    ::closedir(dir);
+    return util::IoError("readdir " + cfg_.spool_dir + ": " + msg);
   }
   ::closedir(dir);
   std::sort(names.begin(), names.end());
@@ -190,7 +200,7 @@ void QueueManager::Stop() {
 
 std::size_t QueueManager::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size() + (in_flight_ ? 1 : 0);
+  return queue_.size() + in_flight_;
 }
 
 void QueueManager::BindMetrics(obs::Registry& registry) {
@@ -244,25 +254,28 @@ util::Error QueueManager::Enqueue(const smtp::Envelope& envelope) {
 
 void QueueManager::Flush() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
 void QueueManager::DeliveryLoop() {
+  const std::size_t max_batch = std::max<std::size_t>(cfg_.delivery_batch, 1);
   std::unique_lock<std::mutex> lock(mutex_);
   while (running_) {
-    // Find the first eligible item (not_before passed).
+    // Drain up to delivery_batch eligible items (not_before passed).
     const auto now = std::chrono::steady_clock::now();
-    auto it = queue_.end();
     auto earliest = std::chrono::steady_clock::time_point::max();
-    for (auto candidate = queue_.begin(); candidate != queue_.end();
-         ++candidate) {
-      if (candidate->not_before <= now) {
-        it = candidate;
-        break;
+    std::vector<Item> batch;
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < max_batch;) {
+      if (it->not_before <= now) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        earliest = std::min(earliest, it->not_before);
+        ++it;
       }
-      earliest = std::min(earliest, candidate->not_before);
     }
-    if (it == queue_.end()) {
+    if (batch.empty()) {
       if (queue_.empty()) {
         idle_cv_.notify_all();
         cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
@@ -271,42 +284,60 @@ void QueueManager::DeliveryLoop() {
       }
       continue;
     }
-
-    Item item = std::move(*it);
-    queue_.erase(it);
-    in_flight_ = true;
+    in_flight_ = batch.size();
     lock.unlock();
 
-    // Deliver outside the lock.
-    std::vector<std::string> mailboxes;
-    for (const smtp::Address& rcpt : item.envelope.rcpt_to) {
-      mailboxes.push_back(RecipientDb::MailboxName(rcpt));
+    // Stage every mail in the batch, then ONE durability barrier for
+    // all of them — a group-commit store amortizes its fsyncs across
+    // the whole batch. Deliveries stay outside the lock.
+    std::vector<util::Error> results(batch.size(), util::OkError());
+    bool any_staged = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Item& item = batch[i];
+      std::vector<std::string> mailboxes;
+      for (const smtp::Address& rcpt : item.envelope.rcpt_to) {
+        mailboxes.push_back(RecipientDb::MailboxName(rcpt));
+      }
+      const std::size_t dash = item.spool_path.rfind('-');
+      auto id = mfs::MailId::Parse(item.spool_path.substr(dash + 1));
+      util::Error err =
+          id ? store_.StageDelivery(*id, item.envelope.body, mailboxes)
+             : util::Corruption("spool path without id");
+      // Retried deliveries that already landed count as success (MFS
+      // rejects the duplicate id).
+      if (err.code() == util::ErrorCode::kAlreadyExists) err = util::OkError();
+      if (err.ok()) any_staged = true;
+      results[i] = err;
     }
-    const std::size_t dash = item.spool_path.rfind('-');
-    auto id = mfs::MailId::Parse(item.spool_path.substr(dash + 1));
-    util::Error err =
-        id ? store_.Deliver(*id, item.envelope.body, mailboxes)
-           : util::Corruption("spool path without id");
-    // Retried deliveries that already landed count as success (MFS
-    // rejects the duplicate id).
-    if (err.code() == util::ErrorCode::kAlreadyExists) err = util::OkError();
+    // Only group-commit stores need (or want) a per-batch barrier;
+    // otherwise durability follows the store's own fsync options, as
+    // it always did.
+    util::Error commit_err = util::OkError();
+    if (any_staged && store_.committer() != nullptr) {
+      commit_err = store_.Commit();
+    }
 
     lock.lock();
-    in_flight_ = false;
-    if (err.ok()) {
-      ::unlink(item.spool_path.c_str());
-      stats_.delivered.fetch_add(1, std::memory_order_relaxed);
-    } else if (++item.attempts >= cfg_.max_attempts) {
-      SAMS_LOG(kError) << "dropping mail after " << item.attempts
-                       << " attempts: " << err.ToString();
-      ::unlink(item.spool_path.c_str());
-      stats_.failed.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      stats_.deferrals.fetch_add(1, std::memory_order_relaxed);
-      const auto backoff = std::chrono::milliseconds(
-          cfg_.base_retry_ms << (item.attempts - 1));
-      item.not_before = std::chrono::steady_clock::now() + backoff;
-      queue_.push_back(std::move(item));
+    in_flight_ = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Item& item = batch[i];
+      // A staged mail is only delivered if the batch barrier held.
+      const util::Error err = results[i].ok() ? commit_err : results[i];
+      if (err.ok()) {
+        ::unlink(item.spool_path.c_str());
+        stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+      } else if (++item.attempts >= cfg_.max_attempts) {
+        SAMS_LOG(kError) << "dropping mail after " << item.attempts
+                         << " attempts: " << err.ToString();
+        ::unlink(item.spool_path.c_str());
+        stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.deferrals.fetch_add(1, std::memory_order_relaxed);
+        const auto backoff = std::chrono::milliseconds(
+            cfg_.base_retry_ms << (item.attempts - 1));
+        item.not_before = std::chrono::steady_clock::now() + backoff;
+        queue_.push_back(std::move(item));
+      }
     }
     if (queue_.empty()) idle_cv_.notify_all();
   }

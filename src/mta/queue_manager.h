@@ -39,6 +39,11 @@ struct QueueConfig {
   int base_retry_ms = 200;
   // fsync spool files at enqueue time (durability vs throughput).
   bool fsync_spool = true;
+  // Eligible mails drained per delivery-loop pass. Each pass stages
+  // every mail in the batch and then issues ONE durability barrier
+  // (store Commit), so a group-commit store pays its fsyncs once per
+  // batch instead of once per mail.
+  std::size_t delivery_batch = 16;
 };
 
 struct QueueStats {
@@ -102,7 +107,7 @@ class QueueManager {
   std::condition_variable idle_cv_;
   std::deque<Item> queue_;
   bool running_ = false;
-  bool in_flight_ = false;
+  std::size_t in_flight_ = 0;  // items staged in the current batch
   std::thread thread_;
 
   QueueStats stats_;

@@ -36,7 +36,23 @@ DotStuffDecoder::FeedResult DotStuffDecoder::Feed(std::string_view chunk) {
   while (i < chunk.size()) {
     const char c = chunk[i++];
     if (c != '\n') {
+      if (max_line_bytes_ != 0 && line_.size() >= max_line_bytes_) {
+        // Drop the byte: line_ must not grow without bound on a DATA
+        // stream that never sends a newline (RFC 5321 §4.5.3.1.6).
+        cur_line_overflow_ = true;
+        line_overflow_ = true;
+        continue;
+      }
       line_.push_back(c);
+      continue;
+    }
+    if (cur_line_overflow_) {
+      // The oversized line ends here. Its content is dropped (the
+      // message is rejected via line_overflow()), but parsing — and
+      // the terminator search — continues on the next line.
+      decoded_bytes_ += line_.size() + 2;
+      line_.clear();
+      cur_line_overflow_ = false;
       continue;
     }
     // Completed a line (strip the \r of CRLF if present).
@@ -52,6 +68,7 @@ DotStuffDecoder::FeedResult DotStuffDecoder::Feed(std::string_view chunk) {
     if (!line.empty() && line.front() == '.') line.remove_prefix(1);
     body_.append(line);
     body_.append("\r\n");
+    decoded_bytes_ += line.size() + 2;
     line_.clear();
   }
   result.consumed = chunk.size();
@@ -61,6 +78,9 @@ DotStuffDecoder::FeedResult DotStuffDecoder::Feed(std::string_view chunk) {
 void DotStuffDecoder::Reset() {
   body_.clear();
   line_.clear();
+  decoded_bytes_ = 0;
+  cur_line_overflow_ = false;
+  line_overflow_ = false;
   finished_ = false;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -21,6 +22,18 @@ std::string DotStuffEncode(std::string_view body);
 
 class DotStuffDecoder {
  public:
+  // RFC 5321 §4.5.3.1.6 caps text lines at 1000 octets incl. CRLF;
+  // real MTAs accept somewhat more. 8 KiB is generous while still
+  // bounding what a newline-free DATA stream can make line_ hold.
+  // This is the cap ServerSession applies by default; a decoder
+  // constructed directly is uncapped (codec round-trips any input).
+  static constexpr std::size_t kDefaultMaxLineBytes = 8192;
+
+  DotStuffDecoder() = default;
+  // max_line_bytes == 0 means unlimited.
+  explicit DotStuffDecoder(std::size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
   struct FeedResult {
     bool finished = false;     // terminator seen
     std::size_t consumed = 0;  // bytes of `chunk` consumed
@@ -28,7 +41,10 @@ class DotStuffDecoder {
 
   // Consumes up to the end of `chunk` or the data terminator,
   // whichever comes first. After finished==true, further Feed calls
-  // consume nothing.
+  // consume nothing. Bytes of a line beyond max_line_bytes are
+  // dropped (the line still terminates normally at its newline and
+  // the terminator search continues), and line_overflow() latches so
+  // the caller can reject the message.
   FeedResult Feed(std::string_view chunk);
 
   // The decoded message body (terminator excluded, dot-stuffing
@@ -37,11 +53,31 @@ class DotStuffDecoder {
   std::string TakeBody() { return std::move(body_); }
   bool finished() const { return finished_; }
 
+  // True once any line exceeded max_line_bytes; cleared by Reset.
+  bool line_overflow() const { return line_overflow_; }
+
+  // Cumulative decoded body bytes this message, monotone across
+  // DiscardBody — size enforcement keeps working after the buffer is
+  // dropped.
+  std::uint64_t decoded_bytes() const { return decoded_bytes_; }
+
+  // Frees the accumulated body while continuing to parse (used once a
+  // message is known rejected, so a multi-MB doomed DATA stream does
+  // not sit in memory waiting for its terminator).
+  void DiscardBody() {
+    body_.clear();
+    body_.shrink_to_fit();
+  }
+
   void Reset();
 
  private:
   std::string body_;
   std::string line_;  // current partial line (raw, still stuffed)
+  std::size_t max_line_bytes_ = 0;  // 0 = unlimited
+  std::uint64_t decoded_bytes_ = 0;
+  bool cur_line_overflow_ = false;
+  bool line_overflow_ = false;
   bool finished_ = false;
 };
 

@@ -22,7 +22,8 @@ const char* SessionStateName(SessionState state) {
 
 ServerSession::ServerSession(SessionConfig cfg, Hooks hooks, std::string client_ip)
     : cfg_(std::move(cfg)), hooks_(std::move(hooks)),
-      client_ip_(std::move(client_ip)) {
+      client_ip_(std::move(client_ip)),
+      decoder_(cfg_.max_data_line_bytes) {
   SAMS_CHECK(static_cast<bool>(hooks_.send)) << "send hook required";
   SAMS_CHECK(static_cast<bool>(hooks_.validate_rcpt))
       << "validate_rcpt hook required";
@@ -76,11 +77,21 @@ void ServerSession::Feed(std::string_view bytes) {
 void ServerSession::HandleDataBytes(std::string_view* bytes) {
   const auto result = decoder_.Feed(*bytes);
   bytes->remove_prefix(result.consumed);
-  if (decoder_.body().size() > cfg_.max_message_bytes) oversized_ = true;
+  if (oversized_ || decoder_.decoded_bytes() > cfg_.max_message_bytes) {
+    oversized_ = true;
+    // The mail is already doomed; don't buffer the rest of it while
+    // waiting for the terminator. decoded_bytes() keeps counting.
+    decoder_.DiscardBody();
+  }
   if (!result.finished) return;
 
   if (oversized_) {
+    // Takes precedence over line_overflow: 552 tells the client the
+    // size limit, which is the more actionable of the two rejections.
     Emit(MessageTooBigReply());
+  } else if (decoder_.line_overflow()) {
+    ++stats_.line_overflows;
+    Emit({ReplyCode::kSyntaxError, "Error: text line too long"});
   } else {
     Envelope env;
     env.client_ip = client_ip_;

@@ -30,7 +30,11 @@ struct SessionConfig {
   std::string hostname = "mail.sams.test";
   std::size_t max_recipients = 100;
   std::size_t max_message_bytes = 10 * 1024 * 1024;
-  std::size_t max_line_length = 2048;
+  std::size_t max_line_length = 2048;  // command lines
+  // DATA text lines (RFC 5321 §4.5.3.1.6); a line beyond this latches
+  // a 500 rejection at the terminator and its bytes are dropped rather
+  // than buffered, so a newline-free stream can't balloon memory.
+  std::size_t max_data_line_bytes = DotStuffDecoder::kDefaultMaxLineBytes;
   bool require_helo = true;
 };
 
@@ -60,6 +64,7 @@ struct SessionStats {
   std::uint64_t accepted_rcpts = 0;
   std::uint64_t rejected_rcpts = 0;  // 550 bounces (§4.1)
   std::uint64_t content_rejects = 0;  // 554 after DATA (body tests)
+  std::uint64_t line_overflows = 0;   // 500 after DATA (line too long)
   std::uint64_t mails_delivered = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "fault/injector.h"
 #include "mfs/mail_id.h"
 #include "util/rng.h"
 
@@ -222,6 +223,85 @@ TEST_F(RecordIoTest, LargePayloadRoundTrip) {
   auto r = df->ReadAt(*off);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(*r, big);
+}
+
+TEST_F(RecordIoTest, DataFileRejectsOversizedRecord) {
+  auto df = DataFile::Open(dir_ + "/box.dat");
+  ASSERT_TRUE(df.ok());
+  // One past the cap: rejected before any byte is written, so the
+  // 4-byte length prefix can never silently truncate the size.
+  std::string huge(kMaxDataRecordBytes + 1, 'h');
+  auto off = df->Append(huge);
+  ASSERT_FALSE(off.ok());
+  EXPECT_EQ(off.error().code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(df->end_offset(), 0);
+  EXPECT_EQ(std::filesystem::file_size(dir_ + "/box.dat"), 0u);
+  // The file is still usable for normal appends afterwards.
+  auto ok = df->Append("fits fine");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*df->ReadAt(*ok), "fits fine");
+}
+
+TEST_F(RecordIoTest, KeyFileAppendBatchPersistsAll) {
+  const std::string path = dir_ + "/box.key";
+  const MailId a = Id(), b = Id(), c = Id();
+  {
+    auto kf = KeyFile::Open(path);
+    ASSERT_TRUE(kf.ok());
+    const KeyRecord batch[] = {{a, 0, 1}, {b, 100, -1}, {c, 200, 2}};
+    ASSERT_TRUE(kf->AppendBatch(batch).ok());
+    ASSERT_EQ(kf->size(), 3u);
+  }
+  auto kf = KeyFile::Open(path);
+  ASSERT_TRUE(kf.ok());
+  ASSERT_EQ(kf->size(), 3u);
+  EXPECT_EQ(kf->at(0).id, a);
+  EXPECT_EQ(kf->at(1).offset, 100);
+  EXPECT_EQ(kf->at(1).refcount, -1);
+  EXPECT_EQ(kf->at(2).id, c);
+  EXPECT_EQ(kf->Find(b), 1u);
+}
+
+TEST_F(RecordIoTest, KeyFileAppendBatchOfZeroIsANoOp) {
+  auto kf = KeyFile::Open(dir_ + "/box.key");
+  ASSERT_TRUE(kf.ok());
+  ASSERT_TRUE(kf->AppendBatch({}).ok());
+  EXPECT_EQ(kf->size(), 0u);
+}
+
+// The "mfs.io.pwritev.short" point degrades every pwritev into a
+// 1-byte pwrite: the continuation loop must advance through the iovec
+// array and still produce byte-identical files.
+TEST_F(RecordIoTest, ShortWritesRetriedToCompletion) {
+  fault::ScopedArm arm(9);
+  fault::Policy p;
+  p.action = fault::Action::kError;
+  fault::Injector::Global().Set("mfs.io.pwritev.short", p);
+
+  auto df = DataFile::Open(dir_ + "/short.dat");
+  ASSERT_TRUE(df.ok());
+  std::string body(257, 'z');
+  body.front() = 'a';
+  body.back() = 'q';
+  auto off = df->Append(body);
+  ASSERT_TRUE(off.ok()) << off.error().ToString();
+  auto r = df->ReadAt(*off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, body);
+
+  auto kf = KeyFile::Open(dir_ + "/short.key");
+  ASSERT_TRUE(kf.ok());
+  const MailId a = Id(), b = Id();
+  const KeyRecord batch[] = {{a, *off, 1}, {b, *off, -1}};
+  ASSERT_TRUE(kf->AppendBatch(batch).ok());
+
+  fault::Injector::Global().Disarm();
+  auto reloaded = KeyFile::Open(dir_ + "/short.key");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().ToString();
+  ASSERT_EQ(reloaded->size(), 2u);
+  EXPECT_EQ(reloaded->at(0).id, a);
+  EXPECT_EQ(reloaded->at(1).id, b);
+  EXPECT_EQ(reloaded->at(1).refcount, -1);
 }
 
 }  // namespace

@@ -58,6 +58,20 @@ class VolumeTest : public ::testing::Test {
   util::Rng rng_{7};
 };
 
+// fd-cache behavior: bounded open mailboxes, LRU eviction, and dirty
+// tracking that survives eviction.
+class VolumeFdCacheTest : public VolumeTest {
+ protected:
+  void Reopen(std::size_t max_open_boxes) {
+    vol_.reset();
+    VolumeOptions opts;
+    opts.max_open_boxes = max_open_boxes;
+    auto vol = MfsVolume::Open(root_, opts);
+    ASSERT_TRUE(vol.ok()) << vol.error().ToString();
+    vol_ = std::move(vol).value();
+  }
+};
+
 TEST_F(VolumeTest, SingleRecipientWriteAndRead) {
   auto alice = Box("alice");
   const MailId id = Id();
@@ -326,6 +340,87 @@ TEST_F(VolumeTest, NWriteValidatesArguments) {
             util::ErrorCode::kInvalidArgument);
   EXPECT_EQ(Write({nullptr}, "x", Id()).code(),
             util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(VolumeFdCacheTest, LruEvictsColdMailboxes) {
+  Reopen(2);
+  // Touch 3 distinct mailboxes: the 3rd load must evict the coldest.
+  for (const char* name : {"a", "b", "c"}) {
+    auto h = Box(name);
+    ASSERT_TRUE(Write({h.get()}, std::string("to ") + name, Id()).ok());
+  }
+  EXPECT_EQ(vol_->stats().fd_cache_misses, 3u);
+  EXPECT_GE(vol_->stats().fd_cache_evictions, 1u);
+  // Re-reading an evicted mailbox is a miss, but still correct.
+  EXPECT_EQ(ReadAll("a"), std::vector<std::string>{"to a"});
+  EXPECT_GE(vol_->stats().fd_cache_misses, 4u);
+  // A hot mailbox is served from cache.
+  const std::uint64_t hits_before = vol_->stats().fd_cache_hits;
+  EXPECT_EQ(ReadAll("a"), std::vector<std::string>{"to a"});
+  EXPECT_GT(vol_->stats().fd_cache_hits, hits_before);
+}
+
+TEST_F(VolumeFdCacheTest, EvictionKeepsVolumeConsistent) {
+  Reopen(2);
+  // Interleave writes across more mailboxes than the cache holds, with
+  // shared (multi-recipient) mails crossing eviction boundaries.
+  const std::vector<std::string> names = {"u0", "u1", "u2", "u3", "u4"};
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& name : names) {
+      auto h = Box(name);
+      ASSERT_TRUE(
+          Write({h.get()}, name + " r" + std::to_string(round), Id()).ok());
+    }
+    auto first = Box(names[0]);
+    auto last = Box(names.back());
+    ASSERT_TRUE(Write({first.get(), last.get()},
+                      "shared r" + std::to_string(round), Id())
+                    .ok());
+  }
+  EXPECT_GT(vol_->stats().fd_cache_evictions, 0u);
+  for (const auto& name : names) {
+    const auto mails = ReadAll(name);
+    const std::size_t expect = (name == "u0" || name == "u4") ? 6u : 3u;
+    ASSERT_EQ(mails.size(), expect) << name;
+  }
+  auto fsck = vol_->Fsck();
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->ok()) << (fsck->errors.empty() ? "" : fsck->errors[0]);
+}
+
+TEST_F(VolumeFdCacheTest, SyncDirtySyncsOnlyDirtyFilesOnce) {
+  auto a = Box("alice");
+  auto b = Box("bob");
+  ASSERT_TRUE(Write({a.get()}, "one", Id()).ok());
+  ASSERT_TRUE(Write({a.get()}, "two", Id()).ok());
+  ASSERT_TRUE(Write({a.get(), b.get()}, "both", Id()).ok());
+  auto synced = vol_->SyncDirty();
+  ASSERT_TRUE(synced.ok()) << synced.error().ToString();
+  // alice.{key,dat} + bob.{key,dat} + shared.{key,dat}: each file once
+  // regardless of how many mails it absorbed.
+  EXPECT_EQ(*synced, 6);
+  EXPECT_EQ(vol_->stats().fsyncs, 6u);
+  // Nothing dirty remains: the next round is free.
+  auto again = vol_->SyncDirty();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0);
+}
+
+TEST_F(VolumeFdCacheTest, EvictedDirtyMailboxStillSynced) {
+  Reopen(2);
+  {
+    auto a = Box("evictme");
+    ASSERT_TRUE(Write({a.get()}, "dirty then cold", Id()).ok());
+  }
+  // Push "evictme" out of the fd cache before any sync happens.
+  Box("warm1");
+  Box("warm2");
+  Box("warm3");
+  EXPECT_GE(vol_->stats().fd_cache_evictions, 1u);
+  auto synced = vol_->SyncDirty();
+  ASSERT_TRUE(synced.ok()) << synced.error().ToString();
+  EXPECT_EQ(*synced, 2);  // evictme.key + evictme.dat, via fresh fds
+  EXPECT_EQ(ReadAll("evictme"), std::vector<std::string>{"dirty then cold"});
 }
 
 // Property test: a randomized interleaving of nwrite/delete across

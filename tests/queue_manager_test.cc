@@ -28,12 +28,14 @@ smtp::Envelope MakeEnvelope(std::vector<std::string> rcpts,
 class FlakyStore final : public mfs::MailStore {
  public:
   FlakyStore(mfs::MailStore& inner, int fail_count)
-      : inner_(inner), failures_left_(fail_count) {}
+      : MailStore(mfs::StoreOptions{}), inner_(inner),
+        failures_left_(fail_count) {}
+  ~FlakyStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "flaky"; }
 
-  util::Error Deliver(const mfs::MailId& id, std::string_view body,
-                      std::span<const std::string> mailboxes) override {
+  util::Error DoDeliver(const mfs::MailId& id, std::string_view body,
+                        std::span<const std::string> mailboxes) override {
     ++attempts_;
     if (failures_left_ > 0) {
       --failures_left_;
@@ -41,6 +43,8 @@ class FlakyStore final : public mfs::MailStore {
     }
     return inner_.Deliver(id, body, mailboxes);
   }
+
+  util::Result<int> SyncDirty() override { return 0; }
 
   util::Result<std::vector<std::string>> ReadMailbox(
       const std::string& mailbox) override {

@@ -141,5 +141,83 @@ TEST(DotStuffRoundTripTest, ByteAtATimeDecoding) {
   EXPECT_EQ(dec.body(), "alpha\r\n.beta\r\ngamma\r\n");
 }
 
+// Split the wire stream into two chunks at EVERY byte offset — the
+// terminator, stuffed dots, and CRLFs all land on chunk boundaries at
+// some offset, and none of those splits may change the decoded body or
+// how many trailing bytes are left unconsumed.
+TEST(DotStuffChunkBoundaryTest, EverySplitOffsetDecodesIdentically) {
+  const std::string body = "line one\r\n..\r\n.stuffed\r\n\r\nlast\r\n";
+  const std::string trailer = "MAIL FROM:<next@pipelined.test>\r\n";
+  const std::string wire = DotStuffEncode(body) + trailer;
+
+  DotStuffDecoder reference;
+  const auto ref = reference.Feed(wire);
+  ASSERT_TRUE(ref.finished);
+  const std::string want = reference.body();
+  const std::size_t want_consumed = ref.consumed;
+  ASSERT_EQ(wire.substr(want_consumed), trailer);
+
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    DotStuffDecoder dec;
+    const auto first = dec.Feed(std::string_view(wire).substr(0, split));
+    std::size_t consumed = first.consumed;
+    if (!first.finished) {
+      ASSERT_EQ(first.consumed, split) << "split " << split;
+      const auto second = dec.Feed(std::string_view(wire).substr(split));
+      ASSERT_TRUE(second.finished) << "split " << split;
+      consumed += second.consumed;
+    }
+    EXPECT_EQ(dec.body(), want) << "split " << split;
+    EXPECT_EQ(consumed, want_consumed) << "split " << split;
+  }
+}
+
+TEST(DotStuffChunkBoundaryTest, LoneDotLineMidBodyRoundTrips) {
+  // A body line that IS "." must be stuffed on the wire and decoded
+  // back — never mistaken for the terminator.
+  const std::string body = "above\r\n.\r\nbelow\r\n";
+  const std::string wire = DotStuffEncode(body);
+  EXPECT_NE(wire.find("..\r\n"), std::string::npos);
+  DotStuffDecoder dec;
+  const auto r = dec.Feed(wire);
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(dec.body(), body);
+  EXPECT_EQ(r.consumed, wire.size());
+}
+
+TEST(DotStuffDecoderTest, LineOverflowLatchesAndParsingContinues) {
+  DotStuffDecoder dec(16);
+  dec.Feed(std::string(100, 'A'));  // newline-free torrent
+  EXPECT_TRUE(dec.line_overflow());
+  // The buffered partial line stays bounded by the cap.
+  const auto r = dec.Feed("\r\nshort line\r\n.\r\n");
+  EXPECT_TRUE(r.finished);
+  EXPECT_TRUE(dec.line_overflow());
+  // The oversized line's content is dropped; later lines still decode.
+  EXPECT_EQ(dec.body(), "short line\r\n");
+}
+
+TEST(DotStuffDecoderTest, DecodedBytesMonotoneAcrossDiscardBody) {
+  DotStuffDecoder dec;
+  dec.Feed("aaaa\r\nbbbb\r\n");
+  const std::uint64_t before = dec.decoded_bytes();
+  EXPECT_EQ(before, 12u);
+  dec.DiscardBody();
+  EXPECT_TRUE(dec.body().empty());
+  dec.Feed("cccc\r\n");
+  EXPECT_GT(dec.decoded_bytes(), before);  // counting survives the drop
+  const auto r = dec.Feed(".\r\n");
+  EXPECT_TRUE(r.finished);
+}
+
+TEST(DotStuffDecoderTest, UncappedByDefault) {
+  DotStuffDecoder dec;
+  const std::string big(DotStuffDecoder::kDefaultMaxLineBytes * 2, 'x');
+  const auto r = dec.Feed(big + "\r\n.\r\n");
+  ASSERT_TRUE(r.finished);
+  EXPECT_FALSE(dec.line_overflow());
+  EXPECT_EQ(dec.body(), big + "\r\n");
+}
+
 }  // namespace
 }  // namespace sams::smtp

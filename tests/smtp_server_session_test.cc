@@ -221,6 +221,57 @@ TEST_F(ServerSessionTest, OversizedMessageGets552AndIsDropped) {
   EXPECT_EQ(s.state(), SessionState::kGreeted);
 }
 
+TEST_F(ServerSessionTest, OverlongDataLineGets500AndSessionContinues) {
+  SessionConfig cfg;
+  cfg.max_data_line_bytes = 64;
+  auto s = MakeSession(cfg);
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\n");
+  // A single body line far past the cap: rejected with 500 once the
+  // message completes, and never handed to on_mail.
+  s.Feed(std::string(10'000, 'L') + "\r\n.\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "500 ");
+  EXPECT_TRUE(mails_.empty());
+  EXPECT_EQ(s.stats().line_overflows, 1u);
+  // The connection survives for a well-formed transaction.
+  s.Feed("MAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\n"
+         "ok\r\n.\r\n");
+  ASSERT_EQ(mails_.size(), 1u);
+  EXPECT_EQ(mails_[0].body, "ok\r\n");
+}
+
+TEST_F(ServerSessionTest, OversizedBeatsLineOverflowInReplyChoice) {
+  SessionConfig cfg;
+  cfg.max_message_bytes = 50;
+  cfg.max_data_line_bytes = 64;
+  auto s = MakeSession(cfg);
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\n");
+  // Violates both limits: the size limit is the actionable reply.
+  s.Feed(std::string(10'000, 'B') + "\r\n.\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "552 ");
+  EXPECT_TRUE(mails_.empty());
+}
+
+TEST_F(ServerSessionTest, NewlineFreeDataStreamStaysBounded) {
+  SessionConfig cfg;
+  cfg.max_data_line_bytes = 1024;
+  auto s = MakeSession(cfg);
+  s.Start();
+  s.Feed("HELO x\r\nMAIL FROM:<s@x.test>\r\nRCPT TO:<alice@dept.test>\r\nDATA\r\n");
+  // A hostile client streams body bytes without ever sending a
+  // newline. The decoder must not buffer beyond the line cap (this is
+  // the memory-DoS the cap exists for) — and the terminator must still
+  // be honored afterwards.
+  for (int i = 0; i < 100; ++i) {
+    s.Feed(std::string(64 * 1024, 'x'));
+  }
+  s.Feed("\r\n.\r\n");
+  EXPECT_EQ(LastReply().substr(0, 4), "500 ");
+  EXPECT_TRUE(mails_.empty());
+  EXPECT_EQ(s.state(), SessionState::kGreeted);
+}
+
 TEST_F(ServerSessionTest, PipelinedCommandsInOneChunk) {
   auto s = MakeSession();
   s.Start();
