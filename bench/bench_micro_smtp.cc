@@ -65,7 +65,10 @@ void BM_FullServerTransaction(benchmark::State& state) {
   for (auto _ : state) {
     int mails = 0;
     ServerSession::Hooks hooks;
-    hooks.send = [](std::string reply) { benchmark::DoNotOptimize(reply); };
+    hooks.send = [](std::string reply) {
+      benchmark::DoNotOptimize(reply);
+      return true;
+    };
     hooks.validate_rcpt = [](const Address&) { return true; };
     hooks.on_mail = [&mails](Envelope&& env) {
       benchmark::DoNotOptimize(env);
@@ -86,7 +89,10 @@ BENCHMARK(BM_FullServerTransaction)->Unit(benchmark::kMicrosecond);
 void BM_HandoffSerializeResume(benchmark::State& state) {
   for (auto _ : state) {
     ServerSession::Hooks hooks;
-    hooks.send = [](std::string reply) { benchmark::DoNotOptimize(reply); };
+    hooks.send = [](std::string reply) {
+      benchmark::DoNotOptimize(reply);
+      return true;
+    };
     hooks.validate_rcpt = [](const Address&) { return true; };
     ServerSession master({}, std::move(hooks), "192.0.2.1");
     master.Start();
@@ -100,6 +106,7 @@ void BM_HandoffSerializeResume(benchmark::State& state) {
     ServerSession::Hooks worker_hooks;
     worker_hooks.send = [](std::string reply) {
       benchmark::DoNotOptimize(reply);
+      return true;
     };
     worker_hooks.validate_rcpt = [](const Address&) { return true; };
     auto resumed =

@@ -2,6 +2,7 @@
 // and talk to it with any SMTP client (netcat, swaks, telnet...).
 //
 //   $ ./live_smtp_server [port] [vanilla|hybrid] [mbox|maildir|hardlink|mfs]
+//                         [--shards N]
 //   $ printf 'HELO me\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<alice@example.test>\r\n
 //     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
 //
@@ -19,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <vector>
 
 #include "mta/smtp_server.h"
 #include "obs/export.h"
@@ -34,10 +36,30 @@ void HandleDumpSignal(int) { g_dump = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --shards N (anywhere on the line) shards the fork-after-trust
+  // pre-trust master across N reactors; positional args keep their
+  // meaning with the flag removed.
+  int shards = 1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
   const std::uint16_t port =
-      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 0;
-  const bool hybrid = argc <= 2 || std::strcmp(argv[2], "hybrid") == 0;
-  const std::string layout = argc > 3 ? argv[3] : "mfs";
+      !positional.empty() ? static_cast<std::uint16_t>(std::atoi(positional[0]))
+                          : 0;
+  const bool hybrid =
+      positional.size() < 2 || std::strcmp(positional[1], "hybrid") == 0;
+  const std::string layout = positional.size() > 2 ? positional[2] : "mfs";
 
   const std::string root = "/tmp/sams_live_server";
   std::filesystem::create_directories(root);
@@ -61,6 +83,7 @@ int main(int argc, char** argv) {
   cfg.architecture = hybrid ? sams::mta::Architecture::kForkAfterTrust
                             : sams::mta::Architecture::kThreadPerConnection;
   cfg.worker_count = 4;
+  cfg.num_shards = shards;
   cfg.port = port;
   cfg.session.hostname = "live.sams.test";
   // A live server on an open port needs the abuse defenses on: evict
@@ -83,12 +106,14 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGUSR1, HandleDumpSignal);
   std::printf(
-      "live.sams.test listening on 127.0.0.1:%u  [%s architecture, %s store]\n"
+      "live.sams.test listening on 127.0.0.1:%u  [%s architecture, %s "
+      "store, %d shard(s)%s]\n"
       "valid recipients: alice|bob|carol @example.test\n"
       "mail lands under %s — Ctrl-C drains and stops, SIGUSR1 dumps "
       "metrics\n",
       *bound, hybrid ? "fork-after-trust" : "thread-per-connection",
-      layout.c_str(), root.c_str());
+      layout.c_str(), server.num_shards(),
+      server.handoff_fallback() ? ", handoff fallback" : "", root.c_str());
 
   while (!g_stop) {
     if (g_dump) {

@@ -25,10 +25,12 @@ cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" >/dev/null
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== src/obs + src/fault + mfs fast path under -Wall -Wextra -Werror =="
+echo "== src/obs + src/fault + mfs fast path + sharded server under -Wall -Wextra -Werror =="
 MFS_FAST_PATH=(src/mfs/record_io.cc src/mfs/group_commit.cc
                src/mfs/volume.cc src/mfs/store.cc)
-for src in src/obs/*.cc src/fault/*.cc "${MFS_FAST_PATH[@]}"; do
+SHARD_PATH=(src/mta/smtp_server.cc src/net/tcp.cc src/net/event_loop.cc
+            src/smtp/server_session.cc)
+for src in src/obs/*.cc src/fault/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
 done
@@ -38,6 +40,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 echo "== group-commit smoke bench (fsyncs/mail < 1 at concurrency 8) =="
 "${BUILD_DIR}/bench/bench_mfs_group_commit" --smoke
+
+echo "== shard-scaling smoke bench (2 shards >= 1.5x, skipped on 1 core) =="
+"${BUILD_DIR}/bench/bench_shard_scaling" --smoke
 
 # Chaos smoke: run every fault-injection suite (injector unit tests,
 # MFS crash recovery, DNSBL hardening, server chaos) twice under the
@@ -67,16 +72,17 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
   ASAN_OPTIONS=detect_leaks=0 ctest --test-dir "${SAN_DIR}" \
     --output-on-failure -j "$(nproc)"
 
-  # TSan is incompatible with ASan, so the flush-thread suites get a
+  # TSan is incompatible with ASan, so the thread-heavy suites get a
   # third tree; `-L threads` limits it to the tests that actually race
-  # committers against the group-commit flush thread.
+  # threads: group-commit flushes and the sharded SMTP master.
   TSAN_DIR="${BUILD_DIR}-tsan"
   echo "== sanitizer build (TSan) =="
   cmake -B "${TSAN_DIR}" -S . "${GENERATOR_ARGS[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-  cmake --build "${TSAN_DIR}" -j "$(nproc)" --target mfs_commit_test
+  cmake --build "${TSAN_DIR}" -j "$(nproc)" --target mfs_commit_test \
+    --target smtp_shard_test
   echo "== sanitizer ctest (-L threads) =="
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -L threads -j "$(nproc)"
 fi

@@ -1,5 +1,7 @@
 #include "core/server_stack.h"
 
+#include <algorithm>
+
 #include "obs/export.h"
 #include "util/logging.h"
 
@@ -29,7 +31,8 @@ ServerStack::ServerStack(const StackConfig& cfg,
   server_cfg.hybrid = cfg_.hybrid_concurrency;
   server_cfg.process_limit =
       cfg_.hybrid_concurrency ? 200 : cfg_.process_limit;
-  server_cfg.master_connection_limit = cfg_.master_connection_limit;
+  server_cfg.master_connection_limit =
+      cfg_.master_connection_limit * std::max(1, cfg_.master_shards);
   server_cfg.unfinished_hold = cfg_.unfinished_hold;
   server_ = std::make_unique<mta::SimMailServer>(machine_, server_cfg, *store_,
                                                  resolver_.get());
@@ -110,6 +113,9 @@ void ServerStack::PrewarmResolver(
 std::string ServerStack::Describe() const {
   std::string out;
   out += cfg_.hybrid_concurrency ? "fork-after-trust" : "process-per-conn";
+  if (cfg_.hybrid_concurrency && cfg_.master_shards > 1) {
+    out += " x" + std::to_string(cfg_.master_shards) + "-shard";
+  }
   out += cfg_.mfs_store ? " + MFS" : " + mbox";
   if (cfg_.dnsbl_enabled) {
     out += cfg_.prefix_dnsbl ? " + prefix-DNSBL" : " + ip-DNSBL";

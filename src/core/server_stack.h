@@ -47,7 +47,12 @@ struct StackConfig {
   // Substrate knobs.
   std::string fs_model = "ext3";
   int process_limit = 500;            // vanilla optimum (§3)
-  int master_connection_limit = 700;  // hybrid sockets (§5.4)
+  int master_connection_limit = 700;  // hybrid sockets (§5.4), per shard
+  // Sharded pre-trust master (DESIGN.md §9): the simulation models N
+  // reactors as N independent per-shard socket budgets, so the
+  // effective master capacity is master_connection_limit x shards.
+  // 1 = the paper's single-master Figure 8 baseline, unchanged.
+  int master_shards = 1;
   util::SimTime unfinished_hold;
   util::SimTime dnsbl_ttl = util::SimTime::Hours(24);
   std::uint64_t seed = 42;

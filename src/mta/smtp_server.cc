@@ -10,7 +10,6 @@
 #include <cerrno>
 #include <cstring>
 #include <ctime>
-#include <unordered_map>
 
 #include "fault/injector.h"
 #include "util/logging.h"
@@ -25,9 +24,16 @@ void SetBlocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
 }
 
+void SleepMs(int millis) {
+  struct timespec ts;
+  ts.tv_sec = millis / 1000;
+  ts.tv_nsec = static_cast<long>(millis % 1000) * 1'000'000L;
+  ::nanosleep(&ts, nullptr);
+}
+
 }  // namespace
 
-// Per-connection state in the fork-after-trust master.
+// Per-connection state in a fork-after-trust shard.
 struct SmtpServer::MasterConn {
   util::UniqueFd fd;
   std::unique_ptr<smtp::ServerSession> session;
@@ -41,6 +47,21 @@ struct SmtpServer::MasterConn {
   // on inactivity, and every pre-trust session has a hard deadline.
   std::int64_t accepted_ns = 0;
   std::int64_t last_activity_ns = 0;
+};
+
+// One pre-trust reactor: an event loop on its own thread, plus (in
+// SO_REUSEPORT mode) its own listener on the shared port.
+struct SmtpServer::Shard {
+  int index = 0;
+  std::unique_ptr<net::EventLoop> loop;
+  util::UniqueFd listener;  // invalid in the handoff-fallback mode
+  std::thread thread;
+  std::atomic<int> sessions{0};            // open pre-trust sessions
+  std::atomic<std::uint64_t> accepted{0};  // connections ever adopted
+  std::atomic<std::uint64_t> sheds{0};     // per-shard-gate 421s
+  // Set by ShardLoop before Run(); fallback accept tasks posted onto
+  // the loop call it (on the loop thread) to adopt a connection.
+  std::function<void(net::Accepted&&)> adopt;
 };
 
 SmtpServer::SmtpServer(RealServerConfig cfg, RecipientDb recipients,
@@ -115,7 +136,7 @@ void SmtpServer::BindObservability(obs::Registry& registry,
       "fork-after-trust handoffs from master to worker", arch);
   auto* master_closed = &registry.GetCounter(
       "sams_smtp_master_closed_total",
-      "sessions that never left the master loop", arch);
+      "sessions that never left their master shard", arch);
   auto* errors = &registry.GetCounter("sams_smtp_delivery_errors_total",
                                       "store deliveries that failed", arch);
   auto* reaped = &registry.GetCounter(
@@ -130,17 +151,23 @@ void SmtpServer::BindObservability(obs::Registry& registry,
   auto* requeues = &registry.GetCounter(
       "sams_smtp_requeued_delegations_total",
       "delegations retried on a live worker after a death", arch);
+  auto* accept_errors = &registry.GetCounter(
+      "sams_smtp_accept_errors_seen_total",
+      "accept() failures (see sams_smtp_accept_errors_total for errno)",
+      arch);
   auto* inflight = &registry.GetGauge(
       "sams_smtp_inflight_sessions", "sessions accepted and not yet done",
       arch);
   registry.AddCollector([this, conns, mails, mailbox, rejected, content,
                          pregreet, delegations, master_closed, errors, reaped,
-                         sheds, deaths, requeues, inflight] {
+                         sheds, deaths, requeues, accept_errors, inflight] {
     reaped->Overwrite(stats_.idle_reaped.load(std::memory_order_relaxed));
     sheds->Overwrite(stats_.overload_sheds.load(std::memory_order_relaxed));
     deaths->Overwrite(stats_.worker_deaths.load(std::memory_order_relaxed));
     requeues->Overwrite(
         stats_.requeued_delegations.load(std::memory_order_relaxed));
+    accept_errors->Overwrite(
+        stats_.accept_errors.load(std::memory_order_relaxed));
     inflight->Set(
         static_cast<double>(inflight_.load(std::memory_order_relaxed)));
     conns->Overwrite(stats_.connections.load(std::memory_order_relaxed));
@@ -156,16 +183,109 @@ void SmtpServer::BindObservability(obs::Registry& registry,
         stats_.master_closed.load(std::memory_order_relaxed));
     errors->Overwrite(stats_.delivery_errors.load(std::memory_order_relaxed));
   });
+  // Per-shard health: open sessions, total accepts, per-shard-gate
+  // sheds, and the spread between the busiest and idlest shard (a
+  // persistent imbalance means the kernel's SYN hashing or the
+  // round-robin fallback is starving a reactor).
+  registry.AddCollector([this, &registry] {
+    if (shards_.empty()) return;
+    int busiest = 0;
+    int idlest = 0;
+    bool first = true;
+    for (const auto& shard : shards_) {
+      const int open = shard->sessions.load(std::memory_order_relaxed);
+      const obs::Labels labels = {{"shard", std::to_string(shard->index)}};
+      registry.GetGauge("sams_smtp_shard_sessions",
+                        "open pre-trust sessions per master shard", labels)
+          .Set(static_cast<double>(open));
+      registry.GetCounter("sams_smtp_shard_accepted_total",
+                          "connections adopted by this shard", labels)
+          .Overwrite(shard->accepted.load(std::memory_order_relaxed));
+      registry.GetCounter(
+              "sams_smtp_shard_sheds_total",
+              "connections 421-shed by this shard's per-shard gate", labels)
+          .Overwrite(shard->sheds.load(std::memory_order_relaxed));
+      busiest = first ? open : std::max(busiest, open);
+      idlest = first ? open : std::min(idlest, open);
+      first = false;
+    }
+    registry.GetGauge("sams_smtp_shard_imbalance",
+                      "open sessions: busiest shard minus idlest shard")
+        .Set(static_cast<double>(busiest - idlest));
+  });
   store_.BindMetrics(registry);
 }
 
 util::Result<std::uint16_t> SmtpServer::Start() {
   SAMS_CHECK(!running_.load()) << "server already started";
-  auto listener = net::TcpListen(cfg_.port);
-  if (!listener.ok()) return listener.error();
-  listener_ = std::move(listener).value();
-  auto port = net::LocalPort(listener_.get());
-  if (!port.ok()) return port.error();
+  shards_.clear();
+  handoff_fallback_ = false;
+  std::uint16_t bound_port = 0;
+
+  const bool sharded =
+      cfg_.architecture == Architecture::kForkAfterTrust;
+  const int num_shards = std::max(1, cfg_.num_shards);
+  if (sharded) {
+    // Preferred mode: one SO_REUSEPORT listener per shard, all bound
+    // to the same port; the kernel hashes incoming SYNs across them so
+    // no accept lock or handoff is needed. The fault point lets tests
+    // force the fallback path on kernels that do support the option.
+    bool reuseport_ok = SAMS_FAULT_ERROR("mta.shard.reuseport").ok();
+    if (reuseport_ok) {
+      net::ListenOptions options;
+      options.reuse_port = true;
+      for (int i = 0; i < num_shards; ++i) {
+        auto listener =
+            net::TcpListen(i == 0 ? cfg_.port : bound_port, options);
+        if (!listener.ok()) {
+          SAMS_LOG(kWarn) << "shard " << i << " SO_REUSEPORT listener: "
+                          << listener.error().ToString()
+                          << " — falling back to fd handoff";
+          reuseport_ok = false;
+          break;
+        }
+        if (i == 0) {
+          auto port = net::LocalPort(listener->get());
+          if (!port.ok()) return port.error();
+          bound_port = *port;
+        }
+        auto shard = std::make_unique<Shard>();
+        shard->index = i;
+        shard->listener = std::move(*listener);
+        shards_.push_back(std::move(shard));
+      }
+      if (!reuseport_ok) shards_.clear();
+    }
+    handoff_fallback_ = !reuseport_ok;
+    if (handoff_fallback_) {
+      // Fallback: a single conventional listener plus an accept thread
+      // that round-robins accepted descriptors into the shard loops.
+      auto listener = net::TcpListen(cfg_.port);
+      if (!listener.ok()) return listener.error();
+      listener_ = std::move(*listener);
+      auto port = net::LocalPort(listener_.get());
+      if (!port.ok()) return port.error();
+      bound_port = *port;
+      for (int i = 0; i < num_shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = i;
+        shards_.push_back(std::move(shard));
+      }
+    }
+    for (auto& shard : shards_) {
+      auto loop = net::EventLoop::Create();
+      if (!loop.ok()) return loop.error();
+      shard->loop = std::move(*loop);
+      if (registry_ != nullptr) shard->loop->BindMetrics(*registry_);
+    }
+  } else {
+    auto listener = net::TcpListen(cfg_.port);
+    if (!listener.ok()) return listener.error();
+    listener_ = std::move(*listener);
+    auto port = net::LocalPort(listener_.get());
+    if (!port.ok()) return port.error();
+    bound_port = *port;
+  }
 
   if (!cfg_.spool_dir.empty()) {
     QueueConfig queue_cfg;
@@ -177,14 +297,11 @@ util::Result<std::uint16_t> SmtpServer::Start() {
 
   running_.store(true, std::memory_order_release);
   accepting_.store(true, std::memory_order_release);
-  if (cfg_.architecture == Architecture::kThreadPerConnection) {
+  if (!sharded) {
     accept_thread_ = std::thread([this] { AcceptLoop(); });
   } else {
-    auto loop = net::EventLoop::Create();
-    if (!loop.ok()) return loop.error();
-    loop_ = std::move(loop).value();
-    if (registry_ != nullptr) loop_->BindMetrics(*registry_);
-    // Worker pool with one UNIX-domain delegation channel each (§5.3).
+    // Worker pool with one UNIX-domain delegation channel each (§5.3),
+    // shared by every shard.
     for (int i = 0; i < cfg_.worker_count; ++i) {
       auto pair = util::MakeSocketPair();
       if (!pair.ok()) return pair.error();
@@ -193,17 +310,28 @@ util::Result<std::uint16_t> SmtpServer::Start() {
       worker_threads_.emplace_back(
           [this, worker_fd] { WorkerLoop(worker_fd); });
     }
-    master_thread_ = std::thread([this] { MasterLoop(); });
+    for (auto& shard : shards_) {
+      Shard* raw = shard.get();
+      shard->thread = std::thread([this, raw] { ShardLoop(*raw); });
+    }
+    if (handoff_fallback_) {
+      handoff_thread_ = std::thread([this] { HandoffAcceptLoop(); });
+    }
   }
-  return *port;
+  return bound_port;
 }
 
 int SmtpServer::Drain(int grace_ms) {
   if (!running_.load(std::memory_order_acquire)) return 0;
-  // Refuse new work: the listener stops accepting but every session
+  // Refuse new work: the listeners stop accepting but every session
   // already admitted keeps running.
   accepting_.store(false, std::memory_order_release);
-  ::shutdown(listener_.get(), SHUT_RDWR);
+  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  for (auto& shard : shards_) {
+    if (shard->listener.valid()) {
+      ::shutdown(shard->listener.get(), SHUT_RDWR);
+    }
+  }
   const std::int64_t deadline =
       util::MonotonicNanos() + static_cast<std::int64_t>(grace_ms) * 1'000'000;
   while (inflight_.load(std::memory_order_relaxed) > 0 &&
@@ -237,24 +365,38 @@ bool SmtpServer::AdmitSession(int fd) {
 void SmtpServer::Stop() {
   accepting_.store(false, std::memory_order_release);
   if (!running_.exchange(false)) return;
-  // Closing the listener unblocks accept(); stopping the loop unblocks
-  // epoll_wait; closing the delegation channels unblocks the workers.
-  ::shutdown(listener_.get(), SHUT_RDWR);
-  listener_.Reset();
-  if (loop_) loop_->Stop();
+  // Shutting the listeners down unblocks accept(); stopping the loops
+  // unblocks epoll_wait; closing the delegation channels unblocks the
+  // workers.
+  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  for (auto& shard : shards_) {
+    if (shard->listener.valid()) {
+      ::shutdown(shard->listener.get(), SHUT_RDWR);
+    }
+    if (shard->loop) shard->loop->Stop();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (master_thread_.joinable()) master_thread_.join();
-  worker_channels_.clear();  // EOF to workers
+  if (handoff_thread_.joinable()) handoff_thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+    shard->listener.Reset();
+  }
+  listener_.Reset();
+  {
+    std::lock_guard<std::mutex> lock(delegate_mutex_);
+    worker_channels_.clear();  // EOF to workers
+  }
   for (std::thread& worker : worker_threads_) {
     if (worker.joinable()) worker.join();
   }
   worker_threads_.clear();
-  std::vector<std::thread> conns;
+  std::unordered_map<std::uint64_t, std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     conns.swap(conn_threads_);
+    finished_conns_.clear();
   }
-  for (std::thread& conn : conns) {
+  for (auto& [id, conn] : conns) {
     if (conn.joinable()) conn.join();
   }
   if (queue_) {
@@ -263,28 +405,120 @@ void SmtpServer::Stop() {
   }
 }
 
+std::vector<int> SmtpServer::ShardSessions() const {
+  std::vector<int> sessions;
+  sessions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    sessions.push_back(shard->sessions.load(std::memory_order_relaxed));
+  }
+  return sessions;
+}
+
+std::vector<std::uint64_t> SmtpServer::ShardAccepted() const {
+  std::vector<std::uint64_t> accepted;
+  accepted.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    accepted.push_back(shard->accepted.load(std::memory_order_relaxed));
+  }
+  return accepted;
+}
+
+int SmtpServer::ConnThreadHandles() const {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  return static_cast<int>(conn_threads_.size());
+}
+
+int SmtpServer::OnAcceptError(int err, int prev_backoff_ms) {
+  stats_.accept_errors.fetch_add(1, std::memory_order_relaxed);
+  if (registry_ != nullptr) {
+    registry_
+        ->GetCounter("sams_smtp_accept_errors_total",
+                     "accept() failures by errno",
+                     {{"errno", net::AcceptErrnoName(err)}})
+        .Inc();
+  }
+  // Transient per-connection failures: the aborted connection is gone,
+  // the listener is healthy — retry immediately.
+  if (err == EINTR || err == ECONNABORTED || err == EPROTO) return 0;
+  // Everything else (EMFILE/ENFILE/ENOBUFS/ENOMEM fd-or-memory
+  // exhaustion, or an unexpected hard error) persists across retries:
+  // capped exponential backoff so the accept path cannot busy-spin a
+  // core while the kernel keeps refusing.
+  return prev_backoff_ms == 0 ? 10 : std::min(prev_backoff_ms * 2, 1'000);
+}
+
 // --- thread-per-connection (Figure 6) ----------------------------------
 
+void SmtpServer::ReapConnThreads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    done.reserve(finished_conns_.size());
+    for (const std::uint64_t id : finished_conns_) {
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_conns_.clear();
+  }
+  // Joins outside the lock; these threads have already pushed their id
+  // and are exiting, so each join returns immediately.
+  for (std::thread& conn : done) {
+    if (conn.joinable()) conn.join();
+  }
+}
+
 void SmtpServer::AcceptLoop() {
+  int backoff_ms = 0;
   while (running_.load(std::memory_order_acquire) &&
          accepting_.load(std::memory_order_acquire)) {
-    auto accepted = net::TcpAccept(listener_.get());
-    if (!accepted.ok()) {
-      if (!running_.load() || !accepting_.load()) break;
-      continue;  // transient accept failure
+    // Join connection threads that have finished since the last pass,
+    // so the handle table tracks open connections instead of growing
+    // by one per connection served.
+    ReapConnThreads();
+    if (backoff_ms > 0) {
+      SleepMs(backoff_ms);
+      if (!running_.load(std::memory_order_acquire) ||
+          !accepting_.load(std::memory_order_acquire)) {
+        break;
+      }
     }
+    int err = 0;
+    net::Accepted accepted;
+    bool have_conn = false;
+    // Chaos hook: a triggered "mta.accept" policy simulates accept()
+    // failing with fd exhaustion (clients wait in the backlog).
+    if (SAMS_FAULT_ERROR("mta.accept").ok()) {
+      auto result = net::TcpAccept(listener_.get(), &err);
+      if (result.ok()) {
+        accepted = std::move(*result);
+        have_conn = true;
+      }
+    } else {
+      err = EMFILE;
+    }
+    if (!have_conn) {
+      if (!running_.load() || !accepting_.load()) break;
+      backoff_ms = OnAcceptError(err, backoff_ms);
+      continue;
+    }
+    backoff_ms = 0;
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
-    if (!AdmitSession(accepted->fd.get())) continue;  // shed; fd closes
+    if (!AdmitSession(accepted.fd.get())) continue;  // shed; fd closes
+    const std::uint64_t conn_id = next_conn_id_++;
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    conn_threads_.emplace_back(
-        [this, fd = std::move(accepted->fd),
-         ip = std::move(accepted->peer_ip)]() mutable {
-          HandleConnection(std::move(fd), std::move(ip));
+    auto [it, inserted] = conn_threads_.try_emplace(conn_id);
+    it->second = std::thread(
+        [this, conn_id, fd = std::move(accepted.fd),
+         ip = std::move(accepted.peer_ip)]() mutable {
+          HandleConnection(conn_id, std::move(fd), std::move(ip));
         });
   }
 }
 
-void SmtpServer::HandleConnection(util::UniqueFd fd, std::string peer_ip) {
+void SmtpServer::HandleConnection(std::uint64_t conn_id, util::UniqueFd fd,
+                                  std::string peer_ip) {
   (void)net::SetRecvTimeout(fd.get(), cfg_.recv_timeout_ms);
   if (cfg_.send_timeout_ms > 0) {
     (void)net::SetSendTimeout(fd.get(), cfg_.send_timeout_ms);
@@ -293,7 +527,10 @@ void SmtpServer::HandleConnection(util::UniqueFd fd, std::string peer_ip) {
   smtp::ServerSession::Hooks hooks;
   const int raw = fd.get();
   hooks.send = [raw](std::string bytes) {
-    (void)util::SendAll(raw, bytes.data(), bytes.size());
+    // A failed send (peer reset, SO_SNDTIMEO expiry) aborts the
+    // session: ServerSession drops to kClosed and FinishSession exits
+    // instead of parsing replies for a dead peer until read timeout.
+    return util::SendAll(raw, bytes.data(), bytes.size()).ok();
   };
   hooks.validate_rcpt = [this](const smtp::Address& addr) {
     const bool ok = recipients_.IsValid(addr);
@@ -323,6 +560,10 @@ void SmtpServer::HandleConnection(util::UniqueFd fd, std::string peer_ip) {
   FinishSession(session, fd.get());
   (void)quit;
   SessionDone();
+  // Self-register for reaping: the accept loop joins this thread on
+  // its next pass instead of hoarding the handle until Stop().
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  finished_conns_.push_back(conn_id);
 }
 
 void SmtpServer::FinishSession(smtp::ServerSession& session, int fd) {
@@ -336,76 +577,81 @@ void SmtpServer::FinishSession(smtp::ServerSession& session, int fd) {
   }
 }
 
-// --- fork-after-trust (Figure 7) ----------------------------------------
+// --- fork-after-trust (Figure 7), sharded ------------------------------
 
-void SmtpServer::MasterLoop() {
-  // Connections keyed by fd; sessions run in the event loop until the
-  // first valid RCPT, then get shipped to a worker.
+bool SmtpServer::DelegateToWorker(int fd, const std::string& payload) {
+  // Round-robin over the LIVE workers. kUnavailable from the channel
+  // (EPIPE — the worker died) retires that channel and requeues the
+  // session on the next live worker; the client never notices. The
+  // mutex serializes shards: a delegation frame must not interleave
+  // with another shard's on the same channel, and channel retirement
+  // must be seen consistently.
+  std::lock_guard<std::mutex> lock(delegate_mutex_);
+  bool saw_death = false;
+  const std::size_t n_workers = worker_channels_.size();
+  for (std::size_t tried = 0; tried < n_workers; ++tried) {
+    const std::size_t worker = next_worker_++ % n_workers;
+    if (!worker_channels_[worker].valid()) continue;  // retired earlier
+    const util::Error err = util::SendFdWithPayload(
+        worker_channels_[worker].get(), fd, payload);
+    if (err.ok()) {
+      stats_.delegations.fetch_add(1, std::memory_order_relaxed);
+      if (saw_death) {
+        stats_.requeued_delegations.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    if (err.code() == util::ErrorCode::kUnavailable) {
+      SAMS_LOG(kWarn) << "smtpd worker " << worker
+                      << " died: " << err.ToString();
+      worker_channels_[worker].Reset();
+      stats_.worker_deaths.fetch_add(1, std::memory_order_relaxed);
+      saw_death = true;
+      continue;
+    }
+    SAMS_LOG(kError) << "delegation failed: " << err.ToString();
+    break;
+  }
+  return false;
+}
+
+void SmtpServer::ShardLoop(Shard& shard) {
+  // Connections keyed by fd; sessions run in this shard's event loop
+  // until the first valid RCPT, then get shipped to a worker.
   std::unordered_map<int, std::unique_ptr<MasterConn>> conns;
+  net::EventLoop* loop = shard.loop.get();
 
-  (void)util::SetNonBlocking(listener_.get());
-  const int listen_fd = listener_.get();
-
-  auto close_conn = [this, &conns](int fd) {
-    (void)loop_->Remove(fd);
+  auto close_conn = [this, &shard, &conns, loop](int fd) {
+    (void)loop->Remove(fd);
     conns.erase(fd);
+    shard.sessions.fetch_sub(1, std::memory_order_relaxed);
     stats_.master_closed.fetch_add(1, std::memory_order_relaxed);
     SessionDone();
   };
 
-  auto delegate = [this, &conns](int fd) {
+  auto delegate = [this, &shard, &conns, loop](int fd) {
     auto it = conns.find(fd);
     if (it == conns.end()) return;
     MasterConn& conn = *it->second;
     conn.session->TraceHandoff();
     auto payload = conn.session->SerializeHandoff();
+    bool handed_off = false;
     if (!payload.ok()) {
       SAMS_LOG(kWarn) << "handoff failed: " << payload.error().ToString();
-      (void)loop_->Remove(fd);
-      conns.erase(it);
-      SessionDone();
-      return;
-    }
-    // Round-robin over the LIVE workers. kUnavailable from the channel
-    // (EPIPE — the worker died) retires that channel and requeues the
-    // session on the next live worker; the client never notices.
-    bool handed_off = false;
-    bool saw_death = false;
-    const std::size_t n_workers = worker_channels_.size();
-    for (std::size_t tried = 0; tried < n_workers; ++tried) {
-      const std::size_t worker = next_worker_++ % n_workers;
-      if (!worker_channels_[worker].valid()) continue;  // retired earlier
-      const util::Error err = util::SendFdWithPayload(
-          worker_channels_[worker].get(), fd, *payload);
-      if (err.ok()) {
-        stats_.delegations.fetch_add(1, std::memory_order_relaxed);
-        if (saw_death) {
-          stats_.requeued_delegations.fetch_add(1, std::memory_order_relaxed);
-        }
-        handed_off = true;
-        break;
+    } else {
+      handed_off = DelegateToWorker(fd, *payload);
+      if (!handed_off) {
+        static constexpr char kBusy[] =
+            "421 4.3.2 No smtpd available, try again later\r\n";
+        (void)util::SendAll(fd, kBusy, sizeof(kBusy) - 1);
       }
-      if (err.code() == util::ErrorCode::kUnavailable) {
-        SAMS_LOG(kWarn) << "smtpd worker " << worker
-                        << " died: " << err.ToString();
-        worker_channels_[worker].Reset();
-        stats_.worker_deaths.fetch_add(1, std::memory_order_relaxed);
-        saw_death = true;
-        continue;
-      }
-      SAMS_LOG(kError) << "delegation failed: " << err.ToString();
-      break;
     }
-    if (!handed_off) {
-      static constexpr char kBusy[] =
-          "421 4.3.2 No smtpd available, try again later\r\n";
-      (void)util::SendAll(fd, kBusy, sizeof(kBusy) - 1);
-      SessionDone();
-    }
-    // On success the worker holds a duplicate now; drop the master's
+    if (!handed_off) SessionDone();
+    // On success the worker holds a duplicate now; drop the shard's
     // copy either way.
-    (void)loop_->Remove(fd);
+    (void)loop->Remove(fd);
     conns.erase(it);
+    shard.sessions.fetch_sub(1, std::memory_order_relaxed);
   };
 
   auto on_client_event = [this, &conns, close_conn, delegate](int fd,
@@ -414,6 +660,8 @@ void SmtpServer::MasterLoop() {
     if (it == conns.end()) return;
     MasterConn& conn = *it->second;
     char buf[8 * 1024];
+    // Reads until EAGAIN: client fds are registered edge-triggered, so
+    // the socket must be drained before returning to the loop.
     for (;;) {
       const ssize_t n = ::read(fd, buf, sizeof(buf));
       if (n > 0) {
@@ -444,104 +692,143 @@ void SmtpServer::MasterLoop() {
     }
   };
 
-  const util::Error add_err = loop_->Add(
-      listen_fd, EPOLLIN,
-      [this, &conns, on_client_event, close_conn, listen_fd](std::uint32_t) {
-        for (;;) {
-          auto accepted = net::TcpAccept(listener_.get());
-          if (!accepted.ok()) {
-            // EAGAIN (non-blocking) — or Drain() shut the listener
-            // down, in which case stop polling it to avoid a spin.
-            if (!accepting_.load(std::memory_order_acquire)) {
-              (void)loop_->Remove(listen_fd);
-            }
-            return;
-          }
-          stats_.connections.fetch_add(1, std::memory_order_relaxed);
-          const int fd = accepted->fd.get();
-          if (!AdmitSession(fd)) continue;  // shed; fd closes with accepted
-          (void)util::SetNonBlocking(fd);
+  // Adopts an accepted (already admitted, non-blocking) connection
+  // into this shard: applies the per-shard gate, builds the session,
+  // arms the pregreet timer, registers the fd edge-triggered.
+  auto setup_conn = [this, &shard, &conns, loop, on_client_event,
+                     close_conn](net::Accepted&& accepted) {
+    const int fd = accepted.fd.get();
+    if (cfg_.max_sessions_per_shard > 0 &&
+        shard.sessions.load(std::memory_order_relaxed) >=
+            cfg_.max_sessions_per_shard) {
+      stats_.overload_sheds.fetch_add(1, std::memory_order_relaxed);
+      shard.sheds.fetch_add(1, std::memory_order_relaxed);
+      static constexpr char kShed[] =
+          "421 4.3.2 Service overloaded, try again later\r\n";
+      (void)util::SendAll(fd, kShed, sizeof(kShed) - 1);
+      SessionDone();
+      return;  // accepted.fd closes on return
+    }
+    shard.sessions.fetch_add(1, std::memory_order_relaxed);
+    shard.accepted.fetch_add(1, std::memory_order_relaxed);
 
-          auto conn = std::make_unique<MasterConn>();
-          conn->fd = std::move(accepted->fd);
-          conn->accepted_ns = util::MonotonicNanos();
-          conn->last_activity_ns = conn->accepted_ns;
-          smtp::ServerSession::Hooks hooks;
-          hooks.send = [fd](std::string bytes) {
-            (void)util::SendAll(fd, bytes.data(), bytes.size());
-          };
-          hooks.validate_rcpt = [this](const smtp::Address& addr) {
-            const bool ok = recipients_.IsValid(addr);
-            if (!ok) {
-              stats_.rejected_rcpts.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<MasterConn>();
+    conn->fd = std::move(accepted.fd);
+    conn->accepted_ns = util::MonotonicNanos();
+    conn->last_activity_ns = conn->accepted_ns;
+    smtp::ServerSession::Hooks hooks;
+    hooks.send = [fd](std::string bytes) {
+      // SendAll gives up with kUnavailable instead of parking the
+      // reactor; a false return closes the session via peer_dead.
+      return util::SendAll(fd, bytes.data(), bytes.size()).ok();
+    };
+    hooks.validate_rcpt = [this](const smtp::Address& addr) {
+      const bool ok = recipients_.IsValid(addr);
+      if (!ok) {
+        stats_.rejected_rcpts.fetch_add(1, std::memory_order_relaxed);
+      }
+      return ok;
+    };
+    MasterConn* raw_conn = conn.get();
+    // Freeze the session at the first valid RCPT: the remaining
+    // bytes stay buffered and travel inside the handoff payload.
+    hooks.on_first_valid_rcpt = [raw_conn] {
+      raw_conn->session->RequestPause();
+    };
+    hooks.on_quit = [raw_conn] { raw_conn->closed = true; };
+    conn->session = std::make_unique<smtp::ServerSession>(
+        cfg_.session, std::move(hooks), accepted.peer_ip);
+    if (trace_ != nullptr) {
+      conn->session->AttachTracer(
+          trace_, &util::MonotonicNanos,
+          trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
+    if (cfg_.pregreet_delay_ms > 0) {
+      // Withhold the banner; arm a one-shot timer. Bytes arriving
+      // before it fires brand the client an early talker.
+      conn->banner_sent = false;
+      conn->pregreet_timer.Reset(
+          ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
+      struct itimerspec when {};
+      when.it_value.tv_sec = cfg_.pregreet_delay_ms / 1000;
+      when.it_value.tv_nsec =
+          static_cast<long>(cfg_.pregreet_delay_ms % 1000) * 1'000'000L;
+      ::timerfd_settime(conn->pregreet_timer.get(), 0, &when, nullptr);
+      const int timer_fd = conn->pregreet_timer.get();
+      (void)loop->Add(timer_fd, EPOLLIN,
+                      [this, &conns, close_conn, loop, fd,
+                       timer_fd](std::uint32_t) {
+                        (void)loop->Remove(timer_fd);
+                        auto conn_it = conns.find(fd);
+                        if (conn_it == conns.end()) return;
+                        MasterConn& parked = *conn_it->second;
+                        parked.pregreet_timer.Reset();
+                        parked.banner_sent = true;
+                        if (parked.pregreeted) {
+                          stats_.pregreet_rejects.fetch_add(
+                              1, std::memory_order_relaxed);
+                          const std::string reject =
+                              "554 5.5.1 Protocol error: talked "
+                              "before my banner\r\n";
+                          (void)util::SendAll(fd, reject.data(),
+                                              reject.size());
+                          close_conn(fd);
+                          return;
+                        }
+                        parked.session->Start();  // 220 banner
+                      });
+    } else {
+      conn->session->Start();
+    }
+    conns.emplace(fd, std::move(conn));
+    (void)loop->Add(fd, EPOLLIN | EPOLLET,
+                    [fd, on_client_event](std::uint32_t e) {
+                      on_client_event(fd, e);
+                    });
+  };
+  // Published for the fallback accept thread; tasks it posts run on
+  // this thread inside Run(), so the reference captures stay valid.
+  shard.adopt = setup_conn;
+
+  if (shard.listener.valid()) {
+    // SO_REUSEPORT mode: this shard drains its own accept queue.
+    // Edge-triggered: each new completed connection re-arms the event,
+    // and failing with EMFILE simply waits for the next edge instead
+    // of spinning on a level-triggered ready listener.
+    (void)util::SetNonBlocking(shard.listener.get());
+    const int listen_fd = shard.listener.get();
+    const util::Error add_err = loop->Add(
+        listen_fd, EPOLLIN | EPOLLET,
+        [this, setup_conn, loop, listen_fd](std::uint32_t) {
+          for (;;) {
+            int err = 0;
+            auto accepted = net::TcpAcceptNonBlocking(listen_fd, &err);
+            if (!accepted.ok()) {
+              if (err == EAGAIN || err == EWOULDBLOCK) return;
+              if (!accepting_.load(std::memory_order_acquire)) {
+                // Drain() shut the listener down; stop polling it.
+                (void)loop->Remove(listen_fd);
+                return;
+              }
+              if (OnAcceptError(err, 0) == 0) continue;  // transient
+              return;  // persistent (EMFILE...): wait for the next edge
             }
-            return ok;
-          };
-          MasterConn* raw_conn = conn.get();
-          // Freeze the session at the first valid RCPT: the remaining
-          // bytes stay buffered and travel inside the handoff payload.
-          hooks.on_first_valid_rcpt = [raw_conn] {
-            raw_conn->session->RequestPause();
-          };
-          hooks.on_quit = [raw_conn] { raw_conn->closed = true; };
-          conn->session = std::make_unique<smtp::ServerSession>(
-              cfg_.session, std::move(hooks), accepted->peer_ip);
-          if (trace_ != nullptr) {
-            conn->session->AttachTracer(
-                trace_, &util::MonotonicNanos,
-                trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+            stats_.connections.fetch_add(1, std::memory_order_relaxed);
+            if (!AdmitSession(accepted->fd.get())) continue;  // shed
+            setup_conn(std::move(*accepted));
           }
-          if (cfg_.pregreet_delay_ms > 0) {
-            // Withhold the banner; arm a one-shot timer. Bytes arriving
-            // before it fires brand the client an early talker.
-            conn->banner_sent = false;
-            conn->pregreet_timer.Reset(
-                ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
-            struct itimerspec when {};
-            when.it_value.tv_sec = cfg_.pregreet_delay_ms / 1000;
-            when.it_value.tv_nsec =
-                static_cast<long>(cfg_.pregreet_delay_ms % 1000) * 1'000'000L;
-            ::timerfd_settime(conn->pregreet_timer.get(), 0, &when, nullptr);
-            const int timer_fd = conn->pregreet_timer.get();
-            (void)loop_->Add(timer_fd, EPOLLIN,
-                             [this, &conns, close_conn, fd,
-                              timer_fd](std::uint32_t) {
-                               (void)loop_->Remove(timer_fd);
-                               auto conn_it = conns.find(fd);
-                               if (conn_it == conns.end()) return;
-                               MasterConn& parked = *conn_it->second;
-                               parked.pregreet_timer.Reset();
-                               parked.banner_sent = true;
-                               if (parked.pregreeted) {
-                                 stats_.pregreet_rejects.fetch_add(
-                                     1, std::memory_order_relaxed);
-                                 const std::string reject =
-                                     "554 5.5.1 Protocol error: talked "
-                                     "before my banner\r\n";
-                                 (void)util::SendAll(fd, reject.data(),
-                                                     reject.size());
-                                 close_conn(fd);
-                                 return;
-                               }
-                               parked.session->Start();  // 220 banner
-                             });
-          } else {
-            conn->session->Start();
-          }
-          conns.emplace(fd, std::move(conn));
-          (void)loop_->Add(fd, EPOLLIN, [fd, on_client_event](std::uint32_t e) {
-            on_client_event(fd, e);
-          });
-        }
-      });
-  if (!add_err.ok()) {
-    SAMS_LOG(kError) << "master loop setup failed: " << add_err.ToString();
-    return;
+        });
+    if (!add_err.ok()) {
+      SAMS_LOG(kError) << "shard " << shard.index
+                       << " loop setup failed: " << add_err.ToString();
+      shard.adopt = nullptr;
+      return;
+    }
   }
 
   // Periodic reaper: evict parked sessions that have gone idle (slow
   // loris) or outlived the pre-trust deadline. Spammers must not be
-  // able to fill the master's epoll set with half-open dialogs.
+  // able to fill the shard's epoll set with half-open dialogs.
   util::UniqueFd reap_timer;
   if (cfg_.master_idle_timeout_ms > 0 || cfg_.master_session_deadline_ms > 0) {
     int tick_ms = 1'000;
@@ -559,7 +846,7 @@ void SmtpServer::MasterLoop() {
     when.it_interval = when.it_value;
     ::timerfd_settime(reap_timer.get(), 0, &when, nullptr);
     const int timer_fd = reap_timer.get();
-    (void)loop_->Add(
+    (void)loop->Add(
         timer_fd, EPOLLIN,
         [this, &conns, close_conn, timer_fd](std::uint32_t) {
           std::uint64_t expirations = 0;
@@ -589,15 +876,53 @@ void SmtpServer::MasterLoop() {
         });
   }
 
-  (void)loop_->Run();
-  // Drain: close any connections still parked in the master.
+  (void)loop->Run();
+  shard.adopt = nullptr;
+  // Drain: close any connections still parked in this shard.
+  shard.sessions.fetch_sub(static_cast<int>(conns.size()),
+                           std::memory_order_relaxed);
   conns.clear();
+}
+
+void SmtpServer::HandoffAcceptLoop() {
+  // SO_REUSEPORT was unavailable: one blocking accept loop feeds the
+  // shard reactors round-robin by posting the descriptor onto the
+  // target shard's event loop.
+  std::size_t next_shard = 0;
+  int backoff_ms = 0;
+  while (running_.load(std::memory_order_acquire) &&
+         accepting_.load(std::memory_order_acquire)) {
+    if (backoff_ms > 0) {
+      SleepMs(backoff_ms);
+      if (!running_.load(std::memory_order_acquire) ||
+          !accepting_.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
+    int err = 0;
+    auto accepted = net::TcpAccept(listener_.get(), &err);
+    if (!accepted.ok()) {
+      if (!running_.load() || !accepting_.load()) break;
+      backoff_ms = OnAcceptError(err, backoff_ms);
+      continue;
+    }
+    backoff_ms = 0;
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    if (!AdmitSession(accepted->fd.get())) continue;  // shed; fd closes
+    (void)util::SetNonBlocking(accepted->fd.get());
+    Shard* shard = shards_[next_shard++ % shards_.size()].get();
+    // shared_ptr because std::function requires copyable captures.
+    auto conn = std::make_shared<net::Accepted>(std::move(*accepted));
+    shard->loop->Post([shard, conn]() mutable {
+      if (shard->adopt) shard->adopt(std::move(*conn));
+    });
+  }
 }
 
 void SmtpServer::WorkerLoop(int channel_fd) {
   util::UniqueFd channel(channel_fd);
   for (;;) {
-    // Blocks until the master delegates a connection (one recvmsg pops
+    // Blocks until a shard delegates a connection (one recvmsg pops
     // exactly one task even when several are queued in the socket
     // buffer — the vector-send batching of §5.3) or closes the channel.
     auto task = util::RecvFdWithPayload(channel.get());
@@ -621,7 +946,7 @@ void SmtpServer::WorkerLoop(int channel_fd) {
 
     smtp::ServerSession::Hooks hooks;
     hooks.send = [fd](std::string bytes) {
-      (void)util::SendAll(fd, bytes.data(), bytes.size());
+      return util::SendAll(fd, bytes.data(), bytes.size()).ok();
     };
     hooks.validate_rcpt = [this](const smtp::Address& addr) {
       const bool ok = recipients_.IsValid(addr);

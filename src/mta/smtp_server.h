@@ -10,14 +10,21 @@
 //     identical; only address-space isolation is relaxed, which this
 //     in-container reproduction documents in DESIGN.md.)
 //
-//   kForkAfterTrust — the paper's hybrid architecture (Figure 7).
-//     A master thread runs every connection's early dialog in an epoll
-//     event loop. When a session confirms its first valid RCPT, the
-//     master serializes the session state and passes the client socket
-//     to an smtpd worker over a UNIX-domain socketpair using a real
-//     sendmsg/SCM_RIGHTS descriptor transfer (§5.3); the worker resumes
-//     the session with blocking I/O and performs the delivery. Bounces
-//     and unfinished sessions live and die inside the master loop.
+//   kForkAfterTrust — the paper's hybrid architecture (Figure 7),
+//     sharded. The pre-trust master is `num_shards` per-core reactors:
+//     each shard owns an SO_REUSEPORT listener (the kernel
+//     load-balances SYNs across them) and runs every early dialog
+//     (banner → HELO → MAIL → RCPT) non-blocking in its own epoll
+//     loop. When a session confirms its first valid RCPT, the shard
+//     serializes the session state and passes the client socket to an
+//     smtpd worker of the shared pool over a UNIX-domain socketpair
+//     using a real sendmsg/SCM_RIGHTS descriptor transfer (§5.3); the
+//     worker resumes the session with blocking I/O and performs the
+//     delivery. Bounces and unfinished sessions live and die inside
+//     their shard. When SO_REUSEPORT is unavailable the server falls
+//     back to a single listener plus an accept thread that round-robins
+//     accepted descriptors into the shard loops. num_shards == 1
+//     reproduces the paper's single-master baseline exactly.
 #pragma once
 
 #include <atomic>
@@ -25,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "mfs/store.h"
@@ -45,6 +53,11 @@ struct RealServerConfig {
   smtp::SessionConfig session;
   Architecture architecture = Architecture::kThreadPerConnection;
   int worker_count = 4;        // fork-after-trust smtpd workers
+  // Fork-after-trust pre-trust reactors. Spam traffic is dominated by
+  // huge numbers of short-lived, mostly-rejected connections, so the
+  // cheap pre-trust stage is the first to saturate a core; one shard
+  // per core lifts that ceiling. 1 = the paper's single master.
+  int num_shards = 1;
   int recv_timeout_ms = 30'000;
   std::uint16_t port = 0;      // 0 = ephemeral
   // Fork-after-trust master only: postscreen-style pregreet test. When
@@ -69,9 +82,9 @@ struct RealServerConfig {
   // SO_SNDTIMEO on client sockets: a peer that stops draining its
   // receive window cannot park a worker in a blocking reply write.
   int send_timeout_ms = 30'000;
-  // Fork-after-trust master: reap a parked connection with 421 after
+  // Fork-after-trust shards: reap a parked connection with 421 after
   // this much inactivity (slow-loris defense — an untrusted session
-  // may not squat in the master's epoll set indefinitely)...
+  // may not squat in a shard's epoll set indefinitely)...
   int master_idle_timeout_ms = 0;
   // ...and regardless of activity, cap its total pre-trust lifetime.
   int master_session_deadline_ms = 0;
@@ -79,6 +92,10 @@ struct RealServerConfig {
   // connections are shed immediately with 421 (bounded work, fast
   // failure — the client retries later, per SMTP semantics).
   int max_inflight_sessions = 0;
+  // Per-shard overload gate: a single shard may not hold more than
+  // this many open pre-trust sessions, so one hot shard sheds before
+  // it can starve its reactor (0 = no per-shard cap).
+  int max_sessions_per_shard = 0;
 };
 
 struct RealServerStats {
@@ -90,12 +107,13 @@ struct RealServerStats {
   std::atomic<std::uint64_t> pregreet_rejects{0};
   std::atomic<std::uint64_t> delegations{0};       // fork-after-trust
   std::atomic<std::uint64_t> master_closed{0};     // sessions that never
-                                                   // left the master
+                                                   // left their shard
   std::atomic<std::uint64_t> delivery_errors{0};
-  std::atomic<std::uint64_t> idle_reaped{0};       // master 421s (idle/deadline)
+  std::atomic<std::uint64_t> idle_reaped{0};       // shard 421s (idle/deadline)
   std::atomic<std::uint64_t> overload_sheds{0};    // 421s at accept
   std::atomic<std::uint64_t> worker_deaths{0};     // dead delegation channels
   std::atomic<std::uint64_t> requeued_delegations{0};  // retried on live worker
+  std::atomic<std::uint64_t> accept_errors{0};     // accept() failures
 };
 
 class SmtpServer {
@@ -124,6 +142,22 @@ class SmtpServer {
   // Concurrently open sessions (accepted, not yet finished).
   int inflight() const { return inflight_.load(std::memory_order_relaxed); }
 
+  // --- shard introspection (fork-after-trust) ------------------------
+  // Number of pre-trust reactor shards actually running (0 before
+  // Start(), and always 0 for kThreadPerConnection).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  // True when SO_REUSEPORT was unavailable and the server fell back to
+  // a single listener with round-robin fd handoff into the shards.
+  bool handoff_fallback() const { return handoff_fallback_; }
+  // Open pre-trust sessions per shard (index-aligned with shard ids).
+  std::vector<int> ShardSessions() const;
+  // Connections ever accepted into each shard.
+  std::vector<std::uint64_t> ShardAccepted() const;
+  // Live thread handles held for thread-per-connection sessions; the
+  // reaper keeps this bounded by open connections, not by connection
+  // count since Start() (the seed leaked one handle per connection).
+  int ConnThreadHandles() const;
+
   // Publishes the server's, store's, and (once started) queue's and
   // event loop's instruments into `registry`; when `sink` is non-null,
   // every session records per-stage spans on the monotonic clock. Call
@@ -134,17 +168,28 @@ class SmtpServer {
 
  private:
   struct MasterConn;  // fork-after-trust per-connection state
+  struct Shard;       // one pre-trust reactor
 
   void AcceptLoop();                       // thread-per-connection
-  void HandleConnection(util::UniqueFd fd, std::string peer_ip);
-  void MasterLoop();                       // fork-after-trust
+  void ReapConnThreads();                  // joins finished conn threads
+  void HandleConnection(std::uint64_t conn_id, util::UniqueFd fd,
+                        std::string peer_ip);
+  void ShardLoop(Shard& shard);            // fork-after-trust reactor
+  void HandoffAcceptLoop();                // single-listener fallback
   void WorkerLoop(int channel_fd);  // takes ownership of channel_fd
   void FinishSession(smtp::ServerSession& session, int fd);
   bool DeliverEnvelope(smtp::Envelope&& envelope);
+  // Round-robins `payload` + the client socket over the live workers,
+  // retiring dead channels (EPIPE) and retrying on the next one.
+  // Thread-safe: shards delegate concurrently. False = no live worker.
+  bool DelegateToWorker(int fd, const std::string& payload);
   // Overload gate: true = session admitted (inflight_ counted); false =
   // the connection was shed with 421 and must be closed by the caller.
   bool AdmitSession(int fd);
   void SessionDone() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+  // Errno-aware accept-failure accounting; returns the backoff (ms)
+  // the caller should sleep before retrying (0 = retry immediately).
+  int OnAcceptError(int err, int prev_backoff_ms);
 
   RealServerConfig cfg_;
   RecipientDb recipients_;
@@ -154,21 +199,26 @@ class SmtpServer {
   util::Rng id_rng_{0xD15EA5E};
   std::mutex id_mutex_;
 
-  util::UniqueFd listener_;
+  util::UniqueFd listener_;  // thread-per-connection and handoff fallback
   std::atomic<bool> running_{false};
   std::atomic<bool> accepting_{false};
   std::atomic<int> inflight_{0};
 
-  // thread-per-connection state
+  // thread-per-connection state: live threads keyed by connection id;
+  // finished threads enqueue their id for the accept loop to join.
   std::thread accept_thread_;
-  std::mutex conn_mutex_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mutex_;
+  std::unordered_map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::uint64_t> finished_conns_;
+  std::uint64_t next_conn_id_ = 0;
 
   // fork-after-trust state
-  std::unique_ptr<net::EventLoop> loop_;
-  std::thread master_thread_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool handoff_fallback_ = false;
+  std::thread handoff_thread_;  // fallback accept thread
+  std::mutex delegate_mutex_;   // guards worker_channels_ + next_worker_
   std::vector<std::thread> worker_threads_;
-  std::vector<util::UniqueFd> worker_channels_;  // master ends
+  std::vector<util::UniqueFd> worker_channels_;  // shard-side ends
   std::size_t next_worker_ = 0;
 
   RealServerStats stats_;

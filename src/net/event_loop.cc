@@ -108,6 +108,7 @@ util::Error EventLoop::Run() {
         std::uint64_t drained;
         while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
         }
+        DrainPosted();
         continue;
       }
       auto it = callbacks_.find(fd);
@@ -127,6 +128,25 @@ util::Error EventLoop::Run() {
     }
   }
   return util::OkError();
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
 }
 
 void EventLoop::Stop() {

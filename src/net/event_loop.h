@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/fd.h"
@@ -41,15 +43,25 @@ class EventLoop {
   // Thread-safe: wakes the loop and makes Run() return.
   void Stop();
 
+  // Thread-safe: enqueues `task` to run on the loop thread and wakes
+  // the loop. The sharded master's single-listener fallback uses this
+  // to hand accepted descriptors from the accept thread to a shard's
+  // reactor. Tasks enqueued after Stop() never run.
+  void Post(std::function<void()> task);
+
   std::size_t watched() const { return callbacks_.size(); }
 
  private:
   EventLoop() = default;
 
+  void DrainPosted();
+
   util::UniqueFd epoll_fd_;
   util::UniqueFd wake_fd_;  // eventfd
   std::unordered_map<int, Callback> callbacks_;
   std::atomic<bool> running_{false};
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
 
   // Optional observability (null until BindMetrics).
   obs::Counter* iterations_ = nullptr;

@@ -20,10 +20,23 @@ std::string Errno(const char* what) {
 }  // namespace
 
 util::Result<util::UniqueFd> TcpListen(std::uint16_t port, int backlog) {
+  ListenOptions options;
+  options.backlog = backlog;
+  return TcpListen(port, options);
+}
+
+util::Result<util::UniqueFd> TcpListen(std::uint16_t port,
+                                       const ListenOptions& options) {
   util::UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return util::IoError(Errno("socket"));
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reuse_port) {
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+        0) {
+      return util::IoError(Errno("setsockopt(SO_REUSEPORT)"));
+    }
+  }
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -33,7 +46,9 @@ util::Result<util::UniqueFd> TcpListen(std::uint16_t port, int backlog) {
              sizeof(addr)) != 0) {
     return util::IoError(Errno("bind"));
   }
-  if (::listen(fd.get(), backlog) != 0) return util::IoError(Errno("listen"));
+  if (::listen(fd.get(), options.backlog) != 0) {
+    return util::IoError(Errno("listen"));
+  }
   return fd;
 }
 
@@ -46,14 +61,23 @@ util::Result<std::uint16_t> LocalPort(int fd) {
   return static_cast<std::uint16_t>(ntohs(addr.sin_port));
 }
 
-util::Result<Accepted> TcpAccept(int listen_fd) {
+namespace {
+
+util::Result<Accepted> AcceptInternal(int listen_fd, int flags,
+                                      int* errno_out) {
   struct sockaddr_in peer;
   socklen_t len = sizeof(peer);
   int fd;
   do {
-    fd = ::accept(listen_fd, reinterpret_cast<struct sockaddr*>(&peer), &len);
+    len = sizeof(peer);
+    fd = ::accept4(listen_fd, reinterpret_cast<struct sockaddr*>(&peer), &len,
+                   flags);
   } while (fd < 0 && errno == EINTR);
-  if (fd < 0) return util::IoError(Errno("accept"));
+  if (fd < 0) {
+    if (errno_out != nullptr) *errno_out = errno;
+    return util::IoError(Errno("accept"));
+  }
+  if (errno_out != nullptr) *errno_out = 0;
   Accepted accepted;
   accepted.fd.Reset(fd);
   char buf[INET_ADDRSTRLEN];
@@ -61,6 +85,32 @@ util::Result<Accepted> TcpAccept(int listen_fd) {
     accepted.peer_ip = buf;
   }
   return accepted;
+}
+
+}  // namespace
+
+util::Result<Accepted> TcpAccept(int listen_fd, int* errno_out) {
+  return AcceptInternal(listen_fd, 0, errno_out);
+}
+
+util::Result<Accepted> TcpAcceptNonBlocking(int listen_fd, int* errno_out) {
+  return AcceptInternal(listen_fd, SOCK_NONBLOCK | SOCK_CLOEXEC, errno_out);
+}
+
+std::string AcceptErrnoName(int err) {
+  switch (err) {
+    case EINTR: return "EINTR";
+    case EAGAIN: return "EAGAIN";
+    case ECONNABORTED: return "ECONNABORTED";
+    case EPROTO: return "EPROTO";
+    case EMFILE: return "EMFILE";
+    case ENFILE: return "ENFILE";
+    case ENOBUFS: return "ENOBUFS";
+    case ENOMEM: return "ENOMEM";
+    case EBADF: return "EBADF";
+    case EINVAL: return "EINVAL";
+    default: return std::to_string(err);
+  }
 }
 
 util::Result<util::UniqueFd> TcpConnect(const std::string& host,

@@ -13,16 +13,44 @@ namespace sams::net {
 // Listens on 127.0.0.1:`port` (port 0 = kernel-assigned ephemeral).
 util::Result<util::UniqueFd> TcpListen(std::uint16_t port, int backlog = 128);
 
+// Listener options for the sharded master: `reuse_port` sets
+// SO_REUSEPORT before bind so N per-core reactors can each own a
+// listener on the same port and let the kernel load-balance SYNs
+// across them. Fails (rather than silently downgrading) when the
+// kernel refuses the option, so callers can fall back to a single
+// listener with explicit fd handoff.
+struct ListenOptions {
+  int backlog = 128;
+  bool reuse_port = false;
+};
+util::Result<util::UniqueFd> TcpListen(std::uint16_t port,
+                                       const ListenOptions& options);
+
 // The locally bound port of a listening (or connected) socket.
 util::Result<std::uint16_t> LocalPort(int fd);
 
 // Accepts one connection (blocking). Returns the connected fd and the
-// peer's dotted address.
+// peer's dotted address. On failure `errno_out` (when non-null)
+// receives the accept(2) errno so callers can distinguish transient
+// errors (ECONNABORTED) from fd exhaustion (EMFILE/ENFILE) and back
+// off instead of busy-spinning.
 struct Accepted {
   util::UniqueFd fd;
   std::string peer_ip;
 };
-util::Result<Accepted> TcpAccept(int listen_fd);
+util::Result<Accepted> TcpAccept(int listen_fd, int* errno_out = nullptr);
+
+// accept4(2) with SOCK_NONBLOCK | SOCK_CLOEXEC: the accepted socket is
+// born non-blocking, saving the fcntl round-trip per connection in the
+// sharded master's accept path. Same errno contract as TcpAccept;
+// EAGAIN means the (non-blocking) listener's queue is empty.
+util::Result<Accepted> TcpAcceptNonBlocking(int listen_fd,
+                                            int* errno_out = nullptr);
+
+// Symbolic name for an accept-path errno ("EMFILE", "EINTR", ...);
+// falls back to the decimal value for exotic codes. Used as the
+// `errno` label on sams_smtp_accept_errors_total.
+std::string AcceptErrnoName(int err);
 
 // Connects to host:port (blocking).
 util::Result<util::UniqueFd> TcpConnect(const std::string& host,

@@ -45,7 +45,16 @@ void ServerSession::Start() {
   Emit(BannerReply(cfg_.hostname));
 }
 
-void ServerSession::Emit(const Reply& reply) { hooks_.send(reply.Serialize()); }
+void ServerSession::Emit(const Reply& reply) {
+  if (peer_dead_) return;
+  if (!hooks_.send(reply.Serialize())) {
+    // The peer is gone (connection reset, send timeout). Abort: stop
+    // parsing, stop replying, let the owner tear the session down.
+    peer_dead_ = true;
+    TraceClose();
+    state_ = SessionState::kClosed;
+  }
+}
 
 void ServerSession::Feed(std::string_view bytes) {
   inbuf_.append(bytes);
@@ -111,7 +120,9 @@ void ServerSession::HandleDataBytes(std::string_view* bytes) {
     }
   }
   ResetTransaction();
-  state_ = SessionState::kGreeted;
+  // A send failure inside one of the Emits above already closed the
+  // session; do not resurrect it into kGreeted.
+  if (!peer_dead_) state_ = SessionState::kGreeted;
 }
 
 void ServerSession::ResetTransaction() {
@@ -190,7 +201,11 @@ void ServerSession::HandleCommand(std::string_view line) {
       if (first) TraceStage(obs::Stage::kRcpt);
       state_ = SessionState::kRcptGiven;
       Emit(OkReply());
-      if (first && hooks_.on_first_valid_rcpt) hooks_.on_first_valid_rcpt();
+      // A dead peer must not trigger delegation: the master would ship
+      // an already-closed session to a worker.
+      if (first && !peer_dead_ && hooks_.on_first_valid_rcpt) {
+        hooks_.on_first_valid_rcpt();
+      }
       return;
     }
 

@@ -71,8 +71,13 @@ struct SessionStats {
 class ServerSession {
  public:
   struct Hooks {
-    // Sends reply bytes to the client. Required.
-    std::function<void(std::string)> send;
+    // Sends reply bytes to the client. Required. Returns false when
+    // the peer is gone (the transport's send failed, e.g. SendAll hit
+    // kUnavailable on a reset connection); the session then aborts —
+    // state() drops to kClosed and no further replies are generated —
+    // instead of parsing on and answering a dead socket until the
+    // read timeout.
+    std::function<bool(std::string)> send;
     // Returns true when the recipient mailbox exists. Required.
     std::function<bool(const Address&)> validate_rcpt;
     // Post-DATA content check (§5.2 body tests): return false to
@@ -126,6 +131,10 @@ class ServerSession {
   const SessionStats& stats() const { return stats_; }
   const std::string& client_ip() const { return client_ip_; }
 
+  // True once a send hook reported the peer dead; the session is
+  // kClosed and every later Emit is suppressed.
+  bool peer_dead() const { return peer_dead_; }
+
   // Pending (accepted) envelope of the in-progress transaction.
   const Path& mail_from() const { return mail_from_; }
   const std::vector<Address>& rcpt_to() const { return rcpts_; }
@@ -155,10 +164,15 @@ class ServerSession {
   void ResetTransaction();
 
   void TraceStage(obs::Stage stage) {
-    if (span_.attached()) span_.Enter(stage, clock_());
+    if (span_.attached() && !trace_closed_) span_.Enter(stage, clock_());
   }
+  // Idempotent: a send failure may close the span mid-command and the
+  // QUIT path would otherwise close it a second time.
   void TraceClose() {
-    if (span_.attached()) span_.Close(clock_());
+    if (span_.attached() && !trace_closed_) {
+      span_.Close(clock_());
+      trace_closed_ = true;
+    }
   }
 
   SessionConfig cfg_;
@@ -175,6 +189,8 @@ class ServerSession {
   DotStuffDecoder decoder_;
   bool oversized_ = false;
   bool pause_requested_ = false;
+  bool peer_dead_ = false;
+  bool trace_closed_ = false;
 
   obs::SessionSpan span_;  // detached unless AttachTracer was called
   std::function<std::int64_t()> clock_;

@@ -4,7 +4,10 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <thread>
+#include <vector>
 
 #include "mta/recipient_db.h"
 #include "net/event_loop.h"
@@ -135,6 +138,93 @@ TEST(EventLoopTest, RemoveStopsDispatch) {
   ASSERT_TRUE((*loop)->Run().ok());
   EXPECT_EQ(calls, 1);
   EXPECT_EQ((*loop)->watched(), 0u);
+}
+
+TEST(TcpTest, ReusePortListenersShareOnePort) {
+  ListenOptions options;
+  options.reuse_port = true;
+  auto first = TcpListen(0, options);
+  ASSERT_TRUE(first.ok()) << first.error().ToString();
+  const std::uint16_t port = *LocalPort(first->get());
+  // A second SO_REUSEPORT listener binds the same port — the sharded
+  // master relies on this to give every reactor its own accept queue.
+  auto second = TcpListen(port, options);
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  // Without the option the same bind must fail.
+  auto plain = TcpListen(port);
+  EXPECT_FALSE(plain.ok());
+}
+
+TEST(TcpTest, NonBlockingAcceptReportsEagain) {
+  auto listener = TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  ASSERT_TRUE(util::SetNonBlocking(listener->get()).ok());
+  int err = 0;
+  auto accepted = TcpAcceptNonBlocking(listener->get(), &err);
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_TRUE(err == EAGAIN || err == EWOULDBLOCK);
+
+  auto client = TcpConnect("127.0.0.1", *LocalPort(listener->get()));
+  ASSERT_TRUE(client.ok());
+  // The connection is in the accept queue (loopback completes the
+  // handshake synchronously); accept4 must return a non-blocking fd.
+  accepted = TcpAcceptNonBlocking(listener->get(), &err);
+  ASSERT_TRUE(accepted.ok()) << accepted.error().ToString();
+  char buf[1];
+  const ssize_t n = ::read(accepted->fd.get(), buf, 1);
+  EXPECT_EQ(n, -1);
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+}
+
+TEST(TcpTest, AcceptErrnoNames) {
+  EXPECT_EQ(AcceptErrnoName(EMFILE), "EMFILE");
+  EXPECT_EQ(AcceptErrnoName(ECONNABORTED), "ECONNABORTED");
+  EXPECT_EQ(AcceptErrnoName(12345), "12345");
+}
+
+TEST(EventLoopTest, PostRunsTaskOnLoopThread) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  std::thread::id loop_thread;
+  std::thread::id task_thread;
+  std::thread runner([&] {
+    loop_thread = std::this_thread::get_id();
+    ASSERT_TRUE((*loop)->Run().ok());
+  });
+  (*loop)->Post([&] {
+    task_thread = std::this_thread::get_id();
+    (*loop)->Stop();
+  });
+  runner.join();
+  EXPECT_EQ(task_thread, loop_thread);
+  EXPECT_NE(task_thread, std::this_thread::get_id());
+}
+
+TEST(EventLoopTest, PostFromManyThreadsRunsEveryTask) {
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  std::atomic<int> ran{0};
+  std::thread runner([&] { ASSERT_TRUE((*loop)->Run().ok()); });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (*loop)->Post([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& poster : posters) poster.join();
+  // Flush: a final task observed in-order behind all of the above.
+  std::atomic<bool> flushed{false};
+  (*loop)->Post([&] {
+    flushed.store(true);
+    (*loop)->Stop();
+  });
+  runner.join();
+  EXPECT_TRUE(flushed.load());
+  EXPECT_EQ(ran.load(), kThreads * kPerThread);
 }
 
 TEST(RecipientDbTest, ValidatesMailboxes) {

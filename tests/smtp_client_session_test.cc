@@ -136,7 +136,7 @@ TEST(SmtpDialogTest, ClientAgainstServerDeliversMail) {
   std::vector<Envelope> mails;
   std::string to_client;
   ServerSession::Hooks hooks;
-  hooks.send = [&](std::string b) { to_client += b; };
+  hooks.send = [&](std::string b) { to_client += b; return true; };
   hooks.validate_rcpt = [](const Address& a) { return a.local() != "ghost"; };
   hooks.on_mail = [&](Envelope&& env) { mails.push_back(std::move(env)); };
   ServerSession server({}, std::move(hooks), "192.0.2.9");

@@ -17,7 +17,7 @@ namespace {
 struct Harness {
   explicit Harness(SessionConfig cfg = {}) {
     ServerSession::Hooks hooks;
-    hooks.send = [this](std::string bytes) { sent += bytes; };
+    hooks.send = [this](std::string bytes) { sent += bytes; return true; };
     hooks.validate_rcpt = [](const Address& addr) {
       return addr.local().starts_with("valid");
     };

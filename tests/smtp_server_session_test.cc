@@ -16,7 +16,10 @@ class ServerSessionTest : public ::testing::Test {
  protected:
   ServerSession MakeSession(SessionConfig cfg = {}) {
     ServerSession::Hooks hooks;
-    hooks.send = [this](std::string bytes) { wire_ += bytes; };
+    hooks.send = [this](std::string bytes) {
+      wire_ += bytes;
+      return !fail_sends_;
+    };
     hooks.validate_rcpt = [this](const Address& a) {
       return mailboxes_.count(a.ToString()) > 0;
     };
@@ -41,8 +44,41 @@ class ServerSessionTest : public ::testing::Test {
   std::string wire_;
   std::vector<Envelope> mails_;
   bool quit_ = false;
+  bool fail_sends_ = false;  // makes the send hook report a dead peer
   int first_rcpt_events_ = 0;
 };
+
+TEST_F(ServerSessionTest, SendFailureAbortsSession) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO host.example\r\nMAIL FROM:<x@spam.test>\r\n");
+  fail_sends_ = true;
+  const std::size_t wire_before = wire_.size();
+  s.Feed("RCPT TO:<alice@dept.test>\r\n");
+  // The failed 250 marks the peer dead: session closed, no delegation
+  // trigger, and the doomed reply bytes were the last ones generated.
+  EXPECT_TRUE(s.peer_dead());
+  EXPECT_EQ(s.state(), SessionState::kClosed);
+  EXPECT_EQ(first_rcpt_events_, 0);
+  const std::size_t wire_after_abort = wire_.size();
+  EXPECT_GT(wire_after_abort, wire_before);
+  s.Feed("DATA\r\nQUIT\r\n");
+  EXPECT_EQ(wire_.size(), wire_after_abort);  // no replies past the abort
+  EXPECT_FALSE(quit_);
+}
+
+TEST_F(ServerSessionTest, SendFailureDuringDataDoesNotResurrect) {
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO h\r\nMAIL FROM:<x@spam.test>\r\nRCPT TO:<alice@dept.test>\r\n");
+  s.Feed("DATA\r\n");
+  fail_sends_ = true;
+  s.Feed("body\r\n.\r\n");
+  // The 250 ack failed: the session must stay closed, not bounce back
+  // to kGreeted at the end of the DATA handler.
+  EXPECT_TRUE(s.peer_dead());
+  EXPECT_EQ(s.state(), SessionState::kClosed);
+}
 
 TEST_F(ServerSessionTest, StartSendsBanner) {
   auto s = MakeSession();
@@ -355,7 +391,7 @@ TEST_F(ServerSessionTest, HandoffRoundTripPreservesEnvelope) {
   std::string worker_wire;
   std::vector<Envelope> worker_mails;
   ServerSession::Hooks hooks;
-  hooks.send = [&](std::string b) { worker_wire += b; };
+  hooks.send = [&](std::string b) { worker_wire += b; return true; };
   hooks.validate_rcpt = [](const Address&) { return true; };
   hooks.on_mail = [&](Envelope&& env) { worker_mails.push_back(std::move(env)); };
   auto resumed = ServerSession::ResumeFromHandoff({}, std::move(hooks), *payload);
@@ -397,7 +433,7 @@ TEST_F(ServerSessionTest, HandoffWithPartialNextLineBuffered) {
 
   std::vector<Envelope> worker_mails;
   ServerSession::Hooks hooks;
-  hooks.send = [](std::string) {};
+  hooks.send = [](std::string) { return true; };
   hooks.validate_rcpt = [](const Address&) { return true; };
   hooks.on_mail = [&](Envelope&& env) { worker_mails.push_back(std::move(env)); };
   auto resumed = ServerSession::ResumeFromHandoff({}, std::move(hooks), *payload);
@@ -409,7 +445,7 @@ TEST_F(ServerSessionTest, HandoffWithPartialNextLineBuffered) {
 
 TEST_F(ServerSessionTest, ResumeRejectsCorruptPayloads) {
   ServerSession::Hooks hooks;
-  hooks.send = [](std::string) {};
+  hooks.send = [](std::string) { return true; };
   hooks.validate_rcpt = [](const Address&) { return true; };
   const std::string bad_payloads[] = {
       "",
