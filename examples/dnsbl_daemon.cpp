@@ -6,8 +6,14 @@
 // the cache behaviour of all three schemes plus a sample of the wire
 // query names (w.z.y.x.zone vs {0|1}.z.y.x.zone).
 //
-//   $ ./dnsbl_daemon
+//   $ ./dnsbl_daemon            # demo: burst, stats, one live round trip
+//   $ ./dnsbl_daemon --serve    # keep the UDP daemon up until Ctrl-C
+//                               # (feed its zone:port to live_smtp_server
+//                               #  --dnsbl-zones)
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 
 #include "dnsbl/dnsbl_server.h"
 #include "dnsbl/resolver.h"
@@ -20,7 +26,13 @@ using sams::dnsbl::Resolver;
 using sams::util::Ipv4;
 using sams::util::SimTime;
 
-int main() {
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool serve = argc > 1 && std::strcmp(argv[1], "--serve") == 0;
   // A small botnet with strong /24 clustering.
   sams::trace::SinkholeConfig cfg;
   cfg.n_connections = 20'000;
@@ -90,6 +102,20 @@ int main() {
                         : "NXDOMAIN");
       std::printf("  AAAA lookup for its /25      -> bitmap with %d listed "
                   "neighbour(s)\n", bitmap->PopCount());
+    }
+    if (serve) {
+      std::signal(SIGINT, HandleSignal);
+      std::signal(SIGTERM, HandleSignal);
+      std::printf("  serving %s on 127.0.0.1:%u until Ctrl-C — point the "
+                  "server at it with\n  live_smtp_server --dnsbl-zones "
+                  "%s:%u\n",
+                  lists[0]->zone().c_str(), *port, lists[0]->zone().c_str(),
+                  *port);
+      std::fflush(stdout);
+      while (!g_stop) {
+        struct timespec ts{0, 200'000'000};
+        nanosleep(&ts, nullptr);
+      }
     }
     daemon.Stop();
     std::printf("  daemon served %llu queries and shut down\n",

@@ -2,7 +2,7 @@
 // and talk to it with any SMTP client (netcat, swaks, telnet...).
 //
 //   $ ./live_smtp_server [port] [vanilla|hybrid] [mbox|maildir|hardlink|mfs]
-//                         [--shards N]
+//                         [--shards N] [--dnsbl-zones zone:port[,zone:port...]]
 //   $ printf 'HELO me\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<alice@example.test>\r\n
 //     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
 //
@@ -37,18 +37,43 @@ void HandleDumpSignal(int) { g_dump = 1; }
 
 int main(int argc, char** argv) {
   // --shards N (anywhere on the line) shards the fork-after-trust
-  // pre-trust master across N reactors; positional args keep their
-  // meaning with the flag removed.
+  // pre-trust master across N reactors; --dnsbl-zones zone:port[,...]
+  // turns on the async DNSBL pipeline against loopback daemons (run
+  // `dnsbl_daemon` first and pass its zone/port here). Positional args
+  // keep their meaning with the flags removed.
   int shards = 1;
+  std::string dnsbl_zones_arg;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--dnsbl-zones") == 0 && i + 1 < argc) {
+      dnsbl_zones_arg = argv[++i];
+    } else if (std::strncmp(argv[i], "--dnsbl-zones=", 14) == 0) {
+      dnsbl_zones_arg = argv[i] + 14;
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  std::vector<sams::dnsbl::ZoneEndpoint> dnsbl_zones;
+  for (std::size_t pos = 0; pos < dnsbl_zones_arg.size();) {
+    std::size_t comma = dnsbl_zones_arg.find(',', pos);
+    if (comma == std::string::npos) comma = dnsbl_zones_arg.size();
+    const std::string entry = dnsbl_zones_arg.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t colon = entry.rfind(':');
+    const int port =
+        colon == std::string::npos ? 0 : std::atoi(entry.c_str() + colon + 1);
+    if (colon == std::string::npos || colon == 0 || port <= 0 ||
+        port > 65535) {
+      std::fprintf(stderr, "--dnsbl-zones expects zone:port[,zone:port...], "
+                           "got \"%s\"\n", entry.c_str());
+      return 2;
+    }
+    dnsbl_zones.push_back({entry.substr(0, colon),
+                           static_cast<std::uint16_t>(port)});
   }
   if (shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1\n");
@@ -91,6 +116,10 @@ int main(int argc, char** argv) {
   cfg.master_idle_timeout_ms = 60'000;
   cfg.master_session_deadline_ms = 300'000;
   cfg.max_inflight_sessions = 512;
+  if (!dnsbl_zones.empty()) {
+    cfg.dnsbl.enabled = true;
+    cfg.dnsbl.zones = dnsbl_zones;
+  }
   // Declared before the server so bound counters outlive its threads.
   sams::obs::Registry registry;
   sams::obs::TraceSink trace;
@@ -114,6 +143,10 @@ int main(int argc, char** argv) {
       *bound, hybrid ? "fork-after-trust" : "thread-per-connection",
       layout.c_str(), server.num_shards(),
       server.handoff_fallback() ? ", handoff fallback" : "", root.c_str());
+  if (!dnsbl_zones.empty()) {
+    std::printf("async DNSBL pipeline on: %zu zone(s), lookups overlap the "
+                "SMTP dialog\n", dnsbl_zones.size());
+  }
 
   while (!g_stop) {
     if (g_dump) {

@@ -25,12 +25,12 @@ cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" >/dev/null
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== src/obs + src/fault + mfs fast path + sharded server under -Wall -Wextra -Werror =="
+echo "== src/obs + src/fault + src/dnsbl + mfs fast path + sharded server under -Wall -Wextra -Werror =="
 MFS_FAST_PATH=(src/mfs/record_io.cc src/mfs/group_commit.cc
                src/mfs/volume.cc src/mfs/store.cc)
 SHARD_PATH=(src/mta/smtp_server.cc src/net/tcp.cc src/net/event_loop.cc
-            src/smtp/server_session.cc)
-for src in src/obs/*.cc src/fault/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
+            src/net/udp.cc src/smtp/server_session.cc)
+for src in src/obs/*.cc src/fault/*.cc src/dnsbl/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
 done
@@ -43,6 +43,12 @@ echo "== group-commit smoke bench (fsyncs/mail < 1 at concurrency 8) =="
 
 echo "== shard-scaling smoke bench (2 shards >= 1.5x, skipped on 1 core) =="
 "${BUILD_DIR}/bench/bench_shard_scaling" --smoke
+
+echo "== dnsbl-overlap smoke bench (>= 80% of DNS RTT hidden, warm < 1 ms) =="
+"${BUILD_DIR}/bench/bench_dnsbl_overlap" --smoke
+
+echo "== collect BENCH_*.json -> BENCH_summary.json =="
+python3 scripts/collect_bench.py
 
 # Chaos smoke: run every fault-injection suite (injector unit tests,
 # MFS crash recovery, DNSBL hardening, server chaos) twice under the
@@ -74,7 +80,8 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
 
   # TSan is incompatible with ASan, so the thread-heavy suites get a
   # third tree; `-L threads` limits it to the tests that actually race
-  # threads: group-commit flushes and the sharded SMTP master.
+  # threads: group-commit flushes, the sharded SMTP master and the
+  # async DNSBL pipeline (shared cache + singleflight).
   TSAN_DIR="${BUILD_DIR}-tsan"
   echo "== sanitizer build (TSan) =="
   cmake -B "${TSAN_DIR}" -S . "${GENERATOR_ARGS[@]}" \
@@ -82,7 +89,7 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build "${TSAN_DIR}" -j "$(nproc)" --target mfs_commit_test \
-    --target smtp_shard_test
+    --target smtp_shard_test --target dnsbl_async_test
   echo "== sanitizer ctest (-L threads) =="
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -L threads -j "$(nproc)"
 fi

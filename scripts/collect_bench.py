@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gather BENCH_*.json snapshots into one BENCH_summary.json.
+
+Every bench writes its headline series as an obs registry snapshot
+({"metrics": [{name, type, labels, value}, ...]}) next to where it was
+run. This script collects every BENCH_*.json under a directory into a
+single summary keyed by bench name, so CI can archive one artifact and
+a regression diff is a single-file comparison:
+
+    python3 scripts/collect_bench.py [--dir DIR] [--out FILE]
+
+Exits nonzero when a snapshot is unreadable (a bench that crashed
+mid-write should fail the pipeline, not vanish from the summary).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def collect(directory: Path) -> tuple[dict, list[str]]:
+    benches = {}
+    errors = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json":
+            continue
+        name = path.stem[len("BENCH_"):]
+        try:
+            snapshot = json.loads(path.read_text())
+            metrics = snapshot["metrics"]
+        except (OSError, json.JSONDecodeError, KeyError) as err:
+            errors.append(f"{path}: {err}")
+            continue
+        benches[name] = {"path": str(path), "metrics": metrics}
+    return benches, errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="gather BENCH_*.json into BENCH_summary.json")
+    parser.add_argument("--dir", default=".",
+                        help="directory to scan (default: cwd)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <dir>/BENCH_summary.json)")
+    args = parser.parse_args()
+
+    directory = Path(args.dir)
+    out = Path(args.out) if args.out else directory / "BENCH_summary.json"
+    benches, errors = collect(directory)
+    for error in errors:
+        print(f"collect_bench: UNREADABLE {error}", file=sys.stderr)
+    if not benches and not errors:
+        print(f"collect_bench: no BENCH_*.json under {directory}",
+              file=sys.stderr)
+        return 1
+
+    summary = {
+        "generated_by": "scripts/collect_bench.py",
+        "benches": benches,
+    }
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    total = sum(len(b["metrics"]) for b in benches.values())
+    print(f"collect_bench: {len(benches)} bench(es), {total} metric(s) "
+          f"-> {out}")
+    for name, bench in sorted(benches.items()):
+        print(f"  {name:24s} {len(bench['metrics']):4d} metrics "
+              f"({bench['path']})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

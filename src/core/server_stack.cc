@@ -24,7 +24,8 @@ ServerStack::ServerStack(const StackConfig& cfg,
     resolver_ = std::make_unique<dnsbl::Resolver>(
         cfg_.prefix_dnsbl ? dnsbl::CacheMode::kPrefixCache
                           : dnsbl::CacheMode::kIpCache,
-        std::move(servers), cfg_.dnsbl_ttl, *resolver_rng_);
+        std::move(servers), cfg_.dnsbl_ttl, *resolver_rng_,
+        cfg_.dnsbl_cache_capacity);
   }
 
   mta::SimServerConfig server_cfg;

@@ -55,6 +55,9 @@ struct StackConfig {
   int master_shards = 1;
   util::SimTime unfinished_hold;
   util::SimTime dnsbl_ttl = util::SimTime::Hours(24);
+  // > 0 bounds each DNSBL cache (LRU at the cap); 0 = unbounded, the
+  // paper's emulation setup.
+  std::size_t dnsbl_cache_capacity = 0;
   std::uint64_t seed = 42;
 };
 

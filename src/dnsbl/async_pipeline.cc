@@ -1,0 +1,371 @@
+#include "dnsbl/async_pipeline.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "fault/injector.h"
+#include "net/udp.h"
+#include "util/time.h"
+
+namespace sams::dnsbl {
+namespace {
+
+constexpr std::size_t kMaxDatagram = 512;  // RFC 1035 UDP payload cap
+
+std::uint64_t Relaxed(const std::atomic<std::uint64_t>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// --- AsyncDnsblService --------------------------------------------------
+
+AsyncDnsblService::AsyncDnsblService(AsyncDnsblConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_capacity,
+             static_cast<std::int64_t>(cfg_.ttl_seconds) * 1'000'000'000,
+             cfg_.cache_lock_shards) {}
+
+void AsyncDnsblService::BindMetrics(obs::Registry& registry) {
+  cache_.BindMetrics(registry);
+  auto* lookups = &registry.GetCounter("sams_dnsbl_async_lookups_total",
+                                       "async DNSBL verdict requests");
+  auto* cache_hits = &registry.GetCounter(
+      "sams_dnsbl_async_cache_hits_total",
+      "verdicts answered from the shared prefix cache");
+  auto* coalesced = &registry.GetCounter(
+      "sams_dnsbl_async_coalesced_total",
+      "verdict requests that joined an already-open DNS round");
+  auto* queries = &registry.GetCounter("sams_dnsbl_async_queries_sent_total",
+                                       "DNS datagrams sent (all zones)");
+  auto* retries = &registry.GetCounter("sams_dnsbl_async_retries_total",
+                                       "zone queries re-sent after timeout");
+  auto* timeouts = &registry.GetCounter(
+      "sams_dnsbl_async_timeouts_total",
+      "zone queries abandoned past the retry budget");
+  auto* degraded = &registry.GetCounter(
+      "sams_dnsbl_async_degraded_total",
+      "lookups completed with at least one zone unanswered");
+  auto* mismatched = &registry.GetCounter(
+      "sams_dnsbl_async_mismatched_total",
+      "datagrams ignored: unparsable, unknown id, or wrong question");
+  auto* listed = &registry.GetCounter("sams_dnsbl_async_blacklisted_total",
+                                      "listed verdicts handed to sessions");
+  inflight_gauge_ = &registry.GetGauge("sams_dnsbl_async_inflight",
+                                       "open DNS rounds across all shards");
+  lookup_ms_ = &registry.GetHistogram(
+      "sams_dnsbl_async_lookup_ms", "DNS round latency (cache misses only)",
+      obs::HistogramSpec{0.05, 2.0, 20});
+  registry.AddCollector([this, lookups, cache_hits, coalesced, queries,
+                         retries, timeouts, degraded, mismatched, listed]() {
+    lookups->Overwrite(Relaxed(stats_.lookups));
+    cache_hits->Overwrite(Relaxed(stats_.cache_hits));
+    coalesced->Overwrite(Relaxed(stats_.coalesced));
+    queries->Overwrite(Relaxed(stats_.queries_sent));
+    retries->Overwrite(Relaxed(stats_.retries));
+    timeouts->Overwrite(Relaxed(stats_.timeouts));
+    degraded->Overwrite(Relaxed(stats_.degraded));
+    mismatched->Overwrite(Relaxed(stats_.mismatched));
+    listed->Overwrite(Relaxed(stats_.blacklisted));
+    inflight_gauge_->Set(stats_.inflight.load(std::memory_order_relaxed));
+  });
+}
+
+bool AsyncDnsblService::JoinOrOwn(Prefix25 prefix, Waiter waiter) {
+  std::lock_guard<std::mutex> lock(flights_mutex_);
+  auto [it, inserted] = flight_waiters_.try_emplace(prefix);
+  it->second.push_back(std::move(waiter));
+  return inserted;
+}
+
+std::vector<AsyncDnsblService::Waiter> AsyncDnsblService::TakeWaiters(
+    Prefix25 prefix) {
+  std::lock_guard<std::mutex> lock(flights_mutex_);
+  auto it = flight_waiters_.find(prefix);
+  if (it == flight_waiters_.end()) return {};
+  std::vector<Waiter> waiters = std::move(it->second);
+  flight_waiters_.erase(it);
+  return waiters;
+}
+
+// --- AsyncLookupPipeline ------------------------------------------------
+
+AsyncLookupPipeline::AsyncLookupPipeline(AsyncDnsblService& service,
+                                         net::EventLoop& loop)
+    : service_(service),
+      loop_(loop),
+      // Per-pipeline stream: DNS ids must differ across shards even
+      // though each shard has its own socket (cheap defence in depth).
+      rng_(static_cast<std::uint64_t>(util::MonotonicNanos()) ^
+           reinterpret_cast<std::uintptr_t>(this)) {}
+
+AsyncLookupPipeline::~AsyncLookupPipeline() {
+  // Abandon open rounds: waiters get a degraded verdict, delivered via
+  // Post so a stopped loop simply drops it — never a dangling callback
+  // running mid-teardown.
+  for (auto& [prefix, flight] : flights_) {
+    service_.stats_.inflight.fetch_sub(1, std::memory_order_relaxed);
+    service_.stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+    for (AsyncDnsblService::Waiter& w : service_.TakeWaiters(prefix)) {
+      AsyncVerdict verdict;
+      verdict.degraded = true;
+      verdict.blacklisted =
+          flight->bitmap.TestIp(w.ip) || !service_.cfg_.fail_open;
+      w.loop->Post(
+          [cb = std::move(w.callback), verdict]() { cb(verdict); });
+    }
+  }
+  flights_.clear();
+  by_id_.clear();
+  if (socket_.valid()) (void)loop_.Remove(socket_.get());
+  if (timer_.valid()) (void)loop_.Remove(timer_.get());
+}
+
+util::Error AsyncLookupPipeline::Init() {
+  util::Result<util::UniqueFd> sock = net::UdpOpenNonBlocking();
+  if (!sock.ok()) return sock.error();
+  socket_ = std::move(sock).value();
+  util::Result<util::UniqueFd> timer = net::CreateTimerFd();
+  if (!timer.ok()) return timer.error();
+  timer_ = std::move(timer).value();
+  SAMS_RETURN_IF_ERROR(loop_.Add(socket_.get(), EPOLLIN,
+                                 [this](std::uint32_t) { OnSocketReadable(); }));
+  SAMS_RETURN_IF_ERROR(
+      loop_.Add(timer_.get(), EPOLLIN, [this](std::uint32_t) { OnTimerFired(); }));
+  return util::OkError();
+}
+
+std::optional<AsyncVerdict> AsyncLookupPipeline::Begin(
+    util::Ipv4 ip, VerdictCallback callback) {
+  AsyncDnsblStats& stats = service_.stats_;
+  stats.lookups.fetch_add(1, std::memory_order_relaxed);
+  const Prefix25 prefix(ip);
+  const std::int64_t now = util::MonotonicNanos();
+
+  if (std::optional<PrefixBitmap> bitmap = service_.cache_.Lookup(prefix, now)) {
+    AsyncVerdict verdict;
+    verdict.cache_hit = true;
+    verdict.blacklisted = bitmap->TestIp(ip);
+    stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (verdict.blacklisted) {
+      stats.blacklisted.fetch_add(1, std::memory_order_relaxed);
+    }
+    return verdict;
+  }
+
+  if (service_.cfg_.zones.empty()) {
+    // Nothing to ask: resolve inline as an (uncached) clean verdict.
+    return AsyncVerdict{};
+  }
+
+  AsyncDnsblService::Waiter waiter;
+  waiter.loop = &loop_;
+  waiter.ip = ip;
+  waiter.callback = std::move(callback);
+  if (!service_.JoinOrOwn(prefix, std::move(waiter))) {
+    // Another shard (or an earlier connection on this one) already has
+    // this /25 in flight; its completion will call us back.
+    stats.coalesced.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  stats.inflight.fetch_add(1, std::memory_order_relaxed);
+  auto flight = std::make_unique<Flight>();
+  flight->prefix = prefix;
+  flight->ip = ip;
+  flight->begin_ns = now;
+  flight->zones.resize(service_.cfg_.zones.size());
+  Flight* raw = flight.get();
+  flights_.emplace(prefix, std::move(flight));
+  for (std::size_t z = 0; z < raw->zones.size(); ++z) {
+    SendZoneQuery(*raw, z, /*is_retry=*/false);
+  }
+  RearmTimer();
+  return std::nullopt;
+}
+
+void AsyncLookupPipeline::OnSocketReadable() {
+  std::uint8_t buf[kMaxDatagram];
+  bool completed_any = false;
+  for (;;) {
+    util::Result<std::size_t> n = net::UdpRecv(socket_.get(), buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    util::Result<ParsedResponse> parsed = ParseResponse(buf, *n);
+    if (!parsed.ok()) {
+      service_.stats_.mismatched.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto it = by_id_.find(parsed->id);
+    if (it == by_id_.end()) {
+      // Late answer to a query we already retired (or noise).
+      service_.stats_.mismatched.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Flight* flight = it->second.first;
+    const std::size_t zone_index = it->second.second;
+    ZoneQuery& zq = flight->zones[zone_index];
+    // Match the question too: an id collision with a stale retransmit
+    // must not complete the wrong zone's query.
+    const std::string expected = util::Dnsblv6QueryName(
+        flight->ip, service_.cfg_.zones[zone_index].zone);
+    if (parsed->question.qtype != QType::kAaaa ||
+        parsed->question.qname != expected) {
+      service_.stats_.mismatched.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    by_id_.erase(it);
+    zq.done = true;
+    flight->zones_done++;
+    if (parsed->rcode == RCode::kNoError) {
+      for (const DnsAnswer& answer : parsed->answers) {
+        util::Result<PrefixBitmap> bm = RdataToBitmap(answer.rdata);
+        if (bm.ok()) flight->bitmap |= *bm;
+      }
+    } else if (parsed->rcode != RCode::kNxDomain) {
+      // SERVFAIL and friends: the zone answered but not usefully.
+      zq.failed = true;
+    }
+    if (flight->zones_done == static_cast<int>(flight->zones.size())) {
+      CompleteFlight(flight->prefix);
+      completed_any = true;
+    }
+  }
+  if (completed_any) RearmTimer();
+}
+
+void AsyncLookupPipeline::OnTimerFired() {
+  net::DrainTimerFd(timer_.get());
+  const std::int64_t now = util::MonotonicNanos();
+  std::vector<Prefix25> completed;
+  for (auto& [prefix, flight] : flights_) {
+    for (std::size_t z = 0; z < flight->zones.size(); ++z) {
+      ZoneQuery& zq = flight->zones[z];
+      if (zq.done || zq.deadline_ns > now) continue;
+      if (zq.attempts <= service_.cfg_.max_retries) {
+        service_.stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        SendZoneQuery(*flight, z, /*is_retry=*/true);
+      } else {
+        service_.stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+        by_id_.erase(zq.id);
+        zq.done = true;
+        zq.failed = true;
+        flight->zones_done++;
+        if (flight->zones_done == static_cast<int>(flight->zones.size())) {
+          completed.push_back(prefix);
+        }
+      }
+    }
+  }
+  for (Prefix25 prefix : completed) CompleteFlight(prefix);
+  RearmTimer();
+}
+
+void AsyncLookupPipeline::SendZoneQuery(Flight& flight, std::size_t zone_index,
+                                        bool is_retry) {
+  ZoneQuery& zq = flight.zones[zone_index];
+  if (is_retry) by_id_.erase(zq.id);
+  zq.id = AllocateQueryId();
+  zq.attempts++;
+  zq.deadline_ns =
+      util::MonotonicNanos() +
+      static_cast<std::int64_t>(service_.cfg_.timeout_ms) * 1'000'000;
+  by_id_[zq.id] = {&flight, zone_index};
+
+  const ZoneEndpoint& zone = service_.cfg_.zones[zone_index];
+  DnsQuery query;
+  query.id = zq.id;
+  query.question.qname = util::Dnsblv6QueryName(flight.ip, zone.zone);
+  query.question.qtype = QType::kAaaa;
+  util::Result<std::vector<std::uint8_t>> wire = EncodeQuery(query);
+  if (!wire.ok()) return;  // timeout path will mark the zone failed
+
+  // Chaos: kDelay stalls the send (shrinks the overlap window); a drop
+  // loses the datagram (exercises timeout → retry → fail-open).
+  (void)SAMS_FAULT_ERROR("dnsbl.udp.delay");
+  if (!SAMS_FAULT_ERROR("dnsbl.udp.drop").ok()) return;
+
+  service_.stats_.queries_sent.fetch_add(1, std::memory_order_relaxed);
+  // A full socket buffer is indistinguishable from loss — the retry
+  // budget covers both.
+  (void)net::UdpSendToLoopback(socket_.get(), zone.port, wire->data(),
+                               wire->size());
+}
+
+void AsyncLookupPipeline::CompleteFlight(Prefix25 prefix) {
+  auto it = flights_.find(prefix);
+  if (it == flights_.end()) return;
+  std::unique_ptr<Flight> flight = std::move(it->second);
+  flights_.erase(it);
+  for (const ZoneQuery& zq : flight->zones) {
+    if (!zq.done) by_id_.erase(zq.id);
+  }
+  bool degraded = false;
+  for (const ZoneQuery& zq : flight->zones) degraded |= zq.failed;
+
+  const std::int64_t now = util::MonotonicNanos();
+  const std::int64_t latency_ns = now - flight->begin_ns;
+  AsyncDnsblStats& stats = service_.stats_;
+  stats.inflight.fetch_sub(1, std::memory_order_relaxed);
+  if (degraded) {
+    // A partial bitmap may still prove listings, but its negatives are
+    // unproven — caching it would whitewash the missing zone for a
+    // whole TTL. Degraded verdicts are always recomputed.
+    stats.degraded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    service_.cache_.Insert(prefix, flight->bitmap, now);
+  }
+  service_.ObserveLookupMs(static_cast<double>(latency_ns) / 1e6);
+
+  for (const AsyncDnsblService::Waiter& waiter : service_.TakeWaiters(prefix)) {
+    DispatchVerdict(waiter, flight->bitmap, degraded, latency_ns);
+  }
+}
+
+void AsyncLookupPipeline::DispatchVerdict(
+    const AsyncDnsblService::Waiter& waiter, const PrefixBitmap& bitmap,
+    bool degraded, std::int64_t latency_ns) {
+  AsyncVerdict verdict;
+  verdict.degraded = degraded;
+  verdict.latency_ns = latency_ns;
+  if (bitmap.TestIp(waiter.ip)) {
+    verdict.blacklisted = true;  // a proven listing beats a lost zone
+  } else if (degraded) {
+    verdict.blacklisted = !service_.cfg_.fail_open;
+  }
+  if (verdict.blacklisted) {
+    service_.stats_.blacklisted.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (waiter.loop == &loop_) {
+    waiter.callback(verdict);
+  } else {
+    waiter.loop->Post([cb = waiter.callback, verdict]() { cb(verdict); });
+  }
+}
+
+void AsyncLookupPipeline::RearmTimer() {
+  std::int64_t min_deadline = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [prefix, flight] : flights_) {
+    for (const ZoneQuery& zq : flight->zones) {
+      if (!zq.done) min_deadline = std::min(min_deadline, zq.deadline_ns);
+    }
+  }
+  if (min_deadline == std::numeric_limits<std::int64_t>::max()) {
+    (void)net::ArmTimerFdOnceMs(timer_.get(), 0);  // disarm
+    return;
+  }
+  std::int64_t ms = (min_deadline - util::MonotonicNanos()) / 1'000'000;
+  if (ms < 1) ms = 1;  // already due: fire ASAP, never disarm by accident
+  (void)net::ArmTimerFdOnceMs(timer_.get(), ms);
+}
+
+std::uint16_t AsyncLookupPipeline::AllocateQueryId() {
+  for (;;) {
+    const auto id = static_cast<std::uint16_t>(rng_.NextU64());
+    if (id != 0 && by_id_.find(id) == by_id_.end()) return id;
+  }
+}
+
+}  // namespace sams::dnsbl

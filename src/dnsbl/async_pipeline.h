@@ -1,0 +1,211 @@
+// AsyncLookupPipeline — the real server's non-blocking DNSBL client
+// (DESIGN.md §10).
+//
+// §4.3/Figure 5 show the DNSBL round trip dominating per-connection
+// latency. The paper's fix is architectural: start the lookup the
+// moment the connection is accepted, let the DNS datagrams fly while
+// the SMTP dialog (banner → HELO → MAIL FROM) proceeds, and harvest
+// the verdict at RCPT — by which time it has usually long arrived, so
+// the common case pays ~0 visible DNSBL latency (the Flash trick:
+// overlap remote I/O with protocol work instead of blocking on it).
+//
+// Two cooperating classes:
+//
+//   AsyncDnsblService — ONE per server. Owns the ConcurrentPrefixCache
+//     shared by every reactor shard and the singleflight table that
+//     coalesces concurrent misses: when a botnet /24 bursts, N shards
+//     asking about the same /25 produce ONE in-flight DNS round; the
+//     other N-1 callers are parked as waiters and completed when the
+//     owner's answer lands (groupcache-style keyed coalescing).
+//
+//   AsyncLookupPipeline — one per reactor shard. Owns a non-blocking
+//     UDP socket and a timerfd registered directly on the shard's
+//     net::EventLoop (EPOLLIN + loop timer; no thread per lookup),
+//     issues AAAA /25-bitmap queries to every configured zone in
+//     parallel, matches answers by DNS id *and* question name (a late
+//     retransmit cannot complete the wrong flight), and times out /
+//     retries per zone. A lookup that lost any zone is "degraded": its
+//     verdict is synthesized per fail-open and NEVER cached.
+//
+// Thread model: all pipeline methods (Begin, socket/timer callbacks,
+// destructor) run on the owning shard's loop thread. Cross-shard
+// verdict delivery goes through net::EventLoop::Post, so callbacks
+// always fire on the thread that registered them.
+//
+// Fault points: "dnsbl.udp.delay" (stalls a send — chaos makes the
+// overlap window visible) and "dnsbl.udp.drop" (loses the datagram —
+// chaos exercises the timeout/retry/fail-open path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dnsbl/concurrent_cache.h"
+#include "dnsbl/dns_wire.h"
+#include "net/event_loop.h"
+#include "obs/metrics.h"
+#include "util/fd.h"
+#include "util/ipv4.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace sams::dnsbl {
+
+// A DNSBL zone served on 127.0.0.1:<port> (UdpDnsblDaemon or any real
+// DNS speaker answering AAAA bitmap queries).
+struct ZoneEndpoint {
+  std::string zone;
+  std::uint16_t port = 0;
+};
+
+struct AsyncDnsblConfig {
+  bool enabled = false;
+  std::vector<ZoneEndpoint> zones;
+  // Per-zone attempt timeout and bounded retries (a lost datagram is
+  // re-sent; after the budget the zone is marked failed → degraded).
+  int timeout_ms = 800;
+  int max_retries = 1;
+  // Degraded verdict synthesis: fail-open treats unanswered zones as
+  // "not listed" (availability), fail-closed as "listed" (paranoia).
+  bool fail_open = true;
+  std::uint32_t ttl_seconds = 24 * 3600;   // cache TTL (wall clock)
+  std::size_t cache_capacity = 1u << 16;   // /25 entries, LRU-bounded
+  std::size_t cache_lock_shards = 16;
+};
+
+struct AsyncVerdict {
+  bool blacklisted = false;
+  bool degraded = false;   // a zone's answer was lost; NOT cached
+  bool cache_hit = false;
+  std::int64_t latency_ns = 0;  // DNS round latency (0 on a cache hit)
+};
+
+using VerdictCallback = std::function<void(const AsyncVerdict&)>;
+
+struct AsyncDnsblStats {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> coalesced{0};     // joined an in-flight round
+  std::atomic<std::uint64_t> queries_sent{0};  // DNS datagrams sent
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> timeouts{0};      // zone attempts abandoned
+  std::atomic<std::uint64_t> degraded{0};      // flights missing a zone
+  std::atomic<std::uint64_t> mismatched{0};    // late/alien answers ignored
+  std::atomic<std::uint64_t> blacklisted{0};   // listed verdicts handed out
+  std::atomic<int> inflight{0};                // open DNS rounds (all shards)
+};
+
+class AsyncLookupPipeline;
+
+class AsyncDnsblService {
+ public:
+  explicit AsyncDnsblService(AsyncDnsblConfig cfg);
+
+  AsyncDnsblService(const AsyncDnsblService&) = delete;
+  AsyncDnsblService& operator=(const AsyncDnsblService&) = delete;
+
+  const AsyncDnsblConfig& config() const { return cfg_; }
+  ConcurrentPrefixCache& cache() { return cache_; }
+  const AsyncDnsblStats& stats() const { return stats_; }
+
+  // Publishes sams_dnsbl_async_* and the shared cache's counters.
+  void BindMetrics(obs::Registry& registry);
+
+ private:
+  friend class AsyncLookupPipeline;
+
+  struct Waiter {
+    net::EventLoop* loop = nullptr;  // where the callback must run
+    util::Ipv4 ip;                   // verdict is per-IP within the /25
+    VerdictCallback callback;
+  };
+
+  // Singleflight: appends the waiter to the prefix's round. Returns
+  // true when the caller opened the round and must issue the queries.
+  bool JoinOrOwn(Prefix25 prefix, Waiter waiter);
+  std::vector<Waiter> TakeWaiters(Prefix25 prefix);
+
+  void ObserveLookupMs(double ms) {
+    if (lookup_ms_ != nullptr) lookup_ms_->Observe(ms);
+  }
+
+  AsyncDnsblConfig cfg_;
+  ConcurrentPrefixCache cache_;
+  AsyncDnsblStats stats_;
+
+  std::mutex flights_mutex_;
+  std::unordered_map<Prefix25, std::vector<Waiter>> flight_waiters_;
+
+  // Optional observability (null until BindMetrics).
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Histogram* lookup_ms_ = nullptr;
+};
+
+class AsyncLookupPipeline {
+ public:
+  // Construct + Init on the loop's thread, before loop.Run() or from a
+  // task running inside it. The service and loop must outlive the
+  // pipeline; the pipeline must be destroyed on the loop thread after
+  // the loop stopped (its dtor completes abandoned rounds fail-open).
+  AsyncLookupPipeline(AsyncDnsblService& service, net::EventLoop& loop);
+  ~AsyncLookupPipeline();
+
+  AsyncLookupPipeline(const AsyncLookupPipeline&) = delete;
+  AsyncLookupPipeline& operator=(const AsyncLookupPipeline&) = delete;
+
+  // Opens the UDP socket + timer and registers both on the loop.
+  util::Error Init();
+
+  // Starts (or joins) the verdict lookup for `ip`. On a cache hit the
+  // verdict is returned immediately and `callback` is never invoked;
+  // otherwise `callback` fires exactly once, later, on this pipeline's
+  // loop thread (even when another shard's round answers it).
+  std::optional<AsyncVerdict> Begin(util::Ipv4 ip, VerdictCallback callback);
+
+  // Open DNS rounds owned by THIS pipeline (tests/teardown checks).
+  std::size_t owned_flights() const { return flights_.size(); }
+
+ private:
+  struct ZoneQuery {
+    std::uint16_t id = 0;
+    int attempts = 0;            // send attempts so far
+    std::int64_t deadline_ns = 0;
+    bool done = false;
+    bool failed = false;         // timed out past the retry budget
+  };
+  struct Flight {
+    Prefix25 prefix;
+    util::Ipv4 ip;               // representative address (query names)
+    std::int64_t begin_ns = 0;
+    PrefixBitmap bitmap;         // union of zone answers so far
+    int zones_done = 0;
+    std::vector<ZoneQuery> zones;
+  };
+
+  void OnSocketReadable();
+  void OnTimerFired();
+  void SendZoneQuery(Flight& flight, std::size_t zone_index, bool is_retry);
+  void CompleteFlight(Prefix25 prefix);
+  void DispatchVerdict(const AsyncDnsblService::Waiter& waiter,
+                       const PrefixBitmap& bitmap, bool degraded,
+                       std::int64_t latency_ns);
+  void RearmTimer();
+  std::uint16_t AllocateQueryId();
+
+  AsyncDnsblService& service_;
+  net::EventLoop& loop_;
+  util::UniqueFd socket_;
+  util::UniqueFd timer_;
+  std::unordered_map<Prefix25, std::unique_ptr<Flight>> flights_;
+  // DNS id -> (flight, zone index); ids are per-pipeline (per-socket).
+  std::unordered_map<std::uint16_t, std::pair<Flight*, std::size_t>> by_id_;
+  util::Rng rng_;
+};
+
+}  // namespace sams::dnsbl

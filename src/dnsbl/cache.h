@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 
 #include "dnsbl/blacklist_db.h"
@@ -24,7 +25,8 @@ struct CacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
   std::uint64_t insertions = 0;
-  std::uint64_t expirations = 0;
+  std::uint64_t expirations = 0;  // stale entries dropped on probe
+  std::uint64_t evictions = 0;    // LRU entries displaced at capacity
 
   double HitRatio() const {
     return lookups == 0 ? 0.0
@@ -40,12 +42,17 @@ struct CacheCounters {
   obs::Counter* hits = nullptr;
   obs::Counter* insertions = nullptr;
   obs::Counter* expirations = nullptr;
+  obs::Counter* evictions = nullptr;
 };
 
 template <typename Key, typename Value>
 class TtlCache {
  public:
-  explicit TtlCache(SimTime ttl) : ttl_(ttl) {}
+  // `capacity` > 0 bounds the entry count: at capacity, inserting a
+  // new key evicts the least-recently-used entry (a hit or overwrite
+  // refreshes recency). 0 = unbounded, the paper's emulation setup.
+  explicit TtlCache(SimTime ttl, std::size_t capacity = 0)
+      : ttl_(ttl), capacity_(capacity) {}
 
   // Mirrors every stats update into `counters` from now on.
   void BindCounters(const CacheCounters& counters) { counters_ = counters; }
@@ -59,31 +66,58 @@ class TtlCache {
     if (it->second.expires_at < now) {
       ++stats_.expirations;
       if (counters_.expirations != nullptr) counters_.expirations->Inc();
+      if (capacity_ > 0) lru_.erase(it->second.lru_pos);
       map_.erase(it);
       return nullptr;
     }
     ++stats_.hits;
     if (counters_.hits != nullptr) counters_.hits->Inc();
+    if (capacity_ > 0) lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return &it->second.value;
   }
 
   void Insert(const Key& key, Value value, SimTime now) {
     ++stats_.insertions;
     if (counters_.insertions != nullptr) counters_.insertions->Inc();
-    map_[key] = Entry{std::move(value), now + ttl_};
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      it->second.expires_at = now + ttl_;
+      if (capacity_ > 0) lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return;
+    }
+    if (capacity_ > 0) {
+      if (map_.size() >= capacity_) {
+        ++stats_.evictions;
+        if (counters_.evictions != nullptr) counters_.evictions->Inc();
+        map_.erase(lru_.back());
+        lru_.pop_back();
+      }
+      lru_.push_front(key);
+      map_.emplace(key, Entry{std::move(value), now + ttl_, lru_.begin()});
+      return;
+    }
+    map_.emplace(key, Entry{std::move(value), now + ttl_, {}});
   }
 
-  void Clear() { map_.clear(); }
+  void Clear() {
+    map_.clear();
+    lru_.clear();
+  }
   std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
   const CacheStats& stats() const { return stats_; }
 
  private:
   struct Entry {
     Value value;
     SimTime expires_at;
+    typename std::list<Key>::iterator lru_pos;  // valid iff capacity_ > 0
   };
   SimTime ttl_;
+  std::size_t capacity_;
   std::unordered_map<Key, Entry> map_;
+  std::list<Key> lru_;  // front = most recently used; empty if unbounded
   CacheStats stats_;
   CacheCounters counters_;
 };

@@ -1,0 +1,96 @@
+#include "dnsbl/concurrent_cache.h"
+
+namespace sams::dnsbl {
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ConcurrentPrefixCache::ConcurrentPrefixCache(std::size_t capacity,
+                                             std::int64_t ttl_ns,
+                                             std::size_t lock_shards)
+    : ttl_ns_(ttl_ns) {
+  const std::size_t n = RoundUpPow2(lock_shards == 0 ? 1 : lock_shards);
+  shard_mask_ = n - 1;
+  shards_ = std::vector<Shard>(n);
+  // Ceiling division: a capacity smaller than the shard count still
+  // bounds every shard to at least one entry.
+  capacity_per_shard_ = capacity == 0 ? 0 : (capacity + n - 1) / n;
+}
+
+std::optional<PrefixBitmap> ConcurrentPrefixCache::Lookup(
+    Prefix25 prefix, std::int64_t now_ns) {
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  if (lookups_counter_ != nullptr) lookups_counter_->Inc();
+  Shard& shard = ShardFor(prefix);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(prefix);
+  if (it == shard.map.end()) return std::nullopt;
+  if (it->second.expires_ns < now_ns) {
+    stats_.expirations.fetch_add(1, std::memory_order_relaxed);
+    if (expirations_counter_ != nullptr) expirations_counter_->Inc();
+    shard.lru.erase(it->second.lru_pos);
+    shard.map.erase(it);
+    return std::nullopt;
+  }
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  if (hits_counter_ != nullptr) hits_counter_->Inc();
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.bitmap;
+}
+
+void ConcurrentPrefixCache::Insert(Prefix25 prefix, const PrefixBitmap& bitmap,
+                                   std::int64_t now_ns) {
+  stats_.insertions.fetch_add(1, std::memory_order_relaxed);
+  if (insertions_counter_ != nullptr) insertions_counter_->Inc();
+  Shard& shard = ShardFor(prefix);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(prefix);
+  if (it != shard.map.end()) {
+    it->second.bitmap = bitmap;
+    it->second.expires_ns = now_ns + ttl_ns_;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  if (capacity_per_shard_ > 0 && shard.map.size() >= capacity_per_shard_) {
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (evictions_counter_ != nullptr) evictions_counter_->Inc();
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(prefix);
+  shard.map.emplace(prefix,
+                    Entry{bitmap, now_ns + ttl_ns_, shard.lru.begin()});
+}
+
+std::size_t ConcurrentPrefixCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void ConcurrentPrefixCache::BindMetrics(obs::Registry& registry) {
+  lookups_counter_ = &registry.GetCounter(
+      "sams_dnsbl_ccache_lookups_total",
+      "concurrent prefix-cache probes (all reactor shards)");
+  hits_counter_ = &registry.GetCounter("sams_dnsbl_ccache_hits_total",
+                                       "concurrent prefix-cache fresh hits");
+  insertions_counter_ = &registry.GetCounter(
+      "sams_dnsbl_ccache_insertions_total", "concurrent prefix-cache fills");
+  expirations_counter_ = &registry.GetCounter(
+      "sams_dnsbl_ccache_expirations_total",
+      "concurrent prefix-cache entries dropped stale on probe");
+  evictions_counter_ = &registry.GetCounter(
+      "sams_dnsbl_ccache_evictions_total",
+      "concurrent prefix-cache LRU entries displaced at capacity");
+}
+
+}  // namespace sams::dnsbl

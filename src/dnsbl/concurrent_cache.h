@@ -1,0 +1,95 @@
+// ConcurrentPrefixCache — the shared DNSBLv6 verdict cache of the real
+// server (DESIGN.md §10).
+//
+// All reactor shards consult one cache, so a /25 bitmap fetched by any
+// shard answers every shard's next connection from that prefix — the
+// §7.2 hit-ratio gain survives sharding. Unlike the simulation's
+// TtlCache this one is thread-safe (sharded mutexes: the lock a lookup
+// takes is chosen by prefix hash, so shards rarely contend), runs on
+// the wall clock (monotonic nanoseconds), and is bounded: each lock
+// shard keeps an LRU list and evicts its coldest entry when full, so a
+// botnet sweeping address space cannot grow the cache without bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dnsbl/blacklist_db.h"
+#include "obs/metrics.h"
+
+namespace sams::dnsbl {
+
+struct ConcurrentCacheStats {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> insertions{0};
+  std::atomic<std::uint64_t> expirations{0};  // stale entries dropped on probe
+  std::atomic<std::uint64_t> evictions{0};    // LRU entries displaced when full
+};
+
+class ConcurrentPrefixCache {
+ public:
+  // `capacity` bounds the total entry count across all lock shards
+  // (0 = unbounded); `ttl_ns` is wall-clock freshness. `lock_shards`
+  // is rounded up to a power of two.
+  ConcurrentPrefixCache(std::size_t capacity, std::int64_t ttl_ns,
+                        std::size_t lock_shards = 16);
+
+  ConcurrentPrefixCache(const ConcurrentPrefixCache&) = delete;
+  ConcurrentPrefixCache& operator=(const ConcurrentPrefixCache&) = delete;
+
+  // Fresh bitmap for `prefix` at `now_ns`, or nullopt. A hit refreshes
+  // the entry's LRU position; a stale entry is erased on the spot.
+  std::optional<PrefixBitmap> Lookup(Prefix25 prefix, std::int64_t now_ns);
+
+  // Inserts/overwrites; evicts the shard's LRU entry when at capacity.
+  void Insert(Prefix25 prefix, const PrefixBitmap& bitmap,
+              std::int64_t now_ns);
+
+  std::size_t size() const;
+  const ConcurrentCacheStats& stats() const { return stats_; }
+
+  // Publishes sams_dnsbl_ccache_* counters; live totals, no collector
+  // needed. The registry must outlive the cache's users.
+  void BindMetrics(obs::Registry& registry);
+
+ private:
+  struct Entry {
+    PrefixBitmap bitmap;
+    std::int64_t expires_ns = 0;
+    std::list<Prefix25>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Prefix25, Entry> map;
+    std::list<Prefix25> lru;  // front = most recently used
+  };
+
+  Shard& ShardFor(Prefix25 prefix) {
+    // Multiplicative hash: /25 values are sequential for adjacent
+    // networks, so masking the raw value would pile a /17's worth of
+    // neighbours onto one lock.
+    const std::uint64_t h = prefix.value() * 0x9E3779B97F4A7C15ULL;
+    return shards_[(h >> 32) & shard_mask_];
+  }
+
+  std::size_t capacity_per_shard_;  // 0 = unbounded
+  std::int64_t ttl_ns_;
+  std::size_t shard_mask_;
+  std::vector<Shard> shards_;
+  ConcurrentCacheStats stats_;
+
+  // Optional observability (null until BindMetrics).
+  obs::Counter* lookups_counter_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* insertions_counter_ = nullptr;
+  obs::Counter* expirations_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+};
+
+}  // namespace sams::dnsbl

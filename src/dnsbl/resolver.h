@@ -113,10 +113,12 @@ struct ResolverStats {
 
 class Resolver {
  public:
+  // `cache_capacity` > 0 bounds each cache (LRU eviction at the cap);
+  // 0 keeps the paper's unbounded-emulation behaviour.
   Resolver(CacheMode mode, std::vector<const DnsblServer*> servers,
-           SimTime ttl, util::Rng& rng)
+           SimTime ttl, util::Rng& rng, std::size_t cache_capacity = 0)
       : mode_(mode), servers_(std::move(servers)), rng_(rng),
-        ip_cache_(ttl), prefix_cache_(ttl),
+        ip_cache_(ttl, cache_capacity), prefix_cache_(ttl, cache_capacity),
         health_(servers_.size()) {}
 
   // Installs the hardening policy (timeouts/retries/breaker). Resets

@@ -2,14 +2,19 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 
 #include "util/ipv4.h"
 #include "util/logging.h"
+#include "util/rng.h"
+#include "util/time.h"
 
 namespace sams::dnsbl {
 namespace {
@@ -36,8 +41,12 @@ util::Result<util::UniqueFd> BindUdpLoopback(std::uint16_t port) {
 }  // namespace
 
 UdpDnsblDaemon::UdpDnsblDaemon(std::string zone, const BlacklistDb& db,
-                               std::uint32_t ttl_seconds)
-    : zone_(std::move(zone)), db_(db), ttl_seconds_(ttl_seconds) {}
+                               std::uint32_t ttl_seconds,
+                               int response_delay_ms)
+    : zone_(std::move(zone)),
+      db_(db),
+      ttl_seconds_(ttl_seconds),
+      response_delay_ms_(response_delay_ms) {}
 
 UdpDnsblDaemon::~UdpDnsblDaemon() { Stop(); }
 
@@ -73,7 +82,43 @@ void UdpDnsblDaemon::Stop() {
 
 void UdpDnsblDaemon::ServeLoop() {
   std::uint8_t buf[1500];
+  // Answers aging toward their injected-RTT due time. Fixed delay means
+  // FIFO order is also due order, so a deque suffices. Receiving keeps
+  // going while answers wait here — concurrent queries see the delay in
+  // parallel, not summed.
+  struct Pending {
+    std::int64_t due_ns;
+    std::vector<std::uint8_t> datagram;
+    struct sockaddr_in peer;
+    socklen_t peer_len;
+  };
+  std::deque<Pending> pending;
+  const std::int64_t delay_ns =
+      static_cast<std::int64_t>(response_delay_ms_) * 1'000'000;
+
   while (running_.load(std::memory_order_acquire)) {
+    int wait_ms = -1;  // nothing pending: block until a query arrives
+    if (!pending.empty()) {
+      const std::int64_t until_due =
+          (pending.front().due_ns - util::MonotonicNanos()) / 1'000'000;
+      wait_ms = static_cast<int>(std::clamp<std::int64_t>(until_due, 0, 1000));
+    }
+    struct pollfd pfd {socket_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const std::int64_t now = util::MonotonicNanos();
+    while (!pending.empty() && pending.front().due_ns <= now) {
+      Pending& due = pending.front();
+      (void)::sendto(socket_.get(), due.datagram.data(), due.datagram.size(),
+                     0, reinterpret_cast<struct sockaddr*>(&due.peer),
+                     due.peer_len);
+      pending.pop_front();
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+
     struct sockaddr_in peer;
     socklen_t peer_len = sizeof(peer);
     const ssize_t n =
@@ -118,6 +163,11 @@ void UdpDnsblDaemon::ServeLoop() {
 
     auto response = EncodeResponse(*query, answer);
     if (!response.ok()) continue;
+    if (delay_ns > 0) {
+      pending.push_back(Pending{util::MonotonicNanos() + delay_ns,
+                                std::move(*response), peer, peer_len});
+      continue;
+    }
     (void)::sendto(socket_.get(), response->data(), response->size(), 0,
                    reinterpret_cast<struct sockaddr*>(&peer), peer_len);
   }
@@ -127,15 +177,20 @@ void UdpDnsblDaemon::ServeLoop() {
 
 UdpDnsblClient::UdpDnsblClient(std::uint16_t server_port, std::string zone,
                                int timeout_ms)
-    : port_(server_port), zone_(std::move(zone)), timeout_ms_(timeout_ms) {}
+    : port_(server_port),
+      zone_(std::move(zone)),
+      timeout_ms_(timeout_ms),
+      // Random starting id: a predictable stream (the old "start at 1")
+      // lets an off-path attacker forge "not listed" answers by racing
+      // the real daemon with guessed ids.
+      next_id_(static_cast<std::uint16_t>(
+          util::Rng(static_cast<std::uint64_t>(util::MonotonicNanos()) ^
+                    reinterpret_cast<std::uintptr_t>(this))
+              .NextU64())) {}
 
 util::Result<ParsedResponse> UdpDnsblClient::RoundTrip(const DnsQuery& query) {
   util::UniqueFd fd(::socket(AF_INET, SOCK_DGRAM, 0));
   if (!fd.valid()) return util::IoError(Errno("socket"));
-  struct timeval tv;
-  tv.tv_sec = timeout_ms_ / 1000;
-  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
-  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -149,20 +204,45 @@ util::Result<ParsedResponse> UdpDnsblClient::RoundTrip(const DnsQuery& query) {
                reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
     return util::IoError(Errno("sendto"));
   }
+
+  // Receive until the deadline, not just once: a duplicate of last
+  // query's answer (late daemon retransmit, delay-queue straggler) must
+  // be skipped, not returned as this query's verdict or treated as a
+  // protocol error.
+  const std::int64_t deadline_ns =
+      util::MonotonicNanos() + static_cast<std::int64_t>(timeout_ms_) * 1'000'000;
   std::uint8_t buf[1500];
-  const ssize_t n = ::recvfrom(fd.get(), buf, sizeof(buf), 0, nullptr, nullptr);
-  if (n < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return util::Unavailable("DNS query timed out");
+  for (;;) {
+    const std::int64_t remaining_ns = deadline_ns - util::MonotonicNanos();
+    if (remaining_ns <= 0) return util::Unavailable("DNS query timed out");
+    struct timeval tv;
+    tv.tv_sec = remaining_ns / 1'000'000'000;
+    tv.tv_usec = static_cast<long>((remaining_ns / 1'000) % 1'000'000);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    const ssize_t n =
+        ::recvfrom(fd.get(), buf, sizeof(buf), 0, nullptr, nullptr);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return util::Unavailable("DNS query timed out");
+      }
+      return util::IoError(Errno("recvfrom"));
     }
-    return util::IoError(Errno("recvfrom"));
+    auto response = ParseResponse(buf, static_cast<std::size_t>(n));
+    if (!response.ok()) {
+      ++mismatched_;  // unparsable noise; keep waiting for the answer
+      continue;
+    }
+    if (response->id != query.id ||
+        response->question.qtype != query.question.qtype ||
+        response->question.qname != query.question.qname) {
+      ++mismatched_;
+      continue;
+    }
+    return response;
   }
-  auto response = ParseResponse(buf, static_cast<std::size_t>(n));
-  if (!response.ok()) return response.error();
-  if (response->id != query.id) {
-    return util::ProtocolError("response id mismatch");
-  }
-  return response;
 }
 
 util::Result<std::uint8_t> UdpDnsblClient::QueryIp(Ipv4 ip) {

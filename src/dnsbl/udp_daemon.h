@@ -34,9 +34,14 @@ struct DaemonStats {
 
 class UdpDnsblDaemon {
  public:
-  // The database must outlive the daemon.
+  // The database must outlive the daemon. `response_delay_ms` > 0
+  // emulates WAN RTT to a remote blacklist: each answer is held back
+  // that long, without serializing concurrent queries (the serve loop
+  // keeps receiving while answers age in a delay queue) — this is how
+  // bench_dnsbl_overlap injects a controlled DNS RTT.
   UdpDnsblDaemon(std::string zone, const BlacklistDb& db,
-                 std::uint32_t ttl_seconds = 24 * 3600);
+                 std::uint32_t ttl_seconds = 24 * 3600,
+                 int response_delay_ms = 0);
   ~UdpDnsblDaemon();
 
   UdpDnsblDaemon(const UdpDnsblDaemon&) = delete;
@@ -55,13 +60,18 @@ class UdpDnsblDaemon {
   std::string zone_;
   const BlacklistDb& db_;
   std::uint32_t ttl_seconds_;
+  int response_delay_ms_;
   util::UniqueFd socket_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   DaemonStats stats_;
 };
 
-// Blocking UDP DNSBL client.
+// Blocking UDP DNSBL client. Query ids start at a random point (a
+// predictable id stream makes off-path response forgery trivial), and
+// RoundTrip keeps listening until its deadline when a datagram arrives
+// whose id or question doesn't match the outstanding query — late
+// retransmits and alien datagrams are ignored, not fatal.
 class UdpDnsblClient {
  public:
   // `server_port` on 127.0.0.1; per-query timeout.
@@ -74,13 +84,17 @@ class UdpDnsblClient {
   // DNSBLv6 lookup: the /25 bitmap for ip's prefix.
   util::Result<PrefixBitmap> QueryPrefix(Ipv4 ip);
 
+  // Datagrams ignored by RoundTrip for id/question mismatch.
+  std::uint64_t mismatched() const { return mismatched_; }
+
  private:
   util::Result<ParsedResponse> RoundTrip(const DnsQuery& query);
 
   std::uint16_t port_;
   std::string zone_;
   int timeout_ms_;
-  std::uint16_t next_id_ = 1;
+  std::uint16_t next_id_;
+  std::uint64_t mismatched_ = 0;
 };
 
 }  // namespace sams::dnsbl

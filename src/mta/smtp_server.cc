@@ -47,6 +47,17 @@ struct SmtpServer::MasterConn {
   // on inactivity, and every pre-trust session has a hard deadline.
   std::int64_t accepted_ns = 0;
   std::int64_t last_activity_ns = 0;
+  // Guards async DNSBL callbacks across fd reuse: a verdict for a
+  // closed connection whose fd number was re-adopted must not touch
+  // the newcomer.
+  std::uint64_t gen = 0;
+  // Async DNSBL verdict state (all touched on the shard loop only).
+  util::Ipv4 dnsbl_ip;
+  bool dnsbl_pending = false;       // lookup launched, verdict outstanding
+  bool dnsbl_have_verdict = false;
+  bool dnsbl_blacklisted = false;
+  std::int64_t dnsbl_begin_ns = 0;  // when the lookup launched
+  std::int64_t dnsbl_rcpt_ns = 0;   // when the first RCPT began waiting
 };
 
 // One pre-trust reactor: an event loop on its own thread, plus (in
@@ -66,7 +77,11 @@ struct SmtpServer::Shard {
 
 SmtpServer::SmtpServer(RealServerConfig cfg, RecipientDb recipients,
                        mfs::MailStore& store)
-    : cfg_(std::move(cfg)), recipients_(std::move(recipients)), store_(store) {}
+    : cfg_(std::move(cfg)), recipients_(std::move(recipients)), store_(store) {
+  if (cfg_.dnsbl.enabled) {
+    dnsbl_service_ = std::make_unique<dnsbl::AsyncDnsblService>(cfg_.dnsbl);
+  }
+}
 
 SmtpServer::~SmtpServer() { Stop(); }
 
@@ -158,9 +173,20 @@ void SmtpServer::BindObservability(obs::Registry& registry,
   auto* inflight = &registry.GetGauge(
       "sams_smtp_inflight_sessions", "sessions accepted and not yet done",
       arch);
+  auto* dnsbl_rejects = &registry.GetCounter(
+      "sams_smtp_dnsbl_rejects_total",
+      "clients 554-rejected at RCPT by the DNSBL verdict", arch);
+  auto* dnsbl_deferred = &registry.GetCounter(
+      "sams_smtp_dnsbl_deferred_rcpts_total",
+      "first-RCPT replies that waited for an in-flight DNS round", arch);
   registry.AddCollector([this, conns, mails, mailbox, rejected, content,
                          pregreet, delegations, master_closed, errors, reaped,
-                         sheds, deaths, requeues, accept_errors, inflight] {
+                         sheds, deaths, requeues, accept_errors, inflight,
+                         dnsbl_rejects, dnsbl_deferred] {
+    dnsbl_rejects->Overwrite(
+        stats_.dnsbl_rejects.load(std::memory_order_relaxed));
+    dnsbl_deferred->Overwrite(
+        stats_.dnsbl_deferred.load(std::memory_order_relaxed));
     reaped->Overwrite(stats_.idle_reaped.load(std::memory_order_relaxed));
     sheds->Overwrite(stats_.overload_sheds.load(std::memory_order_relaxed));
     deaths->Overwrite(stats_.worker_deaths.load(std::memory_order_relaxed));
@@ -213,6 +239,21 @@ void SmtpServer::BindObservability(obs::Registry& registry,
                       "open sessions: busiest shard minus idlest shard")
         .Set(static_cast<double>(busiest - idlest));
   });
+  if (dnsbl_service_) {
+    dnsbl_service_->BindMetrics(registry);
+    // Overlap accounting: `hidden` is the slice of each DNS round that
+    // ran concurrently with the SMTP dialog (latency − RCPT stall);
+    // `stall` is what the client actually waited at RCPT. A healthy
+    // overlapped pipeline shows hidden ≈ latency and stall ≈ 0.
+    dnsbl_hidden_ms_ = &registry.GetHistogram(
+        "sams_smtp_dnsbl_overlap_hidden_ms",
+        "DNS round latency hidden behind the SMTP dialog",
+        obs::HistogramSpec{0.05, 2.0, 20}, arch);
+    dnsbl_stall_ms_ = &registry.GetHistogram(
+        "sams_smtp_dnsbl_rcpt_stall_ms",
+        "time the first RCPT reply waited on the DNSBL verdict",
+        obs::HistogramSpec{0.05, 2.0, 20}, arch);
+  }
   store_.BindMetrics(registry);
 }
 
@@ -621,6 +662,25 @@ void SmtpServer::ShardLoop(Shard& shard) {
   std::unordered_map<int, std::unique_ptr<MasterConn>> conns;
   net::EventLoop* loop = shard.loop.get();
 
+  // This shard's async DNSBL pipeline: its UDP socket and timer live on
+  // this loop, so lookups progress interleaved with client events while
+  // the verdict cache and singleflight table are shared with every
+  // other shard via dnsbl_service_. Declared before the connection
+  // lambdas; destroyed when this function returns, after Run() exits.
+  std::unique_ptr<dnsbl::AsyncLookupPipeline> pipeline;
+  if (dnsbl_service_ != nullptr) {
+    pipeline =
+        std::make_unique<dnsbl::AsyncLookupPipeline>(*dnsbl_service_, *loop);
+    const util::Error err = pipeline->Init();
+    if (!err.ok()) {
+      SAMS_LOG(kWarn) << "shard " << shard.index
+                      << " DNSBL pipeline disabled: " << err.ToString();
+      pipeline.reset();
+    }
+  }
+  dnsbl::AsyncLookupPipeline* pipeline_raw = pipeline.get();
+  std::uint64_t next_gen = 1;  // MasterConn::gen source (fd-reuse guard)
+
   auto close_conn = [this, &shard, &conns, loop](int fd) {
     (void)loop->Remove(fd);
     conns.erase(fd);
@@ -652,6 +712,52 @@ void SmtpServer::ShardLoop(Shard& shard) {
     (void)loop->Remove(fd);
     conns.erase(it);
     shard.sessions.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  // Lands a DNSBL verdict on a connection. Always runs on this shard's
+  // loop thread (inline from the pipeline, or Posted by another shard
+  // that completed the coalesced round). The (fd, gen) pair keys the
+  // connection so a verdict for a dead-and-recycled fd is a no-op.
+  auto on_verdict = [this, &conns, close_conn, delegate](
+                        int fd, std::uint64_t gen,
+                        const dnsbl::AsyncVerdict& verdict) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    MasterConn& conn = *it->second;
+    if (conn.gen != gen) return;
+    conn.dnsbl_pending = false;
+    conn.dnsbl_have_verdict = true;
+    conn.dnsbl_blacklisted = verdict.blacklisted;
+    const bool was_waiting = conn.session->rcpt_deferred();
+    if (!verdict.cache_hit) {
+      // Overlap accounting: the stall is what the client saw; the rest
+      // of the DNS round ran behind the banner→HELO→MAIL dialog.
+      const std::int64_t stall_ns =
+          was_waiting ? util::MonotonicNanos() - conn.dnsbl_rcpt_ns : 0;
+      if (dnsbl_hidden_ms_ != nullptr) {
+        const std::int64_t hidden_ns =
+            std::max<std::int64_t>(0, verdict.latency_ns - stall_ns);
+        dnsbl_hidden_ms_->Observe(static_cast<double>(hidden_ns) / 1e6);
+      }
+      if (dnsbl_stall_ms_ != nullptr && was_waiting) {
+        dnsbl_stall_ms_->Observe(static_cast<double>(stall_ns) / 1e6);
+      }
+    }
+    if (!was_waiting) return;  // verdict beat the dialog: nothing parked
+    if (verdict.blacklisted) {
+      stats_.dnsbl_rejects.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn.session->ResolveDeferredRcpt(!verdict.blacklisted);
+    // Mirror the post-Feed dispatch of on_client_event: an accepted
+    // verdict re-fires on_first_valid_rcpt, which pauses for handoff; a
+    // rejected one closed the session.
+    if (conn.session->paused()) {
+      delegate(fd);
+      return;
+    }
+    if (conn.closed || conn.session->state() == smtp::SessionState::kClosed) {
+      close_conn(fd);
+    }
   };
 
   auto on_client_event = [this, &conns, close_conn, delegate](int fd,
@@ -695,8 +801,9 @@ void SmtpServer::ShardLoop(Shard& shard) {
   // Adopts an accepted (already admitted, non-blocking) connection
   // into this shard: applies the per-shard gate, builds the session,
   // arms the pregreet timer, registers the fd edge-triggered.
-  auto setup_conn = [this, &shard, &conns, loop, on_client_event,
-                     close_conn](net::Accepted&& accepted) {
+  auto setup_conn = [this, &shard, &conns, loop, on_client_event, close_conn,
+                     on_verdict, pipeline_raw,
+                     &next_gen](net::Accepted&& accepted) {
     const int fd = accepted.fd.get();
     if (cfg_.max_sessions_per_shard > 0 &&
         shard.sessions.load(std::memory_order_relaxed) >=
@@ -716,6 +823,13 @@ void SmtpServer::ShardLoop(Shard& shard) {
     conn->fd = std::move(accepted.fd);
     conn->accepted_ns = util::MonotonicNanos();
     conn->last_activity_ns = conn->accepted_ns;
+    conn->gen = next_gen++;
+    if (pipeline_raw != nullptr) {
+      conn->dnsbl_ip =
+          cfg_.dnsbl_ip_mapper
+              ? cfg_.dnsbl_ip_mapper(accepted.peer_ip)
+              : util::Ipv4::Parse(accepted.peer_ip).value_or(util::Ipv4());
+    }
     smtp::ServerSession::Hooks hooks;
     hooks.send = [fd](std::string bytes) {
       // SendAll gives up with kUnavailable instead of parking the
@@ -736,6 +850,40 @@ void SmtpServer::ShardLoop(Shard& shard) {
       raw_conn->session->RequestPause();
     };
     hooks.on_quit = [raw_conn] { raw_conn->closed = true; };
+    if (pipeline_raw != nullptr) {
+      // Harvest point (§4.3): trust is granted at the first valid
+      // RCPT, so that is where the DNSBL verdict must be in hand. A
+      // verdict already harvested (or cached) answers inline; an
+      // in-flight round parks the RCPT reply until on_verdict.
+      hooks.first_rcpt_gate =
+          [this, raw_conn, fd, pipeline_raw,
+           on_verdict](const std::string&) -> smtp::RcptGateDecision {
+        if (!raw_conn->dnsbl_have_verdict && !raw_conn->dnsbl_pending) {
+          // Blocking baseline (dnsbl_overlap=false), or the overlapped
+          // launch never happened: start the round now and wait.
+          raw_conn->dnsbl_pending = true;
+          raw_conn->dnsbl_begin_ns = util::MonotonicNanos();
+          const std::uint64_t gen = raw_conn->gen;
+          if (auto verdict = pipeline_raw->Begin(
+                  raw_conn->dnsbl_ip,
+                  [fd, gen, on_verdict](const dnsbl::AsyncVerdict& v) {
+                    on_verdict(fd, gen, v);
+                  })) {
+            raw_conn->dnsbl_pending = false;
+            raw_conn->dnsbl_have_verdict = true;
+            raw_conn->dnsbl_blacklisted = verdict->blacklisted;
+          }
+        }
+        if (raw_conn->dnsbl_have_verdict) {
+          if (!raw_conn->dnsbl_blacklisted) return smtp::RcptGateDecision::kAccept;
+          stats_.dnsbl_rejects.fetch_add(1, std::memory_order_relaxed);
+          return smtp::RcptGateDecision::kReject;
+        }
+        stats_.dnsbl_deferred.fetch_add(1, std::memory_order_relaxed);
+        raw_conn->dnsbl_rcpt_ns = util::MonotonicNanos();
+        return smtp::RcptGateDecision::kDefer;
+      };
+    }
     conn->session = std::make_unique<smtp::ServerSession>(
         cfg_.session, std::move(hooks), accepted.peer_ip);
     if (trace_ != nullptr) {
@@ -785,6 +933,20 @@ void SmtpServer::ShardLoop(Shard& shard) {
                     [fd, on_client_event](std::uint32_t e) {
                       on_client_event(fd, e);
                     });
+    if (pipeline_raw != nullptr && cfg_.dnsbl_overlap) {
+      // Launch the DNSBL round NOW, at accept: its RTT runs under the
+      // banner→HELO→MAIL dialog instead of stalling the first RCPT.
+      raw_conn->dnsbl_pending = true;
+      raw_conn->dnsbl_begin_ns = util::MonotonicNanos();
+      const std::uint64_t gen = raw_conn->gen;
+      if (auto verdict = pipeline_raw->Begin(
+              raw_conn->dnsbl_ip,
+              [fd, gen, on_verdict](const dnsbl::AsyncVerdict& v) {
+                on_verdict(fd, gen, v);
+              })) {
+        on_verdict(fd, gen, *verdict);
+      }
+    }
   };
   // Published for the fallback accept thread; tasks it posts run on
   // this thread inside Run(), so the reference captures stay valid.

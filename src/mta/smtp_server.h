@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dnsbl/async_pipeline.h"
 #include "mfs/store.h"
 #include "mta/queue_manager.h"
 #include "mta/recipient_db.h"
@@ -43,6 +44,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "smtp/server_session.h"
+#include "util/ipv4.h"
 #include "util/rng.h"
 
 namespace sams::mta {
@@ -96,6 +98,21 @@ struct RealServerConfig {
   // this many open pre-trust sessions, so one hot shard sheds before
   // it can starve its reactor (0 = no per-shard cap).
   int max_sessions_per_shard = 0;
+
+  // --- async DNSBL (fork-after-trust master, DESIGN.md §10) ----------
+  // When enabled, each shard runs a dnsbl::AsyncLookupPipeline on its
+  // reactor loop: the lookup launches at accept, the DNS RTT overlaps
+  // the banner→HELO→MAIL dialog, and the verdict gates the first RCPT
+  // — a blacklisted client gets 554 before any fork/delegation (§4.3).
+  dnsbl::AsyncDnsblConfig dnsbl;
+  // false = blocking baseline: the lookup launches only when the RCPT
+  // gate needs the verdict (what a synchronous resolver call would
+  // cost, measured with the same machinery). Benchmarks only.
+  bool dnsbl_overlap = true;
+  // Test seam: maps the peer address string to the address whose /25
+  // is looked up. Benches connect from 127.0.0.1 but synthesize
+  // distinct client IPs here; production leaves it unset (peer IP).
+  std::function<util::Ipv4(const std::string& peer_ip)> dnsbl_ip_mapper;
 };
 
 struct RealServerStats {
@@ -114,6 +131,8 @@ struct RealServerStats {
   std::atomic<std::uint64_t> worker_deaths{0};     // dead delegation channels
   std::atomic<std::uint64_t> requeued_delegations{0};  // retried on live worker
   std::atomic<std::uint64_t> accept_errors{0};     // accept() failures
+  std::atomic<std::uint64_t> dnsbl_rejects{0};     // 554 at the RCPT gate
+  std::atomic<std::uint64_t> dnsbl_deferred{0};    // RCPTs that waited on DNS
 };
 
 class SmtpServer {
@@ -165,6 +184,12 @@ class SmtpServer {
   void BindObservability(obs::Registry& registry, obs::TraceSink* sink);
 
   const RealServerStats& stats() const { return stats_; }
+
+  // Shared async-DNSBL service (cache + singleflight + counters);
+  // nullptr unless cfg.dnsbl.enabled.
+  const dnsbl::AsyncDnsblService* dnsbl_service() const {
+    return dnsbl_service_.get();
+  }
 
  private:
   struct MasterConn;  // fork-after-trust per-connection state
@@ -223,9 +248,14 @@ class SmtpServer {
 
   RealServerStats stats_;
 
+  // Async DNSBL: one service shared by every shard's pipeline.
+  std::unique_ptr<dnsbl::AsyncDnsblService> dnsbl_service_;
+
   // Optional observability (null until BindObservability).
   obs::Registry* registry_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::Histogram* dnsbl_hidden_ms_ = nullptr;  // DNS RTT hidden by overlap
+  obs::Histogram* dnsbl_stall_ms_ = nullptr;   // RCPT wait on the verdict
   std::atomic<std::uint64_t> trace_seq_{0};
 };
 

@@ -1,0 +1,84 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sams::net {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+util::Result<util::UniqueFd> UdpOpenNonBlocking() {
+  util::UniqueFd fd(
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return util::IoError(Errno("socket"));
+  return fd;
+}
+
+util::Error UdpSendToLoopback(int fd, std::uint16_t port, const void* data,
+                              std::size_t size) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    const ssize_t n =
+        ::sendto(fd, data, size, 0, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr));
+    if (n >= 0) return util::OkError();
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return util::Unavailable("UDP send buffer full");
+    }
+    return util::IoError(Errno("sendto"));
+  }
+}
+
+util::Result<std::size_t> UdpRecv(int fd, void* buf, std::size_t capacity) {
+  for (;;) {
+    const ssize_t n = ::recvfrom(fd, buf, capacity, 0, nullptr, nullptr);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<std::size_t>(0);
+    }
+    return util::IoError(Errno("recvfrom"));
+  }
+}
+
+util::Result<util::UniqueFd> CreateTimerFd() {
+  util::UniqueFd fd(
+      ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK));
+  if (!fd.valid()) return util::IoError(Errno("timerfd_create"));
+  return fd;
+}
+
+util::Error ArmTimerFdOnceMs(int fd, std::int64_t millis) {
+  struct itimerspec when {};
+  if (millis > 0) {
+    when.it_value.tv_sec = millis / 1000;
+    when.it_value.tv_nsec = static_cast<long>(millis % 1000) * 1'000'000L;
+  }
+  if (::timerfd_settime(fd, 0, &when, nullptr) != 0) {
+    return util::IoError(Errno("timerfd_settime"));
+  }
+  return util::OkError();
+}
+
+void DrainTimerFd(int fd) {
+  std::uint64_t expirations = 0;
+  (void)::read(fd, &expirations, sizeof(expirations));
+}
+
+}  // namespace sams::net

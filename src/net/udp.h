@@ -1,0 +1,41 @@
+// UDP + timerfd helpers for event-loop clients.
+//
+// The async DNSBL pipeline (DESIGN.md §10) registers one non-blocking
+// UDP socket and one timerfd per reactor shard directly on the shard's
+// net::EventLoop; these helpers cover the handful of syscalls that
+// path needs without pulling <sys/timerfd.h> and sockaddr plumbing
+// into every caller.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/fd.h"
+#include "util/result.h"
+
+namespace sams::net {
+
+// AF_INET SOCK_DGRAM socket, non-blocking + close-on-exec, unbound
+// (the kernel picks an ephemeral source port on the first send).
+util::Result<util::UniqueFd> UdpOpenNonBlocking();
+
+// Sends one datagram to 127.0.0.1:`port`. kUnavailable when the socket
+// buffer is full (EAGAIN) — UDP callers treat that like packet loss.
+util::Error UdpSendToLoopback(int fd, std::uint16_t port, const void* data,
+                              std::size_t size);
+
+// Receives one datagram (non-blocking). Returns the byte count, 0 when
+// no datagram is queued (EAGAIN), or an error.
+util::Result<std::size_t> UdpRecv(int fd, void* buf, std::size_t capacity);
+
+// CLOCK_MONOTONIC timerfd (non-blocking, close-on-exec), disarmed.
+util::Result<util::UniqueFd> CreateTimerFd();
+
+// One-shot: fires once `millis` from now (millis <= 0 disarms). The
+// owner re-arms from the expiry callback for periodic behaviour.
+util::Error ArmTimerFdOnceMs(int fd, std::int64_t millis);
+
+// Consumes the expiry counter so a level-triggered loop stops polling.
+void DrainTimerFd(int fd);
+
+}  // namespace sams::net

@@ -60,7 +60,7 @@ void ServerSession::Feed(std::string_view bytes) {
   inbuf_.append(bytes);
   std::string_view rest = inbuf_;
   while (!rest.empty() && state_ != SessionState::kClosed &&
-         !pause_requested_) {
+         !pause_requested_ && !rcpt_deferred_) {
     if (state_ == SessionState::kData) {
       HandleDataBytes(&rest);
       continue;
@@ -81,6 +81,28 @@ void ServerSession::Feed(std::string_view bytes) {
     HandleCommand(line);
   }
   inbuf_.erase(0, inbuf_.size() - rest.size());
+}
+
+void ServerSession::ResolveDeferredRcpt(bool accept) {
+  if (!rcpt_deferred_) return;
+  rcpt_deferred_ = false;
+  if (peer_dead_ || state_ == SessionState::kClosed) return;
+  if (!accept) {
+    ++stats_.gate_rejects;
+    TraceStage(obs::Stage::kBounce);
+    Emit({ReplyCode::kTransactionFailed, "Error: client host blacklisted"});
+    TraceClose();
+    state_ = SessionState::kClosed;
+    return;
+  }
+  Emit(OkReply());
+  if (!peer_dead_ && hooks_.on_first_valid_rcpt) hooks_.on_first_valid_rcpt();
+  // Anything the client pipelined while the verdict was pending is
+  // still buffered; resume parsing it (unless delegation paused us or
+  // the emit discovered a dead peer).
+  if (!pause_requested_ && !peer_dead_ && state_ != SessionState::kClosed) {
+    Feed({});
+  }
 }
 
 void ServerSession::HandleDataBytes(std::string_view* bytes) {
@@ -200,6 +222,26 @@ void ServerSession::HandleCommand(std::string_view line) {
       const bool first = state_ != SessionState::kRcptGiven;
       if (first) TraceStage(obs::Stage::kRcpt);
       state_ = SessionState::kRcptGiven;
+      if (first && !peer_dead_ && hooks_.first_rcpt_gate) {
+        switch (hooks_.first_rcpt_gate(client_ip_)) {
+          case RcptGateDecision::kAccept:
+            break;
+          case RcptGateDecision::kReject:
+            ++stats_.gate_rejects;
+            TraceStage(obs::Stage::kBounce);
+            Emit({ReplyCode::kTransactionFailed,
+                  "Error: client host blacklisted"});
+            TraceClose();
+            state_ = SessionState::kClosed;
+            return;
+          case RcptGateDecision::kDefer:
+            // The 250 is parked until ResolveDeferredRcpt; Feed stops
+            // consuming so pipelined bytes wait in inbuf_.
+            ++stats_.deferred_rcpts;
+            rcpt_deferred_ = true;
+            return;
+        }
+      }
       Emit(OkReply());
       // A dead peer must not trigger delegation: the master would ship
       // an already-closed session to a worker.

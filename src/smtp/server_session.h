@@ -63,9 +63,22 @@ struct SessionStats {
   std::uint64_t syntax_errors = 0;
   std::uint64_t accepted_rcpts = 0;
   std::uint64_t rejected_rcpts = 0;  // 550 bounces (§4.1)
+  std::uint64_t gate_rejects = 0;    // 554 at RCPT (client blacklisted)
+  std::uint64_t deferred_rcpts = 0;  // RCPT replies parked on the gate
   std::uint64_t content_rejects = 0;  // 554 after DATA (body tests)
   std::uint64_t line_overflows = 0;   // 500 after DATA (line too long)
   std::uint64_t mails_delivered = 0;
+};
+
+// Verdict of Hooks::first_rcpt_gate, the pre-trust policy check that
+// runs before the first RCPT's 250 is written. The async DNSBL
+// pipeline answers kAccept/kReject when the verdict is already in hand
+// (cache hit) and kDefer when the DNS round is still in flight — the
+// reply is then withheld until ResolveDeferredRcpt.
+enum class RcptGateDecision {
+  kAccept,
+  kReject,  // 554, session closes: client host is blacklisted
+  kDefer,   // no reply yet; transport resolves asynchronously
 };
 
 class ServerSession {
@@ -91,6 +104,13 @@ class ServerSession {
     // fork-after-trust master uses this as the delegation trigger.
     // Optional.
     std::function<void()> on_first_valid_rcpt;
+    // Consulted at the first accepted RCPT of each transaction BEFORE
+    // its 250 is emitted (and before on_first_valid_rcpt). This is the
+    // paper's §4.3 placement: the DNSBL verdict gates trust, so a
+    // blacklisted client is turned away with 554 without ever reaching
+    // fork/delegation. Optional; absent means kAccept.
+    std::function<RcptGateDecision(const std::string& client_ip)>
+        first_rcpt_gate;
   };
 
   ServerSession(SessionConfig cfg, Hooks hooks, std::string client_ip);
@@ -126,6 +146,16 @@ class ServerSession {
   void RequestPause() { pause_requested_ = true; }
   void ClearPause() { pause_requested_ = false; }
   bool paused() const { return pause_requested_; }
+
+  // True while the first RCPT's reply is withheld on a kDefer gate
+  // verdict; Feed buffers (pipelined) input without consuming it.
+  bool rcpt_deferred() const { return rcpt_deferred_; }
+
+  // Delivers the asynchronous gate verdict for a deferred first RCPT:
+  // accept emits the parked 250 and fires on_first_valid_rcpt, then
+  // resumes parsing any bytes the client pipelined meanwhile; reject
+  // emits 554 and closes the session. No-op unless rcpt_deferred().
+  void ResolveDeferredRcpt(bool accept);
 
   SessionState state() const { return state_; }
   const SessionStats& stats() const { return stats_; }
@@ -189,6 +219,7 @@ class ServerSession {
   DotStuffDecoder decoder_;
   bool oversized_ = false;
   bool pause_requested_ = false;
+  bool rcpt_deferred_ = false;
   bool peer_dead_ = false;
   bool trace_closed_ = false;
 

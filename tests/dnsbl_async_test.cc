@@ -1,0 +1,392 @@
+// Tests of the async DNSBL pipeline (DESIGN.md §10): the shared
+// concurrent prefix cache, singleflight coalescing, the non-blocking
+// UDP client against a real UdpDnsblDaemon, its fault points, and the
+// end-to-end server integration (lookup overlapped with the dialog,
+// blacklisted clients 554'd at RCPT).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dnsbl/async_pipeline.h"
+#include "dnsbl/blacklist_db.h"
+#include "dnsbl/concurrent_cache.h"
+#include "dnsbl/udp_daemon.h"
+#include "fault/injector.h"
+#include "mta/smtp_server.h"
+#include "net/event_loop.h"
+#include "net/smtp_client.h"
+#include "net/tcp.h"
+#include "util/time.h"
+
+namespace sams::dnsbl {
+namespace {
+
+using util::Ipv4;
+using util::Prefix25;
+
+// --- ConcurrentPrefixCache ---------------------------------------------
+
+TEST(ConcurrentCacheTest, HitRefreshAndTtlExpiry) {
+  ConcurrentPrefixCache cache(/*capacity=*/8, /*ttl_ns=*/1'000,
+                              /*lock_shards=*/1);
+  PrefixBitmap bitmap;
+  bitmap.Set(5);
+  const Prefix25 prefix(Ipv4(10, 0, 0, 1));
+  EXPECT_FALSE(cache.Lookup(prefix, 0).has_value());
+  cache.Insert(prefix, bitmap, /*now_ns=*/0);
+  auto hit = cache.Lookup(prefix, 500);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->Test(5));
+  // Past the TTL the entry is dropped on probe.
+  EXPECT_FALSE(cache.Lookup(prefix, 2'000).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().expirations.load(), 1u);
+}
+
+TEST(ConcurrentCacheTest, LruEvictionAtCapacity) {
+  ConcurrentPrefixCache cache(/*capacity=*/2, /*ttl_ns=*/1'000'000,
+                              /*lock_shards=*/1);
+  const Prefix25 a(Ipv4(10, 0, 0, 1));
+  const Prefix25 b(Ipv4(10, 0, 1, 1));
+  const Prefix25 c(Ipv4(10, 0, 2, 1));
+  PrefixBitmap bitmap;
+  cache.Insert(a, bitmap, 0);
+  cache.Insert(b, bitmap, 0);
+  // Touch `a` so `b` is the cold entry, then overflow.
+  EXPECT_TRUE(cache.Lookup(a, 1).has_value());
+  cache.Insert(c, bitmap, 2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions.load(), 1u);
+  EXPECT_TRUE(cache.Lookup(a, 3).has_value());
+  EXPECT_FALSE(cache.Lookup(b, 3).has_value());  // evicted
+  EXPECT_TRUE(cache.Lookup(c, 3).has_value());
+}
+
+TEST(ConcurrentCacheTest, ConcurrentMixedLoadStaysBounded) {
+  ConcurrentPrefixCache cache(/*capacity=*/64, /*ttl_ns=*/1'000'000'000,
+                              /*lock_shards=*/4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      PrefixBitmap bitmap;
+      bitmap.Set(t);
+      for (int i = 0; i < 2'000; ++i) {
+        const Prefix25 prefix(
+            Ipv4(static_cast<std::uint32_t>((i * 131 + t) << 7)));
+        if (i % 3 == 0) {
+          cache.Insert(prefix, bitmap, i);
+        } else {
+          (void)cache.Lookup(prefix, i);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 64u);
+  // Per thread: 667 inserts (i = 0, 3, ..., 1998), 1333 lookups.
+  EXPECT_EQ(cache.stats().lookups.load(), 4u * 1'333u);
+  EXPECT_EQ(cache.stats().insertions.load(), 4u * 667u);
+}
+
+// --- pipeline against a real daemon ------------------------------------
+
+// Runs an EventLoop on its own thread with one AsyncLookupPipeline and
+// synchronous Begin helpers (Begin must run on the loop thread).
+class PipelineHarness {
+ public:
+  PipelineHarness(AsyncDnsblService& service) {
+    auto loop = net::EventLoop::Create();
+    EXPECT_TRUE(loop.ok());
+    loop_ = std::move(*loop);
+    pipeline_ = std::make_unique<AsyncLookupPipeline>(service, *loop_);
+    EXPECT_TRUE(pipeline_->Init().ok());
+    thread_ = std::thread([this] { (void)loop_->Run(); });
+  }
+
+  ~PipelineHarness() {
+    loop_->Post([this] { pipeline_.reset(); });
+    loop_->Stop();
+    thread_.join();
+    pipeline_.reset();  // in case the posted task never ran
+  }
+
+  // Begin on the loop thread; the future resolves on inline cache hits
+  // and async verdicts alike.
+  std::future<AsyncVerdict> Begin(Ipv4 ip) {
+    auto promise = std::make_shared<std::promise<AsyncVerdict>>();
+    auto future = promise->get_future();
+    loop_->Post([this, ip, promise] {
+      auto inline_verdict = pipeline_->Begin(
+          ip, [promise](const AsyncVerdict& v) { promise->set_value(v); });
+      if (inline_verdict.has_value()) promise->set_value(*inline_verdict);
+    });
+    return future;
+  }
+
+  AsyncLookupPipeline& pipeline() { return *pipeline_; }
+
+ private:
+  std::unique_ptr<net::EventLoop> loop_;
+  std::unique_ptr<AsyncLookupPipeline> pipeline_;
+  std::thread thread_;
+};
+
+class AsyncPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.Add(Ipv4(192, 0, 2, 10), 2);
+    daemon_ = std::make_unique<UdpDnsblDaemon>("async.bl.test", db_);
+    auto port = daemon_->Start();
+    ASSERT_TRUE(port.ok()) << port.error().ToString();
+    cfg_.enabled = true;
+    cfg_.zones = {{"async.bl.test", *port}};
+    cfg_.timeout_ms = 2'000;
+  }
+  void TearDown() override { daemon_->Stop(); }
+
+  BlacklistDb db_;
+  std::unique_ptr<UdpDnsblDaemon> daemon_;
+  AsyncDnsblConfig cfg_;
+};
+
+TEST_F(AsyncPipelineTest, ResolvesListedAndCleanOverRealDns) {
+  AsyncDnsblService service(cfg_);
+  PipelineHarness harness(service);
+  auto listed = harness.Begin(Ipv4(192, 0, 2, 10)).get();
+  EXPECT_TRUE(listed.blacklisted);
+  EXPECT_FALSE(listed.degraded);
+  EXPECT_FALSE(listed.cache_hit);
+  EXPECT_GT(listed.latency_ns, 0);
+  // The /25 bitmap now answers a neighbour inline from the cache.
+  auto neighbour = harness.Begin(Ipv4(192, 0, 2, 11)).get();
+  EXPECT_FALSE(neighbour.blacklisted);
+  EXPECT_TRUE(neighbour.cache_hit);
+  EXPECT_EQ(service.stats().cache_hits.load(), 1u);
+  EXPECT_EQ(service.stats().lookups.load(), 2u);
+  EXPECT_EQ(harness.pipeline().owned_flights(), 0u);
+}
+
+TEST_F(AsyncPipelineTest, SingleflightCoalescesConcurrentMisses) {
+  // Hold answers back long enough that the second Begin lands while the
+  // first round is still in flight.
+  daemon_->Stop();
+  daemon_ = std::make_unique<UdpDnsblDaemon>("async.bl.test", db_,
+                                             /*ttl_seconds=*/3600,
+                                             /*response_delay_ms=*/60);
+  auto port = daemon_->Start();
+  ASSERT_TRUE(port.ok());
+  cfg_.zones = {{"async.bl.test", *port}};
+  AsyncDnsblService service(cfg_);
+  PipelineHarness harness(service);
+  auto first = harness.Begin(Ipv4(192, 0, 2, 10));
+  auto second = harness.Begin(Ipv4(192, 0, 2, 33));  // same /25
+  EXPECT_TRUE(first.get().blacklisted);
+  EXPECT_FALSE(second.get().blacklisted);  // per-IP verdict within the /25
+  EXPECT_EQ(service.stats().coalesced.load(), 1u);
+  // One DNS round served both callers.
+  EXPECT_EQ(daemon_->stats().prefix_queries.load(), 1u);
+}
+
+TEST_F(AsyncPipelineTest, DroppedDatagramsFailOpenFault) {
+  cfg_.timeout_ms = 40;
+  cfg_.max_retries = 1;
+  AsyncDnsblService service(cfg_);
+  fault::ScopedArm arm(7);
+  fault::Injector::Global().Set("dnsbl.udp.drop", {});  // drop every send
+  PipelineHarness harness(service);
+  auto verdict = harness.Begin(Ipv4(192, 0, 2, 10)).get();
+  EXPECT_TRUE(verdict.degraded);
+  EXPECT_FALSE(verdict.blacklisted);  // fail-open
+  EXPECT_GE(service.stats().timeouts.load(), 1u);
+  EXPECT_GE(service.stats().retries.load(), 1u);
+  EXPECT_EQ(service.stats().degraded.load(), 1u);
+  // Degraded verdicts are never cached: the next lookup is a fresh
+  // round, which succeeds once the fault is cleared.
+  fault::Injector::Global().Clear("dnsbl.udp.drop");
+  auto retry = harness.Begin(Ipv4(192, 0, 2, 10)).get();
+  EXPECT_FALSE(retry.cache_hit);
+  EXPECT_TRUE(retry.blacklisted);
+  EXPECT_FALSE(retry.degraded);
+}
+
+TEST_F(AsyncPipelineTest, DelayedSendStillCompletesFault) {
+  fault::ScopedArm arm(8);
+  fault::Policy delay;
+  delay.action = fault::Action::kDelay;
+  delay.delay_ms = 30;
+  fault::Injector::Global().Set("dnsbl.udp.delay", delay);
+  AsyncDnsblService service(cfg_);
+  PipelineHarness harness(service);
+  auto verdict = harness.Begin(Ipv4(192, 0, 2, 10)).get();
+  EXPECT_TRUE(verdict.blacklisted);
+  EXPECT_FALSE(verdict.degraded);
+  EXPECT_GE(verdict.latency_ns, 30'000'000);
+  EXPECT_GE(fault::Injector::Global().triggers("dnsbl.udp.delay"), 1u);
+}
+
+TEST_F(AsyncPipelineTest, FailClosedTreatsLostZoneAsListedFault) {
+  cfg_.timeout_ms = 40;
+  cfg_.max_retries = 0;
+  cfg_.fail_open = false;
+  AsyncDnsblService service(cfg_);
+  fault::ScopedArm arm(9);
+  fault::Injector::Global().Set("dnsbl.udp.drop", {});
+  PipelineHarness harness(service);
+  auto verdict = harness.Begin(Ipv4(203, 0, 113, 5)).get();
+  EXPECT_TRUE(verdict.degraded);
+  EXPECT_TRUE(verdict.blacklisted);
+}
+
+// --- end-to-end: the real server ---------------------------------------
+
+class ServerDnsblTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.Add(Ipv4(198, 51, 100, 7), 2);
+    daemon_ = std::make_unique<UdpDnsblDaemon>("server.bl.test", db_);
+    auto port = daemon_->Start();
+    ASSERT_TRUE(port.ok());
+    dns_port_ = *port;
+    root_ = (std::filesystem::temp_directory_path() / "sams_dnsbl_async_test")
+                .string();
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override {
+    daemon_->Stop();
+    std::filesystem::remove_all(root_);
+  }
+
+  // Starts the server with every accepted connection posing as
+  // `client_ip` for DNSBL purposes.
+  std::unique_ptr<mta::SmtpServer> StartServer(Ipv4 client_ip, bool overlap,
+                                               std::uint16_t& port) {
+    auto store = mfs::MakeMfsStore(root_, {});
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    mta::RecipientDb recipients;
+    recipients.AddMailbox("alice", "dept.test");
+    mta::RealServerConfig cfg;
+    cfg.architecture = mta::Architecture::kForkAfterTrust;
+    cfg.worker_count = 1;
+    cfg.num_shards = 1;
+    cfg.recv_timeout_ms = 5'000;
+    cfg.dnsbl.enabled = true;
+    cfg.dnsbl.zones = {{"server.bl.test", dns_port_}};
+    cfg.dnsbl_overlap = overlap;
+    cfg.dnsbl_ip_mapper = [client_ip](const std::string&) { return client_ip; };
+    auto server =
+        std::make_unique<mta::SmtpServer>(cfg, std::move(recipients), *store_);
+    auto bound = server->Start();
+    EXPECT_TRUE(bound.ok()) << bound.error().ToString();
+    port = bound.ok() ? *bound : 0;
+    return server;
+  }
+
+  static smtp::MailJob Job() {
+    smtp::MailJob job;
+    job.helo = "client.test";
+    job.mail_from = *smtp::Path::Parse("<a@client.test>");
+    job.rcpts.push_back(*smtp::Path::Parse("<alice@dept.test>"));
+    job.body = "hello\n";
+    return job;
+  }
+
+  // Raw dialog up to RCPT; returns the RCPT reply line. A blacklisted
+  // client's 554 closes the session, which SendMail would report as a
+  // transport error on the QUIT it still tries to send.
+  static std::string RcptReply(std::uint16_t port) {
+    auto fd = net::TcpConnect("127.0.0.1", port);
+    if (!fd.ok()) return "connect failed";
+    if (!net::SetRecvTimeout(fd->get(), 5'000).ok()) return "sockopt failed";
+    auto read_line = [&fd]() {
+      std::string line;
+      char ch = 0;
+      while (line.size() < 512 && ::read(fd->get(), &ch, 1) == 1) {
+        if (ch == '\n') return line;
+        if (ch != '\r') line.push_back(ch);
+      }
+      return std::string("read failed");
+    };
+    auto send = [&fd](const char* cmd) {
+      return ::write(fd->get(), cmd, std::strlen(cmd)) > 0;
+    };
+    (void)read_line();  // banner
+    if (!send("HELO client.test\r\n")) return "send failed";
+    (void)read_line();
+    if (!send("MAIL FROM:<a@client.test>\r\n")) return "send failed";
+    (void)read_line();
+    if (!send("RCPT TO:<alice@dept.test>\r\n")) return "send failed";
+    return read_line();
+  }
+
+  BlacklistDb db_;
+  std::unique_ptr<UdpDnsblDaemon> daemon_;
+  std::uint16_t dns_port_ = 0;
+  std::string root_;
+  std::unique_ptr<mfs::MailStore> store_;
+};
+
+TEST_F(ServerDnsblTest, BlacklistedClientGets554AtRcpt) {
+  std::uint16_t port = 0;
+  auto server = StartServer(Ipv4(198, 51, 100, 7), /*overlap=*/true, port);
+  ASSERT_NE(port, 0);
+  const std::string reply = RcptReply(port);
+  EXPECT_EQ(reply.rfind("554", 0), 0u) << reply;
+  server->Stop();
+  EXPECT_EQ(server->stats().dnsbl_rejects.load(), 1u);
+  EXPECT_EQ(server->stats().mails_delivered.load(), 0u);
+}
+
+TEST_F(ServerDnsblTest, CleanClientDeliversWithOverlappedLookup) {
+  std::uint16_t port = 0;
+  auto server = StartServer(Ipv4(198, 51, 100, 99), /*overlap=*/true, port);
+  ASSERT_NE(port, 0);
+  auto outcome = net::SendMail("127.0.0.1", port, Job());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->outcome, smtp::ClientOutcome::kDelivered);
+  server->Stop();
+  ASSERT_NE(server->dnsbl_service(), nullptr);
+  EXPECT_GE(server->dnsbl_service()->stats().lookups.load(), 1u);
+  EXPECT_EQ(server->stats().dnsbl_rejects.load(), 0u);
+}
+
+TEST_F(ServerDnsblTest, BlockingModeLaunchesLookupAtRcpt) {
+  std::uint16_t port = 0;
+  auto server = StartServer(Ipv4(198, 51, 100, 7), /*overlap=*/false, port);
+  ASSERT_NE(port, 0);
+  const std::string reply = RcptReply(port);
+  EXPECT_EQ(reply.rfind("554", 0), 0u) << reply;
+  server->Stop();
+  EXPECT_EQ(server->stats().dnsbl_rejects.load(), 1u);
+  // Without overlap the RCPT had to wait for the round: the session was
+  // deferred at the gate.
+  EXPECT_EQ(server->stats().dnsbl_deferred.load(), 1u);
+}
+
+TEST_F(ServerDnsblTest, VerdictsComeFromSharedCacheAcrossSessions) {
+  std::uint16_t port = 0;
+  auto server = StartServer(Ipv4(198, 51, 100, 40), /*overlap=*/true, port);
+  ASSERT_NE(port, 0);
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = net::SendMail("127.0.0.1", port, Job());
+    ASSERT_TRUE(outcome.ok()) << i;
+    EXPECT_EQ(outcome->outcome, smtp::ClientOutcome::kDelivered) << i;
+  }
+  server->Stop();
+  ASSERT_NE(server->dnsbl_service(), nullptr);
+  const auto& stats = server->dnsbl_service()->stats();
+  EXPECT_EQ(stats.lookups.load(), 3u);
+  EXPECT_GE(stats.cache_hits.load(), 2u);  // one miss fills the /25
+  EXPECT_EQ(daemon_->stats().prefix_queries.load(), 1u);
+}
+
+}  // namespace
+}  // namespace sams::dnsbl

@@ -198,6 +198,68 @@ TEST(TtlCacheTest, ReinsertRefreshesTtl) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(TtlCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  IpCache cache(SimTime::Hours(24), /*capacity=*/2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const Ipv4 a(10, 0, 0, 1);
+  const Ipv4 b(10, 0, 0, 2);
+  const Ipv4 c(10, 0, 0, 3);
+  cache.Insert(a, IpVerdict{true}, SimTime::Seconds(0));
+  cache.Insert(b, IpVerdict{false}, SimTime::Seconds(1));
+  // Touch `a`; `b` becomes the cold entry and is displaced by `c`.
+  EXPECT_NE(cache.Lookup(a, SimTime::Seconds(2)), nullptr);
+  cache.Insert(c, IpVerdict{true}, SimTime::Seconds(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(a, SimTime::Seconds(4)), nullptr);
+  EXPECT_EQ(cache.Lookup(b, SimTime::Seconds(4)), nullptr);
+  EXPECT_NE(cache.Lookup(c, SimTime::Seconds(4)), nullptr);
+}
+
+TEST(TtlCacheTest, OverwriteRefreshesRecencyNotEvictionCount) {
+  IpCache cache(SimTime::Hours(24), /*capacity=*/2);
+  const Ipv4 a(10, 0, 0, 1);
+  const Ipv4 b(10, 0, 0, 2);
+  cache.Insert(a, IpVerdict{true}, SimTime::Seconds(0));
+  cache.Insert(b, IpVerdict{false}, SimTime::Seconds(1));
+  // Overwriting `a` must not evict anyone and must mark it hot...
+  cache.Insert(a, IpVerdict{false}, SimTime::Seconds(2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // ...so the next displacement hits `b`.
+  cache.Insert(Ipv4(10, 0, 0, 3), IpVerdict{true}, SimTime::Seconds(3));
+  EXPECT_NE(cache.Lookup(a, SimTime::Seconds(4)), nullptr);
+  EXPECT_EQ(cache.Lookup(b, SimTime::Seconds(4)), nullptr);
+}
+
+TEST(TtlCacheTest, ExpiredEntryLeavesLruConsistent) {
+  IpCache cache(SimTime::Hours(1), /*capacity=*/2);
+  const Ipv4 a(10, 0, 0, 1);
+  const Ipv4 b(10, 0, 0, 2);
+  cache.Insert(a, IpVerdict{true}, SimTime::Seconds(0));
+  cache.Insert(b, IpVerdict{false}, SimTime::Seconds(0));
+  // `a` expires on probe; the freed slot admits a new entry without an
+  // eviction, and the cache keeps working at capacity afterwards.
+  EXPECT_EQ(cache.Lookup(a, SimTime::Hours(2)), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Insert(Ipv4(10, 0, 0, 3), IpVerdict{true}, SimTime::Hours(2));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.Insert(Ipv4(10, 0, 0, 4), IpVerdict{true}, SimTime::Hours(2));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TtlCacheTest, UnboundedByDefaultNeverEvicts) {
+  IpCache cache(SimTime::Hours(24));
+  for (int i = 0; i < 1'000; ++i) {
+    cache.Insert(Ipv4(static_cast<std::uint32_t>(i)), IpVerdict{false},
+                 SimTime::Seconds(0));
+  }
+  EXPECT_EQ(cache.size(), 1'000u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
 class ResolverTest : public ::testing::Test {
  protected:
   void SetUp() override {

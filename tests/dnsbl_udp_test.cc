@@ -7,6 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "dnsbl/dns_wire.h"
 #include "dnsbl/udp_daemon.h"
 #include "util/rng.h"
@@ -188,6 +193,175 @@ TEST_F(UdpDaemonTest, MalformedDatagramsIgnored) {
   ASSERT_TRUE(listed.ok());
   EXPECT_EQ(*listed, 2);
   EXPECT_GE(daemon_->stats().malformed.load(), 1u);
+}
+
+TEST_F(UdpDaemonTest, MalformedDatagramVariantsAllCountedAndSurvived) {
+  // A zoo of datagrams that each fail a different ParseQuery check; the
+  // daemon must count every one as malformed and keep serving.
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  auto poke = [&](const std::vector<std::uint8_t>& datagram) {
+    ::sendto(fd, datagram.data(), datagram.size(), 0,
+             reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  };
+
+  // Truncated header (11 of 12 bytes).
+  poke({0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0});
+  // Valid header, qdcount=1, but the question is missing entirely.
+  poke({0, 2, 0x01, 0, 0, 1, 0, 0, 0, 0, 0, 0});
+  // qdcount=0 (parser demands exactly one question).
+  poke({0, 3, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  // QR bit set: a response sent where a query belongs.
+  poke({0, 4, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+        1, 'a', 0, 0, 1, 0, 1});
+  // Compression pointer loop in the qname (points at itself).
+  poke({0, 5, 0x01, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+        0xc0, 12, 0, 1, 0, 1});
+  // Label runs off the end of the packet.
+  poke({0, 6, 0x01, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+        9, 'a', 'b'});
+  // Good name, unsupported qclass (CH=3).
+  poke({0, 7, 0x01, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+        1, 'a', 4, 't', 'e', 's', 't', 0, 0, 1, 0, 3});
+  // Good name, unsupported qtype (TXT=16).
+  poke({0, 8, 0x01, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+        1, 'a', 4, 't', 'e', 's', 't', 0, 0, 16, 0, 1});
+  ::close(fd);
+
+  // A real query still round-trips, so none of the garbage wedged the
+  // serve loop; every variant above was counted.
+  UdpDnsblClient client(port_, "bl.sams.test");
+  auto listed = client.QueryIp(Ipv4(192, 0, 2, 10));
+  ASSERT_TRUE(listed.ok()) << listed.error().ToString();
+  EXPECT_EQ(*listed, 2);
+  EXPECT_EQ(daemon_->stats().malformed.load(), 8u);
+  EXPECT_EQ(daemon_->stats().queries.load(), 1u);
+}
+
+TEST_F(UdpDaemonTest, ClientSkipsForgedAndAlienDatagrams) {
+  // An off-path attacker races the daemon: a socket that learns the
+  // client's source port from the daemon side can't exist off-path, so
+  // model the attack as garbage + wrong-id datagrams arriving first.
+  // The client must skip them and return the genuine answer.
+  // A proxy daemon port: receive the client's query, inject noise back
+  // to the client first, then forward the real answer.
+  int proxy = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(proxy, 0);
+  struct sockaddr_in any {};
+  any.sin_family = AF_INET;
+  any.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  any.sin_port = 0;
+  ASSERT_EQ(::bind(proxy, reinterpret_cast<struct sockaddr*>(&any),
+                   sizeof(any)), 0);
+  struct sockaddr_in bound {};
+  socklen_t bound_len = sizeof(bound);
+  ASSERT_EQ(::getsockname(proxy, reinterpret_cast<struct sockaddr*>(&bound),
+                          &bound_len), 0);
+
+  std::thread attacker([&] {
+    std::uint8_t buf[1500];
+    struct sockaddr_in client_addr {};
+    socklen_t client_len = sizeof(client_addr);
+    const ssize_t n =
+        ::recvfrom(proxy, buf, sizeof(buf), 0,
+                   reinterpret_cast<struct sockaddr*>(&client_addr),
+                   &client_len);
+    ASSERT_GT(n, 0);
+    auto query = ParseQuery(buf, static_cast<std::size_t>(n));
+    ASSERT_TRUE(query.ok());
+
+    // 1: unparsable junk. 2: well-formed "not listed" answer with the
+    // WRONG id. 3: right id, wrong question name. All must be skipped.
+    const std::uint8_t junk[] = {0xff, 0xfe};
+    ::sendto(proxy, junk, sizeof(junk), 0,
+             reinterpret_cast<struct sockaddr*>(&client_addr), client_len);
+    DnsQuery forged = *query;
+    forged.id = static_cast<std::uint16_t>(query->id + 1);
+    DnsAnswer nx;
+    nx.rcode = RCode::kNxDomain;
+    auto wrong_id = EncodeResponse(forged, nx);
+    ASSERT_TRUE(wrong_id.ok());
+    ::sendto(proxy, wrong_id->data(), wrong_id->size(), 0,
+             reinterpret_cast<struct sockaddr*>(&client_addr), client_len);
+    DnsQuery alien = *query;
+    alien.question.qname = "9.9.9.9.bl.sams.test";
+    auto wrong_name = EncodeResponse(alien, nx);
+    ASSERT_TRUE(wrong_name.ok());
+    ::sendto(proxy, wrong_name->data(), wrong_name->size(), 0,
+             reinterpret_cast<struct sockaddr*>(&client_addr), client_len);
+
+    // Finally the genuine listed answer.
+    DnsAnswer real;
+    real.rdata = {127, 0, 0, 2};
+    real.ttl = 60;
+    auto genuine = EncodeResponse(*query, real);
+    ASSERT_TRUE(genuine.ok());
+    ::sendto(proxy, genuine->data(), genuine->size(), 0,
+             reinterpret_cast<struct sockaddr*>(&client_addr), client_len);
+  });
+
+  UdpDnsblClient client(ntohs(bound.sin_port), "bl.sams.test");
+  auto listed = client.QueryIp(Ipv4(192, 0, 2, 10));
+  attacker.join();
+  ::close(proxy);
+  ASSERT_TRUE(listed.ok()) << listed.error().ToString();
+  EXPECT_EQ(*listed, 2);
+  EXPECT_EQ(client.mismatched(), 3u);
+}
+
+TEST_F(UdpDaemonTest, ClientTimesOutWithoutAnAnswer) {
+  // A bound-but-silent port: the client must give up at its deadline.
+  int silent = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(silent, 0);
+  struct sockaddr_in any {};
+  any.sin_family = AF_INET;
+  any.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(silent, reinterpret_cast<struct sockaddr*>(&any),
+                   sizeof(any)), 0);
+  struct sockaddr_in bound {};
+  socklen_t bound_len = sizeof(bound);
+  ASSERT_EQ(::getsockname(silent, reinterpret_cast<struct sockaddr*>(&bound),
+                          &bound_len), 0);
+  UdpDnsblClient client(ntohs(bound.sin_port), "bl.sams.test",
+                        /*timeout_ms=*/80);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = client.QueryIp(Ipv4(192, 0, 2, 10));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ::close(silent);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(), 70);
+}
+
+TEST_F(UdpDaemonTest, ResponseDelayHoldsAnswersBackInParallel) {
+  UdpDnsblDaemon slow("slow.bl.test", db_, /*ttl_seconds=*/3600,
+                      /*response_delay_ms=*/60);
+  auto port = slow.Start();
+  ASSERT_TRUE(port.ok());
+  // Two concurrent queries each see ~the delay, not 2x: the serve loop
+  // keeps receiving while answers age in the delay queue.
+  const auto start = std::chrono::steady_clock::now();
+  std::thread other([&] {
+    UdpDnsblClient client(*port, "slow.bl.test");
+    auto code = client.QueryIp(Ipv4(192, 0, 2, 55));
+    EXPECT_TRUE(code.ok());
+  });
+  UdpDnsblClient client(*port, "slow.bl.test");
+  auto code = client.QueryIp(Ipv4(192, 0, 2, 10));
+  other.join();
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  slow.Stop();
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, 2);
+  EXPECT_GE(elapsed_ms, 55);
+  EXPECT_LT(elapsed_ms, 118);  // well under 2x the delay
 }
 
 TEST_F(UdpDaemonTest, ManyQueriesStressAndDeterministicAnswers) {
