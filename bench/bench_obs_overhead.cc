@@ -1,0 +1,386 @@
+// Telemetry-plane overhead bench (DESIGN.md §11): goodput of the real
+// fork-after-trust server with the full observability stack OFF vs ON.
+//
+// Both modes run the metrics registry and per-session span tracing
+// (BindObservability) — that instrumentation predates the telemetry
+// plane and is on in every production configuration. ON adds what this
+// plane introduced: the structured event log with one JSONL record per
+// session (BindEventLog, sunk to /dev/null so the cost measured is
+// ours, not the disk's), the 100 ms time-series sampler, and the stall
+// watchdog timer on every shard. The delta is therefore exactly the
+// plane's cost, not a re-measure of the pre-existing metrics.
+//
+// Workload: the shard-scaling bench's traffic shape — concurrent
+// loopback clients, 70% spam (554 at RCPT inside a shard) / 30% ham
+// (delivered into MFS through the worker pool).
+//
+// The claim under test: the plane costs < 3% CPU per session. CPU
+// time (getrusage) is the gated metric because wall throughput on a
+// shared or 1-core builder swings ±15% between identical runs; wall
+// sessions/sec is still measured and reported. Each rep runs both
+// modes and each mode keeps its best rep, so a background-noise
+// outlier hits both modes alike. The order within a rep ALTERNATES
+// (off-first, then on-first): every run parks tens of thousands of
+// loopback sockets in TIME_WAIT, which taxes whichever run comes next
+// — a fixed order would bill that tax to one mode. --smoke runs
+// the short version and exits nonzero when the gate fails.
+//
+// Artifacts: BENCH_obs_overhead.json (summary gauges) and
+// BENCH_obs_overhead.series.json (the sampler's ring dump from the
+// last ON rep — proof the time-series plane was live during the run).
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "mta/smtp_server.h"
+#include "net/smtp_client.h"
+#include "obs/event_log.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/series.h"
+#include "obs/span.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using sams::mta::Architecture;
+using sams::mta::RealServerConfig;
+using sams::mta::RecipientDb;
+using sams::mta::SmtpServer;
+using sams::smtp::ClientOutcome;
+using sams::smtp::MailJob;
+using sams::smtp::Path;
+
+struct Args {
+  bool quick = false;
+  bool smoke = false;
+  std::uint64_t seed = 42;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+struct RunResult {
+  double sessions_per_sec = 0;
+  double cpu_us_per_session = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t mails = 0;
+  std::uint64_t events_emitted = 0;
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t samples_taken = 0;
+  std::string series_json;
+  bool failed = false;
+};
+
+MailJob MakeJob(const std::string& rcpt, std::string body) {
+  MailJob job;
+  job.helo = "bench.client";
+  job.mail_from = *Path::Parse("<load@bench.test>");
+  job.rcpts.push_back(*Path::Parse("<" + rcpt + ">"));
+  job.body = std::move(body);
+  return job;
+}
+
+RunResult RunOne(bool telemetry, int num_shards, int worker_count,
+                 int client_threads, int duration_ms, std::uint64_t seed) {
+  RunResult result;
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       (std::string("sams_bench_obs_") + (telemetry ? "on" : "off")))
+          .string();
+  std::filesystem::remove_all(root);
+  auto store = sams::mfs::MakeMfsStore(root, {});
+  if (!store.ok()) {
+    result.failed = true;
+    return result;
+  }
+  RecipientDb db;
+  for (const char* user : {"alice", "bob", "carol", "dave"}) {
+    db.AddMailbox(user, "dept.test");
+  }
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = worker_count;
+  cfg.num_shards = num_shards;
+  cfg.recv_timeout_ms = 5'000;
+  if (telemetry) cfg.stall_watchdog_ms = 250;
+  SmtpServer server(cfg, std::move(db), **store);
+
+  // The full production telemetry plane, assembled exactly as
+  // live_smtp_server does it.
+  sams::obs::Registry registry;
+  sams::obs::TraceSink trace(8192);
+  sams::obs::EventLog::Options log_opts;
+  log_opts.path = "/dev/null";
+  sams::obs::EventLog event_log(std::move(log_opts));
+  sams::obs::TimeSeries series({/*interval_ms=*/100, /*capacity=*/600});
+  server.BindObservability(registry, &trace);
+  if (telemetry) {
+    server.BindEventLog(&event_log);
+    event_log.BindMetrics(registry);
+    series.BindMetrics(registry);
+    series.AddCounterProbe(registry, "sessions", "sams_smtp_connections_total",
+                           {{"arch", "fork-after-trust"}});
+    series.AddCounterProbe(registry, "delivered",
+                           "sams_smtp_mails_delivered_total",
+                           {{"arch", "fork-after-trust"}});
+    series.AddProbe("inflight",
+                    [&server] { return static_cast<double>(server.inflight()); });
+  }
+
+  auto port = server.Start();
+  if (!port.ok()) {
+    result.failed = true;
+    return result;
+  }
+  if (telemetry) series.Start();
+
+  static const char* kHam[] = {"alice@dept.test", "bob@dept.test",
+                               "carol@dept.test", "dave@dept.test"};
+  std::atomic<std::uint64_t> sessions{0};
+  std::atomic<std::uint64_t> mails{0};
+  auto cpu_micros = [] {
+    struct rusage usage {};
+    ::getrusage(RUSAGE_SELF, &usage);
+    const auto micros = [](const struct timeval& tv) {
+      return static_cast<double>(tv.tv_sec) * 1e6 +
+             static_cast<double>(tv.tv_usec);
+    };
+    return micros(usage.ru_utime) + micros(usage.ru_stime);
+  };
+  const double cpu_start_us = cpu_micros();
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(duration_ms);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      sams::util::Rng rng(seed + 1000003ULL * static_cast<std::uint64_t>(t));
+      int i = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const bool is_spam = rng.Bernoulli(0.7);
+        const std::string rcpt =
+            is_spam ? "victim" + std::to_string(i) + "@nowhere.test"
+                    : kHam[rng.UniformInt(0, 3)];
+        auto outcome = sams::net::SendMail(
+            "127.0.0.1", *port, MakeJob(rcpt, "x\n"),
+            sams::smtp::AbortStage::kNone, 3'000);
+        ++i;
+        if (!outcome.ok()) continue;
+        sessions.fetch_add(1, std::memory_order_relaxed);
+        if (outcome->outcome == ClientOutcome::kDelivered) {
+          mails.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double cpu_spent_us = cpu_micros() - cpu_start_us;
+  result.spans_recorded = trace.recorded();
+  if (telemetry) {
+    series.Stop();
+    result.events_emitted = event_log.emitted();
+    result.samples_taken = series.samples_taken();
+    result.series_json = series.ToJson();
+  }
+  server.Stop();
+  std::filesystem::remove_all(root);
+
+  result.sessions = sessions.load();
+  result.mails = mails.load();
+  result.sessions_per_sec =
+      seconds > 0 ? static_cast<double>(result.sessions) / seconds : 0;
+  result.cpu_us_per_session =
+      result.sessions > 0
+          ? cpu_spent_us / static_cast<double>(result.sessions)
+          : 0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  sams::bench::PrintHeader(
+      "Telemetry overhead: full observability plane off vs on",
+      "DESIGN.md section 11 (telemetry plane)",
+      "metrics + spans + event log + sampler + watchdog cost < 3% "
+      "sessions/sec");
+
+  // A multi-core host runs the production shape (2 shards, 2 workers,
+  // 4 clients). A 1-core builder time-shares every thread on the same
+  // CPU, where the gate would measure scheduler interleaving, not the
+  // plane — shrink to the minimum thread count so the comparison stays
+  // about per-session cost.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int num_shards = hw >= 2 ? 2 : 1;
+  const int worker_count = hw >= 2 ? 2 : 1;
+  const int client_threads = hw >= 2 ? 4 : 2;
+  const int reps = args.smoke ? 4 : (args.quick ? 3 : 4);
+  const int duration_ms = args.smoke ? 500 : (args.quick ? 800 : 2'000);
+  std::printf("  hardware threads: %u (%d shards, %d workers, %d clients)\n\n",
+              hw, num_shards, worker_count, client_threads);
+
+  double best_off = 0;
+  double best_on = 0;
+  double best_cpu_off = 0;  // lowest CPU us/session seen (0 = none yet)
+  double best_cpu_on = 0;
+  RunResult last_on;
+  bool any_failed = false;
+  sams::util::TextTable table({"rep", "telemetry", "sessions/s",
+                               "cpu us/sess", "ham mails", "events", "spans"});
+  for (int rep = 0; rep < reps; ++rep) {
+    const bool off_first = rep % 2 == 0;
+    for (const bool telemetry : {!off_first, off_first}) {
+      const RunResult r = RunOne(telemetry, num_shards, worker_count,
+                                 client_threads, duration_ms, args.seed + rep);
+      if (r.failed) {
+        any_failed = true;
+        std::fprintf(stderr, "  rep %d (%s) FAILED to start\n", rep,
+                     telemetry ? "on" : "off");
+        continue;
+      }
+      table.AddRow({std::to_string(rep), telemetry ? "on" : "off",
+                    sams::util::TextTable::Num(r.sessions_per_sec, 1),
+                    sams::util::TextTable::Num(r.cpu_us_per_session, 1),
+                    std::to_string(r.mails), std::to_string(r.events_emitted),
+                    std::to_string(r.spans_recorded)});
+      if (telemetry) {
+        if (r.sessions_per_sec > best_on) best_on = r.sessions_per_sec;
+        if (best_cpu_on == 0 || r.cpu_us_per_session < best_cpu_on) {
+          best_cpu_on = r.cpu_us_per_session;
+        }
+        last_on = r;
+      } else {
+        if (r.sessions_per_sec > best_off) best_off = r.sessions_per_sec;
+        if (best_cpu_off == 0 || r.cpu_us_per_session < best_cpu_off) {
+          best_cpu_off = r.cpu_us_per_session;
+        }
+      }
+    }
+  }
+  sams::bench::PrintTable(table);
+
+  // Best-of-reps for each mode: scheduler noise produces slow outliers,
+  // never fast ones, so best-vs-best isolates the real per-session cost.
+  const double overhead_pct =
+      best_off > 0 ? (best_off - best_on) / best_off * 100.0 : 0;
+  const double clamped = overhead_pct < 0 ? 0 : overhead_pct;
+  // The gated metric: CPU microseconds consumed per completed session.
+  // Wall throughput on a shared/1-core builder swings ±15% between
+  // identical runs (scheduler interleaving, TIME_WAIT table size); CPU
+  // time actually charged to the process is stable and is what the
+  // plane's instrumentation, formatting and sampling genuinely add.
+  const double cpu_overhead_pct =
+      best_cpu_off > 0
+          ? (best_cpu_on - best_cpu_off) / best_cpu_off * 100.0
+          : 0;
+  const double cpu_clamped = cpu_overhead_pct < 0 ? 0 : cpu_overhead_pct;
+
+  sams::obs::Registry summary;
+  summary
+      .GetGauge("bench_obs_overhead_sessions_per_sec",
+                "best sessions/sec", {{"telemetry", "off"}})
+      .Set(best_off);
+  summary
+      .GetGauge("bench_obs_overhead_sessions_per_sec",
+                "best sessions/sec", {{"telemetry", "on"}})
+      .Set(best_on);
+  summary
+      .GetGauge("bench_obs_overhead_pct",
+                "telemetry-on sessions/sec cost, percent (clamped at 0)")
+      .Set(clamped);
+  summary
+      .GetGauge("bench_obs_overhead_cpu_us_per_session",
+                "best CPU us per session", {{"telemetry", "off"}})
+      .Set(best_cpu_off);
+  summary
+      .GetGauge("bench_obs_overhead_cpu_us_per_session",
+                "best CPU us per session", {{"telemetry", "on"}})
+      .Set(best_cpu_on);
+  summary
+      .GetGauge("bench_obs_overhead_cpu_pct",
+                "telemetry-on CPU cost per session, percent (clamped at 0)")
+      .Set(cpu_clamped);
+  summary
+      .GetGauge("bench_obs_overhead_events_emitted",
+                "event-log records in the last telemetry-on rep")
+      .Set(static_cast<double>(last_on.events_emitted));
+  summary
+      .GetGauge("bench_obs_overhead_spans_recorded",
+                "trace spans in the last telemetry-on rep")
+      .Set(static_cast<double>(last_on.spans_recorded));
+  summary
+      .GetGauge("bench_obs_overhead_samples_taken",
+                "time-series sampler ticks in the last telemetry-on rep")
+      .Set(static_cast<double>(last_on.samples_taken));
+
+  const char* json_path = "BENCH_obs_overhead.json";
+  const sams::util::Error err =
+      sams::obs::WriteJsonSnapshot(summary, json_path);
+  if (err.ok()) {
+    std::printf("\n  summary written to %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "\n  summary write failed: %s\n",
+                 err.ToString().c_str());
+  }
+  if (!last_on.series_json.empty()) {
+    std::ofstream out("BENCH_obs_overhead.series.json");
+    out << last_on.series_json << "\n";
+    std::printf("  sampler rings written to BENCH_obs_overhead.series.json\n");
+  }
+
+  std::printf("  best off: %.1f sessions/s (%.1f cpu us/sess)\n", best_off,
+              best_cpu_off);
+  std::printf("  best on:  %.1f sessions/s (%.1f cpu us/sess)\n", best_on,
+              best_cpu_on);
+  std::printf("  wall overhead: %.2f%% (raw %.2f%%)\n", clamped, overhead_pct);
+  std::printf("  cpu overhead:  %.2f%% (raw %.2f%%)\n", cpu_clamped,
+              cpu_overhead_pct);
+  if (any_failed) return 1;
+  if (args.smoke) {
+    // Same 1-core carve-out as bench_shard_scaling: with one hardware
+    // thread the sampler/watchdog/event-log threads time-share the data
+    // plane's only CPU, so the delta measures preemption, not the
+    // plane's per-session cost. Report, but don't gate.
+    if (hw < 2) {
+      std::printf("  gate SKIPPED: %u hardware thread(s), overhead gate "
+                  "needs >= 2 cores\n\n", hw);
+      return 0;
+    }
+    const bool ok = cpu_clamped < 3.0;
+    std::printf("  gate (< 3%% CPU/session overhead): %s\n\n",
+                ok ? "pass" : "NO - REGRESSION");
+    return ok ? 0 : 1;
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -3,6 +3,7 @@
 //
 //   $ ./live_smtp_server [port] [vanilla|hybrid] [mbox|maildir|hardlink|mfs]
 //                         [--shards N] [--dnsbl-zones zone:port[,zone:port...]]
+//                         [--admin-port N] [--event-log PATH]
 //   $ printf 'HELO me\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<alice@example.test>\r\n
 //     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
 //
@@ -10,11 +11,27 @@
 // /tmp/sams_live_server/. SIGINT/SIGTERM triggers a graceful drain:
 // the listener stops accepting, in-flight sessions get a grace period
 // to finish, the spool queue is flushed (every acked mail reaches its
-// mailbox), and the final metrics snapshot is dumped. SIGUSR1 dumps
-// the metrics registry (Prometheus text) and recent session traces to
-// stdout without stopping the server:
+// mailbox), and the final metrics snapshot is dumped.
 //
+// The telemetry plane (DESIGN.md §11) is always on: an admin HTTP
+// endpoint (127.0.0.1, --admin-port N to pin, ephemeral otherwise)
+// serves
+//
+//   /metrics   Prometheus text        /vars     JSON snapshot
+//   /healthz   per-subsystem readiness (503 when degraded)
+//   /spans     recent session traces  /series   time-series rings
+//
+// and a structured JSONL event log (stderr, or --event-log PATH)
+// records one line per session outcome and operational event. SIGUSR1
+// is a thin alias for GET /vars: the handler writes one byte to an
+// eventfd and the admin loop prints the snapshot to stdout — no
+// signal-unsafe work in the handler itself.
+//
+//   $ curl -s 127.0.0.1:<admin-port>/healthz
 //   $ kill -USR1 $(pidof live_smtp_server)
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -23,15 +40,47 @@
 #include <vector>
 
 #include "mta/smtp_server.h"
+#include "net/admin_http.h"
+#include "obs/build_info.h"
+#include "obs/event_log.h"
 #include "obs/export.h"
+#include "obs/series.h"
 #include "obs/span.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
-volatile std::sig_atomic_t g_dump = 0;
+int g_dump_eventfd = -1;
 void HandleSignal(int) { g_stop = 1; }
-void HandleDumpSignal(int) { g_dump = 1; }
+// Async-signal-safe by construction: one write(2) on an eventfd; the
+// admin loop thread drains it and does the actual (unsafe) dump work.
+void HandleDumpSignal(int) {
+  if (g_dump_eventfd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(g_dump_eventfd, &one, sizeof(one));
+  }
+}
+
+std::string HealthJson(const std::vector<sams::mta::SubsystemHealth>& health,
+                       bool* all_ok) {
+  *all_ok = true;
+  std::string body = "{\"subsystems\":[";
+  bool first = true;
+  for (const auto& sub : health) {
+    if (!sub.ok) *all_ok = false;
+    if (!first) body += ',';
+    first = false;
+    body += "{\"name\":\"" + sub.name + "\",\"ok\":";
+    body += sub.ok ? "true" : "false";
+    if (!sub.detail.empty()) body += ",\"detail\":\"" + sub.detail + "\"";
+    body += '}';
+  }
+  body += "],\"status\":\"";
+  body += *all_ok ? "ok" : "degraded";
+  body += "\"}\n";
+  return body;
+}
 
 }  // namespace
 
@@ -42,13 +91,23 @@ int main(int argc, char** argv) {
   // `dnsbl_daemon` first and pass its zone/port here). Positional args
   // keep their meaning with the flags removed.
   int shards = 1;
+  int admin_port = 0;
   std::string dnsbl_zones_arg;
+  std::string event_log_path;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      admin_port = std::atoi(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--event-log") == 0 && i + 1 < argc) {
+      event_log_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--event-log=", 12) == 0) {
+      event_log_path = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--dnsbl-zones") == 0 && i + 1 < argc) {
       dnsbl_zones_arg = argv[++i];
     } else if (std::strncmp(argv[i], "--dnsbl-zones=", 14) == 0) {
@@ -77,6 +136,10 @@ int main(int argc, char** argv) {
   }
   if (shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (admin_port < 0 || admin_port > 65535) {
+    std::fprintf(stderr, "--admin-port must be 0..65535\n");
     return 2;
   }
   const std::uint16_t port =
@@ -112,10 +175,12 @@ int main(int argc, char** argv) {
   cfg.port = port;
   cfg.session.hostname = "live.sams.test";
   // A live server on an open port needs the abuse defenses on: evict
-  // idle half-open dialogs, cap pre-trust lifetime, shed overload.
+  // idle half-open dialogs, cap pre-trust lifetime, shed overload, and
+  // snapshot anything stuck in one stage >10 s into the event log.
   cfg.master_idle_timeout_ms = 60'000;
   cfg.master_session_deadline_ms = 300'000;
   cfg.max_inflight_sessions = 512;
+  cfg.stall_watchdog_ms = 10'000;
   if (!dnsbl_zones.empty()) {
     cfg.dnsbl.enabled = true;
     cfg.dnsbl.zones = dnsbl_zones;
@@ -123,13 +188,121 @@ int main(int argc, char** argv) {
   // Declared before the server so bound counters outlive its threads.
   sams::obs::Registry registry;
   sams::obs::TraceSink trace;
+  sams::obs::RegisterBuildInfo(registry);
+
+  // Structured event log: one JSONL record per session outcome and
+  // operational event; SAMS_LOG lines are bridged in as well.
+  sams::obs::EventLog::Options log_opts;
+  log_opts.path = event_log_path;  // empty = stderr
+  sams::obs::EventLog event_log(log_opts);
+  event_log.InstallLogBridge();
+  event_log.BindMetrics(registry);
+
   sams::mta::SmtpServer server(cfg, std::move(recipients), **store);
   server.BindObservability(registry, &trace);
+  server.BindEventLog(&event_log);
   auto bound = server.Start();
   if (!bound.ok()) {
     std::fprintf(stderr, "start: %s\n", bound.error().ToString().c_str());
     return 1;
   }
+
+  // Time-series rings: snapshot the saturation-relevant instruments
+  // every 100 ms for the /series endpoint.
+  sams::obs::TimeSeries series;
+  series.BindMetrics(registry);
+  series.AddGaugeProbe(registry, "inflight_sessions",
+                       "sams_smtp_inflight_sessions",
+                       {{"arch", hybrid ? "fork-after-trust"
+                                        : "thread-per-connection"}});
+  for (int i = 0; i < server.num_shards(); ++i) {
+    const sams::obs::Labels labels = {{"shard", std::to_string(i)}};
+    const std::string suffix = ".shard" + std::to_string(i);
+    series.AddGaugeProbe(registry, "shard_sessions" + suffix,
+                         "sams_smtp_shard_sessions", labels);
+    series.AddCounterProbe(registry, "shard_accepted" + suffix,
+                           "sams_smtp_shard_accepted_total", labels);
+    series.AddCounterProbe(registry, "shard_sheds" + suffix,
+                           "sams_smtp_shard_sheds_total", labels);
+  }
+  if (server.num_shards() > 1) {
+    series.AddGaugeProbe(registry, "shard_imbalance",
+                         "sams_smtp_shard_imbalance");
+  }
+  if (!dnsbl_zones.empty() && hybrid) {
+    const sams::obs::Labels arch = {{"arch", "fork-after-trust"}};
+    series.AddPercentileProbe(registry, "rcpt_stall_ms_p99",
+                              "sams_smtp_dnsbl_rcpt_stall_ms", 99.0, arch);
+    series.AddPercentileProbe(registry, "rcpt_stall_ms_p999",
+                              "sams_smtp_dnsbl_rcpt_stall_ms", 99.9, arch);
+    series.AddGaugeProbe(registry, "dnsbl_inflight",
+                         "sams_dnsbl_async_inflight");
+    series.AddCounterProbe(registry, "dnsbl_deferred_rcpts",
+                           "sams_smtp_dnsbl_deferred_rcpts_total", arch);
+  }
+  if (layout == "mfs") {
+    const sams::obs::Labels mfs = {{"layout", "mfs"}};
+    // Derived probe: instantaneous hit rate of the delivery fd cache.
+    series.AddProbe("fd_cache_hit_rate", [&registry, mfs] {
+      const auto* hits =
+          registry.FindCounter("sams_mfs_fd_cache_hits_total", mfs);
+      const auto* misses =
+          registry.FindCounter("sams_mfs_fd_cache_misses_total", mfs);
+      const double h =
+          hits != nullptr ? static_cast<double>(hits->value()) : 0.0;
+      const double m =
+          misses != nullptr ? static_cast<double>(misses->value()) : 0.0;
+      return h + m > 0 ? h / (h + m) : 0.0;
+    });
+  }
+
+  // Admin HTTP endpoint: the five telemetry routes plus the SIGUSR1
+  // eventfd watch.
+  sams::net::AdminHttpServer admin(static_cast<std::uint16_t>(admin_port));
+  admin.BindMetrics(registry);
+  admin.Route("/metrics", [&registry] {
+    registry.Collect();
+    return sams::net::AdminResponse{
+        200, "text/plain; version=0.0.4; charset=utf-8",
+        sams::obs::PrometheusText(registry)};
+  });
+  admin.Route("/vars", [&registry] {
+    registry.Collect();
+    return sams::net::AdminResponse{200, "application/json",
+                                    sams::obs::JsonSnapshot(registry)};
+  });
+  admin.Route("/healthz", [&server] {
+    bool all_ok = true;
+    std::string body = HealthJson(server.Health(), &all_ok);
+    return sams::net::AdminResponse{all_ok ? 200 : 503, "application/json",
+                                    std::move(body)};
+  });
+  admin.Route("/spans", [&trace] {
+    return sams::net::AdminResponse{200, "text/plain; charset=utf-8",
+                                    trace.DumpText()};
+  });
+  admin.Route("/series", [&series] {
+    return sams::net::AdminResponse{200, "application/json", series.ToJson()};
+  });
+  g_dump_eventfd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (g_dump_eventfd >= 0) {
+    admin.AddWatch(g_dump_eventfd, [&registry] {
+      std::uint64_t drained = 0;
+      while (::read(g_dump_eventfd, &drained, sizeof(drained)) > 0) {
+      }
+      registry.Collect();
+      const std::string json = sams::obs::JsonSnapshot(registry);
+      std::fwrite(json.data(), 1, json.size(), stdout);
+      std::fflush(stdout);
+    });
+  }
+  auto admin_bound = admin.Start();
+  if (!admin_bound.ok()) {
+    std::fprintf(stderr, "admin endpoint: %s\n",
+                 admin_bound.error().ToString().c_str());
+    return 1;
+  }
+  series.Start();
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -139,24 +312,22 @@ int main(int argc, char** argv) {
       "store, %d shard(s)%s]\n"
       "valid recipients: alice|bob|carol @example.test\n"
       "mail lands under %s — Ctrl-C drains and stops, SIGUSR1 dumps "
-      "metrics\n",
+      "metrics\n"
+      "admin endpoint on 127.0.0.1:%u — /metrics /vars /healthz /spans "
+      "/series\n"
+      "event log -> %s\n",
       *bound, hybrid ? "fork-after-trust" : "thread-per-connection",
       layout.c_str(), server.num_shards(),
-      server.handoff_fallback() ? ", handoff fallback" : "", root.c_str());
+      server.handoff_fallback() ? ", handoff fallback" : "", root.c_str(),
+      *admin_bound,
+      event_log_path.empty() ? "stderr" : event_log_path.c_str());
   if (!dnsbl_zones.empty()) {
     std::printf("async DNSBL pipeline on: %zu zone(s), lookups overlap the "
                 "SMTP dialog\n", dnsbl_zones.size());
   }
+  std::fflush(stdout);
 
   while (!g_stop) {
-    if (g_dump) {
-      g_dump = 0;
-      const std::string text = sams::obs::PrometheusText(registry);
-      std::fwrite(text.data(), 1, text.size(), stdout);
-      const std::string spans = trace.DumpText();
-      std::fwrite(spans.data(), 1, spans.size(), stdout);
-      std::fflush(stdout);
-    }
     struct timespec ts{0, 200'000'000};
     nanosleep(&ts, nullptr);
   }
@@ -166,14 +337,18 @@ int main(int argc, char** argv) {
   if (leftover > 0) {
     std::printf("grace expired with %d sessions still open\n", leftover);
   }
+  series.Stop();
+  admin.Stop();
+  if (g_dump_eventfd >= 0) ::close(g_dump_eventfd);
   const std::string text = sams::obs::PrometheusText(registry);
   std::fwrite(text.data(), 1, text.size(), stdout);
   std::printf(
       "\nstopped. connections %llu, mails %llu, delegations %llu, "
-      "rejected RCPTs %llu\n",
+      "rejected RCPTs %llu, admin requests %llu\n",
       static_cast<unsigned long long>(server.stats().connections),
       static_cast<unsigned long long>(server.stats().mails_delivered),
       static_cast<unsigned long long>(server.stats().delegations),
-      static_cast<unsigned long long>(server.stats().rejected_rcpts));
+      static_cast<unsigned long long>(server.stats().rejected_rcpts),
+      static_cast<unsigned long long>(admin.requests()));
   return 0;
 }

@@ -29,7 +29,7 @@ echo "== src/obs + src/fault + src/dnsbl + mfs fast path + sharded server under 
 MFS_FAST_PATH=(src/mfs/record_io.cc src/mfs/group_commit.cc
                src/mfs/volume.cc src/mfs/store.cc)
 SHARD_PATH=(src/mta/smtp_server.cc src/net/tcp.cc src/net/event_loop.cc
-            src/net/udp.cc src/smtp/server_session.cc)
+            src/net/udp.cc src/net/admin_http.cc src/smtp/server_session.cc)
 for src in src/obs/*.cc src/fault/*.cc src/dnsbl/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
@@ -46,6 +46,46 @@ echo "== shard-scaling smoke bench (2 shards >= 1.5x, skipped on 1 core) =="
 
 echo "== dnsbl-overlap smoke bench (>= 80% of DNS RTT hidden, warm < 1 ms) =="
 "${BUILD_DIR}/bench/bench_dnsbl_overlap" --smoke
+
+echo "== obs-overhead smoke bench (telemetry plane < 3% CPU/session, skipped on 1 core) =="
+"${BUILD_DIR}/bench/bench_obs_overhead" --smoke
+
+# Admin-endpoint smoke: boot the example server with the telemetry
+# plane on, hit /healthz and /metrics over real HTTP, and require the
+# exporter to publish at least 12 metric families — a one-subsystem
+# wiring regression (net loop, MFS store, DNSBL cache, event log...)
+# drops several families at once and trips this.
+echo "== admin endpoint smoke (/healthz ok, >= 12 families on /metrics) =="
+SMTP_PORT=$(( 20000 + RANDOM % 20000 ))
+ADMIN_PORT=$(( 20000 + RANDOM % 20000 ))
+"${BUILD_DIR}/examples/live_smtp_server" "${SMTP_PORT}" hybrid mfs \
+  --admin-port "${ADMIN_PORT}" --event-log /dev/null &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+python3 - "${ADMIN_PORT}" <<'PY'
+import sys, time, urllib.request
+port = sys.argv[1]
+def fetch(path):
+    url = f"http://127.0.0.1:{port}{path}"
+    return urllib.request.urlopen(url, timeout=2).read().decode()
+deadline = time.time() + 10
+while True:
+    try:
+        health = fetch("/healthz")
+        break
+    except OSError:
+        if time.time() > deadline:
+            sys.exit("admin smoke: /healthz never came up")
+        time.sleep(0.1)
+assert '"status"' in health, health
+families = sum(1 for line in fetch("/metrics").splitlines()
+               if line.startswith("# TYPE"))
+print(f"   /healthz ok, {families} metric families on /metrics")
+assert families >= 12, f"expected >= 12 metric families, got {families}"
+PY
+kill "${SERVER_PID}" 2>/dev/null || true
+wait "${SERVER_PID}" 2>/dev/null || true
+trap - EXIT
 
 echo "== collect BENCH_*.json -> BENCH_summary.json =="
 python3 scripts/collect_bench.py

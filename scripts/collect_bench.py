@@ -25,6 +25,8 @@ def collect(directory: Path) -> tuple[dict, list[str]]:
     for path in sorted(directory.glob("BENCH_*.json")):
         if path.name == "BENCH_summary.json":
             continue
+        if path.name.endswith(".series.json"):
+            continue  # time-series ring dumps are folded in below
         name = path.stem[len("BENCH_"):]
         try:
             snapshot = json.loads(path.read_text())
@@ -33,6 +35,21 @@ def collect(directory: Path) -> tuple[dict, list[str]]:
             errors.append(f"{path}: {err}")
             continue
         benches[name] = {"path": str(path), "metrics": metrics}
+    # A bench that ran with the telemetry plane live also dumps its
+    # sampler ring (obs::TimeSeries::ToJson) as BENCH_<name>.series.json;
+    # fold it under the matching bench so the summary carries the full
+    # per-run time series, not just the endline gauges.
+    for path in sorted(directory.glob("BENCH_*.series.json")):
+        name = path.name[len("BENCH_"):-len(".series.json")]
+        try:
+            dump = json.loads(path.read_text())
+            series = dump["series"]
+        except (OSError, json.JSONDecodeError, KeyError) as err:
+            errors.append(f"{path}: {err}")
+            continue
+        entry = benches.setdefault(name, {"path": str(path), "metrics": []})
+        entry["series"] = series
+        entry["series_path"] = str(path)
     return benches, errors
 
 
@@ -65,7 +82,8 @@ def main() -> int:
     print(f"collect_bench: {len(benches)} bench(es), {total} metric(s) "
           f"-> {out}")
     for name, bench in sorted(benches.items()):
-        print(f"  {name:24s} {len(bench['metrics']):4d} metrics "
+        tail = f", {len(bench['series'])} series" if "series" in bench else ""
+        print(f"  {name:24s} {len(bench['metrics']):4d} metrics{tail} "
               f"({bench['path']})")
     return 1 if errors else 0
 

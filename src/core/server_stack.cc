@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "util/logging.h"
 
@@ -10,6 +11,7 @@ namespace sams::core {
 ServerStack::ServerStack(const StackConfig& cfg,
                          std::span<const util::Ipv4> listed_ips)
     : cfg_(cfg) {
+  obs::RegisterBuildInfo(registry_);
   fs_model_ = fskit::MakeFsModel(cfg_.fs_model);
   SAMS_CHECK(fs_model_ != nullptr) << "unknown fs model: " << cfg_.fs_model;
   fs_ = std::make_unique<fskit::SimFs>(machine_.disk(), *fs_model_);
@@ -42,6 +44,56 @@ ServerStack::ServerStack(const StackConfig& cfg,
   if (resolver_) resolver_->BindMetrics(registry_);
   server_->BindObservability(registry_, &trace_);
   BindMachineMetrics();
+  series_.BindMetrics(registry_);
+}
+
+util::Result<std::uint16_t> ServerStack::StartAdminServer(std::uint16_t port) {
+  if (admin_) return admin_->port();
+  admin_ = std::make_unique<net::AdminHttpServer>(port);
+  admin_->BindMetrics(registry_);
+  admin_->Route("/metrics", [this] {
+    registry_.Collect();
+    return net::AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                              obs::PrometheusText(registry_)};
+  });
+  admin_->Route("/vars", [this] {
+    registry_.Collect();
+    return net::AdminResponse{200, "application/json",
+                              obs::JsonSnapshot(registry_)};
+  });
+  admin_->Route("/healthz", [this] {
+    // The simulated stack's components are constructed together and
+    // have no independent failure modes; readiness is "constructed".
+    std::string body = "{\"status\":\"ok\",\"subsystems\":[";
+    body += "{\"name\":\"machine\",\"ok\":true},";
+    body += "{\"name\":\"store\",\"ok\":true},";
+    body += std::string("{\"name\":\"dnsbl\",\"ok\":true,\"enabled\":") +
+            (resolver_ ? "true" : "false") + "},";
+    body += "{\"name\":\"server\",\"ok\":true}]}\n";
+    return net::AdminResponse{200, "application/json", std::move(body)};
+  });
+  admin_->Route("/spans", [this] {
+    return net::AdminResponse{200, "text/plain; charset=utf-8",
+                              trace_.DumpText()};
+  });
+  admin_->Route("/series", [this] {
+    return net::AdminResponse{200, "application/json", series_.ToJson()};
+  });
+  auto started = admin_->Start();
+  if (!started.ok()) {
+    admin_.reset();
+    return started.error();
+  }
+  series_.Start();
+  return *started;
+}
+
+void ServerStack::StopAdminServer() {
+  series_.Stop();
+  if (admin_) {
+    admin_->Stop();
+    admin_.reset();
+  }
 }
 
 void ServerStack::BindMachineMetrics() {

@@ -25,7 +25,9 @@
 #include "fskit/sim_fs.h"
 #include "mfs/sim_store.h"
 #include "mta/sim_server.h"
+#include "net/admin_http.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
 #include "obs/span.h"
 #include "sim/machine.h"
 #include "trace/workload.h"
@@ -77,6 +79,19 @@ class ServerStack {
   // construction, so one Collect() refreshes the whole stack.
   obs::Registry& registry() { return registry_; }
   obs::TraceSink& trace() { return trace_; }
+  // Stack-wide time-series rings (sampler not started by default; the
+  // admin server starts it).
+  obs::TimeSeries& series() { return series_; }
+
+  // --- telemetry plane (DESIGN.md §11) -------------------------------
+  // Spawns the admin HTTP endpoint serving this stack's registry,
+  // trace ring and time-series rings on /metrics, /vars, /healthz,
+  // /spans and /series, and starts the series sampler. port 0 =
+  // ephemeral; returns the bound port.
+  util::Result<std::uint16_t> StartAdminServer(std::uint16_t port = 0);
+  void StopAdminServer();
+  // 0 unless the admin server is running.
+  std::uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
 
   // Prometheus-style text dump of every metric, followed by the most
   // recent session traces. What bench_sec8_combined and the live
@@ -100,6 +115,8 @@ class ServerStack {
   // pointers stay valid for the components' whole lifetime.
   obs::Registry registry_;
   obs::TraceSink trace_;
+  obs::TimeSeries series_;
+  std::unique_ptr<net::AdminHttpServer> admin_;
   sim::Machine machine_;
   std::unique_ptr<fskit::FsModel> fs_model_;
   std::unique_ptr<fskit::SimFs> fs_;

@@ -74,6 +74,15 @@ Result<std::vector<std::string>> ListDirSorted(const std::string& dir) {
   return names;
 }
 
+// /healthz probe: the backing directory must still exist and be
+// writable/searchable, or every future delivery is doomed.
+Error CheckWritableDir(const std::string& dir) {
+  if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+    return util::IoError(Errno("access", dir));
+  }
+  return util::OkError();
+}
+
 Result<std::string> ReadWholeFile(const std::string& path) {
   UniqueFd fd(::open(path.c_str(), O_RDONLY));
   if (!fd.valid()) return util::IoError(Errno("open", path));
@@ -118,6 +127,8 @@ class MboxStore final : public MailStore {
   ~MboxStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "mbox"; }
+
+  Error HealthCheck() override { return CheckWritableDir(root_); }
 
   Error DoDeliver(const MailId& id, std::string_view body,
                   std::span<const std::string> mailboxes) override {
@@ -202,6 +213,8 @@ class MaildirStore final : public MailStore {
   ~MaildirStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "maildir"; }
+
+  Error HealthCheck() override { return CheckWritableDir(root_); }
 
   Error EnsureMaildir(const std::string& box) {
     const std::string base = root_ + "/" + box;
@@ -300,6 +313,8 @@ class HardlinkMaildirStore final : public MailStore {
   ~HardlinkMaildirStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "hardlink"; }
+
+  Error HealthCheck() override { return CheckWritableDir(root_); }
 
   Error DoDeliver(const MailId& id, std::string_view body,
                   std::span<const std::string> mailboxes) override {
@@ -400,6 +415,8 @@ class MfsStore final : public MailStore {
   ~MfsStore() override { StopCommitter(); }
 
   std::string_view name() const override { return "mfs"; }
+
+  Error HealthCheck() override { return CheckWritableDir(volume_->root()); }
 
   Error DoDeliver(const MailId& id, std::string_view body,
                   std::span<const std::string> mailboxes) override {

@@ -90,6 +90,11 @@ class MailStore {
   // Forces everything to stable storage.
   virtual util::Error Sync() = 0;
 
+  // Cheap readiness probe for /healthz (DESIGN.md §11): verifies the
+  // backing volume/root directory still exists and is writable. Does
+  // NOT touch mailbox data and issues no I/O beyond access(2).
+  virtual util::Error HealthCheck() { return util::OkError(); }
+
   // Publishes this store's StoreStats as layout-labelled registry
   // counters, refreshed at collect time, plus the group-commit batch
   // histogram and backend extras (MFS fd-cache counters). The registry

@@ -31,6 +31,13 @@ void SleepMs(int millis) {
   ::nanosleep(&ts, nullptr);
 }
 
+// Event-log records carry the /24, not the address: enough to spot a
+// botnet range, anonymized enough to share logs.
+std::string Peer24(const std::string& ip) {
+  const auto parsed = util::Ipv4::Parse(ip);
+  return parsed ? util::Prefix24(*parsed).ToString() : ip;
+}
+
 }  // namespace
 
 // Per-connection state in a fork-after-trust shard.
@@ -58,6 +65,8 @@ struct SmtpServer::MasterConn {
   bool dnsbl_blacklisted = false;
   std::int64_t dnsbl_begin_ns = 0;  // when the lookup launched
   std::int64_t dnsbl_rcpt_ns = 0;   // when the first RCPT began waiting
+  // Stall watchdog: a stuck session is reported once, not every tick.
+  bool stall_logged = false;
 };
 
 // One pre-trust reactor: an event loop on its own thread, plus (in
@@ -179,10 +188,15 @@ void SmtpServer::BindObservability(obs::Registry& registry,
   auto* dnsbl_deferred = &registry.GetCounter(
       "sams_smtp_dnsbl_deferred_rcpts_total",
       "first-RCPT replies that waited for an in-flight DNS round", arch);
+  auto* stalled = &registry.GetCounter(
+      "sams_smtp_stalled_sessions_total",
+      "sessions the stall watchdog flagged as stuck in one stage", arch);
   registry.AddCollector([this, conns, mails, mailbox, rejected, content,
                          pregreet, delegations, master_closed, errors, reaped,
                          sheds, deaths, requeues, accept_errors, inflight,
-                         dnsbl_rejects, dnsbl_deferred] {
+                         dnsbl_rejects, dnsbl_deferred, stalled] {
+    stalled->Overwrite(
+        stats_.stalled_sessions.load(std::memory_order_relaxed));
     dnsbl_rejects->Overwrite(
         stats_.dnsbl_rejects.load(std::memory_order_relaxed));
     dnsbl_deferred->Overwrite(
@@ -255,6 +269,104 @@ void SmtpServer::BindObservability(obs::Registry& registry,
         obs::HistogramSpec{0.05, 2.0, 20}, arch);
   }
   store_.BindMetrics(registry);
+}
+
+void SmtpServer::LogOperational(const char* event, obs::EventSeverity severity,
+                                std::function<void(obs::EventRecord&)> fill) {
+  if (event_log_ == nullptr) return;
+  obs::EventRecord record("smtp", event, severity);
+  if (fill) fill(record);
+  event_log_->Emit(record);
+}
+
+void SmtpServer::LogSessionOutcome(const smtp::ServerSession& session,
+                                   int shard, const char* transport) {
+  if (event_log_ == nullptr) return;
+  const smtp::SessionStats& s = session.stats();
+  // Outcome precedence: an actual delivery beats everything; then the
+  // rejection reasons in pipeline order; a clean QUIT with nothing
+  // delivered is "quit"; anything else died mid-dialog.
+  const char* verdict = "unfinished";
+  if (s.mails_delivered > 0) {
+    verdict = "delivered";
+  } else if (s.gate_rejects > 0) {
+    verdict = "dnsbl_reject";
+  } else if (s.content_rejects > 0) {
+    verdict = "content_reject";
+  } else if (s.rejected_rcpts > 0 && s.accepted_rcpts == 0 &&
+             session.state() == smtp::SessionState::kClosed) {
+    verdict = "bounced";
+  } else if (session.state() == smtp::SessionState::kClosed) {
+    verdict = "quit";
+  }
+  // Lazy Emit: under a session storm the token bucket drops most of
+  // these, and the ~10-field record (peer /24 formatting included) must
+  // not be built for a line that is never written.
+  event_log_->Emit(
+      "smtp", "session", obs::EventSeverity::kInfo,
+      [&](obs::EventRecord& record) {
+        record.Int("id", static_cast<std::int64_t>(session.trace_id()))
+            .Str("verdict", verdict)
+            .Str("transport", transport)
+            .Str("peer24", Peer24(session.client_ip()))
+            .Int("commands", static_cast<std::int64_t>(s.commands))
+            .Int("bytes_in", static_cast<std::int64_t>(s.bytes_in))
+            .Int("rcpts", static_cast<std::int64_t>(s.accepted_rcpts));
+        if (shard >= 0) record.Int("shard", shard);
+        // Per-stage wall time, from the session's local accumulators —
+        // no trace-ring scan on the hot path.
+        const auto& stage_ns = session.stage_durations_ns();
+        for (std::size_t i = 0; i < stage_ns.size(); ++i) {
+          if (stage_ns[i] <= 0) continue;
+          record.Num(std::string("ms_") +
+                         obs::StageName(static_cast<obs::Stage>(i)),
+                     static_cast<double>(stage_ns[i]) / 1e6);
+        }
+      });
+}
+
+int SmtpServer::LiveWorkers() const {
+  std::lock_guard<std::mutex> lock(delegate_mutex_);
+  int live = 0;
+  for (const util::UniqueFd& channel : worker_channels_) {
+    if (channel.valid()) ++live;
+  }
+  return live;
+}
+
+std::vector<SubsystemHealth> SmtpServer::Health() const {
+  std::vector<SubsystemHealth> health;
+  const bool running = running_.load(std::memory_order_acquire);
+  health.push_back({"server", running, running ? "" : "not running"});
+  if (cfg_.architecture == Architecture::kForkAfterTrust) {
+    const int expected = std::max(1, cfg_.num_shards);
+    const int up = num_shards();
+    health.push_back({"shards", !running || up == expected,
+                      std::to_string(up) + "/" + std::to_string(expected) +
+                          " reactors up"});
+    const int live = LiveWorkers();
+    health.push_back({"workers", !running || live > 0,
+                      std::to_string(live) + "/" +
+                          std::to_string(cfg_.worker_count) +
+                          " delegation channels live"});
+    if (dnsbl_service_) {
+      const int bound = dnsbl_shards_bound_.load(std::memory_order_relaxed);
+      health.push_back({"dnsbl", !running || bound == up,
+                        std::to_string(bound) + "/" + std::to_string(up) +
+                            " shard pipelines bound"});
+    }
+  }
+  {
+    const util::Error store_err = store_.HealthCheck();
+    health.push_back(
+        {"store", store_err.ok(),
+         store_err.ok() ? std::string(store_.name()) : store_err.ToString()});
+  }
+  if (queue_) {
+    health.push_back({"queue", true,
+                      "depth " + std::to_string(queue_->depth())});
+  }
+  return health;
 }
 
 util::Result<std::uint16_t> SmtpServer::Start() {
@@ -334,6 +446,14 @@ util::Result<std::uint16_t> SmtpServer::Start() {
     queue_ = std::make_unique<QueueManager>(queue_cfg, store_);
     if (registry_ != nullptr) queue_->BindMetrics(*registry_);
     SAMS_RETURN_IF_ERROR(queue_->Start());
+    const std::uint64_t recovered =
+        queue_->stats().recovered.load(std::memory_order_relaxed);
+    if (recovered > 0) {
+      LogOperational("queue_recovered", obs::EventSeverity::kInfo,
+                     [recovered](obs::EventRecord& r) {
+                       r.Int("mails", static_cast<std::int64_t>(recovered));
+                     });
+    }
   }
 
   running_.store(true, std::memory_order_release);
@@ -398,6 +518,11 @@ bool SmtpServer::AdmitSession(int fd) {
     static constexpr char kShed[] =
         "421 4.3.2 Service overloaded, try again later\r\n";
     (void)util::SendAll(fd, kShed, sizeof(kShed) - 1);
+    LogOperational("overload_shed", obs::EventSeverity::kWarn,
+                   [this](obs::EventRecord& r) {
+                     r.Int("inflight", inflight());
+                     r.Int("limit", cfg_.max_inflight_sessions);
+                   });
     return false;
   }
   return true;
@@ -485,7 +610,14 @@ int SmtpServer::OnAcceptError(int err, int prev_backoff_ms) {
   // exhaustion, or an unexpected hard error) persists across retries:
   // capped exponential backoff so the accept path cannot busy-spin a
   // core while the kernel keeps refusing.
-  return prev_backoff_ms == 0 ? 10 : std::min(prev_backoff_ms * 2, 1'000);
+  const int backoff_ms =
+      prev_backoff_ms == 0 ? 10 : std::min(prev_backoff_ms * 2, 1'000);
+  LogOperational("accept_backoff", obs::EventSeverity::kWarn,
+                 [err, backoff_ms](obs::EventRecord& r) {
+                   r.Str("errno", net::AcceptErrnoName(err));
+                   r.Int("backoff_ms", backoff_ms);
+                 });
+  return backoff_ms;
 }
 
 // --- thread-per-connection (Figure 6) ----------------------------------
@@ -600,6 +732,7 @@ void SmtpServer::HandleConnection(std::uint64_t conn_id, util::UniqueFd fd,
   session.Start();
   FinishSession(session, fd.get());
   (void)quit;
+  LogSessionOutcome(session, /*shard=*/-1, "thread");
   SessionDone();
   // Self-register for reaping: the accept loop joins this thread on
   // its next pass instead of hoarding the handle until Stop().
@@ -647,12 +780,20 @@ bool SmtpServer::DelegateToWorker(int fd, const std::string& payload) {
                       << " died: " << err.ToString();
       worker_channels_[worker].Reset();
       stats_.worker_deaths.fetch_add(1, std::memory_order_relaxed);
+      LogOperational("worker_death", obs::EventSeverity::kError,
+                     [worker](obs::EventRecord& r) {
+                       r.Int("worker", static_cast<std::int64_t>(worker));
+                     });
       saw_death = true;
       continue;
     }
     SAMS_LOG(kError) << "delegation failed: " << err.ToString();
     break;
   }
+  LogOperational("no_worker", obs::EventSeverity::kError,
+                 [n_workers](obs::EventRecord& r) {
+                   r.Int("channels", static_cast<std::int64_t>(n_workers));
+                 });
   return false;
 }
 
@@ -676,12 +817,18 @@ void SmtpServer::ShardLoop(Shard& shard) {
       SAMS_LOG(kWarn) << "shard " << shard.index
                       << " DNSBL pipeline disabled: " << err.ToString();
       pipeline.reset();
+    } else {
+      dnsbl_shards_bound_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   dnsbl::AsyncLookupPipeline* pipeline_raw = pipeline.get();
   std::uint64_t next_gen = 1;  // MasterConn::gen source (fd-reuse guard)
 
   auto close_conn = [this, &shard, &conns, loop](int fd) {
+    auto it = conns.find(fd);
+    if (it != conns.end() && it->second->session) {
+      LogSessionOutcome(*it->second->session, shard.index, "master");
+    }
     (void)loop->Remove(fd);
     conns.erase(fd);
     shard.sessions.fetch_sub(1, std::memory_order_relaxed);
@@ -813,6 +960,11 @@ void SmtpServer::ShardLoop(Shard& shard) {
       static constexpr char kShed[] =
           "421 4.3.2 Service overloaded, try again later\r\n";
       (void)util::SendAll(fd, kShed, sizeof(kShed) - 1);
+      LogOperational("shard_shed", obs::EventSeverity::kWarn,
+                     [this, &shard](obs::EventRecord& r) {
+                       r.Int("shard", shard.index);
+                       r.Int("limit", cfg_.max_sessions_per_shard);
+                     });
       SessionDone();
       return;  // accepted.fd closes on return
     }
@@ -1033,13 +1185,88 @@ void SmtpServer::ShardLoop(Shard& shard) {
             static constexpr char kReap[] =
                 "421 4.4.2 Idle timeout, closing transmission channel\r\n";
             (void)util::SendAll(fd, kReap, sizeof(kReap) - 1);
+            auto reap_it = conns.find(fd);
+            if (reap_it != conns.end() && reap_it->second->session) {
+              LogOperational(
+                  "idle_reap", obs::EventSeverity::kInfo,
+                  [&reap_it](obs::EventRecord& r) {
+                    r.Str("peer24",
+                          Peer24(reap_it->second->session->client_ip()));
+                    r.Str("state", smtp::SessionStateName(
+                                       reap_it->second->session->state()));
+                  });
+            }
             close_conn(fd);
+          }
+        });
+  }
+
+  // Stall watchdog (DESIGN.md §11): observe-only companion to the
+  // reaper above. Any session stuck in ONE pipeline stage longer than
+  // the threshold is snapshotted into the event log — once — with its
+  // span history, so a wedged DNSBL round or a worker pool outage shows
+  // up as a diagnosable record instead of a silent latency cliff.
+  util::UniqueFd stall_timer;
+  if (cfg_.stall_watchdog_ms > 0 && event_log_ != nullptr) {
+    const int tick_ms = std::max(10, cfg_.stall_watchdog_ms / 4);
+    stall_timer.Reset(::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
+    struct itimerspec when {};
+    when.it_value.tv_sec = tick_ms / 1000;
+    when.it_value.tv_nsec = static_cast<long>(tick_ms % 1000) * 1'000'000L;
+    when.it_interval = when.it_value;
+    ::timerfd_settime(stall_timer.get(), 0, &when, nullptr);
+    const int timer_fd = stall_timer.get();
+    (void)loop->Add(
+        timer_fd, EPOLLIN, [this, &shard, &conns, timer_fd](std::uint32_t) {
+          std::uint64_t expirations = 0;
+          (void)::read(timer_fd, &expirations, sizeof(expirations));
+          const std::int64_t now = util::MonotonicNanos();
+          const std::int64_t stall_ns =
+              static_cast<std::int64_t>(cfg_.stall_watchdog_ms) * 1'000'000;
+          for (auto& [fd, conn] : conns) {
+            if (conn->stall_logged || !conn->session) continue;
+            // Tracing gives the exact stage-entry time; otherwise fall
+            // back to last socket activity.
+            const bool traced = conn->session->tracing();
+            const std::int64_t since = traced
+                                           ? conn->session->trace_stage_start_ns()
+                                           : conn->last_activity_ns;
+            if (now - since < stall_ns) continue;
+            conn->stall_logged = true;
+            stats_.stalled_sessions.fetch_add(1, std::memory_order_relaxed);
+            obs::EventRecord record("smtp", "stall",
+                                    obs::EventSeverity::kWarn);
+            record.Int("id", static_cast<std::int64_t>(conn->session->trace_id()))
+                .Int("shard", shard.index)
+                .Str("stage",
+                     traced ? obs::StageName(conn->session->trace_stage())
+                            : smtp::SessionStateName(conn->session->state()))
+                .Num("stalled_ms", static_cast<double>(now - since) / 1e6)
+                .Str("state",
+                     smtp::SessionStateName(conn->session->state()))
+                .Str("peer24", Peer24(conn->session->client_ip()))
+                .Bool("dnsbl_pending", conn->dnsbl_pending);
+            if (traced && trace_ != nullptr) {
+              // Completed spans so far: "stage:ms stage:ms ...".
+              std::string spans;
+              for (const obs::SpanRecord& rec :
+                   trace_->SessionRecords(conn->session->trace_id())) {
+                if (!spans.empty()) spans += ' ';
+                spans += obs::StageName(rec.stage);
+                spans += ':';
+                spans += std::to_string(rec.duration_ns() / 1'000'000);
+                spans += "ms";
+              }
+              record.Str("spans", spans);
+            }
+            event_log_->Emit(record);
           }
         });
   }
 
   (void)loop->Run();
   shard.adopt = nullptr;
+  if (pipeline) dnsbl_shards_bound_.fetch_sub(1, std::memory_order_relaxed);
   // Drain: close any connections still parked in this shard.
   shard.sessions.fetch_sub(static_cast<int>(conns.size()),
                            std::memory_order_relaxed);
@@ -1146,6 +1373,7 @@ void SmtpServer::WorkerLoop(int channel_fd) {
     // then continue with blocking reads until QUIT/EOF.
     session->Feed("");
     FinishSession(*session, fd);
+    LogSessionOutcome(*session, /*shard=*/-1, "worker");
     SessionDone();
   }
 }

@@ -41,6 +41,7 @@
 #include "mta/recipient_db.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "smtp/server_session.h"
@@ -98,6 +99,12 @@ struct RealServerConfig {
   // this many open pre-trust sessions, so one hot shard sheds before
   // it can starve its reactor (0 = no per-shard cap).
   int max_sessions_per_shard = 0;
+  // Stall watchdog (DESIGN.md §11): fork-after-trust shards snapshot
+  // every session stuck in one pipeline stage longer than this into
+  // the event log (once per session), with its span history. Needs
+  // BindEventLog; unlike the idle reaper above it only OBSERVES — the
+  // session is left alone so the stall can be diagnosed live.
+  int stall_watchdog_ms = 0;
 
   // --- async DNSBL (fork-after-trust master, DESIGN.md §10) ----------
   // When enabled, each shard runs a dnsbl::AsyncLookupPipeline on its
@@ -133,6 +140,16 @@ struct RealServerStats {
   std::atomic<std::uint64_t> accept_errors{0};     // accept() failures
   std::atomic<std::uint64_t> dnsbl_rejects{0};     // 554 at the RCPT gate
   std::atomic<std::uint64_t> dnsbl_deferred{0};    // RCPTs that waited on DNS
+  std::atomic<std::uint64_t> stalled_sessions{0};  // watchdog detections
+};
+
+// One row of SmtpServer::Health() — the /healthz contract: every
+// subsystem the server depends on, with a human-readable detail line
+// when it is degraded.
+struct SubsystemHealth {
+  std::string name;
+  bool ok = true;
+  std::string detail;
 };
 
 class SmtpServer {
@@ -183,6 +200,20 @@ class SmtpServer {
   // before Start(); registry and sink must outlive the server.
   void BindObservability(obs::Registry& registry, obs::TraceSink* sink);
 
+  // Routes session-outcome and operational records (worker death, shed,
+  // stall, queue recovery) into `log`. Call before Start(); the log
+  // must outlive the server. Null detaches.
+  void BindEventLog(obs::EventLog* log) { event_log_ = log; }
+
+  // Per-subsystem readiness for /healthz: server running, shard
+  // reactors up, worker pool alive, store volume writable, spool queue
+  // running, DNSBL pipelines bound. Thread-safe.
+  std::vector<SubsystemHealth> Health() const;
+
+  // Delegation channels still open (fork-after-trust); a dead worker
+  // retires its channel, so live < worker_count means deaths happened.
+  int LiveWorkers() const;
+
   const RealServerStats& stats() const { return stats_; }
 
   // Shared async-DNSBL service (cache + singleflight + counters);
@@ -215,6 +246,15 @@ class SmtpServer {
   // Errno-aware accept-failure accounting; returns the backoff (ms)
   // the caller should sleep before retrying (0 = retry immediately).
   int OnAcceptError(int err, int prev_backoff_ms);
+  // One "session" event-log record per finished session: verdict,
+  // per-stage durations, bytes, shard, peer /24. No-op without an
+  // event log.
+  void LogSessionOutcome(const smtp::ServerSession& session, int shard,
+                         const char* transport);
+  // One operational record (worker_death, overload_shed, ...); no-op
+  // without an event log.
+  void LogOperational(const char* event, obs::EventSeverity severity,
+                      std::function<void(obs::EventRecord&)> fill = nullptr);
 
   RealServerConfig cfg_;
   RecipientDb recipients_;
@@ -241,7 +281,9 @@ class SmtpServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   bool handoff_fallback_ = false;
   std::thread handoff_thread_;  // fallback accept thread
-  std::mutex delegate_mutex_;   // guards worker_channels_ + next_worker_
+  // Guards worker_channels_ + next_worker_; mutable so the const
+  // LiveWorkers() health probe can count live channels.
+  mutable std::mutex delegate_mutex_;
   std::vector<std::thread> worker_threads_;
   std::vector<util::UniqueFd> worker_channels_;  // shard-side ends
   std::size_t next_worker_ = 0;
@@ -251,9 +293,14 @@ class SmtpServer {
   // Async DNSBL: one service shared by every shard's pipeline.
   std::unique_ptr<dnsbl::AsyncDnsblService> dnsbl_service_;
 
-  // Optional observability (null until BindObservability).
+  // Optional observability (null until BindObservability/BindEventLog).
   obs::Registry* registry_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
+  // Shards whose async-DNSBL pipeline initialized and is still bound
+  // to its reactor loop (the /healthz "dnsbl" probe compares this
+  // against num_shards()).
+  std::atomic<int> dnsbl_shards_bound_{0};
   obs::Histogram* dnsbl_hidden_ms_ = nullptr;  // DNS RTT hidden by overlap
   obs::Histogram* dnsbl_stall_ms_ = nullptr;   // RCPT wait on the verdict
   std::atomic<std::uint64_t> trace_seq_{0};

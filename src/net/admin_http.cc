@@ -1,0 +1,276 @@
+#include "net/admin_http.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/tcp.h"
+#include "util/logging.h"
+#include "util/time.h"
+
+namespace sams::net {
+namespace {
+
+// A scrape request is one line plus a handful of headers; anything
+// bigger is not a scraper.
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+// Connections idle longer than this are reaped (a scraper that opened
+// a socket and fell silent must not pin loop state forever).
+constexpr std::int64_t kConnIdleNs = 10'000'000'000;  // 10 s
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+AdminHttpServer::AdminHttpServer(std::uint16_t port) : requested_port_(port) {}
+
+AdminHttpServer::~AdminHttpServer() { Stop(); }
+
+void AdminHttpServer::Route(const std::string& path, Handler handler) {
+  if (started_) return;
+  routes_[path] = std::move(handler);
+}
+
+void AdminHttpServer::AddWatch(int fd, std::function<void()> on_ready) {
+  if (started_) return;
+  watches_.emplace_back(fd, std::move(on_ready));
+}
+
+void AdminHttpServer::BindMetrics(obs::Registry& registry) {
+  registry_ = &registry;
+  http_errors_ = &registry.GetCounter(
+      "sams_admin_http_errors_total",
+      "admin requests answered with a non-200 status");
+}
+
+util::Result<std::uint16_t> AdminHttpServer::Start() {
+  if (started_) return port_;
+  ListenOptions options;
+  auto listener = TcpListen(requested_port_, options);
+  if (!listener.ok()) return listener.error();
+  listener_ = std::move(*listener);
+  auto port = LocalPort(listener_.get());
+  if (!port.ok()) return port.error();
+  port_ = *port;
+  SAMS_RETURN_IF_ERROR(util::SetNonBlocking(listener_.get()));
+
+  auto loop = EventLoop::Create();
+  if (!loop.ok()) return loop.error();
+  loop_ = std::move(*loop);
+
+  const util::Error listen_err =
+      loop_->Add(listener_.get(), EPOLLIN | EPOLLET,
+                 [this](std::uint32_t) { OnListenerReady(); });
+  if (!listen_err.ok()) return listen_err;
+  for (auto& [fd, on_ready] : watches_) {
+    // Level-triggered: the callback drains the fd itself.
+    const util::Error err = loop_->Add(
+        fd, EPOLLIN, [cb = on_ready](std::uint32_t) { cb(); });
+    if (!err.ok()) return err;
+  }
+
+  // Periodic reaper for half-open scraper connections.
+  idle_timer_.Reset(::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
+  if (idle_timer_.valid()) {
+    struct itimerspec when {};
+    when.it_value.tv_sec = 5;
+    when.it_interval = when.it_value;
+    ::timerfd_settime(idle_timer_.get(), 0, &when, nullptr);
+    const int timer_fd = idle_timer_.get();
+    (void)loop_->Add(timer_fd, EPOLLIN, [this, timer_fd](std::uint32_t) {
+      std::uint64_t expirations = 0;
+      (void)::read(timer_fd, &expirations, sizeof(expirations));
+      const std::int64_t now = util::MonotonicNanos();
+      std::vector<int> expired;
+      for (const auto& [fd, conn] : conns_) {
+        if (now - conn.accepted_ns >= kConnIdleNs) expired.push_back(fd);
+      }
+      for (int fd : expired) CloseConn(fd);
+    });
+  }
+
+  started_ = true;
+  thread_ = std::thread([this] { (void)loop_->Run(); });
+  return port_;
+}
+
+void AdminHttpServer::Stop() {
+  if (!started_) return;
+  loop_->Stop();
+  if (thread_.joinable()) thread_.join();
+  conns_.clear();
+  idle_timer_.Reset();
+  listener_.Reset();
+  loop_.reset();
+  started_ = false;
+}
+
+void AdminHttpServer::OnListenerReady() {
+  for (;;) {
+    int err = 0;
+    auto accepted = TcpAcceptNonBlocking(listener_.get(), &err);
+    if (!accepted.ok()) {
+      if (err == EAGAIN || err == EWOULDBLOCK) return;
+      if (err == EINTR || err == ECONNABORTED) continue;
+      return;  // EMFILE etc.: wait for the next edge
+    }
+    const int fd = accepted->fd.get();
+    Conn conn;
+    conn.fd = std::move(accepted->fd);
+    conn.accepted_ns = util::MonotonicNanos();
+    conns_.emplace(fd, std::move(conn));
+    (void)loop_->Add(fd, EPOLLIN | EPOLLET, [this, fd](std::uint32_t events) {
+      OnConnEvent(fd, events);
+    });
+  }
+}
+
+AdminResponse AdminHttpServer::Dispatch(const std::string& method,
+                                        const std::string& path) {
+  if (method != "GET") {
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  }
+  std::string route = path;
+  const std::size_t query = route.find('?');
+  if (query != std::string::npos) route.resize(query);
+  auto it = routes_.find(route);
+  if (it == routes_.end()) {
+    std::string known = "not found; routes:";
+    for (const auto& [p, handler] : routes_) known += " " + p;
+    known += "\n";
+    return {404, "text/plain; charset=utf-8", std::move(known)};
+  }
+  return it->second();
+}
+
+void AdminHttpServer::MaybeRespond(int fd, Conn& conn) {
+  if (conn.responding) return;
+  if (conn.in.size() > kMaxRequestBytes) {
+    conn.responding = true;
+    conn.out = "HTTP/1.0 431 " + std::string(StatusText(431)) +
+               "\r\nConnection: close\r\n\r\nrequest too large\n";
+    if (http_errors_ != nullptr) http_errors_->Inc();
+    FlushConn(fd, conn);
+    return;
+  }
+  // GET requests carry no body, so the first line is the whole
+  // request as far as routing cares; we answer as soon as it is
+  // complete instead of waiting for the blank line (tolerates bare-LF
+  // clients like `printf | nc`).
+  // First line: METHOD SP PATH SP VERSION
+  const std::size_t eol = conn.in.find('\n');
+  if (eol == std::string::npos) return;
+  std::string line = conn.in.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  AdminResponse response;
+  std::string route = "?";
+  if (sp1 == std::string::npos) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    const std::string method = line.substr(0, sp1);
+    const std::string path = sp2 == std::string::npos
+                                 ? line.substr(sp1 + 1)
+                                 : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    route = path;
+    const std::size_t query = route.find('?');
+    if (query != std::string::npos) route.resize(query);
+    response = Dispatch(method, path);
+  }
+  conn.responding = true;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (registry_ != nullptr) {
+    registry_
+        ->GetCounter("sams_admin_requests_total",
+                     "admin HTTP requests served, by route",
+                     {{"path", route}})
+        .Inc();
+  }
+  if (response.status != 200 && http_errors_ != nullptr) http_errors_->Inc();
+  conn.out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+             StatusText(response.status) +
+             "\r\nContent-Type: " + response.content_type +
+             "\r\nContent-Length: " + std::to_string(response.body.size()) +
+             "\r\nConnection: close\r\n\r\n" + response.body;
+  FlushConn(fd, conn);
+}
+
+void AdminHttpServer::FlushConn(int fd, Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full: finish when writable.
+      (void)loop_->Modify(fd, EPOLLOUT | EPOLLET);
+      return;
+    }
+    CloseConn(fd);  // peer gone
+    return;
+  }
+  CloseConn(fd);  // HTTP/1.0: one response, then close
+}
+
+void AdminHttpServer::OnConnEvent(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.responding) {
+    if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) FlushConn(fd, conn);
+    return;
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      if (conn.in.size() > kMaxRequestBytes + sizeof(buf)) {
+        CloseConn(fd);
+        return;
+      }
+      MaybeRespond(fd, conn);
+      if (conns_.find(fd) == conns_.end()) return;  // responded + closed
+      if (conn.responding) return;  // response queued, waiting on EPOLLOUT
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(fd);  // EOF or error before a full request
+    return;
+  }
+}
+
+void AdminHttpServer::CloseConn(int fd) {
+  (void)loop_->Remove(fd);
+  conns_.erase(fd);
+}
+
+}  // namespace sams::net

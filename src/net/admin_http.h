@@ -1,0 +1,115 @@
+// AdminHttpServer — the wire surface of the telemetry plane
+// (DESIGN.md §11): a minimal non-blocking HTTP/1.0 server on its own
+// net::EventLoop thread, serving registered GET handlers (the live
+// server routes /metrics, /vars, /healthz, /spans, /series).
+//
+// Deliberately not a general web server: GET only, one request per
+// connection (Connection: close), 8 KiB request cap, exact-path
+// routing with the query string stripped. Handlers run on the admin
+// loop thread — they must only touch thread-safe state (the metrics
+// registry, trace sink, time-series rings and health snapshots all
+// are). A scrape therefore never contends with the SMTP data plane
+// beyond those internal locks.
+//
+// AddWatch registers auxiliary fds (e.g. the SIGUSR1 eventfd in
+// live_smtp_server) on the same loop, so signal handlers stay
+// async-signal-safe: the handler writes one byte, the admin loop does
+// the real work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "obs/metrics.h"
+#include "util/fd.h"
+#include "util/result.h"
+
+namespace sams::net {
+
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminHttpServer {
+ public:
+  using Handler = std::function<AdminResponse()>;
+
+  // port 0 = kernel-assigned ephemeral (reported by Start()).
+  explicit AdminHttpServer(std::uint16_t port = 0);
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  // Registers an exact-match GET route ("/metrics"). Call before
+  // Start(); later calls are ignored.
+  void Route(const std::string& path, Handler handler);
+
+  // Watches `fd` (EPOLLIN, level-triggered) on the admin loop;
+  // `on_ready` must drain it. Call before Start(). The fd is borrowed,
+  // not owned.
+  void AddWatch(int fd, std::function<void()> on_ready);
+
+  // Binds 127.0.0.1 and spawns the loop thread; returns the port.
+  util::Result<std::uint16_t> Start();
+
+  // Stops the loop, joins the thread, closes every connection.
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  // Publishes sams_admin_requests_total{path=…} and
+  // sams_admin_http_errors_total. Call before Start().
+  void BindMetrics(obs::Registry& registry);
+
+ private:
+  struct Conn {
+    util::UniqueFd fd;
+    std::string in;
+    std::string out;
+    std::size_t out_off = 0;
+    bool responding = false;
+    std::int64_t accepted_ns = 0;
+  };
+
+  void OnListenerReady();
+  void OnConnEvent(int fd, std::uint32_t events);
+  // True when the buffered request is complete and a response was
+  // queued (or the connection must close).
+  void MaybeRespond(int fd, Conn& conn);
+  void FlushConn(int fd, Conn& conn);
+  void CloseConn(int fd);
+  AdminResponse Dispatch(const std::string& method, const std::string& path);
+
+  std::uint16_t requested_port_;
+  std::uint16_t port_ = 0;
+  util::UniqueFd listener_;
+  std::unique_ptr<EventLoop> loop_;
+  std::thread thread_;
+  bool started_ = false;
+  std::map<std::string, Handler> routes_;
+  std::vector<std::pair<int, std::function<void()>>> watches_;
+  util::UniqueFd idle_timer_;
+  // Loop-thread-only state.
+  std::unordered_map<int, Conn> conns_;
+  std::atomic<std::uint64_t> requests_{0};
+
+  // Optional observability (null until BindMetrics).
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* http_errors_ = nullptr;
+};
+
+}  // namespace sams::net

@@ -91,18 +91,22 @@ util::Error EventLoop::Remove(int fd) {
 util::Error EventLoop::Run() {
   running_.store(true, std::memory_order_release);
   std::array<struct epoll_event, 64> events;
-  while (running_.load(std::memory_order_acquire)) {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
     int n;
     do {
       n = ::epoll_wait(epoll_fd_.get(), events.data(),
                        static_cast<int>(events.size()), -1);
     } while (n < 0 && errno == EINTR);
-    if (n < 0) return util::IoError(Errno("epoll_wait"));
+    if (n < 0) {
+      running_.store(false, std::memory_order_release);
+      return util::IoError(Errno("epoll_wait"));
+    }
     if (iterations_ != nullptr) {
       iterations_->Inc();
       ready_fds_->Observe(static_cast<double>(n));
     }
-    for (int i = 0; i < n && running_.load(std::memory_order_acquire); ++i) {
+    for (int i = 0;
+         i < n && !stop_requested_.load(std::memory_order_acquire); ++i) {
       const int fd = events[static_cast<std::size_t>(i)].data.fd;
       if (fd == wake_fd_.get()) {
         std::uint64_t drained;
@@ -127,6 +131,7 @@ util::Error EventLoop::Run() {
       }
     }
   }
+  running_.store(false, std::memory_order_release);
   return util::OkError();
 }
 
@@ -150,6 +155,7 @@ void EventLoop::DrainPosted() {
 }
 
 void EventLoop::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
   running_.store(false, std::memory_order_release);
   const std::uint64_t one = 1;
   [[maybe_unused]] const ssize_t n =

@@ -60,6 +60,10 @@ class EventLoop {
   util::UniqueFd wake_fd_;  // eventfd
   std::unordered_map<int, Callback> callbacks_;
   std::atomic<bool> running_{false};
+  // One-shot, separate from running_: a Stop() that lands before the
+  // loop thread reaches Run() must still win (Run() then returns
+  // immediately instead of overwriting the flag and polling forever).
+  std::atomic<bool> stop_requested_{false};
   std::mutex posted_mutex_;
   std::vector<std::function<void()>> posted_;
 

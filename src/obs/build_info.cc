@@ -1,0 +1,34 @@
+#include "obs/build_info.h"
+
+namespace sams::obs {
+
+#ifndef SAMS_GIT_SHA
+#define SAMS_GIT_SHA "unknown"
+#endif
+#ifndef SAMS_BUILD_TYPE
+#define SAMS_BUILD_TYPE "unknown"
+#endif
+
+const char* BuildGitSha() { return SAMS_GIT_SHA; }
+
+const char* BuildType() { return SAMS_BUILD_TYPE; }
+
+bool BuildFaultInjectionDisabled() {
+#ifdef SAMS_FAULT_DISABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+Gauge& RegisterBuildInfo(Registry& registry) {
+  Gauge& info = registry.GetGauge(
+      "sams_build_info", "build identity (value is always 1)",
+      {{"build", BuildType()},
+       {"faults", BuildFaultInjectionDisabled() ? "disabled" : "enabled"},
+       {"sha", BuildGitSha()}});
+  info.Set(1.0);
+  return info;
+}
+
+}  // namespace sams::obs

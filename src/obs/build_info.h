@@ -1,0 +1,24 @@
+// sams_build_info — makes every scrape/snapshot attributable to a
+// commit. The gauge's value is always 1; the payload is its labels:
+//
+//   sams_build_info{sha="…",build="…",faults="enabled|disabled"} 1
+//
+// `sha` and `build` come from compile definitions the build system
+// stamps onto build_info.cc (SAMS_GIT_SHA / SAMS_BUILD_TYPE), falling
+// back to "unknown" when compiled bare (e.g. the CI -fsyntax-only
+// gate); `faults` reflects the compile-time SAMS_FAULT_DISABLED state
+// so a production scrape proves the chaos hooks are compiled out.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace sams::obs {
+
+const char* BuildGitSha();
+const char* BuildType();
+bool BuildFaultInjectionDisabled();
+
+// Registers (idempotently) and returns the build-info gauge.
+Gauge& RegisterBuildInfo(Registry& registry);
+
+}  // namespace sams::obs

@@ -1,0 +1,268 @@
+#include "obs/event_log.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace sams::obs {
+namespace {
+
+std::int64_t WallMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonQuote(const std::string& v) {
+  std::string out = "\"";
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+EventSeverity FromLogLevel(util::LogLevel level) {
+  switch (level) {
+    case util::LogLevel::kDebug:
+      return EventSeverity::kDebug;
+    case util::LogLevel::kInfo:
+      return EventSeverity::kInfo;
+    case util::LogLevel::kWarn:
+      return EventSeverity::kWarn;
+    default:
+      return EventSeverity::kError;
+  }
+}
+
+}  // namespace
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kDebug:
+      return "debug";
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarn:
+      return "warn";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+EventRecord::EventRecord(std::string subsystem, std::string event,
+                         EventSeverity severity)
+    : subsystem_(std::move(subsystem)), event_(std::move(event)),
+      severity_(severity) {}
+
+EventRecord& EventRecord::Str(const std::string& key,
+                              const std::string& value) {
+  fields_.emplace_back(key, JsonQuote(value));
+  return *this;
+}
+
+EventRecord& EventRecord::Int(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+EventRecord& EventRecord::Num(const std::string& key, double value) {
+  fields_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+
+EventRecord& EventRecord::Bool(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+EventLog::EventLog() : EventLog(Options{}) {}
+
+EventLog::EventLog(Options opts) : opts_(std::move(opts)) {
+  if (!opts_.sink && !opts_.path.empty()) {
+    file_ = std::fopen(opts_.path.c_str(), "a");
+    if (file_ != nullptr) {
+      owns_file_ = true;
+    } else {
+      std::fprintf(stderr, "event log: open %s: %s — falling back to stderr\n",
+                   opts_.path.c_str(), std::strerror(errno));
+    }
+  }
+  if (!opts_.sink && file_ == nullptr) file_ = stderr;
+}
+
+EventLog::~EventLog() {
+  if (bridge_installed_) util::SetLogSink(nullptr);
+  Flush();
+  if (owns_file_ && file_ != nullptr) std::fclose(file_);
+}
+
+void EventLog::SetSubsystemLevel(const std::string& subsystem,
+                                 EventSeverity min) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subsystem_levels_[subsystem] = min;
+}
+
+bool EventLog::Admit(const std::string& subsystem, EventSeverity severity,
+                     std::int64_t now_ms) {
+  EventSeverity floor = opts_.min_severity;
+  auto it = subsystem_levels_.find(subsystem);
+  if (it != subsystem_levels_.end()) floor = it->second;
+  if (severity < floor) {
+    ++suppressed_;
+    if (suppressed_total_ != nullptr) suppressed_total_->Inc();
+    return false;
+  }
+  if (opts_.max_records_per_sec > 0) {
+    if (now_ms - window_start_ms_ >= 1000) {
+      window_start_ms_ = now_ms;
+      window_count_ = 0;
+    }
+    if (window_count_ >= opts_.max_records_per_sec) {
+      ++rate_limited_;
+      if (rate_limited_total_ != nullptr) rate_limited_total_->Inc();
+      return false;
+    }
+    ++window_count_;
+  }
+  return true;
+}
+
+bool EventLog::Emit(const EventRecord& record) {
+  const std::int64_t now_ms =
+      opts_.clock_ms ? opts_.clock_ms() : WallMillis();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!Admit(record.subsystem_, record.severity_, now_ms)) return false;
+    ++emitted_;
+  }
+  if (emitted_total_ != nullptr) emitted_total_->Inc();
+  WriteLine(record, now_ms);
+  return true;
+}
+
+bool EventLog::Emit(const std::string& subsystem, const std::string& event,
+                    EventSeverity severity,
+                    const std::function<void(EventRecord&)>& fill) {
+  const std::int64_t now_ms =
+      opts_.clock_ms ? opts_.clock_ms() : WallMillis();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!Admit(subsystem, severity, now_ms)) return false;
+    ++emitted_;
+  }
+  if (emitted_total_ != nullptr) emitted_total_->Inc();
+  EventRecord record(subsystem, event, severity);
+  if (fill) fill(record);
+  WriteLine(record, now_ms);
+  return true;
+}
+
+void EventLog::WriteLine(const EventRecord& record, std::int64_t now_ms) {
+  std::string line;
+  line = "{\"ts_ms\":" + std::to_string(now_ms) +
+         ",\"subsystem\":" + JsonQuote(record.subsystem_) +
+         ",\"event\":" + JsonQuote(record.event_) + ",\"severity\":\"" +
+         EventSeverityName(record.severity_) + "\"";
+  for (const auto& [key, encoded] : record.fields_) {
+    line += ',';
+    line += JsonQuote(key);
+    line += ':';
+    line += encoded;
+  }
+  line += "}\n";
+  if (opts_.sink) {
+    opts_.sink(line);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  // Operational records (warn+) are what an operator tails for; make
+  // them visible immediately. Info-rate session records stay buffered,
+  // but never for more than a second — a tailed file at low traffic
+  // must still show the last session promptly.
+  if (record.severity_ >= EventSeverity::kWarn ||
+      now_ms - last_flush_ms_ >= 1000) {
+    std::fflush(file_);
+    last_flush_ms_ = now_ms;
+  }
+}
+
+void EventLog::InstallLogBridge() {
+  bridge_installed_ = true;
+  util::SetLogSink([this](util::LogLevel level, const std::string& text) {
+    Emit(EventRecord("log", "message", FromLogLevel(level)).Str("text", text));
+  });
+}
+
+void EventLog::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+std::uint64_t EventLog::emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+std::uint64_t EventLog::suppressed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_;
+}
+
+std::uint64_t EventLog::rate_limited() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rate_limited_;
+}
+
+void EventLog::BindMetrics(Registry& registry) {
+  emitted_total_ = &registry.GetCounter("sams_obs_events_emitted_total",
+                                        "event-log records written");
+  suppressed_total_ = &registry.GetCounter(
+      "sams_obs_events_suppressed_total",
+      "event-log records dropped below the severity floor");
+  rate_limited_total_ = &registry.GetCounter(
+      "sams_obs_events_rate_limited_total",
+      "event-log records dropped by the per-second token bucket");
+}
+
+}  // namespace sams::obs

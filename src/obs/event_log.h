@@ -1,0 +1,141 @@
+// Structured JSONL event log — the narrative half of the telemetry
+// plane (DESIGN.md §11).
+//
+// Metrics aggregate; events explain. One record per session outcome
+// (verdict, per-stage durations, bytes, shard, peer /24) makes the
+// spam-vs-ham flow separation of Schatzmann et al. (arXiv 0808.4104)
+// computable offline, and one record per operational event (worker
+// death, shed, stall, recovery) replaces the ad-hoc stderr writes that
+// previously vanished into the console.
+//
+// Records are single JSON lines:
+//   {"ts_ms":…,"subsystem":"smtp","event":"session","severity":"info",…}
+//
+// Defenses against the log becoming its own overload vector:
+//   * per-subsystem severity floors (SetSubsystemLevel) drop records
+//     before they are formatted;
+//   * a global token bucket (max_records_per_sec) bounds the write
+//     rate under a session storm — dropped records are counted, never
+//     blocked on.
+//
+// Thread-safe; the hot path is one mutex acquisition plus a buffered
+// fwrite. Emit() never blocks on I/O completion (no fsync).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sams::obs {
+
+enum class EventSeverity { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* EventSeverityName(EventSeverity severity);
+
+// Builder for one record; field order is preserved in the output line.
+class EventRecord {
+ public:
+  EventRecord(std::string subsystem, std::string event,
+              EventSeverity severity = EventSeverity::kInfo);
+
+  EventRecord& Str(const std::string& key, const std::string& value);
+  EventRecord& Int(const std::string& key, std::int64_t value);
+  EventRecord& Num(const std::string& key, double value);
+  EventRecord& Bool(const std::string& key, bool value);
+
+  const std::string& subsystem() const { return subsystem_; }
+  EventSeverity severity() const { return severity_; }
+
+ private:
+  friend class EventLog;
+  std::string subsystem_;
+  std::string event_;
+  EventSeverity severity_;
+  // (key, already-JSON-encoded value) in insertion order.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class EventLog {
+ public:
+  struct Options {
+    // Output: `sink` (test seam) wins over `path` (append mode) wins
+    // over stderr.
+    std::string path;
+    std::function<void(const std::string& line)> sink;
+    // Global token bucket, records per wall second; 0 = unlimited.
+    int max_records_per_sec = 2000;
+    // Records below this severity are suppressed unless a subsystem
+    // override says otherwise.
+    EventSeverity min_severity = EventSeverity::kInfo;
+    // Wall-clock milliseconds for ts_ms; test seam (default: real).
+    std::function<std::int64_t()> clock_ms;
+  };
+
+  EventLog();  // default Options (stderr sink)
+  explicit EventLog(Options opts);
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  // Per-subsystem severity floor (overrides min_severity either way).
+  void SetSubsystemLevel(const std::string& subsystem, EventSeverity min);
+
+  // Formats and writes one record. False when leveled out or rate
+  // limited (counted, never an error).
+  bool Emit(const EventRecord& record);
+
+  // Lazy variant for hot paths: admission (severity floor + token
+  // bucket) is decided FIRST and `fill` runs only on admitted records,
+  // so a rate-limited session never pays for field formatting. At
+  // 2000 records/s cap and >10k sessions/s, that is most of them.
+  bool Emit(const std::string& subsystem, const std::string& event,
+            EventSeverity severity,
+            const std::function<void(EventRecord&)>& fill);
+
+  // Routes SAMS_LOG output through this log as subsystem "log"
+  // records; the destructor restores the default stderr sink. At most
+  // one EventLog may hold the bridge at a time.
+  void InstallLogBridge();
+
+  void Flush();
+
+  std::uint64_t emitted() const;
+  std::uint64_t suppressed() const;     // below the severity floor
+  std::uint64_t rate_limited() const;   // dropped by the token bucket
+
+  // Publishes sams_obs_events_{emitted,suppressed,rate_limited}_total.
+  void BindMetrics(Registry& registry);
+
+ private:
+  bool Admit(const std::string& subsystem, EventSeverity severity,
+             std::int64_t now_ms);
+  void WriteLine(const EventRecord& record, std::int64_t now_ms);
+
+  Options opts_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;   // owned when opened from opts_.path
+  bool owns_file_ = false;
+  bool bridge_installed_ = false;
+  std::unordered_map<std::string, EventSeverity> subsystem_levels_;
+  std::int64_t window_start_ms_ = 0;
+  int window_count_ = 0;
+  std::int64_t last_flush_ms_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::uint64_t rate_limited_ = 0;
+
+  // Optional observability (null until BindMetrics).
+  Counter* emitted_total_ = nullptr;
+  Counter* suppressed_total_ = nullptr;
+  Counter* rate_limited_total_ = nullptr;
+};
+
+}  // namespace sams::obs

@@ -161,6 +161,7 @@ std::string JsonSnapshot(Registry& registry) {
         out += ",\"sum\":" + FormatDouble(h.sum());
         out += ",\"p50\":" + FormatDouble(h.Percentile(50));
         out += ",\"p99\":" + FormatDouble(h.Percentile(99));
+        out += ",\"p999\":" + FormatDouble(h.Percentile(99.9));
         break;
       }
     }

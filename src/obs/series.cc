@@ -1,0 +1,246 @@
+#include "obs/series.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "util/time.h"
+
+namespace sams::obs {
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonString(const std::string& v) {
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+SeriesRing::SeriesRing(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {}
+
+void SeriesRing::Push(std::int64_t t_ms, double value) {
+  ring_[next_] = {t_ms, value};
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<SeriesRing::Sample> SeriesRing::Snapshot() const {
+  std::vector<Sample> out;
+  const std::size_t held = std::min<std::uint64_t>(total_, ring_.size());
+  out.reserve(held);
+  // Oldest retained sample sits at next_ once the ring has wrapped.
+  std::size_t idx = total_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[idx]);
+    idx = (idx + 1) % ring_.size();
+  }
+  return out;
+}
+
+TimeSeries::TimeSeries() : TimeSeries(Options{}) {}
+
+TimeSeries::TimeSeries(Options opts) : opts_(opts) {
+  opts_.interval_ms = std::max(1, opts_.interval_ms);
+}
+
+TimeSeries::~TimeSeries() { Stop(); }
+
+void TimeSeries::AddProbe(const std::string& name,
+                          std::function<double()> probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Series& s : series_) {
+    if (s.name == name) {
+      s.probe = std::move(probe);
+      return;
+    }
+  }
+  series_.push_back({name, std::move(probe), SeriesRing(opts_.capacity)});
+  if (count_gauge_ != nullptr) {
+    count_gauge_->Set(static_cast<double>(series_.size()));
+  }
+}
+
+void TimeSeries::AddCounterProbe(Registry& registry, const std::string& series,
+                                 const std::string& metric, Labels labels) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::find(registries_.begin(), registries_.end(), &registry) ==
+        registries_.end()) {
+      registries_.push_back(&registry);
+    }
+  }
+  AddProbe(series, [&registry, metric, labels] {
+    const Counter* c = registry.FindCounter(metric, labels);
+    return c != nullptr ? static_cast<double>(c->value()) : 0.0;
+  });
+}
+
+void TimeSeries::AddGaugeProbe(Registry& registry, const std::string& series,
+                               const std::string& metric, Labels labels) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::find(registries_.begin(), registries_.end(), &registry) ==
+        registries_.end()) {
+      registries_.push_back(&registry);
+    }
+  }
+  AddProbe(series, [&registry, metric, labels] {
+    const Gauge* g = registry.FindGauge(metric, labels);
+    return g != nullptr ? g->value() : 0.0;
+  });
+}
+
+void TimeSeries::AddPercentileProbe(Registry& registry,
+                                    const std::string& series,
+                                    const std::string& metric,
+                                    double percentile, Labels labels) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::find(registries_.begin(), registries_.end(), &registry) ==
+        registries_.end()) {
+      registries_.push_back(&registry);
+    }
+  }
+  AddProbe(series, [&registry, metric, percentile, labels] {
+    const Histogram* h = registry.FindHistogram(metric, labels);
+    return h != nullptr ? h->Percentile(percentile) : 0.0;
+  });
+}
+
+void TimeSeries::CollectRegistries() {
+  std::vector<Registry*> registries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    registries = registries_;
+  }
+  for (Registry* registry : registries) registry->Collect();
+}
+
+void TimeSeries::SampleOnce(std::int64_t t_ms) {
+  const std::int64_t begin_ns = util::MonotonicNanos();
+  CollectRegistries();
+  if (t_ms < 0) {
+    t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+               .count();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Series& s : series_) {
+    // Probes read registry instruments (atomics behind the registry
+    // mutex); a throwing probe would be a programming error, and the
+    // codebase is -fno-exceptions-style by convention.
+    s.ring.Push(t_ms, s.probe ? s.probe() : 0.0);
+  }
+  ++samples_taken_;
+  if (samples_total_ != nullptr) samples_total_->Inc();
+  if (sample_us_ != nullptr) {
+    sample_us_->Observe(
+        static_cast<double>(util::MonotonicNanos() - begin_ns) / 1e3);
+  }
+}
+
+void TimeSeries::Start() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  sampler_ = std::thread([this] { RunSampler(); });
+}
+
+void TimeSeries::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  running_ = false;
+}
+
+void TimeSeries::RunSampler() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                     [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    SampleOnce();
+  }
+}
+
+std::string TimeSeries::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"interval_ms\":" + std::to_string(opts_.interval_ms) +
+                    ",\"capacity\":" + std::to_string(opts_.capacity) +
+                    ",\"samples\":" + std::to_string(samples_taken_) +
+                    ",\n  \"series\": [\n";
+  bool first_series = true;
+  for (const Series& s : series_) {
+    if (!first_series) out += ",\n";
+    first_series = false;
+    out += "    {\"name\":" + JsonString(s.name) + ",\"points\":[";
+    bool first_point = true;
+    for (const SeriesRing::Sample& sample : s.ring.Snapshot()) {
+      if (!first_point) out += ',';
+      first_point = false;
+      out += '[' + std::to_string(sample.t_ms) + ',' +
+             JsonNumber(sample.value) + ']';
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::size_t TimeSeries::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::uint64_t TimeSeries::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_taken_;
+}
+
+void TimeSeries::BindMetrics(Registry& registry) {
+  samples_total_ = &registry.GetCounter("sams_obs_series_samples_total",
+                                        "time-series sampler ticks");
+  count_gauge_ = &registry.GetGauge("sams_obs_series_count",
+                                    "registered time-series probes");
+  sample_us_ = &registry.GetHistogram(
+      "sams_obs_sample_duration_us",
+      "wall time of one sampler tick across every probe",
+      HistogramSpec{1.0, 2.0, 16});
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_gauge_->Set(static_cast<double>(series_.size()));
+}
+
+}  // namespace sams::obs

@@ -1,0 +1,133 @@
+// In-process time-series rings — the sampling half of the telemetry
+// plane (DESIGN.md §11).
+//
+// A Registry answers "what is the value NOW"; saturation analysis
+// (ROADMAP item 1's load-storm curves) needs "how did it get there".
+// TimeSeries closes that gap without an external scraper: a sampler
+// thread snapshots a registered set of probes every interval_ms into
+// fixed-capacity per-series rings, so a bench or the admin endpoint's
+// /series handler can dump the whole saturation trajectory after the
+// fact. Capacity is bounded (default 600 samples ≈ one minute at
+// 100 ms), old samples are overwritten, and the sampler touches only
+// atomics and short mutexed sections — cheap enough to leave on in
+// production (bench_obs_overhead gates the cost at <3%).
+//
+// Probes are read lazily by (metric name, labels) at sample time, so a
+// series may be registered before the instrument exists (per-shard
+// gauges appear only after Start()); a missing instrument samples as
+// NaN-free 0.0 rather than faulting.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sams::obs {
+
+// One fixed-capacity ring of (unix_ms, value) samples.
+class SeriesRing {
+ public:
+  struct Sample {
+    std::int64_t t_ms = 0;
+    double value = 0.0;
+  };
+
+  explicit SeriesRing(std::size_t capacity);
+
+  void Push(std::int64_t t_ms, double value);
+
+  // Retained samples, oldest first.
+  std::vector<Sample> Snapshot() const;
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t total() const { return total_; }  // ever pushed
+
+ private:
+  std::vector<Sample> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class TimeSeries {
+ public:
+  struct Options {
+    int interval_ms = 100;      // sampler thread period
+    std::size_t capacity = 600; // samples retained per series
+  };
+
+  TimeSeries();  // default Options
+  explicit TimeSeries(Options opts);
+  ~TimeSeries();  // Stop()s the sampler
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  // Registers a named series fed by `probe` at every sample tick.
+  // Duplicate names replace the probe but keep the ring.
+  void AddProbe(const std::string& name, std::function<double()> probe);
+
+  // Registry-driven probes, looked up lazily at sample time. The
+  // registry must outlive this TimeSeries; Collect() runs once per
+  // sample tick so collector-backed instruments are fresh.
+  void AddCounterProbe(Registry& registry, const std::string& series,
+                       const std::string& metric, Labels labels = {});
+  void AddGaugeProbe(Registry& registry, const std::string& series,
+                     const std::string& metric, Labels labels = {});
+  void AddPercentileProbe(Registry& registry, const std::string& series,
+                          const std::string& metric, double percentile,
+                          Labels labels = {});
+
+  // Takes one sample of every probe. `t_ms` < 0 means wall-clock now
+  // (tests pass explicit timestamps for determinism).
+  void SampleOnce(std::int64_t t_ms = -1);
+
+  // Starts/stops the background sampler thread. Idempotent.
+  void Start();
+  void Stop();
+
+  // {"interval_ms":..,"capacity":..,"samples":..,"series":[
+  //   {"name":"..","points":[[t_ms,value],..]},..]}
+  std::string ToJson() const;
+
+  std::size_t series_count() const;
+  std::uint64_t samples_taken() const;
+
+  // Publishes sams_obs_series_count / sams_obs_series_samples_total /
+  // sams_obs_sample_duration_us.
+  void BindMetrics(Registry& registry);
+
+ private:
+  struct Series {
+    std::string name;
+    std::function<double()> probe;
+    SeriesRing ring;
+  };
+
+  void RunSampler();
+  void CollectRegistries();
+
+  Options opts_;
+  mutable std::mutex mutex_;
+  std::vector<Series> series_;
+  std::vector<Registry*> registries_;  // Collect()ed before each sample
+  std::uint64_t samples_taken_ = 0;
+
+  std::thread sampler_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+
+  // Optional observability (null until BindMetrics).
+  Counter* samples_total_ = nullptr;
+  Gauge* count_gauge_ = nullptr;
+  Histogram* sample_us_ = nullptr;
+};
+
+}  // namespace sams::obs

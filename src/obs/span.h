@@ -38,6 +38,10 @@ enum class Stage {
   kQuit,
 };
 
+// Number of Stage values; sized for per-stage accumulation arrays.
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kQuit) + 1;
+
 const char* StageName(Stage stage);
 
 struct SpanRecord {

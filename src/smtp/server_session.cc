@@ -57,6 +57,7 @@ void ServerSession::Emit(const Reply& reply) {
 }
 
 void ServerSession::Feed(std::string_view bytes) {
+  stats_.bytes_in += bytes.size();
   inbuf_.append(bytes);
   std::string_view rest = inbuf_;
   while (!rest.empty() && state_ != SessionState::kClosed &&
@@ -382,6 +383,10 @@ util::Result<ServerSession> ServerSession::ResumeFromHandoff(
   if (!have_ip || !have_from || session.rcpts_.empty()) {
     return util::ProtocolError("handoff payload: incomplete");
   }
+  // The master accepted these recipients before the handoff; carry the
+  // count so the resumed session's stats (and the telemetry record cut
+  // from them) don't claim a delivery with zero recipients.
+  session.stats_.accepted_rcpts = session.rcpts_.size();
   session.state_ = SessionState::kRcptGiven;
   return session;
 }

@@ -10,6 +10,7 @@
 // validated recipient list.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -68,6 +69,7 @@ struct SessionStats {
   std::uint64_t content_rejects = 0;  // 554 after DATA (body tests)
   std::uint64_t line_overflows = 0;   // 500 after DATA (line too long)
   std::uint64_t mails_delivered = 0;
+  std::uint64_t bytes_in = 0;         // raw bytes the transport fed us
 };
 
 // Verdict of Hooks::first_rcpt_gate, the pre-trust policy check that
@@ -187,6 +189,24 @@ class ServerSession {
     return handoff_trace_start_ns_;
   }
 
+  // --- telemetry plane (DESIGN.md §11) -------------------------------
+  // True while a tracer is attached and the span is still open; the
+  // stall watchdog and the event log read the fields below only then.
+  bool tracing() const { return span_.attached() && !trace_closed_; }
+  // Span identity (0 when never traced).
+  std::uint64_t trace_id() const { return span_.session_id(); }
+  // Stage the session is currently in, and when it entered it (raw
+  // clock_ nanoseconds) — what the stall watchdog compares against.
+  obs::Stage trace_stage() const { return span_.stage(); }
+  std::int64_t trace_stage_start_ns() const { return span_.stage_start_ns(); }
+  // Total time spent in each *completed* stage so far, indexed by
+  // obs::Stage. Accumulated locally on stage transitions so a
+  // session-outcome event record needs no trace-ring scan.
+  const std::array<std::int64_t, obs::kStageCount>& stage_durations_ns()
+      const {
+    return stage_ns_;
+  }
+
  private:
   void Emit(const Reply& reply);
   void HandleCommand(std::string_view line);
@@ -194,13 +214,21 @@ class ServerSession {
   void ResetTransaction();
 
   void TraceStage(obs::Stage stage) {
-    if (span_.attached() && !trace_closed_) span_.Enter(stage, clock_());
+    if (span_.attached() && !trace_closed_) {
+      const std::int64_t now = clock_();
+      stage_ns_[static_cast<std::size_t>(span_.stage())] +=
+          now - span_.stage_start_ns();
+      span_.Enter(stage, now);
+    }
   }
   // Idempotent: a send failure may close the span mid-command and the
   // QUIT path would otherwise close it a second time.
   void TraceClose() {
     if (span_.attached() && !trace_closed_) {
-      span_.Close(clock_());
+      const std::int64_t now = clock_();
+      stage_ns_[static_cast<std::size_t>(span_.stage())] +=
+          now - span_.stage_start_ns();
+      span_.Close(now);
       trace_closed_ = true;
     }
   }
@@ -224,6 +252,7 @@ class ServerSession {
   bool trace_closed_ = false;
 
   obs::SessionSpan span_;  // detached unless AttachTracer was called
+  std::array<std::int64_t, obs::kStageCount> stage_ns_{};
   std::function<std::int64_t()> clock_;
   std::uint64_t handoff_trace_id_ = 0;       // parsed by ResumeFromHandoff
   std::int64_t handoff_trace_start_ns_ = -1;

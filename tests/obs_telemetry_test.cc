@@ -1,0 +1,566 @@
+// Tests of the telemetry plane (DESIGN.md §11): time-series rings and
+// the sampler thread, the structured event log, the build-info gauge,
+// the admin HTTP endpoint, SmtpServer health rows, and the stall
+// watchdog catching a session wedged by DNSBL fault injection. Runs
+// reactor loops and client threads concurrently (LABELS threads).
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/server_stack.h"
+#include "fault/injector.h"
+#include "mta/smtp_server.h"
+#include "net/admin_http.h"
+#include "net/tcp.h"
+#include "obs/build_info.h"
+#include "obs/event_log.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/series.h"
+#include "util/logging.h"
+
+namespace sams {
+namespace {
+
+bool EventuallyTrue(const std::function<bool()>& predicate,
+                    int rounds = 500) {
+  for (int i = 0; i < rounds; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+// --- SeriesRing ---------------------------------------------------------
+
+TEST(SeriesRingTest, WrapsAndSnapshotsOldestFirst) {
+  obs::SeriesRing ring(4);
+  for (int i = 0; i < 6; ++i) ring.Push(1000 + i, i * 1.0);
+  EXPECT_EQ(ring.total(), 6u);
+  const auto samples = ring.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  // 0 and 1 were overwritten; 2..5 survive, oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(samples[i].t_ms, 1002 + i);
+    EXPECT_DOUBLE_EQ(samples[i].value, (i + 2) * 1.0);
+  }
+}
+
+TEST(SeriesRingTest, PartialFillReturnsOnlyPushed) {
+  obs::SeriesRing ring(8);
+  ring.Push(1, 0.5);
+  ring.Push(2, 1.5);
+  const auto samples = ring.Snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].t_ms, 1);
+  EXPECT_EQ(samples[1].t_ms, 2);
+}
+
+// --- TimeSeries ---------------------------------------------------------
+
+TEST(TimeSeriesTest, RegistryProbesSampleCurrentValues) {
+  obs::Registry registry;
+  auto& counter = registry.GetCounter("req_total", "requests");
+  auto& gauge = registry.GetGauge("depth", "queue depth");
+  auto& histo = registry.GetHistogram("lat_ms", "latency", {});
+  counter.Inc(3);
+  gauge.Set(7.5);
+  for (int i = 0; i < 100; ++i) histo.Observe(1.0);
+
+  obs::TimeSeries series({/*interval_ms=*/100, /*capacity=*/16});
+  series.AddCounterProbe(registry, "req", "req_total");
+  series.AddGaugeProbe(registry, "depth", "depth");
+  series.AddPercentileProbe(registry, "lat_p99", "lat_ms", 99.0);
+  series.AddProbe("derived", [] { return 42.0; });
+  // Registered before the instrument exists: must sample as 0, not
+  // fault (per-shard gauges appear only after Start()).
+  series.AddGaugeProbe(registry, "late", "not_yet_registered");
+  EXPECT_EQ(series.series_count(), 5u);
+
+  series.SampleOnce(/*t_ms=*/5000);
+  counter.Inc(2);
+  series.SampleOnce(/*t_ms=*/5100);
+  EXPECT_EQ(series.samples_taken(), 2u);
+
+  const std::string json = series.ToJson();
+  EXPECT_NE(json.find("\"name\":\"req\""), std::string::npos);
+  EXPECT_NE(json.find("[5000,3]"), std::string::npos);
+  EXPECT_NE(json.find("[5100,5]"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("[5000,7.5]"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"derived\""), std::string::npos);
+  EXPECT_NE(json.find("[5000,42]"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"late\""), std::string::npos);
+  EXPECT_NE(json.find("[5000,0]"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, SamplerThreadTicksUntilStopped) {
+  obs::TimeSeries series({/*interval_ms=*/5, /*capacity=*/64});
+  std::atomic<int> calls{0};
+  series.AddProbe("ticks", [&calls] {
+    return static_cast<double>(calls.fetch_add(1) + 1);
+  });
+  series.Start();
+  EXPECT_TRUE(EventuallyTrue([&] { return series.samples_taken() >= 3; }));
+  series.Stop();
+  const auto after = series.samples_taken();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(series.samples_taken(), after);  // sampler actually stopped
+  series.Stop();                             // idempotent
+}
+
+TEST(TimeSeriesTest, BindMetricsPublishesSampleCounters) {
+  obs::Registry registry;
+  obs::TimeSeries series;
+  series.AddProbe("x", [] { return 1.0; });
+  series.BindMetrics(registry);
+  series.SampleOnce(100);
+  registry.Collect();
+  const auto* samples =
+      registry.FindCounter("sams_obs_series_samples_total");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_GE(samples->value(), 1u);
+}
+
+// --- EventLog -----------------------------------------------------------
+
+struct CapturedLog {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+
+  std::function<void(const std::string&)> Sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mutex);
+      lines.push_back(line);
+    };
+  }
+  std::vector<std::string> Lines() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return lines;
+  }
+  bool AnyContains(const std::string& needle) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& line : lines) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+obs::EventLog::Options SinkOptions(CapturedLog& captured,
+                                   std::int64_t fixed_ms = 1234) {
+  obs::EventLog::Options opts;
+  opts.sink = captured.Sink();
+  opts.clock_ms = [fixed_ms] { return fixed_ms; };
+  return opts;
+}
+
+TEST(EventLogTest, RecordSchemaPreservesFieldOrder) {
+  CapturedLog captured;
+  obs::EventLog log(SinkOptions(captured));
+  obs::EventRecord record("smtp", "session", obs::EventSeverity::kInfo);
+  record.Str("verdict", "delivered")
+      .Int("rcpts", 2)
+      .Num("ms_data", 1.5)
+      .Bool("traced", true)
+      .Str("quote", "a\"b\nc");
+  EXPECT_TRUE(log.Emit(record));
+  const auto lines = captured.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{\"ts_ms\":1234,\"subsystem\":\"smtp\",\"event\":\"session\","
+            "\"severity\":\"info\",\"verdict\":\"delivered\",\"rcpts\":2,"
+            "\"ms_data\":1.5,\"traced\":true,"
+            "\"quote\":\"a\\\"b\\nc\"}\n");
+  EXPECT_EQ(log.emitted(), 1u);
+}
+
+TEST(EventLogTest, SubsystemSeverityFloorsOverrideGlobal) {
+  CapturedLog captured;
+  auto opts = SinkOptions(captured);
+  opts.min_severity = obs::EventSeverity::kWarn;
+  obs::EventLog log(std::move(opts));
+  log.SetSubsystemLevel("smtp", obs::EventSeverity::kDebug);
+
+  // Global floor warn: info from an unconfigured subsystem drops...
+  EXPECT_FALSE(
+      log.Emit(obs::EventRecord("mfs", "x", obs::EventSeverity::kInfo)));
+  // ...but the smtp override admits even debug...
+  EXPECT_TRUE(
+      log.Emit(obs::EventRecord("smtp", "y", obs::EventSeverity::kDebug)));
+  // ...and warn passes the global floor everywhere.
+  EXPECT_TRUE(
+      log.Emit(obs::EventRecord("mfs", "z", obs::EventSeverity::kWarn)));
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(log.suppressed(), 1u);
+}
+
+TEST(EventLogTest, TokenBucketBoundsRecordRate) {
+  CapturedLog captured;
+  std::int64_t now_ms = 10'000;
+  obs::EventLog::Options opts;
+  opts.sink = captured.Sink();
+  opts.clock_ms = [&now_ms] { return now_ms; };
+  opts.max_records_per_sec = 5;
+  obs::EventLog log(std::move(opts));
+
+  int admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (log.Emit(obs::EventRecord("smtp", "e"))) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(log.rate_limited(), 15u);
+  // A new wall second refills the bucket.
+  now_ms += 1'000;
+  EXPECT_TRUE(log.Emit(obs::EventRecord("smtp", "e")));
+}
+
+TEST(EventLogTest, LogBridgeRoutesSamsLogMacros) {
+  CapturedLog captured;
+  {
+    obs::EventLog log(SinkOptions(captured));
+    log.InstallLogBridge();
+    SAMS_LOG(kWarn) << "bridged line";
+    EXPECT_TRUE(EventuallyTrue(
+        [&] { return captured.AnyContains("bridged line"); }, 50));
+    EXPECT_TRUE(captured.AnyContains("\"subsystem\":\"log\""));
+    EXPECT_TRUE(captured.AnyContains("\"severity\":\"warn\""));
+  }
+  // Destructor restored the default sink: this must not crash or
+  // reach the dead capture.
+  const auto count = captured.Lines().size();
+  SAMS_LOG(kWarn) << "after teardown";
+  EXPECT_EQ(captured.Lines().size(), count);
+}
+
+TEST(EventLogTest, FileSinkWritesAndCounts) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_event_log_test.jsonl";
+  std::filesystem::remove(path);
+  {
+    obs::EventLog::Options opts;
+    opts.path = path;
+    obs::EventLog log(std::move(opts));
+    log.Emit(obs::EventRecord("smtp", "one"));
+    log.Emit(obs::EventRecord("smtp", "two", obs::EventSeverity::kWarn));
+    log.Flush();
+    EXPECT_EQ(log.emitted(), 2u);
+  }
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"event\":\"one\""), std::string::npos);
+  EXPECT_NE(contents.find("\"event\":\"two\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+// --- build info ---------------------------------------------------------
+
+TEST(BuildInfoTest, GaugeCarriesShaAndFaultState) {
+  obs::Registry registry;
+  auto& gauge = obs::RegisterBuildInfo(registry);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+  EXPECT_EQ(&obs::RegisterBuildInfo(registry), &gauge);  // idempotent
+  const std::string text = obs::PrometheusText(registry);
+  EXPECT_NE(text.find("sams_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("sha=\""), std::string::npos);
+  EXPECT_NE(text.find("build=\""), std::string::npos);
+  EXPECT_NE(text.find("faults=\""), std::string::npos);
+  EXPECT_STRNE(obs::BuildGitSha(), "");
+}
+
+// --- AdminHttpServer ----------------------------------------------------
+
+// One raw HTTP exchange; returns everything the server sent.
+std::string HttpExchange(std::uint16_t port, const std::string& request) {
+  auto fd = net::TcpConnect("127.0.0.1", port);
+  if (!fd.ok()) return "connect failed";
+  if (!net::SetRecvTimeout(fd->get(), 5'000).ok()) return "sockopt failed";
+  if (::write(fd->get(), request.data(), request.size()) !=
+      static_cast<ssize_t>(request.size())) {
+    return "write failed";
+  }
+  std::string reply;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd->get(), buf, sizeof(buf))) > 0) {
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  return reply;
+}
+
+TEST(AdminHttpTest, RoutesStatusCodesAndQueryStripping) {
+  obs::Registry registry;
+  net::AdminHttpServer admin(0);
+  admin.BindMetrics(registry);
+  admin.Route("/ping", [] {
+    net::AdminResponse resp;
+    resp.body = "pong\n";
+    return resp;
+  });
+  admin.Route("/busy", [] {
+    net::AdminResponse resp;
+    resp.status = 503;
+    resp.body = "degraded\n";
+    return resp;
+  });
+  auto port = admin.Start();
+  ASSERT_TRUE(port.ok()) << port.error().ToString();
+  ASSERT_NE(*port, 0);
+  EXPECT_EQ(admin.port(), *port);
+
+  const std::string ok = HttpExchange(*port, "GET /ping HTTP/1.0\r\n\r\n");
+  EXPECT_NE(ok.find("200"), std::string::npos);
+  EXPECT_NE(ok.find("pong"), std::string::npos);
+  EXPECT_NE(ok.find("Connection: close"), std::string::npos);
+
+  // The query string is stripped before routing.
+  const std::string query =
+      HttpExchange(*port, "GET /ping?verbose=1 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(query.find("200"), std::string::npos);
+  EXPECT_NE(query.find("pong"), std::string::npos);
+
+  EXPECT_NE(HttpExchange(*port, "GET /nope HTTP/1.0\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(HttpExchange(*port, "POST /ping HTTP/1.0\r\n\r\n").find("405"),
+            std::string::npos);
+  EXPECT_NE(HttpExchange(*port, "GET /busy HTTP/1.0\r\n\r\n").find("503"),
+            std::string::npos);
+
+  EXPECT_TRUE(EventuallyTrue([&] { return admin.requests() >= 5; }));
+  registry.Collect();
+  const auto* served = registry.FindCounter("sams_admin_requests_total",
+                                            {{"path", "/ping"}});
+  ASSERT_NE(served, nullptr);
+  EXPECT_GE(served->value(), 2u);
+  admin.Stop();
+}
+
+TEST(AdminHttpTest, WatchedFdIsDrainedOnTheAdminLoop) {
+  net::AdminHttpServer admin(0);
+  const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  ASSERT_GE(efd, 0);
+  std::atomic<int> fired{0};
+  admin.AddWatch(efd, [efd, &fired] {
+    std::uint64_t value = 0;
+    while (::read(efd, &value, sizeof(value)) == sizeof(value)) {
+      fired.fetch_add(1);
+    }
+  });
+  auto port = admin.Start();
+  ASSERT_TRUE(port.ok()) << port.error().ToString();
+
+  const std::uint64_t one = 1;
+  ASSERT_EQ(::write(efd, &one, sizeof(one)), sizeof(one));
+  EXPECT_TRUE(EventuallyTrue([&] { return fired.load() >= 1; }));
+  admin.Stop();
+  ::close(efd);
+}
+
+// --- ServerStack admin endpoint ----------------------------------------
+
+TEST(StackAdminTest, FiveEndpointsServeThePlane) {
+  core::StackConfig cfg;
+  const std::vector<util::Ipv4> listed = {util::Ipv4(192, 0, 2, 1)};
+  core::ServerStack stack(cfg, listed);
+  auto port = stack.StartAdminServer(0);
+  ASSERT_TRUE(port.ok()) << port.error().ToString();
+  EXPECT_EQ(stack.admin_port(), *port);
+
+  const std::string metrics =
+      HttpExchange(*port, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics.find("sams_build_info"), std::string::npos);
+
+  const std::string vars = HttpExchange(*port, "GET /vars HTTP/1.0\r\n\r\n");
+  EXPECT_NE(vars.find("200"), std::string::npos);
+  EXPECT_NE(vars.find("application/json"), std::string::npos);
+
+  const std::string health =
+      HttpExchange(*port, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("200"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+
+  EXPECT_NE(HttpExchange(*port, "GET /spans HTTP/1.0\r\n\r\n").find("200"),
+            std::string::npos);
+
+  const std::string series =
+      HttpExchange(*port, "GET /series HTTP/1.0\r\n\r\n");
+  EXPECT_NE(series.find("200"), std::string::npos);
+  EXPECT_NE(series.find("\"series\""), std::string::npos);
+
+  stack.StopAdminServer();
+}
+
+// --- SmtpServer health + stall watchdog --------------------------------
+
+class TelemetryServerTest : public ::testing::Test {
+ protected:
+  void StartServer(mta::RealServerConfig cfg) {
+    std::string tag = ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    for (char& c : tag) {
+      if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    root_ = ::testing::TempDir() + "/obs_srv_" + tag;
+    std::filesystem::remove_all(root_);
+    auto store = mfs::MakeMfsStore(root_, {});
+    ASSERT_TRUE(store.ok()) << store.error().ToString();
+    store_ = std::move(store).value();
+
+    mta::RecipientDb db;
+    db.AddMailbox("alice", "dept.test");
+    server_ = std::make_unique<mta::SmtpServer>(cfg, std::move(db), *store_);
+    server_->BindObservability(registry_, &trace_);
+    server_->BindEventLog(&event_log_);
+    auto port = server_->Start();
+    ASSERT_TRUE(port.ok()) << port.error().ToString();
+    port_ = *port;
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    server_.reset();
+    store_.reset();
+    if (!root_.empty()) std::filesystem::remove_all(root_);
+  }
+
+  obs::Registry registry_;
+  obs::TraceSink trace_;
+  CapturedLog captured_;
+  obs::EventLog event_log_{[this] {
+    obs::EventLog::Options opts;
+    opts.sink = captured_.Sink();
+    return opts;
+  }()};
+  std::string root_;
+  std::unique_ptr<mfs::MailStore> store_;
+  std::unique_ptr<mta::SmtpServer> server_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(TelemetryServerTest, HealthRowsCoverSubsystems) {
+  mta::RealServerConfig cfg;
+  cfg.architecture = mta::Architecture::kForkAfterTrust;
+  cfg.worker_count = 1;
+  cfg.num_shards = 2;
+  cfg.recv_timeout_ms = 3'000;
+  StartServer(cfg);
+
+  const auto health = server_->Health();
+  ASSERT_GE(health.size(), 3u);
+  bool saw_server = false, saw_shards = false, saw_store = false;
+  for (const auto& row : health) {
+    EXPECT_TRUE(row.ok) << row.name << ": " << row.detail;
+    if (row.name == "server") saw_server = true;
+    if (row.name == "shards") saw_shards = true;
+    if (row.name == "store") saw_store = true;
+  }
+  EXPECT_TRUE(saw_server);
+  EXPECT_TRUE(saw_shards);
+  EXPECT_TRUE(saw_store);
+  EXPECT_GE(server_->LiveWorkers(), 1);
+}
+
+// The acceptance scenario: a session wedged mid-pipeline by fault
+// injection must surface in the event log with its span history. The
+// DNSBL zone points at a silent UDP socket and dnsbl.udp.drop eats the
+// datagrams, so the RCPT verdict never arrives; with a 10 s DNS
+// timeout the session sits dnsbl-deferred long past the 100 ms
+// watchdog threshold.
+TEST_F(TelemetryServerTest, WatchdogLogsStalledSessionWithSpans) {
+  // A bound-but-never-read UDP socket: a real port, no answers, no
+  // ICMP port-unreachable noise.
+  const int dead_udp = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(dead_udp, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(dead_udp, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(dead_udp, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+
+  fault::ScopedArm arm(11);
+  fault::Injector::Global().Set("dnsbl.udp.drop", {});
+
+  mta::RealServerConfig cfg;
+  cfg.architecture = mta::Architecture::kForkAfterTrust;
+  cfg.worker_count = 1;
+  cfg.num_shards = 1;
+  cfg.recv_timeout_ms = 30'000;
+  cfg.stall_watchdog_ms = 100;
+  cfg.dnsbl.enabled = true;
+  cfg.dnsbl.zones = {{"stall.bl.test", dead_port}};
+  cfg.dnsbl.timeout_ms = 10'000;
+  cfg.dnsbl.max_retries = 0;
+  StartServer(cfg);
+
+  // Drive the dialog to the RCPT whose reply waits on the lost DNS
+  // round, then hold the connection open.
+  auto fd = net::TcpConnect("127.0.0.1", port_);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 5'000).ok());
+  auto read_line = [&fd] {
+    std::string line;
+    char ch = 0;
+    while (line.size() < 512 && ::read(fd->get(), &ch, 1) == 1) {
+      if (ch == '\n') return line;
+      if (ch != '\r') line.push_back(ch);
+    }
+    return line;
+  };
+  auto send = [&fd](const char* cmd) {
+    ASSERT_GT(::write(fd->get(), cmd, std::strlen(cmd)), 0);
+  };
+  EXPECT_NE(read_line().find("220"), std::string::npos);
+  send("HELO client.test\r\n");
+  EXPECT_NE(read_line().find("250"), std::string::npos);
+  send("MAIL FROM:<a@client.test>\r\n");
+  EXPECT_NE(read_line().find("250"), std::string::npos);
+  send("RCPT TO:<alice@dept.test>\r\n");  // reply parked on the gate
+
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return captured_.AnyContains("\"event\":\"stall\""); }));
+  EXPECT_TRUE(captured_.AnyContains("\"spans\""));
+  EXPECT_TRUE(captured_.AnyContains("\"severity\":\"warn\""));
+  EXPECT_GE(server_->stats().stalled_sessions.load(), 1u);
+
+  // Once logged, the same session is not re-reported every tick.
+  const auto StallLines = [&] {
+    int n = 0;
+    for (const auto& line : captured_.Lines()) {
+      if (line.find("\"event\":\"stall\"") != std::string::npos) ++n;
+    }
+    return n;
+  };
+  const int logged = StallLines();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(StallLines(), logged);
+
+  fault::Injector::Global().Clear("dnsbl.udp.drop");
+  ::close(dead_udp);
+}
+
+}  // namespace
+}  // namespace sams

@@ -105,6 +105,47 @@ TEST(HistogramTest, PercentileInterpolatesInsideBucket) {
   EXPECT_GT(h.Percentile(99), 2.0);
 }
 
+TEST(HistogramTest, PercentileEdgeCases) {
+  Registry registry;
+  // Empty histogram: every percentile is 0.
+  Histogram& empty = registry.GetHistogram("empty", "", {1.0, 2.0, 4});
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(99.9), 0.0);
+
+  // All mass in a single finite bucket: p50 through p999 stay inside
+  // its bounds.
+  Histogram& single = registry.GetHistogram("single", "", {1.0, 2.0, 4});
+  for (int i = 0; i < 1000; ++i) single.Observe(1.5);
+  EXPECT_GT(single.Percentile(50), 1.0);
+  EXPECT_LE(single.Percentile(50), 2.0);
+  EXPECT_GT(single.Percentile(99.9), 1.0);
+  EXPECT_LE(single.Percentile(99.9), 2.0);
+
+  // Overflow (+Inf) bucket: an observation beyond the last bound must
+  // not produce an infinite percentile; the estimate is clamped to the
+  // last finite bound.
+  Histogram& overflow = registry.GetHistogram("overflow", "", {1.0, 2.0, 4});
+  overflow.Observe(1'000.0);
+  const double top = overflow.bounds().back();
+  EXPECT_LE(overflow.Percentile(99.9), top + 1e-9);
+  EXPECT_GT(overflow.Percentile(99.9), 0.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotonic) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("mono", "", {0.5, 2.0, 12});
+  // Skewed tail: most observations small, a few huge.
+  for (int i = 0; i < 990; ++i) h.Observe(0.3);
+  for (int i = 0; i < 9; ++i) h.Observe(50.0);
+  h.Observe(900.0);
+  const double p50 = h.Percentile(50);
+  const double p99 = h.Percentile(99);
+  const double p999 = h.Percentile(99.9);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GT(p999, p50);  // the tail must actually register
+}
+
 TEST(TraceSinkTest, RingWrapKeepsNewestAndCountsDropped) {
   TraceSink sink(/*capacity=*/4);
   for (std::uint64_t i = 1; i <= 6; ++i) {
@@ -201,7 +242,8 @@ TEST(ExportTest, JsonSnapshotGolden) {
             "    {\"name\":\"test_gauge\",\"type\":\"gauge\","
             "\"labels\":{},\"value\":2.5},\n"
             "    {\"name\":\"test_hist\",\"type\":\"histogram\","
-            "\"labels\":{},\"count\":2,\"sum\":3.5,\"p50\":1,\"p99\":2}"
+            "\"labels\":{},\"count\":2,\"sum\":3.5,\"p50\":1,\"p99\":2,"
+            "\"p999\":2}"
             "\n  ]\n}\n");
 }
 

@@ -47,6 +47,27 @@ TEST(SamplerTest, PercentileSingleElement) {
   EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
 }
 
+TEST(SamplerTest, TailPercentilesAreMonotonicAndBounded) {
+  Sampler s;
+  // 999 fast observations plus one extreme outlier: p99.9 must sit
+  // between p99 and the max, never beyond it.
+  for (int i = 0; i < 999; ++i) s.Add(1.0 + 0.001 * i);
+  s.Add(5'000.0);
+  const double p50 = s.Percentile(50);
+  const double p99 = s.Percentile(99);
+  const double p999 = s.Percentile(99.9);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, s.Percentile(100));
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5'000.0);
+}
+
+TEST(SamplerTest, PercentileEmptyIsZero) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99.9), 0.0);
+}
+
 TEST(SamplerTest, CdfAt) {
   Sampler s;
   for (int i = 1; i <= 10; ++i) s.Add(i);
