@@ -1,0 +1,487 @@
+// Reputation storm bench: worker forks avoided when the pre-trust
+// reputation gate (DESIGN.md §12) fronts a hostile client storm, vs
+// the binary DNSBL-only RCPT gate.
+//
+// The storm is ~70% hostile sessions from a handful of /24s — bots
+// that pipeline the whole HELO/MAIL/RCPT dialog in one segment, greet
+// with a bare-IP HELO, aim at a VALID recipient, and never retry.
+// Only one hostile /24 is DNSBL-listed; the rest model fresh botnet
+// addresses no blacklist has seen yet, which is exactly the traffic
+// the DNSBL-only gate forks a worker for. The other ~30% is ham: a
+// paced, well-formed dialog from distinct clean /24s, measuring the
+// stall between RCPT and its reply. Three modes:
+//
+//   dnsbl-only     — reputation off: unlisted hostile sessions reach
+//                    RCPT 250 and cost a worker handoff each.
+//   reputation     — weighted gate: anomaly score lands hostile
+//                    sessions in the greylist band (450, no handoff);
+//                    /24 history escalates repeat offenders to 554.
+//   rep-store-dark — reputation with rep.store.error armed: the
+//                    history store is dark, every verdict is degraded
+//                    (dialog evidence only) and nothing is cached.
+//                    Fail-open means ham goodput must not move.
+//
+// --smoke gates: reputation cuts worker handoffs >= 30% vs dnsbl-only
+// at no ham p99 RCPT-stall cost, and store-dark still accepts every
+// ham session (with degraded evaluations actually observed). On a
+// single-core machine the gate prints SKIPPED and passes: the storm
+// needs client/server parallelism to mean anything.
+// Writes BENCH_reputation_storm.json.
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dnsbl/blacklist_db.h"
+#include "dnsbl/udp_daemon.h"
+#include "fault/injector.h"
+#include "mta/smtp_server.h"
+#include "net/tcp.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "rep/reputation.h"
+#include "util/stats.h"
+
+namespace {
+
+using sams::mta::Architecture;
+using sams::mta::RealServerConfig;
+using sams::mta::RecipientDb;
+using sams::mta::SmtpServer;
+
+struct Args {
+  bool quick = false;
+  bool smoke = false;
+  std::uint64_t seed = 42;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  return ::send(fd, line.data(), line.size(), MSG_NOSIGNAL) ==
+         static_cast<ssize_t>(line.size());
+}
+
+// Reads one CRLF-terminated reply line (all server replies here are
+// single-line).
+bool ReadReply(int fd, std::string& line) {
+  line.clear();
+  char ch = 0;
+  while (line.size() < 512) {
+    const ssize_t n = ::recv(fd, &ch, 1, 0);
+    if (n <= 0) return false;
+    if (ch == '\n') return true;
+    if (ch != '\r') line.push_back(ch);
+  }
+  return false;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The dnsbl_ip_mapper seam assigns the synthesized client IP at accept
+// time, but which /24 a connection should pose as depends on what the
+// CLIENT is about to do. Pairing is made exact by serializing connect
+// → banner: the client parks its intended IP here, connects, and only
+// releases the lock after the banner proves accept (and the mapping
+// call) happened. Dialogs still overlap freely after the banner.
+struct IpPairing {
+  std::mutex mu;
+  std::atomic<std::uint32_t> next_ip{0};
+};
+
+int RcptCode(const std::string& reply) {
+  return reply.size() >= 3 ? std::atoi(reply.substr(0, 3).c_str()) : 0;
+}
+
+// A bot session: blast the whole dialog in one segment (pipelined +
+// bare-IP HELO — two soft anomalies, enough for the greylist band),
+// read the three replies, record the RCPT verdict, hang up without
+// QUIT. Returns the RCPT reply code, or 0 on transport failure.
+int RunHostileDialog(std::uint16_t port, IpPairing& pairing,
+                     sams::util::Ipv4 pose_as) {
+  std::unique_lock<std::mutex> lk(pairing.mu);
+  pairing.next_ip.store(pose_as.value(), std::memory_order_relaxed);
+  auto fd = sams::net::TcpConnect("127.0.0.1", port);
+  if (!fd.ok()) return 0;
+  if (!sams::net::SetRecvTimeout(fd->get(), 10'000).ok()) return 0;
+  std::string reply;
+  if (!ReadReply(fd->get(), reply)) return 0;  // 220 banner
+  lk.unlock();
+
+  const std::string blast = "HELO " + pose_as.ToString() +
+                            "\r\nMAIL FROM:<promo@storm.example>\r\n"
+                            "RCPT TO:<alice@dept.test>\r\n";
+  if (!SendLine(fd->get(), blast)) return 0;
+  if (!ReadReply(fd->get(), reply)) return 0;  // HELO
+  if (!ReadReply(fd->get(), reply)) return 0;  // MAIL
+  if (!ReadReply(fd->get(), reply)) return 0;  // RCPT verdict
+  return RcptCode(reply);
+}
+
+// A ham session: paced, well-formed dialog measuring the RCPT stall.
+// Returns the RCPT reply code (0 on transport failure).
+int RunHamDialog(std::uint16_t port, IpPairing& pairing,
+                 sams::util::Ipv4 pose_as, int think_ms,
+                 double& rcpt_stall_ms) {
+  std::unique_lock<std::mutex> lk(pairing.mu);
+  pairing.next_ip.store(pose_as.value(), std::memory_order_relaxed);
+  auto fd = sams::net::TcpConnect("127.0.0.1", port);
+  if (!fd.ok()) return 0;
+  if (!sams::net::SetRecvTimeout(fd->get(), 10'000).ok()) return 0;
+  std::string reply;
+  if (!ReadReply(fd->get(), reply)) return 0;  // 220 banner
+  lk.unlock();
+
+  const auto think = std::chrono::milliseconds(think_ms);
+  std::this_thread::sleep_for(think);
+  if (!SendLine(fd->get(), "HELO relay.ham.example\r\n")) return 0;
+  if (!ReadReply(fd->get(), reply)) return 0;
+  std::this_thread::sleep_for(think);
+  if (!SendLine(fd->get(), "MAIL FROM:<news@ham.example>\r\n")) return 0;
+  if (!ReadReply(fd->get(), reply)) return 0;
+  std::this_thread::sleep_for(think);
+  const auto rcpt_time = std::chrono::steady_clock::now();
+  if (!SendLine(fd->get(), "RCPT TO:<alice@dept.test>\r\n")) return 0;
+  if (!ReadReply(fd->get(), reply)) return 0;
+  rcpt_stall_ms = MillisSince(rcpt_time);
+  const int code = RcptCode(reply);
+  (void)SendLine(fd->get(), "QUIT\r\n");
+  (void)ReadReply(fd->get(), reply);
+  return code;
+}
+
+enum class Mode { kDnsblOnly, kReputation, kStoreDark };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kDnsblOnly: return "dnsbl-only";
+    case Mode::kReputation: return "reputation";
+    case Mode::kStoreDark: return "rep-store-dark";
+  }
+  return "?";
+}
+
+struct RunResult {
+  bool failed = false;
+  std::uint64_t handoffs = 0;      // delegations = worker forks paid
+  std::uint64_t hostile_sessions = 0;
+  std::uint64_t hostile_250 = 0;
+  std::uint64_t hostile_450 = 0;
+  std::uint64_t hostile_554 = 0;
+  std::uint64_t ham_sessions = 0;
+  std::uint64_t ham_accepted = 0;
+  double ham_p50_stall_ms = 0;
+  double ham_p99_stall_ms = 0;
+  std::uint64_t degraded_evals = 0;  // store-dark verdicts
+  std::uint64_t history_size = 0;    // /24 buckets cached at the end
+  double sessions_per_sec = 0;
+};
+
+RunResult RunOne(Mode mode, std::uint16_t dns_port, const std::string& zone,
+                 int sessions_per_thread, int client_threads, int think_ms,
+                 std::uint64_t seed) {
+  RunResult result;
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       (std::string("sams_bench_repstorm_") + ModeName(mode)))
+          .string();
+  std::filesystem::remove_all(root);
+  auto store = sams::mfs::MakeMfsStore(root, {});
+  if (!store.ok()) {
+    result.failed = true;
+    return result;
+  }
+  RecipientDb db;
+  db.AddMailbox("alice", "dept.test");
+
+  auto pairing = std::make_shared<IpPairing>();
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 2;
+  cfg.num_shards = 2;
+  cfg.recv_timeout_ms = 10'000;
+  cfg.dnsbl.enabled = true;
+  cfg.dnsbl.zones = {{zone, dns_port}};
+  cfg.dnsbl_overlap = true;
+  cfg.dnsbl_ip_mapper = [pairing](const std::string&) {
+    return sams::util::Ipv4(pairing->next_ip.load(std::memory_order_relaxed));
+  };
+  if (mode != Mode::kDnsblOnly) {
+    cfg.reputation.enabled = true;  // stock thresholds: 2.0 / 4.0
+  }
+  SmtpServer server(cfg, std::move(db), **store);
+  auto port = server.Start();
+  if (!port.ok()) {
+    result.failed = true;
+    return result;
+  }
+
+  // Store-dark mode runs the whole storm with the /24 history store
+  // erroring out: every evaluation must degrade to dialog evidence
+  // and cache nothing (fail-open, DESIGN.md §12).
+  std::unique_ptr<sams::fault::ScopedArm> arm;
+  if (mode == Mode::kStoreDark) {
+    arm = std::make_unique<sams::fault::ScopedArm>(seed);
+    sams::fault::Injector::Global().Set("rep.store.error", {});
+  }
+
+  std::vector<std::vector<double>> stalls(
+      static_cast<std::size_t>(client_threads));
+  std::atomic<std::uint64_t> hostile_sessions{0}, hostile_250{0},
+      hostile_450{0}, hostile_554{0}, ham_sessions{0}, ham_accepted{0};
+  std::atomic<std::uint32_t> hostile_seq{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < sessions_per_thread; ++i) {
+        if (i % 10 < 7) {
+          // Hostile: a handful of /24s, bots rotating last octets.
+          // Only net 10.66.0.0/24 is DNSBL-listed.
+          const std::uint32_t k =
+              hostile_seq.fetch_add(1, std::memory_order_relaxed);
+          const sams::util::Ipv4 ip(10, 66, static_cast<std::uint8_t>(k % 4),
+                                    static_cast<std::uint8_t>(2 + (k / 4) % 200));
+          hostile_sessions.fetch_add(1, std::memory_order_relaxed);
+          switch (RunHostileDialog(*port, *pairing, ip)) {
+            case 250: hostile_250.fetch_add(1, std::memory_order_relaxed); break;
+            case 450: hostile_450.fetch_add(1, std::memory_order_relaxed); break;
+            case 554: hostile_554.fetch_add(1, std::memory_order_relaxed); break;
+            default: break;
+          }
+        } else {
+          // Ham: every session its own clean /24.
+          const sams::util::Ipv4 ip(10, static_cast<std::uint8_t>(150 + t),
+                                    static_cast<std::uint8_t>(i), 9);
+          ham_sessions.fetch_add(1, std::memory_order_relaxed);
+          double stall = 0;
+          if (RunHamDialog(*port, *pairing, ip, think_ms, stall) == 250) {
+            ham_accepted.fetch_add(1, std::memory_order_relaxed);
+            stalls[static_cast<std::size_t>(t)].push_back(stall);
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double seconds = MillisSince(start) / 1000.0;
+
+  result.handoffs = server.stats().delegations.load();
+  if (const sams::rep::ReputationEngine* engine = server.reputation_engine()) {
+    result.degraded_evals = engine->stats().degraded.load();
+    result.history_size = engine->history_size();
+  }
+  server.Stop();
+  arm.reset();
+  std::filesystem::remove_all(root);
+
+  result.hostile_sessions = hostile_sessions.load();
+  result.hostile_250 = hostile_250.load();
+  result.hostile_450 = hostile_450.load();
+  result.hostile_554 = hostile_554.load();
+  result.ham_sessions = ham_sessions.load();
+  result.ham_accepted = ham_accepted.load();
+  std::vector<double> all_stalls;
+  for (auto& v : stalls) all_stalls.insert(all_stalls.end(), v.begin(), v.end());
+  if (all_stalls.empty()) {
+    result.failed = true;
+    return result;
+  }
+  std::sort(all_stalls.begin(), all_stalls.end());
+  auto pct = [&all_stalls](double p) {
+    return all_stalls[std::min(
+        all_stalls.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(all_stalls.size())))];
+  };
+  result.ham_p50_stall_ms = pct(0.50);
+  result.ham_p99_stall_ms = pct(0.99);
+  const std::uint64_t total = result.hostile_sessions + result.ham_sessions;
+  result.sessions_per_sec =
+      seconds > 0 ? static_cast<double>(total) / seconds : 0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.smoke && std::thread::hardware_concurrency() <= 1) {
+    std::printf("bench_reputation_storm: SKIPPED (single core — the storm "
+                "needs client/server parallelism)\n");
+    return 0;
+  }
+  const int dns_delay_ms = 5;
+  const int think_ms = 5;
+  const int client_threads = 4;
+  const int sessions_per_thread = args.smoke ? 10 : (args.quick ? 16 : 30);
+
+  sams::bench::PrintHeader(
+      "Reputation storm: weighted pre-trust gate vs DNSBL-only, real server",
+      "DESIGN.md section 12; paper section 4.3 generalized",
+      "scoring + greylist sheds unlisted hostile clients before any fork");
+  std::printf("  storm mix: ~70%% hostile (1 of 4 /24s DNSBL-listed), "
+              "~30%% ham; DNS RTT %d ms\n\n", dns_delay_ms);
+
+  // One hostile /24 is listed; the other three model fresh botnet
+  // space the blacklist has not caught up with.
+  sams::dnsbl::BlacklistDb db;
+  for (int octet = 2; octet < 252; ++octet) {
+    db.Add(sams::util::Ipv4(10, 66, 0, static_cast<std::uint8_t>(octet)));
+  }
+  sams::dnsbl::UdpDnsblDaemon daemon("storm.bl.test", db,
+                                     /*ttl_seconds=*/3600, dns_delay_ms);
+  auto dns_port = daemon.Start();
+  if (!dns_port.ok()) {
+    std::fprintf(stderr, "daemon start: %s\n",
+                 dns_port.error().ToString().c_str());
+    return 1;
+  }
+
+  sams::obs::Registry summary;
+  sams::util::TextTable table({"mode", "worker handoffs", "hostile 450",
+                               "hostile 554", "hostile 250", "ham accepted",
+                               "ham p99 stall ms"});
+  RunResult by_mode[3];
+  bool any_failed = false;
+  for (const Mode mode :
+       {Mode::kDnsblOnly, Mode::kReputation, Mode::kStoreDark}) {
+    RunResult r = RunOne(mode, *dns_port, daemon.zone(), sessions_per_thread,
+                         client_threads, think_ms, args.seed);
+    by_mode[static_cast<int>(mode)] = r;
+    if (r.failed) {
+      any_failed = true;
+      std::fprintf(stderr, "  mode %s FAILED\n", ModeName(mode));
+      continue;
+    }
+    table.AddRow({ModeName(mode), std::to_string(r.handoffs),
+                  std::to_string(r.hostile_450), std::to_string(r.hostile_554),
+                  std::to_string(r.hostile_250),
+                  std::to_string(r.ham_accepted) + "/" +
+                      std::to_string(r.ham_sessions),
+                  sams::util::TextTable::Num(r.ham_p99_stall_ms, 2)});
+    const sams::obs::Labels labels = {{"mode", ModeName(mode)}};
+    summary
+        .GetGauge("bench_reputation_storm_worker_handoffs",
+                  "sessions delegated to an smtpd worker (fork cost paid)",
+                  labels)
+        .Set(static_cast<double>(r.handoffs));
+    summary
+        .GetGauge("bench_reputation_storm_hostile_450_rate",
+                  "hostile RCPTs greylist-deferred", labels)
+        .Set(r.hostile_sessions > 0
+                 ? static_cast<double>(r.hostile_450) /
+                       static_cast<double>(r.hostile_sessions)
+                 : 0);
+    summary
+        .GetGauge("bench_reputation_storm_hostile_554_rate",
+                  "hostile RCPTs rejected outright", labels)
+        .Set(r.hostile_sessions > 0
+                 ? static_cast<double>(r.hostile_554) /
+                       static_cast<double>(r.hostile_sessions)
+                 : 0);
+    summary
+        .GetGauge("bench_reputation_storm_ham_accept_rate",
+                  "ham RCPTs answered 250", labels)
+        .Set(r.ham_sessions > 0 ? static_cast<double>(r.ham_accepted) /
+                                      static_cast<double>(r.ham_sessions)
+                                : 0);
+    summary
+        .GetGauge("bench_reputation_storm_ham_p99_rcpt_stall_ms",
+                  "p99 stall between ham RCPT and its reply", labels)
+        .Set(r.ham_p99_stall_ms);
+    summary
+        .GetGauge("bench_reputation_storm_degraded_evals",
+                  "reputation evaluations served with the store dark", labels)
+        .Set(static_cast<double>(r.degraded_evals));
+    summary
+        .GetGauge("bench_reputation_storm_history_size",
+                  "/24 buckets cached when the run ended", labels)
+        .Set(static_cast<double>(r.history_size));
+  }
+  daemon.Stop();
+  sams::bench::PrintTable(table);
+
+  const RunResult& baseline = by_mode[static_cast<int>(Mode::kDnsblOnly)];
+  const RunResult& rep = by_mode[static_cast<int>(Mode::kReputation)];
+  const RunResult& dark = by_mode[static_cast<int>(Mode::kStoreDark)];
+  const double fork_reduction =
+      baseline.handoffs > 0
+          ? 1.0 - static_cast<double>(rep.handoffs) /
+                      static_cast<double>(baseline.handoffs)
+          : 0.0;
+  const double ham_p99_delta_ms =
+      rep.ham_p99_stall_ms - baseline.ham_p99_stall_ms;
+  summary
+      .GetGauge("bench_reputation_storm_fork_reduction",
+                "share of worker handoffs the reputation gate avoided")
+      .Set(fork_reduction);
+  summary
+      .GetGauge("bench_reputation_storm_ham_p99_delta_ms",
+                "reputation ham p99 RCPT stall minus the dnsbl-only baseline")
+      .Set(ham_p99_delta_ms);
+
+  const char* json_path = "BENCH_reputation_storm.json";
+  const sams::util::Error err = sams::obs::WriteJsonSnapshot(summary, json_path);
+  if (err.ok()) {
+    std::printf("\n  summary written to %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "\n  summary write failed: %s\n",
+                 err.ToString().c_str());
+  }
+
+  std::printf("  reputation avoided %.0f%% of worker handoffs; ham p99 RCPT "
+              "stall moved %+.2f ms; store-dark served %llu degraded "
+              "evaluations and cached %llu buckets\n",
+              fork_reduction * 100.0, ham_p99_delta_ms,
+              static_cast<unsigned long long>(dark.degraded_evals),
+              static_cast<unsigned long long>(dark.history_size));
+  if (any_failed) return 1;
+  if (args.smoke) {
+    const bool fork_ok = fork_reduction >= 0.30;
+    const bool stall_ok = ham_p99_delta_ms <= 15.0;
+    const bool dark_ok = dark.ham_accepted == dark.ham_sessions &&
+                         dark.degraded_evals > 0 && dark.history_size == 0;
+    std::printf("  gate (>= 30%% fewer worker handoffs): %s\n",
+                fork_ok ? "pass" : "NO - REGRESSION");
+    std::printf("  gate (ham p99 stall within 15 ms of baseline): %s\n",
+                stall_ok ? "pass" : "NO - REGRESSION");
+    std::printf("  gate (store-dark fail-open: all ham accepted, degraded "
+                "verdicts uncached): %s\n\n",
+                dark_ok ? "pass" : "NO - REGRESSION");
+    return fork_ok && stall_ok && dark_ok ? 0 : 1;
+  }
+  std::printf("\n");
+  return 0;
+}

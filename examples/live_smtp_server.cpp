@@ -3,7 +3,7 @@
 //
 //   $ ./live_smtp_server [port] [vanilla|hybrid] [mbox|maildir|hardlink|mfs]
 //                         [--shards N] [--dnsbl-zones zone:port[,zone:port...]]
-//                         [--admin-port N] [--event-log PATH]
+//                         [--admin-port N] [--event-log PATH] [--reputation]
 //   $ printf 'HELO me\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<alice@example.test>\r\n
 //     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
 //
@@ -20,6 +20,7 @@
 //   /metrics   Prometheus text        /vars     JSON snapshot
 //   /healthz   per-subsystem readiness (503 when degraded)
 //   /spans     recent session traces  /series   time-series rings
+//   /reputation  top /24 reputation buckets (with --reputation)
 //
 // and a structured JSONL event log (stderr, or --event-log PATH)
 // records one line per session outcome and operational event. SIGUSR1
@@ -46,6 +47,7 @@
 #include "obs/export.h"
 #include "obs/series.h"
 #include "obs/span.h"
+#include "util/time.h"
 
 namespace {
 
@@ -92,6 +94,7 @@ int main(int argc, char** argv) {
   // keep their meaning with the flags removed.
   int shards = 1;
   int admin_port = 0;
+  bool reputation = false;
   std::string dnsbl_zones_arg;
   std::string event_log_path;
   std::vector<const char*> positional;
@@ -112,6 +115,8 @@ int main(int argc, char** argv) {
       dnsbl_zones_arg = argv[++i];
     } else if (std::strncmp(argv[i], "--dnsbl-zones=", 14) == 0) {
       dnsbl_zones_arg = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--reputation") == 0) {
+      reputation = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -184,6 +189,13 @@ int main(int argc, char** argv) {
   if (!dnsbl_zones.empty()) {
     cfg.dnsbl.enabled = true;
     cfg.dnsbl.zones = dnsbl_zones;
+  }
+  if (reputation) {
+    // Pre-trust reputation gate (DESIGN.md §12): score each dialog and
+    // accept / greylist (450) / reject (554) at the first valid RCPT.
+    // min_cmd_gap_ns stays 0 — loopback clients legitimately answer the
+    // banner in microseconds, so fast-talker scoring would punish them.
+    cfg.reputation.enabled = true;
   }
   // Declared before the server so bound counters outlive its threads.
   sams::obs::Registry registry;
@@ -284,6 +296,14 @@ int main(int argc, char** argv) {
   admin.Route("/series", [&series] {
     return sams::net::AdminResponse{200, "application/json", series.ToJson()};
   });
+  if (server.reputation_engine() != nullptr) {
+    admin.Route("/reputation", [&server] {
+      return sams::net::AdminResponse{
+          200, "application/json",
+          server.reputation_engine()->SnapshotJson(
+              32, sams::util::MonotonicNanos())};
+    });
+  }
   g_dump_eventfd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (g_dump_eventfd >= 0) {
     admin.AddWatch(g_dump_eventfd, [&registry] {
@@ -324,6 +344,12 @@ int main(int argc, char** argv) {
   if (!dnsbl_zones.empty()) {
     std::printf("async DNSBL pipeline on: %zu zone(s), lookups overlap the "
                 "SMTP dialog\n", dnsbl_zones.size());
+  }
+  if (server.reputation_engine() != nullptr) {
+    std::printf("pre-trust reputation gate on: greylist >= %.1f, reject >= "
+                "%.1f, /reputation lists the hottest /24s\n",
+                cfg.reputation.greylist_threshold,
+                cfg.reputation.reject_threshold);
   }
   std::fflush(stdout);
 

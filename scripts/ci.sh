@@ -25,12 +25,12 @@ cmake -B "${BUILD_DIR}" -S . "${GENERATOR_ARGS[@]}" >/dev/null
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 
-echo "== src/obs + src/fault + src/dnsbl + mfs fast path + sharded server under -Wall -Wextra -Werror =="
+echo "== src/obs + src/fault + src/dnsbl + src/rep + mfs fast path + sharded server under -Wall -Wextra -Werror =="
 MFS_FAST_PATH=(src/mfs/record_io.cc src/mfs/group_commit.cc
                src/mfs/volume.cc src/mfs/store.cc)
 SHARD_PATH=(src/mta/smtp_server.cc src/net/tcp.cc src/net/event_loop.cc
             src/net/udp.cc src/net/admin_http.cc src/smtp/server_session.cc)
-for src in src/obs/*.cc src/fault/*.cc src/dnsbl/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
+for src in src/obs/*.cc src/fault/*.cc src/dnsbl/*.cc src/rep/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
 done
@@ -46,6 +46,9 @@ echo "== shard-scaling smoke bench (2 shards >= 1.5x, skipped on 1 core) =="
 
 echo "== dnsbl-overlap smoke bench (>= 80% of DNS RTT hidden, warm < 1 ms) =="
 "${BUILD_DIR}/bench/bench_dnsbl_overlap" --smoke
+
+echo "== reputation-storm smoke bench (>= 30% fewer worker forks, ham p99 flat, fail-open; skipped on 1 core) =="
+"${BUILD_DIR}/bench/bench_reputation_storm" --smoke
 
 echo "== obs-overhead smoke bench (telemetry plane < 3% CPU/session, skipped on 1 core) =="
 "${BUILD_DIR}/bench/bench_obs_overhead" --smoke
@@ -120,8 +123,9 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
 
   # TSan is incompatible with ASan, so the thread-heavy suites get a
   # third tree; `-L threads` limits it to the tests that actually race
-  # threads: group-commit flushes, the sharded SMTP master and the
-  # async DNSBL pipeline (shared cache + singleflight).
+  # threads: group-commit flushes, the sharded SMTP master, the async
+  # DNSBL pipeline (shared cache + singleflight), and the reputation
+  # engine's sharded history + greylist stores.
   TSAN_DIR="${BUILD_DIR}-tsan"
   echo "== sanitizer build (TSan) =="
   cmake -B "${TSAN_DIR}" -S . "${GENERATOR_ARGS[@]}" \
@@ -129,7 +133,8 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build "${TSAN_DIR}" -j "$(nproc)" --target mfs_commit_test \
-    --target smtp_shard_test --target dnsbl_async_test
+    --target smtp_shard_test --target dnsbl_async_test \
+    --target rep_test --target greylist_test
   echo "== sanitizer ctest (-L threads) =="
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -L threads -j "$(nproc)"
 fi

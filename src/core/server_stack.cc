@@ -30,6 +30,10 @@ ServerStack::ServerStack(const StackConfig& cfg,
         cfg_.dnsbl_cache_capacity);
   }
 
+  if (cfg_.reputation.enabled) {
+    rep_engine_ = std::make_unique<rep::ReputationEngine>(cfg_.reputation);
+  }
+
   mta::SimServerConfig server_cfg;
   server_cfg.hybrid = cfg_.hybrid_concurrency;
   server_cfg.process_limit =
@@ -37,11 +41,13 @@ ServerStack::ServerStack(const StackConfig& cfg,
   server_cfg.master_connection_limit =
       cfg_.master_connection_limit * std::max(1, cfg_.master_shards);
   server_cfg.unfinished_hold = cfg_.unfinished_hold;
+  server_cfg.reputation = rep_engine_.get();
   server_ = std::make_unique<mta::SimMailServer>(machine_, server_cfg, *store_,
                                                  resolver_.get());
 
   store_->BindMetrics(registry_);
   if (resolver_) resolver_->BindMetrics(registry_);
+  if (rep_engine_) rep_engine_->BindMetrics(registry_);
   server_->BindObservability(registry_, &trace_);
   BindMachineMetrics();
   series_.BindMetrics(registry_);
@@ -79,6 +85,15 @@ util::Result<std::uint16_t> ServerStack::StartAdminServer(std::uint16_t port) {
   admin_->Route("/series", [this] {
     return net::AdminResponse{200, "application/json", series_.ToJson()};
   });
+  if (rep_engine_ != nullptr) {
+    // Top reputation buckets, live (the sim's clock drives decay, so
+    // snapshot at the machine's current instant).
+    admin_->Route("/reputation", [this] {
+      return net::AdminResponse{
+          200, "application/json",
+          rep_engine_->SnapshotJson(32, machine_.sim().Now().nanos())};
+    });
+  }
   auto started = admin_->Start();
   if (!started.ok()) {
     admin_.reset();
@@ -173,6 +188,7 @@ std::string ServerStack::Describe() const {
   if (cfg_.dnsbl_enabled) {
     out += cfg_.prefix_dnsbl ? " + prefix-DNSBL" : " + ip-DNSBL";
   }
+  if (cfg_.reputation.enabled) out += " + reputation";
   return out;
 }
 

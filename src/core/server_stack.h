@@ -61,6 +61,12 @@ struct StackConfig {
   // paper's emulation setup.
   std::size_t dnsbl_cache_capacity = 0;
   std::uint64_t seed = 42;
+
+  // Pre-trust reputation engine (DESIGN.md §12). Off by default so the
+  // paper-figure experiments stay bit-for-bit; when enabled the sim
+  // server gates each connection on the /24's accumulated history
+  // (GateOnHistory) and reinforces buckets from session outcomes.
+  rep::RepConfig reputation;
 };
 
 class ServerStack {
@@ -73,6 +79,8 @@ class ServerStack {
   mta::SimMailServer& server() { return *server_; }
   dnsbl::Resolver* resolver() { return resolver_.get(); }
   mfs::SimMailStore& store() { return *store_; }
+  // Null unless cfg.reputation.enabled.
+  rep::ReputationEngine* reputation_engine() { return rep_engine_.get(); }
 
   // The stack-wide metrics registry and session trace ring. Every
   // component (resolver, store, MTA, simulated machine) is bound at
@@ -124,6 +132,7 @@ class ServerStack {
   std::vector<std::unique_ptr<dnsbl::DnsblServer>> dnsbl_lists_;
   std::unique_ptr<util::Rng> resolver_rng_;
   std::unique_ptr<dnsbl::Resolver> resolver_;
+  std::unique_ptr<rep::ReputationEngine> rep_engine_;
   std::unique_ptr<mta::SimMailServer> server_;
 };
 

@@ -37,6 +37,9 @@ void SimMailServer::BindObservability(obs::Registry& registry,
   auto* rejects = &registry.GetCounter(
       "sams_smtp_blacklist_rejects_total",
       "connections 554-rejected on the DNSBL verdict", arch);
+  auto* rep_rejects = &registry.GetCounter(
+      "sams_smtp_rep_rejects_total",
+      "connections 554-rejected by the reputation gate", arch);
   auto* forks = &registry.GetCounter("sams_smtp_forks_total",
                                      "smtpd processes forked", arch);
   auto* delegations = &registry.GetCounter(
@@ -56,8 +59,9 @@ void SimMailServer::BindObservability(obs::Registry& registry,
       "sams_smtp_master_connections",
       "connections held in the hybrid master's socket list", arch);
   registry.AddCollector([this, started, closed, mails, mailbox, bounces,
-                         unfinished, rejects, forks, delegations, backlogged,
-                         busy, backlog_depth, delegate_depth, master_conns] {
+                         unfinished, rejects, rep_rejects, forks, delegations,
+                         backlogged, busy, backlog_depth, delegate_depth,
+                         master_conns] {
     started->Overwrite(metrics_.connections_started);
     closed->Overwrite(metrics_.connections_closed);
     mails->Overwrite(metrics_.mails_delivered);
@@ -65,6 +69,7 @@ void SimMailServer::BindObservability(obs::Registry& registry,
     bounces->Overwrite(metrics_.bounce_sessions);
     unfinished->Overwrite(metrics_.unfinished_sessions);
     rejects->Overwrite(metrics_.blacklist_rejects);
+    rep_rejects->Overwrite(metrics_.rep_rejects);
     forks->Overwrite(metrics_.forks);
     delegations->Overwrite(metrics_.delegations);
     backlogged->Overwrite(metrics_.backlog_enqueued);
@@ -217,8 +222,26 @@ void SimMailServer::RunSmtpDialog(Session session) {
   // then the 220 banner goes out and the client answers with HELO.
   RunDnsblCheck(
       std::move(session), [this](Session s, bool blacklisted) mutable {
-        if (blacklisted && cfg_.reject_blacklisted) {
-          ++metrics_.blacklist_rejects;
+        // Pre-trust reputation gate: the /24's accumulated history (plus
+        // the DNSBL flag) can 554 the client at the banner, so a
+        // misbehaving network stops consuming dialog cycles — and, in
+        // the hybrid server, stops reaching delegation — after its
+        // first few strikes. Evaluated before the legacy binary check
+        // so a listed client still reinforces its bucket.
+        bool rep_reject = false;
+        if (cfg_.reputation != nullptr) {
+          rep_reject = cfg_.reputation
+                           ->GateOnHistory(s.spec.client_ip, blacklisted,
+                                           NowNs())
+                           .verdict == rep::Verdict::kReject;
+        }
+        const bool dnsbl_reject = blacklisted && cfg_.reject_blacklisted;
+        if (dnsbl_reject || rep_reject) {
+          if (dnsbl_reject) {
+            ++metrics_.blacklist_rejects;
+          } else {
+            ++metrics_.rep_rejects;
+          }
           s.span.Enter(obs::Stage::kBounce, NowNs());
           // 554 banner, client gives up: one reply + RTT + teardown.
           StepThenRtt(SimTime{}, std::move(s), [this](Session s2) {
@@ -233,6 +256,13 @@ void SimMailServer::RunSmtpDialog(Session session) {
           s2.span.Enter(obs::Stage::kHelo, NowNs());
           if (s2.spec.kind == SessionKind::kUnfinished) {
             ++metrics_.unfinished_sessions;
+            if (cfg_.reputation != nullptr) {
+              // An abandoned dialog is hostile evidence (§4.2: most
+              // spam sessions never finish); charge the /24.
+              cfg_.reputation->RecordOutcome(
+                  s2.spec.client_ip, cfg_.reputation->config().hostile_delta,
+                  NowNs());
+            }
             s2.span.Enter(obs::Stage::kUnfinished, NowNs());
             const SimTime hold = cfg_.unfinished_hold;
             StepThenRtt(SimTime{}, std::move(s2), [this, hold](Session s3) {
@@ -275,6 +305,12 @@ void SimMailServer::RunRcptPhase(Session session, int remaining) {
   }
   if (session.spec.n_valid_rcpts == 0) {
     ++metrics_.bounce_sessions;
+    if (cfg_.reputation != nullptr) {
+      // All recipients bounced: dictionary-attack evidence.
+      cfg_.reputation->RecordOutcome(
+          session.spec.client_ip, cfg_.reputation->config().hostile_delta,
+          NowNs());
+    }
     session.span.Enter(obs::Stage::kBounce, NowNs());
     RunQuit(std::move(session), false);
     return;
@@ -313,6 +349,12 @@ void SimMailServer::RunDataPhase(Session session) {
                         ++metrics_.mails_delivered;
                         metrics_.mailbox_deliveries += static_cast<
                             std::uint64_t>(session.spec.n_valid_rcpts);
+                        if (cfg_.reputation != nullptr) {
+                          // Delivered ham earns the /24 credit back.
+                          cfg_.reputation->RecordOutcome(
+                              session.spec.client_ip,
+                              cfg_.reputation->config().ham_delta, NowNs());
+                        }
                         // 250 Ok -> client QUITs.
                         machine_.sim().After(
                             machine_.net().Rtt(),

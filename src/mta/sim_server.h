@@ -30,6 +30,7 @@
 #include "mta/costs.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "rep/reputation.h"
 #include "sim/machine.h"
 #include "trace/workload.h"
 
@@ -52,6 +53,13 @@ struct SimServerConfig {
   // false the verdict is recorded but the mail is accepted (scoring
   // deployments).
   bool reject_blacklisted = false;
+  // Optional pre-trust reputation engine (not owned; must outlive the
+  // server). The sim has no byte-level dialog, so the gate runs on
+  // history + the DNSBL flag (GateOnHistory) and outcomes reinforce
+  // the client's /24 bucket: a /24 that keeps bouncing or abandoning
+  // sessions is 554-rejected at the banner on later connections —
+  // before the hybrid master would ever delegate/fork. Null = off.
+  rep::ReputationEngine* reputation = nullptr;
   ServerCosts costs;
 };
 
@@ -63,6 +71,7 @@ struct ServerMetrics {
   std::uint64_t bounce_sessions = 0;
   std::uint64_t unfinished_sessions = 0;
   std::uint64_t blacklist_rejects = 0;
+  std::uint64_t rep_rejects = 0;  // 554s by the reputation gate
   std::uint64_t forks = 0;
   std::uint64_t delegations = 0;
   std::uint64_t backlog_enqueued = 0;

@@ -49,6 +49,11 @@ struct SmtpServer::MasterConn {
   // bytes before that mark the client as an early talker.
   bool banner_sent = true;   // false while the pregreet timer is armed
   bool pregreeted = false;
+  // Scored mode keeps the early bytes so the dialog stays coherent
+  // after the late banner: the client already sent its commands and is
+  // waiting on replies, so dropping them would wedge the session it
+  // was just allowed to keep. Bounded — a blast past the cap is truncated.
+  std::string pregreet_buf;
   util::UniqueFd pregreet_timer;
   // Reaper bookkeeping (monotonic ns): slow-loris sessions are evicted
   // on inactivity, and every pre-trust session has a hard deadline.
@@ -59,12 +64,21 @@ struct SmtpServer::MasterConn {
   // the newcomer.
   std::uint64_t gen = 0;
   // Async DNSBL verdict state (all touched on the shard loop only).
+  // dnsbl_ip doubles as the reputation-scored address, so the
+  // dnsbl_ip_mapper bench seam feeds both subsystems.
   util::Ipv4 dnsbl_ip;
   bool dnsbl_pending = false;       // lookup launched, verdict outstanding
   bool dnsbl_have_verdict = false;
   bool dnsbl_blacklisted = false;
+  bool dnsbl_degraded = false;      // verdict produced while the list
+                                    // was unreachable (fail-open)
   std::int64_t dnsbl_begin_ns = 0;  // when the lookup launched
   std::int64_t dnsbl_rcpt_ns = 0;   // when the first RCPT began waiting
+  // Reputation feature clocks: banner emission and the client's first
+  // post-banner bytes. Their gap below min_cmd_gap_ns marks a
+  // fire-and-forget sender that never waited for the 220.
+  std::int64_t banner_ns = -1;
+  std::int64_t first_cmd_ns = -1;
   // Stall watchdog: a stuck session is reported once, not every tick.
   bool stall_logged = false;
 };
@@ -79,6 +93,7 @@ struct SmtpServer::Shard {
   std::atomic<int> sessions{0};            // open pre-trust sessions
   std::atomic<std::uint64_t> accepted{0};  // connections ever adopted
   std::atomic<std::uint64_t> sheds{0};     // per-shard-gate 421s
+  std::atomic<std::uint64_t> pregreets{0};  // early talkers detected here
   // Set by ShardLoop before Run(); fallback accept tasks posted onto
   // the loop call it (on the loop thread) to adopt a connection.
   std::function<void(net::Accepted&&)> adopt;
@@ -89,6 +104,9 @@ SmtpServer::SmtpServer(RealServerConfig cfg, RecipientDb recipients,
     : cfg_(std::move(cfg)), recipients_(std::move(recipients)), store_(store) {
   if (cfg_.dnsbl.enabled) {
     dnsbl_service_ = std::make_unique<dnsbl::AsyncDnsblService>(cfg_.dnsbl);
+  }
+  if (cfg_.reputation.enabled) {
+    rep_engine_ = std::make_unique<rep::ReputationEngine>(cfg_.reputation);
   }
 }
 
@@ -191,12 +209,28 @@ void SmtpServer::BindObservability(obs::Registry& registry,
   auto* stalled = &registry.GetCounter(
       "sams_smtp_stalled_sessions_total",
       "sessions the stall watchdog flagged as stuck in one stage", arch);
+  auto* rep_rejects = &registry.GetCounter(
+      "sams_smtp_rep_rejects_total",
+      "clients 554-rejected at RCPT by the reputation score", arch);
+  auto* rep_greylisted = &registry.GetCounter(
+      "sams_smtp_rep_greylisted_total",
+      "first RCPTs answered 450 by the reputation gate", arch);
+  auto* pregreet_scored = &registry.GetCounter(
+      "sams_smtp_pregreet_scored_total",
+      "early talkers scored by the reputation gate instead of reaped",
+      arch);
   registry.AddCollector([this, conns, mails, mailbox, rejected, content,
                          pregreet, delegations, master_closed, errors, reaped,
                          sheds, deaths, requeues, accept_errors, inflight,
-                         dnsbl_rejects, dnsbl_deferred, stalled] {
+                         dnsbl_rejects, dnsbl_deferred, stalled, rep_rejects,
+                         rep_greylisted, pregreet_scored] {
     stalled->Overwrite(
         stats_.stalled_sessions.load(std::memory_order_relaxed));
+    rep_rejects->Overwrite(stats_.rep_rejects.load(std::memory_order_relaxed));
+    rep_greylisted->Overwrite(
+        stats_.rep_greylisted.load(std::memory_order_relaxed));
+    pregreet_scored->Overwrite(
+        stats_.pregreet_scored.load(std::memory_order_relaxed));
     dnsbl_rejects->Overwrite(
         stats_.dnsbl_rejects.load(std::memory_order_relaxed));
     dnsbl_deferred->Overwrite(
@@ -245,6 +279,11 @@ void SmtpServer::BindObservability(obs::Registry& registry,
               "sams_smtp_shard_sheds_total",
               "connections 421-shed by this shard's per-shard gate", labels)
           .Overwrite(shard->sheds.load(std::memory_order_relaxed));
+      // Split of the global pregreet total: which reactor the early
+      // talkers are landing on (a skewed SYN hash concentrates them).
+      registry.GetCounter("sams_smtp_shard_pregreet_total",
+                          "early talkers detected by this shard", labels)
+          .Overwrite(shard->pregreets.load(std::memory_order_relaxed));
       busiest = first ? open : std::max(busiest, open);
       idlest = first ? open : std::min(idlest, open);
       first = false;
@@ -253,6 +292,7 @@ void SmtpServer::BindObservability(obs::Registry& registry,
                       "open sessions: busiest shard minus idlest shard")
         .Set(static_cast<double>(busiest - idlest));
   });
+  if (rep_engine_) rep_engine_->BindMetrics(registry);
   if (dnsbl_service_) {
     dnsbl_service_->BindMetrics(registry);
     // Overlap accounting: `hidden` is the slice of each DNS round that
@@ -290,12 +330,16 @@ void SmtpServer::LogSessionOutcome(const smtp::ServerSession& session,
   if (s.mails_delivered > 0) {
     verdict = "delivered";
   } else if (s.gate_rejects > 0) {
-    verdict = "dnsbl_reject";
+    // Same 554, different judge: the binary DNSBL gate or the weighted
+    // reputation score (which folds the DNSBL verdict in).
+    verdict = rep_engine_ ? "rep_reject" : "dnsbl_reject";
   } else if (s.content_rejects > 0) {
     verdict = "content_reject";
   } else if (s.rejected_rcpts > 0 && s.accepted_rcpts == 0 &&
              session.state() == smtp::SessionState::kClosed) {
     verdict = "bounced";
+  } else if (s.greylisted_rcpts > 0 && s.accepted_rcpts == 0) {
+    verdict = "greylisted";
   } else if (session.state() == smtp::SessionState::kClosed) {
     verdict = "quit";
   }
@@ -312,6 +356,10 @@ void SmtpServer::LogSessionOutcome(const smtp::ServerSession& session,
             .Int("commands", static_cast<std::int64_t>(s.commands))
             .Int("bytes_in", static_cast<std::int64_t>(s.bytes_in))
             .Int("rcpts", static_cast<std::int64_t>(s.accepted_rcpts));
+        if (s.greylisted_rcpts > 0) {
+          record.Int("greylisted",
+                     static_cast<std::int64_t>(s.greylisted_rcpts));
+        }
         if (shard >= 0) record.Int("shard", shard);
         // Per-stage wall time, from the session's local accumulators —
         // no trace-ring scan on the hot path.
@@ -354,6 +402,16 @@ std::vector<SubsystemHealth> SmtpServer::Health() const {
       health.push_back({"dnsbl", !running || bound == up,
                         std::to_string(bound) + "/" + std::to_string(up) +
                             " shard pipelines bound"});
+    }
+    if (rep_engine_) {
+      // Always ok: a dark history store fails open (plain DNSBL gate),
+      // so reputation degrades service quality, never availability.
+      const auto& rs = rep_engine_->stats();
+      health.push_back(
+          {"reputation", true,
+           std::to_string(rep_engine_->history_size()) + " buckets, " +
+               std::to_string(rs.degraded.load(std::memory_order_relaxed)) +
+               " degraded evals"});
     }
   }
   {
@@ -589,6 +647,15 @@ std::vector<std::uint64_t> SmtpServer::ShardAccepted() const {
   return accepted;
 }
 
+std::vector<std::uint64_t> SmtpServer::ShardPregreets() const {
+  std::vector<std::uint64_t> pregreets;
+  pregreets.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    pregreets.push_back(shard->pregreets.load(std::memory_order_relaxed));
+  }
+  return pregreets;
+}
+
 int SmtpServer::ConnThreadHandles() const {
   std::lock_guard<std::mutex> lock(conn_mutex_);
   return static_cast<int>(conn_threads_.size());
@@ -797,6 +864,48 @@ bool SmtpServer::DelegateToWorker(int fd, const std::string& payload) {
   return false;
 }
 
+smtp::RcptGateDecision SmtpServer::GateVerdict(MasterConn& conn,
+                                               const std::string& rcpt) {
+  const bool listed = conn.dnsbl_have_verdict && conn.dnsbl_blacklisted;
+  if (rep_engine_ == nullptr) {
+    // Binary DNSBL gate: listed means 554, nothing else matters.
+    if (!listed) return smtp::RcptGateDecision::kAccept;
+    stats_.dnsbl_rejects.fetch_add(1, std::memory_order_relaxed);
+    return smtp::RcptGateDecision::kReject;
+  }
+  rep::DialogFeatures features;
+  features.dnsbl_listed = listed;
+  features.dnsbl_degraded = conn.dnsbl_have_verdict && conn.dnsbl_degraded;
+  features.pregreet = conn.pregreeted;
+  const smtp::SessionStats& s = conn.session->stats();
+  features.pipelined = static_cast<std::uint32_t>(s.pipelined_commands);
+  features.helo_bare_ip =
+      conn.session->helo_kind() == smtp::HeloKind::kBareIp;
+  features.helo_malformed = s.helo_rejects > 0;
+  features.syntax_errors = static_cast<std::uint32_t>(s.syntax_errors);
+  features.bad_sequence = static_cast<std::uint32_t>(s.bad_sequence);
+  if (conn.banner_ns >= 0 && conn.first_cmd_ns >= conn.banner_ns) {
+    features.min_cmd_gap_ns = conn.first_cmd_ns - conn.banner_ns;
+  }
+  const rep::Evaluation eval = rep_engine_->Evaluate(
+      conn.dnsbl_ip, features, conn.session->mail_from().ToString(), rcpt,
+      util::MonotonicNanos());
+  switch (eval.verdict) {
+    case rep::Verdict::kAccept:
+      return smtp::RcptGateDecision::kAccept;
+    case rep::Verdict::kGreylist:
+      stats_.rep_greylisted.fetch_add(1, std::memory_order_relaxed);
+      return smtp::RcptGateDecision::kGreylist;
+    case rep::Verdict::kReject:
+      break;
+  }
+  stats_.rep_rejects.fetch_add(1, std::memory_order_relaxed);
+  // A listed client still shows in the DNSBL ledger even though the
+  // reputation score delivered the 554.
+  if (listed) stats_.dnsbl_rejects.fetch_add(1, std::memory_order_relaxed);
+  return smtp::RcptGateDecision::kReject;
+}
+
 void SmtpServer::ShardLoop(Shard& shard) {
   // Connections keyed by fd; sessions run in this shard's event loop
   // until the first valid RCPT, then get shipped to a worker.
@@ -875,6 +984,7 @@ void SmtpServer::ShardLoop(Shard& shard) {
     conn.dnsbl_pending = false;
     conn.dnsbl_have_verdict = true;
     conn.dnsbl_blacklisted = verdict.blacklisted;
+    conn.dnsbl_degraded = verdict.degraded;
     const bool was_waiting = conn.session->rcpt_deferred();
     if (!verdict.cache_hit) {
       // Overlap accounting: the stall is what the client saw; the rest
@@ -891,13 +1001,15 @@ void SmtpServer::ShardLoop(Shard& shard) {
       }
     }
     if (!was_waiting) return;  // verdict beat the dialog: nothing parked
-    if (verdict.blacklisted) {
-      stats_.dnsbl_rejects.fetch_add(1, std::memory_order_relaxed);
-    }
-    conn.session->ResolveDeferredRcpt(!verdict.blacklisted);
+    // Re-run the gate now the verdict is in hand: binary 554/250 when
+    // reputation is off, the full three-way score when it is on. The
+    // parked recipient re-keys the greylist triple.
+    conn.session->ResolveDeferredRcpt(
+        GateVerdict(conn, conn.session->deferred_rcpt().ToString()));
     // Mirror the post-Feed dispatch of on_client_event: an accepted
     // verdict re-fires on_first_valid_rcpt, which pauses for handoff; a
-    // rejected one closed the session.
+    // rejected one closed the session (a greylisted one lives on in
+    // MAIL_GIVEN and stays parked in this shard).
     if (conn.session->paused()) {
       delegate(fd);
       return;
@@ -907,8 +1019,27 @@ void SmtpServer::ShardLoop(Shard& shard) {
     }
   };
 
-  auto on_client_event = [this, &conns, close_conn, delegate](int fd,
-                                                              std::uint32_t) {
+  // Feeds bytes into a session and applies the transitions that may
+  // follow (delegation at trust, close on QUIT/554/error). Returns
+  // false when the connection was handed off or torn down — the
+  // MasterConn reference is dead in that case.
+  auto feed_session = [&conns, close_conn, delegate](int fd, MasterConn& conn,
+                                                     std::string_view bytes) {
+    (void)conns;
+    conn.session->Feed(bytes);
+    if (conn.session->paused()) {
+      delegate(fd);
+      return false;
+    }
+    if (conn.closed || conn.session->state() == smtp::SessionState::kClosed) {
+      close_conn(fd);
+      return false;
+    }
+    return true;
+  };
+
+  auto on_client_event = [this, &conns, close_conn, feed_session](
+                             int fd, std::uint32_t) {
     auto it = conns.find(fd);
     if (it == conns.end()) return;
     MasterConn& conn = *it->second;
@@ -921,19 +1052,29 @@ void SmtpServer::ShardLoop(Shard& shard) {
         conn.last_activity_ns = util::MonotonicNanos();
         if (!conn.banner_sent) {
           // Early talker: the banner has not been sent yet, so these
-          // bytes violate the SMTP handshake. Remember and discard;
-          // the timer callback rejects the client.
+          // bytes violate the SMTP handshake. The timer callback
+          // rejects (legacy) or scores (reputation) the client; in
+          // scored mode the session lives on, so keep the bytes — the
+          // client is already waiting on replies to them.
           conn.pregreeted = true;
+          if (rep_engine_ != nullptr) {
+            constexpr std::size_t kPregreetBufCap = 8 * 1024;
+            const std::size_t room =
+                kPregreetBufCap - std::min(kPregreetBufCap,
+                                           conn.pregreet_buf.size());
+            conn.pregreet_buf.append(
+                buf, std::min(static_cast<std::size_t>(n), room));
+          }
           continue;
         }
-        conn.session->Feed(std::string_view(buf, static_cast<std::size_t>(n)));
-        if (conn.session->paused()) {
-          delegate(fd);
-          return;
+        if (conn.first_cmd_ns < 0) {
+          // First post-banner bytes: the banner→command gap is the
+          // fast-talker feature (a human-configured MTA pauses; a
+          // spam cannon fires the instant the 220 lands).
+          conn.first_cmd_ns = conn.last_activity_ns;
         }
-        if (conn.closed ||
-            conn.session->state() == smtp::SessionState::kClosed) {
-          close_conn(fd);
+        if (!feed_session(fd, conn,
+                          std::string_view(buf, static_cast<std::size_t>(n)))) {
           return;
         }
         continue;
@@ -949,7 +1090,7 @@ void SmtpServer::ShardLoop(Shard& shard) {
   // into this shard: applies the per-shard gate, builds the session,
   // arms the pregreet timer, registers the fd edge-triggered.
   auto setup_conn = [this, &shard, &conns, loop, on_client_event, close_conn,
-                     on_verdict, pipeline_raw,
+                     feed_session, on_verdict, pipeline_raw,
                      &next_gen](net::Accepted&& accepted) {
     const int fd = accepted.fd.get();
     if (cfg_.max_sessions_per_shard > 0 &&
@@ -976,7 +1117,7 @@ void SmtpServer::ShardLoop(Shard& shard) {
     conn->accepted_ns = util::MonotonicNanos();
     conn->last_activity_ns = conn->accepted_ns;
     conn->gen = next_gen++;
-    if (pipeline_raw != nullptr) {
+    if (pipeline_raw != nullptr || rep_engine_ != nullptr) {
       conn->dnsbl_ip =
           cfg_.dnsbl_ip_mapper
               ? cfg_.dnsbl_ip_mapper(accepted.peer_ip)
@@ -1002,15 +1143,19 @@ void SmtpServer::ShardLoop(Shard& shard) {
       raw_conn->session->RequestPause();
     };
     hooks.on_quit = [raw_conn] { raw_conn->closed = true; };
-    if (pipeline_raw != nullptr) {
+    if (pipeline_raw != nullptr || rep_engine_ != nullptr) {
       // Harvest point (§4.3): trust is granted at the first valid
       // RCPT, so that is where the DNSBL verdict must be in hand. A
       // verdict already harvested (or cached) answers inline; an
-      // in-flight round parks the RCPT reply until on_verdict.
+      // in-flight round parks the RCPT reply until on_verdict. With
+      // the reputation engine on, the harvested verdict is one feature
+      // of the weighted score instead of the whole answer.
       hooks.first_rcpt_gate =
-          [this, raw_conn, fd, pipeline_raw,
-           on_verdict](const std::string&) -> smtp::RcptGateDecision {
-        if (!raw_conn->dnsbl_have_verdict && !raw_conn->dnsbl_pending) {
+          [this, raw_conn, fd, pipeline_raw, on_verdict](
+              const std::string&,
+              const smtp::Address& rcpt) -> smtp::RcptGateDecision {
+        if (pipeline_raw != nullptr && !raw_conn->dnsbl_have_verdict &&
+            !raw_conn->dnsbl_pending) {
           // Blocking baseline (dnsbl_overlap=false), or the overlapped
           // launch never happened: start the round now and wait.
           raw_conn->dnsbl_pending = true;
@@ -1024,12 +1169,11 @@ void SmtpServer::ShardLoop(Shard& shard) {
             raw_conn->dnsbl_pending = false;
             raw_conn->dnsbl_have_verdict = true;
             raw_conn->dnsbl_blacklisted = verdict->blacklisted;
+            raw_conn->dnsbl_degraded = verdict->degraded;
           }
         }
-        if (raw_conn->dnsbl_have_verdict) {
-          if (!raw_conn->dnsbl_blacklisted) return smtp::RcptGateDecision::kAccept;
-          stats_.dnsbl_rejects.fetch_add(1, std::memory_order_relaxed);
-          return smtp::RcptGateDecision::kReject;
+        if (pipeline_raw == nullptr || raw_conn->dnsbl_have_verdict) {
+          return GateVerdict(*raw_conn, rcpt.ToString());
         }
         stats_.dnsbl_deferred.fetch_add(1, std::memory_order_relaxed);
         raw_conn->dnsbl_rcpt_ns = util::MonotonicNanos();
@@ -1055,30 +1199,55 @@ void SmtpServer::ShardLoop(Shard& shard) {
           static_cast<long>(cfg_.pregreet_delay_ms % 1000) * 1'000'000L;
       ::timerfd_settime(conn->pregreet_timer.get(), 0, &when, nullptr);
       const int timer_fd = conn->pregreet_timer.get();
-      (void)loop->Add(timer_fd, EPOLLIN,
-                      [this, &conns, close_conn, loop, fd,
-                       timer_fd](std::uint32_t) {
-                        (void)loop->Remove(timer_fd);
-                        auto conn_it = conns.find(fd);
-                        if (conn_it == conns.end()) return;
-                        MasterConn& parked = *conn_it->second;
-                        parked.pregreet_timer.Reset();
-                        parked.banner_sent = true;
-                        if (parked.pregreeted) {
-                          stats_.pregreet_rejects.fetch_add(
-                              1, std::memory_order_relaxed);
-                          const std::string reject =
-                              "554 5.5.1 Protocol error: talked "
-                              "before my banner\r\n";
-                          (void)util::SendAll(fd, reject.data(),
-                                              reject.size());
-                          close_conn(fd);
-                          return;
-                        }
-                        parked.session->Start();  // 220 banner
-                      });
+      (void)loop->Add(
+          timer_fd, EPOLLIN,
+          [this, &shard, &conns, close_conn, feed_session, loop, fd,
+           timer_fd](std::uint32_t) {
+            (void)loop->Remove(timer_fd);
+            auto conn_it = conns.find(fd);
+            if (conn_it == conns.end()) return;
+            MasterConn& parked = *conn_it->second;
+            parked.pregreet_timer.Reset();
+            parked.banner_sent = true;
+            if (parked.pregreeted) {
+              shard.pregreets.fetch_add(1, std::memory_order_relaxed);
+              LogOperational(
+                  "pregreet", obs::EventSeverity::kWarn,
+                  [this, &shard, &parked](obs::EventRecord& r) {
+                    r.Str("peer24", Peer24(parked.session->client_ip()));
+                    r.Int("shard", shard.index);
+                    r.Str("action", rep_engine_ ? "scored" : "rejected");
+                  });
+              if (rep_engine_ == nullptr) {
+                // postscreen behaviour: instant 554, never a worker.
+                stats_.pregreet_rejects.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                const std::string reject =
+                    "554 5.5.1 Protocol error: talked "
+                    "before my banner\r\n";
+                (void)util::SendAll(fd, reject.data(), reject.size());
+                close_conn(fd);
+                return;
+              }
+              // Scored mode: the violation is kept as evidence for the
+              // RCPT gate instead of a hair-trigger reap — the session
+              // gets its banner and must now earn its fork.
+              stats_.pregreet_scored.fetch_add(1, std::memory_order_relaxed);
+            }
+            parked.session->Start();  // 220 banner
+            parked.banner_ns = util::MonotonicNanos();
+            if (!parked.pregreet_buf.empty()) {
+              // Replay what the early talker blasted: it is waiting on
+              // replies to these commands. A pregreeter by definition
+              // answered before the banner — a zero banner→command gap.
+              parked.first_cmd_ns = parked.banner_ns;
+              const std::string pending = std::move(parked.pregreet_buf);
+              (void)feed_session(fd, parked, pending);
+            }
+          });
     } else {
       conn->session->Start();
+      conn->banner_ns = util::MonotonicNanos();
     }
     conns.emplace(fd, std::move(conn));
     (void)loop->Add(fd, EPOLLIN | EPOLLET,

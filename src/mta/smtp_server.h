@@ -44,6 +44,7 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "rep/reputation.h"
 #include "smtp/server_session.h"
 #include "util/ipv4.h"
 #include "util/rng.h"
@@ -119,7 +120,20 @@ struct RealServerConfig {
   // Test seam: maps the peer address string to the address whose /25
   // is looked up. Benches connect from 127.0.0.1 but synthesize
   // distinct client IPs here; production leaves it unset (peer IP).
+  // The reputation engine scores the same mapped address, so one seam
+  // serves both subsystems.
   std::function<util::Ipv4(const std::string& peer_ip)> dnsbl_ip_mapper;
+
+  // --- pre-trust reputation engine (fork-after-trust, DESIGN.md §12) -
+  // When reputation.enabled, the first-RCPT gate stops being a binary
+  // DNSBL check: the shard folds the DNSBL verdict, dialog anomalies
+  // (pregreet, pipelining, HELO shape, command errors) and the per-/24
+  // history into a weighted score, and answers accept / 450 greylist /
+  // 554 reject. Pregreeters are scored instead of instantly reaped:
+  // the banner is still sent and the session lives until the gate,
+  // where the pregreet feature usually pushes it over a threshold —
+  // one knob trades postscreen's hair-trigger for evidence.
+  rep::RepConfig reputation;
 };
 
 struct RealServerStats {
@@ -141,6 +155,10 @@ struct RealServerStats {
   std::atomic<std::uint64_t> dnsbl_rejects{0};     // 554 at the RCPT gate
   std::atomic<std::uint64_t> dnsbl_deferred{0};    // RCPTs that waited on DNS
   std::atomic<std::uint64_t> stalled_sessions{0};  // watchdog detections
+  std::atomic<std::uint64_t> rep_rejects{0};       // 554 by reputation score
+  std::atomic<std::uint64_t> rep_greylisted{0};    // 450 by reputation score
+  std::atomic<std::uint64_t> pregreet_scored{0};   // early talkers scored
+                                                   // instead of reaped
 };
 
 // One row of SmtpServer::Health() — the /healthz contract: every
@@ -189,6 +207,8 @@ class SmtpServer {
   std::vector<int> ShardSessions() const;
   // Connections ever accepted into each shard.
   std::vector<std::uint64_t> ShardAccepted() const;
+  // Early talkers detected per shard (rejected or scored, by mode).
+  std::vector<std::uint64_t> ShardPregreets() const;
   // Live thread handles held for thread-per-connection sessions; the
   // reaper keeps this bounded by open connections, not by connection
   // count since Start() (the seed leaked one handle per connection).
@@ -222,6 +242,13 @@ class SmtpServer {
     return dnsbl_service_.get();
   }
 
+  // Shared pre-trust reputation engine (history + greylist stores);
+  // nullptr unless cfg.reputation.enabled. Thread-safe; the admin
+  // plane snapshots it live.
+  rep::ReputationEngine* reputation_engine() const {
+    return rep_engine_.get();
+  }
+
  private:
   struct MasterConn;  // fork-after-trust per-connection state
   struct Shard;       // one pre-trust reactor
@@ -235,6 +262,12 @@ class SmtpServer {
   void WorkerLoop(int channel_fd);  // takes ownership of channel_fd
   void FinishSession(smtp::ServerSession& session, int fd);
   bool DeliverEnvelope(smtp::Envelope&& envelope);
+  // Final first-RCPT verdict once the DNSBL answer (or its absence) is
+  // in hand: binary DNSBL gate when reputation is off, weighted
+  // score → accept/greylist/reject when on. Counts stats; runs on the
+  // owning shard's loop thread.
+  smtp::RcptGateDecision GateVerdict(MasterConn& conn,
+                                     const std::string& rcpt);
   // Round-robins `payload` + the client socket over the live workers,
   // retiring dead channels (EPIPE) and retrying on the next one.
   // Thread-safe: shards delegate concurrently. False = no live worker.
@@ -292,6 +325,10 @@ class SmtpServer {
 
   // Async DNSBL: one service shared by every shard's pipeline.
   std::unique_ptr<dnsbl::AsyncDnsblService> dnsbl_service_;
+
+  // Pre-trust reputation: history + greylist stores shared by every
+  // shard (internally sharded-mutex, like the DNSBL verdict cache).
+  std::unique_ptr<rep::ReputationEngine> rep_engine_;
 
   // Optional observability (null until BindObservability/BindEventLog).
   obs::Registry* registry_ = nullptr;

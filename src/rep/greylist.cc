@@ -1,0 +1,156 @@
+#include "rep/greylist.h"
+
+namespace sams::rep {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// FNV-1a, seeded per component so (net, from, rcpt) and a permutation
+// of the same bytes hash apart.
+std::uint64_t Fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* GreylistOutcomeName(GreylistOutcome outcome) {
+  switch (outcome) {
+    case GreylistOutcome::kNew: return "new";
+    case GreylistOutcome::kTooEarly: return "too_early";
+    case GreylistOutcome::kPass: return "pass";
+    case GreylistOutcome::kWhitelisted: return "whitelisted";
+    case GreylistOutcome::kExpired: return "expired";
+  }
+  return "?";
+}
+
+GreylistStore::GreylistStore(GreylistConfig cfg) : cfg_(cfg) {
+  const std::size_t n = RoundUpPow2(cfg_.lock_shards == 0 ? 1 : cfg_.lock_shards);
+  shard_mask_ = n - 1;
+  shards_ = std::vector<Shard>(n);
+  capacity_per_shard_ = cfg_.capacity == 0 ? 0 : (cfg_.capacity + n - 1) / n;
+}
+
+std::uint64_t GreylistStore::TripleKey(util::Prefix24 net,
+                                       const std::string& mail_from,
+                                       const std::string& rcpt) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const std::uint32_t nv = net.value();
+  h = Fnv1a(h, &nv, sizeof(nv));
+  h = Fnv1a(h, mail_from.data(), mail_from.size());
+  h = Fnv1a(h, "\x1f", 1);  // separator: ("ab","c") != ("a","bc")
+  h = Fnv1a(h, rcpt.data(), rcpt.size());
+  return h;
+}
+
+GreylistOutcome GreylistStore::Check(util::Prefix24 net,
+                                     const std::string& mail_from,
+                                     const std::string& rcpt,
+                                     std::int64_t now_ns) {
+  stats_.checks.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t key = TripleKey(net, mail_from, rcpt);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+
+  auto record_new = [&](Entry& e) {
+    e.first_seen_ns = now_ns;
+    e.expires_ns = now_ns + cfg_.max_window_ns;
+    e.passed = false;
+  };
+
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    if (capacity_per_shard_ != 0 && shard.map.size() >= capacity_per_shard_ &&
+        !shard.lru.empty()) {
+      shard.map.erase(shard.lru.back());
+      shard.lru.pop_back();
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(key);
+    Entry e;
+    record_new(e);
+    e.lru_pos = shard.lru.begin();
+    shard.map.emplace(key, e);
+    stats_.first_sightings.fetch_add(1, std::memory_order_relaxed);
+    return GreylistOutcome::kNew;
+  }
+
+  Entry& e = it->second;
+  shard.lru.splice(shard.lru.begin(), shard.lru, e.lru_pos);
+
+  if (e.passed) {
+    if (now_ns < e.expires_ns) {
+      stats_.whitelisted_hits.fetch_add(1, std::memory_order_relaxed);
+      return GreylistOutcome::kWhitelisted;
+    }
+    record_new(e);  // whitelist TTL ran out: cycle restarts
+    stats_.expirations.fetch_add(1, std::memory_order_relaxed);
+    return GreylistOutcome::kExpired;
+  }
+
+  const std::int64_t elapsed = now_ns - e.first_seen_ns;
+  if (elapsed < cfg_.min_retry_ns) {
+    stats_.too_early.fetch_add(1, std::memory_order_relaxed);
+    return GreylistOutcome::kTooEarly;
+  }
+  if (elapsed <= cfg_.max_window_ns) {
+    e.passed = true;
+    e.expires_ns = now_ns + cfg_.pass_ttl_ns;
+    stats_.passes.fetch_add(1, std::memory_order_relaxed);
+    return GreylistOutcome::kPass;
+  }
+  record_new(e);  // window missed entirely: treat as new
+  stats_.expirations.fetch_add(1, std::memory_order_relaxed);
+  return GreylistOutcome::kExpired;
+}
+
+std::size_t GreylistStore::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    n += s.map.size();
+  }
+  return n;
+}
+
+void GreylistStore::BindMetrics(obs::Registry& registry) {
+  auto& checks = registry.GetCounter("sams_rep_greylist_checks_total",
+                                     "Greylist triple lookups");
+  auto& first = registry.GetCounter("sams_rep_greylist_first_total",
+                                    "Triples deferred on first sighting");
+  auto& early = registry.GetCounter("sams_rep_greylist_too_early_total",
+                                    "Retries re-deferred (before min_retry)");
+  auto& passes = registry.GetCounter("sams_rep_greylist_passes_total",
+                                     "Triples promoted by an in-window retry");
+  auto& white = registry.GetCounter("sams_rep_greylist_whitelisted_total",
+                                    "Checks answered by a passed triple");
+  auto& expired = registry.GetCounter("sams_rep_greylist_expired_total",
+                                      "Triples whose window or pass TTL lapsed");
+  auto& evict = registry.GetCounter("sams_rep_greylist_evictions_total",
+                                    "LRU entries displaced when full");
+  auto& sz = registry.GetGauge("sams_rep_greylist_entries",
+                               "Live greylist triples");
+  registry.AddCollector([this, &checks, &first, &early, &passes, &white,
+                         &expired, &evict, &sz] {
+    checks.Overwrite(stats_.checks.load(std::memory_order_relaxed));
+    first.Overwrite(stats_.first_sightings.load(std::memory_order_relaxed));
+    early.Overwrite(stats_.too_early.load(std::memory_order_relaxed));
+    passes.Overwrite(stats_.passes.load(std::memory_order_relaxed));
+    white.Overwrite(stats_.whitelisted_hits.load(std::memory_order_relaxed));
+    expired.Overwrite(stats_.expirations.load(std::memory_order_relaxed));
+    evict.Overwrite(stats_.evictions.load(std::memory_order_relaxed));
+    sz.Set(static_cast<double>(size()));
+  });
+}
+
+}  // namespace sams::rep

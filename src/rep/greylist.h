@@ -1,0 +1,119 @@
+// sams::rep greylist triple-store (DESIGN.md §12).
+//
+// Classic postgrey-style greylisting adapted to the pre-trust gate: a
+// triple (client /24, MAIL FROM, first RCPT) seen for the first time is
+// deferred with 450, a legitimate MTA retries after its queue delay and
+// passes, and a botnet sender — which almost never retries — simply
+// never comes back. The store is shared across reactor shards, so it is
+// thread-safe the same way ConcurrentPrefixCache is: sharded mutexes
+// chosen by triple hash, each lock shard keeping an LRU list so a
+// hostile sweep of random envelopes cannot grow the table without
+// bound. Clock-agnostic: every call takes explicit now_ns, so the
+// simulation can drive it on virtual time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/ipv4.h"
+
+namespace sams::rep {
+
+struct GreylistConfig {
+  // Retries earlier than this after the first sighting are re-deferred
+  // (a retry inside seconds is a bot hammering, not a queue run).
+  std::int64_t min_retry_ns = 60LL * 1000 * 1000 * 1000;  // 60 s
+  // Retries later than this restart the cycle: the triple is treated
+  // as new again and re-deferred.
+  std::int64_t max_window_ns = 4LL * 3600 * 1000 * 1000 * 1000;  // 4 h
+  // How long a passed triple stays whitelisted (no further deferrals).
+  std::int64_t pass_ttl_ns = 24LL * 3600 * 1000 * 1000 * 1000;  // 24 h
+  std::size_t capacity = 65536;  // total entries across lock shards; 0 = unbounded
+  std::size_t lock_shards = 16;  // rounded up to a power of two
+};
+
+// What Check() decided about a triple. kNew / kTooEarly / kExpired all
+// mean "defer with 450"; kPass / kWhitelisted mean "let it through".
+enum class GreylistOutcome {
+  kNew,          // first sighting recorded, defer
+  kTooEarly,     // retry before min_retry, defer again
+  kPass,         // retry inside [min_retry, max_window] — promoted
+  kWhitelisted,  // previously passed, still inside pass_ttl
+  kExpired,      // window or whitelist TTL ran out, cycle restarts
+};
+
+const char* GreylistOutcomeName(GreylistOutcome outcome);
+
+inline bool GreylistDefers(GreylistOutcome o) {
+  return o == GreylistOutcome::kNew || o == GreylistOutcome::kTooEarly ||
+         o == GreylistOutcome::kExpired;
+}
+
+struct GreylistStats {
+  std::atomic<std::uint64_t> checks{0};
+  std::atomic<std::uint64_t> first_sightings{0};
+  std::atomic<std::uint64_t> too_early{0};
+  std::atomic<std::uint64_t> passes{0};
+  std::atomic<std::uint64_t> whitelisted_hits{0};
+  std::atomic<std::uint64_t> expirations{0};
+  std::atomic<std::uint64_t> evictions{0};
+};
+
+class GreylistStore {
+ public:
+  explicit GreylistStore(GreylistConfig cfg);
+
+  GreylistStore(const GreylistStore&) = delete;
+  GreylistStore& operator=(const GreylistStore&) = delete;
+
+  // Looks up and advances the triple's state machine in one shot (the
+  // two are inseparable: a first sighting must be recorded atomically
+  // with the decision to defer, or two shards racing on the same
+  // triple would both answer kNew).
+  GreylistOutcome Check(util::Prefix24 net, const std::string& mail_from,
+                        const std::string& rcpt, std::int64_t now_ns);
+
+  std::size_t size() const;
+  const GreylistStats& stats() const { return stats_; }
+
+  // Publishes sams_rep_greylist_* counters (live totals).
+  void BindMetrics(obs::Registry& registry);
+
+ private:
+  struct Entry {
+    std::int64_t first_seen_ns = 0;
+    std::int64_t expires_ns = 0;  // window end, or whitelist end if passed
+    bool passed = false;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::list<std::uint64_t> lru;  // front = most recently used
+  };
+
+  static std::uint64_t TripleKey(util::Prefix24 net,
+                                 const std::string& mail_from,
+                                 const std::string& rcpt);
+
+  Shard& ShardFor(std::uint64_t key) {
+    return shards_[(key >> 32) & shard_mask_];
+  }
+  const Shard& ShardFor(std::uint64_t key) const {
+    return shards_[(key >> 32) & shard_mask_];
+  }
+
+  GreylistConfig cfg_;
+  std::size_t capacity_per_shard_;  // 0 = unbounded
+  std::size_t shard_mask_;
+  std::vector<Shard> shards_;
+  GreylistStats stats_;
+};
+
+}  // namespace sams::rep

@@ -1,0 +1,362 @@
+#include "rep/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "fault/injector.h"
+
+namespace sams::rep {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendNum(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAccept: return "accept";
+    case Verdict::kGreylist: return "greylist";
+    case Verdict::kReject: return "reject";
+  }
+  return "?";
+}
+
+ReputationEngine::ReputationEngine(RepConfig cfg)
+    : cfg_(cfg), greylist_(cfg.greylist) {
+  const std::size_t n =
+      RoundUpPow2(cfg_.lock_shards == 0 ? 1 : cfg_.lock_shards);
+  shard_mask_ = n - 1;
+  shards_ = std::vector<Shard>(n);
+  capacity_per_shard_ =
+      cfg_.history_capacity == 0 ? 0 : (cfg_.history_capacity + n - 1) / n;
+}
+
+double ReputationEngine::DecayedScore(const Bucket& b,
+                                      std::int64_t now_ns) const {
+  const std::int64_t idle = now_ns - b.updated_ns;
+  if (idle <= 0 || cfg_.history_half_life_ns <= 0) return b.score;
+  const double halves =
+      static_cast<double>(idle) / static_cast<double>(cfg_.history_half_life_ns);
+  return b.score * std::exp2(-halves);
+}
+
+bool ReputationEngine::LoadHistory(util::Prefix24 net, std::int64_t now_ns,
+                                   double* out) {
+  *out = 0.0;
+  // kDelay policies sleep inside Hit and return OK; kError makes the
+  // store dark for this evaluation (fail-open, handled by the caller).
+  if (!SAMS_FAULT_ERROR("rep.store.delay").ok() ||
+      !SAMS_FAULT_ERROR("rep.store.error").ok()) {
+    return false;
+  }
+  Shard& shard = ShardFor(net);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(net);
+  if (it == shard.map.end()) return true;
+  Bucket& b = it->second;
+  if (cfg_.history_ttl_ns > 0 && now_ns - b.updated_ns > cfg_.history_ttl_ns) {
+    shard.lru.erase(b.lru_pos);
+    shard.map.erase(it);
+    stats_.expirations.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, b.lru_pos);
+  stats_.history_hits.fetch_add(1, std::memory_order_relaxed);
+  *out = DecayedScore(b, now_ns);
+  return true;
+}
+
+bool ReputationEngine::ReinforceBucket(util::Prefix24 net, double delta,
+                                       Verdict verdict, std::int64_t now_ns) {
+  if (!SAMS_FAULT_ERROR("rep.store.delay").ok() ||
+      !SAMS_FAULT_ERROR("rep.store.error").ok()) {
+    return false;
+  }
+  Shard& shard = ShardFor(net);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(net);
+  if (it == shard.map.end()) {
+    // Nothing to decay away and nothing to credit: don't materialize a
+    // bucket just to hold ham credit for a network we've never flagged.
+    if (delta <= 0.0) return true;
+    if (capacity_per_shard_ != 0 && shard.map.size() >= capacity_per_shard_ &&
+        !shard.lru.empty()) {
+      shard.map.erase(shard.lru.back());
+      shard.lru.pop_back();
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(net);
+    Bucket b;
+    b.created_ns = now_ns;
+    b.lru_pos = shard.lru.begin();
+    it = shard.map.emplace(net, b).first;
+  } else {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  }
+  Bucket& b = it->second;
+  b.score = std::clamp(DecayedScore(b, now_ns) + delta, cfg_.history_min,
+                       cfg_.history_max);
+  b.updated_ns = now_ns;
+  switch (verdict) {
+    case Verdict::kAccept: ++b.accepts; break;
+    case Verdict::kGreylist: ++b.greylists; break;
+    case Verdict::kReject: ++b.rejects; break;
+  }
+  return true;
+}
+
+double ReputationEngine::FeatureScore(const DialogFeatures& f) const {
+  const RepWeights& w = cfg_.weights;
+  double score = 0.0;
+  if (f.dnsbl_listed) score += w.dnsbl;
+  if (f.pregreet) score += w.pregreet;
+  if (f.pipelined > 0) score += w.pipeline;
+  if (f.helo_malformed) {
+    score += w.helo_malformed;
+  } else if (f.helo_bare_ip) {
+    score += w.helo_bare_ip;
+  }
+  const double errors = std::min(
+      f.syntax_errors * w.syntax_error + f.bad_sequence * w.bad_sequence,
+      w.error_cap);
+  score += errors;
+  if (cfg_.min_cmd_gap_ns > 0 && f.min_cmd_gap_ns >= 0 &&
+      f.min_cmd_gap_ns < cfg_.min_cmd_gap_ns) {
+    score += w.fast_talker;
+  }
+  return score;
+}
+
+Verdict ReputationEngine::VerdictFor(double score) const {
+  if (score >= cfg_.reject_threshold) return Verdict::kReject;
+  if (score >= cfg_.greylist_threshold) return Verdict::kGreylist;
+  return Verdict::kAccept;
+}
+
+Evaluation ReputationEngine::Evaluate(util::Ipv4 client,
+                                      const DialogFeatures& features,
+                                      const std::string& mail_from,
+                                      const std::string& rcpt,
+                                      std::int64_t now_ns) {
+  stats_.evaluations.fetch_add(1, std::memory_order_relaxed);
+  const util::Prefix24 net(client);
+
+  Evaluation ev;
+  ev.score = FeatureScore(features);
+
+  double history = 0.0;
+  ev.degraded = !LoadHistory(net, now_ns, &history);
+  if (!ev.degraded) {
+    ev.history = history;
+    ev.score += cfg_.weights.history * history;
+  }
+
+  ev.verdict = VerdictFor(ev.score);
+
+  if (ev.verdict == Verdict::kGreylist) {
+    // The triple store has the final say inside the greylist band: a
+    // sender that already proved it retries is let through.
+    ev.greylist = greylist_.Check(net, mail_from, rcpt, now_ns);
+    ev.greylist_consulted = true;
+    if (!GreylistDefers(ev.greylist)) ev.verdict = Verdict::kAccept;
+  }
+
+  if (ev.degraded) {
+    // Fail-open bookkeeping only: nothing cached, no reinforcement.
+    stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const double delta = ev.verdict == Verdict::kReject ? cfg_.hostile_delta
+                         : ev.verdict == Verdict::kGreylist
+                             ? cfg_.greylist_delta
+                             : cfg_.ham_delta;
+    ReinforceBucket(net, delta, ev.verdict, now_ns);
+  }
+
+  switch (ev.verdict) {
+    case Verdict::kAccept:
+      stats_.accepts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Verdict::kGreylist:
+      stats_.greylists.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Verdict::kReject:
+      stats_.rejects.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return ev;
+}
+
+Evaluation ReputationEngine::GateOnHistory(util::Ipv4 client,
+                                           bool dnsbl_listed,
+                                           std::int64_t now_ns) {
+  stats_.evaluations.fetch_add(1, std::memory_order_relaxed);
+  Evaluation ev;
+  if (dnsbl_listed) ev.score += cfg_.weights.dnsbl;
+  double history = 0.0;
+  ev.degraded = !LoadHistory(util::Prefix24(client), now_ns, &history);
+  if (!ev.degraded) {
+    ev.history = history;
+    ev.score += cfg_.weights.history * history;
+  } else {
+    stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  // No dialog evidence, no envelope: reject-or-accept only.
+  ev.verdict = ev.score >= cfg_.reject_threshold ? Verdict::kReject
+                                                 : Verdict::kAccept;
+  if (ev.verdict == Verdict::kReject) {
+    stats_.rejects.fetch_add(1, std::memory_order_relaxed);
+    if (!ev.degraded) {
+      ReinforceBucket(util::Prefix24(client), cfg_.hostile_delta, ev.verdict,
+                      now_ns);
+    }
+  } else {
+    stats_.accepts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ev;
+}
+
+void ReputationEngine::RecordOutcome(util::Ipv4 client, double delta,
+                                     std::int64_t now_ns) {
+  const Verdict v = delta > 0 ? Verdict::kReject : Verdict::kAccept;
+  ReinforceBucket(util::Prefix24(client), delta, v, now_ns);
+}
+
+double ReputationEngine::HistoryScore(util::Ipv4 client, std::int64_t now_ns) {
+  double h = 0.0;
+  LoadHistory(util::Prefix24(client), now_ns, &h);
+  return h;
+}
+
+std::size_t ReputationEngine::history_size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    n += s.map.size();
+  }
+  return n;
+}
+
+std::vector<BucketSnapshot> ReputationEngine::Snapshot(
+    std::size_t top_n, std::int64_t now_ns) const {
+  std::vector<BucketSnapshot> all;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [net, b] : s.map) {
+      BucketSnapshot snap;
+      snap.net = net;
+      snap.score = DecayedScore(b, now_ns);
+      snap.age_ns = now_ns - b.created_ns;
+      snap.idle_ns = now_ns - b.updated_ns;
+      snap.accepts = b.accepts;
+      snap.greylists = b.greylists;
+      snap.rejects = b.rejects;
+      all.push_back(snap);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const BucketSnapshot& a, const BucketSnapshot& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.net.value() < b.net.value();
+            });
+  if (top_n != 0 && all.size() > top_n) all.resize(top_n);
+  return all;
+}
+
+std::string ReputationEngine::SnapshotJson(std::size_t top_n,
+                                           std::int64_t now_ns) const {
+  const std::vector<BucketSnapshot> buckets = Snapshot(top_n, now_ns);
+  std::string out = "{\"history_size\":";
+  out += std::to_string(history_size());
+  out += ",\"greylist_size\":";
+  out += std::to_string(greylist_.size());
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const BucketSnapshot& b : buckets) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"net\":\"";
+    AppendJsonEscaped(&out, b.net.ToString());
+    out += "\",\"score\":";
+    AppendNum(&out, b.score);
+    out += ",\"age_s\":";
+    AppendNum(&out, static_cast<double>(b.age_ns) / 1e9);
+    out += ",\"idle_s\":";
+    AppendNum(&out, static_cast<double>(b.idle_ns) / 1e9);
+    out += ",\"accepts\":";
+    out += std::to_string(b.accepts);
+    out += ",\"greylists\":";
+    out += std::to_string(b.greylists);
+    out += ",\"rejects\":";
+    out += std::to_string(b.rejects);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void ReputationEngine::BindMetrics(obs::Registry& registry) {
+  auto& evals = registry.GetCounter("sams_rep_evaluations_total",
+                                    "Reputation gate evaluations");
+  auto& accepts = registry.GetCounter("sams_rep_verdicts_total",
+                                      "Gate verdicts by kind",
+                                      {{"verdict", "accept"}});
+  auto& greys = registry.GetCounter("sams_rep_verdicts_total",
+                                    "Gate verdicts by kind",
+                                    {{"verdict", "greylist"}});
+  auto& rejects = registry.GetCounter("sams_rep_verdicts_total",
+                                      "Gate verdicts by kind",
+                                      {{"verdict", "reject"}});
+  auto& degraded = registry.GetCounter(
+      "sams_rep_degraded_total",
+      "Evaluations completed fail-open with the history store dark");
+  auto& hits = registry.GetCounter("sams_rep_history_hits_total",
+                                   "History lookups answered by a live bucket");
+  auto& expired = registry.GetCounter("sams_rep_history_expired_total",
+                                      "Buckets dropped on TTL at probe");
+  auto& evict = registry.GetCounter("sams_rep_history_evictions_total",
+                                    "Buckets displaced by the LRU bound");
+  auto& sz = registry.GetGauge("sams_rep_history_buckets",
+                               "Live /24 reputation buckets");
+  registry.AddCollector([this, &evals, &accepts, &greys, &rejects, &degraded,
+                         &hits, &expired, &evict, &sz] {
+    evals.Overwrite(stats_.evaluations.load(std::memory_order_relaxed));
+    accepts.Overwrite(stats_.accepts.load(std::memory_order_relaxed));
+    greys.Overwrite(stats_.greylists.load(std::memory_order_relaxed));
+    rejects.Overwrite(stats_.rejects.load(std::memory_order_relaxed));
+    degraded.Overwrite(stats_.degraded.load(std::memory_order_relaxed));
+    hits.Overwrite(stats_.history_hits.load(std::memory_order_relaxed));
+    expired.Overwrite(stats_.expirations.load(std::memory_order_relaxed));
+    evict.Overwrite(stats_.evictions.load(std::memory_order_relaxed));
+    sz.Set(static_cast<double>(history_size()));
+  });
+  greylist_.BindMetrics(registry);
+}
+
+}  // namespace sams::rep

@@ -1,0 +1,226 @@
+// sams::rep — the pre-trust reputation engine (DESIGN.md §12).
+//
+// Turns the first-valid-RCPT gate from a binary DNSBL check into a
+// weighted verdict: accept / greylist-defer (450) / reject (554). The
+// score combines point-in-time dialog evidence (the async DNSBL
+// verdict, pregreet and pipelining violations, HELO anomalies, command
+// ordering and error counts, inter-command timing — the botnet
+// SMTP-conversation features of Bazydło et al., arXiv 1903.11400) with
+// aggregated per-/24 history in the spirit of Menahem & Puzis (arXiv
+// 1205.1357): every verdict reinforces its source network's bucket,
+// and buckets decay exponentially so a network that stops misbehaving
+// earns its way back. (IPv6 would key on /64; the stack is IPv4-only
+// today, so Prefix24 is the one granularity wired.)
+//
+// The history cache reuses the ConcurrentPrefixCache machinery shape:
+// sharded mutexes picked by multiplicative prefix hash, per-lock-shard
+// LRU bound, TTL expiry on probe. It is shared across all reactor
+// shards, so evidence a hostile /24 leaves on shard 0 raises the score
+// shard 3 sees on the very next connection.
+//
+// Fault posture: the history store is advisory. Both store fault
+// points (rep.store.error, rep.store.delay) fail OPEN — a dark store
+// yields a degraded verdict computed from dialog evidence alone, and
+// degraded verdicts are never written back (a fault must not poison
+// the cache or, via missing ham credit, penalize a clean network).
+//
+// Clock-agnostic: every entry point takes explicit now_ns, so the real
+// server drives it with MonotonicNanos and the simulation with
+// SimTime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rep/greylist.h"
+#include "util/ipv4.h"
+
+namespace sams::rep {
+
+// Per-feature score contributions. Calibration anchor: a listed DNSBL
+// host alone must clear reject_threshold (the PR-5 behaviour is a
+// strict subset of this engine), and one soft anomaly alone must stay
+// under greylist_threshold so ordinary sloppy-but-legitimate senders
+// pass untouched.
+struct RepWeights {
+  double dnsbl = 4.0;          // async DNSBL verdict: listed
+  double pregreet = 3.0;       // talked before the 220 banner
+  double pipeline = 1.5;       // pipelined commands before trust
+  double helo_bare_ip = 1.0;   // HELO argument is a naked IP
+  double helo_malformed = 1.5; // HELO argument failed validation
+  double bad_sequence = 0.75;  // per out-of-order command (503)
+  double syntax_error = 0.5;   // per 500/501 drawn pre-trust
+  double error_cap = 2.0;      // ceiling on the summed error terms
+  double fast_talker = 1.0;    // inter-command gap under min_cmd_gap
+  double history = 1.0;        // multiplier on the decayed /24 bucket
+};
+
+struct RepConfig {
+  bool enabled = false;
+  RepWeights weights;
+  // score >= reject_threshold  -> 554 reject
+  // score >= greylist_threshold -> greylist triple-store decides
+  double greylist_threshold = 2.0;
+  double reject_threshold = 4.0;
+
+  // /24 history bucket dynamics.
+  std::int64_t history_half_life_ns = 600LL * 1000 * 1000 * 1000;  // 10 min
+  std::int64_t history_ttl_ns = 2LL * 3600 * 1000 * 1000 * 1000;   // 2 h idle
+  std::size_t history_capacity = 65536;
+  std::size_t lock_shards = 16;
+  double hostile_delta = 1.0;    // bucket delta on a reject verdict
+  double greylist_delta = 0.25;  // bucket delta on a greylist verdict
+  double ham_delta = -0.5;       // bucket delta on accept (ham credit)
+  double history_max = 8.0;      // bucket clamp, so one /24 can't
+  double history_min = -4.0;     //   saturate or bank unlimited credit
+
+  // Inter-command gap under this marks a fast talker; 0 disables the
+  // feature (loopback tests would all trip it).
+  std::int64_t min_cmd_gap_ns = 0;
+
+  GreylistConfig greylist;
+};
+
+// Dialog evidence gathered by the transport up to the first valid
+// RCPT; the engine itself never touches sockets or sessions.
+struct DialogFeatures {
+  bool dnsbl_listed = false;
+  bool dnsbl_degraded = false;  // DNSBL verdict itself was fail-open
+  bool pregreet = false;
+  std::uint32_t pipelined = 0;       // commands read ahead of replies
+  bool helo_bare_ip = false;
+  bool helo_malformed = false;
+  std::uint32_t syntax_errors = 0;   // 500/501 replies drawn so far
+  std::uint32_t bad_sequence = 0;    // 503 replies drawn so far
+  std::int64_t min_cmd_gap_ns = -1;  // smallest observed gap; -1 unknown
+};
+
+enum class Verdict { kAccept, kGreylist, kReject };
+const char* VerdictName(Verdict verdict);
+
+struct Evaluation {
+  Verdict verdict = Verdict::kAccept;
+  double score = 0.0;
+  double history = 0.0;  // decayed bucket value folded into score
+  bool degraded = false;  // history store was dark; nothing written back
+  GreylistOutcome greylist = GreylistOutcome::kNew;  // when consulted
+  bool greylist_consulted = false;
+};
+
+struct RepStats {
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> accepts{0};
+  std::atomic<std::uint64_t> greylists{0};
+  std::atomic<std::uint64_t> rejects{0};
+  std::atomic<std::uint64_t> degraded{0};      // store-dark evaluations
+  std::atomic<std::uint64_t> history_hits{0};  // bucket present & fresh
+  std::atomic<std::uint64_t> expirations{0};
+  std::atomic<std::uint64_t> evictions{0};
+};
+
+// One /24 bucket as exported by Snapshot (admin GET /reputation).
+struct BucketSnapshot {
+  util::Prefix24 net;
+  double score = 0.0;        // decayed to now_ns
+  std::int64_t age_ns = 0;   // since the bucket was created
+  std::int64_t idle_ns = 0;  // since the last reinforcement
+  std::uint64_t accepts = 0;
+  std::uint64_t greylists = 0;
+  std::uint64_t rejects = 0;
+};
+
+class ReputationEngine {
+ public:
+  explicit ReputationEngine(RepConfig cfg);
+
+  ReputationEngine(const ReputationEngine&) = delete;
+  ReputationEngine& operator=(const ReputationEngine&) = delete;
+
+  // Full gate evaluation at the first valid RCPT. Reads (and, unless
+  // degraded, reinforces) the client's /24 bucket, consults the
+  // greylist store when the score lands in the greylist band, and
+  // returns the verdict the transport should act on.
+  Evaluation Evaluate(util::Ipv4 client, const DialogFeatures& features,
+                      const std::string& mail_from, const std::string& rcpt,
+                      std::int64_t now_ns);
+
+  // History-only gate for transports with no dialog evidence (the
+  // simulation stack): DNSBL flag + decayed /24 bucket, no greylist.
+  Evaluation GateOnHistory(util::Ipv4 client, bool dnsbl_listed,
+                           std::int64_t now_ns);
+
+  // Post-hoc reinforcement from outcomes the gate could not see
+  // (delivered ham, bounce storms): adds `delta` to the /24 bucket.
+  void RecordOutcome(util::Ipv4 client, double delta, std::int64_t now_ns);
+
+  // Read-only decayed bucket value; 0 when absent/expired/dark.
+  double HistoryScore(util::Ipv4 client, std::int64_t now_ns);
+
+  // Top-N buckets by decayed score (admin endpoint / tests).
+  std::vector<BucketSnapshot> Snapshot(std::size_t top_n,
+                                       std::int64_t now_ns) const;
+  std::string SnapshotJson(std::size_t top_n, std::int64_t now_ns) const;
+
+  GreylistStore& greylist() { return greylist_; }
+  const RepStats& stats() const { return stats_; }
+  const RepConfig& config() const { return cfg_; }
+  std::size_t history_size() const;
+
+  // Publishes sams_rep_* metrics (live counters + size gauges).
+  void BindMetrics(obs::Registry& registry);
+
+ private:
+  struct Bucket {
+    double score = 0.0;
+    std::int64_t created_ns = 0;
+    std::int64_t updated_ns = 0;
+    std::uint64_t accepts = 0;
+    std::uint64_t greylists = 0;
+    std::uint64_t rejects = 0;
+    std::list<util::Prefix24>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<util::Prefix24, Bucket> map;
+    std::list<util::Prefix24> lru;  // front = most recently used
+  };
+
+  Shard& ShardFor(util::Prefix24 net) {
+    const std::uint64_t h = net.value() * 0x9E3779B97F4A7C15ULL;
+    return shards_[(h >> 32) & shard_mask_];
+  }
+  const Shard& ShardFor(util::Prefix24 net) const {
+    const std::uint64_t h = net.value() * 0x9E3779B97F4A7C15ULL;
+    return shards_[(h >> 32) & shard_mask_];
+  }
+
+  double DecayedScore(const Bucket& b, std::int64_t now_ns) const;
+
+  // Loads the decayed bucket value. Returns false when the store is
+  // dark (fault injected): the caller must treat the evaluation as
+  // degraded — score without history, write nothing back.
+  bool LoadHistory(util::Prefix24 net, std::int64_t now_ns, double* out);
+
+  // Applies `delta` (clamped) and bumps the per-verdict counter.
+  // Returns false (no-op) when the store is dark.
+  bool ReinforceBucket(util::Prefix24 net, double delta, Verdict verdict,
+                       std::int64_t now_ns);
+
+  double FeatureScore(const DialogFeatures& f) const;
+  Verdict VerdictFor(double score) const;
+
+  RepConfig cfg_;
+  std::size_t capacity_per_shard_;  // 0 = unbounded
+  std::size_t shard_mask_;
+  std::vector<Shard> shards_;
+  GreylistStore greylist_;
+  RepStats stats_;
+};
+
+}  // namespace sams::rep

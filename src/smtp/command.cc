@@ -1,5 +1,6 @@
 #include "smtp/command.h"
 
+#include "util/ipv4.h"
 #include "util/strings.h"
 
 namespace sams::smtp {
@@ -93,6 +94,52 @@ Command ParseCommand(std::string_view line) {
     cmd.argument = std::string(verb);
   }
   return cmd;
+}
+
+const char* HeloKindName(HeloKind kind) {
+  switch (kind) {
+    case HeloKind::kHostname: return "hostname";
+    case HeloKind::kAddressLiteral: return "address_literal";
+    case HeloKind::kBareIp: return "bare_ip";
+    case HeloKind::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+HeloKind ClassifyHeloArgument(std::string_view arg) {
+  if (arg.empty() || arg.size() > 255) return HeloKind::kMalformed;
+  // Control bytes and embedded whitespace are disqualifying no matter
+  // what shape the rest takes (ParseCommand trims only the edges).
+  for (char c : arg) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7f) return HeloKind::kMalformed;
+  }
+  if (arg.front() == '[' && arg.back() == ']') {
+    const std::string inner(arg.substr(1, arg.size() - 2));
+    return util::Ipv4::Parse(inner) ? HeloKind::kAddressLiteral
+                                    : HeloKind::kMalformed;
+  }
+  if (util::Ipv4::Parse(std::string(arg))) return HeloKind::kBareIp;
+  // Hostname: letters/digits/hyphens in dot-separated labels. Kept
+  // deliberately lenient (underscores occur in the wild) but a label
+  // may not be empty or start/end with '-'.
+  bool prev_dot = true;  // treat start-of-string like a label boundary
+  for (std::size_t i = 0; i < arg.size(); ++i) {
+    const char c = arg[i];
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_';
+    if (c == '.') {
+      if (prev_dot) return HeloKind::kMalformed;  // empty label
+      if (arg[i - 1] == '-') return HeloKind::kMalformed;
+      prev_dot = true;
+      continue;
+    }
+    if (!alnum && c != '-') return HeloKind::kMalformed;
+    if (c == '-' && prev_dot) return HeloKind::kMalformed;
+    prev_dot = false;
+  }
+  if (prev_dot || arg.back() == '-') return HeloKind::kMalformed;
+  return HeloKind::kHostname;
 }
 
 std::string HeloLine(const std::string& hostname) { return "HELO " + hostname + "\r\n"; }

@@ -39,6 +39,22 @@ struct Command {
 // garbage parses to Verb::kUnknown for a 500 reply.
 Command ParseCommand(std::string_view line);
 
+// Classification of a HELO/EHLO argument (RFC 5321 §4.1.1.1). The
+// hardened server validates the argument instead of storing wire
+// garbage, and the reputation scorer keys HELO anomaly features off
+// the same result: a naked IP where a hostname belongs is a classic
+// botnet tell, a malformed argument draws a 501.
+enum class HeloKind {
+  kHostname,        // plausible domain name
+  kAddressLiteral,  // "[1.2.3.4]" — RFC-legal
+  kBareIp,          // naked IP, accepted but scored as an anomaly
+  kMalformed,       // empty, overlong (>255), control bytes, embedded
+                    // whitespace, or invalid hostname characters
+};
+
+const char* HeloKindName(HeloKind kind);
+HeloKind ClassifyHeloArgument(std::string_view arg);
+
 // Serializers used by the client side.
 std::string HeloLine(const std::string& hostname);
 std::string EhloLine(const std::string& hostname);

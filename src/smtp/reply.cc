@@ -91,4 +91,9 @@ Reply BlacklistedReply(const std::string& client_ip, const std::string& zone) {
               zone};
 }
 
+Reply GreylistedReply() {
+  return {ReplyCode::kMailboxBusy,
+          "Greylisted, please try again later"};
+}
+
 }  // namespace sams::smtp

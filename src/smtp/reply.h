@@ -58,5 +58,8 @@ Reply TooManyRecipientsReply();
 Reply MessageTooBigReply();
 Reply HeloReply(const std::string& hostname);
 Reply BlacklistedReply(const std::string& client_ip, const std::string& zone);
+// 450: the reputation gate greylisted this (client, from, rcpt) triple;
+// a legitimate MTA queues and retries, a bot almost never does.
+Reply GreylistedReply();
 
 }  // namespace sams::smtp

@@ -60,6 +60,12 @@ void ServerSession::Feed(std::string_view bytes) {
   stats_.bytes_in += bytes.size();
   inbuf_.append(bytes);
   std::string_view rest = inbuf_;
+  // Tracks read-ahead inside this Feed call: a second complete command
+  // handled before the transport could possibly have delivered our
+  // reply means the client is pipelining — legal mid-stream, but a
+  // strong botnet tell during the pre-trust dialog, so it's counted
+  // for the reputation scorer. DATA content never passes through here.
+  bool handled_one = false;
   while (!rest.empty() && state_ != SessionState::kClosed &&
          !pause_requested_ && !rcpt_deferred_) {
     if (state_ == SessionState::kData) {
@@ -79,30 +85,52 @@ void ServerSession::Feed(std::string_view bytes) {
     std::string_view line = rest.substr(0, eol);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     rest.remove_prefix(eol + 1);
+    if (handled_one) ++stats_.pipelined_commands;
+    handled_one = true;
     HandleCommand(line);
   }
   inbuf_.erase(0, inbuf_.size() - rest.size());
 }
 
-void ServerSession::ResolveDeferredRcpt(bool accept) {
+void ServerSession::ResolveDeferredRcpt(RcptGateDecision decision) {
   if (!rcpt_deferred_) return;
   rcpt_deferred_ = false;
   if (peer_dead_ || state_ == SessionState::kClosed) return;
-  if (!accept) {
-    ++stats_.gate_rejects;
-    TraceStage(obs::Stage::kBounce);
-    Emit({ReplyCode::kTransactionFailed, "Error: client host blacklisted"});
-    TraceClose();
-    state_ = SessionState::kClosed;
-    return;
+  switch (decision) {
+    case RcptGateDecision::kReject:
+      ++stats_.gate_rejects;
+      TraceStage(obs::Stage::kBounce);
+      Emit({ReplyCode::kTransactionFailed, "Error: client host blacklisted"});
+      TraceClose();
+      state_ = SessionState::kClosed;
+      return;
+    case RcptGateDecision::kGreylist:
+      ++stats_.greylisted_rcpts;
+      ++greylisted_this_txn_;
+      Emit(GreylistedReply());
+      break;  // transaction stays in MAIL_GIVEN; client may retry/QUIT
+    case RcptGateDecision::kAccept:
+    case RcptGateDecision::kDefer:  // not a resolution; treated as accept
+      AcceptRcpt(deferred_rcpt_, true);
+      break;
   }
-  Emit(OkReply());
-  if (!peer_dead_ && hooks_.on_first_valid_rcpt) hooks_.on_first_valid_rcpt();
   // Anything the client pipelined while the verdict was pending is
   // still buffered; resume parsing it (unless delegation paused us or
   // the emit discovered a dead peer).
   if (!pause_requested_ && !peer_dead_ && state_ != SessionState::kClosed) {
     Feed({});
+  }
+}
+
+void ServerSession::AcceptRcpt(const Address& addr, bool first) {
+  ++stats_.accepted_rcpts;
+  rcpts_.push_back(addr);
+  state_ = SessionState::kRcptGiven;
+  Emit(OkReply());
+  // A dead peer must not trigger delegation: the master would ship an
+  // already-closed session to a worker.
+  if (first && !peer_dead_ && hooks_.on_first_valid_rcpt) {
+    hooks_.on_first_valid_rcpt();
   }
 }
 
@@ -152,6 +180,7 @@ void ServerSession::ResetTransaction() {
   mail_from_ = Path();
   rcpts_.clear();
   rejected_this_txn_ = 0;
+  greylisted_this_txn_ = 0;
   decoder_.Reset();
   oversized_ = false;
 }
@@ -162,26 +191,36 @@ void ServerSession::HandleCommand(std::string_view line) {
 
   switch (cmd.verb) {
     case Verb::kHelo:
-    case Verb::kEhlo:
-      if (cmd.argument.empty()) {
+    case Verb::kEhlo: {
+      // Validate instead of storing wire garbage (RFC 5321 §4.1.1.1):
+      // empty, overlong, control bytes or embedded whitespace draw a
+      // 501. A bare IP or address literal passes but its kind is kept
+      // for the reputation scorer's HELO anomaly feature.
+      const HeloKind kind = ClassifyHeloArgument(cmd.argument);
+      if (kind == HeloKind::kMalformed) {
         ++stats_.syntax_errors;
-        Emit(ParamSyntaxErrorReply("HELO hostname required"));
+        ++stats_.helo_rejects;
+        Emit(ParamSyntaxErrorReply("HELO requires a valid hostname"));
         return;
       }
       helo_ = cmd.argument;
+      helo_kind_ = kind;
       ResetTransaction();
       TraceStage(obs::Stage::kHelo);
       state_ = SessionState::kGreeted;
       Emit(HeloReply(cfg_.hostname));
       return;
+    }
 
     case Verb::kMail:
       if (cfg_.require_helo && state_ == SessionState::kConnected) {
+        ++stats_.bad_sequence;
         Emit(BadSequenceReply("send HELO/EHLO first"));
         return;
       }
       if (state_ == SessionState::kMailGiven ||
           state_ == SessionState::kRcptGiven) {
+        ++stats_.bad_sequence;
         Emit(BadSequenceReply("nested MAIL command"));
         return;
       }
@@ -199,6 +238,7 @@ void ServerSession::HandleCommand(std::string_view line) {
     case Verb::kRcpt: {
       if (state_ != SessionState::kMailGiven &&
           state_ != SessionState::kRcptGiven) {
+        ++stats_.bad_sequence;
         Emit(BadSequenceReply("need MAIL command first"));
         return;
       }
@@ -218,13 +258,14 @@ void ServerSession::HandleCommand(std::string_view line) {
         Emit(UserUnknownReply(addr.ToString()));
         return;
       }
-      ++stats_.accepted_rcpts;
-      rcpts_.push_back(addr);
       const bool first = state_ != SessionState::kRcptGiven;
       if (first) TraceStage(obs::Stage::kRcpt);
-      state_ = SessionState::kRcptGiven;
+      // The pre-trust policy gate (§4.3 placement) runs on the first
+      // VALID recipient, before any acceptance bookkeeping: a rejected
+      // or greylisted recipient is never recorded, and a deferred one
+      // is parked in deferred_rcpt_ until the verdict lands.
       if (first && !peer_dead_ && hooks_.first_rcpt_gate) {
-        switch (hooks_.first_rcpt_gate(client_ip_)) {
+        switch (hooks_.first_rcpt_gate(client_ip_, addr)) {
           case RcptGateDecision::kAccept:
             break;
           case RcptGateDecision::kReject:
@@ -235,20 +276,23 @@ void ServerSession::HandleCommand(std::string_view line) {
             TraceClose();
             state_ = SessionState::kClosed;
             return;
+          case RcptGateDecision::kGreylist:
+            // 450: not taken this time, transaction stays open so a
+            // well-behaved MTA can retry after its queue delay.
+            ++stats_.greylisted_rcpts;
+            ++greylisted_this_txn_;
+            Emit(GreylistedReply());
+            return;
           case RcptGateDecision::kDefer:
             // The 250 is parked until ResolveDeferredRcpt; Feed stops
             // consuming so pipelined bytes wait in inbuf_.
             ++stats_.deferred_rcpts;
             rcpt_deferred_ = true;
+            deferred_rcpt_ = addr;
             return;
         }
       }
-      Emit(OkReply());
-      // A dead peer must not trigger delegation: the master would ship
-      // an already-closed session to a worker.
-      if (first && !peer_dead_ && hooks_.on_first_valid_rcpt) {
-        hooks_.on_first_valid_rcpt();
-      }
+      AcceptRcpt(addr, first);
       return;
     }
 
@@ -258,7 +302,15 @@ void ServerSession::HandleCommand(std::string_view line) {
           // All RCPTs bounced: postfix answers 554 here.
           TraceStage(obs::Stage::kBounce);
           Emit({ReplyCode::kTransactionFailed, "Error: no valid recipients"});
+        } else if (state_ == SessionState::kMailGiven &&
+                   greylisted_this_txn_ > 0) {
+          // Every recipient was greylisted (450): the failure must stay
+          // transient or the client MTA would bounce mail we merely
+          // asked it to retry.
+          Emit({ReplyCode::kLocalError,
+                "Error: no recipients accepted yet, try again later"});
         } else {
+          ++stats_.bad_sequence;
           Emit(BadSequenceReply("need RCPT command first"));
         }
         return;
@@ -347,6 +399,7 @@ util::Result<ServerSession> ServerSession::ResumeFromHandoff(
       have_ip = true;
     } else if (key == "helo") {
       session.helo_ = std::string(value);
+      session.helo_kind_ = ClassifyHeloArgument(value);
     } else if (key == "from") {
       auto path = Path::Parse(value);
       if (!path) return util::ProtocolError("handoff payload: bad from path");

@@ -62,9 +62,13 @@ const char* SessionStateName(SessionState state);
 struct SessionStats {
   std::uint64_t commands = 0;
   std::uint64_t syntax_errors = 0;
+  std::uint64_t bad_sequence = 0;     // 503s: out-of-order commands
+  std::uint64_t pipelined_commands = 0;  // commands sent ahead of replies
+  std::uint64_t helo_rejects = 0;     // 501s from HELO argument validation
   std::uint64_t accepted_rcpts = 0;
   std::uint64_t rejected_rcpts = 0;  // 550 bounces (§4.1)
   std::uint64_t gate_rejects = 0;    // 554 at RCPT (client blacklisted)
+  std::uint64_t greylisted_rcpts = 0;  // 450s from the reputation gate
   std::uint64_t deferred_rcpts = 0;  // RCPT replies parked on the gate
   std::uint64_t content_rejects = 0;  // 554 after DATA (body tests)
   std::uint64_t line_overflows = 0;   // 500 after DATA (line too long)
@@ -79,8 +83,9 @@ struct SessionStats {
 // reply is then withheld until ResolveDeferredRcpt.
 enum class RcptGateDecision {
   kAccept,
-  kReject,  // 554, session closes: client host is blacklisted
-  kDefer,   // no reply yet; transport resolves asynchronously
+  kReject,    // 554, session closes: client host is blacklisted
+  kGreylist,  // 450, recipient not taken; the transaction continues
+  kDefer,     // no reply yet; transport resolves asynchronously
 };
 
 class ServerSession {
@@ -110,8 +115,11 @@ class ServerSession {
     // its 250 is emitted (and before on_first_valid_rcpt). This is the
     // paper's §4.3 placement: the DNSBL verdict gates trust, so a
     // blacklisted client is turned away with 554 without ever reaching
-    // fork/delegation. Optional; absent means kAccept.
-    std::function<RcptGateDecision(const std::string& client_ip)>
+    // fork/delegation. The validated recipient rides along so a
+    // reputation gate can key its greylist triple (client, sender,
+    // recipient). Optional; absent means kAccept.
+    std::function<RcptGateDecision(const std::string& client_ip,
+                                   const Address& rcpt)>
         first_rcpt_gate;
   };
 
@@ -154,14 +162,26 @@ class ServerSession {
   bool rcpt_deferred() const { return rcpt_deferred_; }
 
   // Delivers the asynchronous gate verdict for a deferred first RCPT:
-  // accept emits the parked 250 and fires on_first_valid_rcpt, then
-  // resumes parsing any bytes the client pipelined meanwhile; reject
-  // emits 554 and closes the session. No-op unless rcpt_deferred().
-  void ResolveDeferredRcpt(bool accept);
+  // kAccept records the recipient, emits the parked 250 and fires
+  // on_first_valid_rcpt, then resumes parsing any bytes the client
+  // pipelined meanwhile; kReject emits 554 and closes the session;
+  // kGreylist emits 450, drops the recipient and returns the
+  // transaction to MAIL_GIVEN. (kDefer is not a resolution and is
+  // treated as kAccept.) No-op unless rcpt_deferred().
+  void ResolveDeferredRcpt(RcptGateDecision decision);
+  void ResolveDeferredRcpt(bool accept) {
+    ResolveDeferredRcpt(accept ? RcptGateDecision::kAccept
+                               : RcptGateDecision::kReject);
+  }
 
   SessionState state() const { return state_; }
   const SessionStats& stats() const { return stats_; }
   const std::string& client_ip() const { return client_ip_; }
+
+  // HELO argument as accepted (empty before HELO) and its
+  // classification — the reputation scorer's HELO anomaly features.
+  const std::string& helo() const { return helo_; }
+  HeloKind helo_kind() const { return helo_kind_; }
 
   // True once a send hook reported the peer dead; the session is
   // kClosed and every later Emit is suppressed.
@@ -170,6 +190,10 @@ class ServerSession {
   // Pending (accepted) envelope of the in-progress transaction.
   const Path& mail_from() const { return mail_from_; }
   const std::vector<Address>& rcpt_to() const { return rcpts_; }
+  // Recipient parked on a kDefer gate verdict (valid while
+  // rcpt_deferred()); the async resolver re-keys its greylist triple
+  // off this when the verdict finally lands.
+  const Address& deferred_rcpt() const { return deferred_rcpt_; }
 
   // --- fork-after-trust handoff -------------------------------------
   // Serializes the in-progress transaction (valid only in state
@@ -212,6 +236,9 @@ class ServerSession {
   void HandleCommand(std::string_view line);
   void HandleDataBytes(std::string_view* bytes);
   void ResetTransaction();
+  // Books a validated first/subsequent RCPT: stats, list, 250, and (on
+  // the first) the delegation trigger.
+  void AcceptRcpt(const Address& addr, bool first);
 
   void TraceStage(obs::Stage stage) {
     if (span_.attached() && !trace_closed_) {
@@ -239,9 +266,12 @@ class ServerSession {
 
   SessionState state_ = SessionState::kConnected;
   std::string helo_;
+  HeloKind helo_kind_ = HeloKind::kMalformed;  // until HELO accepted
   Path mail_from_;
   std::vector<Address> rcpts_;
+  Address deferred_rcpt_;  // parked on a kDefer gate verdict
   std::uint64_t rejected_this_txn_ = 0;
+  std::uint64_t greylisted_this_txn_ = 0;
 
   std::string inbuf_;
   DotStuffDecoder decoder_;

@@ -1,0 +1,161 @@
+// GreylistStore unit tests: the postgrey-style triple state machine
+// (new → too-early → pass → whitelisted → expired), per-component
+// triple identity, the LRU bound, and cross-thread coherence on one
+// shared store. Clock-agnostic: every Check takes explicit now_ns.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rep/greylist.h"
+#include "util/ipv4.h"
+
+namespace sams::rep {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000LL;
+
+util::Prefix24 Net(std::uint8_t c) {
+  return util::Prefix24(util::Ipv4(10, 0, c, 0));
+}
+
+GreylistConfig TestConfig() {
+  GreylistConfig cfg;
+  cfg.min_retry_ns = 60 * kSecond;
+  cfg.max_window_ns = 3600 * kSecond;
+  cfg.pass_ttl_ns = 7200 * kSecond;
+  return cfg;
+}
+
+TEST(GreylistStoreTest, FirstSightingDefers) {
+  GreylistStore store(TestConfig());
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", kSecond),
+            GreylistOutcome::kNew);
+  EXPECT_TRUE(GreylistDefers(GreylistOutcome::kNew));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().first_sightings.load(), 1u);
+}
+
+TEST(GreylistStoreTest, RetryBeforeMinRetryDefersAgain) {
+  GreylistStore store(TestConfig());
+  store.Check(Net(0), "a@b.test", "c@d.test", kSecond);
+  // A bot hammering the triple two seconds later is not a queue run.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 3 * kSecond),
+            GreylistOutcome::kTooEarly);
+  // Hammering must not push the window forward: a retry measured from
+  // the FIRST sighting still passes.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 62 * kSecond),
+            GreylistOutcome::kPass);
+}
+
+TEST(GreylistStoreTest, RetryInsideWindowPassesThenWhitelists) {
+  GreylistStore store(TestConfig());
+  store.Check(Net(0), "a@b.test", "c@d.test", kSecond);
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 300 * kSecond),
+            GreylistOutcome::kPass);
+  EXPECT_FALSE(GreylistDefers(GreylistOutcome::kPass));
+  // Every later sighting inside pass_ttl rides the whitelist.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 301 * kSecond),
+            GreylistOutcome::kWhitelisted);
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 7000 * kSecond),
+            GreylistOutcome::kWhitelisted);
+}
+
+TEST(GreylistStoreTest, RetryAfterWindowRestartsTheCycle) {
+  GreylistStore store(TestConfig());
+  store.Check(Net(0), "a@b.test", "c@d.test", kSecond);
+  // 2 h later: outside max_window, the first sighting went stale.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 7200 * kSecond),
+            GreylistOutcome::kExpired);
+  EXPECT_TRUE(GreylistDefers(GreylistOutcome::kExpired));
+  // The expired sighting re-seeded the cycle: an in-window retry from
+  // that point passes.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 7300 * kSecond),
+            GreylistOutcome::kPass);
+}
+
+TEST(GreylistStoreTest, WhitelistTtlRunsOut) {
+  GreylistStore store(TestConfig());
+  store.Check(Net(0), "a@b.test", "c@d.test", kSecond);
+  store.Check(Net(0), "a@b.test", "c@d.test", 300 * kSecond);  // kPass
+  // pass_ttl runs from the pass (expires at 300 + 7200): still inside.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 7000 * kSecond),
+            GreylistOutcome::kWhitelisted);
+  // Past the whitelist's end: back to square one.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 8000 * kSecond),
+            GreylistOutcome::kExpired);
+}
+
+TEST(GreylistStoreTest, TripleComponentsAreIndependent) {
+  GreylistStore store(TestConfig());
+  store.Check(Net(0), "a@b.test", "c@d.test", kSecond);
+  // Change any one component and it is a different triple.
+  EXPECT_EQ(store.Check(Net(1), "a@b.test", "c@d.test", kSecond),
+            GreylistOutcome::kNew);
+  EXPECT_EQ(store.Check(Net(0), "x@b.test", "c@d.test", kSecond),
+            GreylistOutcome::kNew);
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "y@d.test", kSecond),
+            GreylistOutcome::kNew);
+  EXPECT_EQ(store.size(), 4u);
+  // Hosts inside one /24 share the triple (bots rotate last octets).
+  EXPECT_EQ(store.Check(util::Prefix24(util::Ipv4(10, 0, 0, 77)), "a@b.test",
+                        "c@d.test", 2 * kSecond),
+            GreylistOutcome::kTooEarly);
+}
+
+TEST(GreylistStoreTest, CapacityBoundEvictsLru) {
+  GreylistConfig cfg = TestConfig();
+  cfg.capacity = 4;
+  cfg.lock_shards = 1;
+  GreylistStore store(cfg);
+  for (int i = 0; i < 8; ++i) {
+    store.Check(Net(static_cast<std::uint8_t>(i)), "a@b.test", "c@d.test",
+                kSecond);
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.stats().evictions.load(), 4u);
+  // An evicted triple's retry reads as new — it defers again, which is
+  // the safe failure direction for a bounded store.
+  EXPECT_EQ(store.Check(Net(0), "a@b.test", "c@d.test", 300 * kSecond),
+            GreylistOutcome::kNew);
+}
+
+TEST(GreylistStoreTest, ConcurrentChecksStaySane) {
+  // Shards race on the same triple: exactly one thread may win the
+  // first sighting, and counters must balance (TSan via the `threads`
+  // ctest label).
+  GreylistStore store(TestConfig());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::vector<std::vector<GreylistOutcome>> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &outcomes, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        outcomes[t].push_back(store.Check(
+            Net(static_cast<std::uint8_t>(i % 16)), "a@b.test", "c@d.test",
+            kSecond + i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  std::uint64_t news = 0;
+  for (const auto& per_thread : outcomes) {
+    for (GreylistOutcome o : per_thread) {
+      if (o == GreylistOutcome::kNew) ++news;
+    }
+  }
+  // 16 distinct triples → exactly 16 first sightings across all
+  // threads; everything else inside the min_retry window is too-early.
+  EXPECT_EQ(news, 16u);
+  EXPECT_EQ(store.size(), 16u);
+  EXPECT_EQ(store.stats().checks.load(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(store.stats().first_sightings.load() +
+                store.stats().too_early.load(),
+            store.stats().checks.load());
+}
+
+}  // namespace
+}  // namespace sams::rep

@@ -1,0 +1,365 @@
+// End-to-end tests of the pre-trust reputation gate on the REAL server
+// over loopback TCP: greylist 450s and retry windows through the RCPT
+// gate, deferred-RCPT resolution racing a slow async DNSBL verdict,
+// and the scored (non-reaping) pregreet mode with its per-shard
+// counters and event-log records.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dnsbl/blacklist_db.h"
+#include "dnsbl/udp_daemon.h"
+#include "mta/smtp_server.h"
+#include "net/smtp_client.h"
+#include "net/tcp.h"
+#include "obs/event_log.h"
+#include "util/fd.h"
+#include "util/ipv4.h"
+
+namespace sams::mta {
+namespace {
+
+using dnsbl::BlacklistDb;
+using dnsbl::UdpDnsblDaemon;
+using util::Ipv4;
+
+constexpr std::int64_t kMs = 1'000'000LL;
+
+bool EventuallyTrue(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 200; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+struct CapturedLog {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+  std::function<void(const std::string&)> Sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mutex);
+      lines.push_back(line);
+    };
+  }
+  bool AnyContains(const std::string& needle) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& line : lines) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+// One raw SMTP exchange up to the first RCPT reply. SendMail treats a
+// 450 as fatal for the job, so the deferral tests speak wire protocol
+// directly and read exactly the reply they care about.
+class RawClient {
+ public:
+  bool Connect(std::uint16_t port) {
+    auto fd = net::TcpConnect("127.0.0.1", port);
+    if (!fd.ok()) return false;
+    fd_ = std::move(*fd);
+    return net::SetRecvTimeout(fd_.get(), 5'000).ok();
+  }
+  std::string ReadLine() {
+    std::string line;
+    char ch = 0;
+    while (line.size() < 512 && ::read(fd_.get(), &ch, 1) == 1) {
+      if (ch == '\n') return line;
+      if (ch != '\r') line.push_back(ch);
+    }
+    return "read failed";
+  }
+  bool Send(const std::string& bytes) {
+    return ::write(fd_.get(), bytes.data(), bytes.size()) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+  // banner → HELO → MAIL → RCPT; returns the RCPT reply line.
+  std::string RcptReply(std::uint16_t port) {
+    if (!Connect(port)) return "connect failed";
+    (void)ReadLine();  // banner
+    if (!Send("HELO client.test\r\n")) return "send failed";
+    (void)ReadLine();
+    if (!Send("MAIL FROM:<a@client.test>\r\n")) return "send failed";
+    (void)ReadLine();
+    if (!Send("RCPT TO:<alice@dept.test>\r\n")) return "send failed";
+    return ReadLine();
+  }
+  void Quit() {
+    if (fd_.get() >= 0) (void)Send("QUIT\r\n");
+    fd_.Reset();
+  }
+
+ private:
+  util::UniqueFd fd_;
+};
+
+class RepServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/rep_srv_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override {
+    if (server_) server_->Stop();
+    server_.reset();
+    store_.reset();
+    if (daemon_) daemon_->Stop();
+    daemon_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  // Starts a DNSBL daemon that lists 198.51.100.7 and answers after
+  // `delay_ms` — long enough for the dialog to outrun the verdict.
+  void StartSlowDnsbl(int delay_ms) {
+    db_.Add(Ipv4(198, 51, 100, 7), 2);
+    daemon_ = std::make_unique<UdpDnsblDaemon>("rep.bl.test", db_,
+                                               /*ttl_seconds=*/24 * 3600,
+                                               delay_ms);
+    auto port = daemon_->Start();
+    ASSERT_TRUE(port.ok());
+    dns_port_ = *port;
+  }
+
+  // Starts the server with the reputation gate on; every accepted
+  // connection poses as `client_ip` (the loopback peer would otherwise
+  // put every test in 127.0.0.0/24).
+  void StartServer(rep::RepConfig rep, Ipv4 client_ip,
+                   int pregreet_delay_ms = 0) {
+    auto store = mfs::MakeMfsStore(root_, {});
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    RecipientDb recipients;
+    recipients.AddMailbox("alice", "dept.test");
+    RealServerConfig cfg;
+    cfg.architecture = Architecture::kForkAfterTrust;
+    cfg.worker_count = 1;
+    cfg.num_shards = 1;
+    cfg.recv_timeout_ms = 5'000;
+    cfg.pregreet_delay_ms = pregreet_delay_ms;
+    rep.enabled = true;
+    cfg.reputation = rep;
+    if (daemon_) {
+      cfg.dnsbl.enabled = true;
+      cfg.dnsbl.zones = {{"rep.bl.test", dns_port_}};
+      cfg.dnsbl_overlap = true;
+    }
+    cfg.dnsbl_ip_mapper = [client_ip](const std::string&) { return client_ip; };
+    server_ = std::make_unique<SmtpServer>(cfg, std::move(recipients), *store_);
+    server_->BindEventLog(&event_log_);
+    auto bound = server_->Start();
+    ASSERT_TRUE(bound.ok()) << bound.error().ToString();
+    port_ = *bound;
+  }
+
+  static smtp::MailJob Job() {
+    smtp::MailJob job;
+    job.helo = "client.test";
+    job.mail_from = *smtp::Path::Parse("<a@client.test>");
+    job.rcpts.push_back(*smtp::Path::Parse("<alice@dept.test>"));
+    job.body = "hello\n";
+    return job;
+  }
+
+  BlacklistDb db_;
+  std::unique_ptr<UdpDnsblDaemon> daemon_;
+  std::uint16_t dns_port_ = 0;
+  std::string root_;
+  std::unique_ptr<mfs::MailStore> store_;
+  std::unique_ptr<SmtpServer> server_;
+  std::uint16_t port_ = 0;
+  CapturedLog captured_;
+  obs::EventLog event_log_{[this] {
+    obs::EventLog::Options opts;
+    opts.sink = captured_.Sink();
+    return opts;
+  }()};
+};
+
+TEST_F(RepServerTest, GreylistDefersThenInWindowRetryDelivers) {
+  rep::RepConfig rep;
+  rep.greylist_threshold = 0.0;  // every dialog lands in the band
+  rep.greylist.min_retry_ns = 50 * kMs;
+  StartServer(rep, Ipv4(203, 0, 113, 9));
+
+  // First sighting of the triple: 450, transaction stays open.
+  RawClient first;
+  const std::string reply = first.RcptReply(port_);
+  EXPECT_EQ(reply.substr(0, 3), "450") << reply;
+  first.Quit();
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server_->stats().rep_greylisted.load() == 1u; }));
+  EXPECT_EQ(server_->stats().mails_delivered.load(), 0u);
+
+  // The legitimate-MTA move: come back after the retry floor with the
+  // same (net, from, rcpt) triple — promoted, accepted, delivered.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  auto result = net::SendMail("127.0.0.1", port_, Job());
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, smtp::ClientOutcome::kDelivered);
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server_->stats().mails_delivered.load() == 1u; }));
+  ASSERT_NE(server_->reputation_engine(), nullptr);
+  EXPECT_EQ(server_->reputation_engine()->greylist().stats().passes.load(), 1u);
+  // The 450 session's outcome made the event log as "greylisted".
+  server_->Stop();
+  EXPECT_TRUE(captured_.AnyContains("\"verdict\":\"greylisted\""));
+}
+
+TEST_F(RepServerTest, TooEarlyRetryIsRedeferred) {
+  rep::RepConfig rep;
+  rep.greylist_threshold = 0.0;
+  rep.greylist.min_retry_ns = 60'000 * kMs;  // 60 s floor
+  StartServer(rep, Ipv4(203, 0, 113, 10));
+
+  RawClient first;
+  EXPECT_EQ(first.RcptReply(port_).substr(0, 3), "450");
+  first.Quit();
+  // A bot hammering the same triple right away is not a queue run.
+  RawClient second;
+  EXPECT_EQ(second.RcptReply(port_).substr(0, 3), "450");
+  second.Quit();
+  ASSERT_NE(server_->reputation_engine(), nullptr);
+  const auto& gl = server_->reputation_engine()->greylist().stats();
+  EXPECT_EQ(gl.first_sightings.load(), 1u);
+  EXPECT_EQ(gl.too_early.load(), 1u);
+  EXPECT_EQ(server_->stats().mails_delivered.load(), 0u);
+}
+
+TEST_F(RepServerTest, OutOfWindowRetryRestartsTheCycle) {
+  rep::RepConfig rep;
+  rep.greylist_threshold = 0.0;
+  rep.greylist.min_retry_ns = 0;
+  rep.greylist.max_window_ns = 100 * kMs;
+  StartServer(rep, Ipv4(203, 0, 113, 11));
+
+  RawClient first;
+  EXPECT_EQ(first.RcptReply(port_).substr(0, 3), "450");
+  first.Quit();
+  // Miss the window entirely: the retry is re-deferred (kExpired) and
+  // re-seeds the cycle...
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  RawClient late;
+  EXPECT_EQ(late.RcptReply(port_).substr(0, 3), "450");
+  late.Quit();
+  ASSERT_NE(server_->reputation_engine(), nullptr);
+  EXPECT_EQ(
+      server_->reputation_engine()->greylist().stats().expirations.load(), 1u);
+  // ...so an in-window retry from the re-seed passes.
+  auto result = net::SendMail("127.0.0.1", port_, Job());
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->outcome, smtp::ClientOutcome::kDelivered);
+}
+
+TEST_F(RepServerTest, LateDnsblVerdictResolvesDeferredRcptToReject) {
+  // The verdict is 150 ms out; the loopback dialog reaches RCPT in a
+  // few ms, so the RCPT parks and the reply is written by the async
+  // resolution path — through the same weighted gate.
+  StartSlowDnsbl(/*delay_ms=*/150);
+  StartServer(rep::RepConfig{}, Ipv4(198, 51, 100, 7));  // listed
+
+  RawClient client;
+  const std::string reply = client.RcptReply(port_);
+  EXPECT_EQ(reply.substr(0, 3), "554") << reply;
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server_->stats().rep_rejects.load() == 1u; }));
+  // The reject is attributed to both judges: the score folded the
+  // DNSBL verdict in.
+  EXPECT_EQ(server_->stats().dnsbl_rejects.load(), 1u);
+  EXPECT_EQ(server_->stats().mails_delivered.load(), 0u);
+}
+
+TEST_F(RepServerTest, LateVerdictOnCleanClientResolvesToGreylist) {
+  // Same race, clean client, greylist band at 0: the parked RCPT must
+  // resolve to a 450 deferral — not an accept, not a close.
+  StartSlowDnsbl(/*delay_ms=*/150);
+  rep::RepConfig rep;
+  rep.greylist_threshold = 0.0;
+  StartServer(rep, Ipv4(198, 51, 100, 99));  // not listed
+
+  RawClient client;
+  const std::string reply = client.RcptReply(port_);
+  EXPECT_EQ(reply.substr(0, 3), "450") << reply;
+  // The dialog continues after the deferral: QUIT still draws 221.
+  ASSERT_TRUE(client.Send("QUIT\r\n"));
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "221");
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server_->stats().rep_greylisted.load() == 1u; }));
+  EXPECT_EQ(server_->stats().rep_rejects.load(), 0u);
+}
+
+TEST_F(RepServerTest, PregreetIsScoredNotReapedUnderReputation) {
+  rep::RepConfig rep;
+  rep.reject_threshold = 3.0;  // pregreet alone (3.0) clears it
+  StartServer(rep, Ipv4(203, 0, 113, 12), /*pregreet_delay_ms=*/150);
+
+  // Blast the whole dialog before the banner. In scored mode the
+  // session survives to the RCPT gate, where the violation is spent.
+  RawClient client;
+  ASSERT_TRUE(client.Connect(port_));
+  ASSERT_TRUE(client.Send(
+      "HELO bot\r\nMAIL FROM:<a@client.test>\r\nRCPT TO:<alice@dept.test>\r\n"));
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "220");  // late banner, not 554
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "250");  // HELO
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "250");  // MAIL
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "554");  // the gate, not the reap
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server_->stats().rep_rejects.load() == 1u; }));
+  EXPECT_EQ(server_->stats().pregreet_scored.load(), 1u);
+  EXPECT_EQ(server_->stats().pregreet_rejects.load(), 0u);
+  const std::vector<std::uint64_t> per_shard = server_->ShardPregreets();
+  ASSERT_EQ(per_shard.size(), 1u);
+  EXPECT_EQ(per_shard[0], 1u);
+  server_->Stop();
+  EXPECT_TRUE(captured_.AnyContains("\"event\":\"pregreet\""));
+  EXPECT_TRUE(captured_.AnyContains("\"action\":\"scored\""));
+}
+
+TEST_F(RepServerTest, LegacyPregreetStillReapsAndLogs) {
+  // Without the engine the postscreen behaviour is unchanged — but the
+  // event now lands in the log and the per-shard counter (satellite of
+  // the silently-closing era).
+  auto store = mfs::MakeMfsStore(root_, {});
+  ASSERT_TRUE(store.ok());
+  store_ = std::move(*store);
+  RecipientDb recipients;
+  recipients.AddMailbox("alice", "dept.test");
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.worker_count = 1;
+  cfg.num_shards = 1;
+  cfg.recv_timeout_ms = 5'000;
+  cfg.pregreet_delay_ms = 150;
+  server_ = std::make_unique<SmtpServer>(cfg, std::move(recipients), *store_);
+  server_->BindEventLog(&event_log_);
+  auto bound = server_->Start();
+  ASSERT_TRUE(bound.ok());
+  port_ = *bound;
+
+  RawClient client;
+  ASSERT_TRUE(client.Connect(port_));
+  ASSERT_TRUE(client.Send("HELO bot\r\n"));
+  EXPECT_EQ(client.ReadLine().substr(0, 3), "554");
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server_->stats().pregreet_rejects.load() == 1u; }));
+  const std::vector<std::uint64_t> per_shard = server_->ShardPregreets();
+  ASSERT_EQ(per_shard.size(), 1u);
+  EXPECT_EQ(per_shard[0], 1u);
+  server_->Stop();
+  EXPECT_TRUE(captured_.AnyContains("\"event\":\"pregreet\""));
+  EXPECT_TRUE(captured_.AnyContains("\"action\":\"rejected\""));
+}
+
+}  // namespace
+}  // namespace sams::mta

@@ -1,0 +1,312 @@
+// ReputationEngine unit tests: feature scoring, /24 history dynamics
+// (decay, TTL, clamp, LRU), greylist-band handoff, snapshots, and the
+// fail-open posture of the rep.store.* fault points. The engine is
+// clock-agnostic, so every test drives it on a hand-rolled nanosecond
+// clock — no sleeps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.h"
+#include "rep/reputation.h"
+#include "util/ipv4.h"
+
+namespace sams::rep {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000LL;
+
+util::Ipv4 Ip(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  return util::Ipv4(a, b, c, d);
+}
+
+RepConfig TestConfig() {
+  RepConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+Evaluation Eval(ReputationEngine& engine, util::Ipv4 client,
+                const DialogFeatures& f, std::int64_t now_ns,
+                const std::string& rcpt = "rcpt@example.test") {
+  return engine.Evaluate(client, f, "sender@remote.test", rcpt, now_ns);
+}
+
+TEST(ReputationEngineTest, CleanDialogAccepted) {
+  ReputationEngine engine(TestConfig());
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), {}, kSecond);
+  EXPECT_EQ(ev.verdict, Verdict::kAccept);
+  EXPECT_DOUBLE_EQ(ev.score, 0.0);
+  EXPECT_FALSE(ev.degraded);
+  EXPECT_FALSE(ev.greylist_consulted);
+  // Accept with no prior bucket must not materialize one: ham credit
+  // alone never creates state.
+  EXPECT_EQ(engine.history_size(), 0u);
+}
+
+TEST(ReputationEngineTest, DnsblListedAloneRejects) {
+  // Calibration anchor: a listed host must clear reject_threshold on
+  // the DNSBL weight alone, so PR-5's binary gate is a subset.
+  ReputationEngine engine(TestConfig());
+  DialogFeatures f;
+  f.dnsbl_listed = true;
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), f, kSecond);
+  EXPECT_EQ(ev.verdict, Verdict::kReject);
+  EXPECT_GE(ev.score, engine.config().reject_threshold);
+}
+
+TEST(ReputationEngineTest, OneSoftAnomalyAloneAccepts) {
+  // The other calibration anchor: sloppy-but-legitimate senders (one
+  // bare-IP HELO, one syntax slip) pass untouched.
+  ReputationEngine engine(TestConfig());
+  DialogFeatures bare_ip;
+  bare_ip.helo_bare_ip = true;
+  EXPECT_EQ(Eval(engine, Ip(10, 0, 0, 1), bare_ip, kSecond).verdict,
+            Verdict::kAccept);
+  DialogFeatures one_typo;
+  one_typo.syntax_errors = 1;
+  EXPECT_EQ(Eval(engine, Ip(10, 0, 1, 1), one_typo, kSecond).verdict,
+            Verdict::kAccept);
+}
+
+TEST(ReputationEngineTest, StackedAnomaliesLandInGreylistBand) {
+  ReputationEngine engine(TestConfig());
+  DialogFeatures f;
+  f.helo_malformed = true;  // 1.5
+  f.pipelined = 3;          // +1.5 (flag, not per-command)
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), f, kSecond);
+  EXPECT_EQ(ev.verdict, Verdict::kGreylist);
+  EXPECT_TRUE(ev.greylist_consulted);
+  EXPECT_EQ(ev.greylist, GreylistOutcome::kNew);
+}
+
+TEST(ReputationEngineTest, MalformedHeloSubsumesBareIp) {
+  ReputationEngine engine(TestConfig());
+  DialogFeatures f;
+  f.helo_malformed = true;
+  f.helo_bare_ip = true;
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), f, kSecond);
+  // The two HELO terms never stack: 1.5, not 2.5.
+  EXPECT_DOUBLE_EQ(ev.score, engine.config().weights.helo_malformed);
+}
+
+TEST(ReputationEngineTest, ErrorTermsAreCapped) {
+  ReputationEngine engine(TestConfig());
+  DialogFeatures f;
+  f.syntax_errors = 40;  // uncapped would be 20.0 — deep into reject
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), f, kSecond);
+  EXPECT_DOUBLE_EQ(ev.score, engine.config().weights.error_cap);
+  EXPECT_EQ(ev.verdict, Verdict::kGreylist);  // capped at the band edge
+}
+
+TEST(ReputationEngineTest, FastTalkerNeedsOptIn) {
+  DialogFeatures f;
+  f.min_cmd_gap_ns = 1000;  // answered the banner in a microsecond
+  {
+    ReputationEngine engine(TestConfig());  // min_cmd_gap_ns = 0: off
+    EXPECT_DOUBLE_EQ(Eval(engine, Ip(10, 0, 0, 1), f, kSecond).score, 0.0);
+  }
+  RepConfig cfg = TestConfig();
+  cfg.min_cmd_gap_ns = 50'000'000;  // 50 ms floor
+  ReputationEngine engine(cfg);
+  EXPECT_DOUBLE_EQ(Eval(engine, Ip(10, 0, 0, 1), f, kSecond).score,
+                   cfg.weights.fast_talker);
+  DialogFeatures unknown;  // gap never measured: -1 must not trip it
+  EXPECT_DOUBLE_EQ(Eval(engine, Ip(10, 0, 1, 1), unknown, kSecond).score, 0.0);
+}
+
+TEST(ReputationEngineTest, RejectsReinforceTheSlash24) {
+  ReputationEngine engine(TestConfig());
+  DialogFeatures listed;
+  listed.dnsbl_listed = true;
+  // Three rejects from 10.0.0.x bank ~3 hostile_delta units on the /24
+  // (minus a sliver of decay between reinforcements).
+  Eval(engine, Ip(10, 0, 0, 1), listed, kSecond);
+  Eval(engine, Ip(10, 0, 0, 2), listed, 2 * kSecond);
+  Eval(engine, Ip(10, 0, 0, 3), listed, 3 * kSecond);
+  const double history = engine.HistoryScore(Ip(10, 0, 0, 99), 3 * kSecond);
+  EXPECT_GT(history, 2.5);
+  // A clean dialog from a fourth host in the same /24 now lands in the
+  // greylist band on history alone — the engine's whole point.
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 99), {}, 3 * kSecond);
+  EXPECT_EQ(ev.verdict, Verdict::kGreylist);
+  EXPECT_GT(ev.history, 0.0);
+  // A different /24 is untouched.
+  EXPECT_DOUBLE_EQ(engine.HistoryScore(Ip(10, 0, 1, 1), 3 * kSecond), 0.0);
+}
+
+TEST(ReputationEngineTest, HistoryDecaysWithHalfLife) {
+  RepConfig cfg = TestConfig();
+  cfg.history_half_life_ns = 10 * kSecond;
+  cfg.history_ttl_ns = 0;  // no TTL: isolate decay
+  ReputationEngine engine(cfg);
+  engine.RecordOutcome(Ip(10, 0, 0, 1), 2.0, 0);
+  EXPECT_NEAR(engine.HistoryScore(Ip(10, 0, 0, 1), 0), 2.0, 1e-9);
+  EXPECT_NEAR(engine.HistoryScore(Ip(10, 0, 0, 1), 10 * kSecond), 1.0, 1e-9);
+  EXPECT_NEAR(engine.HistoryScore(Ip(10, 0, 0, 1), 20 * kSecond), 0.5, 1e-9);
+}
+
+TEST(ReputationEngineTest, IdleBucketsExpireOnTtl) {
+  RepConfig cfg = TestConfig();
+  cfg.history_ttl_ns = 60 * kSecond;
+  ReputationEngine engine(cfg);
+  engine.RecordOutcome(Ip(10, 0, 0, 1), 2.0, 0);
+  EXPECT_EQ(engine.history_size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.HistoryScore(Ip(10, 0, 0, 1), 61 * kSecond), 0.0);
+  EXPECT_EQ(engine.history_size(), 0u);
+  EXPECT_EQ(engine.stats().expirations.load(), 1u);
+}
+
+TEST(ReputationEngineTest, BucketScoreIsClamped) {
+  ReputationEngine engine(TestConfig());
+  for (int i = 0; i < 50; ++i) {
+    engine.RecordOutcome(Ip(10, 0, 0, 1), 1.0, kSecond);
+  }
+  EXPECT_LE(engine.HistoryScore(Ip(10, 0, 0, 1), kSecond),
+            engine.config().history_max);
+  for (int i = 0; i < 100; ++i) {
+    engine.RecordOutcome(Ip(10, 0, 0, 1), -1.0, kSecond);
+  }
+  EXPECT_GE(engine.HistoryScore(Ip(10, 0, 0, 1), kSecond),
+            engine.config().history_min);
+}
+
+TEST(ReputationEngineTest, HamCreditNeverMaterializesABucket) {
+  ReputationEngine engine(TestConfig());
+  engine.RecordOutcome(Ip(10, 0, 0, 1), engine.config().ham_delta, kSecond);
+  EXPECT_EQ(engine.history_size(), 0u);
+}
+
+TEST(ReputationEngineTest, CapacityBoundEvictsLru) {
+  RepConfig cfg = TestConfig();
+  cfg.lock_shards = 1;  // single shard makes the LRU bound exact
+  cfg.history_capacity = 4;
+  ReputationEngine engine(cfg);
+  for (int c = 0; c < 8; ++c) {
+    engine.RecordOutcome(Ip(10, 0, static_cast<std::uint8_t>(c), 1), 1.0,
+                         kSecond);
+  }
+  EXPECT_EQ(engine.history_size(), 4u);
+  EXPECT_EQ(engine.stats().evictions.load(), 4u);
+  // The oldest /24s were displaced; the newest survive.
+  EXPECT_DOUBLE_EQ(engine.HistoryScore(Ip(10, 0, 0, 1), kSecond), 0.0);
+  EXPECT_GT(engine.HistoryScore(Ip(10, 0, 7, 1), kSecond), 0.0);
+}
+
+TEST(ReputationEngineTest, SnapshotOrdersByDecayedScore) {
+  ReputationEngine engine(TestConfig());
+  engine.RecordOutcome(Ip(10, 0, 0, 1), 1.0, kSecond);
+  engine.RecordOutcome(Ip(10, 0, 1, 1), 3.0, kSecond);
+  engine.RecordOutcome(Ip(10, 0, 2, 1), 2.0, kSecond);
+  const std::vector<BucketSnapshot> top = engine.Snapshot(2, kSecond);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].net, util::Prefix24(Ip(10, 0, 1, 1)));
+  EXPECT_EQ(top[1].net, util::Prefix24(Ip(10, 0, 2, 1)));
+  EXPECT_GT(top[0].score, top[1].score);
+  EXPECT_EQ(top[0].rejects, 1u);
+
+  const std::string json = engine.SnapshotJson(2, kSecond);
+  EXPECT_NE(json.find("\"history_size\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"net\":\"10.0.1.0/24\""), std::string::npos);
+  EXPECT_NE(json.find("\"greylist_size\":0"), std::string::npos);
+}
+
+TEST(ReputationEngineTest, GateOnHistoryIsRejectOrAcceptOnly) {
+  ReputationEngine engine(TestConfig());
+  // Listed → reject (and the /24 is reinforced).
+  EXPECT_EQ(engine.GateOnHistory(Ip(10, 0, 0, 1), true, kSecond).verdict,
+            Verdict::kReject);
+  EXPECT_GT(engine.HistoryScore(Ip(10, 0, 0, 2), kSecond), 0.0);
+  // Unlisted from the same /24: one reject's history is below the
+  // reject threshold, and there is no greylist band in this gate.
+  const Evaluation ev = engine.GateOnHistory(Ip(10, 0, 0, 2), false, kSecond);
+  EXPECT_EQ(ev.verdict, Verdict::kAccept);
+  EXPECT_FALSE(ev.greylist_consulted);
+}
+
+TEST(ReputationEngineTest, StoreFaultFailsOpenAndCachesNothing) {
+  ReputationEngine engine(TestConfig());
+  DialogFeatures listed;
+  listed.dnsbl_listed = true;
+  {
+    fault::ScopedArm arm(7);
+    fault::Injector::Global().Set("rep.store.error", {});
+    // Dialog evidence still decides: a listed host is rejected even
+    // with the history store dark...
+    const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), listed, kSecond);
+    EXPECT_EQ(ev.verdict, Verdict::kReject);
+    EXPECT_TRUE(ev.degraded);
+    EXPECT_DOUBLE_EQ(ev.history, 0.0);
+    // ...and a clean host sails through rather than erroring out.
+    const Evaluation clean = Eval(engine, Ip(10, 0, 1, 1), {}, kSecond);
+    EXPECT_EQ(clean.verdict, Verdict::kAccept);
+    EXPECT_TRUE(clean.degraded);
+    EXPECT_EQ(engine.stats().degraded.load(), 2u);
+    // Degraded verdicts are never written back: no bucket exists.
+    EXPECT_EQ(engine.history_size(), 0u);
+  }
+  // Store back: the same evaluation is whole again and reinforces.
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), listed, 2 * kSecond);
+  EXPECT_FALSE(ev.degraded);
+  EXPECT_EQ(engine.history_size(), 1u);
+}
+
+TEST(ReputationEngineTest, DelayFaultAlsoDegrades) {
+  ReputationEngine engine(TestConfig());
+  fault::ScopedArm arm(7);
+  fault::Policy delay;
+  delay.action = fault::Action::kDelay;
+  delay.delay_ms = 1;
+  fault::Injector::Global().Set("rep.store.delay", delay);
+  // kDelay sleeps and continues — the store is slow, not dark.
+  const Evaluation ev = Eval(engine, Ip(10, 0, 0, 1), {}, kSecond);
+  EXPECT_FALSE(ev.degraded);
+  // Flip the same point to an error policy: now it degrades.
+  fault::Injector::Global().Set("rep.store.delay", {});
+  EXPECT_TRUE(Eval(engine, Ip(10, 0, 0, 2), {}, kSecond).degraded);
+}
+
+TEST(ReputationEngineTest, ConcurrentEvaluationsAreCoherent) {
+  // The shared-across-shards contract: many threads hammering the same
+  // few /24s must neither crash nor lose counts (run under TSan via
+  // the `threads` ctest label).
+  ReputationEngine engine(TestConfig());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  std::atomic<std::int64_t> clock{kSecond};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &clock, t] {
+      DialogFeatures listed;
+      listed.dnsbl_listed = true;
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::int64_t now = clock.fetch_add(1000);
+        const util::Ipv4 ip(10, 0, static_cast<std::uint8_t>(i % 4),
+                            static_cast<std::uint8_t>(t + 1));
+        if (i % 2 == 0) {
+          engine.Evaluate(ip, listed, "a@b.test", "c@d.test", now);
+        } else {
+          engine.GateOnHistory(ip, false, now);
+          engine.HistoryScore(ip, now);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(engine.stats().evaluations.load(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Only the Evaluate path (even i → /24s 0 and 2) rejects and thus
+  // materializes buckets; the unlisted GateOnHistory path accepts.
+  EXPECT_EQ(engine.history_size(), 2u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_LE(engine.HistoryScore(Ip(10, 0, static_cast<std::uint8_t>(c), 1),
+                                  clock.load()),
+              engine.config().history_max);
+  }
+}
+
+}  // namespace
+}  // namespace sams::rep

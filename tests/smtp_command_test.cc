@@ -118,6 +118,56 @@ TEST(SerializersTest, WireFormats) {
   EXPECT_EQ(NoopLine(), "NOOP\r\n");
 }
 
+// Table-driven hardening for HELO/EHLO argument classification (RFC
+// 5321 §4.1.1.1 shapes plus the wire garbage a live port collects).
+TEST(ClassifyHeloArgumentTest, Table) {
+  struct Case {
+    const char* arg;
+    HeloKind want;
+  };
+  const std::string overlong(256, 'a');
+  const std::string at_limit(255, 'a');
+  const Case cases[] = {
+      // Legitimate shapes.
+      {"mail.example.com", HeloKind::kHostname},
+      {"localhost", HeloKind::kHostname},
+      {"a-b.c_d.example", HeloKind::kHostname},  // wild-but-seen: underscore
+      {"xn--bcher-kva.example", HeloKind::kHostname},
+      {at_limit.c_str(), HeloKind::kHostname},  // 255 bytes: at the cap
+      {"[10.1.2.3]", HeloKind::kAddressLiteral},
+      // Suspicious but parseable — kept as scorer features, not 501s.
+      {"10.1.2.3", HeloKind::kBareIp},
+      {"255.255.255.255", HeloKind::kBareIp},
+      // Malformed: empty / overlong.
+      {"", HeloKind::kMalformed},
+      {overlong.c_str(), HeloKind::kMalformed},  // 256 bytes: over the cap
+      // Malformed: whitespace and control bytes.
+      {"host name", HeloKind::kMalformed},
+      {"host\tname", HeloKind::kMalformed},
+      {"host\x01name", HeloKind::kMalformed},
+      {"host\x7fname", HeloKind::kMalformed},
+      // Malformed: label-structure violations.
+      {".example", HeloKind::kMalformed},
+      {"example.", HeloKind::kMalformed},
+      {"a..b", HeloKind::kMalformed},
+      {"-leading.example", HeloKind::kMalformed},
+      {"trailing-.example", HeloKind::kMalformed},
+      {"host.-example", HeloKind::kMalformed},
+      {"ends-with-hyphen-", HeloKind::kMalformed},
+      // Malformed: broken address literals.
+      {"[10.1.2]", HeloKind::kMalformed},
+      {"[not.an.ip]", HeloKind::kMalformed},
+      {"[10.1.2.3", HeloKind::kMalformed},
+      // Malformed: stray punctuation.
+      {"host!", HeloKind::kMalformed},
+      {"a@b.c", HeloKind::kMalformed},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(ClassifyHeloArgument(c.arg), c.want)
+        << "arg=\"" << c.arg << "\"";
+  }
+}
+
 TEST(RoundTripTest, SerializedCommandsReparse) {
   EXPECT_EQ(ParseCommand("HELO c.net\r"[0] == 'H' ? "HELO c.net" : "").verb,
             Verb::kHelo);

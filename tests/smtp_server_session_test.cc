@@ -463,5 +463,52 @@ TEST_F(ServerSessionTest, ResumeRejectsCorruptPayloads) {
   }
 }
 
+
+TEST_F(ServerSessionTest, MalformedHeloDraws501AndCounts) {
+  auto s = MakeSession();
+  s.Start();
+  struct Case {
+    std::string arg;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"", "empty"},
+      {std::string(256, 'a'), "overlong"},
+      {"host\x01name", "control byte"},
+      {"a..b", "empty label"},
+  };
+  std::uint64_t rejects = 0;
+  for (const Case& c : cases) {
+    s.Feed("HELO " + c.arg + "\r\n");
+    EXPECT_EQ(LastReply().substr(0, 3), "501") << c.why;
+    EXPECT_EQ(s.stats().helo_rejects, ++rejects) << c.why;
+  }
+  // The rejected arguments were never stored: the session still has no
+  // greeting, so MAIL is out of sequence when require_helo is on.
+  EXPECT_EQ(s.helo(), "");
+  SessionConfig require;
+  require.require_helo = true;
+  auto strict = MakeSession(require);
+  strict.Start();
+  strict.Feed("HELO \x7f\r\nMAIL FROM:<s@x.test>\r\n");
+  EXPECT_EQ(LastReply().substr(0, 3), "503");
+}
+
+TEST_F(ServerSessionTest, HeloKindSurvivesForTheScorer) {
+  // Bare-IP and address-literal greetings pass the dialog but keep
+  // their classification for the reputation gate's anomaly features.
+  auto s = MakeSession();
+  s.Start();
+  s.Feed("HELO 10.1.2.3\r\n");
+  EXPECT_EQ(LastReply().substr(0, 3), "250");
+  EXPECT_EQ(s.helo_kind(), HeloKind::kBareIp);
+  s.Feed("EHLO [10.1.2.3]\r\n");
+  EXPECT_EQ(s.helo_kind(), HeloKind::kAddressLiteral);
+  s.Feed("EHLO mail.example.com\r\n");
+  EXPECT_EQ(s.helo_kind(), HeloKind::kHostname);
+  EXPECT_EQ(s.helo(), "mail.example.com");
+  EXPECT_EQ(s.stats().helo_rejects, 0u);
+}
+
 }  // namespace
 }  // namespace sams::smtp
