@@ -30,7 +30,7 @@ MFS_FAST_PATH=(src/mfs/record_io.cc src/mfs/group_commit.cc
                src/mfs/volume.cc src/mfs/store.cc)
 SHARD_PATH=(src/mta/smtp_server.cc src/net/tcp.cc src/net/event_loop.cc
             src/net/udp.cc src/net/admin_http.cc src/smtp/server_session.cc)
-for src in src/obs/*.cc src/fault/*.cc src/dnsbl/*.cc src/rep/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
+for src in src/obs/*.cc src/fault/*.cc src/dnsbl/*.cc src/rep/*.cc src/loadgen/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
 done
@@ -52,6 +52,9 @@ echo "== reputation-storm smoke bench (>= 30% fewer worker forks, ham p99 flat, 
 
 echo "== obs-overhead smoke bench (telemetry plane < 3% CPU/session, skipped on 1 core) =="
 "${BUILD_DIR}/bench/bench_obs_overhead" --smoke
+
+echo "== load-storm smoke bench (no congestion collapse, ham p99 bounded; skipped on 1 core) =="
+"${BUILD_DIR}/bench/bench_load_storm" --smoke
 
 # Admin-endpoint smoke: boot the example server with the telemetry
 # plane on, hit /healthz and /metrics over real HTTP, and require the
@@ -134,7 +137,7 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build "${TSAN_DIR}" -j "$(nproc)" --target mfs_commit_test \
     --target smtp_shard_test --target dnsbl_async_test \
-    --target rep_test --target greylist_test
+    --target rep_test --target greylist_test --target loadgen_test
   echo "== sanitizer ctest (-L threads) =="
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -L threads -j "$(nproc)"
 fi

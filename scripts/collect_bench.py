@@ -7,14 +7,25 @@ run. This script collects every BENCH_*.json under a directory into a
 single summary keyed by bench name, so CI can archive one artifact and
 a regression diff is a single-file comparison:
 
-    python3 scripts/collect_bench.py [--dir DIR] [--out FILE]
+    python3 scripts/collect_bench.py [--dir DIR] [--out FILE] [--rev REV]
+
+The summary also carries a cross-PR "trajectory": one point per
+revision, holding every bench gauge folded flat. Each run loads the
+trajectory already in the --out file (the committed summary), carries
+the prior points forward, and appends (or, rerun at the same revision,
+replaces) the current point — so the committed BENCH_summary.json
+accumulates the performance history of the repo, one point per PR.
 
 Exits nonzero when a snapshot is unreadable (a bench that crashed
-mid-write should fail the pipeline, not vanish from the summary).
+mid-write should fail the pipeline, not vanish from the summary), and
+when benches were found but nothing could be folded into the
+trajectory point — an empty trajectory after a successful bench run is
+the bug this guard exists for, not a valid outcome.
 """
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -53,6 +64,52 @@ def collect(directory: Path) -> tuple[dict, list[str]]:
     return benches, errors
 
 
+def git_rev(directory: Path) -> str:
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              cwd=directory, capture_output=True, text=True,
+                              timeout=10)
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def metric_key(metric: dict) -> str:
+    labels = metric.get("labels") or {}
+    flat = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{metric['name']}{{{flat}}}" if flat else metric["name"]
+
+
+def trajectory_point(rev: str, benches: dict) -> tuple[dict, int]:
+    """Fold every bench gauge into one flat per-revision point."""
+    point = {"rev": rev, "benches": {}}
+    folded = 0
+    for name, bench in sorted(benches.items()):
+        values = {}
+        for metric in bench["metrics"]:
+            try:
+                values[metric_key(metric)] = metric["value"]
+            except KeyError:
+                continue  # malformed metric: counted via folded == 0
+        point["benches"][name] = values
+        folded += len(values)
+    return point, folded
+
+
+def merge_trajectory(prior_summary, point: dict) -> list:
+    """Prior points carried forward; the current rev's point replaced."""
+    trajectory = []
+    if isinstance(prior_summary, dict):
+        prior = prior_summary.get("trajectory")
+        if isinstance(prior, list):
+            trajectory = [p for p in prior
+                          if isinstance(p, dict) and p.get("rev") != point["rev"]]
+    trajectory.append(point)
+    return trajectory
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="gather BENCH_*.json into BENCH_summary.json")
@@ -60,6 +117,8 @@ def main() -> int:
                         help="directory to scan (default: cwd)")
     parser.add_argument("--out", default=None,
                         help="output path (default: <dir>/BENCH_summary.json)")
+    parser.add_argument("--rev", default=None,
+                        help="trajectory revision key (default: git HEAD)")
     args = parser.parse_args()
 
     directory = Path(args.dir)
@@ -72,15 +131,33 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
+    prior_summary = None
+    if out.exists():
+        try:
+            prior_summary = json.loads(out.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"collect_bench: prior summary unreadable, trajectory "
+                  f"restarts: {out}: {err}", file=sys.stderr)
+
+    rev = args.rev if args.rev else git_rev(directory)
+    point, folded = trajectory_point(rev, benches)
+    if benches and folded == 0:
+        print(f"collect_bench: found {len(benches)} bench(es) but folded "
+              f"NONE into the trajectory — malformed snapshots?",
+              file=sys.stderr)
+        return 1
+    trajectory = merge_trajectory(prior_summary, point)
+
     summary = {
         "generated_by": "scripts/collect_bench.py",
         "benches": benches,
+        "trajectory": trajectory,
     }
     out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
     total = sum(len(b["metrics"]) for b in benches.values())
-    print(f"collect_bench: {len(benches)} bench(es), {total} metric(s) "
-          f"-> {out}")
+    print(f"collect_bench: {len(benches)} bench(es), {total} metric(s), "
+          f"trajectory {len(trajectory)} point(s) (rev {rev}) -> {out}")
     for name, bench in sorted(benches.items()):
         tail = f", {len(bench['series'])} series" if "series" in bench else ""
         print(f"  {name:24s} {len(bench['metrics']):4d} metrics{tail} "

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Smoke test for scripts/collect_bench.py against a fixture directory.
+
+Covers the trajectory regression: a run over present BENCH_*.json files
+must produce a NON-empty trajectory, carry prior points forward, replace
+the current revision's point on rerun, and exit nonzero both on an empty
+directory and on snapshots that fold no metrics.
+
+    python3 scripts/collect_bench_test.py
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "collect_bench.py"
+
+
+def run(*argv):
+    return subprocess.run([sys.executable, str(SCRIPT), *argv],
+                          capture_output=True, text=True)
+
+
+def write_snapshot(path: Path, name: str, value: float):
+    path.write_text(json.dumps({"metrics": [
+        {"name": name, "type": "gauge", "labels": {}, "value": value},
+        {"name": name + "_labeled", "type": "gauge",
+         "labels": {"offered": "512"}, "value": value * 2},
+    ]}))
+
+
+def main() -> int:
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+            print(f"  FAIL: {what}")
+        else:
+            print(f"  ok: {what}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fixture = Path(tmp)
+        write_snapshot(fixture / "BENCH_alpha.json", "bench_alpha_rate", 3.5)
+        write_snapshot(fixture / "BENCH_beta.json", "bench_beta_p99", 12.0)
+        # A committed summary from an earlier revision: its trajectory
+        # point must survive the new run.
+        (fixture / "BENCH_summary.json").write_text(json.dumps({
+            "generated_by": "scripts/collect_bench.py",
+            "benches": {},
+            "trajectory": [
+                {"rev": "old1234", "benches": {"alpha": {"x": 1.0}}}],
+        }))
+
+        proc = run("--dir", str(fixture), "--rev", "new5678")
+        check(proc.returncode == 0, f"collect exits 0 (stderr: {proc.stderr!r})")
+        summary = json.loads((fixture / "BENCH_summary.json").read_text())
+        check(set(summary["benches"]) == {"alpha", "beta"},
+              "both benches folded")
+        trajectory = summary.get("trajectory", [])
+        check(len(trajectory) == 2, "prior point carried + new point appended")
+        revs = [p["rev"] for p in trajectory]
+        check(revs == ["old1234", "new5678"], f"trajectory revs {revs}")
+        new_point = trajectory[-1]
+        check(new_point["benches"]["alpha"]["bench_alpha_rate"] == 3.5,
+              "unlabeled gauge folded into the point")
+        check("bench_beta_p99_labeled{offered=512}"
+              in new_point["benches"]["beta"],
+              "labeled gauge folded with its labels in the key")
+
+        # Rerun at the same revision: the point is replaced, not
+        # duplicated — the committed summary stays one point per PR.
+        proc = run("--dir", str(fixture), "--rev", "new5678")
+        check(proc.returncode == 0, "rerun exits 0")
+        summary = json.loads((fixture / "BENCH_summary.json").read_text())
+        check(len(summary["trajectory"]) == 2, "rerun replaces, no duplicate")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = run("--dir", tmp)
+        check(proc.returncode != 0, "empty directory exits nonzero")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Benches present but every metric malformed (no value): the
+        # "found benches but folded none" guard must fire.
+        (Path(tmp) / "BENCH_hollow.json").write_text(
+            json.dumps({"metrics": [{"name": "orphan", "type": "gauge"}]}))
+        proc = run("--dir", tmp, "--rev", "r1")
+        check(proc.returncode != 0,
+              "benches-found-but-none-folded exits nonzero")
+        check("folded" in proc.stderr.lower(), "guard names the failure")
+
+    if failures:
+        print(f"collect_bench_test: {len(failures)} FAILURE(S)")
+        return 1
+    print("collect_bench_test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,467 @@
+#include "loadgen/load_storm.h"
+
+#include <sys/epoll.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "net/event_loop.h"
+#include "net/tcp.h"
+#include "util/fd.h"
+#include "util/time.h"
+
+namespace sams::loadgen {
+namespace {
+
+// One scripted client connection walking its SessionPlan.
+struct ClientConn {
+  util::UniqueFd fd;
+  enum class State { kConnecting, kDialog } state = State::kConnecting;
+  SessionPlan plan;
+  std::size_t next_step = 0;
+  int pending = 0;             // final replies awaited
+  bool banner_pending = true;  // 220 not yet consumed
+  std::string inbuf;           // partial reply line
+  std::string pending_tags;    // reply tag per awaited final reply
+  std::size_t tag_off = 0;
+  std::string outbuf;          // partial-write continuation
+  std::size_t out_off = 0;
+  bool want_write = false;
+  bool data_granted = false;   // last 'D' reply was 354
+  bool delivered = false;      // saw 250 after a body
+  int last_code = 0;
+  std::int64_t wait_since_ns = 0;  // connect start / last progress
+  std::int64_t due_ns = 0;         // slow-gap park (0 = not parked)
+  std::int64_t rcpt_sent_ns = -1;  // first-RCPT stall measurement
+  bool measuring_rcpt = false;
+  bool measured_rcpt = false;
+};
+
+}  // namespace
+
+struct LoadStorm::Impl {
+  explicit Impl(StormConfig config)
+      : cfg(std::move(config)), model(cfg.workload, cfg.seed) {}
+
+  StormConfig cfg;
+  WorkloadModel model;
+  std::unique_ptr<net::EventLoop> loop;
+  std::unordered_map<int, std::unique_ptr<ClientConn>> conns;
+  // Slow-talker park: due_ns → fd. The conn's own due_ns must match or
+  // the entry is stale (connection died / fd reused while parked).
+  std::multimap<std::int64_t, int> parked;
+  std::optional<SessionPlan> retry_plan;  // stashed after local EMFILE
+  StormResult result;
+  std::uint64_t schedule_digest = kFnvOffset;
+  int active = 0;
+  std::int64_t start_ns = 0;
+  int ticks = 0;
+  bool stopping = false;
+
+  void CountError(const std::string& name) { ++result.errors[name]; }
+
+  void MaybeStop() {
+    if (!stopping && active == 0 && result.launched >= cfg.total_sessions) {
+      stopping = true;
+      loop->Stop();
+    }
+  }
+
+  // Removes the connection and tops the storm back up to target
+  // concurrency. Every teardown funnels through here.
+  void Finish(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    (void)loop->Remove(fd);
+    conns.erase(it);
+    --active;
+    LaunchMore();
+    MaybeStop();
+  }
+
+  // Teardown on a transport event (EOF, reset, EPIPE...). A session the
+  // server explicitly turned away first is an SMTP outcome, not a
+  // transport failure: 421 was already tallied at reply time, a
+  // trailing 5xx becomes rejected_closed here.
+  void FinishTransport(int fd, ClientConn& conn, const char* what) {
+    if (conn.last_code >= 500) {
+      ++result.rejected_closed;
+    } else if (conn.last_code != 421) {
+      CountError(what);
+    }
+    Finish(fd);
+  }
+
+  bool FlushOut(ClientConn& conn) {
+    const int fd = conn.fd.get();
+    while (conn.out_off < conn.outbuf.size()) {
+      auto sent = net::SendNonBlocking(fd, conn.outbuf.data() + conn.out_off,
+                                       conn.outbuf.size() - conn.out_off);
+      if (!sent.ok()) return false;
+      result.bytes_sent += *sent;
+      if (*sent == 0) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          (void)loop->Modify(fd, EPOLLIN | EPOLLOUT | EPOLLET);
+        }
+        return true;
+      }
+      conn.out_off += *sent;
+    }
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    if (conn.want_write) {
+      conn.want_write = false;
+      (void)loop->Modify(fd, EPOLLIN | EPOLLET);
+    }
+    return true;
+  }
+
+  // Walks the script: sends every step whose prerequisites (replies
+  // collected, slow-talker gap elapsed) are met; finishes the session
+  // once the whole plan has run and the wire drained.
+  void Advance(int fd, ClientConn& conn) {
+    const std::int64_t now = util::MonotonicNanos();
+    while (conn.pending == 0 && conn.next_step < conn.plan.steps.size()) {
+      DialogStep& step = conn.plan.steps[conn.next_step];
+      if (step.is_body && !conn.data_granted) {
+        ++conn.next_step;
+        ++result.bodies_skipped;
+        continue;
+      }
+      if (step.gap_ns > 0) {
+        if (conn.due_ns == 0) {
+          conn.due_ns = now + step.gap_ns;
+          parked.emplace(conn.due_ns, fd);
+          return;  // the tick resumes us
+        }
+        if (now < conn.due_ns) return;  // spurious wakeup; still parked
+        conn.due_ns = 0;
+      }
+      if (step.reply_tags == "R" && !conn.plan.pipelined &&
+          !conn.measured_rcpt && !conn.measuring_rcpt) {
+        conn.measuring_rcpt = true;
+        conn.rcpt_sent_ns = now;
+      }
+      conn.outbuf.append(step.bytes);
+      conn.pending += step.expect_replies;
+      conn.pending_tags += step.reply_tags;
+      ++conn.next_step;
+      if (!FlushOut(conn)) {
+        FinishTransport(fd, conn, net::SocketErrnoName(errno).c_str());
+        return;
+      }
+      conn.wait_since_ns = now;
+    }
+    if (conn.pending == 0 && conn.next_step >= conn.plan.steps.size() &&
+        conn.outbuf.empty()) {
+      ++result.completed;
+      if (conn.delivered) ++result.delivered;
+      Finish(fd);
+    }
+  }
+
+  // True while `conn` is still the live connection for `fd`. Finish()
+  // tops the storm back up, which can REUSE the fd number for a fresh
+  // connection — presence in the map alone is not enough.
+  bool Alive(int fd, const ClientConn& conn) const {
+    auto it = conns.find(fd);
+    return it != conns.end() && it->second.get() == &conn;
+  }
+
+  // One complete reply line (CR/LF stripped). Returns false when the
+  // connection was torn down.
+  bool OnReplyLine(int fd, ClientConn& conn, const std::string& line) {
+    if (line.size() < 3 || line[0] < '0' || line[0] > '9') return true;
+    const int code = (line[0] - '0') * 100 + (line[1] - '0') * 10 +
+                     (line[2] - '0');
+    if (line.size() > 3 && line[3] == '-') return true;  // continuation
+    ++result.replies;
+    conn.last_code = code;
+    conn.wait_since_ns = util::MonotonicNanos();
+    if (code == 421) ++result.shed;
+    if (conn.banner_pending) {
+      conn.banner_pending = false;
+      if (code != 220) return true;  // 421 shed: wait for the server's EOF
+      if (!conn.plan.pregreet) Advance(fd, conn);
+      return Alive(fd, conn);
+    }
+    char tag = '?';
+    if (conn.tag_off < conn.pending_tags.size()) {
+      tag = conn.pending_tags[conn.tag_off++];
+    }
+    if (conn.pending > 0) --conn.pending;
+    switch (tag) {
+      case 'R':
+        if (code == 250) {
+          ++result.rcpt_250;
+        } else if (code == 450) {
+          ++result.greylist_450;
+        } else if (code >= 500) {
+          ++result.rcpt_rejected;
+        }
+        if (conn.measuring_rcpt) {
+          conn.measuring_rcpt = false;
+          conn.measured_rcpt = true;
+          if (conn.plan.klass == TrafficClass::kHam) {
+            result.ham_rcpt_stall_ms.Add(
+                static_cast<double>(util::MonotonicNanos() -
+                                    conn.rcpt_sent_ns) /
+                1e6);
+          }
+        }
+        break;
+      case 'D':
+        conn.data_granted = code == 354;
+        break;
+      case 'B':
+        if (code == 250) conn.delivered = true;
+        break;
+      default:
+        break;
+    }
+    if (conn.pending == 0) {
+      Advance(fd, conn);
+      return Alive(fd, conn);
+    }
+    return true;
+  }
+
+  void OnReadable(int fd, ClientConn& conn) {
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        result.bytes_received += static_cast<std::uint64_t>(n);
+        for (ssize_t i = 0; i < n; ++i) {
+          const char ch = buf[i];
+          if (ch == '\n') {
+            if (!conn.inbuf.empty() && conn.inbuf.back() == '\r') {
+              conn.inbuf.pop_back();
+            }
+            std::string line;
+            line.swap(conn.inbuf);
+            if (!OnReplyLine(fd, conn, line)) return;
+          } else if (conn.inbuf.size() < 1024) {
+            conn.inbuf.push_back(ch);
+          }
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && errno == ENOTCONN) return;  // stale event on fresh fd
+      if (n == 0) {
+        FinishTransport(fd, conn, "closed_by_peer");
+      } else {
+        FinishTransport(fd, conn, net::SocketErrnoName(errno).c_str());
+      }
+      return;
+    }
+  }
+
+  void OnEvent(int fd, std::uint32_t events) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    ClientConn& conn = *it->second;
+    if (conn.state == ClientConn::State::kConnecting) {
+      // Resolve only on a write/err edge; a stale EPOLLIN delivered to
+      // a reused fd number must not fake an established connection.
+      if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) == 0) return;
+      const int err = net::ConnectSocketError(fd);
+      if (err == EINPROGRESS) return;
+      if (err != 0) {
+        CountError(net::SocketErrnoName(err));
+        Finish(fd);
+        return;
+      }
+      conn.state = ClientConn::State::kDialog;
+      conn.wait_since_ns = util::MonotonicNanos();
+      (void)loop->Modify(fd, EPOLLIN | EPOLLET);
+      if (conn.plan.pregreet) Advance(fd, conn);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) {
+      if (!FlushOut(conn)) {
+        FinishTransport(fd, conn, net::SocketErrnoName(errno).c_str());
+        return;
+      }
+      if (conn.outbuf.empty() && conn.pending == 0) {
+        Advance(fd, conn);
+        if (!Alive(fd, conn)) return;
+      }
+    }
+    if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+      OnReadable(fd, conn);
+    }
+  }
+
+  void LaunchOne() {
+    SessionPlan plan;
+    if (retry_plan.has_value()) {
+      plan = std::move(*retry_plan);
+      retry_plan.reset();
+    } else {
+      plan = model.Next();
+    }
+    int err = 0;
+    auto pending = net::TcpConnectNonBlocking(cfg.host, cfg.port, &err);
+    if (!pending.ok()) {
+      if (err == EMFILE || err == ENFILE) {
+        // The GENERATOR is out of descriptors — not a server verdict.
+        // Stash the plan (keeping the schedule deterministic) and let
+        // the tick retry once sessions finish and free fds.
+        CountError("EMFILE_local");
+        retry_plan = std::move(plan);
+        return;
+      }
+      ++result.launched;
+      schedule_digest = Fnv1a(schedule_digest, &plan.digest,
+                              sizeof(plan.digest));
+      CountError(err != 0 ? net::SocketErrnoName(err) : "connect");
+      return;
+    }
+    ++result.launched;
+    schedule_digest = Fnv1a(schedule_digest, &plan.digest,
+                            sizeof(plan.digest));
+    auto conn = std::make_unique<ClientConn>();
+    const int fd = pending->fd.get();
+    conn->fd = std::move(pending->fd);
+    conn->plan = std::move(plan);
+    conn->wait_since_ns = util::MonotonicNanos();
+    const bool connected = pending->connected;
+    ClientConn* raw = conn.get();
+    conns.emplace(fd, std::move(conn));
+    ++active;
+    if (active > result.peak_active) result.peak_active = active;
+    if (connected) {
+      raw->state = ClientConn::State::kDialog;
+      (void)loop->Add(fd, EPOLLIN | EPOLLET,
+                      [this, fd](std::uint32_t e) { OnEvent(fd, e); });
+      if (raw->plan.pregreet) Advance(fd, *raw);
+    } else {
+      (void)loop->Add(fd, EPOLLOUT,
+                      [this, fd](std::uint32_t e) { OnEvent(fd, e); });
+    }
+  }
+
+  void LaunchMore() {
+    while (!stopping && active < cfg.concurrency &&
+           result.launched < cfg.total_sessions) {
+      const std::uint64_t before = result.launched;
+      const bool had_retry = retry_plan.has_value();
+      LaunchOne();
+      if (result.launched == before && (had_retry || retry_plan.has_value())) {
+        break;  // fd-starved; the tick retries
+      }
+    }
+  }
+
+  void OnTick() {
+    ++ticks;
+    const std::int64_t now = util::MonotonicNanos();
+    // Resume slow talkers whose gap elapsed.
+    while (!parked.empty() && parked.begin()->first <= now) {
+      const int fd = parked.begin()->second;
+      const std::int64_t due = parked.begin()->first;
+      parked.erase(parked.begin());
+      auto it = conns.find(fd);
+      if (it == conns.end() || it->second->due_ns != due) continue;  // stale
+      Advance(fd, *it->second);
+    }
+    // Retry a launch parked on local fd exhaustion.
+    if (retry_plan.has_value()) LaunchMore();
+    // Timeout scan, every ~500 ms.
+    const int scan_every = std::max(1, 500 / std::max(1, cfg.tick_ms));
+    if (ticks % scan_every == 0) {
+      const std::int64_t connect_ns =
+          static_cast<std::int64_t>(cfg.connect_timeout_ms) * 1'000'000;
+      const std::int64_t reply_ns =
+          static_cast<std::int64_t>(cfg.reply_timeout_ms) * 1'000'000;
+      std::vector<int> expired_connect;
+      std::vector<int> expired_reply;
+      for (const auto& [fd, conn] : conns) {
+        if (conn->state == ClientConn::State::kConnecting) {
+          if (connect_ns > 0 && now - conn->wait_since_ns >= connect_ns) {
+            expired_connect.push_back(fd);
+          }
+        } else if (conn->pending > 0 || conn->banner_pending) {
+          if (reply_ns > 0 && now - conn->wait_since_ns >= reply_ns) {
+            expired_reply.push_back(fd);
+          }
+        }
+      }
+      for (int fd : expired_connect) {
+        ++result.connect_timeouts;
+        Finish(fd);
+      }
+      for (int fd : expired_reply) {
+        ++result.reply_timeouts;
+        Finish(fd);
+      }
+    }
+    if (cfg.deadline_ms > 0 &&
+        now - start_ns >=
+            static_cast<std::int64_t>(cfg.deadline_ms) * 1'000'000) {
+      stopping = true;
+      loop->Stop();
+    }
+    MaybeStop();
+  }
+};
+
+LoadStorm::LoadStorm(StormConfig cfg) : impl_(new Impl(std::move(cfg))) {}
+
+LoadStorm::~LoadStorm() { delete impl_; }
+
+util::Result<StormResult> LoadStorm::Run() {
+  Impl& st = *impl_;
+  auto loop = net::EventLoop::Create();
+  if (!loop.ok()) return loop.error();
+  st.loop = std::move(*loop);
+
+  util::UniqueFd tick_fd(::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
+  if (!tick_fd.valid()) return util::IoError("timerfd_create failed");
+  const int tick_ms = std::max(1, st.cfg.tick_ms);
+  struct itimerspec when {};
+  when.it_value.tv_nsec = 1'000'000;  // first tick promptly
+  when.it_interval.tv_sec = tick_ms / 1000;
+  when.it_interval.tv_nsec = static_cast<long>(tick_ms % 1000) * 1'000'000L;
+  ::timerfd_settime(tick_fd.get(), 0, &when, nullptr);
+  const int raw_tick = tick_fd.get();
+  (void)st.loop->Add(raw_tick, EPOLLIN, [&st, raw_tick](std::uint32_t) {
+    std::uint64_t expirations = 0;
+    (void)::read(raw_tick, &expirations, sizeof(expirations));
+    st.OnTick();
+  });
+
+  st.start_ns = util::MonotonicNanos();
+  st.LaunchMore();
+  st.MaybeStop();
+  if (!st.stopping) {
+    const util::Error err = st.loop->Run();
+    if (!err.ok()) return err;
+  }
+
+  // Anything still open when the storm ended (deadline) is neither
+  // completed nor an error; just account the teardown.
+  for (auto& [fd, conn] : st.conns) (void)st.loop->Remove(fd);
+  st.conns.clear();
+
+  st.result.duration_s =
+      static_cast<double>(util::MonotonicNanos() - st.start_ns) / 1e9;
+  st.result.sessions_per_s =
+      st.result.duration_s > 0
+          ? static_cast<double>(st.result.completed) / st.result.duration_s
+          : 0;
+  st.result.schedule_digest = st.schedule_digest;
+  return std::move(st.result);
+}
+
+}  // namespace sams::loadgen

@@ -1,0 +1,93 @@
+// LoadStorm — the native saturation load generator (DESIGN.md §13).
+//
+// One epoll reactor (net::EventLoop) drives thousands of concurrent
+// scripted SMTP sessions against a real server: non-blocking connects,
+// partial-write continuation on the client side, reply-line parsing,
+// slow-talker pacing off a coarse tick, connection churn that holds a
+// target concurrency until the session budget is spent. The dialog
+// scripts come from a seeded WorkloadModel, so the launch schedule is
+// bit-reproducible (schedule_digest) even though wire timing is not.
+//
+// Transport failures are classified per errno (ECONNREFUSED vs
+// ETIMEDOUT vs ECONNRESET vs local EMFILE, ...) instead of lumped —
+// at saturation those are different findings: the server shedding,
+// the backlog overflowing, a session aborted mid-dialog, or the
+// GENERATOR running out of descriptors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "loadgen/workload.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace sams::loadgen {
+
+struct StormConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int concurrency = 100;            // target concurrently open sessions
+  std::uint64_t total_sessions = 1000;  // storm budget
+  std::uint64_t seed = 42;
+  WorkloadConfig workload;
+  int connect_timeout_ms = 10'000;
+  int reply_timeout_ms = 15'000;
+  int tick_ms = 10;        // pacing/timeout granularity
+  int deadline_ms = 0;     // whole-storm wall cap (0 = none)
+};
+
+struct StormResult {
+  // Session outcomes. completed = the full script ran (rejections
+  // included — a spam plan that ate its 554s and QUIT is complete).
+  std::uint64_t launched = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t delivered = 0;      // 250 after the DATA payload
+  std::uint64_t rejected_closed = 0;   // server 554'd then hung up
+  std::uint64_t shed = 0;           // 421 (overload / greylist-shed)
+  std::uint64_t greylist_450 = 0;   // RCPTs answered 450
+  std::uint64_t rcpt_250 = 0;
+  std::uint64_t rcpt_rejected = 0;  // 550/554 per-RCPT
+  std::uint64_t bodies_skipped = 0;  // DATA never granted 354
+  std::uint64_t reply_timeouts = 0;
+  std::uint64_t connect_timeouts = 0;
+
+  // errno-name → count for transport-level failures (ECONNREFUSED,
+  // ECONNRESET, EPIPE, EMFILE at the generator, ...).
+  std::map<std::string, std::uint64_t> errors;
+
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t replies = 0;
+
+  // Stall between a (non-pipelined) ham RCPT write and its reply —
+  // the latency the paper's architecture protects.
+  util::Sampler ham_rcpt_stall_ms;
+
+  int peak_active = 0;
+  double duration_s = 0;
+  double sessions_per_s = 0;
+  // FNV-1a over per-plan digests in launch order: two storms with the
+  // same seed and budget must agree byte-for-byte.
+  std::uint64_t schedule_digest = 0;
+};
+
+class LoadStorm {
+ public:
+  explicit LoadStorm(StormConfig cfg);
+  ~LoadStorm();
+
+  LoadStorm(const LoadStorm&) = delete;
+  LoadStorm& operator=(const LoadStorm&) = delete;
+
+  // Runs the storm on the calling thread; returns when the budget is
+  // spent (or the deadline hit). Safe to call once.
+  util::Result<StormResult> Run();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace sams::loadgen

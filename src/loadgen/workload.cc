@@ -1,0 +1,208 @@
+#include "loadgen/workload.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sams::loadgen {
+
+const char* TrafficClassName(TrafficClass klass) {
+  switch (klass) {
+    case TrafficClass::kHam: return "ham";
+    case TrafficClass::kSpam: return "spam";
+    case TrafficClass::kBounce: return "bounce";
+  }
+  return "?";
+}
+
+std::uint64_t Fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+WorkloadModel::WorkloadModel(WorkloadConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed) {
+  mix_weights_ = {cfg_.ham_weight, cfg_.spam_weight, cfg_.bounce_weight};
+  if (cfg_.ham_weight + cfg_.spam_weight + cfg_.bounce_weight <= 0) {
+    mix_weights_ = {1.0, 0.0, 0.0};
+  }
+  if (cfg_.valid_rcpts.empty()) cfg_.valid_rcpts = {"alice@dept.test"};
+}
+
+std::string WorkloadModel::Body(std::size_t bytes) const {
+  // Reproducible filler: 72-char lines, no leading dots, terminated by
+  // the dot-stuffing end marker. Content does not matter to the server
+  // (the content filter sees no spammy tokens), size does.
+  static constexpr char kLine[] =
+      "the quick brown fox jumps over the lazy dog 0123456789 lorem ip\r\n";
+  std::string body = "Subject: storm\r\n\r\n";
+  while (body.size() < bytes) body.append(kLine, sizeof(kLine) - 1);
+  body += ".\r\n";
+  return body;
+}
+
+namespace {
+DialogStep Cmd(std::string bytes, char tag) {
+  DialogStep step;
+  step.bytes = std::move(bytes);
+  step.expect_replies = 1;
+  step.reply_tags.push_back(tag);
+  return step;
+}
+
+DialogStep BodyStep(std::string bytes) {
+  DialogStep step;
+  step.bytes = std::move(bytes);
+  step.expect_replies = 1;
+  step.is_body = true;
+  step.reply_tags = "B";
+  return step;
+}
+}  // namespace
+
+SessionPlan WorkloadModel::MakeHam() {
+  SessionPlan plan;
+  plan.klass = TrafficClass::kHam;
+  const std::uint64_t id = ++serial_;
+  plan.steps.push_back(
+      Cmd("HELO relay" + std::to_string(id % 97) + ".ham.example\r\n", 'H'));
+  plan.steps.push_back(
+      Cmd("MAIL FROM:<news" + std::to_string(id) + "@ham.example>\r\n", 'M'));
+  // One or two valid recipients (distinct — the store rejects a
+  // duplicate mailbox in one envelope): real mail knows its audience.
+  const int rcpts =
+      rng_.Bernoulli(0.25) && cfg_.valid_rcpts.size() >= 2 ? 2 : 1;
+  const std::size_t pick = static_cast<std::size_t>(rng_.UniformInt(
+      0, static_cast<std::int64_t>(cfg_.valid_rcpts.size()) - 1));
+  for (int i = 0; i < rcpts; ++i) {
+    const std::size_t rcpt = (pick + static_cast<std::size_t>(i)) %
+                             cfg_.valid_rcpts.size();
+    plan.steps.push_back(
+        Cmd("RCPT TO:<" + cfg_.valid_rcpts[rcpt] + ">\r\n", 'R'));
+  }
+  plan.steps.push_back(Cmd("DATA\r\n", 'D'));
+  const std::size_t size = std::min(
+      cfg_.max_body_bytes,
+      static_cast<std::size_t>(rng_.LogNormal(cfg_.ham_size_mu,
+                                              cfg_.ham_size_sigma)));
+  plan.steps.push_back(BodyStep(Body(size)));
+  plan.steps.push_back(Cmd("QUIT\r\n", 'Q'));
+  return plan;
+}
+
+SessionPlan WorkloadModel::MakeSpam() {
+  SessionPlan plan;
+  plan.klass = TrafficClass::kSpam;
+  const std::uint64_t id = ++serial_;
+  plan.pregreet = rng_.Bernoulli(cfg_.spam_pregreet_frac);
+  plan.pipelined = rng_.Bernoulli(cfg_.spam_pipeline_frac);
+  // Bare-IP HELO: a classic bot tell the reputation engine scores.
+  plan.steps.push_back(Cmd("HELO 10.66." + std::to_string(id % 200) + "." +
+                               std::to_string(2 + id % 250) + "\r\n",
+                           'H'));
+  plan.steps.push_back(Cmd(
+      "MAIL FROM:<promo" + std::to_string(id) + "@storm.example>\r\n", 'M'));
+  // Dictionary attack: probe several guesses, land on a valid mailbox
+  // some of the time.
+  int rcpts = 1;
+  while (rcpts < cfg_.spam_rcpt_max && rng_.Bernoulli(0.55)) ++rcpts;
+  for (int i = 0; i < rcpts; ++i) {
+    if (rng_.Bernoulli(0.3)) {
+      const std::size_t pick = static_cast<std::size_t>(rng_.UniformInt(
+          0, static_cast<std::int64_t>(cfg_.valid_rcpts.size()) - 1));
+      plan.steps.push_back(
+          Cmd("RCPT TO:<" + cfg_.valid_rcpts[pick] + ">\r\n", 'R'));
+    } else {
+      plan.steps.push_back(
+          Cmd("RCPT TO:<guess" + std::to_string(rng_.UniformInt(0, 99999)) +
+                  "@" + cfg_.guess_domain + ">\r\n",
+              'R'));
+    }
+  }
+  plan.steps.push_back(Cmd("DATA\r\n", 'D'));
+  const std::size_t size = std::min(
+      cfg_.max_body_bytes,
+      static_cast<std::size_t>(rng_.LogNormal(cfg_.spam_size_mu,
+                                              cfg_.spam_size_sigma)));
+  plan.steps.push_back(BodyStep(Body(size)));
+  plan.steps.push_back(Cmd("QUIT\r\n", 'Q'));
+  return plan;
+}
+
+SessionPlan WorkloadModel::MakeBounce() {
+  SessionPlan plan;
+  plan.klass = TrafficClass::kBounce;
+  const std::uint64_t id = ++serial_;
+  plan.steps.push_back(
+      Cmd("HELO mx" + std::to_string(id % 13) + ".remote.example\r\n", 'H'));
+  // Null reverse-path: the DSN envelope sender.
+  plan.steps.push_back(Cmd("MAIL FROM:<>\r\n", 'M'));
+  const std::size_t pick = static_cast<std::size_t>(rng_.UniformInt(
+      0, static_cast<std::int64_t>(cfg_.valid_rcpts.size()) - 1));
+  plan.steps.push_back(
+      Cmd("RCPT TO:<" + cfg_.valid_rcpts[pick] + ">\r\n", 'R'));
+  plan.steps.push_back(Cmd("DATA\r\n", 'D'));
+  plan.steps.push_back(BodyStep(Body(512)));
+  plan.steps.push_back(Cmd("QUIT\r\n", 'Q'));
+  return plan;
+}
+
+void WorkloadModel::Finish(SessionPlan& plan) {
+  plan.slow = cfg_.slow_frac > 0 && rng_.Bernoulli(cfg_.slow_frac);
+  if (plan.slow && !plan.pipelined) {
+    for (std::size_t i = 1; i < plan.steps.size(); ++i) {
+      plan.steps[i].gap_ns = cfg_.slow_gap_ns;
+    }
+  }
+  if (plan.pipelined && plan.steps.size() > 1) {
+    // Fuse the command dialog into single segments; replies are still
+    // counted (and tagged) individually. The body stays its own step
+    // so it can be skipped when no RCPT stuck.
+    SessionPlan fused;
+    fused.klass = plan.klass;
+    fused.pregreet = plan.pregreet;
+    fused.pipelined = true;
+    fused.slow = plan.slow;
+    DialogStep blast;
+    for (auto& step : plan.steps) {
+      if (step.is_body) {
+        if (!blast.bytes.empty()) fused.steps.push_back(blast);
+        blast = DialogStep{};
+        fused.steps.push_back(step);
+        continue;
+      }
+      blast.bytes += step.bytes;
+      blast.expect_replies += step.expect_replies;
+      blast.reply_tags += step.reply_tags;
+    }
+    if (!blast.bytes.empty()) fused.steps.push_back(blast);
+    plan = std::move(fused);
+  }
+  std::uint64_t h = kFnvOffset;
+  const char klass = static_cast<char>(plan.klass);
+  h = Fnv1a(h, &klass, 1);
+  const char flags = static_cast<char>((plan.pregreet ? 1 : 0) |
+                                       (plan.pipelined ? 2 : 0) |
+                                       (plan.slow ? 4 : 0));
+  h = Fnv1a(h, &flags, 1);
+  for (const auto& step : plan.steps) {
+    h = Fnv1a(h, step.bytes.data(), step.bytes.size());
+  }
+  plan.digest = h;
+}
+
+SessionPlan WorkloadModel::Next() {
+  SessionPlan plan;
+  switch (rng_.WeightedIndex(mix_weights_)) {
+    case 0: plan = MakeHam(); break;
+    case 1: plan = MakeSpam(); break;
+    default: plan = MakeBounce(); break;
+  }
+  Finish(plan);
+  return plan;
+}
+
+}  // namespace sams::loadgen

@@ -1,0 +1,123 @@
+// Deterministic SMTP workload synthesis for the load-storm harness.
+//
+// A WorkloadModel turns a seeded PRNG into a reproducible stream of
+// SessionPlans — complete SMTP dialogs (command bytes, expected reply
+// counts, inter-step gaps) for ham, spam, and bounce traffic. Message
+// sizes and dialog shapes follow the flow-level spam-vs-ham
+// characteristics of Schatzmann et al. (PAPERS.md, arXiv 0808.4104):
+// spam flows are small and tightly clustered (log-normal around ~2 KiB)
+// and probe many recipients per connection (dictionary attacks), while
+// ham is heavier-tailed (~8 KiB median, long tail) and targets one or
+// two valid recipients. Bounce traffic uses the null reverse-path.
+//
+// Everything here is pure computation on the Rng — no sockets, no
+// clocks — so the same seed yields byte-identical plans on every
+// platform, which is what makes the CI smoke gates and the determinism
+// test possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sams::loadgen {
+
+enum class TrafficClass { kHam, kSpam, kBounce };
+
+const char* TrafficClassName(TrafficClass klass);
+
+// One write the client performs, and what it waits for afterwards.
+struct DialogStep {
+  std::string bytes;       // goes on the wire verbatim
+  int expect_replies = 0;  // final SMTP reply lines to collect before
+                           // advancing (0 = fire and advance)
+  std::int64_t gap_ns = 0;  // delay before this step's write
+                            // (slow-talker pacing; 0 = immediate)
+  bool is_body = false;  // DATA payload: skipped when the server never
+                         // granted 354 (all RCPTs rejected/greylisted)
+  // One char per expected reply naming the command it answers —
+  // H(ELO) M(AIL) R(CPT) D(ATA) B(ody end) Q(UIT) — so the driver can
+  // classify reply codes exactly even when a pipelined blast fuses the
+  // whole dialog into one step.
+  std::string reply_tags;
+};
+
+// A full scripted session. The driver connects, waits for the banner
+// (unless pregreeting), then walks the steps.
+struct SessionPlan {
+  TrafficClass klass = TrafficClass::kHam;
+  bool pregreet = false;   // blast the first step before the banner
+  bool pipelined = false;  // whole command dialog fused into one write
+  bool slow = false;       // inter-step gaps armed
+  std::vector<DialogStep> steps;
+  // FNV-1a over the plan's shape (class, flags, step bytes). The storm
+  // folds these, in launch order, into a schedule digest the
+  // determinism test compares across runs.
+  std::uint64_t digest = 0;
+};
+
+struct WorkloadConfig {
+  // Traffic mix weights (normalized internally; all-zero = ham only).
+  double ham_weight = 0.3;
+  double spam_weight = 0.6;
+  double bounce_weight = 0.1;
+
+  // Share of spam sessions that pregreet (blast before the banner) and
+  // that pipeline the whole dialog in one segment — postscreen's two
+  // classic tells.
+  double spam_pregreet_frac = 0.15;
+  double spam_pipeline_frac = 0.5;
+
+  // Share of sessions (any class) that talk slowly, and the inter-step
+  // gap they use. Slow ham models a congested relay; slow spam is a
+  // slow-loris probe.
+  double slow_frac = 0.0;
+  std::int64_t slow_gap_ns = 20'000'000;  // 20 ms
+
+  // Schatzmann flow-level size models: log-normal parameters of the
+  // *underlying* normal. Spam ~2 KiB tight; ham ~8 KiB heavy-tailed.
+  double spam_size_mu = 7.6;
+  double spam_size_sigma = 0.55;
+  double ham_size_mu = 9.0;
+  double ham_size_sigma = 1.1;
+  std::size_t max_body_bytes = 256 * 1024;  // tail clamp
+
+  // Recipients the server considers valid (RecipientDb contents).
+  // Spam probes beyond them with dictionary guesses.
+  std::vector<std::string> valid_rcpts = {"alice@dept.test"};
+  std::string guess_domain = "dept.test";  // dictionary-attack target
+
+  // Spam RCPT probing: geometric-ish count in [1, spam_rcpt_max], most
+  // of them invalid guesses.
+  int spam_rcpt_max = 6;
+};
+
+class WorkloadModel {
+ public:
+  WorkloadModel(WorkloadConfig cfg, std::uint64_t seed);
+
+  // The next scripted session in the deterministic sequence.
+  SessionPlan Next();
+
+  const WorkloadConfig& config() const { return cfg_; }
+
+ private:
+  SessionPlan MakeHam();
+  SessionPlan MakeSpam();
+  SessionPlan MakeBounce();
+  std::string Body(std::size_t bytes) const;
+  void Finish(SessionPlan& plan);  // pipelining fusion, gaps, digest
+
+  WorkloadConfig cfg_;
+  util::Rng rng_;
+  std::vector<double> mix_weights_;
+  std::uint64_t serial_ = 0;  // varies MAIL FROM / HELO per session
+};
+
+// FNV-1a, the digest primitive shared by plans and the storm schedule.
+std::uint64_t Fnv1a(std::uint64_t h, const void* data, std::size_t n);
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+
+}  // namespace sams::loadgen

@@ -81,6 +81,16 @@ struct SmtpServer::MasterConn {
   std::int64_t first_cmd_ns = -1;
   // Stall watchdog: a stuck session is reported once, not every tick.
   bool stall_logged = false;
+  // Reply-path backpressure (all touched on the shard loop only): when
+  // a reply send hits EAGAIN — a slow talker whose receive window is
+  // full — the remainder parks here and EPOLLOUT is armed instead of
+  // aborting the session or blocking the reactor. Bounded: a peer that
+  // never drains is closed once the buffer cap is blown.
+  std::string outbuf;
+  std::size_t outbuf_off = 0;
+  bool want_write = false;          // EPOLLOUT currently armed
+  bool close_when_flushed = false;  // session over; bytes still queued
+  bool delegate_when_flushed = false;  // trust granted mid-backpressure
 };
 
 // One pre-trust reactor: an event loop on its own thread, plus (in
@@ -97,6 +107,14 @@ struct SmtpServer::Shard {
   // Set by ShardLoop before Run(); fallback accept tasks posted onto
   // the loop call it (on the loop thread) to adopt a connection.
   std::function<void(net::Accepted&&)> adopt;
+  // EMFILE interplay (loop thread only): the edge-triggered listener
+  // saw a persistent accept error, so connections already completed in
+  // its queue will never produce another edge. close_conn re-drains via
+  // drain_accept as soon as a session frees a descriptor — accepted
+  // sessions keep their fds; the backlog waits for capacity, not for
+  // the next SYN.
+  bool accept_stalled = false;
+  std::function<void()> drain_accept;
 };
 
 SmtpServer::SmtpServer(RealServerConfig cfg, RecipientDb recipients,
@@ -219,11 +237,30 @@ void SmtpServer::BindObservability(obs::Registry& registry,
       "sams_smtp_pregreet_scored_total",
       "early talkers scored by the reputation gate instead of reaped",
       arch);
+  auto* reply_backpressured = &registry.GetCounter(
+      "sams_smtp_reply_backpressure_total",
+      "reply sends that hit EAGAIN and parked in the outbound buffer",
+      arch);
+  auto* reply_overflow = &registry.GetCounter(
+      "sams_smtp_reply_overflow_closed_total",
+      "sessions aborted because the outbound reply buffer cap was blown",
+      arch);
+  auto* accept_redrains = &registry.GetCounter(
+      "sams_smtp_accept_redrains_total",
+      "EMFILE-stalled accept queues re-drained after a session closed",
+      arch);
   registry.AddCollector([this, conns, mails, mailbox, rejected, content,
                          pregreet, delegations, master_closed, errors, reaped,
                          sheds, deaths, requeues, accept_errors, inflight,
                          dnsbl_rejects, dnsbl_deferred, stalled, rep_rejects,
-                         rep_greylisted, pregreet_scored] {
+                         rep_greylisted, pregreet_scored, reply_backpressured,
+                         reply_overflow, accept_redrains] {
+    reply_backpressured->Overwrite(
+        stats_.reply_backpressured.load(std::memory_order_relaxed));
+    reply_overflow->Overwrite(
+        stats_.reply_overflow_closed.load(std::memory_order_relaxed));
+    accept_redrains->Overwrite(
+        stats_.accept_redrains.load(std::memory_order_relaxed));
     stalled->Overwrite(
         stats_.stalled_sessions.load(std::memory_order_relaxed));
     rep_rejects->Overwrite(stats_.rep_rejects.load(std::memory_order_relaxed));
@@ -444,6 +481,7 @@ util::Result<std::uint16_t> SmtpServer::Start() {
     bool reuseport_ok = SAMS_FAULT_ERROR("mta.shard.reuseport").ok();
     if (reuseport_ok) {
       net::ListenOptions options;
+      options.backlog = cfg_.listen_backlog;
       options.reuse_port = true;
       for (int i = 0; i < num_shards; ++i) {
         auto listener =
@@ -471,7 +509,7 @@ util::Result<std::uint16_t> SmtpServer::Start() {
     if (handoff_fallback_) {
       // Fallback: a single conventional listener plus an accept thread
       // that round-robins accepted descriptors into the shard loops.
-      auto listener = net::TcpListen(cfg_.port);
+      auto listener = net::TcpListen(cfg_.port, cfg_.listen_backlog);
       if (!listener.ok()) return listener.error();
       listener_ = std::move(*listener);
       auto port = net::LocalPort(listener_.get());
@@ -490,7 +528,7 @@ util::Result<std::uint16_t> SmtpServer::Start() {
       if (registry_ != nullptr) shard->loop->BindMetrics(*registry_);
     }
   } else {
-    auto listener = net::TcpListen(cfg_.port);
+    auto listener = net::TcpListen(cfg_.port, cfg_.listen_backlog);
     if (!listener.ok()) return listener.error();
     listener_ = std::move(*listener);
     auto port = net::LocalPort(listener_.get());
@@ -906,6 +944,58 @@ smtp::RcptGateDecision SmtpServer::GateVerdict(MasterConn& conn,
   return smtp::RcptGateDecision::kReject;
 }
 
+namespace {
+// Cap on a pre-trust session's queued reply bytes. SMTP replies are a
+// few dozen bytes each, so a healthy dialog never comes close; a peer
+// that advertises a zero window across 64 KiB of replies is a reply
+// sink, not a slow link.
+constexpr std::size_t kMaxReplyOutbuf = 64 * 1024;
+}  // namespace
+
+bool SmtpServer::SendOrBuffer(net::EventLoop& loop, int fd, MasterConn& conn,
+                              std::string bytes) {
+  if (conn.outbuf.empty()) {
+    // Fast path: nothing queued, so ordering allows a direct attempt.
+    auto sent = net::SendNonBlocking(fd, bytes.data(), bytes.size());
+    if (!sent.ok()) return false;  // peer dead → session aborts
+    if (*sent == bytes.size()) return true;
+    bytes.erase(0, *sent);
+    conn.outbuf_off = 0;
+  } else if (conn.outbuf_off > 0) {
+    // Compact the drained prefix before growing the queue.
+    conn.outbuf.erase(0, conn.outbuf_off);
+    conn.outbuf_off = 0;
+  }
+  if (conn.outbuf.size() + bytes.size() > kMaxReplyOutbuf) {
+    stats_.reply_overflow_closed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  stats_.reply_backpressured.fetch_add(1, std::memory_order_relaxed);
+  conn.outbuf += bytes;
+  if (!conn.want_write) {
+    conn.want_write = true;
+    (void)loop.Modify(fd, EPOLLIN | EPOLLOUT | EPOLLET);
+  }
+  return true;
+}
+
+bool SmtpServer::FlushOutbuf(net::EventLoop& loop, int fd, MasterConn& conn) {
+  while (conn.outbuf_off < conn.outbuf.size()) {
+    auto sent = net::SendNonBlocking(fd, conn.outbuf.data() + conn.outbuf_off,
+                                     conn.outbuf.size() - conn.outbuf_off);
+    if (!sent.ok()) return false;
+    if (*sent == 0) return true;  // still backpressured; EPOLLOUT re-fires
+    conn.outbuf_off += *sent;
+  }
+  conn.outbuf.clear();
+  conn.outbuf_off = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    (void)loop.Modify(fd, EPOLLIN | EPOLLET);
+  }
+  return true;
+}
+
 void SmtpServer::ShardLoop(Shard& shard) {
   // Connections keyed by fd; sessions run in this shard's event loop
   // until the first valid RCPT, then get shipped to a worker.
@@ -943,12 +1033,28 @@ void SmtpServer::ShardLoop(Shard& shard) {
     shard.sessions.fetch_sub(1, std::memory_order_relaxed);
     stats_.master_closed.fetch_add(1, std::memory_order_relaxed);
     SessionDone();
+    if (shard.accept_stalled && shard.drain_accept) {
+      // This close freed a descriptor; connections parked in the
+      // listener's queue since the EMFILE edge get their chance now
+      // instead of starving until the next SYN.
+      shard.accept_stalled = false;
+      stats_.accept_redrains.fetch_add(1, std::memory_order_relaxed);
+      shard.drain_accept();
+    }
   };
 
   auto delegate = [this, &shard, &conns, loop](int fd) {
     auto it = conns.find(fd);
     if (it == conns.end()) return;
     MasterConn& conn = *it->second;
+    if (!conn.outbuf.empty()) {
+      // The first RCPT's 250 (or earlier replies) are still queued
+      // behind the peer's full receive window. Handing the fd to a
+      // worker now would interleave its blocking writes with ours;
+      // park the delegation until the flush path drains the buffer.
+      conn.delegate_when_flushed = true;
+      return;
+    }
     conn.session->TraceHandoff();
     auto payload = conn.session->SerializeHandoff();
     bool handed_off = false;
@@ -970,11 +1076,26 @@ void SmtpServer::ShardLoop(Shard& shard) {
     shard.sessions.fetch_sub(1, std::memory_order_relaxed);
   };
 
+  // Ends a session whose dialog is over but whose final reply (221,
+  // 554, ...) may still sit in the outbound buffer: closes immediately
+  // when nothing is queued (or the peer is already gone), otherwise
+  // defers to the flush path so the farewell actually reaches the wire.
+  auto request_close = [&conns, close_conn](int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    MasterConn& conn = *it->second;
+    if (!conn.outbuf.empty() && conn.session && !conn.session->peer_dead()) {
+      conn.close_when_flushed = true;
+      return;
+    }
+    close_conn(fd);
+  };
+
   // Lands a DNSBL verdict on a connection. Always runs on this shard's
   // loop thread (inline from the pipeline, or Posted by another shard
   // that completed the coalesced round). The (fd, gen) pair keys the
   // connection so a verdict for a dead-and-recycled fd is a no-op.
-  auto on_verdict = [this, &conns, close_conn, delegate](
+  auto on_verdict = [this, &conns, request_close, delegate](
                         int fd, std::uint64_t gen,
                         const dnsbl::AsyncVerdict& verdict) {
     auto it = conns.find(fd);
@@ -1015,16 +1136,38 @@ void SmtpServer::ShardLoop(Shard& shard) {
       return;
     }
     if (conn.closed || conn.session->state() == smtp::SessionState::kClosed) {
-      close_conn(fd);
+      request_close(fd);
     }
+  };
+
+  // EPOLLOUT edge: the slow talker finally drained some of its receive
+  // window. Flush, then fire whichever transition was parked behind the
+  // backlog (delegation at trust, close after the final reply).
+  auto on_writable = [this, &conns, loop, close_conn, delegate](int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    MasterConn& conn = *it->second;
+    if (!FlushOutbuf(*loop, fd, conn)) {
+      close_conn(fd);
+      return;
+    }
+    if (!conn.outbuf.empty()) return;  // partial drain; wait for the next edge
+    if (conn.delegate_when_flushed) {
+      conn.delegate_when_flushed = false;
+      delegate(fd);
+      return;
+    }
+    if (conn.close_when_flushed) close_conn(fd);
   };
 
   // Feeds bytes into a session and applies the transitions that may
   // follow (delegation at trust, close on QUIT/554/error). Returns
   // false when the connection was handed off or torn down — the
-  // MasterConn reference is dead in that case.
-  auto feed_session = [&conns, close_conn, delegate](int fd, MasterConn& conn,
-                                                     std::string_view bytes) {
+  // MasterConn reference is dead in that case. (With replies still
+  // queued the close is deferred, but input processing stops either
+  // way: the session FSM is closed and Feed() ignores further bytes.)
+  auto feed_session = [&conns, request_close, delegate](
+                          int fd, MasterConn& conn, std::string_view bytes) {
     (void)conns;
     conn.session->Feed(bytes);
     if (conn.session->paused()) {
@@ -1032,14 +1175,19 @@ void SmtpServer::ShardLoop(Shard& shard) {
       return false;
     }
     if (conn.closed || conn.session->state() == smtp::SessionState::kClosed) {
-      close_conn(fd);
+      request_close(fd);
       return false;
     }
     return true;
   };
 
-  auto on_client_event = [this, &conns, close_conn, feed_session](
-                             int fd, std::uint32_t) {
+  auto on_client_event = [this, &conns, close_conn, feed_session, on_writable](
+                             int fd, std::uint32_t events) {
+    if ((events & EPOLLOUT) != 0) {
+      on_writable(fd);
+      if (conns.find(fd) == conns.end()) return;  // flushed-and-closed
+    }
+    if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) return;
     auto it = conns.find(fd);
     if (it == conns.end()) return;
     MasterConn& conn = *it->second;
@@ -1111,6 +1259,10 @@ void SmtpServer::ShardLoop(Shard& shard) {
     }
     shard.sessions.fetch_add(1, std::memory_order_relaxed);
     shard.accepted.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.client_sndbuf > 0) {
+      const int sndbuf = cfg_.client_sndbuf;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+    }
 
     auto conn = std::make_unique<MasterConn>();
     conn->fd = std::move(accepted.fd);
@@ -1123,11 +1275,14 @@ void SmtpServer::ShardLoop(Shard& shard) {
               ? cfg_.dnsbl_ip_mapper(accepted.peer_ip)
               : util::Ipv4::Parse(accepted.peer_ip).value_or(util::Ipv4());
     }
+    MasterConn* raw_conn = conn.get();
     smtp::ServerSession::Hooks hooks;
-    hooks.send = [fd](std::string bytes) {
-      // SendAll gives up with kUnavailable instead of parking the
-      // reactor; a false return closes the session via peer_dead.
-      return util::SendAll(fd, bytes.data(), bytes.size()).ok();
+    hooks.send = [this, loop, fd, raw_conn](std::string bytes) {
+      // EAGAIN (slow talker, full receive window) parks the remainder
+      // in the connection's bounded outbuf with EPOLLOUT armed instead
+      // of aborting; a false return (dead peer, buffer cap) closes the
+      // session via peer_dead.
+      return SendOrBuffer(*loop, fd, *raw_conn, std::move(bytes));
     };
     hooks.validate_rcpt = [this](const smtp::Address& addr) {
       const bool ok = recipients_.IsValid(addr);
@@ -1136,7 +1291,6 @@ void SmtpServer::ShardLoop(Shard& shard) {
       }
       return ok;
     };
-    MasterConn* raw_conn = conn.get();
     // Freeze the session at the first valid RCPT: the remaining
     // bytes stay buffered and travel inside the handoff payload.
     hooks.on_first_valid_rcpt = [raw_conn] {
@@ -1187,18 +1341,27 @@ void SmtpServer::ShardLoop(Shard& shard) {
           trace_, &util::MonotonicNanos,
           trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
     }
+    // Register before the banner goes out: the send hook's EPOLLOUT
+    // arming is a Modify on this fd, so it must already be in the
+    // epoll set (nothing dispatches until this adopt call returns to
+    // Run(), so the early registration cannot race the setup below).
+    conns.emplace(fd, std::move(conn));
+    (void)loop->Add(fd, EPOLLIN | EPOLLET,
+                    [fd, on_client_event](std::uint32_t e) {
+                      on_client_event(fd, e);
+                    });
     if (cfg_.pregreet_delay_ms > 0) {
       // Withhold the banner; arm a one-shot timer. Bytes arriving
       // before it fires brand the client an early talker.
-      conn->banner_sent = false;
-      conn->pregreet_timer.Reset(
+      raw_conn->banner_sent = false;
+      raw_conn->pregreet_timer.Reset(
           ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC));
       struct itimerspec when {};
       when.it_value.tv_sec = cfg_.pregreet_delay_ms / 1000;
       when.it_value.tv_nsec =
           static_cast<long>(cfg_.pregreet_delay_ms % 1000) * 1'000'000L;
-      ::timerfd_settime(conn->pregreet_timer.get(), 0, &when, nullptr);
-      const int timer_fd = conn->pregreet_timer.get();
+      ::timerfd_settime(raw_conn->pregreet_timer.get(), 0, &when, nullptr);
+      const int timer_fd = raw_conn->pregreet_timer.get();
       (void)loop->Add(
           timer_fd, EPOLLIN,
           [this, &shard, &conns, close_conn, feed_session, loop, fd,
@@ -1246,14 +1409,9 @@ void SmtpServer::ShardLoop(Shard& shard) {
             }
           });
     } else {
-      conn->session->Start();
-      conn->banner_ns = util::MonotonicNanos();
+      raw_conn->session->Start();
+      raw_conn->banner_ns = util::MonotonicNanos();
     }
-    conns.emplace(fd, std::move(conn));
-    (void)loop->Add(fd, EPOLLIN | EPOLLET,
-                    [fd, on_client_event](std::uint32_t e) {
-                      on_client_event(fd, e);
-                    });
     if (pipeline_raw != nullptr && cfg_.dnsbl_overlap) {
       // Launch the DNSBL round NOW, at accept: its RTT runs under the
       // banner→HELO→MAIL dialog instead of stalling the first RCPT.
@@ -1280,31 +1438,40 @@ void SmtpServer::ShardLoop(Shard& shard) {
     // of spinning on a level-triggered ready listener.
     (void)util::SetNonBlocking(shard.listener.get());
     const int listen_fd = shard.listener.get();
-    const util::Error add_err = loop->Add(
-        listen_fd, EPOLLIN | EPOLLET,
-        [this, setup_conn, loop, listen_fd](std::uint32_t) {
-          for (;;) {
-            int err = 0;
-            auto accepted = net::TcpAcceptNonBlocking(listen_fd, &err);
-            if (!accepted.ok()) {
-              if (err == EAGAIN || err == EWOULDBLOCK) return;
-              if (!accepting_.load(std::memory_order_acquire)) {
-                // Drain() shut the listener down; stop polling it.
-                (void)loop->Remove(listen_fd);
-                return;
-              }
-              if (OnAcceptError(err, 0) == 0) continue;  // transient
-              return;  // persistent (EMFILE...): wait for the next edge
-            }
-            stats_.connections.fetch_add(1, std::memory_order_relaxed);
-            if (!AdmitSession(accepted->fd.get())) continue;  // shed
-            setup_conn(std::move(*accepted));
+    auto drain_accept = [this, &shard, setup_conn, loop, listen_fd]() {
+      for (;;) {
+        int err = 0;
+        auto accepted = net::TcpAcceptNonBlocking(listen_fd, &err);
+        if (!accepted.ok()) {
+          if (err == EAGAIN || err == EWOULDBLOCK) return;
+          if (!accepting_.load(std::memory_order_acquire)) {
+            // Drain() shut the listener down; stop polling it.
+            (void)loop->Remove(listen_fd);
+            return;
           }
-        });
+          if (OnAcceptError(err, 0) == 0) continue;  // transient
+          // Persistent (EMFILE/ENFILE): connections already completed
+          // in the queue will never raise another edge on their own.
+          // Mark the shard stalled so close_conn re-drains the moment
+          // a session frees a descriptor — already-accepted sessions
+          // keep running; only new admissions wait for capacity.
+          shard.accept_stalled = true;
+          return;
+        }
+        stats_.connections.fetch_add(1, std::memory_order_relaxed);
+        if (!AdmitSession(accepted->fd.get())) continue;  // shed
+        setup_conn(std::move(*accepted));
+      }
+    };
+    shard.drain_accept = drain_accept;
+    const util::Error add_err =
+        loop->Add(listen_fd, EPOLLIN | EPOLLET,
+                  [drain_accept](std::uint32_t) { drain_accept(); });
     if (!add_err.ok()) {
       SAMS_LOG(kError) << "shard " << shard.index
                        << " loop setup failed: " << add_err.ToString();
       shard.adopt = nullptr;
+      shard.drain_accept = nullptr;
       return;
     }
   }
@@ -1435,6 +1602,7 @@ void SmtpServer::ShardLoop(Shard& shard) {
 
   (void)loop->Run();
   shard.adopt = nullptr;
+  shard.drain_accept = nullptr;
   if (pipeline) dnsbl_shards_bound_.fetch_sub(1, std::memory_order_relaxed);
   // Drain: close any connections still parked in this shard.
   shard.sessions.fetch_sub(static_cast<int>(conns.size()),

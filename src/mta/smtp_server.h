@@ -106,6 +106,16 @@ struct RealServerConfig {
   // BindEventLog; unlike the idle reaper above it only OBSERVES — the
   // session is left alone so the stall can be diagnosed live.
   int stall_watchdog_ms = 0;
+  // SO_SNDBUF (bytes) on accepted client sockets in the fork-after-trust
+  // shards; 0 keeps the kernel default. Tests shrink it so a slow-talker
+  // peer fills its receive window after a handful of replies and the
+  // partial-write continuation path actually runs.
+  int client_sndbuf = 0;
+  // listen(2) backlog on every listener. The default suits interactive
+  // tests; a saturation storm connecting thousands of clients in one
+  // burst needs the accept queue deeper than 128 or the ramp
+  // serializes on SYN retransmits (clamped by net.core.somaxconn).
+  int listen_backlog = 128;
 
   // --- async DNSBL (fork-after-trust master, DESIGN.md §10) ----------
   // When enabled, each shard runs a dnsbl::AsyncLookupPipeline on its
@@ -159,6 +169,13 @@ struct RealServerStats {
   std::atomic<std::uint64_t> rep_greylisted{0};    // 450 by reputation score
   std::atomic<std::uint64_t> pregreet_scored{0};   // early talkers scored
                                                    // instead of reaped
+  std::atomic<std::uint64_t> reply_backpressured{0};  // reply sends that hit
+                                                      // EAGAIN and buffered
+  std::atomic<std::uint64_t> reply_overflow_closed{0};  // sessions aborted:
+                                                        // outbound buffer cap
+  std::atomic<std::uint64_t> accept_redrains{0};   // EMFILE-stalled accept
+                                                   // queues re-drained after
+                                                   // a session freed an fd
 };
 
 // One row of SmtpServer::Health() — the /healthz contract: every
@@ -268,6 +285,16 @@ class SmtpServer {
   // owning shard's loop thread.
   smtp::RcptGateDecision GateVerdict(MasterConn& conn,
                                      const std::string& rcpt);
+  // Reply-path backpressure (shard reactors only): try the wire, then
+  // park the remainder in the connection's bounded outbound buffer and
+  // arm EPOLLOUT. False = peer dead or buffer cap blown — the session
+  // aborts via the send hook's peer_dead contract. Runs on the owning
+  // shard's loop thread.
+  bool SendOrBuffer(net::EventLoop& loop, int fd, MasterConn& conn,
+                    std::string bytes);
+  // Drains the buffered reply bytes after an EPOLLOUT edge; disarms
+  // write interest once empty. False = hard send error (peer gone).
+  bool FlushOutbuf(net::EventLoop& loop, int fd, MasterConn& conn);
   // Round-robins `payload` + the client socket over the live workers,
   // retiring dead channels (EPIPE) and retrying on the next one.
   // Thread-safe: shards delegate concurrently. False = no live worker.

@@ -151,6 +151,81 @@ util::Result<util::UniqueFd> TcpConnect(const std::string& host,
   return fd;
 }
 
+util::Result<PendingConnect> TcpConnectNonBlocking(const std::string& host,
+                                                   std::uint16_t port,
+                                                   int* errno_out) {
+  if (errno_out != nullptr) *errno_out = 0;
+  util::UniqueFd fd(
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    if (errno_out != nullptr) *errno_out = errno;
+    return util::IoError(Errno("socket"));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::InvalidArgument("bad IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  PendingConnect pending;
+  if (rc == 0) {
+    pending.connected = true;  // loopback fast path
+  } else if (errno == EINPROGRESS) {
+    pending.connected = false;  // resolve via EPOLLOUT + ConnectSocketError
+  } else {
+    if (errno_out != nullptr) *errno_out = errno;
+    return util::IoError(Errno("connect"));
+  }
+  pending.fd = std::move(fd);
+  return pending;
+}
+
+int ConnectSocketError(int fd) {
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    return errno != 0 ? errno : EBADF;
+  }
+  return so_error;
+}
+
+util::Result<std::size_t> SendNonBlocking(int fd, const void* data,
+                                          std::size_t n) {
+  std::size_t sent = 0;
+  const char* bytes = static_cast<const char*>(data);
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return util::Unavailable(Errno("send"));
+  }
+  return sent;
+}
+
+std::string SocketErrnoName(int err) {
+  switch (err) {
+    case ECONNREFUSED: return "ECONNREFUSED";
+    case ETIMEDOUT: return "ETIMEDOUT";
+    case ECONNRESET: return "ECONNRESET";
+    case EPIPE: return "EPIPE";
+    case EHOSTUNREACH: return "EHOSTUNREACH";
+    case ENETUNREACH: return "ENETUNREACH";
+    case EADDRNOTAVAIL: return "EADDRNOTAVAIL";
+    case EINPROGRESS: return "EINPROGRESS";
+    default: return AcceptErrnoName(err);
+  }
+}
+
 util::Error SetRecvTimeout(int fd, int millis) {
   struct timeval tv;
   tv.tv_sec = millis / 1000;

@@ -56,6 +56,39 @@ std::string AcceptErrnoName(int err);
 util::Result<util::UniqueFd> TcpConnect(const std::string& host,
                                         std::uint16_t port);
 
+// Starts a non-blocking connect. `connected` is true when the kernel
+// completed the handshake inline (loopback fast path); otherwise the
+// caller registers the fd for EPOLLOUT and, on the writability edge,
+// reads the outcome with ConnectSocketError. A synchronous refusal
+// (ECONNREFUSED on some kernels) or fd exhaustion (EMFILE) surfaces as
+// an error here with `errno_out` set so load generators can classify
+// it rather than lumping every failure together.
+struct PendingConnect {
+  util::UniqueFd fd;
+  bool connected = false;
+};
+util::Result<PendingConnect> TcpConnectNonBlocking(const std::string& host,
+                                                   std::uint16_t port,
+                                                   int* errno_out = nullptr);
+
+// Resolves a finished non-blocking connect: 0 = established, otherwise
+// the socket's errno (ECONNREFUSED, ETIMEDOUT, EHOSTUNREACH, ...).
+int ConnectSocketError(int fd);
+
+// One non-blocking send pass with MSG_NOSIGNAL: returns the number of
+// bytes accepted by the kernel (possibly 0 when the socket buffer is
+// full — EAGAIN is NOT an error here, it is the backpressure signal
+// partial-write continuation keys off). A dead peer (EPIPE/ECONNRESET)
+// returns kUnavailable. EINTR is retried internally.
+util::Result<std::size_t> SendNonBlocking(int fd, const void* data,
+                                          std::size_t n);
+
+// Symbolic name for a connect/read/write-path errno ("ECONNREFUSED",
+// "ETIMEDOUT", "ECONNRESET", ...); falls back to the decimal value.
+// The loadgen's per-error counters and the server's backpressure
+// metrics share this mapping.
+std::string SocketErrnoName(int err);
+
 // Sets SO_RCVTIMEO so blocking reads give up after `millis`.
 util::Error SetRecvTimeout(int fd, int millis);
 

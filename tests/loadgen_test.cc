@@ -1,0 +1,447 @@
+// Load-storm harness tests: workload determinism (same seed → same
+// dialog schedule), the storm driver against live server shards, the
+// server's partial-write reply continuation under a slow-reading peer,
+// mid-dialog disconnects with buffered replies, errno-classified
+// transport failures, and the EMFILE accept re-drain (fd exhaustion
+// must never starve already-accepted sessions). Runs under TSan in CI
+// (LABELS threads).
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "loadgen/load_storm.h"
+#include "loadgen/workload.h"
+#include "mta/smtp_server.h"
+#include "net/smtp_client.h"
+#include "net/tcp.h"
+#include "util/fd.h"
+
+namespace sams::loadgen {
+namespace {
+
+using mta::Architecture;
+using mta::RealServerConfig;
+using mta::RecipientDb;
+using mta::SmtpServer;
+
+bool EventuallyTrue(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 300; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+// ---------------------------------------------------------------------
+// Workload model: pure, deterministic plan synthesis.
+
+TEST(WorkloadModel, SameSeedSameSchedule) {
+  WorkloadConfig cfg;
+  WorkloadModel a(cfg, 1234);
+  WorkloadModel b(cfg, 1234);
+  for (int i = 0; i < 200; ++i) {
+    const SessionPlan pa = a.Next();
+    const SessionPlan pb = b.Next();
+    ASSERT_EQ(pa.digest, pb.digest) << "plan " << i << " diverged";
+    ASSERT_EQ(pa.steps.size(), pb.steps.size());
+    for (std::size_t s = 0; s < pa.steps.size(); ++s) {
+      ASSERT_EQ(pa.steps[s].bytes, pb.steps[s].bytes);
+    }
+  }
+}
+
+TEST(WorkloadModel, DifferentSeedsDiverge) {
+  WorkloadConfig cfg;
+  WorkloadModel a(cfg, 1);
+  WorkloadModel b(cfg, 2);
+  std::uint64_t ha = kFnvOffset, hb = kFnvOffset;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t da = a.Next().digest;
+    const std::uint64_t db = b.Next().digest;
+    ha = Fnv1a(ha, &da, sizeof(da));
+    hb = Fnv1a(hb, &db, sizeof(db));
+  }
+  EXPECT_NE(ha, hb);
+}
+
+TEST(WorkloadModel, PipelinedFusionKeepsReplyAccounting) {
+  WorkloadConfig cfg;
+  cfg.spam_weight = 1;
+  cfg.ham_weight = 0;
+  cfg.bounce_weight = 0;
+  cfg.spam_pipeline_frac = 1.0;  // every spam plan fuses
+  WorkloadModel model(cfg, 99);
+  for (int i = 0; i < 40; ++i) {
+    const SessionPlan plan = model.Next();
+    ASSERT_TRUE(plan.pipelined);
+    int replies = 0;
+    std::size_t tags = 0;
+    int commands = 0;
+    for (const auto& step : plan.steps) {
+      replies += step.expect_replies;
+      tags += step.reply_tags.size();
+      for (std::size_t p = 0; p + 1 < step.bytes.size(); ++p) {
+        if (step.bytes[p] == '\r' && step.bytes[p + 1] == '\n' &&
+            !step.is_body) {
+          ++commands;
+        }
+      }
+    }
+    // One reply expected (and one tag) per command line in the blast;
+    // the body step carries exactly one of each.
+    EXPECT_EQ(static_cast<std::size_t>(replies), tags);
+    EXPECT_GE(replies, 5);  // HELO MAIL RCPT+ DATA body QUIT
+  }
+}
+
+TEST(WorkloadModel, ClassShapesMatchTheFlowModel) {
+  WorkloadConfig cfg;
+  cfg.ham_weight = 1;
+  cfg.spam_weight = 0;
+  cfg.bounce_weight = 0;
+  WorkloadModel ham(cfg, 5);
+  for (int i = 0; i < 20; ++i) {
+    const SessionPlan plan = ham.Next();
+    EXPECT_EQ(plan.klass, TrafficClass::kHam);
+    EXPECT_FALSE(plan.pregreet);   // ham always waits for the banner
+    EXPECT_FALSE(plan.pipelined);
+  }
+  cfg.ham_weight = 0;
+  cfg.bounce_weight = 1;
+  WorkloadModel bounce(cfg, 5);
+  const SessionPlan plan = bounce.Next();
+  bool null_sender = false;
+  for (const auto& step : plan.steps) {
+    if (step.bytes.find("MAIL FROM:<>") != std::string::npos) {
+      null_sender = true;
+    }
+  }
+  EXPECT_TRUE(null_sender);  // DSNs use the null reverse-path
+}
+
+// ---------------------------------------------------------------------
+// Live-server fixtures.
+
+class LoadgenServerTest : public ::testing::Test {
+ protected:
+  void StartServer(RealServerConfig cfg) {
+    std::string tag = ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    for (char& c : tag) {
+      if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    root_ = ::testing::TempDir() + "/loadgen_srv_" + tag;
+    std::filesystem::remove_all(root_);
+    auto store = mfs::MakeMfsStore(root_, {});
+    ASSERT_TRUE(store.ok()) << store.error().ToString();
+    store_ = std::move(store).value();
+    RecipientDb db;
+    db.AddMailbox("alice", "dept.test");
+    db.AddMailbox("bob", "dept.test");
+    server_ = std::make_unique<SmtpServer>(cfg, std::move(db), *store_);
+    auto port = server_->Start();
+    ASSERT_TRUE(port.ok()) << port.error().ToString();
+    port_ = *port;
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    server_.reset();
+    store_.reset();
+    if (!root_.empty()) std::filesystem::remove_all(root_);
+  }
+
+  std::string root_;
+  std::unique_ptr<mfs::MailStore> store_;
+  std::unique_ptr<SmtpServer> server_;
+  std::uint16_t port_ = 0;
+};
+
+StormConfig SmallStorm(std::uint16_t port, std::uint64_t seed) {
+  StormConfig storm;
+  storm.port = port;
+  storm.concurrency = 8;
+  storm.total_sessions = 40;
+  storm.seed = seed;
+  storm.reply_timeout_ms = 10'000;
+  storm.connect_timeout_ms = 10'000;
+  storm.deadline_ms = 30'000;
+  return storm;
+}
+
+TEST_F(LoadgenServerTest, StormDrivesTheShardedServer) {
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.num_shards = 1;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 10'000;
+  StartServer(cfg);
+
+  StormConfig storm = SmallStorm(port_, 7);
+  storm.workload.ham_weight = 1;  // all-valid dialogs: every one delivers
+  storm.workload.spam_weight = 0;
+  storm.workload.bounce_weight = 0;
+  auto result = LoadStorm(std::move(storm)).Run();
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->launched, 40u);
+  EXPECT_EQ(result->completed, 40u);
+  EXPECT_EQ(result->delivered, 40u);
+  EXPECT_GT(result->rcpt_250, 0u);
+  EXPECT_GT(result->ham_rcpt_stall_ms.count(), 0u);
+  EXPECT_TRUE(result->errors.empty());
+  EXPECT_EQ(server_->stats().mails_delivered.load(), 40u);
+}
+
+TEST_F(LoadgenServerTest, SameSeedSameScheduleDigest) {
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.num_shards = 1;
+  cfg.worker_count = 2;
+  cfg.recv_timeout_ms = 10'000;
+  StartServer(cfg);
+
+  auto first = LoadStorm(SmallStorm(port_, 21)).Run();
+  ASSERT_TRUE(first.ok()) << first.error().ToString();
+  auto second = LoadStorm(SmallStorm(port_, 21)).Run();
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  EXPECT_EQ(first->launched, 40u);
+  EXPECT_EQ(second->launched, 40u);
+  // Wire timing differs run to run; the PLAN schedule may not.
+  EXPECT_EQ(first->schedule_digest, second->schedule_digest);
+
+  auto other = LoadStorm(SmallStorm(port_, 22)).Run();
+  ASSERT_TRUE(other.ok()) << other.error().ToString();
+  EXPECT_NE(first->schedule_digest, other->schedule_digest);
+}
+
+TEST(LoadStormErrors, ConnectionRefusedIsClassified) {
+  // Grab an ephemeral port, then close the listener: connects to it
+  // must be refused, and the storm must classify (not hang on) them.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = net::TcpListen(0);
+    ASSERT_TRUE(listener.ok());
+    auto port = net::LocalPort(listener->get());
+    ASSERT_TRUE(port.ok());
+    dead_port = *port;
+  }
+  StormConfig storm;
+  storm.port = dead_port;
+  storm.concurrency = 4;
+  storm.total_sessions = 12;
+  storm.deadline_ms = 20'000;
+  auto result = LoadStorm(std::move(storm)).Run();
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result->launched, 12u);
+  EXPECT_EQ(result->completed, 0u);
+  EXPECT_GT(result->errors["ECONNREFUSED"], 0u);
+}
+
+// ---------------------------------------------------------------------
+// Server reply-path backpressure (partial-write continuation).
+
+// Raw client that negotiates a tiny receive window so the server's
+// reply writes hit EAGAIN after a handful of unread replies.
+util::Result<util::UniqueFd> ConnectSmallWindow(std::uint16_t port) {
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (raw < 0) return util::IoError("socket");
+  util::UniqueFd fd(raw);
+  const int rcvbuf = 2048;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                     sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return util::IoError("connect");
+  }
+  return fd;
+}
+
+// Reads until `lines` LF-terminated lines arrived (or timeout/EOF).
+int ReadLines(int fd, int lines) {
+  int seen = 0;
+  char buf[4096];
+  while (seen < lines) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') ++seen;
+    }
+  }
+  return seen;
+}
+
+constexpr int kBlastNoops = 1500;  // ~21 KiB of replies, under the cap
+
+TEST_F(LoadgenServerTest, SlowReaderGetsEveryBufferedReply) {
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.num_shards = 1;
+  cfg.worker_count = 1;
+  cfg.recv_timeout_ms = 20'000;
+  cfg.client_sndbuf = 4096;  // small server-side send buffer
+  StartServer(cfg);
+
+  auto fd = ConnectSmallWindow(port_);
+  ASSERT_TRUE(fd.ok()) << fd.error().ToString();
+  ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 10'000).ok());
+  ASSERT_EQ(ReadLines(fd->get(), 1), 1);  // banner
+
+  // Blast NOOPs without reading: the replies overrun the shrunken
+  // send buffer and must park in the per-session outbound buffer
+  // instead of being dropped or wedging the shard reactor.
+  std::string blast;
+  for (int i = 0; i < kBlastNoops; ++i) blast += "NOOP\r\n";
+  std::size_t off = 0;
+  while (off < blast.size()) {
+    const ssize_t n = ::send(fd->get(), blast.data() + off,
+                             blast.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+  ASSERT_TRUE(EventuallyTrue([&] {
+    return server_->stats().reply_backpressured.load() > 0;
+  })) << "server never hit reply-path EAGAIN";
+
+  // Now drain: every blasted command's reply must arrive, in order,
+  // and the session must still be usable.
+  EXPECT_EQ(ReadLines(fd->get(), kBlastNoops), kBlastNoops);
+  ASSERT_EQ(::send(fd->get(), "QUIT\r\n", 6, MSG_NOSIGNAL), 6);
+  EXPECT_EQ(ReadLines(fd->get(), 1), 1);
+  EXPECT_EQ(server_->stats().reply_overflow_closed.load(), 0u);
+}
+
+TEST_F(LoadgenServerTest, DisconnectWithBufferedRepliesIsCleanedUp) {
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.num_shards = 1;
+  cfg.worker_count = 1;
+  cfg.recv_timeout_ms = 20'000;
+  cfg.client_sndbuf = 4096;
+  StartServer(cfg);
+
+  {
+    auto fd = ConnectSmallWindow(port_);
+    ASSERT_TRUE(fd.ok()) << fd.error().ToString();
+    ASSERT_TRUE(net::SetRecvTimeout(fd->get(), 10'000).ok());
+    ASSERT_EQ(ReadLines(fd->get(), 1), 1);
+    std::string blast;
+    for (int i = 0; i < kBlastNoops; ++i) blast += "NOOP\r\n";
+    std::size_t off = 0;
+    while (off < blast.size()) {
+      const ssize_t n = ::send(fd->get(), blast.data() + off,
+                               blast.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+    ASSERT_TRUE(EventuallyTrue([&] {
+      return server_->stats().reply_backpressured.load() > 0;
+    }));
+    // Vanish mid-flush: the shard must tear the session down rather
+    // than keep EPOLLOUT-spinning on a dead peer.
+  }
+  ASSERT_TRUE(EventuallyTrue([&] {
+    return server_->stats().master_closed.load() >= 1 &&
+           server_->inflight() == 0;
+  }));
+
+  // The shard is still healthy: a normal dialog completes.
+  smtp::MailJob job;
+  job.helo = "client.test";
+  job.mail_from = *smtp::Path::Parse("<sender@remote.test>");
+  job.rcpts.push_back(*smtp::Path::Parse("<alice@dept.test>"));
+  job.body = "after the storm\n";
+  auto sent = net::SendMail("127.0.0.1", port_, job);
+  ASSERT_TRUE(sent.ok()) << sent.error().ToString();
+  EXPECT_EQ(sent->outcome, smtp::ClientOutcome::kDelivered);
+}
+
+// ---------------------------------------------------------------------
+// fd exhaustion: EMFILE must never starve already-accepted sessions.
+
+int OpenFdCount() {
+  int n = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(LoadgenServerTest, EmfileStallsAcceptsNotAcceptedSessions) {
+  RealServerConfig cfg;
+  cfg.architecture = Architecture::kForkAfterTrust;
+  cfg.num_shards = 1;
+  cfg.worker_count = 1;
+  cfg.recv_timeout_ms = 20'000;
+  StartServer(cfg);
+  if (server_->handoff_fallback()) {
+    GTEST_SKIP() << "re-drain path needs the SO_REUSEPORT shard listener";
+  }
+
+  // Session A is accepted and alive before the descriptor famine.
+  auto first = net::TcpConnect("127.0.0.1", port_);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(net::SetRecvTimeout(first->get(), 10'000).ok());
+  ASSERT_EQ(ReadLines(first->get(), 1), 1);
+
+  struct rlimit saved {};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct RestoreLimit {
+    struct rlimit value;
+    ~RestoreLimit() { ::setrlimit(RLIMIT_NOFILE, &value); }
+  } restore{saved};
+
+  // Clamp the process (generator AND server share it) to a few spare
+  // descriptors, then connect until the famine: late connects park in
+  // the listener's backlog because accept() has no fd to give them.
+  struct rlimit tight = saved;
+  tight.rlim_cur = static_cast<rlim_t>(OpenFdCount() + 6);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  std::vector<util::UniqueFd> parked;
+  for (int i = 0; i < 12; ++i) {
+    auto fd = net::TcpConnect("127.0.0.1", port_);
+    if (!fd.ok()) break;  // local fd space gone too — famine reached
+    parked.push_back(std::move(*fd));
+  }
+  if (!EventuallyTrue(
+          [&] { return server_->stats().accept_errors.load() > 0; })) {
+    GTEST_SKIP() << "could not provoke accept-path EMFILE on this host";
+  }
+
+  // The famine must not touch session A: it still gets service.
+  ASSERT_EQ(::send(first->get(), "HELO still.alive\r\n", 18, MSG_NOSIGNAL),
+            18);
+  EXPECT_EQ(ReadLines(first->get(), 1), 1);
+
+  // Free descriptors, then close session A: its close_conn must
+  // re-drain the stalled accept queue (no new SYN required).
+  const std::uint64_t redrains_before =
+      server_->stats().accept_redrains.load();
+  parked.clear();
+  (void)::send(first->get(), "QUIT\r\n", 6, MSG_NOSIGNAL);
+  (void)ReadLines(first->get(), 1);
+  first->Reset();
+  EXPECT_TRUE(EventuallyTrue([&] {
+    return server_->stats().accept_redrains.load() > redrains_before;
+  })) << "stalled accept queue was never re-drained";
+}
+
+}  // namespace
+}  // namespace sams::loadgen
