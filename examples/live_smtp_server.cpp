@@ -4,6 +4,7 @@
 //   $ ./live_smtp_server [port] [vanilla|hybrid] [mbox|maildir|hardlink|mfs]
 //                         [--shards N] [--dnsbl-zones zone:port[,zone:port...]]
 //                         [--admin-port N] [--event-log PATH] [--reputation]
+//                         [--io-backend epoll|io_uring|auto]
 //   $ printf 'HELO me\r\nMAIL FROM:<a@b.c>\r\nRCPT TO:<alice@example.test>\r\n
 //     DATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 <port>
 //
@@ -97,12 +98,17 @@ int main(int argc, char** argv) {
   bool reputation = false;
   std::string dnsbl_zones_arg;
   std::string event_log_path;
+  std::string io_backend_arg = "epoll";
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--io-backend") == 0 && i + 1 < argc) {
+      io_backend_arg = argv[++i];
+    } else if (std::strncmp(argv[i], "--io-backend=", 13) == 0) {
+      io_backend_arg = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
       admin_port = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
@@ -143,6 +149,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shards must be >= 1\n");
     return 2;
   }
+  const auto io_backend = sams::net::ParseIoBackendKind(io_backend_arg);
+  if (!io_backend.has_value()) {
+    std::fprintf(stderr, "--io-backend must be epoll, io_uring or auto\n");
+    return 2;
+  }
   if (admin_port < 0 || admin_port > 65535) {
     std::fprintf(stderr, "--admin-port must be 0..65535\n");
     return 2;
@@ -177,6 +188,7 @@ int main(int argc, char** argv) {
                             : sams::mta::Architecture::kThreadPerConnection;
   cfg.worker_count = 4;
   cfg.num_shards = shards;
+  cfg.io_backend = *io_backend;
   cfg.port = port;
   cfg.session.hostname = "live.sams.test";
   // A live server on an open port needs the abuse defenses on: evict

@@ -29,7 +29,10 @@ echo "== src/obs + src/fault + src/dnsbl + src/rep + mfs fast path + sharded ser
 MFS_FAST_PATH=(src/mfs/record_io.cc src/mfs/group_commit.cc
                src/mfs/volume.cc src/mfs/store.cc)
 SHARD_PATH=(src/mta/smtp_server.cc src/net/tcp.cc src/net/event_loop.cc
-            src/net/udp.cc src/net/admin_http.cc src/smtp/server_session.cc)
+            src/net/reactor_epoll.cc src/net/reactor_uring.cc
+            src/net/buffer_pool.cc src/net/smtp_client.cc
+            src/net/udp.cc src/net/admin_http.cc src/smtp/server_session.cc
+            src/smtp/dotstuff.cc)
 for src in src/obs/*.cc src/fault/*.cc src/dnsbl/*.cc src/rep/*.cc src/loadgen/*.cc "${MFS_FAST_PATH[@]}" "${SHARD_PATH[@]}"; do
   echo "   ${src}"
   c++ -std=c++20 -Isrc -Wall -Wextra -Wshadow -Werror -fsyntax-only "${src}"
@@ -55,6 +58,17 @@ echo "== obs-overhead smoke bench (telemetry plane < 3% CPU/session, skipped on 
 
 echo "== load-storm smoke bench (no congestion collapse, ham p99 bounded; skipped on 1 core) =="
 "${BUILD_DIR}/bench/bench_load_storm" --smoke
+
+echo "== data-throughput smoke bench (zero-copy DATA path >= 1.15x the copy path) =="
+"${BUILD_DIR}/bench/bench_data_throughput" --smoke
+
+# io_uring smoke: the uring-side backend tests (strict-create, the
+# parameterized loop suite, the epoll-equivalence golden dialog) SKIP
+# themselves cleanly on kernels or sandboxes without a usable ring, so
+# this gate is green either way — it fails only when a ring comes up
+# and misbehaves.
+echo "== io_uring backend smoke (SKIPs when the ring is unavailable) =="
+"${BUILD_DIR}/tests/net_backend_test" --gtest_filter='*Uring*:*io_uring*'
 
 # Admin-endpoint smoke: boot the example server with the telemetry
 # plane on, hit /healthz and /metrics over real HTTP, and require the
@@ -137,7 +151,8 @@ if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build "${TSAN_DIR}" -j "$(nproc)" --target mfs_commit_test \
     --target smtp_shard_test --target dnsbl_async_test \
-    --target rep_test --target greylist_test --target loadgen_test
+    --target rep_test --target greylist_test --target loadgen_test \
+    --target net_backend_test
   echo "== sanitizer ctest (-L threads) =="
   ctest --test-dir "${TSAN_DIR}" --output-on-failure -L threads -j "$(nproc)"
 fi

@@ -106,6 +106,14 @@ struct LoadStorm::Impl {
       if (!sent.ok()) return false;
       result.bytes_sent += *sent;
       if (*sent == 0) {
+        // Kernel buffer full. Compact the flushed prefix before
+        // parking: under sustained backpressure Advance() keeps
+        // appending steps, and without the erase the buffer would
+        // retain every byte ever sent for the connection's lifetime.
+        if (conn.out_off > 0) {
+          conn.outbuf.erase(0, conn.out_off);
+          conn.out_off = 0;
+        }
         if (!conn.want_write) {
           conn.want_write = true;
           (void)loop->Modify(fd, EPOLLIN | EPOLLOUT | EPOLLET);

@@ -250,6 +250,31 @@ Result<std::int64_t> DataFile::Append(std::string_view payload) {
   return at;
 }
 
+Result<std::int64_t> DataFile::AppendParts(
+    std::span<const std::string_view> parts) {
+  std::size_t total = 0;
+  for (const std::string_view part : parts) total += part.size();
+  if (total > kMaxDataRecordBytes) {
+    return util::InvalidArgument(
+        "data record of " + std::to_string(total) + " bytes exceeds the " +
+        std::to_string(kMaxDataRecordBytes) + "-byte record limit");
+  }
+  char len_buf[4];
+  EncodeU32(static_cast<std::uint32_t>(total), len_buf);
+  const std::int64_t at = end_;
+  std::vector<struct iovec> iov;
+  iov.reserve(parts.size() + 1);
+  iov.push_back({len_buf, sizeof(len_buf)});
+  for (const std::string_view part : parts) {
+    if (part.empty()) continue;
+    iov.push_back({const_cast<char*>(part.data()), part.size()});
+  }
+  SAMS_RETURN_IF_ERROR(PwritevAll(fd_.get(), iov.data(),
+                                  static_cast<int>(iov.size()), at, path_));
+  end_ = at + 4 + static_cast<std::int64_t>(total);
+  return at;
+}
+
 Result<std::string> DataFile::ReadAt(std::int64_t offset) const {
   if (offset < 0 || offset + 4 > end_) {
     return util::OutOfRange("data offset beyond end of file");

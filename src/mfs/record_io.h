@@ -118,6 +118,14 @@ class DataFile {
   // kMaxDataRecordBytes are rejected before anything is written.
   util::Result<std::int64_t> Append(std::string_view payload);
 
+  // Same record format, but the payload is the in-order concatenation
+  // of `parts` — the zero-copy DATA path stages its decoded body spans
+  // here so pooled receive buffers flow into one vectored write with
+  // no intermediate flatten. (PwritevAll clamps to IOV_MAX per
+  // syscall, so any number of parts is fine.)
+  util::Result<std::int64_t> AppendParts(
+      std::span<const std::string_view> parts);
+
   // Reads the record at `offset`.
   util::Result<std::string> ReadAt(std::int64_t offset) const;
 

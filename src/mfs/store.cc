@@ -446,6 +446,37 @@ class MfsStore final : public MailStore {
     return util::OkError();
   }
 
+  Error DoDeliverParts(const MailId& id,
+                       std::span<const std::string_view> parts,
+                       std::span<const std::string> mailboxes) override {
+    // Same shape as DoDeliver, but the body spans go into the data
+    // file as one vectored write — no flatten on the trusted path.
+    if (mailboxes.empty()) return util::InvalidArgument("no mailboxes");
+    std::size_t body_bytes = 0;
+    for (const std::string_view part : parts) body_bytes += part.size();
+    stats_.bytes_logical += body_bytes * mailboxes.size();
+    std::vector<std::unique_ptr<MailFile>> handles;
+    std::vector<MailFile*> raw;
+    handles.reserve(mailboxes.size());
+    for (const std::string& box : mailboxes) {
+      auto h = volume_->MailOpen(box);
+      if (!h.ok()) return h.error();
+      raw.push_back(h->get());
+      handles.push_back(std::move(h).value());
+    }
+    SAMS_RETURN_IF_ERROR(volume_->MailNWriteParts(raw, parts, id));
+    stats_.bytes_written += body_bytes;  // single copy regardless of n
+    stats_.mailbox_deliveries += mailboxes.size();
+    ++stats_.mails_delivered;
+    if (opts_.fsync_each_mail) {
+      auto synced = volume_->SyncDirty();
+      if (!synced.ok()) return synced.error();
+      stats_.fsyncs += static_cast<std::uint64_t>(*synced);
+    }
+    for (auto& h : handles) volume_->MailClose(std::move(h));
+    return util::OkError();
+  }
+
   Result<int> SyncDirty() override { return volume_->SyncDirty(); }
 
   Result<std::vector<std::string>> ReadMailbox(const std::string& box) override {
@@ -526,6 +557,28 @@ Error MailStore::StageDelivery(const MailId& id, std::string_view body,
                                std::span<const std::string> mailboxes) {
   std::lock_guard<std::mutex> lk(deliver_mutex_);
   return DoDeliver(id, body, mailboxes);
+}
+
+Error MailStore::DeliverParts(const MailId& id,
+                              std::span<const std::string_view> parts,
+                              std::span<const std::string> mailboxes) {
+  {
+    std::lock_guard<std::mutex> lk(deliver_mutex_);
+    SAMS_RETURN_IF_ERROR(DoDeliverParts(id, parts, mailboxes));
+  }
+  if (committer_ != nullptr) return committer_->Commit();
+  return util::OkError();
+}
+
+Error MailStore::DoDeliverParts(const MailId& id,
+                                std::span<const std::string_view> parts,
+                                std::span<const std::string> mailboxes) {
+  std::size_t total = 0;
+  for (const std::string_view part : parts) total += part.size();
+  std::string flat;
+  flat.reserve(total);
+  for (const std::string_view part : parts) flat.append(part);
+  return DoDeliver(id, flat, mailboxes);
 }
 
 Error MailStore::Commit() {

@@ -72,6 +72,16 @@ class MailStore {
   util::Error Deliver(const MailId& id, std::string_view body,
                       std::span<const std::string> mailboxes);
 
+  // Deliver over a discontiguous body: `parts` concatenated in order
+  // are the mail. The zero-copy DATA path hands decoded spans (still
+  // in pooled receive buffers) here; the MFS backend stages them into
+  // one vectored data-file write, the file-per-mail backends flatten
+  // first (their write shape is per-recipient anyway). Same durability
+  // contract as Deliver.
+  util::Error DeliverParts(const MailId& id,
+                           std::span<const std::string_view> parts,
+                           std::span<const std::string> mailboxes);
+
   // The stage-only half of Deliver for batched callers (the queue
   // manager's delivery stage): writes the mail but skips the group-
   // commit wait. Call Commit() once per batch to make it durable.
@@ -113,6 +123,13 @@ class MailStore {
   // records what it dirtied for the next SyncDirty.
   virtual util::Error DoDeliver(const MailId& id, std::string_view body,
                                 std::span<const std::string> mailboxes) = 0;
+
+  // Parts variant of DoDeliver; the default flattens the parts and
+  // calls DoDeliver. Backends whose write path can take iovecs (MFS)
+  // override it to skip the flatten.
+  virtual util::Error DoDeliverParts(const MailId& id,
+                                     std::span<const std::string_view> parts,
+                                     std::span<const std::string> mailboxes);
 
   // fsyncs every file dirtied since the last call, once each; returns
   // the fsync(2) count. Called with deliver_mutex_ held (the group-

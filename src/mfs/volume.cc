@@ -155,6 +155,13 @@ util::Error MfsVolume::MailSeek(MailFile& mfd, std::int64_t offset,
 
 util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
                                   std::string_view body, const MailId& id) {
+  const std::string_view parts[1] = {body};
+  return MailNWriteParts(boxes, parts, id);
+}
+
+util::Error MfsVolume::MailNWriteParts(std::span<MailFile* const> boxes,
+                                       std::span<const std::string_view> parts,
+                                       const MailId& id) {
   if (boxes.empty()) return util::InvalidArgument("nwrite with no mailboxes");
   if (id.empty()) return util::InvalidArgument("nwrite with empty mail id");
   for (MailFile* mfd : boxes) {
@@ -172,7 +179,7 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
       ++stats_.collisions_rejected;
       return util::AlreadyExists("mail id already present in mailbox");
     }
-    auto offset = (*box)->data.Append(body);
+    auto offset = (*box)->data.AppendParts(parts);
     if (!offset.ok()) return offset.error();
     MarkDirty(boxes[0]->name_);
     SAMS_FAULT_POINT("mfs.nwrite.private.after_data");
@@ -201,7 +208,7 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
   // the shared key record LAST. The shared record is the commit point —
   // a crash before it leaves only dangling redirects, which Recover()
   // rolls back; a crash after it leaves a fully delivered mail.
-  auto offset = shared_.data.Append(body);
+  auto offset = shared_.data.AppendParts(parts);
   if (!offset.ok()) return offset.error();
   shared_dirty_ = true;
   SAMS_FAULT_POINT("mfs.nwrite.shared.after_data");
@@ -222,8 +229,10 @@ util::Error MfsVolume::MailNWrite(std::span<MailFile* const> boxes,
   if (!shared_idx.ok()) return shared_idx.error();
   shared_index_.emplace(id, *shared_idx);
   ++stats_.shared_writes;
+  std::size_t body_bytes = 0;
+  for (const std::string_view part : parts) body_bytes += part.size();
   stats_.bytes_deduplicated +=
-      static_cast<std::uint64_t>(body.size()) * (boxes.size() - 1);
+      static_cast<std::uint64_t>(body_bytes) * (boxes.size() - 1);
   return util::OkError();
 }
 

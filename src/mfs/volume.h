@@ -141,6 +141,15 @@ class MfsVolume {
   util::Error MailNWrite(std::span<MailFile* const> boxes, std::string_view body,
                          const MailId& id);
 
+  // mail_nwrite over a discontiguous body: `parts` concatenated in
+  // order ARE the mail. The zero-copy DATA path hands its decoded
+  // spans (still sitting in pooled receive buffers) straight here;
+  // they reach the data file through one vectored write without ever
+  // being flattened. Semantics otherwise identical to MailNWrite.
+  util::Error MailNWriteParts(std::span<MailFile* const> boxes,
+                              std::span<const std::string_view> parts,
+                              const MailId& id);
+
   // mail_read: reads the mail at the seek pointer and advances it.
   // Returns OutOfRange at end of mailbox.
   util::Result<MailReadResult> MailRead(MailFile& mfd);

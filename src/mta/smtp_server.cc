@@ -1,6 +1,7 @@
 #include "mta/smtp_server.h"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/timerfd.h>
@@ -115,11 +116,17 @@ struct SmtpServer::Shard {
   // the next SYN.
   bool accept_stalled = false;
   std::function<void()> drain_accept;
+  // Receive-buffer arena for this shard's read path (loop thread only).
+  // Chunks pinned by in-flight DATA spans recycle here when released.
+  net::BufferPool pool;
 };
 
 SmtpServer::SmtpServer(RealServerConfig cfg, RecipientDb recipients,
                        mfs::MailStore& store)
     : cfg_(std::move(cfg)), recipients_(std::move(recipients)), store_(store) {
+  // One knob drives the whole ladder: pooled receive buffers here,
+  // span-mode decoding in the session, vectored staging in the store.
+  cfg_.session.zero_copy_data = cfg_.pooled_data_path;
   if (cfg_.dnsbl.enabled) {
     dnsbl_service_ = std::make_unique<dnsbl::AsyncDnsblService>(cfg_.dnsbl);
   }
@@ -134,6 +141,13 @@ bool SmtpServer::DeliverEnvelope(smtp::Envelope&& envelope) {
   const std::size_t n_mailboxes = envelope.rcpt_to.size();
   if (queue_) {
     // Durable path: spool and ack; the queue manager delivers.
+    if (envelope.has_parts()) {
+      // The spool writes one contiguous record; materialize the spans
+      // (and drop their pins) before handing the envelope over.
+      envelope.body = envelope.FlattenedBody();
+      envelope.body_parts.clear();
+      envelope.body_pins.clear();
+    }
     const util::Error err = queue_->Enqueue(envelope);
     if (!err.ok()) {
       SAMS_LOG(kError) << "spool failed: " << err.ToString();
@@ -156,7 +170,13 @@ bool SmtpServer::DeliverEnvelope(smtp::Envelope&& envelope) {
     id = mfs::MailId::Generate(id_rng_);
   }
   std::lock_guard<std::mutex> lock(store_mutex_);
-  const util::Error err = store_.Deliver(id, envelope.body, mailboxes);
+  const util::Error err =
+      envelope.has_parts()
+          ? store_.DeliverParts(
+                id,
+                std::span<const std::string_view>(envelope.body_parts),
+                mailboxes)
+          : store_.Deliver(id, envelope.body, mailboxes);
   if (!err.ok()) {
     SAMS_LOG(kError) << "delivery failed: " << err.ToString();
     stats_.delivery_errors.fetch_add(1, std::memory_order_relaxed);
@@ -249,12 +269,18 @@ void SmtpServer::BindObservability(obs::Registry& registry,
       "sams_smtp_accept_redrains_total",
       "EMFILE-stalled accept queues re-drained after a session closed",
       arch);
+  auto* read_timeouts = &registry.GetCounter(
+      "sams_smtp_worker_read_timeouts_total",
+      "post-trust sessions 421-closed on a read timeout or deadline",
+      arch);
   registry.AddCollector([this, conns, mails, mailbox, rejected, content,
                          pregreet, delegations, master_closed, errors, reaped,
                          sheds, deaths, requeues, accept_errors, inflight,
                          dnsbl_rejects, dnsbl_deferred, stalled, rep_rejects,
                          rep_greylisted, pregreet_scored, reply_backpressured,
-                         reply_overflow, accept_redrains] {
+                         reply_overflow, accept_redrains, read_timeouts] {
+    read_timeouts->Overwrite(
+        stats_.worker_read_timeouts.load(std::memory_order_relaxed));
     reply_backpressured->Overwrite(
         stats_.reply_backpressured.load(std::memory_order_relaxed));
     reply_overflow->Overwrite(
@@ -522,10 +548,13 @@ util::Result<std::uint16_t> SmtpServer::Start() {
       }
     }
     for (auto& shard : shards_) {
-      auto loop = net::EventLoop::Create();
+      auto loop = net::EventLoop::Create(cfg_.io_backend);
       if (!loop.ok()) return loop.error();
       shard->loop = std::move(*loop);
       if (registry_ != nullptr) shard->loop->BindMetrics(*registry_);
+    }
+    if (!shards_.empty()) {
+      SAMS_LOG(kInfo) << "reactor backend: " << shards_[0]->loop->backend_name();
     }
   } else {
     auto listener = net::TcpListen(cfg_.port, cfg_.listen_backlog);
@@ -846,13 +875,59 @@ void SmtpServer::HandleConnection(std::uint64_t conn_id, util::UniqueFd fd,
 }
 
 void SmtpServer::FinishSession(smtp::ServerSession& session, int fd) {
-  char buf[16 * 1024];
+  // Post-trust blocking read loop. Each read lands in a pooled chunk
+  // whose pin rides any DATA spans the decoder emits, so body bytes
+  // reach the store without an intermediate copy. errno is audited
+  // explicitly: EINTR retries, SO_RCVTIMEO expiry (EAGAIN) and the
+  // optional whole-session deadline say goodbye with a 421 instead of
+  // silently dropping the peer, anything else is a dead connection.
+  const std::int64_t deadline_ns =
+      cfg_.worker_session_deadline_ms > 0
+          ? util::MonotonicNanos() +
+                static_cast<std::int64_t>(cfg_.worker_session_deadline_ms) *
+                    1'000'000
+          : 0;
+  const auto say_421_and_count = [&] {
+    static constexpr char kTimeout[] =
+        "421 4.4.2 Idle timeout, closing transmission channel\r\n";
+    // Count before sending: an observer that sees the 421 on the wire
+    // must already see the counter.
+    stats_.worker_read_timeouts.fetch_add(1, std::memory_order_relaxed);
+    (void)util::SendAll(fd, kTimeout, sizeof(kTimeout) - 1);
+  };
   while (running_.load(std::memory_order_acquire) &&
          session.state() != smtp::SessionState::kClosed) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF, timeout or error: drop the connection
-    session.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (deadline_ns > 0) {
+      const std::int64_t left_ns = deadline_ns - util::MonotonicNanos();
+      if (left_ns <= 0) {
+        say_421_and_count();
+        break;
+      }
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int timeout_ms =
+          static_cast<int>(std::min<std::int64_t>(left_ns / 1'000'000 + 1,
+                                                  60'000));
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (pr == 0) continue;  // re-check deadline / running_
+    }
+    net::BufferPool::Buffer buf = worker_pool_.Acquire();
+    const ssize_t n = ::read(fd, buf.data, buf.capacity);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the client wedged mid-dialog. Tell it
+        // why before hanging up rather than pinning this worker.
+        say_421_and_count();
+      }
+      break;
+    }
+    if (n == 0) break;  // EOF
+    session.FeedPinned(std::string_view(buf.data, static_cast<std::size_t>(n)),
+                       buf.pin);
   }
 }
 
@@ -1166,10 +1241,17 @@ void SmtpServer::ShardLoop(Shard& shard) {
   // MasterConn reference is dead in that case. (With replies still
   // queued the close is deferred, but input processing stops either
   // way: the session FSM is closed and Feed() ignores further bytes.)
+  // `pin` (nullable) keeps the chunk backing `bytes` alive for any DATA
+  // spans the session retains; without one the session copies.
   auto feed_session = [&conns, request_close, delegate](
-                          int fd, MasterConn& conn, std::string_view bytes) {
+                          int fd, MasterConn& conn, std::string_view bytes,
+                          const std::shared_ptr<const void>* pin) {
     (void)conns;
-    conn.session->Feed(bytes);
+    if (pin != nullptr) {
+      conn.session->FeedPinned(bytes, *pin);
+    } else {
+      conn.session->Feed(bytes);
+    }
     if (conn.session->paused()) {
       delegate(fd);
       return false;
@@ -1181,8 +1263,8 @@ void SmtpServer::ShardLoop(Shard& shard) {
     return true;
   };
 
-  auto on_client_event = [this, &conns, close_conn, feed_session, on_writable](
-                             int fd, std::uint32_t events) {
+  auto on_client_event = [this, &shard, &conns, close_conn, feed_session,
+                          on_writable](int fd, std::uint32_t events) {
     if ((events & EPOLLOUT) != 0) {
       on_writable(fd);
       if (conns.find(fd) == conns.end()) return;  // flushed-and-closed
@@ -1191,11 +1273,13 @@ void SmtpServer::ShardLoop(Shard& shard) {
     auto it = conns.find(fd);
     if (it == conns.end()) return;
     MasterConn& conn = *it->second;
-    char buf[8 * 1024];
     // Reads until EAGAIN: client fds are registered edge-triggered, so
-    // the socket must be drained before returning to the loop.
+    // the socket must be drained before returning to the loop. Each
+    // read gets a fresh pooled chunk so DATA spans a session keeps
+    // never alias storage a later read reuses.
     for (;;) {
-      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      net::BufferPool::Buffer buf = shard.pool.Acquire();
+      const ssize_t n = ::read(fd, buf.data, buf.capacity);
       if (n > 0) {
         conn.last_activity_ns = util::MonotonicNanos();
         if (!conn.banner_sent) {
@@ -1211,7 +1295,7 @@ void SmtpServer::ShardLoop(Shard& shard) {
                 kPregreetBufCap - std::min(kPregreetBufCap,
                                            conn.pregreet_buf.size());
             conn.pregreet_buf.append(
-                buf, std::min(static_cast<std::size_t>(n), room));
+                buf.data, std::min(static_cast<std::size_t>(n), room));
           }
           continue;
         }
@@ -1221,8 +1305,10 @@ void SmtpServer::ShardLoop(Shard& shard) {
           // spam cannon fires the instant the 220 lands).
           conn.first_cmd_ns = conn.last_activity_ns;
         }
-        if (!feed_session(fd, conn,
-                          std::string_view(buf, static_cast<std::size_t>(n)))) {
+        if (!feed_session(
+                fd, conn,
+                std::string_view(buf.data, static_cast<std::size_t>(n)),
+                &buf.pin)) {
           return;
         }
         continue;
@@ -1405,7 +1491,7 @@ void SmtpServer::ShardLoop(Shard& shard) {
               // answered before the banner — a zero banner→command gap.
               parked.first_cmd_ns = parked.banner_ns;
               const std::string pending = std::move(parked.pregreet_buf);
-              (void)feed_session(fd, parked, pending);
+              (void)feed_session(fd, parked, pending, nullptr);
             }
           });
     } else {

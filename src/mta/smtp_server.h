@@ -39,6 +39,7 @@
 #include "mfs/store.h"
 #include "mta/queue_manager.h"
 #include "mta/recipient_db.h"
+#include "net/buffer_pool.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
 #include "obs/event_log.h"
@@ -62,6 +63,21 @@ struct RealServerConfig {
   // cheap pre-trust stage is the first to saturate a core; one shard
   // per core lifts that ceiling. 1 = the paper's single master.
   int num_shards = 1;
+  // Readiness backend for the shard reactors (--io-backend): epoll is
+  // the portable default every paper-figure bench runs on; kIoUring
+  // fails Start() when the ring is unavailable; kAuto probes io_uring
+  // and falls back to epoll (old kernel, seccomp, rlimits).
+  net::IoBackendKind io_backend = net::IoBackendKind::kEpoll;
+  // Zero-copy DATA path (DESIGN.md §14): reads land in pooled receive
+  // buffers, the dot-stuff decoder emits spans over them, and the MFS
+  // delivery stages those spans straight into one vectored write.
+  // false restores the seed's copy path (the bench baseline).
+  bool pooled_data_path = true;
+  // Blocking smtpd workers: total wall-clock cap on a session after
+  // delegation (0 = off). recv_timeout_ms only bounds silence between
+  // reads; a wedged client trickling one byte per timeout would
+  // otherwise pin its worker forever.
+  int worker_session_deadline_ms = 0;
   int recv_timeout_ms = 30'000;
   std::uint16_t port = 0;      // 0 = ephemeral
   // Fork-after-trust master only: postscreen-style pregreet test. When
@@ -176,6 +192,9 @@ struct RealServerStats {
   std::atomic<std::uint64_t> accept_redrains{0};   // EMFILE-stalled accept
                                                    // queues re-drained after
                                                    // a session freed an fd
+  std::atomic<std::uint64_t> worker_read_timeouts{0};  // blocking sessions
+                                                       // 421ed on read
+                                                       // timeout/deadline
 };
 
 // One row of SmtpServer::Health() — the /healthz contract: every
@@ -319,6 +338,10 @@ class SmtpServer {
   RealServerConfig cfg_;
   RecipientDb recipients_;
   mfs::MailStore& store_;
+  // Receive-buffer arena for the blocking read loops (workers and
+  // thread-per-connection sessions); each shard reactor owns its own
+  // arena in its Shard state. Only used when pooled_data_path is set.
+  net::BufferPool worker_pool_;
   std::unique_ptr<QueueManager> queue_;  // present when spool_dir set
   std::mutex store_mutex_;
   util::Rng id_rng_{0xD15EA5E};

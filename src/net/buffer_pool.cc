@@ -1,0 +1,81 @@
+#include "net/buffer_pool.h"
+
+#include <mutex>
+#include <vector>
+
+namespace sams::net {
+
+struct BufferPool::State {
+  std::size_t chunk_bytes = 0;
+  std::size_t max_free = 0;
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<char[]>> free_list;
+  std::uint64_t acquired = 0;
+  std::uint64_t minted = 0;
+  std::uint64_t recycled = 0;
+};
+
+namespace {
+
+// The pin: owns one chunk, shares ownership of the pool state so a pin
+// dropped after the pool is destroyed just frees its chunk.
+struct ChunkPin {
+  std::shared_ptr<BufferPool::State> state;
+  std::unique_ptr<char[]> chunk;
+
+  ~ChunkPin() {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->free_list.size() < state->max_free) {
+      state->free_list.push_back(std::move(chunk));
+      ++state->recycled;
+    }
+    // else: drop the chunk; a burst must not balloon the pool forever.
+  }
+};
+
+}  // namespace
+
+BufferPool::BufferPool(std::size_t chunk_bytes, std::size_t max_free)
+    : state_(std::make_shared<State>()) {
+  state_->chunk_bytes = chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes;
+  state_->max_free = max_free;
+}
+
+BufferPool::Buffer BufferPool::Acquire() {
+  std::unique_ptr<char[]> chunk;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->acquired;
+    if (!state_->free_list.empty()) {
+      chunk = std::move(state_->free_list.back());
+      state_->free_list.pop_back();
+    } else {
+      ++state_->minted;
+    }
+  }
+  if (chunk == nullptr) {
+    chunk = std::make_unique<char[]>(state_->chunk_bytes);
+  }
+  Buffer buffer;
+  buffer.data = chunk.get();
+  buffer.capacity = state_->chunk_bytes;
+  auto pin = std::make_shared<ChunkPin>();
+  pin->state = state_;
+  pin->chunk = std::move(chunk);
+  buffer.pin = std::shared_ptr<const void>(pin, pin->chunk.get());
+  return buffer;
+}
+
+std::size_t BufferPool::chunk_bytes() const { return state_->chunk_bytes; }
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  Stats stats;
+  stats.acquired = state_->acquired;
+  stats.minted = state_->minted;
+  stats.recycled = state_->recycled;
+  stats.free_chunks = state_->free_list.size();
+  return stats;
+}
+
+}  // namespace sams::net

@@ -1,0 +1,69 @@
+// Pooled receive buffers for the zero-copy DATA path (DESIGN.md §14).
+//
+// A shard's read loop acquires a chunk, reads the socket into it, and
+// feeds the bytes down the SMTP session. Downstream consumers that
+// want to reference the bytes without copying (the dot-stuff decoder's
+// span sink, the MFS iovec staging) hold the chunk's pin — a
+// shared_ptr whose final release returns the chunk to the pool's free
+// list. Ownership rules:
+//
+//   - The bytes behind a span stay valid exactly as long as some pin
+//     referencing the chunk is alive. Consumers keep the pin alongside
+//     the span, never the raw pointer alone.
+//   - Acquire never fails: when every pooled chunk is pinned the pool
+//     mints a fresh heap chunk (counted, so benches can see pressure)
+//     rather than blocking the reactor.
+//   - Releases beyond `max_free` free memory instead of growing the
+//     free list, so a burst cannot permanently balloon the pool.
+//
+// Thread-safe; pins may be dropped from any thread (workers release
+// after the MFS write while the shard keeps reading).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace sams::net {
+
+class BufferPool {
+ public:
+  // One receive buffer. `pin` keeps `data` alive; copy it into anything
+  // that outlives the current callback.
+  struct Buffer {
+    char* data = nullptr;
+    std::size_t capacity = 0;
+    std::shared_ptr<const void> pin;
+  };
+
+  struct Stats {
+    std::uint64_t acquired = 0;  // total Acquire calls
+    std::uint64_t minted = 0;    // chunks newly allocated (pool empty)
+    std::uint64_t recycled = 0;  // chunks returned to the free list
+    std::size_t free_chunks = 0;
+  };
+
+  static constexpr std::size_t kDefaultChunkBytes = 16 * 1024;
+
+  explicit BufferPool(std::size_t chunk_bytes = kDefaultChunkBytes,
+                      std::size_t max_free = 64);
+
+  // Pins may outlive the pool: they share ownership of its state and
+  // simply free their chunk once the pool itself is gone.
+  ~BufferPool() = default;
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  Buffer Acquire();
+
+  std::size_t chunk_bytes() const;
+  Stats stats() const;
+
+  struct State;  // opaque; public so the pin deleter can hold it
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sams::net

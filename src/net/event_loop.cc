@@ -4,7 +4,6 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -17,22 +16,41 @@ std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+// Cap for the adaptive ready batch. 4096 events per wakeup is far past
+// the point where dispatch cost, not harvest size, is the bottleneck.
+constexpr int kMaxReadyBatch = 4096;
+
 }  // namespace
 
 util::Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  return Create(IoBackendKind::kEpoll);
+}
+
+util::Result<std::unique_ptr<EventLoop>> EventLoop::Create(
+    IoBackendKind kind) {
   std::unique_ptr<EventLoop> loop(new EventLoop());
-  loop->epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
-  if (!loop->epoll_fd_.valid()) return util::IoError(Errno("epoll_create1"));
+  switch (kind) {
+    case IoBackendKind::kEpoll: {
+      SAMS_ASSIGN_OR_RETURN(loop->backend_, MakeEpollBackend());
+      break;
+    }
+    case IoBackendKind::kIoUring: {
+      SAMS_ASSIGN_OR_RETURN(loop->backend_, MakeIoUringBackend());
+      break;
+    }
+    case IoBackendKind::kAuto: {
+      auto uring = MakeIoUringBackend();
+      if (uring.ok()) {
+        loop->backend_ = std::move(uring).value();
+      } else {
+        SAMS_ASSIGN_OR_RETURN(loop->backend_, MakeEpollBackend());
+      }
+      break;
+    }
+  }
   loop->wake_fd_.Reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
   if (!loop->wake_fd_.valid()) return util::IoError(Errno("eventfd"));
-  struct epoll_event ev;
-  std::memset(&ev, 0, sizeof(ev));
-  ev.events = EPOLLIN;
-  ev.data.fd = loop->wake_fd_.get();
-  if (::epoll_ctl(loop->epoll_fd_.get(), EPOLL_CTL_ADD, loop->wake_fd_.get(),
-                  &ev) != 0) {
-    return util::IoError(Errno("epoll_ctl(wake)"));
-  }
+  SAMS_RETURN_IF_ERROR(loop->backend_->Add(loop->wake_fd_.get(), EPOLLIN));
   return loop;
 }
 
@@ -41,6 +59,9 @@ void EventLoop::BindMetrics(obs::Registry& registry) {
                                      "epoll_wait wakeups");
   dispatched_ = &registry.GetCounter("sams_net_loop_events_total",
                                      "callbacks dispatched");
+  ready_saturated_ = &registry.GetCounter(
+      "sams_net_ready_saturated_total",
+      "ready batches that came back full (batch then doubled)");
   ready_fds_ = &registry.GetHistogram("sams_net_loop_ready_fds",
                                       "fds ready per epoll_wait",
                                       {1.0, 2.0, 8});
@@ -52,13 +73,7 @@ void EventLoop::BindMetrics(obs::Registry& registry) {
 }
 
 util::Error EventLoop::Add(int fd, std::uint32_t events, Callback callback) {
-  struct epoll_event ev;
-  std::memset(&ev, 0, sizeof(ev));
-  ev.events = events;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
-    return util::IoError(Errno("epoll_ctl(add)"));
-  }
+  SAMS_RETURN_IF_ERROR(backend_->Add(fd, events));
   callbacks_[fd] = std::move(callback);
   if (watched_gauge_ != nullptr) {
     watched_gauge_->Set(static_cast<double>(callbacks_.size()));
@@ -67,14 +82,7 @@ util::Error EventLoop::Add(int fd, std::uint32_t events, Callback callback) {
 }
 
 util::Error EventLoop::Modify(int fd, std::uint32_t events) {
-  struct epoll_event ev;
-  std::memset(&ev, 0, sizeof(ev));
-  ev.events = events;
-  ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
-    return util::IoError(Errno("epoll_ctl(mod)"));
-  }
-  return util::OkError();
+  return backend_->Modify(fd, events);
 }
 
 util::Error EventLoop::Remove(int fd) {
@@ -82,53 +90,54 @@ util::Error EventLoop::Remove(int fd) {
   if (watched_gauge_ != nullptr) {
     watched_gauge_->Set(static_cast<double>(callbacks_.size()));
   }
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
-    return util::IoError(Errno("epoll_ctl(del)"));
-  }
-  return util::OkError();
+  return backend_->Remove(fd);
 }
 
 util::Error EventLoop::Run() {
   running_.store(true, std::memory_order_release);
-  std::array<struct epoll_event, 64> events;
   while (!stop_requested_.load(std::memory_order_acquire)) {
-    int n;
-    do {
-      n = ::epoll_wait(epoll_fd_.get(), events.data(),
-                       static_cast<int>(events.size()), -1);
-    } while (n < 0 && errno == EINTR);
-    if (n < 0) {
+    auto waited = backend_->Wait(ready_, max_events_);
+    if (!waited.ok()) {
       running_.store(false, std::memory_order_release);
-      return util::IoError(Errno("epoll_wait"));
+      return waited.error();
     }
+    const int n = *waited;
     if (iterations_ != nullptr) {
       iterations_->Inc();
       ready_fds_->Observe(static_cast<double>(n));
     }
+    if (n == max_events_ && max_events_ < kMaxReadyBatch) {
+      // A full batch may have left ready fds behind; grow so repeat
+      // saturation cannot starve high-numbered fds across iterations.
+      if (ready_saturated_ != nullptr) ready_saturated_->Inc();
+      max_events_ *= 2;
+    }
     for (int i = 0;
          i < n && !stop_requested_.load(std::memory_order_acquire); ++i) {
-      const int fd = events[static_cast<std::size_t>(i)].data.fd;
-      if (fd == wake_fd_.get()) {
+      const ReactorEvent event = ready_[static_cast<std::size_t>(i)];
+      if (event.fd == wake_fd_.get()) {
         std::uint64_t drained;
         while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
         }
         DrainPosted();
+        backend_->OnDispatched(event.fd);
         continue;
       }
-      auto it = callbacks_.find(fd);
+      auto it = callbacks_.find(event.fd);
       if (it != callbacks_.end()) {
         // Copy: the callback may Remove(fd) and invalidate the entry.
         Callback callback = it->second;
         if (dispatched_ != nullptr) {
           const std::int64_t start = util::MonotonicNanos();
-          callback(events[static_cast<std::size_t>(i)].events);
+          callback(event.events);
           dispatched_->Inc();
           callback_us_->Observe(
               static_cast<double>(util::MonotonicNanos() - start) / 1e3);
         } else {
-          callback(events[static_cast<std::size_t>(i)].events);
+          callback(event.events);
         }
       }
+      backend_->OnDispatched(event.fd);
     }
   }
   running_.store(false, std::memory_order_release);

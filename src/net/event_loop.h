@@ -1,5 +1,7 @@
-// Epoll-based event loop — the real counterpart of the paper's
-// select/poll loop in the fork-after-trust master (§5.1).
+// Reactor event loop — the real counterpart of the paper's select/poll
+// loop in the fork-after-trust master (§5.1). The readiness engine is
+// pluggable (DESIGN.md §14): epoll by default, io_uring opt-in via
+// Create(IoBackendKind) / the server's --io-backend flag.
 #pragma once
 
 #include <atomic>
@@ -10,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/reactor.h"
 #include "obs/metrics.h"
 #include "util/fd.h"
 #include "util/result.h"
@@ -21,10 +24,17 @@ class EventLoop {
   // Called with the epoll event mask (EPOLLIN etc.).
   using Callback = std::function<void(std::uint32_t events)>;
 
+  // The no-arg overload is the portable epoll loop every paper-figure
+  // bench runs on. kIoUring fails when the ring is unavailable; kAuto
+  // falls back to epoll (old kernel, seccomp, rlimits).
   static util::Result<std::unique_ptr<EventLoop>> Create();
+  static util::Result<std::unique_ptr<EventLoop>> Create(IoBackendKind kind);
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+
+  // "epoll" or "io_uring" — what kAuto actually resolved to.
+  const char* backend_name() const { return backend_->name(); }
 
   // Publishes loop health into `registry`: iteration count, dispatched
   // events, ready-fd batch sizes and per-callback wall latency. Call
@@ -56,9 +66,15 @@ class EventLoop {
 
   void DrainPosted();
 
-  util::UniqueFd epoll_fd_;
+  std::unique_ptr<ReactorBackend> backend_;
   util::UniqueFd wake_fd_;  // eventfd
   std::unordered_map<int, Callback> callbacks_;
+  // Ready batch, grown adaptively: a full harvest at the current size
+  // means epoll round-robins the overflow into later iterations, which
+  // under saturation starves high-numbered fds of their turn. Start at
+  // the historical 64, double whenever the vector comes back full.
+  std::vector<ReactorEvent> ready_;
+  int max_events_ = 64;
   std::atomic<bool> running_{false};
   // One-shot, separate from running_: a Stop() that lands before the
   // loop thread reaches Run() must still win (Run() then returns
@@ -70,6 +86,7 @@ class EventLoop {
   // Optional observability (null until BindMetrics).
   obs::Counter* iterations_ = nullptr;
   obs::Counter* dispatched_ = nullptr;
+  obs::Counter* ready_saturated_ = nullptr;
   obs::Histogram* ready_fds_ = nullptr;
   obs::Histogram* callback_us_ = nullptr;
   obs::Gauge* watched_gauge_ = nullptr;

@@ -1,0 +1,80 @@
+// Reactor backend interface (DESIGN.md §14) — the readiness engine
+// under net::EventLoop, split so the loop's dispatch logic is shared
+// between two implementations:
+//
+//   epoll     The original engine, preserved behavior-for-behavior; the
+//             portable default every paper-figure bench runs on.
+//   io_uring  Readiness via IORING_OP_POLL_ADD on a raw ring (no
+//             liburing dependency): multishot poll for edge-triggered
+//             registrations where the kernel supports it, oneshot poll
+//             re-armed after dispatch for level-triggered ones. Feature
+//             detected at runtime; kAuto falls back to epoll when the
+//             ring cannot be set up (old kernel, seccomp, rlimits).
+//
+// Backends translate between the loop's epoll-style interest masks
+// (EPOLLIN/EPOLLOUT/EPOLLET...) and their native arming; callers never
+// see backend-specific event types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace sams::net {
+
+enum class IoBackendKind {
+  kEpoll,    // portable default
+  kIoUring,  // strict: Create fails when the ring is unavailable
+  kAuto,     // io_uring when available, epoll otherwise
+};
+
+const char* IoBackendKindName(IoBackendKind kind);
+// Parses "epoll" | "io_uring" | "auto" (the --io-backend flag values).
+std::optional<IoBackendKind> ParseIoBackendKind(std::string_view name);
+
+// One ready descriptor, with epoll-style event bits (EPOLLIN etc.).
+struct ReactorEvent {
+  int fd = -1;
+  std::uint32_t events = 0;
+};
+
+class ReactorBackend {
+ public:
+  virtual ~ReactorBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // Interest masks use the epoll bit vocabulary, including EPOLLET.
+  // Add on an already-registered fd is an error (epoll's EEXIST
+  // contract); Modify/Remove on an unknown fd likewise (ENOENT).
+  virtual util::Error Add(int fd, std::uint32_t events) = 0;
+  virtual util::Error Modify(int fd, std::uint32_t events) = 0;
+  virtual util::Error Remove(int fd) = 0;
+
+  // Blocks until at least one event is ready, then fills `out` with up
+  // to `max_events` of them and returns the count. EINTR is retried
+  // internally. A return equal to `max_events` may mean more events
+  // were ready than fit — the loop grows its batch on that signal.
+  virtual util::Result<int> Wait(std::vector<ReactorEvent>& out,
+                                 int max_events) = 0;
+
+  // Called by the loop after it dispatched (or intentionally skipped)
+  // the callback for `fd`. The io_uring backend re-arms oneshot polls
+  // here so level-triggered semantics hold; epoll needs nothing.
+  virtual void OnDispatched(int fd) { (void)fd; }
+};
+
+util::Result<std::unique_ptr<ReactorBackend>> MakeEpollBackend();
+util::Result<std::unique_ptr<ReactorBackend>> MakeIoUringBackend();
+
+// Runtime probe: true when an io_uring ring with the features the
+// backend needs (NODROP) can actually be set up in this process.
+// Smokes and tests use this to SKIP instead of fail on kernels or
+// sandboxes without uring support.
+bool IoUringAvailable();
+
+}  // namespace sams::net

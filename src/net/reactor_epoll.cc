@@ -1,0 +1,105 @@
+// The epoll reactor backend — the engine EventLoop always ran on,
+// extracted behind ReactorBackend. Behavior is unchanged: interest
+// masks pass straight through to epoll_ctl and Wait is epoll_wait with
+// EINTR retried.
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/reactor.h"
+#include "util/fd.h"
+
+namespace sams::net {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+class EpollBackend final : public ReactorBackend {
+ public:
+  explicit EpollBackend(util::UniqueFd epoll_fd)
+      : epoll_fd_(std::move(epoll_fd)) {}
+
+  const char* name() const override { return "epoll"; }
+
+  util::Error Add(int fd, std::uint32_t events) override {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return util::IoError(Errno("epoll_ctl(add)"));
+    }
+    return util::OkError();
+  }
+
+  util::Error Modify(int fd, std::uint32_t events) override {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return util::IoError(Errno("epoll_ctl(mod)"));
+    }
+    return util::OkError();
+  }
+
+  util::Error Remove(int fd) override {
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) {
+      return util::IoError(Errno("epoll_ctl(del)"));
+    }
+    return util::OkError();
+  }
+
+  util::Result<int> Wait(std::vector<ReactorEvent>& out,
+                         int max_events) override {
+    if (static_cast<int>(scratch_.size()) < max_events) {
+      scratch_.resize(static_cast<std::size_t>(max_events));
+    }
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_.get(), scratch_.data(), max_events, -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return util::IoError(Errno("epoll_wait"));
+    out.clear();
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto& ev = scratch_[static_cast<std::size_t>(i)];
+      out.push_back({ev.data.fd, ev.events});
+    }
+    return n;
+  }
+
+ private:
+  util::UniqueFd epoll_fd_;
+  std::vector<struct epoll_event> scratch_;
+};
+
+}  // namespace
+
+util::Result<std::unique_ptr<ReactorBackend>> MakeEpollBackend() {
+  util::UniqueFd epoll_fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd.valid()) return util::IoError(Errno("epoll_create1"));
+  return std::unique_ptr<ReactorBackend>(
+      new EpollBackend(std::move(epoll_fd)));
+}
+
+const char* IoBackendKindName(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kEpoll: return "epoll";
+    case IoBackendKind::kIoUring: return "io_uring";
+    case IoBackendKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::optional<IoBackendKind> ParseIoBackendKind(std::string_view name) {
+  if (name == "epoll") return IoBackendKind::kEpoll;
+  if (name == "io_uring" || name == "uring") return IoBackendKind::kIoUring;
+  if (name == "auto") return IoBackendKind::kAuto;
+  return std::nullopt;
+}
+
+}  // namespace sams::net

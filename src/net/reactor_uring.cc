@@ -1,0 +1,378 @@
+// The io_uring reactor backend: a readiness engine built on
+// IORING_OP_POLL_ADD over a raw ring (io_uring_setup/io_uring_enter +
+// mmap — the container has no liburing, and the ring ABI is stable).
+//
+// Arming strategy (DESIGN.md §14):
+//   - Edge-triggered registrations (EPOLLET) use multishot poll
+//     (IORING_POLL_ADD_MULTI): one SQE, a CQE per readiness wakeup,
+//     re-armed by the kernel while IORING_CQE_F_MORE stays set. A
+//     kernel that rejects multishot (-EINVAL) flips the backend to
+//     oneshot arming lazily and re-arms the affected fd in place.
+//   - Level-triggered registrations use oneshot poll re-armed from
+//     OnDispatched, after the callback ran: poll checks readiness at
+//     arm time, so an fd left readable completes again immediately —
+//     exactly epoll's level-triggered contract.
+//
+// Every arm carries user_data = (generation << 32) | fd. Modify bumps
+// the generation and cancels the old arm (IORING_OP_POLL_REMOVE), so a
+// CQE from a canceled arm — or from a closed fd number the kernel
+// recycled — is recognized as stale and dropped instead of being
+// misdelivered to the new registration.
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "net/reactor.h"
+#include "util/fd.h"
+
+#if defined(__linux__) && defined(__NR_io_uring_setup)
+#include <linux/io_uring.h>
+#define SAMS_HAVE_IO_URING 1
+#endif
+
+namespace sams::net {
+
+#if defined(SAMS_HAVE_IO_URING)
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+int SysUringSetup(unsigned entries, struct io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+// The ring head/tail words are shared with the kernel; all accesses go
+// through acquire/release atomics per the io_uring memory model.
+unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+// Poll masks share bit values with epoll for everything we arm;
+// EPOLLET (and any other high control bit) must not reach the kernel.
+constexpr std::uint32_t kPollMaskBits = EPOLLIN | EPOLLOUT | EPOLLPRI |
+                                        EPOLLERR | EPOLLHUP | EPOLLRDHUP;
+
+std::uint64_t PackUserData(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+class UringBackend final : public ReactorBackend {
+ public:
+  UringBackend() = default;
+  ~UringBackend() override {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_size_);
+    if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_size_);
+    }
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_size_);
+  }
+
+  util::Error Init() {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int ring = SysUringSetup(kEntries, &params);
+    if (ring < 0) return util::Unavailable(Errno("io_uring_setup"));
+    ring_fd_.Reset(ring);
+    if ((params.features & IORING_FEAT_NODROP) == 0) {
+      // Without NODROP a CQ overflow silently drops completions and a
+      // oneshot-armed fd would never fire again; treat as unavailable.
+      return util::Unavailable("io_uring: kernel lacks IORING_FEAT_NODROP");
+    }
+
+    sq_ring_size_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_ring_size_ =
+        params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+    if ((params.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      sq_ring_size_ = cq_ring_size_ =
+          sq_ring_size_ > cq_ring_size_ ? sq_ring_size_ : cq_ring_size_;
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_size_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_.get(),
+                      IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      sq_ring_ = nullptr;
+      return util::Unavailable(Errno("mmap(sq_ring)"));
+    }
+    if ((params.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_size_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_.get(),
+                        IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        return util::Unavailable(Errno("mmap(cq_ring)"));
+      }
+    }
+    sqes_size_ = params.sq_entries * sizeof(struct io_uring_sqe);
+    sqes_ = static_cast<struct io_uring_sqe*>(
+        ::mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_.get(), IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return util::Unavailable(Errno("mmap(sqes)"));
+    }
+
+    auto* sq = static_cast<char*>(sq_ring_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    sq_entries_ = params.sq_entries;
+    auto* cq = static_cast<char*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq + params.cq_off.cqes);
+    local_tail_ = LoadAcquire(sq_tail_);
+    return util::OkError();
+  }
+
+  const char* name() const override { return "io_uring"; }
+
+  util::Error Add(int fd, std::uint32_t events) override {
+    if (fds_.find(fd) != fds_.end()) {
+      return util::IoError("io_uring add: fd already registered");
+    }
+    // Poll on a bad descriptor only fails asynchronously via its CQE;
+    // validate here so Add keeps epoll_ctl's synchronous EBADF contract.
+    if (::fcntl(fd, F_GETFD) < 0) {
+      return util::IoError(Errno("io_uring add"));
+    }
+    FdState state;
+    state.events = events;
+    state.gen = next_gen_++;
+    SAMS_RETURN_IF_ERROR(Arm(fd, state));
+    fds_.emplace(fd, state);
+    return util::OkError();
+  }
+
+  util::Error Modify(int fd, std::uint32_t events) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return util::IoError("io_uring mod: unknown fd");
+    FdState& state = it->second;
+    if (state.armed) SAMS_RETURN_IF_ERROR(Cancel(fd, state.gen));
+    state.events = events;
+    state.gen = next_gen_++;
+    state.armed = false;
+    return Arm(fd, state);
+  }
+
+  util::Error Remove(int fd) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return util::IoError("io_uring del: unknown fd");
+    const util::Error err =
+        it->second.armed ? Cancel(fd, it->second.gen) : util::OkError();
+    fds_.erase(it);
+    return err;
+  }
+
+  util::Result<int> Wait(std::vector<ReactorEvent>& out,
+                         int max_events) override {
+    out.clear();
+    for (;;) {
+      SAMS_RETURN_IF_ERROR(Flush());
+      while (LoadAcquire(cq_tail_) == LoadAcquire(cq_head_)) {
+        const int rc = SysUringEnter(ring_fd_.get(), 0, 1,
+                                     IORING_ENTER_GETEVENTS);
+        if (rc < 0 && errno != EINTR && errno != EAGAIN) {
+          return util::IoError(Errno("io_uring_enter(wait)"));
+        }
+      }
+      Harvest(out, max_events);
+      if (!out.empty()) return static_cast<int>(out.size());
+      // Every CQE drained was stale or internal (cancel completions,
+      // multishot ends); any re-arms it queued flush on the next pass.
+    }
+  }
+
+  void OnDispatched(int fd) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end() || it->second.armed) return;
+    // Arm failures (ring exhaustion) surface as a lost registration;
+    // the SQ is flushed whenever it fills, so this cannot trigger
+    // short of the kernel rejecting submission outright.
+    (void)Arm(fd, it->second);
+  }
+
+ private:
+  struct FdState {
+    std::uint32_t events = 0;
+    std::uint32_t gen = 0;
+    bool armed = false;
+    bool multishot = false;
+  };
+
+  static constexpr unsigned kEntries = 256;
+
+  unsigned PendingSubmit() const {
+    return local_tail_ - LoadAcquire(sq_head_);
+  }
+
+  // Pushes every queued SQE to the kernel without waiting. to_submit
+  // is recomputed from the ring each try: the kernel advances sq head
+  // as it consumes, so an EINTR retry never resubmits consumed slots.
+  util::Error Flush() {
+    while (PendingSubmit() > 0) {
+      const int rc = SysUringEnter(ring_fd_.get(), PendingSubmit(), 0, 0);
+      if (rc < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EBUSY) continue;
+        return util::IoError(Errno("io_uring_enter(submit)"));
+      }
+    }
+    return util::OkError();
+  }
+
+  util::Result<struct io_uring_sqe*> GetSqe() {
+    if (PendingSubmit() >= sq_entries_) {
+      SAMS_RETURN_IF_ERROR(Flush());
+      if (PendingSubmit() >= sq_entries_) {
+        return util::IoError("io_uring: submission ring full");
+      }
+    }
+    const unsigned idx = local_tail_ & sq_mask_;
+    struct io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[idx] = idx;
+    ++local_tail_;
+    StoreRelease(sq_tail_, local_tail_);
+    return sqe;
+  }
+
+  util::Error Arm(int fd, FdState& state) {
+    auto sqe = GetSqe();
+    if (!sqe.ok()) return sqe.error();
+    state.multishot = multishot_ok_ && (state.events & EPOLLET) != 0;
+    (*sqe)->opcode = IORING_OP_POLL_ADD;
+    (*sqe)->fd = fd;
+    (*sqe)->poll32_events = state.events & kPollMaskBits;
+    (*sqe)->len = state.multishot ? IORING_POLL_ADD_MULTI : 0;
+    (*sqe)->user_data = PackUserData(fd, state.gen);
+    state.armed = true;
+    return util::OkError();
+  }
+
+  util::Error Cancel(int fd, std::uint32_t gen) {
+    auto sqe = GetSqe();
+    if (!sqe.ok()) return sqe.error();
+    (*sqe)->opcode = IORING_OP_POLL_REMOVE;
+    (*sqe)->fd = -1;
+    (*sqe)->addr = PackUserData(fd, gen);
+    // gen 0 is never assigned to an arm, so the cancel's own completion
+    // is recognized as internal and dropped at harvest.
+    (*sqe)->user_data = PackUserData(fd, 0);
+    return util::OkError();
+  }
+
+  void Harvest(std::vector<ReactorEvent>& out, int max_events) {
+    unsigned head = LoadAcquire(cq_head_);
+    const unsigned tail = LoadAcquire(cq_tail_);
+    while (head != tail && static_cast<int>(out.size()) < max_events) {
+      const struct io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      ++head;
+      StoreRelease(cq_head_, head);
+      const int fd = static_cast<int>(cqe.user_data & 0xFFFFFFFFu);
+      const std::uint32_t gen =
+          static_cast<std::uint32_t>(cqe.user_data >> 32);
+      if (gen == 0) continue;  // cancel completion
+      auto it = fds_.find(fd);
+      if (it == fds_.end() || it->second.gen != gen) continue;  // stale arm
+      FdState& state = it->second;
+      if (cqe.res < 0) {
+        if (cqe.res == -EINVAL && state.multishot && multishot_ok_) {
+          // Kernel predates multishot poll: fall back to oneshot arming
+          // for every fd from here on and re-arm this one in place.
+          multishot_ok_ = false;
+          state.armed = false;
+          (void)Arm(fd, state);
+          continue;
+        }
+        if (cqe.res == -ECANCELED) {
+          // Canceled under us (e.g. the kernel tearing down the target);
+          // re-arm so the registration does not silently die.
+          state.armed = false;
+          (void)Arm(fd, state);
+          continue;
+        }
+        // Hard failure (EBADF...): surface as an error event; the
+        // callback tears the registration down.
+        state.armed = false;
+        out.push_back({fd, EPOLLERR});
+        continue;
+      }
+      if (state.multishot) {
+        if ((cqe.flags & IORING_CQE_F_MORE) == 0) state.armed = false;
+      } else {
+        state.armed = false;
+      }
+      if (cqe.res == 0) continue;  // spurious wakeup; OnDispatched re-arms
+      out.push_back({fd, static_cast<std::uint32_t>(cqe.res)});
+    }
+  }
+
+  util::UniqueFd ring_fd_;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  struct io_uring_sqe* sqes_ = nullptr;
+  std::size_t sq_ring_size_ = 0;
+  std::size_t cq_ring_size_ = 0;
+  std::size_t sqes_size_ = 0;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned local_tail_ = 0;  // our view of *sq_tail_
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  struct io_uring_cqe* cqes_ = nullptr;
+
+  std::unordered_map<int, FdState> fds_;
+  std::uint32_t next_gen_ = 1;
+  bool multishot_ok_ = true;
+};
+
+}  // namespace
+
+util::Result<std::unique_ptr<ReactorBackend>> MakeIoUringBackend() {
+  auto backend = std::make_unique<UringBackend>();
+  SAMS_RETURN_IF_ERROR(backend->Init());
+  return std::unique_ptr<ReactorBackend>(std::move(backend));
+}
+
+bool IoUringAvailable() {
+  return MakeIoUringBackend().ok();
+}
+
+#else  // !SAMS_HAVE_IO_URING
+
+util::Result<std::unique_ptr<ReactorBackend>> MakeIoUringBackend() {
+  return util::Unavailable("io_uring: not supported by this build");
+}
+
+bool IoUringAvailable() { return false; }
+
+#endif
+
+}  // namespace sams::net

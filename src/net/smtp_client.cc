@@ -39,6 +39,7 @@ util::Result<SendOutcome> SendMail(const std::string& host, std::uint16_t port,
   auto fd = TcpConnect(host, port);
   if (!fd.ok()) return fd.error();
   SAMS_RETURN_IF_ERROR(SetRecvTimeout(fd->get(), timeout_ms));
+  SAMS_RETURN_IF_ERROR(SetSendTimeout(fd->get(), timeout_ms));
 
   smtp::ClientSession session(std::move(job), abort);
   std::string carry, line;
@@ -52,7 +53,10 @@ util::Result<SendOutcome> SendMail(const std::string& host, std::uint16_t port,
     if (more) continue;  // swallow multi-line continuations
     auto out = session.OnReply(reply);
     if (out) {
-      SAMS_RETURN_IF_ERROR(util::WriteAll(fd->get(), out->data(), out->size()));
+      // SendAll, not WriteAll: a server that resets mid-dialog must
+      // surface as kUnavailable, not SIGPIPE; SO_SNDTIMEO (set above)
+      // bounds a stalled send the same way reads are bounded.
+      SAMS_RETURN_IF_ERROR(util::SendAll(fd->get(), out->data(), out->size()));
     }
   }
   SendOutcome outcome;

@@ -2,14 +2,26 @@
 //
 // Encoder: prefixes each body line that starts with '.' with another
 // '.', ensures CRLF line endings, and appends the ".\r\n" terminator.
-// Decoder: streaming — feed it network chunks, it un-stuffs lines into
-// the message body and reports when the terminator has been consumed
-// (including how many raw bytes of the final chunk belonged to the
-// message, so pipelined bytes after the terminator are preserved).
+// Decoder: streaming — feed it network chunks, it un-stuffs lines and
+// reports when the terminator has been consumed (including how many
+// raw bytes of the final chunk belonged to the message, so pipelined
+// bytes after the terminator are preserved). Two output modes:
+//
+//   byte mode (default)  decoded lines accumulate into body().
+//   span mode            SetSpanSink() — each decoded line is emitted
+//                        as zero or more spans instead of being
+//                        copied. A kChunk span aliases the chunk
+//                        passed to Feed (valid only while the caller
+//                        keeps those bytes — e.g. via a BufferPool
+//                        pin); kVolatile aliases decoder-internal
+//                        carry storage (valid only during the
+//                        callback; copy it); kStatic is static
+//                        storage ("\r\n"), valid forever.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -24,15 +36,27 @@ class DotStuffDecoder {
  public:
   // RFC 5321 §4.5.3.1.6 caps text lines at 1000 octets incl. CRLF;
   // real MTAs accept somewhat more. 8 KiB is generous while still
-  // bounding what a newline-free DATA stream can make line_ hold.
+  // bounding what a newline-free DATA stream can make the carry hold.
   // This is the cap ServerSession applies by default; a decoder
   // constructed directly is uncapped (codec round-trips any input).
   static constexpr std::size_t kDefaultMaxLineBytes = 8192;
+
+  enum class SpanKind {
+    kChunk,     // aliases the Feed() chunk — pin the chunk to keep it
+    kStatic,    // static storage, valid forever
+    kVolatile,  // aliases decoder carry state — copy during callback
+  };
+  using SpanSink = std::function<void(std::string_view, SpanKind)>;
 
   DotStuffDecoder() = default;
   // max_line_bytes == 0 means unlimited.
   explicit DotStuffDecoder(std::size_t max_line_bytes)
       : max_line_bytes_(max_line_bytes) {}
+
+  // Switches to span mode (or back to byte mode with nullptr). Spans
+  // for one decoded line are emitted contiguously, in order; the
+  // terminator line is never emitted.
+  void SetSpanSink(SpanSink sink) { sink_ = std::move(sink); }
 
   struct FeedResult {
     bool finished = false;     // terminator seen
@@ -48,7 +72,8 @@ class DotStuffDecoder {
   FeedResult Feed(std::string_view chunk);
 
   // The decoded message body (terminator excluded, dot-stuffing
-  // removed, CRLF endings preserved).
+  // removed, CRLF endings preserved). Byte mode only — empty in span
+  // mode.
   const std::string& body() const { return body_; }
   std::string TakeBody() { return std::move(body_); }
   bool finished() const { return finished_; }
@@ -72,8 +97,23 @@ class DotStuffDecoder {
   void Reset();
 
  private:
+  // Appends raw line bytes (no LF) to carry_, honoring the cap.
+  void AppendCarry(std::string_view bytes);
+  // Completes the line held in carry_; true if it was the terminator.
+  bool FinishCarriedLine();
+  // Completes a line that lies wholly inside the Feed chunk.
+  // `raw` excludes the '\n'; the '\n' is at raw.data()+raw.size()
+  // (+1 past any '\r'), which lets span mode emit content+CRLF as one
+  // contiguous chunk span. True if it was the terminator.
+  bool FinishInPlaceLine(std::string_view raw);
+  // Shared tail: emits/accumulates a decoded line. `in_chunk` is true
+  // when `line` (already \r- and dot-stripped) aliases the Feed chunk
+  // and is followed in memory by CRLF.
+  bool CommitLine(std::string_view line, bool in_chunk, bool had_cr);
+
   std::string body_;
-  std::string line_;  // current partial line (raw, still stuffed)
+  std::string carry_;  // partial raw line straddling Feed calls
+  SpanSink sink_;      // null = byte mode
   std::size_t max_line_bytes_ = 0;  // 0 = unlimited
   std::uint64_t decoded_bytes_ = 0;
   bool cur_line_overflow_ = false;

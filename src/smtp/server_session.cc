@@ -58,6 +58,21 @@ void ServerSession::Emit(const Reply& reply) {
 
 void ServerSession::Feed(std::string_view bytes) {
   stats_.bytes_in += bytes.size();
+  // Zero-copy fast path: DATA content arriving with nothing buffered
+  // ahead of it is decoded straight out of the caller's chunk instead
+  // of round-tripping through inbuf_. With a FeedPinned chunk and
+  // zero_copy_data set, the decoded spans alias the chunk and only the
+  // pin is retained. Behavior (replies, stats, consumed offsets) is
+  // identical to the buffered path.
+  if (state_ == SessionState::kData && inbuf_.empty() &&
+      !pause_requested_ && !rcpt_deferred_ && !bytes.empty()) {
+    std::string_view rest = bytes;
+    direct_decode_ = true;
+    HandleDataBytes(&rest);
+    direct_decode_ = false;
+    if (rest.empty()) return;
+    bytes = rest;  // terminator hit mid-chunk; the tail is commands
+  }
   inbuf_.append(bytes);
   std::string_view rest = inbuf_;
   // Tracks read-ahead inside this Feed call: a second complete command
@@ -90,6 +105,35 @@ void ServerSession::Feed(std::string_view bytes) {
     HandleCommand(line);
   }
   inbuf_.erase(0, inbuf_.size() - rest.size());
+}
+
+void ServerSession::FeedPinned(std::string_view bytes,
+                               const std::shared_ptr<const void>& pin) {
+  feed_pin_ = pin != nullptr ? &pin : nullptr;
+  Feed(bytes);
+  feed_pin_ = nullptr;
+}
+
+void ServerSession::OnBodySpan(std::string_view span,
+                               DotStuffDecoder::SpanKind kind) {
+  switch (kind) {
+    case DotStuffDecoder::SpanKind::kStatic:
+      rope_.AppendStatic(span);
+      return;
+    case DotStuffDecoder::SpanKind::kChunk:
+      // Only a span over a pinned FeedPinned chunk may be referenced;
+      // one over inbuf_ (or an unpinned Feed buffer) must be copied
+      // before the storage is reused.
+      if (direct_decode_ && feed_pin_ != nullptr) {
+        rope_.AppendPinned(span, *feed_pin_);
+      } else {
+        rope_.AppendCopy(span);
+      }
+      return;
+    case DotStuffDecoder::SpanKind::kVolatile:
+      rope_.AppendCopy(span);
+      return;
+  }
 }
 
 void ServerSession::ResolveDeferredRcpt(RcptGateDecision decision) {
@@ -142,6 +186,7 @@ void ServerSession::HandleDataBytes(std::string_view* bytes) {
     // The mail is already doomed; don't buffer the rest of it while
     // waiting for the terminator. decoded_bytes() keeps counting.
     decoder_.DiscardBody();
+    rope_.Clear();  // also release any pinned receive chunks
   }
   if (!result.finished) return;
 
@@ -158,7 +203,19 @@ void ServerSession::HandleDataBytes(std::string_view* bytes) {
     env.helo = helo_;
     env.mail_from = mail_from_;
     env.rcpt_to = rcpts_;
-    env.body = decoder_.TakeBody();
+    if (cfg_.zero_copy_data) {
+      rope_.MoveTo(&env.body_parts, &env.body_pins);
+      if (hooks_.content_check) {
+        // Body tests scan contiguous bytes; materialize for them. The
+        // zero-copy win is preserved on the trusted no-content-check
+        // configurations the throughput bench measures.
+        env.body = env.FlattenedBody();
+        env.body_parts.clear();
+        env.body_pins.clear();
+      }
+    } else {
+      env.body = decoder_.TakeBody();
+    }
     if (hooks_.content_check && !hooks_.content_check(env)) {
       ++stats_.content_rejects;
       Emit({ReplyCode::kTransactionFailed,
@@ -182,6 +239,7 @@ void ServerSession::ResetTransaction() {
   rejected_this_txn_ = 0;
   greylisted_this_txn_ = 0;
   decoder_.Reset();
+  rope_.Clear();
   oversized_ = false;
 }
 
@@ -316,6 +374,15 @@ void ServerSession::HandleCommand(std::string_view line) {
         return;
       }
       decoder_.Reset();
+      if (cfg_.zero_copy_data) {
+        // (Re)bind the span sink here, not in the constructor: the
+        // session object may be moved (ResumeFromHandoff) before any
+        // DATA arrives, and the sink must capture the final address.
+        decoder_.SetSpanSink(
+            [this](std::string_view span, DotStuffDecoder::SpanKind kind) {
+              OnBodySpan(span, kind);
+            });
+      }
       oversized_ = false;
       TraceStage(obs::Stage::kData);
       state_ = SessionState::kData;

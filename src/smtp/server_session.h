@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -37,6 +38,12 @@ struct SessionConfig {
   // than buffered, so a newline-free stream can't balloon memory.
   std::size_t max_data_line_bytes = DotStuffDecoder::kDefaultMaxLineBytes;
   bool require_helo = true;
+  // When set, DATA bytes are decoded into body spans (Envelope
+  // body_parts/body_pins) instead of one accumulated string — the
+  // zero-copy path (DESIGN.md §14). The transport should feed DATA
+  // through FeedPinned so in-chunk spans can be pinned instead of
+  // copied. Off by default: the classic copy path stays bit-for-bit.
+  bool zero_copy_data = false;
 };
 
 // A completed mail transaction.
@@ -46,6 +53,88 @@ struct Envelope {
   Path mail_from;
   std::vector<Address> rcpt_to;  // accepted recipients only
   std::string body;
+  // Zero-copy alternative to `body`: when non-empty, the message body
+  // is the in-order concatenation of these parts and `body` is empty.
+  // The parts alias pooled receive buffers (and small owned copies for
+  // lines that straddled chunks); `body_pins` keeps that storage alive
+  // and must travel wherever the parts go.
+  std::vector<std::string_view> body_parts;
+  std::vector<std::shared_ptr<const void>> body_pins;
+
+  bool has_parts() const { return !body_parts.empty(); }
+  std::size_t body_size() const {
+    if (!has_parts()) return body.size();
+    std::size_t total = 0;
+    for (const std::string_view part : body_parts) total += part.size();
+    return total;
+  }
+  // Contiguous copy of the body (parts concatenated, or `body` as-is).
+  std::string FlattenedBody() const {
+    if (!has_parts()) return body;
+    std::string out;
+    out.reserve(body_size());
+    for (const std::string_view part : body_parts) out.append(part);
+    return out;
+  }
+};
+
+// Ordered list of decoded body spans plus the pins that keep their
+// backing chunks alive — what the zero-copy DATA path accumulates in
+// place of a body string. Adjacent spans over the same storage are
+// coalesced, so a 16 KiB pooled chunk of CRLF text contributes one
+// span, not one per line; pins are deduplicated per chunk.
+class BodyRope {
+ public:
+  // `span` stays valid as long as `pin` is held.
+  void AppendPinned(std::string_view span,
+                    const std::shared_ptr<const void>& pin) {
+    if (!Coalesce(span)) parts_.push_back(span);
+    if (pins_.empty() || pins_.back().get() != pin.get()) {
+      pins_.push_back(pin);
+    }
+    size_ += span.size();
+  }
+  // `span` points at static storage (the decoder's "\r\n").
+  void AppendStatic(std::string_view span) {
+    if (!Coalesce(span)) parts_.push_back(span);
+    size_ += span.size();
+  }
+  // Copies `span` into rope-owned storage (volatile decoder spans and
+  // spans whose backing buffer the caller won't keep alive).
+  void AppendCopy(std::string_view span) {
+    auto owned = std::make_shared<std::string>(span);
+    parts_.push_back(*owned);
+    pins_.push_back(std::shared_ptr<const void>(owned, owned->data()));
+    size_ += span.size();
+  }
+
+  std::size_t size() const { return size_; }
+
+  void MoveTo(std::vector<std::string_view>* parts,
+              std::vector<std::shared_ptr<const void>>* pins) {
+    *parts = std::move(parts_);
+    *pins = std::move(pins_);
+    Clear();
+  }
+
+  void Clear() {
+    parts_.clear();
+    pins_.clear();
+    size_ = 0;
+  }
+
+ private:
+  bool Coalesce(std::string_view span) {
+    if (parts_.empty()) return false;
+    std::string_view& last = parts_.back();
+    if (last.data() + last.size() != span.data()) return false;
+    last = std::string_view(last.data(), last.size() + span.size());
+    return true;
+  }
+
+  std::vector<std::string_view> parts_;
+  std::vector<std::shared_ptr<const void>> pins_;
+  std::size_t size_ = 0;
 };
 
 enum class SessionState {
@@ -149,6 +238,15 @@ class ServerSession {
   // events through the hooks. Reentrant-safe for hook-initiated sends.
   void Feed(std::string_view bytes);
 
+  // Feed variant for pooled receive buffers: `pin` keeps `bytes`
+  // alive, so with zero_copy_data set, DATA content decoded straight
+  // out of this chunk is referenced (pin retained) instead of copied.
+  // Identical to Feed for command bytes and when zero_copy_data is
+  // off. `pin` is only used during the call — the session takes its
+  // own reference for any span it keeps.
+  void FeedPinned(std::string_view bytes,
+                  const std::shared_ptr<const void>& pin);
+
   // Makes Feed stop consuming after the current command, leaving any
   // remaining bytes buffered (they travel with SerializeHandoff). The
   // fork-after-trust master calls this from on_first_valid_rcpt so the
@@ -235,6 +333,10 @@ class ServerSession {
   void Emit(const Reply& reply);
   void HandleCommand(std::string_view line);
   void HandleDataBytes(std::string_view* bytes);
+  // Span-mode sink: routes a decoded body span into rope_, pinning,
+  // copying or aliasing static storage depending on its kind and on
+  // whether the decode is running over a pinned caller chunk.
+  void OnBodySpan(std::string_view span, DotStuffDecoder::SpanKind kind);
   void ResetTransaction();
   // Books a validated first/subsequent RCPT: stats, list, 250, and (on
   // the first) the delegation trigger.
@@ -275,6 +377,13 @@ class ServerSession {
 
   std::string inbuf_;
   DotStuffDecoder decoder_;
+  BodyRope rope_;  // decoded body spans (zero_copy_data mode only)
+  // Set while HandleDataBytes decodes directly out of the caller's
+  // Feed chunk (nothing buffered in front of it): kChunk spans then
+  // alias that chunk and may be pinned via feed_pin_ instead of
+  // copied. Spans decoded out of inbuf_ are always copied.
+  bool direct_decode_ = false;
+  const std::shared_ptr<const void>* feed_pin_ = nullptr;
   bool oversized_ = false;
   bool pause_requested_ = false;
   bool rcpt_deferred_ = false;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
 namespace sams::smtp {
 namespace {
 
@@ -217,6 +221,115 @@ TEST(DotStuffDecoderTest, UncappedByDefault) {
   ASSERT_TRUE(r.finished);
   EXPECT_FALSE(dec.line_overflow());
   EXPECT_EQ(dec.body(), big + "\r\n");
+}
+
+
+// --- span mode (DESIGN.md §14) ----------------------------------------
+
+// Reassembles a span-mode decode into a flat string, mimicking what
+// BodyRope does: kChunk/kVolatile content is copied at callback time
+// (the test chunk dies after Feed), kStatic appended directly.
+std::string DecodeViaSpans(const std::string& wire,
+                           const std::vector<std::size_t>& splits,
+                           DotStuffDecoder* dec) {
+  std::string assembled;
+  dec->SetSpanSink([&assembled](std::string_view span,
+                                DotStuffDecoder::SpanKind) {
+    assembled.append(span);
+  });
+  std::size_t start = 0;
+  for (const std::size_t cut : splits) {
+    dec->Feed(wire.substr(start, cut - start));
+    start = cut;
+  }
+  dec->Feed(wire.substr(start));
+  return assembled;
+}
+
+TEST(DotStuffSpanTest, SpanModeMatchesByteModeOnEverySplitOffset) {
+  // One wire with every seam that matters: dot-stuffing, a lone-dot
+  // content line, an empty line, and CRLFs that any split can straddle.
+  const std::string wire =
+      "first\r\n..stuffed\r\n..\r\n\r\nlast line\r\n.\r\n";
+  DotStuffDecoder reference;
+  reference.Feed(wire);
+  ASSERT_TRUE(reference.finished());
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    DotStuffDecoder dec;
+    const std::string body = DecodeViaSpans(wire, {cut}, &dec);
+    EXPECT_TRUE(dec.finished()) << "cut=" << cut;
+    EXPECT_EQ(body, reference.body()) << "cut=" << cut;
+    EXPECT_EQ(dec.decoded_bytes(), reference.decoded_bytes())
+        << "cut=" << cut;
+    EXPECT_TRUE(dec.body().empty()) << "span mode must not accumulate";
+  }
+}
+
+TEST(DotStuffSpanTest, FuzzRandomBodiesAcrossRandomChunkSeams) {
+  // Deterministic fuzz: random bodies (dot-heavy, CRLF-heavy, the
+  // occasional near-cap line) encoded for the wire, then decoded twice
+  // per trial — byte mode in one piece vs span mode over random splits.
+  std::mt19937 rng(20260809);
+  const char alphabet[] = ".x\r\no";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string body;
+    const int lines = static_cast<int>(rng() % 8);
+    for (int l = 0; l < lines; ++l) {
+      const std::size_t len = rng() % 40;
+      std::string line;
+      for (std::size_t i = 0; i < len; ++i) {
+        line += alphabet[rng() % (sizeof(alphabet) - 1)];
+      }
+      // Raw CR/LF inside a line would change framing; strip them so
+      // the encoder's framing is the only framing.
+      for (char& c : line) {
+        if (c == '\r' || c == '\n') c = '.';
+      }
+      body += line;
+      body += '\n';
+    }
+    const std::string wire = DotStuffEncode(body);
+
+    DotStuffDecoder reference;
+    const auto ref_result = reference.Feed(wire);
+    ASSERT_TRUE(ref_result.finished) << "trial " << trial;
+
+    std::vector<std::size_t> splits;
+    const int n_splits = static_cast<int>(rng() % 6);
+    for (int s = 0; s < n_splits; ++s) {
+      splits.push_back(rng() % (wire.size() + 1));
+    }
+    std::sort(splits.begin(), splits.end());
+
+    DotStuffDecoder dec;
+    const std::string assembled = DecodeViaSpans(wire, splits, &dec);
+    EXPECT_TRUE(dec.finished()) << "trial " << trial;
+    EXPECT_EQ(assembled, reference.body()) << "trial " << trial;
+    EXPECT_EQ(dec.decoded_bytes(), reference.decoded_bytes())
+        << "trial " << trial;
+  }
+}
+
+TEST(DotStuffSpanTest, CappedLinesAgreeBetweenModesAcrossSeams) {
+  // Overflow accounting must match byte mode even when the oversized
+  // line straddles chunk seams.
+  const std::string big(300, 'y');
+  const std::string wire = big + "\r\nok\r\n.\r\n";
+  DotStuffDecoder reference(64);
+  reference.Feed(wire);
+  ASSERT_TRUE(reference.finished());
+  ASSERT_TRUE(reference.line_overflow());
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{63},
+                                std::size_t{64}, std::size_t{65},
+                                std::size_t{200}, big.size() + 1}) {
+    DotStuffDecoder dec(64);
+    const std::string body = DecodeViaSpans(wire, {cut}, &dec);
+    EXPECT_TRUE(dec.finished()) << "cut=" << cut;
+    EXPECT_TRUE(dec.line_overflow()) << "cut=" << cut;
+    EXPECT_EQ(body, reference.body()) << "cut=" << cut;
+    EXPECT_EQ(dec.decoded_bytes(), reference.decoded_bytes())
+        << "cut=" << cut;
+  }
 }
 
 }  // namespace
